@@ -1,0 +1,66 @@
+/// Ablation study over the C/R model's engineering knobs (DESIGN.md):
+///   (a) BB->PFS drain concurrency (the Spectral-style throttle),
+///   (b) LM safety margin (how conservatively Fig. 5 chooses LM),
+///   (c) restart cost.
+/// Each sweep holds everything else at defaults on CHIMERA + Titan.
+
+#include <iostream>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  const bench::World world(opt.system);
+  const auto& app = workload::workload_by_name("CHIMERA");
+  const auto setup = world.setup(app);
+
+  std::cout << "Ablations on CHIMERA (" << world.system->name << ", "
+            << opt.runs << " paired runs)\n\n";
+
+  // (a) Drain concurrency: too few drainers widen the Fig. 1(B) window
+  // (restore points lag), too many is indistinguishable from unthrottled.
+  std::cout << "(a) BB->PFS drain concurrency (model B):\n";
+  analysis::Table a({"drainers", "recomp(h)", "recovery(h)", "total(h)"});
+  for (int d : {4, 16, 64, 256, 2272}) {
+    auto cfg = bench::model(core::ModelKind::kB);
+    cfg.drain_concurrency = d;
+    const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+    a.add_row();
+    a.cell(d).cell(r.recomputation_h(), 3).cell(r.recovery_h(), 3).cell(
+        r.total_overhead_h(), 3);
+  }
+  a.print(std::cout);
+
+  // (b) LM safety margin under P2: a bigger margin pushes borderline
+  // predictions from LM to p-ckpt.
+  std::cout << "\n(b) LM safety margin (model P2):\n";
+  analysis::Table b({"margin", "FT", "FT via LM", "FT via p-ckpt",
+                     "total(h)"});
+  for (double m : {1.0, 1.25, 1.5, 2.0}) {
+    auto cfg = bench::model(core::ModelKind::kP2);
+    cfg.lm_safety_margin = m;
+    const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+    b.add_row();
+    b.cell(m, 2)
+        .cell(r.pooled_ft_ratio(), 3)
+        .cell(r.failures > 0 ? r.mitigated_lm / r.failures : 0.0, 3)
+        .cell(r.failures > 0 ? r.mitigated_ckpt / r.failures : 0.0, 3)
+        .cell(r.total_overhead_h(), 3);
+  }
+  b.print(std::cout);
+
+  // (c) Restart cost: recovery-dominated models feel it most.
+  std::cout << "\n(c) restart cost (model P1):\n";
+  analysis::Table c({"restart(s)", "recovery(h)", "total(h)"});
+  for (double s : {0.0, 30.0, 120.0, 600.0}) {
+    auto cfg = bench::model(core::ModelKind::kP1);
+    cfg.restart_seconds = s;
+    const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+    c.add_row();
+    c.cell(s, 0).cell(r.recovery_h(), 3).cell(r.total_overhead_h(), 3);
+  }
+  c.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,108 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared scaffolding for the experiment binaries: argument parsing, the
+/// Summit world (machine + storage + lead-time model), and the standard
+/// five-model configuration set.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/cr_config.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace pckpt::bench {
+
+struct Options {
+  std::size_t runs = 200;
+  std::uint64_t seed = 2022;
+  std::string system = "titan";
+  bool csv = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value("--runs=")) {
+      opt.runs = std::strtoul(v, nullptr, 10);
+    } else if (const char* v2 = value("--seed=")) {
+      opt.seed = std::strtoull(v2, nullptr, 10);
+    } else if (const char* v3 = value("--system=")) {
+      opt.system = v3;
+    } else if (arg == "--csv") {
+      opt.csv = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "options: --runs=N (default 200)  --seed=S (default 2022)\n"
+          "         --system=titan|lanl8|lanl18  --csv\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  if (opt.runs == 0) {
+    std::fprintf(stderr, "--runs must be >= 1\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+/// Everything a campaign needs, built once per binary.
+struct World {
+  workload::Machine machine;
+  iomodel::StorageModel storage;
+  failure::LeadTimeModel leads;
+  const failure::FailureSystem* system;
+
+  explicit World(const std::string& system_name = "titan")
+      : machine(workload::summit()),
+        storage(machine.make_storage()),
+        leads(failure::LeadTimeModel::summit_default()),
+        system(&failure::system_by_name(system_name)) {}
+
+  core::RunSetup setup(const workload::Application& app) const {
+    core::RunSetup s;
+    s.app = &app;
+    s.machine = &machine;
+    s.storage = &storage;
+    s.system = system;
+    s.leads = &leads;
+    return s;
+  }
+};
+
+/// The five models of the paper with default knobs and a given lead scale.
+inline std::vector<core::CrConfig> five_models(double lead_scale = 1.0) {
+  std::vector<core::CrConfig> cfgs(5);
+  cfgs[0].kind = core::ModelKind::kB;
+  cfgs[1].kind = core::ModelKind::kM1;
+  cfgs[2].kind = core::ModelKind::kM2;
+  cfgs[3].kind = core::ModelKind::kP1;
+  cfgs[4].kind = core::ModelKind::kP2;
+  for (auto& c : cfgs) c.predictor.lead_scale = lead_scale;
+  return cfgs;
+}
+
+inline core::CrConfig model(core::ModelKind kind, double lead_scale = 1.0) {
+  core::CrConfig cfg;
+  cfg.kind = kind;
+  cfg.predictor.lead_scale = lead_scale;
+  return cfg;
+}
+
+}  // namespace pckpt::bench

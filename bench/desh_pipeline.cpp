@@ -1,0 +1,74 @@
+/// Sec. II pipeline — the full Desh-style loop in miniature: generate a
+/// synthetic system log with injected failure chains and noise, detect
+/// the chains, measure recall, fit a LeadTimeModel from the detections,
+/// and compare the fitted lead-time statistics with the ground truth.
+
+#include <iostream>
+#include <map>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+#include "failure/log_analysis.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+
+  failure::LogGenConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.horizon_s = 14.0 * 24.0 * 3600.0;  // two weeks of logs
+  cfg.nodes = 128;
+  cfg.chains_per_hour = 3.0;
+  cfg.noise_per_hour = 3600.0;  // one noise line per second
+
+  const auto templates = failure::example_chain_templates();
+  const auto log = failure::generate_log(templates, cfg);
+  const auto found = failure::detect_chains(log.events, templates);
+
+  std::cout << "Sec. II — log-based failure-chain analysis pipeline\n\n";
+  std::cout << "log lines:        " << log.events.size() << "\n";
+  std::cout << "injected chains:  " << log.truth.size() << "\n";
+  std::cout << "detected chains:  " << found.size() << "\n";
+  std::cout << "detection recall: "
+            << static_cast<double>(found.size()) /
+                   static_cast<double>(log.truth.size())
+            << "\n\n";
+
+  // Per-template lead-time statistics: truth vs detected vs fitted.
+  std::map<int, std::vector<double>> truth_leads, det_leads;
+  for (const auto& c : log.truth) truth_leads[c.template_id].push_back(c.lead_s());
+  for (const auto& c : found) det_leads[c.template_id].push_back(c.lead_s());
+  const auto fitted = failure::fit_lead_time_model(found, templates);
+
+  analysis::Table t({"chain", "count(truth)", "count(det)", "median truth(s)",
+                     "median det(s)", "fitted median(s)", "fitted sigma"});
+  for (const auto& tmpl : templates) {
+    t.add_row();
+    const auto bt = stats::box_stats(truth_leads[tmpl.id]);
+    const auto bd = stats::box_stats(det_leads[tmpl.id]);
+    double fm = 0.0, fs = 0.0;
+    for (const auto& s : fitted.sequences()) {
+      if (s.id == tmpl.id) {
+        fm = s.median_seconds;
+        fs = s.sigma;
+      }
+    }
+    t.cell(tmpl.id)
+        .cell(static_cast<int>(truth_leads[tmpl.id].size()))
+        .cell(static_cast<int>(det_leads[tmpl.id].size()))
+        .cell(bt.median, 1)
+        .cell(bd.median, 1)
+        .cell(fm, 1)
+        .cell(fs, 3);
+  }
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  std::cout << "\nfitted mixture mean lead: " << fitted.mean()
+            << " s; P(lead > 20 s) = " << fitted.ccdf(20.0) << "\n";
+  return 0;
+}

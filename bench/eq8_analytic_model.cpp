@@ -1,0 +1,56 @@
+/// Eqs. 4-8 — the analytical LM-vs-p-ckpt model: the minimum LM-to-ckpt
+/// transfer ratio alpha above which p-ckpt outperforms LM, as a function
+/// of the LM-avoidable failure fraction sigma. The paper reports
+/// 1.04 <= alpha < 1.30 over 0 <= sigma < 0.61.
+
+#include <iostream>
+
+#include "analysis/analytic_model.hpp"
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+
+  std::cout << "Eq. 8 — alpha threshold for p-ckpt to beat LM (even "
+               "recomp/ckpt split)\n"
+            << "sigma feasibility bound: sigma < "
+            << analysis::sigma_upper_bound() << " (paper: 0.61)\n\n";
+
+  analysis::Table t({"sigma", "alpha>= (paper Eq.8)", "alpha>= (derived)",
+                     "beta at paper thr.", "LM ckpt reduction"});
+  for (double s = 0.0; s < 0.615; s += 0.05) {
+    const double a_paper = analysis::alpha_threshold_paper(s);
+    t.add_row();
+    t.cell(s, 2)
+        .cell(a_paper, 3)
+        .cell(s < 0.615 && std::sqrt(1.0 - s) > s
+                  ? analysis::alpha_threshold_derived(s)
+                  : 0.0,
+              3)
+        .cell(analysis::beta_fraction(std::max(1.0, a_paper), s), 3)
+        .cell(analysis::lm_checkpoint_reduction_fraction(s), 3);
+  }
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  std::cout << "\npredicate spot-checks (recomp/ckpt = 1):\n";
+  analysis::Table p({"alpha", "sigma", "p-ckpt wins?"});
+  const double cases[][2] = {{3.0, 0.3}, {1.1, 0.3}, {1.0, 0.3},
+                             {2.0, 0.55}, {1.5, 0.1}};
+  for (const auto& c : cases) {
+    p.add_row();
+    p.cell(c[0], 2).cell(c[1], 2).cell(
+        analysis::pckpt_beats_lm(c[0], c[1]) ? "yes" : "no");
+  }
+  if (opt.csv) {
+    p.print_csv(std::cout);
+  } else {
+    p.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,47 @@
+/// Fig. 2b — single-compute-node aggregate I/O bandwidth vs transfer size
+/// for 1..42 MPI tasks (synthetic GPFS model calibrated to the paper's
+/// anchors: peak ~13.4 GB/s at 8 tasks).
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+#include "iomodel/summit_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  const iomodel::SummitIOConfig cfg;
+
+  std::cout << "Fig. 2b — single-node aggregate write bandwidth (GB/s) by "
+               "MPI task count and total transfer size\n\n";
+
+  const std::vector<double> sizes_gb = {0.015625, 0.0625, 0.25, 1.0,
+                                        4.0,      16.0,   64.0, 256.0};
+  std::vector<std::string> headers = {"tasks"};
+  for (double s : sizes_gb) {
+    headers.push_back(s < 1.0 ? std::to_string(static_cast<int>(s * 1024)) + "MB"
+                              : std::to_string(static_cast<int>(s)) + "GB");
+  }
+  analysis::Table t(headers);
+  for (int tasks : {1, 2, 4, 8, 16, 24, 32, 42}) {
+    t.add_row();
+    t.cell(tasks);
+    for (double s : sizes_gb) {
+      t.cell(iomodel::node_bandwidth_for_tasks(tasks, s, cfg), 2);
+    }
+  }
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  std::cout << "\npeak task count: " << cfg.peak_tasks
+            << " (paper: 8 MPI tasks maximize a node's PFS bandwidth)\n";
+  std::cout << "peak node bandwidth at 256 GB: "
+            << iomodel::node_bandwidth_for_tasks(cfg.peak_tasks, 256.0, cfg)
+            << " GB/s (paper: 13-13.5 GB/s)\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+/// Fig. 2c — weak-scaling I/O performance matrix: aggregate bandwidth
+/// (GB/s) over (node count x per-node transfer size). This is the matrix
+/// the C/R models use to price every PFS checkpoint.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+#include "iomodel/summit_io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  const iomodel::SummitIOConfig cfg;
+  const auto matrix = iomodel::make_summit_matrix(
+      cfg, 4608.0, 13, 10);
+
+  std::cout << "Fig. 2c — aggregate PFS write bandwidth (GB/s): nodes x "
+               "per-node transfer size\n\n";
+
+  std::vector<std::string> headers = {"nodes\\size"};
+  for (double s : matrix.sizes_gb()) {
+    if (s < 1.0) {
+      headers.push_back(std::to_string(static_cast<int>(s * 1024.0)) + "MB");
+    } else {
+      headers.push_back(std::to_string(static_cast<int>(s)) + "GB");
+    }
+  }
+  analysis::Table t(headers);
+  for (std::size_t i = 0; i < matrix.node_counts().size(); ++i) {
+    t.add_row();
+    t.cell(static_cast<int>(matrix.node_counts()[i] + 0.5));
+    for (std::size_t j = 0; j < matrix.sizes_gb().size(); ++j) {
+      t.cell(matrix.cell(i, j), 1);
+    }
+  }
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  std::cout << "\ncheckpoint-write anchors derived from the matrix:\n";
+  analysis::Table a({"application", "nodes", "per-node(GB)", "agg bw(GB/s)",
+                     "full PFS write(s)"});
+  const bench::World world;
+  for (const auto& app : workload::summit_workloads()) {
+    a.add_row();
+    a.cell(app.name)
+        .cell(app.nodes)
+        .cell(app.ckpt_per_node_gb(), 2)
+        .cell(world.storage.matrix().bandwidth(app.nodes,
+                                               app.ckpt_per_node_gb()),
+              1)
+        .cell(world.storage.pfs_aggregate_seconds(app.nodes,
+                                                  app.ckpt_per_node_gb()),
+              1);
+  }
+  if (opt.csv) {
+    a.print_csv(std::cout);
+  } else {
+    a.print(std::cout);
+  }
+  return 0;
+}

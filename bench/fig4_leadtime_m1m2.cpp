@@ -1,0 +1,13 @@
+/// Fig. 4 — impact of lead-time variability on the prior-work models:
+/// M1 (safeguard checkpointing) and M2 (live migration), for CHIMERA, XGC
+/// and POP, relative to the base model B.
+
+#include "bench/leadtime_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::run_leadtime_sweep(
+      opt, {core::ModelKind::kM1, core::ModelKind::kM2}, "Fig. 4");
+  return 0;
+}

@@ -1,0 +1,13 @@
+/// Fig. 6a — application overhead under B / M1 / M2 / P1 / P2 for all six
+/// Summit workloads with OLCF Titan's Weibull failure distribution
+/// (the paper's stand-in for Summit).
+
+#include "bench/overhead_bars.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  auto opt = bench::parse_options(argc, argv);
+  opt.system = "titan";
+  bench::run_overhead_bars(opt, "Fig. 6a (Titan distribution)");
+  return 0;
+}

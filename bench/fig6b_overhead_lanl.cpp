@@ -1,0 +1,16 @@
+/// Fig. 6b (and the LANL System 8 result described in Observation 7) —
+/// the Fig. 6a experiment repeated under the other two Table III failure
+/// distributions, demonstrating robustness of the overhead reductions.
+
+#include "bench/overhead_bars.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  auto opt = bench::parse_options(argc, argv);
+  opt.system = "lanl18";
+  bench::run_overhead_bars(opt, "Fig. 6b (LANL System 18 distribution)");
+  std::cout << "\n";
+  opt.system = "lanl8";
+  bench::run_overhead_bars(opt, "Observation 7 (LANL System 8 distribution)");
+  return 0;
+}

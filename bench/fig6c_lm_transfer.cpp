@@ -1,0 +1,61 @@
+/// Fig. 6c — impact of the LM transfer size on the LM-vs-p-ckpt
+/// comparison: models B, P1 and M2-alpha (alpha = LM transfer volume as a
+/// multiple of the checkpoint size) for CHIMERA, XGC and POP.
+/// Observation 8: the larger the checkpoint, the larger p-ckpt's edge; P1
+/// beats M2 on CHIMERA until alpha ~ 1 and on XGC until alpha ~ 2.5.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  const bench::World world(opt.system);
+  const std::vector<const char*> apps = {"CHIMERA", "XGC", "POP"};
+  const std::vector<double> alphas = {1.0, 1.5, 2.0, 2.5, 3.0, 4.0};
+
+  std::cout << "Fig. 6c — LM transfer-size sensitivity (M2-alpha vs P1); "
+            << opt.runs << " paired runs, failure distribution: "
+            << world.system->name << "\n\n";
+
+  analysis::Table t({"application", "model", "ckpt%", "recomp%", "recov%",
+                     "total%", "total(h)", "FT"});
+  for (const char* app_name : apps) {
+    const auto& app = workload::workload_by_name(app_name);
+    const auto setup = world.setup(app);
+    const auto base = core::run_campaign(setup, bench::model(core::ModelKind::kB),
+                                         opt.runs, opt.seed);
+    const double b = base.total_overhead_s.mean();
+    auto emit = [&](const std::string& label, const core::CampaignResult& r) {
+      t.add_row();
+      t.cell(app.name)
+          .cell(label)
+          .cell_percent(100.0 * r.checkpoint_s.mean() / b, 1)
+          .cell_percent(100.0 * r.recomputation_s.mean() / b, 1)
+          .cell_percent(100.0 * r.recovery_s.mean() / b, 1)
+          .cell_percent(100.0 * r.total_overhead_s.mean() / b, 1)
+          .cell(r.total_overhead_h(), 2)
+          .cell(r.pooled_ft_ratio(), 3);
+    };
+    emit("B", base);
+    emit("P1", core::run_campaign(setup, bench::model(core::ModelKind::kP1),
+                                  opt.runs, opt.seed));
+    for (double alpha : alphas) {
+      auto cfg = bench::model(core::ModelKind::kM2);
+      cfg.lm_transfer_factor = alpha;
+      std::string label = "M2-" + std::to_string(alpha);
+      label.resize(label.find('.') + 2);  // one decimal
+      emit(label, core::run_campaign(setup, cfg, opt.runs, opt.seed));
+    }
+  }
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  return 0;
+}

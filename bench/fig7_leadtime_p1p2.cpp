@@ -1,0 +1,13 @@
+/// Fig. 7 — impact of lead-time variability on the contributed models:
+/// P1 (p-ckpt) and P2 (hybrid p-ckpt), for CHIMERA, XGC and POP, relative
+/// to the base model B.
+
+#include "bench/leadtime_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::run_leadtime_sweep(
+      opt, {core::ModelKind::kP1, core::ModelKind::kP2}, "Fig. 7");
+  return 0;
+}

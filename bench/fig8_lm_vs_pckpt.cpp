@@ -1,0 +1,47 @@
+/// Fig. 8 — which proactive mechanism dominates inside the hybrid model:
+/// difference between LM-mitigated and p-ckpt-mitigated failure fractions
+/// in model P2 over lead-time variation in (-90%, +90%), for all six
+/// applications. Positive = LM dominates; negative = p-ckpt dominates.
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  const bench::World world(opt.system);
+  const std::vector<double> deltas = {-0.90, -0.75, -0.60, -0.45, -0.30,
+                                      -0.15, 0.0,   0.15,  0.30,  0.45,
+                                      0.60,  0.75,  0.90};
+
+  std::cout << "Fig. 8 — (FT_LM - FT_pckpt) x 100 within model P2 over "
+               "lead-time variation; "
+            << opt.runs << " paired runs, failure distribution: "
+            << world.system->name << "\n"
+            << "(positive: LM dominates; negative: p-ckpt dominates)\n\n";
+
+  std::vector<std::string> headers = {"leadΔ"};
+  for (const auto& app : workload::summit_workloads()) {
+    headers.push_back(app.name);
+  }
+  analysis::Table t(headers);
+  for (double d : deltas) {
+    t.add_row();
+    t.cell_percent(d * 100.0, 0);
+    for (const auto& app : workload::summit_workloads()) {
+      const auto r = core::run_campaign(
+          world.setup(app), bench::model(core::ModelKind::kP2, 1.0 + d),
+          opt.runs, opt.seed);
+      t.cell(100.0 * r.lm_minus_pckpt_ft(), 1);
+    }
+  }
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file ftratio_tables.hpp
+/// Shared implementation of the FT-ratio tables (Tables II and IV):
+/// fraction of failures successfully mitigated, per model, under lead-time
+/// changes of {+50, +10, 0, -10, -50}%.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+
+namespace pckpt::bench {
+
+inline void run_ftratio_table(const Options& opt,
+                              const std::vector<core::ModelKind>& kinds,
+                              const char* table_name) {
+  const World world(opt.system);
+  const std::vector<const char*> apps = {"CHIMERA", "XGC", "POP"};
+  const std::vector<double> deltas = {0.50, 0.10, 0.0, -0.10, -0.50};
+
+  std::cout << table_name << " — FT ratio (mitigated / total failures); "
+            << opt.runs << " paired runs per cell, failure distribution: "
+            << world.system->name << "\n\n";
+
+  std::vector<std::string> headers = {"leadΔ"};
+  for (const char* a : apps) {
+    for (auto k : kinds) {
+      headers.push_back(std::string(a) + " " +
+                        std::string(core::to_string(k)));
+    }
+  }
+  analysis::Table t(headers);
+  for (double d : deltas) {
+    t.add_row();
+    t.cell_percent(d * 100.0, 0);
+    for (const char* app_name : apps) {
+      const auto& app = workload::workload_by_name(app_name);
+      for (auto k : kinds) {
+        const auto r = core::run_campaign(world.setup(app), model(k, 1.0 + d),
+                                          opt.runs, opt.seed);
+        t.cell(r.pooled_ft_ratio(), 3);
+      }
+    }
+  }
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+}
+
+}  // namespace pckpt::bench

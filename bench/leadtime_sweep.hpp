@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file leadtime_sweep.hpp
+/// Shared implementation of the lead-time-variability experiments
+/// (Figs. 4 and 7): per-category overhead reduction relative to model B as
+/// the prediction lead times are scaled.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+
+namespace pckpt::bench {
+
+inline void run_leadtime_sweep(const Options& opt,
+                               const std::vector<core::ModelKind>& kinds,
+                               const char* figure_name) {
+  const World world(opt.system);
+  const std::vector<const char*> apps = {"CHIMERA", "XGC", "POP"};
+  const std::vector<double> deltas = {-0.50, -0.40, -0.30, -0.20, -0.10,
+                                      0.0,   0.10,  0.20,  0.30,  0.40,
+                                      0.50};
+
+  std::cout << figure_name
+            << " — overhead reduction vs model B (%) over lead-time "
+               "variation; "
+            << opt.runs << " paired runs per point, failure distribution: "
+            << world.system->name << "\n";
+  std::cout << "(100% = overhead eliminated, 0% = unchanged, negative = "
+               "worse than B)\n\n";
+
+  for (const char* app_name : apps) {
+    const auto& app = workload::workload_by_name(app_name);
+    const auto setup = world.setup(app);
+
+    // Model B is insensitive to lead scaling: compute it once.
+    const auto base =
+        core::run_campaign(setup, model(core::ModelKind::kB), opt.runs,
+                           opt.seed);
+
+    std::vector<std::string> headers = {"leadΔ"};
+    for (auto k : kinds) {
+      const std::string n(core::to_string(k));
+      headers.push_back(n + " ckpt");
+      headers.push_back(n + " recomp");
+      headers.push_back(n + " recov");
+      headers.push_back(n + " total");
+      headers.push_back(n + " FT");
+    }
+    analysis::Table t(headers);
+
+    for (double d : deltas) {
+      t.add_row();
+      t.cell_percent(d * 100.0, 0);
+      for (auto k : kinds) {
+        const auto r = core::run_campaign(setup, model(k, 1.0 + d),
+                                          opt.runs, opt.seed);
+        t.cell_percent(core::percent_reduction(base.checkpoint_s.mean(),
+                                               r.checkpoint_s.mean()),
+                       1);
+        t.cell_percent(core::percent_reduction(base.recomputation_s.mean(),
+                                               r.recomputation_s.mean()),
+                       1);
+        t.cell_percent(core::percent_reduction(base.recovery_s.mean(),
+                                               r.recovery_s.mean()),
+                       1);
+        t.cell_percent(core::percent_reduction(base.total_overhead_s.mean(),
+                                               r.total_overhead_s.mean()),
+                       1);
+        t.cell(r.pooled_ft_ratio(), 3);
+      }
+    }
+
+    std::cout << "--- " << app.name << " (" << app.nodes << " nodes, base "
+              << "overhead " << analysis::hours(base.total_overhead_s.mean())
+              << " h: ckpt " << analysis::hours(base.checkpoint_s.mean())
+              << " h, recomp "
+              << analysis::hours(base.recomputation_s.mean()) << " h, recov "
+              << analysis::hours(base.recovery_s.mean()) << " h) ---\n";
+    if (opt.csv) {
+      t.print_csv(std::cout);
+    } else {
+      t.print(std::cout);
+    }
+    std::cout << '\n';
+  }
+}
+
+}  // namespace pckpt::bench

@@ -1,0 +1,100 @@
+/// Microbenchmarks (google-benchmark): DES kernel event throughput,
+/// coroutine process switching, performance-matrix lookups, RNG sampling,
+/// and one full end-to-end simulated run per model.
+
+#include <benchmark/benchmark.h>
+
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "iomodel/summit_io.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+#include "sim/sim.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace {
+
+using namespace pckpt;
+
+void BM_EventScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Environment env;
+    for (int i = 0; i < 1024; ++i) {
+      env.timeout(static_cast<double>(i % 37));
+    }
+    env.run();
+    benchmark::DoNotOptimize(env.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventScheduling);
+
+sim::Process ping(sim::Environment& env, int hops) {
+  for (int i = 0; i < hops; ++i) co_await env.timeout(1.0);
+}
+
+void BM_ProcessSwitching(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Environment env;
+    for (int p = 0; p < 16; ++p) env.spawn(ping(env, 64));
+    env.run();
+    benchmark::DoNotOptimize(env.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 64);
+}
+BENCHMARK(BM_ProcessSwitching);
+
+void BM_PerfMatrixLookup(benchmark::State& state) {
+  const auto m = iomodel::make_summit_matrix({}, 4608.0, 17, 14);
+  double n = 1.0;
+  for (auto _ : state) {
+    n = n > 4000.0 ? 1.5 : n * 1.7;
+    benchmark::DoNotOptimize(m.bandwidth(n, 17.3));
+  }
+}
+BENCHMARK(BM_PerfMatrixLookup);
+
+void BM_WeibullSampling(benchmark::State& state) {
+  rnd::Xoshiro256 g(42);
+  const rnd::Weibull w(0.6885, 5.4527);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w(g));
+  }
+}
+BENCHMARK(BM_WeibullSampling);
+
+void BM_LeadTimeSampling(benchmark::State& state) {
+  rnd::Xoshiro256 g(42);
+  const auto leads = failure::LeadTimeModel::summit_default();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(leads.sample(g).lead_seconds);
+  }
+}
+BENCHMARK(BM_LeadTimeSampling);
+
+void BM_FullRun(benchmark::State& state) {
+  const auto machine = workload::summit();
+  const auto storage = machine.make_storage();
+  const auto leads = failure::LeadTimeModel::summit_default();
+  const auto& app = workload::workload_by_name("XGC");
+  core::RunSetup setup;
+  setup.app = &app;
+  setup.machine = &machine;
+  setup.storage = &storage;
+  setup.system = &failure::system_by_name("titan");
+  setup.leads = &leads;
+  core::CrConfig cfg;
+  cfg.kind = static_cast<core::ModelKind>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    setup.seed = ++seed;
+    benchmark::DoNotOptimize(core::simulate_run(setup, cfg).makespan_s);
+  }
+}
+BENCHMARK(BM_FullRun)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

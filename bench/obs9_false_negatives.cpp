@@ -1,0 +1,59 @@
+/// Observation 9 — impact of the predictor's false-negative rate: with the
+/// false-positive rate fixed at 18%, the FN rate is swept up to 40%.
+/// LM-assisted models (M2/P2) lose recomputation reductions faster than
+/// the checkpoint-based models (M1/P1) because Eq. 2 overestimates the
+/// avoidable failure fraction.
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  const bench::World world(opt.system);
+  const std::vector<double> fn_rates = {0.12, 0.20, 0.30, 0.40};
+  const std::vector<const char*> apps = {"CHIMERA", "XGC", "POP"};
+
+  std::cout << "Observation 9 — false-negative sweep (FP fixed at 18%); "
+            << opt.runs << " paired runs, failure distribution: "
+            << world.system->name << "\n"
+            << "cells: recomputation-overhead reduction vs model B (%) and "
+               "[FT ratio]\n\n";
+
+  for (const char* app_name : apps) {
+    const auto& app = workload::workload_by_name(app_name);
+    const auto setup = world.setup(app);
+    const auto base = core::run_campaign(
+        setup, bench::model(core::ModelKind::kB), opt.runs, opt.seed);
+
+    analysis::Table t({"FN rate", "M1 recompΔ", "M1 FT", "M2 recompΔ",
+                       "M2 FT", "P1 recompΔ", "P1 FT", "P2 recompΔ",
+                       "P2 FT"});
+    for (double fn : fn_rates) {
+      t.add_row();
+      t.cell_percent(fn * 100.0, 0);
+      for (auto kind : {core::ModelKind::kM1, core::ModelKind::kM2,
+                        core::ModelKind::kP1, core::ModelKind::kP2}) {
+        auto cfg = bench::model(kind);
+        cfg.predictor.recall = 1.0 - fn;
+        const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+        t.cell_percent(
+            core::percent_reduction(base.recomputation_s.mean(),
+                                    r.recomputation_s.mean()),
+            1);
+        t.cell(r.pooled_ft_ratio(), 3);
+      }
+    }
+    std::cout << "--- " << app.name << " ---\n";
+    if (opt.csv) {
+      t.print_csv(std::cout);
+    } else {
+      t.print(std::cout);
+    }
+    std::cout << '\n';
+  }
+  return 0;
+}

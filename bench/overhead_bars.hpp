@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file overhead_bars.hpp
+/// Shared implementation of the Fig. 6a/6b overhead-breakdown bars: for
+/// every application, every model's overhead split (checkpoint /
+/// recomputation / recovery / migration) as a percentage of model B's
+/// total, with absolute hours annotated — exactly the information in the
+/// paper's stacked bars.
+
+#include <iostream>
+#include <string>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+
+namespace pckpt::bench {
+
+inline void run_overhead_bars(const Options& opt, const char* figure_name) {
+  const World world(opt.system);
+
+  std::cout << figure_name
+            << " — fault-tolerance overhead normalized to model B; "
+            << opt.runs << " paired runs, failure distribution: "
+            << world.system->name << "\n\n";
+
+  analysis::Table t({"application", "model", "ckpt%", "recomp%", "recov%",
+                     "migr%", "total%", "total(h)", "FT", "fails/run"});
+  analysis::Table summary({"application", "P1 reduction", "P2 reduction",
+                           "M2 reduction", "M1 reduction"});
+
+  for (const auto& app : workload::summit_workloads()) {
+    const auto res = core::run_model_comparison(world.setup(app),
+                                                five_models(), opt.runs,
+                                                opt.seed);
+    const double base = res[0].total_overhead_s.mean();
+    for (const auto& r : res) {
+      t.add_row();
+      t.cell(app.name)
+          .cell(std::string(core::to_string(r.kind)))
+          .cell_percent(100.0 * r.checkpoint_s.mean() / base, 1)
+          .cell_percent(100.0 * r.recomputation_s.mean() / base, 1)
+          .cell_percent(100.0 * r.recovery_s.mean() / base, 1)
+          .cell_percent(100.0 * r.migration_s.mean() / base, 1)
+          .cell_percent(100.0 * r.total_overhead_s.mean() / base, 1)
+          .cell(r.total_overhead_h(), 2)
+          .cell(r.pooled_ft_ratio(), 3)
+          .cell(r.failures, 2);
+    }
+    summary.add_row();
+    summary.cell(app.name);
+    for (std::size_t idx : {3u, 4u, 2u, 1u}) {  // P1, P2, M2, M1
+      summary.cell_percent(
+          core::percent_reduction(base, res[idx].total_overhead_s.mean()),
+          1);
+    }
+  }
+
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+  std::cout << "\nObservation-2-style summary (total-overhead reduction vs "
+               "B):\n";
+  if (opt.csv) {
+    summary.print_csv(std::cout);
+  } else {
+    summary.print(std::cout);
+  }
+}
+
+}  // namespace pckpt::bench

@@ -1,0 +1,95 @@
+/// Sec. VI microcosts — node-granularity simulation of single p-ckpt
+/// rounds: (a) coordination (broadcast/barrier) share vs I/O across node
+/// counts, validating the paper's "~8 us barrier at 2048 nodes is
+/// negligible" claim; (b) the priority-queue ablation: earliest-deadline
+/// ordering vs FIFO/LIFO under bursts of concurrent predictions.
+
+#include <iostream>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+#include "core/protocol/coordinator.hpp"
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace proto = pckpt::core::protocol;
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+
+  std::cout << "Sec. VI — p-ckpt protocol round microcosts (CHIMERA-sized "
+               "per-node state: 284.5 GB)\n\n";
+
+  // (a) Coordination share vs node count.
+  analysis::Table t({"nodes", "round(s)", "phase1(s)", "phase2(s)",
+                     "coordination(us)", "coord share"});
+  for (int nodes : {64, 256, 1024, 2048, 4096}) {
+    proto::ProtocolConfig cfg;
+    cfg.nodes = nodes;
+    cfg.per_node_gb = 284.5;
+    const auto r = proto::simulate_round(cfg, {{0, 0.0, 60.0}});
+    t.add_row();
+    t.cell(nodes)
+        .cell(r.total_s, 2)
+        .cell(r.phase1_s, 2)
+        .cell(r.phase2_s, 2)
+        .cell(r.coordination_s * 1e6, 2)
+        .cell(r.coordination_s / r.total_s, 9);
+  }
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  // (b) Priority-policy ablation: bursts of k concurrent predictions with
+  // leads drawn from the mixture; how many nodes commit before their
+  // deadline under each queue policy?
+  std::cout << "\nPriority-queue ablation — mitigated fraction across "
+            << opt.runs << " bursts of k concurrent predictions:\n";
+  const auto leads = failure::LeadTimeModel::summit_default();
+  analysis::Table ab({"burst k", "lead-time (EDF)", "FIFO", "LIFO"});
+  for (int k : {2, 3, 5, 8}) {
+    double mitigated[3] = {0, 0, 0};
+    double total = 0;
+    rnd::Xoshiro256 rng(opt.seed);
+    for (std::size_t run = 0; run < opt.runs; ++run) {
+      std::vector<proto::VulnerableSpec> specs;
+      for (int i = 0; i < k; ++i) {
+        // Arrivals spread over a few seconds, leads from the model; scale
+        // leads up so multi-node bursts are partially servable at all.
+        specs.push_back(
+            {i, rng.uniform01() * 3.0,
+             leads.sample(rng).lead_seconds * (1.0 + 0.4 * k)});
+      }
+      total += k;
+      const proto::QueuePolicy policies[3] = {proto::QueuePolicy::kLeadTime,
+                                              proto::QueuePolicy::kFifo,
+                                              proto::QueuePolicy::kLifo};
+      for (int p = 0; p < 3; ++p) {
+        proto::ProtocolConfig cfg;
+        cfg.nodes = 128;
+        cfg.per_node_gb = 284.5;
+        cfg.policy = policies[p];
+        mitigated[p] += static_cast<double>(
+            proto::simulate_round(cfg, specs).mitigated);
+      }
+    }
+    ab.add_row();
+    ab.cell(k)
+        .cell(mitigated[0] / total, 3)
+        .cell(mitigated[1] / total, 3)
+        .cell(mitigated[2] / total, 3);
+  }
+  if (opt.csv) {
+    ab.print_csv(std::cout);
+  } else {
+    ab.print(std::cout);
+  }
+  std::cout << "\n(EDF = the paper's lead-time priority; its margin over "
+               "FIFO/LIFO is the value of prioritization under bursty "
+               "predictions.)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// Table I — HPC workload characteristics, plus the derived per-model
+/// quantities the simulation uses (BB checkpoint time, LM latency theta,
+/// p-ckpt phase-1 write, full safeguard write, job MTBF).
+
+#include <iostream>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  const bench::World world(opt.system);
+
+  std::cout << "Table I — workload characteristics on Summit (and derived "
+               "quantities; failure distribution: "
+            << world.system->name << ")\n\n";
+
+  analysis::Table t({"application", "nodes", "ckpt(GB)", "compute(h)",
+                     "GB/node", "t_bb(s)", "theta_LM(s)", "pckpt ph1(s)",
+                     "safeguard(s)", "job MTBF(h)"});
+  for (const auto& app : workload::summit_workloads()) {
+    t.add_row();
+    t.cell(app.name)
+        .cell(app.nodes)
+        .cell(app.ckpt_total_gb, 1)
+        .cell(app.compute_hours, 0)
+        .cell(app.ckpt_per_node_gb(), 2)
+        .cell(world.storage.bb_write_seconds(app.ckpt_per_node_gb()), 1)
+        .cell(core::lm_theta_seconds(app, world.machine, world.storage, 3.0),
+              2)
+        .cell(world.storage.pfs_single_node_seconds(app.ckpt_per_node_gb()),
+              2)
+        .cell(world.storage.pfs_aggregate_seconds(app.nodes,
+                                                  app.ckpt_per_node_gb()),
+              1)
+        .cell(world.system->job_mtbf_hours(app.nodes), 1);
+  }
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  std::cout << "\nEq. 3 example: VULCAN's 0.75 GB checkpoint on a "
+               "1024-node/16GB-DRAM machine scales to "
+            << workload::scale_checkpoint_gb(0.75, 1024, 16.0, 64, 512.0)
+            << " GB on 64 Summit nodes.\n";
+  return 0;
+}

@@ -1,0 +1,12 @@
+/// Table II — FT ratio for CHIMERA / XGC / POP under models M1 and M2
+/// across lead-time changes.
+
+#include "bench/ftratio_tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::run_ftratio_table(
+      opt, {core::ModelKind::kM1, core::ModelKind::kM2}, "Table II");
+  return 0;
+}

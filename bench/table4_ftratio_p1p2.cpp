@@ -1,0 +1,12 @@
+/// Table IV — FT ratio for CHIMERA / XGC / POP under models P1 and P2
+/// across lead-time changes.
+
+#include "bench/ftratio_tables.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::run_ftratio_table(
+      opt, {core::ModelKind::kP1, core::ModelKind::kP2}, "Table IV");
+  return 0;
+}

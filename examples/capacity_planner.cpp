@@ -1,0 +1,108 @@
+/// Capacity planner: the paper's Recommendation (Observations 4 and 6) as
+/// a tool. Given an application (nodes, checkpoint size, runtime) and a
+/// failure environment, it reports the decision inputs (LM latency theta,
+/// p-ckpt phase-1 latency, LM-eligible fraction sigma, the Eq. 8 alpha
+/// threshold) and recommends a C/R model, then validates the
+/// recommendation with a short paired simulation campaign.
+///
+/// Usage: capacity_planner [nodes] [ckpt_total_gb] [compute_hours] [system]
+///   defaults: 1515 149625 240 titan   (i.e., XGC)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "analysis/analytic_model.hpp"
+#include "core/campaign.hpp"
+#include "core/oci.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+
+  workload::Application app;
+  app.name = "custom";
+  app.nodes = argc > 1 ? std::atoi(argv[1]) : 1515;
+  app.ckpt_total_gb = argc > 2 ? std::atof(argv[2]) : 149625.0;
+  app.compute_hours = argc > 3 ? std::atof(argv[3]) : 240.0;
+  const std::string system_name = argc > 4 ? argv[4] : "titan";
+  app.validate();
+
+  const auto machine = workload::summit();
+  const auto storage = machine.make_storage();
+  const auto& system = failure::system_by_name(system_name);
+  const auto leads = failure::LeadTimeModel::summit_default();
+  failure::PredictorConfig pred;
+
+  const double theta = core::lm_theta_seconds(app, machine, storage, 3.0);
+  const double phase1 =
+      storage.pfs_single_node_seconds(app.ckpt_per_node_gb());
+  const double safeguard =
+      storage.pfs_aggregate_seconds(app.nodes, app.ckpt_per_node_gb());
+  const double sigma = core::estimate_sigma(leads, pred, theta, 1.0);
+  const double beta =
+      pred.recall * leads.ccdf(phase1 / pred.lead_scale);
+  const double mtbf_h = system.job_mtbf_hours(app.nodes);
+  const double t_bb = storage.bb_write_seconds(app.ckpt_per_node_gb());
+  const double oci1 =
+      core::young_oci_seconds(t_bb, system.job_rate_per_second(app.nodes));
+
+  std::printf("capacity planner — %d nodes, %.1f GB/node checkpoints, "
+              "%.0f h compute, %s failure distribution\n\n",
+              app.nodes, app.ckpt_per_node_gb(), app.compute_hours,
+              system.name.c_str());
+  std::printf("decision inputs:\n");
+  std::printf("  job MTBF                         %10.1f h\n", mtbf_h);
+  std::printf("  expected failures per run        %10.1f\n",
+              app.compute_hours / mtbf_h);
+  std::printf("  BB checkpoint time               %10.2f s\n", t_bb);
+  std::printf("  Young OCI (Eq. 1)                %10.2f h\n", oci1 / 3600.0);
+  std::printf("  LM latency theta (3x, RAM-capped)%10.2f s\n", theta);
+  std::printf("  p-ckpt phase-1 write             %10.2f s\n", phase1);
+  std::printf("  full safeguard write             %10.2f s\n", safeguard);
+  std::printf("  P(lead > theta)  [LM eligible]   %10.3f\n",
+              leads.ccdf(theta));
+  std::printf("  P(lead > phase1) [p-ckpt eligible]%9.3f\n",
+              leads.ccdf(phase1));
+  std::printf("  sigma (Eq. 2)                    %10.3f\n", sigma);
+  std::printf("  beta  (p-ckpt-mitigable)         %10.3f\n", beta);
+  if (sigma < analysis::sigma_upper_bound()) {
+    std::printf("  Eq. 8 alpha threshold            %10.3f (actual alpha 3.0)\n",
+                analysis::alpha_threshold_paper(sigma));
+  }
+
+  // Paper recommendation: short-runtime large apps on failure-prone
+  // systems -> P1; long-running apps -> P2.
+  const bool failure_prone = app.compute_hours / mtbf_h > 4.0;
+  const bool long_running = app.compute_hours >= 240.0;
+  const char* recommended =
+      (!long_running && failure_prone && beta > sigma + 0.1) ? "P1" : "P2";
+  std::printf("\nrecommendation (per the paper's Observations 4 & 6): %s\n\n",
+              recommended);
+
+  // Validate with a short campaign.
+  core::RunSetup setup;
+  setup.app = &app;
+  setup.machine = &machine;
+  setup.storage = &storage;
+  setup.system = &system;
+  setup.leads = &leads;
+  std::vector<core::CrConfig> cfgs(3);
+  cfgs[0].kind = core::ModelKind::kB;
+  cfgs[1].kind = core::ModelKind::kP1;
+  cfgs[2].kind = core::ModelKind::kP2;
+  const auto res = core::run_model_comparison(setup, cfgs, 60, 99);
+  const double base = res[0].total_overhead_s.mean();
+  std::printf("validation (60 paired runs):\n");
+  for (const auto& r : res) {
+    std::printf("  %-2s total overhead %8.2f h (%5.1f%% of B), FT %.3f\n",
+                std::string(core::to_string(r.kind)).c_str(),
+                r.total_overhead_h(), 100.0 * r.total_overhead_s.mean() / base,
+                r.pooled_ft_ratio());
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+/// Lead-time sensitivity study for one application: how prediction lead
+/// time scaling moves the FT ratio and the overhead split for a chosen
+/// model — a self-serve version of the paper's Figs. 4/7 for any workload.
+///
+/// Usage: leadtime_study [app] [model] [runs]
+///   defaults: CHIMERA P2 100
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  const std::string app_name = argc > 1 ? argv[1] : "CHIMERA";
+  const auto kind = core::model_from_string(argc > 2 ? argv[2] : "P2");
+  const std::size_t runs = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 100;
+
+  const auto& app = workload::workload_by_name(app_name);
+  const auto machine = workload::summit();
+  const auto storage = machine.make_storage();
+  const auto& system = failure::system_by_name("titan");
+  const auto leads = failure::LeadTimeModel::summit_default();
+
+  core::RunSetup setup;
+  setup.app = &app;
+  setup.machine = &machine;
+  setup.storage = &storage;
+  setup.system = &system;
+  setup.leads = &leads;
+
+  core::CrConfig base_cfg;
+  base_cfg.kind = core::ModelKind::kB;
+  const auto base = core::run_campaign(setup, base_cfg, runs, 4242);
+
+  std::printf("leadtime_study: %s under %s, %zu paired runs; base overhead "
+              "%.2f h\n\n",
+              app.name.c_str(), std::string(core::to_string(kind)).c_str(),
+              runs, base.total_overhead_h());
+  std::printf("%7s %9s %9s %9s %9s %9s %7s\n", "leadΔ", "ckpt(h)",
+              "recomp(h)", "recov(h)", "total(h)", "%ofB", "FT");
+  for (double d = -0.9; d <= 0.91; d += 0.15) {
+    core::CrConfig cfg;
+    cfg.kind = kind;
+    cfg.predictor.lead_scale = 1.0 + d;
+    const auto r = core::run_campaign(setup, cfg, runs, 4242);
+    std::printf("%+6.0f%% %9.3f %9.3f %9.3f %9.3f %8.1f%% %7.3f\n", d * 100.0,
+                r.checkpoint_h(), r.recomputation_h(), r.recovery_h(),
+                r.total_overhead_h(),
+                100.0 * r.total_overhead_s.mean() /
+                    base.total_overhead_s.mean(),
+                r.pooled_ft_ratio());
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Quickstart: simulate one Summit application under all five C/R models
+/// and print the paper-style overhead comparison.
+///
+/// Usage: quickstart [app] [runs] [seed]
+///   app   one of CHIMERA, XGC, S3D, GYRO, POP, VULCAN (default POP)
+///   runs  number of paired simulation runs (default 50)
+///   seed  base RNG seed (default 2022)
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+
+  const std::string app_name = argc > 1 ? argv[1] : "POP";
+  const std::size_t runs = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 50;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2022;
+
+  const auto& app = workload::workload_by_name(app_name);
+  const auto machine = workload::summit();
+  const auto storage = machine.make_storage();
+  const auto& system = failure::system_by_name("titan");
+  const auto leads = failure::LeadTimeModel::summit_default();
+
+  core::RunSetup setup;
+  setup.app = &app;
+  setup.machine = &machine;
+  setup.storage = &storage;
+  setup.system = &system;
+  setup.leads = &leads;
+
+  std::vector<core::CrConfig> configs(5);
+  configs[0].kind = core::ModelKind::kB;
+  configs[1].kind = core::ModelKind::kM1;
+  configs[2].kind = core::ModelKind::kM2;
+  configs[3].kind = core::ModelKind::kP1;
+  configs[4].kind = core::ModelKind::kP2;
+
+  std::printf("quickstart: %s on %d nodes, %.0f h compute, %.1f GB/node "
+              "checkpoints, %zu paired runs\n",
+              app.name.c_str(), app.nodes, app.compute_hours,
+              app.ckpt_per_node_gb(), runs);
+  std::printf("LM theta = %.1f s, job MTBF = %.1f h\n\n",
+              core::lm_theta_seconds(app, machine, storage, 3.0),
+              system.job_mtbf_hours(app.nodes));
+
+  const auto results = core::run_model_comparison(setup, configs, runs, seed);
+  const double base = results[0].total_overhead_s.mean();
+
+  std::printf("%-5s %10s %10s %10s %10s %10s %8s %8s %7s\n", "model",
+              "ckpt(h)", "recomp(h)", "recov(h)", "migr(h)", "total(h)",
+              "%ofB", "FTratio", "fails");
+  for (const auto& r : results) {
+    std::printf("%-5s %10.3f %10.3f %10.3f %10.3f %10.3f %7.1f%% %8.3f %7.2f\n",
+                std::string(core::to_string(r.kind)).c_str(),
+                r.checkpoint_h(), r.recomputation_h(), r.recovery_h(),
+                r.migration_h(), r.total_overhead_h(),
+                100.0 * r.total_overhead_s.mean() / base, r.pooled_ft_ratio(),
+                r.failures);
+  }
+  return 0;
+}

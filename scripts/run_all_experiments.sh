@@ -1,0 +1,31 @@
+#!/usr/bin/env sh
+# Regenerate every paper table/figure (plus the ablations and extension
+# experiments) into experiment_results/. Usage:
+#   scripts/run_all_experiments.sh [build-dir] [--runs=N]
+set -eu
+
+BUILD_DIR="${1:-build}"
+RUNS_ARG="${2:---runs=400}"
+OUT_DIR="experiment_results"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: '$BUILD_DIR/bench' not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+for bin in "$BUILD_DIR"/bench/*; do
+  [ -x "$bin" ] || continue
+  name=$(basename "$bin")
+  echo "== $name"
+  case "$name" in
+    micro_des)
+      "$bin" --benchmark_min_time=0.1s > "$OUT_DIR/$name.txt" 2>&1 ;;
+    fig2*|table1*|eq8*|desh*|protocol*)
+      "$bin" > "$OUT_DIR/$name.txt" 2>&1 ;;   # deterministic / cheap
+    *)
+      "$bin" "$RUNS_ARG" > "$OUT_DIR/$name.txt" 2>&1 ;;
+  esac
+done
+echo "results written to $OUT_DIR/"

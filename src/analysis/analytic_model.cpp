@@ -1,0 +1,67 @@
+#include "analysis/analytic_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pckpt::analysis {
+
+namespace {
+void check_sigma(double sigma) {
+  if (!(sigma >= 0.0 && sigma < 1.0)) {
+    throw std::invalid_argument("analytic_model: sigma must be in [0,1)");
+  }
+}
+void check_alpha(double alpha) {
+  if (!(alpha >= 1.0)) {
+    throw std::invalid_argument("analytic_model: alpha must be >= 1");
+  }
+}
+}  // namespace
+
+double lm_checkpoint_reduction_fraction(double sigma) {
+  check_sigma(sigma);
+  return 1.0 - std::sqrt(1.0 - sigma);
+}
+
+double beta_fraction(double alpha, double sigma) {
+  check_alpha(alpha);
+  check_sigma(sigma);
+  return (alpha - 1.0 + sigma) / alpha;
+}
+
+double sigma_upper_bound() {
+  // sigma + (1 - sqrt(1-sigma)) < 1  =>  sigma < sqrt(1-sigma)
+  // =>  sigma^2 + sigma - 1 < 0  =>  sigma < (sqrt(5)-1)/2.
+  return (std::sqrt(5.0) - 1.0) / 2.0;
+}
+
+double alpha_threshold_paper(double sigma) {
+  check_sigma(sigma);
+  return (sigma + 1.0) / (sigma + std::sqrt(1.0 - sigma));
+}
+
+double alpha_threshold_derived(double sigma) {
+  check_sigma(sigma);
+  const double root = std::sqrt(1.0 - sigma);
+  if (root <= sigma) {
+    throw std::invalid_argument(
+        "alpha_threshold_derived: sigma beyond the feasibility bound");
+  }
+  return (1.0 - sigma) / (root - sigma);
+}
+
+bool pckpt_beats_lm(double alpha, double sigma, double recomp_over_ckpt) {
+  check_alpha(alpha);
+  check_sigma(sigma);
+  if (!(recomp_over_ckpt > 0.0)) {
+    throw std::invalid_argument(
+        "pckpt_beats_lm: recomp/ckpt ratio must be > 0");
+  }
+  // Eq. 7: ckpt_red_LM / (beta - sigma) < recomp_B / ckpt_B.
+  const double gain_gap = beta_fraction(alpha, sigma) - sigma;
+  if (gain_gap <= 0.0) return false;  // p-ckpt mitigates no more than LM
+  return lm_checkpoint_reduction_fraction(sigma) / gain_gap <
+         recomp_over_ckpt;
+}
+
+}  // namespace pckpt::analysis

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file analytic_model.hpp
+/// The closed-form LM-vs-p-ckpt comparison of the paper's Observation 8
+/// (Eqs. 4-8): when does prioritized checkpointing beat live migration?
+///
+/// Symbols: sigma = fraction of failures LM can avoid (predicted with lead
+/// > migration latency); alpha = LM transfer volume over checkpoint volume;
+/// beta = fraction of failures p-ckpt can mitigate.
+
+namespace pckpt::analysis {
+
+/// Eq. 5 factor: fractional checkpoint-overhead reduction LM's elongated
+/// interval buys — 1 - sqrt(1 - sigma).
+double lm_checkpoint_reduction_fraction(double sigma);
+
+/// Eq. 6 (with the denominator alpha; the paper's print shows "/2", which
+/// is inconsistent with Eq. 7 — see tests): under a uniform lead-time
+/// distribution and equal network/PFS bandwidth,
+///   beta = (alpha - 1 + sigma) / alpha.
+double beta_fraction(double alpha, double sigma);
+
+/// Upper bound on sigma from the constraint that LM's combined reductions
+/// cannot exceed the base recomputation overhead (paper: sigma < 0.61;
+/// exactly (sqrt(5)-1)/2).
+double sigma_upper_bound();
+
+/// Eq. 8 as printed in the paper: p-ckpt beats LM when
+///   alpha > (sigma + 1) / (sigma + sqrt(1 - sigma)).
+double alpha_threshold_paper(double sigma);
+
+/// The same threshold re-derived from Eqs. 4-7 with beta from Eq. 6:
+///   alpha > (1 - sigma) / (sqrt(1 - sigma) - sigma).
+/// Kept alongside the paper's closed form; both are monotone increasing on
+/// [0, sigma_upper_bound()) and agree at sigma = 0.
+double alpha_threshold_derived(double sigma);
+
+/// Eq. 4/7 predicate with explicit overhead split: does p-ckpt win?
+/// \param recomp_over_ckpt ratio recomp_B / ckpt_B (1.0 = the even split
+///        assumed for Eq. 8).
+bool pckpt_beats_lm(double alpha, double sigma, double recomp_over_ckpt = 1.0);
+
+}  // namespace pckpt::analysis

@@ -1,0 +1,108 @@
+#include "analysis/tables.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pckpt::analysis {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: need at least one column");
+  }
+}
+
+std::size_t Table::add_row() {
+  cells_.emplace_back();
+  return cells_.size() - 1;
+}
+
+Table& Table::cell(std::string value) {
+  if (cells_.empty()) {
+    throw std::logic_error("Table::cell: call add_row() first");
+  }
+  if (cells_.back().size() >= headers_.size()) {
+    throw std::logic_error("Table::cell: row already full");
+  }
+  cells_.back().push_back(std::move(value));
+  return *this;
+}
+
+Table& Table::cell(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return cell(os.str());
+}
+
+Table& Table::cell_percent(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value << "%";
+  return cell(os.str());
+}
+
+Table& Table::cell(int value) { return cell(std::to_string(value)); }
+
+const std::string& Table::at(std::size_t row, std::size_t col) const {
+  return cells_.at(row).at(col);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : cells_) {
+      if (c < row.size()) widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(widths[c])) << v;
+      } else {
+        os << "  " << std::right << std::setw(static_cast<int>(widths[c]))
+           << v;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = headers_.size() > 0 ? 2 * (headers_.size() - 1) : 0;
+  for (auto w : widths) total += w;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit(row);
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      if (c > 0) os << ',';
+      const std::string& v = c < row.size() ? row[c] : std::string();
+      if (v.find(',') != std::string::npos) {
+        os << '"' << v << '"';
+      } else {
+        os << v;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : cells_) emit(row);
+}
+
+std::string hours(double seconds, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << seconds / 3600.0;
+  return os.str();
+}
+
+}  // namespace pckpt::analysis

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file tables.hpp
+/// Minimal ASCII/CSV table emitter used by the benchmark harness to print
+/// paper-style tables and figure series.
+
+namespace pckpt::analysis {
+
+/// Column-aligned text table. Cells are strings; numeric helpers format
+/// with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Begin a new row (returns the row index).
+  std::size_t add_row();
+
+  /// Set a cell of the last row.
+  Table& cell(std::string value);
+  Table& cell(double value, int precision = 2);
+  Table& cell_percent(double value, int precision = 1);
+  Table& cell(int value);
+
+  std::size_t rows() const noexcept { return cells_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+  const std::string& at(std::size_t row, std::size_t col) const;
+
+  /// Render with aligned columns (first column left, rest right).
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// Render as CSV (quotes cells containing commas).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format seconds as hours with given precision (paper tables report hours).
+std::string hours(double seconds, int precision = 1);
+
+}  // namespace pckpt::analysis

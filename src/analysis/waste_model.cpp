@@ -1,0 +1,56 @@
+#include "analysis/waste_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pckpt::analysis {
+
+namespace {
+
+/// Asymptotic renewal-function excess m(t) - t/mu -> (CV^2 - 1) / 2 for a
+/// renewal process observed from t = 0.
+double renewal_excess(double shape) {
+  if (shape == 1.0) return 0.0;
+  const double g1 = std::tgamma(1.0 + 1.0 / shape);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape);
+  const double cv2 = g2 / (g1 * g1) - 1.0;
+  return (cv2 - 1.0) / 2.0;
+}
+
+}  // namespace
+
+WasteBreakdown expected_waste(const WasteInputs& in) {
+  if (!(in.compute_s > 0.0) || !(in.t_ckpt_bb_s > 0.0) ||
+      !(in.oci_s > 0.0) || !(in.rate_per_s > 0.0) ||
+      !(in.recovery_s >= 0.0) || !(in.weibull_shape > 0.0)) {
+    throw std::invalid_argument("expected_waste: bad inputs");
+  }
+  WasteBreakdown out;
+  out.checkpoint_s = in.compute_s / in.oci_s * in.t_ckpt_bb_s;
+  const double excess = renewal_excess(in.weibull_shape);
+  // Failures arrive over the whole run; two fixed-point iterations let
+  // the wall-clock (which the failures themselves extend) converge.
+  double wall = in.compute_s + out.checkpoint_s;
+  for (int iter = 0; iter < 2; ++iter) {
+    out.expected_failures =
+        std::max(0.0, wall * in.rate_per_s + excess);
+    // A failure lands uniformly within a (OCI + C) cycle and rolls back
+    // to the cycle's start: expected loss (OCI + C) / 2.
+    out.recomputation_s =
+        out.expected_failures * (in.oci_s + in.t_ckpt_bb_s) / 2.0;
+    out.recovery_s = out.expected_failures * in.recovery_s;
+    wall = in.compute_s + out.checkpoint_s + out.recomputation_s +
+           out.recovery_s;
+  }
+  out.total_s = out.checkpoint_s + out.recomputation_s + out.recovery_s;
+  return out;
+}
+
+double total_waste_at(const WasteInputs& in, double oci_s) {
+  WasteInputs probe = in;
+  probe.oci_s = oci_s;
+  return expected_waste(probe).total_s;
+}
+
+}  // namespace pckpt::analysis

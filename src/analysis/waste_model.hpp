@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file waste_model.hpp
+/// First-order closed-form expectation of model B's fault-tolerance
+/// overhead (Young/Daly-style waste accounting). Used to validate the
+/// discrete-event simulator end-to-end: on the base model the simulated
+/// overhead must track this expectation within first-order error.
+
+namespace pckpt::analysis {
+
+struct WasteInputs {
+  double compute_s = 0;     ///< useful work (T)
+  double t_ckpt_bb_s = 0;   ///< blocking BB checkpoint cost (C)
+  double oci_s = 0;         ///< checkpoint interval actually used
+  double rate_per_s = 0;    ///< long-run job failure rate (lambda * c)
+  double recovery_s = 0;    ///< per-failure recovery cost (restore+restart)
+  /// Weibull shape of the inter-arrival process. For shape != 1 the
+  /// finite-horizon renewal count differs from t * rate by the classic
+  /// excess (CV^2 - 1) / 2 (positive for the DFR shapes of Table III,
+  /// whose early failures cluster). 1 = Poisson, no correction.
+  double weibull_shape = 1.0;
+};
+
+struct WasteBreakdown {
+  double checkpoint_s = 0;     ///< (T / OCI) * C
+  double expected_failures = 0;
+  double recomputation_s = 0;  ///< failures * (OCI/2 + C/2) first-order
+  double recovery_s = 0;       ///< failures * recovery
+  double total_s = 0;
+};
+
+/// Expected overhead of periodic checkpointing with rate `rate_per_s`
+/// failures per second, restore from the most recent completed
+/// checkpoint. First-order in (OCI * rate); accurate for OCI << MTBF.
+/// \throws std::invalid_argument on non-positive T, C, OCI or rate.
+WasteBreakdown expected_waste(const WasteInputs& in);
+
+/// Young's optimal interval minimizes expected_waste over oci_s; helper
+/// that evaluates the waste at a given interval so tests can verify the
+/// optimum lands where Eq. 1 says.
+double total_waste_at(const WasteInputs& in, double oci_s);
+
+}  // namespace pckpt::analysis

@@ -1,0 +1,69 @@
+#include "core/campaign.hpp"
+
+#include "random/rng.hpp"
+
+namespace pckpt::core {
+
+namespace {
+
+void accumulate(CampaignResult& agg, const RunResult& r) {
+  agg.checkpoint_s.add(r.overheads.checkpoint_s);
+  agg.recomputation_s.add(r.overheads.recomputation_s);
+  agg.recovery_s.add(r.overheads.recovery_s);
+  agg.migration_s.add(r.overheads.migration_s);
+  agg.total_overhead_s.add(r.overheads.total());
+  agg.makespan_s.add(r.makespan_s);
+  agg.ft_ratio.add(r.ft_ratio());
+  agg.mean_oci_s.add(r.mean_oci_s());
+  agg.failures += r.failures;
+  agg.predicted += r.predicted;
+  agg.mitigated_ckpt += r.mitigated_ckpt;
+  agg.mitigated_lm += r.mitigated_lm;
+  agg.unhandled += r.unhandled;
+  agg.false_positives += r.false_positives;
+}
+
+void finalize(CampaignResult& agg) {
+  if (agg.runs == 0) return;
+  const auto n = static_cast<double>(agg.runs);
+  agg.failures /= n;
+  agg.predicted /= n;
+  agg.mitigated_ckpt /= n;
+  agg.mitigated_lm /= n;
+  agg.unhandled /= n;
+  agg.false_positives /= n;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
+                            std::size_t runs, std::uint64_t base_seed) {
+  CampaignResult agg;
+  agg.kind = config.kind;
+  agg.runs = runs;
+  for (std::size_t i = 0; i < runs; ++i) {
+    RunSetup setup = base;
+    setup.seed = rnd::derive_seed(base_seed, i);
+    accumulate(agg, simulate_run(setup, config));
+  }
+  finalize(agg);
+  return agg;
+}
+
+std::vector<CampaignResult> run_model_comparison(
+    const RunSetup& base, const std::vector<CrConfig>& configs,
+    std::size_t runs, std::uint64_t base_seed) {
+  std::vector<CampaignResult> out;
+  out.reserve(configs.size());
+  for (const auto& cfg : configs) {
+    out.push_back(run_campaign(base, cfg, runs, base_seed));
+  }
+  return out;
+}
+
+double percent_reduction(double base, double value) {
+  if (base <= 0.0) return 0.0;
+  return 100.0 * (1.0 - value / base);
+}
+
+}  // namespace pckpt::core

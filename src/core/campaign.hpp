@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/overheads.hpp"
+#include "core/simulation.hpp"
+#include "stats/summary.hpp"
+
+/// \file campaign.hpp
+/// Multi-run campaigns: replay the same failure traces (seeds) against one
+/// or several C/R models and aggregate the results. This is the C++
+/// equivalent of the paper's "1000 simulation runs, averaged" protocol,
+/// strengthened to a *paired* design: model comparisons share traces.
+
+namespace pckpt::core {
+
+/// Aggregated outcome of a campaign for one model.
+struct CampaignResult {
+  ModelKind kind = ModelKind::kB;
+  std::size_t runs = 0;
+
+  stats::OnlineStats checkpoint_s;
+  stats::OnlineStats recomputation_s;
+  stats::OnlineStats recovery_s;
+  stats::OnlineStats migration_s;
+  stats::OnlineStats total_overhead_s;
+  stats::OnlineStats makespan_s;
+  stats::OnlineStats ft_ratio;
+  stats::OnlineStats mean_oci_s;
+
+  double failures = 0;       ///< mean per run
+  double predicted = 0;
+  double mitigated_ckpt = 0;
+  double mitigated_lm = 0;
+  double unhandled = 0;
+  double false_positives = 0;
+
+  /// Mean overheads in hours (for paper-style reporting).
+  double checkpoint_h() const { return checkpoint_s.mean() / 3600.0; }
+  double recomputation_h() const { return recomputation_s.mean() / 3600.0; }
+  double recovery_h() const { return recovery_s.mean() / 3600.0; }
+  double migration_h() const { return migration_s.mean() / 3600.0; }
+  double total_overhead_h() const { return total_overhead_s.mean() / 3600.0; }
+
+  /// Pooled FT ratio across the whole campaign: total mitigations over
+  /// total failures. Prefer this over ft_ratio.mean() when runs can have
+  /// zero failures (small applications), which would bias the per-run mean.
+  double pooled_ft_ratio() const {
+    return failures > 0 ? (mitigated_ckpt + mitigated_lm) / failures : 0.0;
+  }
+
+  /// FT-ratio split for Fig. 8: (LM - p-ckpt) mitigations over failures.
+  double lm_minus_pckpt_ft() const {
+    return failures > 0 ? (mitigated_lm - mitigated_ckpt) / failures : 0.0;
+  }
+};
+
+/// Run `runs` simulations of `config` with seeds derived from `base_seed`.
+CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
+                            std::size_t runs, std::uint64_t base_seed);
+
+/// Run all requested models against the same `runs` traces.
+std::vector<CampaignResult> run_model_comparison(
+    const RunSetup& base, const std::vector<CrConfig>& configs,
+    std::size_t runs, std::uint64_t base_seed);
+
+/// Percent reduction of `value` relative to the base model's `base`
+/// (the y-axis of Figs. 4 and 7: 0 = unchanged, 100 = eliminated).
+double percent_reduction(double base, double value);
+
+}  // namespace pckpt::core

@@ -1,0 +1,37 @@
+#include "core/cr_config.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pckpt::core {
+
+std::string_view to_string(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kB:
+      return "B";
+    case ModelKind::kM1:
+      return "M1";
+    case ModelKind::kM2:
+      return "M2";
+    case ModelKind::kP1:
+      return "P1";
+    case ModelKind::kP2:
+      return "P2";
+  }
+  return "?";
+}
+
+ModelKind model_from_string(std::string_view name) {
+  std::string key(name);
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (key == "B" || key == "BASE") return ModelKind::kB;
+  if (key == "M1" || key == "SAFEGUARD") return ModelKind::kM1;
+  if (key == "M2" || key == "LM") return ModelKind::kM2;
+  if (key == "P1" || key == "PCKPT" || key == "P-CKPT") return ModelKind::kP1;
+  if (key == "P2" || key == "HYBRID") return ModelKind::kP2;
+  throw std::invalid_argument("model_from_string: unknown model '" +
+                              std::string(name) + "'");
+}
+
+}  // namespace pckpt::core

@@ -1,0 +1,126 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "failure/predictor.hpp"
+
+/// \file cr_config.hpp
+/// Configuration of a Checkpoint/Restart model instance: which of the
+/// paper's five models to run and the knobs shared between them.
+
+namespace pckpt::core {
+
+/// The five C/R models evaluated in the paper (Secs. V and VII).
+enum class ModelKind {
+  kB,   ///< periodic checkpointing only (base model)
+  kM1,  ///< + failure prediction + safeguard checkpointing [Bouguerra]
+  kM2,  ///< + failure prediction + live migration [Behera 2020]
+  kP1,  ///< + failure prediction + coordinated prioritized ckpt (p-ckpt)
+  kP2,  ///< hybrid: prediction + p-ckpt + live migration
+};
+
+std::string_view to_string(ModelKind kind);
+ModelKind model_from_string(std::string_view name);
+
+/// True if the model performs live migration.
+constexpr bool uses_lm(ModelKind k) {
+  return k == ModelKind::kM2 || k == ModelKind::kP2;
+}
+/// True if the model performs proactive PFS checkpoints on prediction.
+constexpr bool uses_proactive_ckpt(ModelKind k) {
+  return k == ModelKind::kM1 || k == ModelKind::kP1 || k == ModelKind::kP2;
+}
+/// True if the proactive checkpoint path is the coordinated prioritized
+/// variant (vulnerable nodes first at contention-free bandwidth).
+constexpr bool uses_pckpt(ModelKind k) {
+  return k == ModelKind::kP1 || k == ModelKind::kP2;
+}
+
+/// How the OCI's failure rate (lambda * c in Eqs. 1-2) is obtained.
+enum class RateEstimation {
+  /// Closed form from the configured Weibull system (the default).
+  kAnalytic,
+  /// Online estimate from failures observed so far (the paper's
+  /// "dynamically changing system failure rate" refinement): a smoothed
+  /// posterior that starts at the analytic rate and converges to the
+  /// empirical one.
+  kObserved,
+};
+
+struct CrConfig {
+  ModelKind kind = ModelKind::kB;
+
+  /// Predictor quality / lead-time scaling for this run.
+  failure::PredictorConfig predictor{};
+
+  /// Failure-rate source for the periodic OCI updates.
+  RateEstimation rate_estimation = RateEstimation::kAnalytic;
+
+  /// LM transfer volume as a multiple of the per-process checkpoint size
+  /// (the paper's 3x stencil argument; the alpha of Fig. 6c / Eq. 6).
+  double lm_transfer_factor = 3.0;
+
+  /// LM is attempted only if predicted lead >= margin * theta_LM.
+  double lm_safety_margin = 1.0;
+
+  /// Application slowdown while a live migration is in flight
+  /// (paper: 0.08-2.98% measured; we default to 1%).
+  double lm_runtime_dilation = 0.01;
+
+  /// Fixed job-restart cost added to every recovery (relaunch, rewiring
+  /// the replacement node).
+  double restart_seconds = 30.0;
+
+  /// Max nodes draining BB->PFS concurrently (Spectral-style throttling).
+  int drain_concurrency = 64;
+
+  /// Floor for the optimal checkpoint interval.
+  double min_oci_seconds = 60.0;
+
+  /// Replacement-node pool size; -1 reproduces the paper's assumption of
+  /// always-available reserved nodes. With a finite pool, every failed
+  /// node and every live-migration target consumes a spare, which only
+  /// returns after `node_repair_hours`; recovery blocks while the pool is
+  /// empty and LM falls back (P2) or is skipped (M2).
+  int spare_nodes = -1;
+
+  /// Time for a failed node to be repaired and rejoin the spare pool.
+  double node_repair_hours = 24.0;
+
+  /// Record a per-run phase timeline (RunResult::timeline). Off by
+  /// default: campaigns with thousands of runs do not need the extra
+  /// allocation.
+  bool record_timeline = false;
+
+  void validate() const {
+    predictor.validate();
+    if (!(lm_transfer_factor > 0.0)) {
+      throw std::invalid_argument("CrConfig: lm_transfer_factor must be > 0");
+    }
+    if (!(lm_safety_margin >= 1.0)) {
+      throw std::invalid_argument("CrConfig: lm_safety_margin must be >= 1");
+    }
+    if (!(lm_runtime_dilation >= 0.0 && lm_runtime_dilation < 1.0)) {
+      throw std::invalid_argument("CrConfig: dilation must be in [0,1)");
+    }
+    if (!(restart_seconds >= 0.0)) {
+      throw std::invalid_argument("CrConfig: restart_seconds must be >= 0");
+    }
+    if (drain_concurrency < 1) {
+      throw std::invalid_argument("CrConfig: drain_concurrency must be >= 1");
+    }
+    if (!(min_oci_seconds > 0.0)) {
+      throw std::invalid_argument("CrConfig: min_oci_seconds must be > 0");
+    }
+    if (spare_nodes < -1) {
+      throw std::invalid_argument("CrConfig: spare_nodes must be >= -1");
+    }
+    if (!(node_repair_hours > 0.0)) {
+      throw std::invalid_argument("CrConfig: node_repair_hours must be > 0");
+    }
+  }
+};
+
+}  // namespace pckpt::core

@@ -1,0 +1,33 @@
+#include "core/oci.hpp"
+
+#include <cmath>
+
+namespace pckpt::core {
+
+double young_oci_seconds(double t_ckpt_bb_s, double job_rate_per_s) {
+  if (!(t_ckpt_bb_s > 0.0)) {
+    throw std::invalid_argument("young_oci: t_ckpt_bb must be > 0");
+  }
+  if (!(job_rate_per_s > 0.0)) {
+    throw std::invalid_argument("young_oci: failure rate must be > 0");
+  }
+  return std::sqrt(2.0 * t_ckpt_bb_s / job_rate_per_s);
+}
+
+double sigma_extended_oci_seconds(double t_ckpt_bb_s, double job_rate_per_s,
+                                  double sigma) {
+  if (!(sigma >= 0.0 && sigma < 1.0)) {
+    throw std::invalid_argument("sigma_extended_oci: sigma must be in [0,1)");
+  }
+  return young_oci_seconds(t_ckpt_bb_s, job_rate_per_s * (1.0 - sigma));
+}
+
+double oci_elongation_factor(double sigma) {
+  if (!(sigma >= 0.0 && sigma < 1.0)) {
+    throw std::invalid_argument(
+        "oci_elongation_factor: sigma must be in [0,1)");
+  }
+  return 1.0 / std::sqrt(1.0 - sigma);
+}
+
+}  // namespace pckpt::core

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <stdexcept>
+
+/// \file oci.hpp
+/// Optimal checkpoint interval calculators (Eqs. 1 and 2 of the paper).
+
+namespace pckpt::core {
+
+/// Young's first-order optimal checkpoint interval (Eq. 1):
+///   t_opt = sqrt(2 * t_ckpt_bb / rate)
+/// where `rate` is the job-level failure rate (the paper's lambda * c) in
+/// failures per second and `t_ckpt_bb` the blocking BB checkpoint time.
+double young_oci_seconds(double t_ckpt_bb_s, double job_rate_per_s);
+
+/// Sigma-extended interval for LM-assisted models (Eq. 2):
+///   t_opt = sqrt(2 * t_ckpt_bb / (rate * (1 - sigma)))
+/// where sigma is the fraction of failures avoidable by live migration
+/// (predicted with lead time exceeding the migration latency).
+/// \throws std::invalid_argument unless 0 <= sigma < 1.
+double sigma_extended_oci_seconds(double t_ckpt_bb_s, double job_rate_per_s,
+                                  double sigma);
+
+/// The OCI elongation factor Eq. 2 introduces over Eq. 1:
+/// 1/sqrt(1 - sigma) (Observation 6 reports ~54-340% elongation).
+double oci_elongation_factor(double sigma);
+
+}  // namespace pckpt::core

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/timeline.hpp"
+
+/// \file overheads.hpp
+/// Overhead accounting for one simulated run, in the paper's taxonomy
+/// (checkpoint / recomputation / recovery, plus migration dilation).
+/// Invariant maintained by the simulation:
+///   makespan == useful_compute + total_overhead.
+
+namespace pckpt::core {
+
+struct Overheads {
+  double checkpoint_s = 0;     ///< blocking BB + proactive PFS writes
+  double recomputation_s = 0;  ///< lost work re-executed after failures
+  double recovery_s = 0;       ///< restore reads + restarts
+  double migration_s = 0;      ///< LM runtime dilation stalls
+
+  double total() const {
+    return checkpoint_s + recomputation_s + recovery_s + migration_s;
+  }
+
+  Overheads& operator+=(const Overheads& o) {
+    checkpoint_s += o.checkpoint_s;
+    recomputation_s += o.recomputation_s;
+    recovery_s += o.recovery_s;
+    migration_s += o.migration_s;
+    return *this;
+  }
+};
+
+/// Full outcome of one simulated run.
+struct RunResult {
+  Overheads overheads;
+  double makespan_s = 0;
+  double compute_s = 0;  ///< the application's useful compute time
+
+  int failures = 0;          ///< failures that occurred (or were avoided)
+  int predicted = 0;         ///< failures that had a prediction
+  int mitigated_ckpt = 0;    ///< handled by safeguard / p-ckpt commit
+  int mitigated_lm = 0;      ///< avoided by completed live migration
+  int unhandled = 0;
+  int false_positives = 0;   ///< FP predictions acted upon
+
+  int periodic_ckpts = 0;
+  int proactive_ckpts = 0;   ///< proactive checkpoint rounds completed
+  int lm_attempts = 0;
+  int lm_aborts = 0;
+
+  double oci_sum_s = 0;      ///< for mean-OCI reporting
+  std::size_t oci_samples = 0;
+
+  /// Populated only when CrConfig::record_timeline is set.
+  Timeline timeline;
+
+  double ft_ratio() const {
+    return failures > 0 ? static_cast<double>(mitigated_ckpt + mitigated_lm) /
+                              static_cast<double>(failures)
+                        : 0.0;
+  }
+  double mean_oci_s() const {
+    return oci_samples > 0 ? oci_sum_s / static_cast<double>(oci_samples)
+                           : 0.0;
+  }
+};
+
+}  // namespace pckpt::core

@@ -1,0 +1,240 @@
+#include "core/protocol/coordinator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "sim/sim.hpp"
+
+namespace pckpt::core::protocol {
+
+void ProtocolConfig::validate() const {
+  if (nodes < 1) {
+    throw std::invalid_argument("ProtocolConfig: nodes must be >= 1");
+  }
+  if (!(per_node_gb > 0.0)) {
+    throw std::invalid_argument("ProtocolConfig: per_node_gb must be > 0");
+  }
+  if (!(single_node_bw_gbps > 0.0) || !(aggregate_bw_gbps > 0.0)) {
+    throw std::invalid_argument("ProtocolConfig: bandwidths must be > 0");
+  }
+  if (!(broadcast_base_us >= 0.0)) {
+    throw std::invalid_argument(
+        "ProtocolConfig: broadcast_base_us must be >= 0");
+  }
+}
+
+double ProtocolConfig::broadcast_seconds() const {
+  if (nodes <= 1) return broadcast_base_us * 1e-6;
+  return broadcast_base_us * std::log2(static_cast<double>(nodes)) * 1e-6;
+}
+
+namespace {
+
+struct QueueEntry {
+  int node;
+  double deadline_s;   // absolute failure time
+  std::uint64_t order; // arrival order
+};
+
+class Round {
+ public:
+  Round(const ProtocolConfig& cfg, std::vector<VulnerableSpec> vulnerable)
+      : cfg_(cfg), specs_(std::move(vulnerable)) {
+    cfg_.validate();
+    std::vector<bool> seen(static_cast<std::size_t>(cfg_.nodes), false);
+    for (const auto& v : specs_) {
+      if (v.node < 0 || v.node >= cfg_.nodes) {
+        throw std::invalid_argument("simulate_round: node id out of range");
+      }
+      if (seen[static_cast<std::size_t>(v.node)]) {
+        throw std::invalid_argument("simulate_round: duplicate node");
+      }
+      seen[static_cast<std::size_t>(v.node)] = true;
+      if (!(v.lead_s >= 0.0) || !(v.arrival_s >= 0.0)) {
+        throw std::invalid_argument(
+            "simulate_round: arrival/lead must be >= 0");
+      }
+    }
+    if (specs_.empty()) {
+      throw std::invalid_argument(
+          "simulate_round: need at least one vulnerable node");
+    }
+  }
+
+  RoundResult run() {
+    pckpt_notice_ = env_.event();
+    pfs_commit_ = env_.event();
+    phase2_done_ = env_.event();
+
+    machines_.reserve(static_cast<std::size_t>(cfg_.nodes));
+    for (int n = 0; n < cfg_.nodes; ++n) machines_.emplace_back(n);
+    for (const auto& v : specs_) {
+      commit_time_[static_cast<std::size_t>(v.node)] = -1.0;
+    }
+
+    std::vector<bool> is_vulnerable(static_cast<std::size_t>(cfg_.nodes),
+                                    false);
+    for (const auto& v : specs_) {
+      is_vulnerable[static_cast<std::size_t>(v.node)] = true;
+      env_.spawn(vulnerable_node(v)).named("vuln");
+    }
+    for (int n = 0; n < cfg_.nodes; ++n) {
+      if (!is_vulnerable[static_cast<std::size_t>(n)]) {
+        env_.spawn(healthy_node(n)).named("healthy");
+      }
+    }
+    env_.spawn(coordinator()).named("coordinator");
+    env_.run();
+    if (!env_.process_errors().empty()) {
+      std::rethrow_exception(env_.process_errors().front().second);
+    }
+
+    // Mitigation bookkeeping.
+    result_.outcomes.reserve(specs_.size());
+    for (const auto& v : specs_) {
+      VulnerableOutcome o;
+      o.node = v.node;
+      o.commit_s = commit_time_.at(static_cast<std::size_t>(v.node));
+      const double deadline = v.arrival_s + v.lead_s;
+      o.mitigated = o.commit_s >= 0.0 && o.commit_s <= deadline;
+      if (o.mitigated) ++result_.mitigated;
+      result_.outcomes.push_back(o);
+    }
+    result_.transitions = transitions_;
+    return result_;
+  }
+
+ private:
+  void note_transition(int node, NodeState to) {
+    machines_[static_cast<std::size_t>(node)].transition(to);
+    ++transitions_;
+  }
+
+  /// Pick the next phase-1 writer per the configured policy.
+  std::size_t pick_next() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < queue_.size(); ++i) {
+      const auto& a = queue_[i];
+      const auto& b = queue_[best];
+      bool better = false;
+      switch (cfg_.policy) {
+        case QueuePolicy::kLeadTime:
+          better = a.deadline_s < b.deadline_s ||
+                   (a.deadline_s == b.deadline_s && a.order < b.order);
+          break;
+        case QueuePolicy::kFifo:
+          better = a.order < b.order;
+          break;
+        case QueuePolicy::kLifo:
+          better = a.order > b.order;
+          break;
+      }
+      if (better) best = i;
+    }
+    return best;
+  }
+
+  sim::Process vulnerable_node(VulnerableSpec spec) {
+    if (spec.arrival_s > 0.0) co_await env_.timeout(spec.arrival_s);
+    note_transition(spec.node, NodeState::kVulnerable);
+    queue_.push_back(
+        QueueEntry{spec.node, spec.arrival_s + spec.lead_s, next_order_++});
+    if (!round_started_) {
+      round_started_ = true;
+      // The initiating node broadcasts the p-ckpt request to everyone.
+      co_await env_.timeout(cfg_.broadcast_seconds());
+      result_.coordination_s += cfg_.broadcast_seconds();
+      pckpt_notice_->succeed();
+    }
+  }
+
+  sim::Process healthy_node(int node) {
+    co_await pckpt_notice_;
+    note_transition(node, NodeState::kWaiting);
+    co_await pfs_commit_;
+    note_transition(node, NodeState::kPhase2Writing);
+    co_await phase2_done_;
+    note_transition(node, NodeState::kNormal);
+  }
+
+  sim::Process coordinator() {
+    co_await pckpt_notice_;
+    // ------------------------------------------------------ phase 1
+    const double t1_start = env_.now();
+    const double write_s = cfg_.per_node_gb / cfg_.single_node_bw_gbps;
+    std::size_t processed = 0;
+    while (processed < specs_.size()) {
+      if (queue_.empty()) {
+        // A later prediction is still on its way. If it arrives before
+        // phase 1 would naturally end we keep serving it here; otherwise
+        // it is folded into phase 2 (committed at the bulk write's end).
+        break;
+      }
+      const std::size_t idx = pick_next();
+      const QueueEntry entry = queue_[idx];
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
+      note_transition(entry.node, NodeState::kPhase1Writing);
+      co_await env_.timeout(write_s);
+      commit_time_[static_cast<std::size_t>(entry.node)] = env_.now();
+      note_transition(entry.node, NodeState::kNormal);
+      result_.commit_order.push_back(entry.node);
+      ++processed;
+    }
+    result_.phase1_s = env_.now() - t1_start;
+
+    // --------------------------------------- pfs-commit broadcast
+    co_await env_.timeout(cfg_.broadcast_seconds());
+    result_.coordination_s += cfg_.broadcast_seconds();
+    pfs_commit_->succeed();
+
+    // ------------------------------------------------------ phase 2
+    const double t2_start = env_.now();
+    const double healthy =
+        static_cast<double>(cfg_.nodes) - static_cast<double>(processed);
+    if (healthy > 0.0) {
+      co_await env_.timeout(healthy * cfg_.per_node_gb /
+                            cfg_.aggregate_bw_gbps);
+    }
+    // Vulnerable nodes whose predictions landed too late for phase 1
+    // commit together with the bulk write.
+    for (const auto& entry : queue_) {
+      commit_time_[static_cast<std::size_t>(entry.node)] = env_.now();
+      note_transition(entry.node, NodeState::kPhase1Writing);
+      note_transition(entry.node, NodeState::kNormal);
+      result_.commit_order.push_back(entry.node);
+    }
+    queue_.clear();
+    result_.phase2_s = env_.now() - t2_start;
+
+    // ------------------------------------------------- final barrier
+    co_await env_.timeout(cfg_.broadcast_seconds());
+    result_.coordination_s += cfg_.broadcast_seconds();
+    phase2_done_->succeed();
+    result_.total_s = env_.now();
+  }
+
+  ProtocolConfig cfg_;
+  std::vector<VulnerableSpec> specs_;
+  sim::Environment env_;
+  sim::EventPtr pckpt_notice_, pfs_commit_, phase2_done_;
+  std::vector<NodeStateMachine> machines_;
+  std::deque<QueueEntry> queue_;
+  std::map<std::size_t, double> commit_time_;
+  bool round_started_ = false;
+  std::uint64_t next_order_ = 0;
+  std::size_t transitions_ = 0;
+  RoundResult result_;
+};
+
+}  // namespace
+
+RoundResult simulate_round(const ProtocolConfig& cfg,
+                           std::vector<VulnerableSpec> vulnerable) {
+  Round round(cfg, std::move(vulnerable));
+  return round.run();
+}
+
+}  // namespace pckpt::core::protocol

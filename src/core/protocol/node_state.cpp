@@ -1,0 +1,78 @@
+#include "core/protocol/node_state.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pckpt::core::protocol {
+
+std::string_view to_string(NodeState s) {
+  switch (s) {
+    case NodeState::kNormal:
+      return "normal";
+    case NodeState::kVulnerable:
+      return "vulnerable";
+    case NodeState::kMigrating:
+      return "migrating";
+    case NodeState::kPhase1Writing:
+      return "phase1-writing";
+    case NodeState::kWaiting:
+      return "waiting";
+    case NodeState::kPhase2Writing:
+      return "phase2-writing";
+    case NodeState::kFailed:
+      return "failed";
+    case NodeState::kMigrated:
+      return "migrated";
+  }
+  return "?";
+}
+
+bool transition_allowed(NodeState from, NodeState to) {
+  using S = NodeState;
+  switch (from) {
+    case S::kNormal:
+      // Prediction makes a node vulnerable; a p-ckpt notification from a
+      // peer parks a healthy node in the waiting state; an unpredicted
+      // failure strikes directly.
+      return to == S::kVulnerable || to == S::kWaiting || to == S::kFailed;
+    case S::kVulnerable:
+      // Decision: enough lead -> LM; otherwise p-ckpt phase 1. The failure
+      // can also strike before any action completes.
+      return to == S::kMigrating || to == S::kPhase1Writing ||
+             to == S::kFailed;
+    case S::kMigrating:
+      // LM completes (node drained) or is aborted by a shorter-lead
+      // prediction (Fig. 5's abort edge back into the p-ckpt path), or the
+      // failure wins the race.
+      return to == S::kMigrated || to == S::kPhase1Writing ||
+             to == S::kFailed;
+    case S::kPhase1Writing:
+      // Commit done: the node keeps running (normal) until its failure;
+      // the failure may strike mid-write.
+      return to == S::kNormal || to == S::kFailed;
+    case S::kWaiting:
+      // pfs-commit notification releases healthy nodes into phase 2; a
+      // healthy waiting node can itself become vulnerable (new prediction)
+      // or fail unpredicted.
+      return to == S::kPhase2Writing || to == S::kVulnerable ||
+             to == S::kFailed;
+    case S::kPhase2Writing:
+      return to == S::kNormal || to == S::kFailed;
+    case S::kFailed:
+    case S::kMigrated:
+      return false;  // terminal within one protocol round
+  }
+  return false;
+}
+
+void NodeStateMachine::transition(NodeState to) {
+  if (!transition_allowed(state_, to)) {
+    throw std::logic_error(
+        "NodeStateMachine: illegal transition " +
+        std::string(to_string(state_)) + " -> " +
+        std::string(to_string(to)) + " on node " + std::to_string(node_));
+  }
+  state_ = to;
+}
+
+}  // namespace pckpt::core::protocol

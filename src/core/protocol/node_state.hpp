@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string_view>
+
+/// \file node_state.hpp
+/// Per-node state machine of the hybrid p-ckpt model (paper Fig. 5).
+/// The protocol simulation drives every node through this machine and the
+/// checker throws on transitions the paper's diagram does not allow.
+
+namespace pckpt::core::protocol {
+
+enum class NodeState {
+  kNormal,         ///< periodic computation + checkpointing
+  kVulnerable,     ///< failure predicted, action being decided
+  kMigrating,      ///< live migration in progress
+  kPhase1Writing,  ///< vulnerable node committing to the PFS (p-ckpt)
+  kWaiting,        ///< healthy node awaiting the pfs-commit notification
+  kPhase2Writing,  ///< healthy node committing to the PFS
+  kFailed,         ///< the predicted failure struck
+  kMigrated,       ///< process moved to a replacement node (LM success)
+};
+
+std::string_view to_string(NodeState s);
+
+/// True if the Fig. 5 diagram allows `from -> to`.
+bool transition_allowed(NodeState from, NodeState to);
+
+/// Tiny guard object: tracks one node's state and validates every move.
+class NodeStateMachine {
+ public:
+  explicit NodeStateMachine(int node_id) : node_(node_id) {}
+
+  NodeState state() const noexcept { return state_; }
+  int node() const noexcept { return node_; }
+
+  /// \throws std::logic_error on a transition Fig. 5 forbids.
+  void transition(NodeState to);
+
+ private:
+  int node_;
+  NodeState state_ = NodeState::kNormal;
+};
+
+}  // namespace pckpt::core::protocol

@@ -1,0 +1,253 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pckpt::core {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+[[noreturn]] void fail_at(std::size_t line, const std::string& what) {
+  throw std::invalid_argument("config line " + std::to_string(line) + ": " +
+                              what);
+}
+
+}  // namespace
+
+ConfigFile ConfigFile::parse(std::string_view text) {
+  ConfigFile cfg;
+  std::string current;
+  std::size_t line_no = 0;
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments (# or ;) outside of values' leading text.
+    const auto hash = raw.find_first_of("#;");
+    std::string line = trim(hash == std::string::npos
+                                ? std::string_view(raw)
+                                : std::string_view(raw).substr(0, hash));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') fail_at(line_no, "unterminated section header");
+      current = lower(trim(line.substr(1, line.size() - 2)));
+      if (current.empty()) fail_at(line_no, "empty section name");
+      cfg.sections_[current];  // sections may legitimately stay empty
+      continue;
+    }
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail_at(line_no, "expected key = value");
+    }
+    if (current.empty()) fail_at(line_no, "key outside any section");
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty()) fail_at(line_no, "empty key");
+    cfg.sections_[current][key] = value;
+  }
+  return cfg;
+}
+
+ConfigFile ConfigFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ConfigFile::load: cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool ConfigFile::has_section(const std::string& section) const {
+  return sections_.count(lower(section)) > 0;
+}
+
+std::vector<std::string> ConfigFile::sections_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  const std::string p = lower(prefix);
+  for (const auto& [name, kv] : sections_) {
+    if (name.compare(0, p.size(), p) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::optional<std::string> ConfigFile::find(const std::string& section,
+                                            const std::string& key) const {
+  const auto sit = sections_.find(lower(section));
+  if (sit == sections_.end()) return std::nullopt;
+  const auto kit = sit->second.find(lower(key));
+  if (kit == sit->second.end()) return std::nullopt;
+  return kit->second;
+}
+
+std::string ConfigFile::get_string(const std::string& section,
+                                   const std::string& key) const {
+  auto v = find(section, key);
+  if (!v) {
+    throw std::out_of_range("config: missing [" + section + "] " + key);
+  }
+  return *v;
+}
+
+double ConfigFile::get_double(const std::string& section,
+                              const std::string& key) const {
+  const std::string v = get_string(section, key);
+  std::size_t used = 0;
+  double x = 0;
+  try {
+    x = std::stod(v, &used);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config: [" + section + "] " + key +
+                                " is not a number: '" + v + "'");
+  }
+  if (used != v.size()) {
+    throw std::invalid_argument("config: [" + section + "] " + key +
+                                " has trailing junk: '" + v + "'");
+  }
+  return x;
+}
+
+int ConfigFile::get_int(const std::string& section,
+                        const std::string& key) const {
+  const double x = get_double(section, key);
+  const int i = static_cast<int>(x);
+  if (static_cast<double>(i) != x) {
+    throw std::invalid_argument("config: [" + section + "] " + key +
+                                " must be an integer");
+  }
+  return i;
+}
+
+double ConfigFile::get_double_or(const std::string& section,
+                                 const std::string& key,
+                                 double fallback) const {
+  return find(section, key) ? get_double(section, key) : fallback;
+}
+
+int ConfigFile::get_int_or(const std::string& section, const std::string& key,
+                           int fallback) const {
+  return find(section, key) ? get_int(section, key) : fallback;
+}
+
+std::string ConfigFile::get_string_or(const std::string& section,
+                                      const std::string& key,
+                                      const std::string& fallback) const {
+  auto v = find(section, key);
+  return v ? *v : fallback;
+}
+
+Scenario load_scenario(const ConfigFile& cfg) {
+  Scenario sc;
+
+  // [machine]
+  sc.machine = workload::summit();
+  if (cfg.has_section("machine")) {
+    sc.machine.name = cfg.get_string_or("machine", "name", sc.machine.name);
+    sc.machine.total_nodes =
+        cfg.get_int_or("machine", "total_nodes", sc.machine.total_nodes);
+    sc.machine.dram_gb =
+        cfg.get_double_or("machine", "dram_gb", sc.machine.dram_gb);
+    sc.machine.interconnect_gbps = cfg.get_double_or(
+        "machine", "interconnect_gbps", sc.machine.interconnect_gbps);
+    sc.machine.burst_buffer.write_gbps = cfg.get_double_or(
+        "machine", "bb_write_gbps", sc.machine.burst_buffer.write_gbps);
+    sc.machine.burst_buffer.read_gbps = cfg.get_double_or(
+        "machine", "bb_read_gbps", sc.machine.burst_buffer.read_gbps);
+    sc.machine.burst_buffer.capacity_gb = cfg.get_double_or(
+        "machine", "bb_capacity_gb", sc.machine.burst_buffer.capacity_gb);
+    sc.machine.io.pfs_ceiling_gbps = cfg.get_double_or(
+        "machine", "pfs_ceiling_gbps", sc.machine.io.pfs_ceiling_gbps);
+    sc.machine.io.peak_node_bw_gbps = cfg.get_double_or(
+        "machine", "node_pfs_gbps", sc.machine.io.peak_node_bw_gbps);
+  }
+
+  // [application ...]
+  for (const auto& section : cfg.sections_with_prefix("application")) {
+    workload::Application app;
+    const auto space = section.find(' ');
+    app.name = space == std::string::npos ? "app" : section.substr(space + 1);
+    app.name = cfg.get_string_or(section, "name", app.name);
+    app.nodes = cfg.get_int(section, "nodes");
+    app.ckpt_total_gb = cfg.get_double(section, "ckpt_total_gb");
+    app.compute_hours = cfg.get_double(section, "compute_hours");
+    app.validate();
+    sc.applications.push_back(std::move(app));
+  }
+  if (sc.applications.empty()) {
+    throw std::invalid_argument(
+        "load_scenario: need at least one [application ...] section");
+  }
+
+  // [failure_system]
+  if (cfg.find("failure_system", "preset")) {
+    sc.system = failure::system_by_name(
+        cfg.get_string("failure_system", "preset"));
+  } else if (cfg.has_section("failure_system")) {
+    sc.system.name = cfg.get_string_or("failure_system", "name", "custom");
+    sc.system.weibull_shape = cfg.get_double("failure_system", "weibull_shape");
+    sc.system.weibull_scale_hours =
+        cfg.get_double("failure_system", "weibull_scale_hours");
+    sc.system.total_nodes = cfg.get_int("failure_system", "total_nodes");
+    if (!(sc.system.weibull_shape > 0.0) ||
+        !(sc.system.weibull_scale_hours > 0.0) || sc.system.total_nodes < 1) {
+      throw std::invalid_argument(
+          "load_scenario: invalid [failure_system] parameters");
+    }
+  } else {
+    sc.system = failure::system_by_name("titan");
+  }
+
+  // [predictor]
+  auto& pred = sc.cr.predictor;
+  pred.recall = cfg.get_double_or("predictor", "recall", pred.recall);
+  pred.false_positive_rate = cfg.get_double_or(
+      "predictor", "false_positive_rate", pred.false_positive_rate);
+  pred.lead_scale =
+      cfg.get_double_or("predictor", "lead_scale", pred.lead_scale);
+  pred.lead_error_sigma = cfg.get_double_or("predictor", "lead_error_sigma",
+                                            pred.lead_error_sigma);
+
+  // [cr]
+  if (cfg.find("cr", "model")) {
+    sc.cr.kind = model_from_string(cfg.get_string("cr", "model"));
+  }
+  sc.cr.lm_transfer_factor = cfg.get_double_or("cr", "lm_transfer_factor",
+                                               sc.cr.lm_transfer_factor);
+  sc.cr.lm_safety_margin =
+      cfg.get_double_or("cr", "lm_safety_margin", sc.cr.lm_safety_margin);
+  sc.cr.lm_runtime_dilation = cfg.get_double_or(
+      "cr", "lm_runtime_dilation", sc.cr.lm_runtime_dilation);
+  sc.cr.restart_seconds =
+      cfg.get_double_or("cr", "restart_seconds", sc.cr.restart_seconds);
+  sc.cr.drain_concurrency =
+      cfg.get_int_or("cr", "drain_concurrency", sc.cr.drain_concurrency);
+  sc.cr.min_oci_seconds =
+      cfg.get_double_or("cr", "min_oci_seconds", sc.cr.min_oci_seconds);
+  sc.cr.spare_nodes = cfg.get_int_or("cr", "spare_nodes", sc.cr.spare_nodes);
+  sc.cr.node_repair_hours = cfg.get_double_or("cr", "node_repair_hours",
+                                              sc.cr.node_repair_hours);
+  if (cfg.get_string_or("cr", "rate_estimation", "analytic") == "observed") {
+    sc.cr.rate_estimation = core::RateEstimation::kObserved;
+  }
+  sc.cr.validate();
+  return sc;
+}
+
+}  // namespace pckpt::core

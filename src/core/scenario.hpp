@@ -1,0 +1,90 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/cr_config.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+/// \file scenario.hpp
+/// The "System and Application Configuration File" of the paper's
+/// simulation framework (Fig. 3): a plain INI-style file describing the
+/// machine, the applications, the failure distribution and the predictor,
+/// parsed into the typed structures the simulator consumes.
+///
+/// Format:
+/// \code
+///   # comment
+///   [machine]
+///   total_nodes = 4608
+///   dram_gb = 512
+///
+///   [application foo]      ; one section per application
+///   nodes = 1000
+///   ckpt_total_gb = 50000
+///   compute_hours = 200
+/// \endcode
+
+namespace pckpt::core {
+
+/// Parsed INI content: section name -> (key -> value). Repeated sections
+/// of the form "[application NAME]" keep their full header as the key.
+class ConfigFile {
+ public:
+  /// Parse from text. \throws std::invalid_argument with a line number on
+  /// malformed input (unterminated section, key outside a section, ...).
+  static ConfigFile parse(std::string_view text);
+
+  /// Load and parse a file. \throws std::runtime_error if unreadable.
+  static ConfigFile load(const std::string& path);
+
+  bool has_section(const std::string& section) const;
+  std::vector<std::string> sections_with_prefix(
+      const std::string& prefix) const;
+
+  /// Typed getters; the std::optional variants return nullopt when the
+  /// key is absent, the plain variants throw std::out_of_range.
+  std::optional<std::string> find(const std::string& section,
+                                  const std::string& key) const;
+  std::string get_string(const std::string& section,
+                         const std::string& key) const;
+  double get_double(const std::string& section, const std::string& key) const;
+  int get_int(const std::string& section, const std::string& key) const;
+  double get_double_or(const std::string& section, const std::string& key,
+                       double fallback) const;
+  int get_int_or(const std::string& section, const std::string& key,
+                 int fallback) const;
+  std::string get_string_or(const std::string& section,
+                            const std::string& key,
+                            const std::string& fallback) const;
+
+ private:
+  std::map<std::string, std::map<std::string, std::string>> sections_;
+};
+
+/// Everything one simulation scenario needs, loaded from a config file.
+struct Scenario {
+  workload::Machine machine;
+  std::vector<workload::Application> applications;
+  failure::FailureSystem system;
+  core::CrConfig cr;  ///< predictor + model knobs ([predictor], [cr])
+};
+
+/// Build a Scenario from a parsed config. Sections:
+///   [machine]      optional; defaults to Summit
+///   [application X] one or more; required
+///   [failure_system] either `preset = titan|lanl8|lanl18` or explicit
+///                  weibull_shape / weibull_scale_hours / total_nodes
+///   [predictor]    optional recall / false_positive_rate / lead_scale /
+///                  lead_error_sigma
+///   [cr]           optional model / lm_transfer_factor / spare_nodes /
+///                  drain_concurrency / restart_seconds / ...
+/// \throws std::invalid_argument on missing/invalid entries.
+Scenario load_scenario(const ConfigFile& cfg);
+
+}  // namespace pckpt::core

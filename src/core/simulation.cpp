@@ -1,0 +1,834 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <vector>
+
+#include "core/oci.hpp"
+
+namespace pckpt::core {
+
+double lm_transfer_gb(const workload::Application& app,
+                      const workload::Machine& machine, double factor) {
+  return std::min(factor * app.ckpt_per_node_gb(), machine.dram_gb);
+}
+
+double lm_theta_seconds(const workload::Application& app,
+                        const workload::Machine& machine,
+                        const iomodel::StorageModel& storage, double factor) {
+  return storage.lm_transfer_seconds(lm_transfer_gb(app, machine, factor));
+}
+
+double estimate_sigma(const failure::LeadTimeModel& leads,
+                      const failure::PredictorConfig& predictor,
+                      double theta_s, double margin) {
+  // P(scaled lead > margin * theta) = ccdf(margin * theta / lead_scale).
+  const double sigma =
+      predictor.recall *
+      leads.ccdf(margin * theta_s / predictor.lead_scale);
+  return std::min(sigma, 0.99);
+}
+
+namespace {
+
+using detail::FailureStrike;
+using detail::kFpBase;
+using detail::VulnerableEntry;
+
+constexpr double kEps = 1e-9;
+
+enum class Phase { kCompute, kBbCkpt, kProactive, kRecovery, kStall, kDone };
+
+/// Why the application process was interrupted (derived from controller
+/// state rather than the interrupt payload, so overlapping interrupts at
+/// the same timestamp cannot shadow each other).
+enum class Wake { kStrike, kProactive, kStall, kSpurious };
+
+struct RecoveryPlan {
+  double restore_progress = 0;
+  bool from_proactive = false;
+  double duration_s = 0;
+};
+
+class Run {
+ public:
+  Run(const RunSetup& setup, const CrConfig& config)
+      : setup_(setup),
+        cfg_(config),
+        trace_(*setup.system, setup.app->nodes, *setup.leads,
+               config.predictor, setup.seed,
+               setup.app->compute_seconds() * 1.5 + 48.0 * 3600.0),
+        total_work_(setup.app->compute_seconds()),
+        per_node_gb_(setup.app->ckpt_per_node_gb()),
+        nodes_(static_cast<double>(setup.app->nodes)),
+        theta_lm_s_(lm_theta_seconds(*setup.app, *setup.machine,
+                                     *setup.storage, cfg_.lm_transfer_factor)),
+        sigma_(uses_lm(cfg_.kind)
+                   ? estimate_sigma(*setup.leads, cfg_.predictor, theta_lm_s_,
+                                    cfg_.lm_safety_margin)
+                   : 0.0) {
+    if (cfg_.spare_nodes >= 0) {
+      spares_available_ = static_cast<std::size_t>(cfg_.spare_nodes);
+    }
+    // A run whose overheads dwarf the useful work by orders of magnitude
+    // indicates an infeasible configuration (e.g. repairs slower than the
+    // failure rate); fail loudly instead of simulating forever.
+    makespan_guard_s_ = total_work_ * 100.0 + 1000.0 * 3600.0;
+  }
+
+  RunResult execute() {
+    auto app = env_.spawn(app_process()).named("app");
+    app_ = app.state();
+    auto injector = env_.spawn(injector_process()).named("injector");
+    injector_ = injector.state();
+    env_.run();
+    if (!env_.process_errors().empty()) {
+      std::rethrow_exception(env_.process_errors().front().second);
+    }
+    result_.compute_s = total_work_;
+    return result_;
+  }
+
+ private:
+  // ------------------------------------------------------------------
+  // Controller: reacts to trace events per the configured model.
+  // ------------------------------------------------------------------
+
+  void on_prediction(const failure::TraceEvent& ev) {
+    if (done_) return;
+    const std::size_t key = ev.is_false_positive()
+                                ? kFpBase + fp_counter_++
+                                : ev.failure_index;
+    // All decisions run on the predictor's ESTIMATE of the lead; the
+    // actual failure timing comes from the trace's failure event.
+    const double deadline = env_.now() + ev.predicted_lead_s;
+    if (cfg_.kind == ModelKind::kB) return;  // base model: no prediction use
+    if (ev.is_false_positive()) ++result_.false_positives;
+    mark_event(ev.is_false_positive() ? MarkerKind::kFalsePositive
+                                      : MarkerKind::kPrediction);
+    pending_predictions_[key] = deadline;
+    decide(key, deadline, ev.predicted_lead_s);
+  }
+
+  void decide(std::size_t key, double deadline, double lead_s) {
+    switch (cfg_.kind) {
+      case ModelKind::kB:
+        return;
+      case ModelKind::kM1:
+      case ModelKind::kP1:
+        enqueue_proactive(key, deadline);
+        return;
+      case ModelKind::kM2:
+        if (lead_s >= cfg_.lm_safety_margin * theta_lm_s_) {
+          start_lm(key);
+        }
+        // M2 has no fallback for short leads (the gap p-ckpt fills).
+        return;
+      case ModelKind::kP2:
+        if (lead_s >= cfg_.lm_safety_margin * theta_lm_s_) {
+          start_lm(key);
+        } else {
+          abort_inflight_lms_into_queue();
+          enqueue_proactive(key, deadline);
+        }
+        return;
+    }
+  }
+
+  void enqueue_proactive(std::size_t key, double deadline) {
+    if (phase_ == Phase::kRecovery) return;  // nothing new to save
+    if (proactive_active_) {
+      if (round_phase_ == 1 && uses_pckpt(cfg_.kind)) {
+        queue_.insert(VulnerableEntry{deadline, key});
+      } else {
+        // Joins the bulk write already in flight; commits when it ends.
+        phase2_pending_.insert(key);
+      }
+      return;
+    }
+    queue_.insert(VulnerableEntry{deadline, key});
+    if (!proactive_needed_) {
+      proactive_needed_ = true;
+      app_->interrupt();
+    }
+  }
+
+  // ---------------------------------------------------------------
+  // Replacement-node pool (paper assumption: unlimited; finite with
+  // cfg_.spare_nodes >= 0). A failed (or migrated-from) node enters
+  // repair and returns to the pool after node_repair_hours, so recovery
+  // can always eventually proceed; it may have to wait for a return when
+  // the pool is drained.
+  // ---------------------------------------------------------------
+
+  /// Move completed repairs back into the pool.
+  void refresh_pool() {
+    auto it = repair_ends_.begin();
+    while (it != repair_ends_.end()) {
+      if (*it <= env_.now()) {
+        ++spares_available_;
+        it = repair_ends_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// A node died (or was drained by LM): it goes into repair and rejoins
+  /// the pool later.
+  void node_enters_repair() {
+    if (cfg_.spare_nodes < 0) return;
+    repair_ends_.push_back(env_.now() + cfg_.node_repair_hours * 3600.0);
+  }
+
+  /// Try to take a spare immediately (LM targets do not wait).
+  bool try_acquire_spare() {
+    if (cfg_.spare_nodes < 0) return true;  // unlimited
+    refresh_pool();
+    if (spares_available_ == 0) return false;
+    --spares_available_;
+    return true;
+  }
+
+  /// Seconds until a replacement can be taken (taking it at that time);
+  /// 0 when one is free now. Callers guarantee a repair is in flight
+  /// (every strike enqueues one), so this never deadlocks.
+  double acquire_spare_wait() {
+    if (try_acquire_spare()) return 0.0;
+    if (repair_ends_.empty()) return 0.0;  // defensive: nothing to wait on
+    auto it = std::min_element(repair_ends_.begin(), repair_ends_.end());
+    const double wait = std::max(0.0, *it - env_.now());
+    repair_ends_.erase(it);  // that returning node is the replacement
+    return wait;
+  }
+
+  void start_lm(std::size_t key) {
+    if (!try_acquire_spare()) {
+      // No migration target available: fall back to p-ckpt in the hybrid
+      // model; M2 has no fallback.
+      if (cfg_.kind == ModelKind::kP2) {
+        auto it = pending_predictions_.find(key);
+        if (it != pending_predictions_.end() && it->second > env_.now()) {
+          enqueue_proactive(key, it->second);
+        }
+      }
+      return;
+    }
+    ++result_.lm_attempts;
+    mark_event(MarkerKind::kLmStart);
+    const auto generation = ++lm_generation_;
+    lm_active_[key] = generation;
+    auto ev = env_.timeout(theta_lm_s_);
+    ev->add_callback([this, key, generation](sim::EventCore&) {
+      if (done_) return;
+      auto it = lm_active_.find(key);
+      if (it == lm_active_.end() || it->second != generation) {
+        return;  // aborted, or overtaken by the failure
+      }
+      lm_active_.erase(it);
+      lm_done_.insert(key);
+      pending_predictions_.erase(key);
+      mark_event(MarkerKind::kLmComplete);
+      node_enters_repair();  // the drained node is checked out / repaired
+      const double stall = cfg_.lm_runtime_dilation * theta_lm_s_;
+      if (stall > 0.0 && phase_ == Phase::kCompute) {
+        pending_stall_s_ += stall;
+        app_->interrupt();
+      }
+    });
+  }
+
+  /// Fig. 5: a short-lead prediction aborts in-flight LMs; the nodes being
+  /// migrated are still vulnerable and join the p-ckpt priority queue.
+  void abort_inflight_lms_into_queue() {
+    for (const auto& [key, gen] : lm_active_) {
+      ++result_.lm_aborts;
+      auto it = pending_predictions_.find(key);
+      const double deadline =
+          it != pending_predictions_.end() ? it->second : env_.now();
+      if (deadline > env_.now()) {
+        queue_.insert(VulnerableEntry{deadline, key});
+      }
+    }
+    lm_active_.clear();
+  }
+
+  void on_failure(std::size_t fi) {
+    if (done_) return;
+    const failure::Failure& f = trace_.failures()[fi];
+    if (lm_done_.count(fi) > 0) {
+      // The process left the node before it died: failure avoided.
+      ++result_.failures;
+      if (f.predicted) ++result_.predicted;
+      ++result_.mitigated_lm;
+      lm_done_.erase(fi);
+      return;
+    }
+    ++result_.failures;
+    if (f.predicted) ++result_.predicted;
+    mark_event(MarkerKind::kFailure);
+    node_enters_repair();  // the struck node goes to repair
+    lm_active_.erase(fi);  // an in-flight LM loses the race
+    pending_predictions_.erase(fi);
+    erase_from_queues(fi);
+    const bool committed = committed_.count(fi) > 0;
+    if (committed) {
+      ++result_.mitigated_ckpt;
+    } else {
+      ++result_.unhandled;
+    }
+    strikes_.push_back(FailureStrike{fi, committed});
+    app_->interrupt();
+  }
+
+  void erase_from_queues(std::size_t key) {
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->key == key) {
+        queue_.erase(it);
+        break;
+      }
+    }
+    phase2_pending_.erase(key);
+  }
+
+  Wake wake_reason() const {
+    if (!strikes_.empty()) return Wake::kStrike;
+    if (proactive_needed_) return Wake::kProactive;
+    if (pending_stall_s_ > 0.0) return Wake::kStall;
+    return Wake::kSpurious;
+  }
+
+  bool has_uncommitted_strike() const {
+    for (const auto& s : strikes_) {
+      if (!s.committed) return true;
+    }
+    return false;
+  }
+
+  /// Timeline instrumentation (no-ops unless cfg_.record_timeline).
+  void mark(PhaseKind kind, double t0) {
+    if (cfg_.record_timeline) {
+      result_.timeline.add_segment(kind, t0, env_.now());
+    }
+  }
+  void mark_event(MarkerKind kind) {
+    if (cfg_.record_timeline) {
+      result_.timeline.add_marker(kind, env_.now());
+    }
+  }
+
+  RecoveryPlan plan_recovery() const {
+    RecoveryPlan plan;
+    plan.from_proactive = proactive_restore_ > periodic_restore_;
+    plan.restore_progress = std::max(periodic_restore_, proactive_restore_);
+    const auto& storage = *setup_.storage;
+    if (plan.from_proactive) {
+      // All nodes reload their slice from the PFS (Sec. II checkpoint
+      // model) — the expensive path that shows up in P1's recovery bars.
+      plan.duration_s = storage.pfs_aggregate_seconds(nodes_, per_node_gb_);
+    } else {
+      // Healthy nodes restore from their BBs; only the replacement node
+      // touches the PFS, contention-free.
+      plan.duration_s = std::max(storage.bb_read_seconds(per_node_gb_),
+                                 storage.pfs_single_node_seconds(per_node_gb_));
+    }
+    plan.duration_s += cfg_.restart_seconds;
+    return plan;
+  }
+
+  void check_makespan_guard() {
+    if (env_.now() > makespan_guard_s_) {
+      // Silence the injector before unwinding so the event loop drains.
+      done_ = true;
+      if (injector_) injector_->interrupt();
+      throw std::runtime_error(
+          "simulate_run: makespan guard exceeded — the configuration "
+          "cannot make progress (failure rate outruns repair/recovery); "
+          "check spare_nodes/node_repair_hours");
+    }
+  }
+
+  double current_oci() {
+    const double t_bb = setup_.storage->bb_write_seconds(per_node_gb_);
+    const double analytic = trace_.job_rate_per_second();
+    double rate = analytic;
+    if (cfg_.rate_estimation == RateEstimation::kObserved) {
+      // Smoothed online estimate: one analytic-rate pseudo-observation,
+      // then the empirical count takes over as the run progresses.
+      rate = (static_cast<double>(result_.failures) + 1.0) /
+             (env_.now() + 1.0 / analytic);
+    }
+    const double oci =
+        uses_lm(cfg_.kind)
+            ? sigma_extended_oci_seconds(t_bb, rate, sigma_)
+            : young_oci_seconds(t_bb, rate);
+    return std::max(cfg_.min_oci_seconds, oci);
+  }
+
+  /// Revisit predictions that were pending when a failure tore down an
+  /// in-progress proactive action: nodes still expected to fail get a new
+  /// chance at mitigation (LM or p-ckpt) with their remaining lead time.
+  void reinitiate_pending_predictions() {
+    std::vector<std::pair<std::size_t, double>> live;
+    for (auto it = pending_predictions_.begin();
+         it != pending_predictions_.end();) {
+      if (it->second <= env_.now() + kEps) {
+        it = pending_predictions_.erase(it);  // stale (FP deadline passed)
+      } else {
+        live.emplace_back(it->first, it->second);
+        ++it;
+      }
+    }
+    for (const auto& [key, deadline] : live) {
+      if (lm_active_.count(key) || lm_done_.count(key) ||
+          committed_.count(key)) {
+        continue;  // already being handled
+      }
+      bool queued = phase2_pending_.count(key) > 0;
+      for (const auto& e : queue_) queued = queued || e.key == key;
+      if (queued) continue;
+      decide(key, deadline, deadline - env_.now());
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Processes.
+  // ------------------------------------------------------------------
+
+  sim::Process injector_process() {
+    std::size_t i = 0;
+    try {
+      while (!done_) {
+        if (i >= trace_.event_count()) {
+          trace_.ensure_horizon(trace_.horizon() + 720.0 * 3600.0);
+          continue;
+        }
+        const failure::TraceEvent ev = trace_.event(i);  // copy: may realloc
+        if (ev.time_s > env_.now()) {
+          co_await env_.timeout(ev.time_s - env_.now());
+        }
+        if (done_) break;
+        if (ev.kind == failure::TraceEvent::Kind::kPrediction) {
+          on_prediction(ev);
+        } else {
+          on_failure(ev.failure_index);
+        }
+        ++i;
+      }
+    } catch (const sim::Interrupted&) {
+      // Application finished; stop injecting.
+    }
+  }
+
+  sim::Process drain_process(double progress, std::uint64_t epoch) {
+    // Spectral-style throttled bleed-off: at most `drain_concurrency` nodes
+    // write concurrently, so the whole job's data moves at that subset's
+    // aggregate bandwidth.
+    const double drain_nodes =
+        std::min(nodes_, static_cast<double>(cfg_.drain_concurrency));
+    const double bw =
+        setup_.storage->matrix().bandwidth(drain_nodes, per_node_gb_);
+    co_await env_.timeout(nodes_ * per_node_gb_ / bw);
+    if (epoch == drain_epoch_ && !done_) {
+      periodic_restore_ = std::max(periodic_restore_, progress);
+    }
+  }
+
+  sim::Process app_process() {
+    enum class Next { kCompute, kBbCkpt, kProactive, kRecovery, kStall, kDone };
+    Next next = Next::kCompute;
+    RecoveryPlan recovery_plan;
+
+    while (next != Next::kDone) {
+      switch (next) {
+        // ---------------------------------------------------------- compute
+        case Next::kCompute: {
+          if (work_done_ >= total_work_ - kEps) {
+            next = Next::kDone;
+            break;
+          }
+          check_makespan_guard();
+          phase_ = Phase::kCompute;
+          const double oci = current_oci();
+          result_.oci_sum_s += oci;
+          ++result_.oci_samples;
+          double remaining =
+              std::min(oci, total_work_ - work_done_);
+          next = Next::kBbCkpt;
+          while (remaining > kEps) {
+            const double t0 = env_.now();
+            try {
+              co_await env_.timeout(remaining);
+              work_done_ += remaining;
+              remaining = 0;
+              mark(PhaseKind::kCompute, t0);
+            } catch (const sim::Interrupted&) {
+              const double elapsed = env_.now() - t0;
+              work_done_ += elapsed;
+              remaining -= elapsed;
+              mark(PhaseKind::kCompute, t0);
+              const Wake w = wake_reason();
+              if (w == Wake::kSpurious) continue;
+              if (w == Wake::kStrike) {
+                recovery_plan = plan_recovery();
+                next = Next::kRecovery;
+              } else if (w == Wake::kProactive) {
+                next = Next::kProactive;
+              } else {
+                next = Next::kStall;
+              }
+              break;
+            }
+          }
+          if (next == Next::kBbCkpt && work_done_ >= total_work_ - kEps) {
+            next = Next::kDone;  // no trailing checkpoint after the last chunk
+          }
+          break;
+        }
+
+        // ----------------------------------------------------------- BB ckpt
+        case Next::kBbCkpt: {
+          phase_ = Phase::kBbCkpt;
+          double remaining = setup_.storage->bb_write_seconds(per_node_gb_);
+          next = Next::kCompute;
+          bool completed = true;
+          while (remaining > kEps) {
+            const double t0 = env_.now();
+            try {
+              co_await env_.timeout(remaining);
+              result_.overheads.checkpoint_s += remaining;
+              remaining = 0;
+              mark(PhaseKind::kBbCheckpoint, t0);
+            } catch (const sim::Interrupted&) {
+              const double elapsed = env_.now() - t0;
+              result_.overheads.checkpoint_s += elapsed;
+              remaining -= elapsed;
+              mark(PhaseKind::kBbCheckpoint, t0);
+              const Wake w = wake_reason();
+              if (w == Wake::kSpurious) continue;
+              if (w == Wake::kStall) {
+                pending_stall_s_ = 0.0;  // dilation folded into the write
+                continue;
+              }
+              completed = false;  // partial BB write: no drain
+              if (w == Wake::kStrike) {
+                recovery_plan = plan_recovery();
+                next = Next::kRecovery;
+              } else {
+                next = Next::kProactive;
+              }
+              break;
+            }
+          }
+          if (completed) {
+            ++result_.periodic_ckpts;
+            env_.spawn(drain_process(work_done_, drain_epoch_))
+                .named("drain");
+          }
+          break;
+        }
+
+        // --------------------------------------------------------- proactive
+        case Next::kProactive: {
+          phase_ = Phase::kProactive;
+          proactive_active_ = true;
+          proactive_needed_ = false;
+          round_phase_ = 1;
+          round_commits_.clear();
+          bool aborted = false;
+          bool have_pending_handled_strike = false;
+
+          if (!uses_pckpt(cfg_.kind)) {
+            // Safeguard: every node writes in one bulk PFS transfer; all
+            // vulnerable entries commit when the write completes.
+            for (const auto& e : queue_) phase2_pending_.insert(e.key);
+            queue_.clear();
+          }
+
+          // Phase 1 (p-ckpt only): vulnerable nodes drain one at a time at
+          // contention-free single-node bandwidth, earliest deadline first.
+          while (uses_pckpt(cfg_.kind) && !queue_.empty() && !aborted) {
+            const VulnerableEntry entry = *queue_.begin();
+            queue_.erase(queue_.begin());
+            double remaining =
+                setup_.storage->pfs_single_node_seconds(per_node_gb_);
+            while (remaining > kEps && !aborted) {
+              const double t0 = env_.now();
+              try {
+                co_await env_.timeout(remaining);
+                result_.overheads.checkpoint_s += remaining;
+                remaining = 0;
+                mark(PhaseKind::kProactivePhase1, t0);
+              } catch (const sim::Interrupted&) {
+                const double elapsed = env_.now() - t0;
+                result_.overheads.checkpoint_s += elapsed;
+                remaining -= elapsed;
+                mark(PhaseKind::kProactivePhase1, t0);
+                const Wake w = wake_reason();
+                if (w == Wake::kStrike) {
+                  if (!has_uncommitted_strike()) {
+                    // The dying node's state is already safe; healthy nodes
+                    // keep writing and recovery starts once the cut is
+                    // complete (the paper's phase-2-after-failure).
+                    have_pending_handled_strike = true;
+                    continue;
+                  }
+                  aborted = true;
+                } else if (w == Wake::kStall) {
+                  pending_stall_s_ = 0.0;
+                  continue;
+                } else {
+                  // New vulnerable nodes just join the queue.
+                  proactive_needed_ = false;
+                  continue;
+                }
+              }
+            }
+            if (!aborted && remaining <= kEps) {
+              committed_.insert(entry.key);
+              round_commits_.push_back(entry.key);
+              pending_predictions_.erase(entry.key);
+            }
+          }
+
+          // Phase 2: the remaining (healthy) nodes commit in bulk.
+          if (!aborted) {
+            round_phase_ = 2;
+            const double vuln =
+                static_cast<double>(round_commits_.size());
+            const double writers = std::max(1.0, nodes_ - vuln);
+            double remaining =
+                setup_.storage->pfs_aggregate_seconds(writers, per_node_gb_);
+            while (remaining > kEps && !aborted) {
+              const double t0 = env_.now();
+              try {
+                co_await env_.timeout(remaining);
+                result_.overheads.checkpoint_s += remaining;
+                remaining = 0;
+                mark(PhaseKind::kProactivePhase2, t0);
+              } catch (const sim::Interrupted&) {
+                const double elapsed = env_.now() - t0;
+                result_.overheads.checkpoint_s += elapsed;
+                remaining -= elapsed;
+                mark(PhaseKind::kProactivePhase2, t0);
+                const Wake w = wake_reason();
+                if (w == Wake::kStrike) {
+                  if (!has_uncommitted_strike()) {
+                    have_pending_handled_strike = true;
+                    continue;
+                  }
+                  aborted = true;
+                } else if (w == Wake::kStall) {
+                  pending_stall_s_ = 0.0;
+                  continue;
+                } else {
+                  proactive_needed_ = false;
+                  continue;
+                }
+              }
+            }
+          }
+
+          if (!aborted) {
+            for (std::size_t key : phase2_pending_) {
+              committed_.insert(key);
+              round_commits_.push_back(key);
+              pending_predictions_.erase(key);
+            }
+            phase2_pending_.clear();
+            proactive_restore_ = std::max(proactive_restore_, work_done_);
+            ++result_.proactive_ckpts;
+            proactive_active_ = false;
+            if (have_pending_handled_strike || !strikes_.empty()) {
+              recovery_plan = plan_recovery();
+              next = Next::kRecovery;
+            } else if (uses_pckpt(cfg_.kind) && !queue_.empty()) {
+              next = Next::kProactive;  // late arrivals: another round
+            } else {
+              next = Next::kCompute;
+            }
+          } else {
+            // The cut never completed: this round's commits are not a
+            // consistent restore point. Strikes that were classified as
+            // mitigated against a commit of this very round (possible when
+            // several failures land at the same instant) are reclassified.
+            for (auto& strike : strikes_) {
+              if (strike.committed &&
+                  std::find(round_commits_.begin(), round_commits_.end(),
+                            strike.failure_index) != round_commits_.end()) {
+                strike.committed = false;
+                --result_.mitigated_ckpt;
+                ++result_.unhandled;
+              }
+            }
+            for (std::size_t key : round_commits_) committed_.erase(key);
+            round_commits_.clear();
+            queue_.clear();
+            phase2_pending_.clear();
+            proactive_active_ = false;
+            recovery_plan = plan_recovery();
+            next = Next::kRecovery;
+          }
+          break;
+        }
+
+        // ---------------------------------------------------------- recovery
+        case Next::kRecovery: {
+          phase_ = Phase::kRecovery;
+          strikes_.clear();  // all simultaneous strikes share this recovery
+          proactive_needed_ = false;
+          ++drain_epoch_;    // in-flight BB drains die with the failed run
+          const double loss =
+              std::max(0.0, work_done_ - recovery_plan.restore_progress);
+          result_.overheads.recomputation_s += loss;
+          work_done_ = recovery_plan.restore_progress;
+          // The failed node needs a replacement; with a finite pool the
+          // recovery stalls until one is repaired.
+          double remaining = recovery_plan.duration_s + acquire_spare_wait();
+          while (remaining > kEps) {
+            const double t0 = env_.now();
+            try {
+              co_await env_.timeout(remaining);
+              result_.overheads.recovery_s += remaining;
+              remaining = 0;
+              mark(PhaseKind::kRecovery, t0);
+            } catch (const sim::Interrupted&) {
+              const double elapsed = env_.now() - t0;
+              result_.overheads.recovery_s += elapsed;
+              remaining -= elapsed;
+              mark(PhaseKind::kRecovery, t0);
+              const Wake w = wake_reason();
+              if (w == Wake::kStrike) {
+                // Another failure mid-recovery: start the restore over
+                // (and it consumed another replacement node).
+                check_makespan_guard();
+                strikes_.clear();
+                remaining = plan_recovery().duration_s + acquire_spare_wait();
+              } else if (w == Wake::kStall) {
+                pending_stall_s_ = 0.0;
+              }
+              // Proactive requests during recovery carry no new state to
+              // save; the controller already filters them, but be safe:
+              proactive_needed_ = false;
+            }
+          }
+          phase_ = Phase::kCompute;
+          reinitiate_pending_predictions();
+          next = Next::kCompute;
+          break;
+        }
+
+        // ------------------------------------------------------------- stall
+        case Next::kStall: {
+          phase_ = Phase::kStall;
+          double remaining = pending_stall_s_;
+          pending_stall_s_ = 0.0;
+          next = Next::kCompute;
+          while (remaining > kEps) {
+            const double t0 = env_.now();
+            try {
+              co_await env_.timeout(remaining);
+              result_.overheads.migration_s += remaining;
+              remaining = 0;
+              mark(PhaseKind::kStall, t0);
+            } catch (const sim::Interrupted&) {
+              const double elapsed = env_.now() - t0;
+              result_.overheads.migration_s += elapsed;
+              remaining -= elapsed;
+              mark(PhaseKind::kStall, t0);
+              const Wake w = wake_reason();
+              if (w == Wake::kSpurious) continue;
+              if (w == Wake::kStrike) {
+                recovery_plan = plan_recovery();
+                next = Next::kRecovery;
+              } else if (w == Wake::kProactive) {
+                next = Next::kProactive;
+              } else {
+                remaining += pending_stall_s_;  // coalesce stalls
+                pending_stall_s_ = 0.0;
+              }
+              if (next != Next::kCompute) break;
+            }
+          }
+          break;
+        }
+
+        case Next::kDone:
+          break;
+      }
+    }
+
+    phase_ = Phase::kDone;
+    done_ = true;
+    result_.makespan_s = env_.now();
+    injector_->interrupt();
+    co_return;
+  }
+
+  // ------------------------------------------------------------------
+
+  sim::Environment env_;
+  const RunSetup& setup_;
+  CrConfig cfg_;
+  failure::FailureTrace trace_;
+  RunResult result_;
+
+  const double total_work_;
+  const double per_node_gb_;
+  const double nodes_;
+  const double theta_lm_s_;
+  const double sigma_;
+
+  double work_done_ = 0;
+  Phase phase_ = Phase::kCompute;
+  bool done_ = false;
+
+  // Restore points (progress values whose state is durably stored).
+  double periodic_restore_ = 0;    // on BBs + PFS
+  double proactive_restore_ = -1;  // on PFS only
+  std::uint64_t drain_epoch_ = 0;
+
+  // Vulnerable-node coordination state (Fig. 5).
+  std::set<VulnerableEntry> queue_;
+  std::set<std::size_t> phase2_pending_;
+  std::set<std::size_t> committed_;
+  std::vector<std::size_t> round_commits_;
+  bool proactive_active_ = false;
+  bool proactive_needed_ = false;
+  int round_phase_ = 1;
+
+  // Live migration state.
+  std::map<std::size_t, std::uint64_t> lm_active_;  // key -> generation
+  std::set<std::size_t> lm_done_;
+  std::uint64_t lm_generation_ = 0;
+
+  std::map<std::size_t, double> pending_predictions_;  // key -> deadline
+  std::vector<double> repair_ends_;  // replacement-pool repair completions
+  std::size_t spares_available_ = 0;
+  double makespan_guard_s_ = 0;
+  std::deque<FailureStrike> strikes_;
+  double pending_stall_s_ = 0;
+  std::size_t fp_counter_ = 0;
+
+  sim::ProcessPtr app_;
+  sim::ProcessPtr injector_;
+};
+
+}  // namespace
+
+RunResult simulate_run(const RunSetup& setup, const CrConfig& config) {
+  if (setup.app == nullptr || setup.machine == nullptr ||
+      setup.storage == nullptr || setup.system == nullptr ||
+      setup.leads == nullptr) {
+    throw std::invalid_argument("simulate_run: incomplete RunSetup");
+  }
+  setup.app->validate();
+  config.validate();
+  Run run(setup, config);
+  return run.execute();
+}
+
+}  // namespace pckpt::core

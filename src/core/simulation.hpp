@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "core/cr_config.hpp"
+#include "core/overheads.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "failure/trace.hpp"
+#include "iomodel/storage.hpp"
+#include "sim/sim.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+/// \file simulation.hpp
+/// One simulated application run under a C/R model — the C++ equivalent of
+/// the paper's SimPy framework (Fig. 3). An application alternates compute
+/// phases and blocking burst-buffer checkpoints (drained to the PFS
+/// asynchronously); a failure/prediction injector replays a pre-generated
+/// trace; the controller reacts per the configured model (B/M1/M2/P1/P2),
+/// implementing the hybrid p-ckpt state machine of Fig. 5.
+
+namespace pckpt::core {
+
+/// Immutable description of one run's environment (shared across the
+/// models being compared so the comparison is paired).
+struct RunSetup {
+  const workload::Application* app = nullptr;
+  const workload::Machine* machine = nullptr;
+  const iomodel::StorageModel* storage = nullptr;
+  const failure::FailureSystem* system = nullptr;
+  const failure::LeadTimeModel* leads = nullptr;
+  std::uint64_t seed = 1;
+};
+
+/// Simulate one run; deterministic in (setup.seed, config).
+RunResult simulate_run(const RunSetup& setup, const CrConfig& config);
+
+/// The live-migration transfer volume for an application on a machine:
+/// min(lm_transfer_factor * per-process checkpoint, DRAM) — Sec. II.
+double lm_transfer_gb(const workload::Application& app,
+                      const workload::Machine& machine, double factor);
+
+/// Migration latency theta (seconds) for the decision rule of Fig. 5.
+double lm_theta_seconds(const workload::Application& app,
+                        const workload::Machine& machine,
+                        const iomodel::StorageModel& storage, double factor);
+
+/// The LM-eligible failure fraction sigma of Eq. 2, estimated from the
+/// failure-analysis model: recall * P(actual lead > margin * theta).
+double estimate_sigma(const failure::LeadTimeModel& leads,
+                      const failure::PredictorConfig& predictor,
+                      double theta_s, double margin);
+
+namespace detail {
+
+/// Interrupt causes delivered to the application process.
+struct FailureStrike {
+  std::size_t failure_index;
+  bool committed;  ///< vulnerable state already on the PFS (mitigated)
+};
+struct ProactiveRequest {};  ///< start a safeguard / p-ckpt round
+struct DilationStall {
+  double seconds;  ///< LM runtime-dilation stall
+};
+
+/// A vulnerable-node entry in the p-ckpt priority queue. Ordered by
+/// deadline (predicted failure time): lower deadline = higher priority,
+/// matching the paper's "lower lead time implies higher priority".
+struct VulnerableEntry {
+  double deadline_s;
+  std::size_t key;  ///< failure index, or kFpBase+n for false positives
+  bool operator<(const VulnerableEntry& o) const {
+    if (deadline_s != o.deadline_s) return deadline_s < o.deadline_s;
+    return key < o.key;
+  }
+};
+
+inline constexpr std::size_t kFpBase = static_cast<std::size_t>(1) << 62;
+
+}  // namespace detail
+
+}  // namespace pckpt::core

@@ -1,0 +1,138 @@
+#include "core/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pckpt::core {
+
+std::string_view to_string(PhaseKind k) {
+  switch (k) {
+    case PhaseKind::kCompute:
+      return "compute";
+    case PhaseKind::kBbCheckpoint:
+      return "bb-checkpoint";
+    case PhaseKind::kProactivePhase1:
+      return "pckpt-phase1";
+    case PhaseKind::kProactivePhase2:
+      return "pckpt-phase2";
+    case PhaseKind::kRecovery:
+      return "recovery";
+    case PhaseKind::kStall:
+      return "lm-stall";
+  }
+  return "?";
+}
+
+char phase_glyph(PhaseKind k) {
+  switch (k) {
+    case PhaseKind::kCompute:
+      return '=';
+    case PhaseKind::kBbCheckpoint:
+      return 'b';
+    case PhaseKind::kProactivePhase1:
+      return '1';
+    case PhaseKind::kProactivePhase2:
+      return '2';
+    case PhaseKind::kRecovery:
+      return 'R';
+    case PhaseKind::kStall:
+      return 's';
+  }
+  return '?';
+}
+
+std::string_view to_string(MarkerKind k) {
+  switch (k) {
+    case MarkerKind::kPrediction:
+      return "prediction";
+    case MarkerKind::kFalsePositive:
+      return "false-positive";
+    case MarkerKind::kFailure:
+      return "failure";
+    case MarkerKind::kLmStart:
+      return "lm-start";
+    case MarkerKind::kLmComplete:
+      return "lm-complete";
+  }
+  return "?";
+}
+
+void Timeline::add_segment(PhaseKind kind, double start_s, double end_s) {
+  if (!(end_s >= start_s)) {
+    throw std::invalid_argument("Timeline::add_segment: end before start");
+  }
+  if (!segments_.empty() && start_s < segments_.back().end_s - 1e-9) {
+    throw std::invalid_argument(
+        "Timeline::add_segment: segments must be appended in time order");
+  }
+  if (end_s - start_s < 1e-12) return;  // drop zero-length
+  if (!segments_.empty() && segments_.back().kind == kind &&
+      start_s - segments_.back().end_s < 1e-9) {
+    segments_.back().end_s = end_s;  // merge continuation
+    return;
+  }
+  segments_.push_back(PhaseSegment{kind, start_s, end_s});
+}
+
+void Timeline::add_marker(MarkerKind kind, double time_s) {
+  markers_.push_back(Marker{kind, time_s});
+}
+
+double Timeline::total(PhaseKind kind) const {
+  double t = 0;
+  for (const auto& s : segments_) {
+    if (s.kind == kind) t += s.duration();
+  }
+  return t;
+}
+
+double Timeline::span() const {
+  return segments_.empty() ? 0.0 : segments_.back().end_s;
+}
+
+std::string Timeline::render_ascii(std::size_t width) const {
+  if (width == 0) throw std::invalid_argument("render_ascii: zero width");
+  const double horizon = span();
+  std::string strip(width, '.');
+  if (horizon <= 0.0) return strip;
+  const double bucket = horizon / static_cast<double>(width);
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const double lo = bucket * static_cast<double>(i);
+    const double hi = lo + bucket;
+    // Majority phase within [lo, hi).
+    std::map<PhaseKind, double> share;
+    while (seg < segments_.size() && segments_[seg].start_s < hi) {
+      const auto& s = segments_[seg];
+      const double overlap =
+          std::min(hi, s.end_s) - std::max(lo, s.start_s);
+      if (overlap > 0) share[s.kind] += overlap;
+      if (s.end_s >= hi) break;
+      ++seg;
+    }
+    double best = 0;
+    for (const auto& [kind, t] : share) {
+      if (t > best) {
+        best = t;
+        strip[i] = phase_glyph(kind);
+      }
+    }
+  }
+  return strip;
+}
+
+void Timeline::print_csv(std::ostream& os) const {
+  os << "record,kind,start_s,end_s\n";
+  for (const auto& s : segments_) {
+    os << "segment," << to_string(s.kind) << ',' << s.start_s << ','
+       << s.end_s << '\n';
+  }
+  for (const auto& m : markers_) {
+    os << "marker," << to_string(m.kind) << ',' << m.time_s << ",\n";
+  }
+}
+
+}  // namespace pckpt::core

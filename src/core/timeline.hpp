@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file timeline.hpp
+/// Optional per-run timeline: what the application was doing when
+/// (compute / BB checkpoint / proactive PFS checkpoint / recovery / LM
+/// stall), plus point markers for predictions, failures and migrations.
+/// Enabled via CrConfig::record_timeline; exported as CSV or a compact
+/// ASCII Gantt strip — handy for inspecting how a p-ckpt round interleaves
+/// with failures.
+
+namespace pckpt::core {
+
+enum class PhaseKind {
+  kCompute,
+  kBbCheckpoint,
+  kProactivePhase1,
+  kProactivePhase2,
+  kRecovery,
+  kStall,
+};
+
+std::string_view to_string(PhaseKind k);
+char phase_glyph(PhaseKind k);
+
+struct PhaseSegment {
+  PhaseKind kind = PhaseKind::kCompute;
+  double start_s = 0;
+  double end_s = 0;
+  double duration() const { return end_s - start_s; }
+};
+
+enum class MarkerKind {
+  kPrediction,
+  kFalsePositive,
+  kFailure,
+  kLmStart,
+  kLmComplete,
+};
+
+std::string_view to_string(MarkerKind k);
+
+struct Marker {
+  MarkerKind kind = MarkerKind::kFailure;
+  double time_s = 0;
+};
+
+class Timeline {
+ public:
+  /// Append a segment; zero-length segments are dropped and segments that
+  /// continue the previous one (same kind, abutting) are merged.
+  void add_segment(PhaseKind kind, double start_s, double end_s);
+  void add_marker(MarkerKind kind, double time_s);
+
+  const std::vector<PhaseSegment>& segments() const noexcept {
+    return segments_;
+  }
+  const std::vector<Marker>& markers() const noexcept { return markers_; }
+
+  /// Total time attributed to a phase kind.
+  double total(PhaseKind kind) const;
+  /// End of the last segment (0 when empty).
+  double span() const;
+
+  /// Compact one-line-per-phase ASCII strip over [0, span()], `width`
+  /// characters wide: a cell shows the phase occupying the majority of
+  /// its bucket.
+  std::string render_ascii(std::size_t width = 100) const;
+
+  /// CSV: kind,start_s,end_s rows for segments then kind,time_s rows for
+  /// markers.
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<PhaseSegment> segments_;
+  std::vector<Marker> markers_;
+};
+
+}  // namespace pckpt::core

@@ -1,0 +1,88 @@
+#include "failure/lead_time_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pckpt::failure {
+
+namespace {
+
+std::vector<double> extract_weights(
+    const std::vector<LeadTimeSequence>& seqs) {
+  std::vector<double> w;
+  w.reserve(seqs.size());
+  for (const auto& s : seqs) w.push_back(s.weight);
+  return w;
+}
+
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+}  // namespace
+
+LeadTimeModel::LeadTimeModel(std::vector<LeadTimeSequence> sequences)
+    : sequences_(std::move(sequences)),
+      picker_(extract_weights(sequences_)) {
+  dists_.reserve(sequences_.size());
+  for (const auto& s : sequences_) {
+    if (!(s.median_seconds > 0.0)) {
+      throw std::invalid_argument("LeadTimeModel: median must be > 0");
+    }
+    dists_.push_back(rnd::LogNormal::from_median(s.median_seconds, s.sigma));
+  }
+}
+
+LeadTimeModel LeadTimeModel::summit_default() {
+  // Synthetic stand-in for the paper's Fig. 2a (see file comment).
+  // Weights are occurrence counts scaled to sum to ~100.
+  return LeadTimeModel({
+      {1, "node heartbeat loss chain", 17.0, 0.12, 17.0},
+      {2, "GPU XID error chain", 22.3, 0.05, 7.0},
+      {3, "fabric retry storm (heavy tail)", 25.3, 0.05, 8.0},
+      {4, "MCE correctable-burst chain (heavy tail)", 300.0, 0.90, 2.5},
+      {5, "power-supply droop chain", 43.2, 0.022, 30.0},
+      {6, "NVM wear alarm chain", 43.8, 0.020, 20.0},
+      {7, "fan/thermal excursion chain", 18.7, 0.08, 1.0},
+      {8, "kernel soft-lockup chain", 90.0, 0.60, 3.0},
+      {9, "Lustre/GPFS client eviction chain", 39.3, 0.04, 10.0},
+      {10, "voltage-regulator fault chain", 44.5, 0.25, 1.5},
+  });
+}
+
+LeadTimeModel::Sample LeadTimeModel::sample(rnd::Xoshiro256& rng) const {
+  const std::size_t idx = picker_(rng);
+  return Sample{sequences_[idx].id, dists_[idx](rng)};
+}
+
+double LeadTimeModel::ccdf(double seconds) const {
+  if (seconds <= 0.0) return 1.0;
+  double total_weight = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sequences_.size(); ++i) {
+    const auto& s = sequences_[i];
+    total_weight += s.weight;
+    // P(LogNormal(median, sigma) > x) = 1 - Phi((ln x - ln median)/sigma).
+    double p;
+    if (s.sigma == 0.0) {
+      p = seconds < s.median_seconds ? 1.0 : 0.0;
+    } else {
+      const double z =
+          (std::log(seconds) - std::log(s.median_seconds)) / s.sigma;
+      p = 1.0 - phi(z);
+    }
+    acc += s.weight * p;
+  }
+  return acc / total_weight;
+}
+
+double LeadTimeModel::mean() const {
+  double total_weight = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sequences_.size(); ++i) {
+    total_weight += sequences_[i].weight;
+    acc += sequences_[i].weight * dists_[i].mean();
+  }
+  return acc / total_weight;
+}
+
+}  // namespace pckpt::failure

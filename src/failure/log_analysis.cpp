@@ -1,0 +1,210 @@
+#include "failure/log_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "random/distributions.hpp"
+
+namespace pckpt::failure {
+
+void ChainTemplate::validate() const {
+  if (phrases.size() < 2) {
+    throw std::invalid_argument(
+        "ChainTemplate: need at least two phrases (precursor + failure)");
+  }
+  for (const auto& p : phrases) {
+    if (p.empty()) {
+      throw std::invalid_argument("ChainTemplate: empty phrase");
+    }
+  }
+  if (!(median_gap_s > 0.0) || !(gap_sigma >= 0.0) || !(weight > 0.0)) {
+    throw std::invalid_argument("ChainTemplate: bad gap/weight parameters");
+  }
+}
+
+GeneratedLog generate_log(const std::vector<ChainTemplate>& templates,
+                          const LogGenConfig& cfg) {
+  if (templates.empty()) {
+    throw std::invalid_argument("generate_log: no templates");
+  }
+  for (const auto& t : templates) t.validate();
+  if (cfg.nodes < 1 || !(cfg.horizon_s > 0.0) ||
+      !(cfg.chains_per_hour > 0.0) || !(cfg.noise_per_hour >= 0.0)) {
+    throw std::invalid_argument("generate_log: bad config");
+  }
+
+  rnd::Xoshiro256 rng(cfg.seed);
+  std::vector<double> weights;
+  weights.reserve(templates.size());
+  for (const auto& t : templates) weights.push_back(t.weight);
+  const rnd::DiscreteWeights pick(weights);
+
+  GeneratedLog out;
+
+  // Chain instances: Poisson arrivals over the horizon.
+  const rnd::Exponential chain_gap(cfg.chains_per_hour / 3600.0);
+  double t = 0.0;
+  while (true) {
+    t += chain_gap(rng);
+    if (t > cfg.horizon_s) break;
+    const auto& tmpl = templates[pick(rng)];
+    const int node = static_cast<int>(rnd::uniform_index(
+        rng, static_cast<std::uint64_t>(cfg.nodes)));
+    const rnd::LogNormal gap =
+        rnd::LogNormal::from_median(tmpl.median_gap_s, tmpl.gap_sigma);
+    ChainInstance inst;
+    inst.template_id = tmpl.id;
+    inst.node = node;
+    inst.start_s = t;
+    double at = t;
+    for (std::size_t i = 0; i < tmpl.phrases.size(); ++i) {
+      if (i > 0) at += gap(rng);
+      out.events.push_back(LogEvent{at, node, tmpl.phrases[i]});
+    }
+    inst.end_s = at;
+    out.truth.push_back(inst);
+  }
+
+  // Background noise.
+  if (cfg.noise_per_hour > 0.0) {
+    const rnd::Exponential noise_gap(cfg.noise_per_hour / 3600.0);
+    static const char* kNoise[] = {
+        "sshd session opened",   "nfs client renew",
+        "cron job finished",     "lustre stats rollover",
+        "thermal reading ok",    "scheduler heartbeat",
+    };
+    double tn = 0.0;
+    while (true) {
+      tn += noise_gap(rng);
+      if (tn > cfg.horizon_s) break;
+      const int node = static_cast<int>(rnd::uniform_index(
+          rng, static_cast<std::uint64_t>(cfg.nodes)));
+      out.events.push_back(LogEvent{
+          tn, node, kNoise[rnd::uniform_index(rng, 6)]});
+    }
+  }
+
+  std::sort(out.events.begin(), out.events.end(),
+            [](const LogEvent& a, const LogEvent& b) {
+              return a.time_s < b.time_s;
+            });
+  std::sort(out.truth.begin(), out.truth.end(),
+            [](const ChainInstance& a, const ChainInstance& b) {
+              return a.start_s < b.start_s;
+            });
+  return out;
+}
+
+std::vector<ChainInstance> detect_chains(
+    const std::vector<LogEvent>& events,
+    const std::vector<ChainTemplate>& templates, double max_gap_s) {
+  for (const auto& t : templates) t.validate();
+  if (!(max_gap_s > 0.0)) {
+    throw std::invalid_argument("detect_chains: max_gap_s must be > 0");
+  }
+
+  struct Partial {
+    std::size_t next_phrase = 0;
+    double start_s = 0;
+    double last_s = 0;
+    bool active = false;
+  };
+  // State per (node, template).
+  std::map<std::pair<int, std::size_t>, Partial> state;
+  std::vector<ChainInstance> found;
+
+  for (const auto& ev : events) {
+    for (std::size_t ti = 0; ti < templates.size(); ++ti) {
+      const auto& tmpl = templates[ti];
+      auto& p = state[{ev.node, ti}];
+      if (p.active && ev.time_s - p.last_s > max_gap_s) {
+        p = Partial{};  // stale partial match abandoned
+      }
+      const std::size_t want = p.active ? p.next_phrase : 0;
+      if (ev.phrase != tmpl.phrases[want]) continue;
+      if (!p.active) {
+        p.active = true;
+        p.start_s = ev.time_s;
+        p.next_phrase = 0;
+      }
+      p.last_s = ev.time_s;
+      ++p.next_phrase;
+      if (p.next_phrase == tmpl.phrases.size()) {
+        ChainInstance inst;
+        inst.template_id = tmpl.id;
+        inst.node = ev.node;
+        inst.start_s = p.start_s;
+        inst.end_s = ev.time_s;
+        found.push_back(inst);
+        p = Partial{};
+      }
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const ChainInstance& a, const ChainInstance& b) {
+              return a.start_s < b.start_s;
+            });
+  return found;
+}
+
+LeadTimeModel fit_lead_time_model(
+    const std::vector<ChainInstance>& chains,
+    const std::vector<ChainTemplate>& templates) {
+  std::map<int, std::vector<double>> by_template;
+  for (const auto& c : chains) {
+    if (c.lead_s() > 0.0) by_template[c.template_id].push_back(c.lead_s());
+  }
+  std::vector<LeadTimeSequence> seqs;
+  for (const auto& tmpl : templates) {
+    auto it = by_template.find(tmpl.id);
+    if (it == by_template.end() || it->second.size() < 2) continue;
+    const auto& leads = it->second;
+    double log_mean = 0.0;
+    for (double x : leads) log_mean += std::log(x);
+    log_mean /= static_cast<double>(leads.size());
+    double log_var = 0.0;
+    for (double x : leads) {
+      const double d = std::log(x) - log_mean;
+      log_var += d * d;
+    }
+    log_var /= static_cast<double>(leads.size() - 1);
+    LeadTimeSequence s;
+    s.id = tmpl.id;
+    s.description = tmpl.phrases.front() + " ... " + tmpl.phrases.back();
+    s.median_seconds = std::exp(log_mean);
+    s.sigma = std::sqrt(log_var);
+    s.weight = static_cast<double>(leads.size());
+    seqs.push_back(s);
+  }
+  if (seqs.empty()) {
+    throw std::invalid_argument(
+        "fit_lead_time_model: no template has enough detections");
+  }
+  return LeadTimeModel(std::move(seqs));
+}
+
+std::vector<ChainTemplate> example_chain_templates() {
+  return {
+      {1,
+       {"EDAC MC0 correctable error", "EDAC MC0 error burst",
+        "kernel panic - MCE"},
+       12.0,
+       0.25,
+       5.0},
+      {2,
+       {"ib0 link flapping", "ib0 excessive retries", "node unreachable"},
+       20.0,
+       0.30,
+       3.0},
+      {3,
+       {"ps0 voltage droop", "ps0 undervoltage alarm", "ps0 shutdown",
+        "node power loss"},
+       8.0,
+       0.20,
+       2.0},
+  };
+}
+
+}  // namespace pckpt::failure

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "failure/lead_time_model.hpp"
+#include "random/rng.hpp"
+
+/// \file log_analysis.hpp
+/// A miniature Desh-style log analysis pipeline (paper Sec. II): the
+/// paper's lead-time distribution comes from mining HPC system logs for
+/// recurring phrase sequences ("failure chains") and measuring the time
+/// between a chain's first phrase and the failure it ends in. The real
+/// logs are not public, so this module provides the full loop in
+/// miniature: a synthetic log generator that injects chain instances and
+/// background noise, a chain detector that recovers them, and a fitter
+/// that turns detected chains into a LeadTimeModel for the simulator.
+
+namespace pckpt::failure {
+
+/// One log line.
+struct LogEvent {
+  double time_s = 0;
+  int node = 0;
+  std::string phrase;
+};
+
+/// A failure-chain class: an ordered phrase sequence whose last phrase is
+/// the failure itself; consecutive phrases are separated by lognormal
+/// gaps. The chain's lead time is the sum of its gaps.
+struct ChainTemplate {
+  int id = 0;
+  std::vector<std::string> phrases;  ///< >= 2 entries; last is the failure
+  double median_gap_s = 10.0;        ///< lognormal median of each gap
+  double gap_sigma = 0.3;            ///< lognormal sigma of each gap
+  double weight = 1.0;               ///< relative occurrence frequency
+
+  void validate() const;
+};
+
+/// A chain instance found in (or injected into) a log.
+struct ChainInstance {
+  int template_id = 0;
+  int node = 0;
+  double start_s = 0;  ///< first phrase (prediction point)
+  double end_s = 0;    ///< failure phrase
+  double lead_s() const { return end_s - start_s; }
+};
+
+/// Synthetic log generation config.
+struct LogGenConfig {
+  double horizon_s = 24.0 * 3600.0;
+  int nodes = 64;
+  /// Mean chain instances injected per hour (over the whole system).
+  double chains_per_hour = 6.0;
+  /// Background noise lines per hour (phrases that match no template).
+  double noise_per_hour = 600.0;
+  std::uint64_t seed = 1;
+};
+
+/// Generate a time-ordered synthetic log plus the ground-truth instances.
+struct GeneratedLog {
+  std::vector<LogEvent> events;
+  std::vector<ChainInstance> truth;
+};
+GeneratedLog generate_log(const std::vector<ChainTemplate>& templates,
+                          const LogGenConfig& cfg);
+
+/// Scan a time-ordered log and recover chain instances: per (node,
+/// template) the phrases must appear in order; unrelated lines may
+/// interleave. A chain whose inter-phrase gap exceeds `max_gap_s` is
+/// abandoned (stale partial match).
+std::vector<ChainInstance> detect_chains(
+    const std::vector<LogEvent>& events,
+    const std::vector<ChainTemplate>& templates, double max_gap_s = 3600.0);
+
+/// Fit a LeadTimeModel from detected chains: per template, a lognormal is
+/// fitted to the observed lead times (log-space mean/sd) with the
+/// occurrence count as the weight. Templates with fewer than two
+/// detections are dropped.
+/// \throws std::invalid_argument if nothing can be fitted.
+LeadTimeModel fit_lead_time_model(
+    const std::vector<ChainInstance>& chains,
+    const std::vector<ChainTemplate>& templates);
+
+/// A small default template set (used by tests/benches as ground truth).
+std::vector<ChainTemplate> example_chain_templates();
+
+}  // namespace pckpt::failure

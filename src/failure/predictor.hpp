@@ -1,0 +1,60 @@
+#pragma once
+
+#include <stdexcept>
+
+/// \file predictor.hpp
+/// Failure-predictor quality model (an Aarohi/Desh-style online predictor
+/// summarized by its confusion-matrix rates — Sec. II and Observation 9).
+
+namespace pckpt::failure {
+
+struct PredictorConfig {
+  /// Probability that a real failure is predicted at all (= 1 - false
+  /// negative rate). Desh-class predictors achieve ~85% recall; the
+  /// FT-ratio plateaus of Tables II/IV (~0.84-0.88) pin the baseline here.
+  double recall = 0.85;
+
+  /// Fraction of emitted predictions that are false positives (paper keeps
+  /// this at 18% while sweeping the false-negative rate in Observation 9).
+  double false_positive_rate = 0.18;
+
+  /// Multiplier applied to every actual lead time — the "lead time
+  /// variability" axis of Figs. 4, 7, 8 (1.5 = 50% longer leads).
+  double lead_scale = 1.0;
+
+  /// Log-space sigma of multiplicative noise on the *predicted* lead time
+  /// (the estimate handed to the C/R model's decision logic); the actual
+  /// failure timing is unaffected. 0 = oracle-quality lead estimates, the
+  /// paper's setting. The extension experiment `ext_lead_noise` sweeps
+  /// this to quantify the accuracy sensitivity the paper lists as future
+  /// work.
+  double lead_error_sigma = 0.0;
+
+  void validate() const {
+    if (!(recall >= 0.0 && recall <= 1.0)) {
+      throw std::invalid_argument("PredictorConfig: recall must be in [0,1]");
+    }
+    if (!(false_positive_rate >= 0.0 && false_positive_rate < 1.0)) {
+      throw std::invalid_argument(
+          "PredictorConfig: false_positive_rate must be in [0,1)");
+    }
+    if (!(lead_scale > 0.0)) {
+      throw std::invalid_argument("PredictorConfig: lead_scale must be > 0");
+    }
+    if (!(lead_error_sigma >= 0.0)) {
+      throw std::invalid_argument(
+          "PredictorConfig: lead_error_sigma must be >= 0");
+    }
+  }
+
+  double false_negative_rate() const { return 1.0 - recall; }
+
+  /// Rate multiplier for the independent false-positive stream: with
+  /// true-prediction rate r, an FP stream of rate r * fp/(1-fp) makes FPs
+  /// an `false_positive_rate` fraction of all predictions.
+  double fp_stream_factor() const {
+    return recall * false_positive_rate / (1.0 - false_positive_rate);
+  }
+};
+
+}  // namespace pckpt::failure

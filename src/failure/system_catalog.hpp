@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file system_catalog.hpp
+/// The Weibull failure distributions of the paper's Table III, plus the
+/// system-to-job rescaling used to derive per-job failure processes.
+
+namespace pckpt::failure {
+
+/// One HPC system's fitted failure inter-arrival distribution.
+/// `scale_hours` is the Weibull scale of the *system-wide* inter-arrival
+/// process over `total_nodes` nodes.
+struct FailureSystem {
+  std::string name;
+  double weibull_shape;
+  double weibull_scale_hours;
+  int total_nodes;
+
+  /// System-wide mean time between failures in hours.
+  double system_mtbf_hours() const;
+
+  /// Weibull scale for a job running on `job_nodes` of the system's nodes.
+  /// Failures hit nodes uniformly at random (Sec. III), so the job sees the
+  /// system stream thinned by c/N: rate scales linearly with the node
+  /// share, shape is preserved (the standard approximation, cf. Tiwari et
+  /// al.): scale_job = scale_sys * N_sys / c.
+  double job_scale_hours(int job_nodes) const;
+
+  /// Mean time between failures hitting the job, in hours.
+  double job_mtbf_hours(int job_nodes) const;
+
+  /// Long-run failure rate for the job in failures per second (the
+  /// "lambda * c" of Young's formula, Eq. 1).
+  double job_rate_per_second(int job_nodes) const;
+};
+
+/// Table III: LANL System 8, LANL System 18, OLCF Titan.
+const std::vector<FailureSystem>& system_catalog();
+
+/// Lookup by name ("lanl8", "lanl18", "titan" — case-insensitive, also
+/// accepts the full names used in the paper). Throws std::out_of_range for
+/// unknown systems.
+const FailureSystem& system_by_name(std::string_view name);
+
+}  // namespace pckpt::failure

@@ -1,0 +1,134 @@
+#include "failure/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "random/distributions.hpp"
+#include "random/rng.hpp"
+
+namespace pckpt::failure {
+
+FailureTrace::FailureTrace(const FailureSystem& system, int job_nodes,
+                           const LeadTimeModel& leads,
+                           const PredictorConfig& predictor,
+                           std::uint64_t seed, double horizon_s)
+    : system_(&system),
+      job_nodes_(job_nodes),
+      leads_(&leads),
+      predictor_(predictor),
+      seed_(seed),
+      horizon_s_(horizon_s),
+      rate_per_s_(system.job_rate_per_second(job_nodes)) {
+  predictor_.validate();
+  if (job_nodes < 1) {
+    throw std::invalid_argument("FailureTrace: job_nodes must be >= 1");
+  }
+  if (!(horizon_s > 0.0)) {
+    throw std::invalid_argument("FailureTrace: horizon must be > 0");
+  }
+  generate();
+}
+
+void FailureTrace::ensure_horizon(double t_s) {
+  if (t_s <= horizon_s_) return;
+  horizon_s_ = std::max(t_s, horizon_s_ * 2.0);
+  generate();
+}
+
+void FailureTrace::generate() {
+  failures_.clear();
+  events_.clear();
+
+  // Stream 0: the failure renewal process (each failure consumes a fixed
+  // draw pattern, so a longer horizon reproduces the same prefix).
+  rnd::Xoshiro256 fail_rng(rnd::derive_seed(seed_, 0));
+  // Stream 1: the independent false-positive process.
+  rnd::Xoshiro256 fp_rng(rnd::derive_seed(seed_, 1));
+
+  const rnd::Weibull interarrival(system_->weibull_shape,
+                                  system_->job_scale_hours(job_nodes_) *
+                                      3600.0);
+  const rnd::Bernoulli predicted(predictor_.recall);
+  const rnd::LogNormal lead_error(0.0, predictor_.lead_error_sigma);
+  // Stream 2: lead-estimation noise (separate stream so enabling it does
+  // not perturb the failure schedule).
+  rnd::Xoshiro256 noise_rng(rnd::derive_seed(seed_, 2));
+  auto estimate = [&](double actual_lead) {
+    if (predictor_.lead_error_sigma == 0.0) return actual_lead;
+    return actual_lead * lead_error(noise_rng);
+  };
+
+  double t = 0.0;
+  while (true) {
+    t += interarrival(fail_rng);
+    const int node =
+        static_cast<int>(rnd::uniform_index(fail_rng, job_nodes_));
+    const auto lead = leads_->sample(fail_rng);
+    const bool is_predicted = predicted(fail_rng);
+    if (t > horizon_s_) break;  // draws above consumed for determinism
+    Failure f;
+    f.time_s = t;
+    f.node = node;
+    f.sequence_id = lead.sequence_id;
+    f.lead_s = lead.lead_seconds * predictor_.lead_scale;
+    f.predicted = is_predicted;
+    failures_.push_back(f);
+  }
+
+  for (std::size_t i = 0; i < failures_.size(); ++i) {
+    const Failure& f = failures_[i];
+    if (f.predicted) {
+      TraceEvent pred;
+      pred.kind = TraceEvent::Kind::kPrediction;
+      pred.time_s = std::max(0.0, f.time_s - f.lead_s);
+      pred.node = f.node;
+      pred.lead_s = f.time_s - pred.time_s;
+      pred.predicted_lead_s = estimate(pred.lead_s);
+      pred.failure_index = i;
+      events_.push_back(pred);
+    }
+    TraceEvent fail;
+    fail.kind = TraceEvent::Kind::kFailure;
+    fail.time_s = f.time_s;
+    fail.node = f.node;
+    fail.lead_s = f.lead_s;
+    fail.predicted_lead_s = f.lead_s;
+    fail.failure_index = i;
+    events_.push_back(fail);
+  }
+
+  // False positives: Poisson stream whose rate makes FPs the configured
+  // fraction of all predictions (see PredictorConfig::fp_stream_factor).
+  const double fp_rate = rate_per_s_ * predictor_.fp_stream_factor();
+  if (fp_rate > 0.0) {
+    const rnd::Exponential fp_gap(fp_rate);
+    double tf = 0.0;
+    while (true) {
+      tf += fp_gap(fp_rng);
+      const int node =
+          static_cast<int>(rnd::uniform_index(fp_rng, job_nodes_));
+      const auto lead = leads_->sample(fp_rng);
+      if (tf > horizon_s_) break;
+      TraceEvent pred;
+      pred.kind = TraceEvent::Kind::kPrediction;
+      pred.time_s = tf;
+      pred.node = node;
+      pred.lead_s = lead.lead_seconds * predictor_.lead_scale;
+      pred.predicted_lead_s = pred.lead_s;  // FP leads are pure estimates
+      pred.failure_index = TraceEvent::kNoFailure;
+      events_.push_back(pred);
+    }
+  }
+
+  std::sort(events_.begin(), events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.time_s != b.time_s) return a.time_s < b.time_s;
+              // Predictions before failures at identical timestamps.
+              if (a.kind != b.kind) {
+                return a.kind == TraceEvent::Kind::kPrediction;
+              }
+              return a.failure_index < b.failure_index;
+            });
+}
+
+}  // namespace pckpt::failure

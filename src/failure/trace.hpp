@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "failure/lead_time_model.hpp"
+#include "failure/predictor.hpp"
+#include "failure/system_catalog.hpp"
+
+/// \file trace.hpp
+/// Pre-generated failure traces: the concrete sequence of (prediction,
+/// failure) events one simulation run replays. A trace depends only on the
+/// failure environment (system distribution, job size, lead-time model,
+/// predictor quality) and a seed — never on the C/R model — so the same
+/// trace can be replayed against every model for a paired comparison.
+
+namespace pckpt::failure {
+
+/// One real failure drawn from the renewal process.
+struct Failure {
+  double time_s = 0;      ///< occurrence time (simulation seconds)
+  int node = 0;           ///< victim node index within the job
+  int sequence_id = 0;    ///< failure-chain class (Fig. 2a)
+  double lead_s = 0;      ///< actual (scaled) lead time
+  bool predicted = false; ///< false => unannounced (false negative)
+};
+
+/// One event the simulation reacts to, in time order.
+struct TraceEvent {
+  enum class Kind { kPrediction, kFailure };
+  Kind kind = Kind::kFailure;
+  double time_s = 0;
+  int node = 0;
+  /// For predictions: actual time-to-failure from `time_s`.
+  double lead_s = 0;
+  /// For predictions: the predictor's lead estimate (== lead_s unless
+  /// PredictorConfig::lead_error_sigma > 0). Decisions use this; the
+  /// failure still strikes at time_s + lead_s.
+  double predicted_lead_s = 0;
+  /// Index into failures(); kNoFailure for false positives.
+  std::size_t failure_index = kNoFailure;
+
+  static constexpr std::size_t kNoFailure = static_cast<std::size_t>(-1);
+  bool is_false_positive() const { return failure_index == kNoFailure; }
+};
+
+/// Deterministic failure/prediction schedule for one run.
+class FailureTrace {
+ public:
+  /// \param horizon_s initial generation horizon; extendable later.
+  FailureTrace(const FailureSystem& system, int job_nodes,
+               const LeadTimeModel& leads, const PredictorConfig& predictor,
+               std::uint64_t seed, double horizon_s);
+
+  /// Guarantee events exist up to time `t_s`. Extending regenerates
+  /// deterministically: the existing prefix is bit-identical.
+  void ensure_horizon(double t_s);
+
+  std::size_t event_count() const noexcept { return events_.size(); }
+  const TraceEvent& event(std::size_t i) const { return events_.at(i); }
+
+  const std::vector<Failure>& failures() const noexcept { return failures_; }
+  double horizon() const noexcept { return horizon_s_; }
+
+  /// Job-level failure rate (per second) implied by the generator; used by
+  /// the C/R models' OCI calculation.
+  double job_rate_per_second() const noexcept { return rate_per_s_; }
+
+ private:
+  void generate();
+
+  const FailureSystem* system_;
+  int job_nodes_;
+  const LeadTimeModel* leads_;
+  PredictorConfig predictor_;
+  std::uint64_t seed_;
+  double horizon_s_;
+  double rate_per_s_;
+
+  std::vector<Failure> failures_;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace pckpt::failure

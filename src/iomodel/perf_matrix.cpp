@@ -1,0 +1,85 @@
+#include "iomodel/perf_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace pckpt::iomodel {
+
+namespace {
+
+void check_axis(const std::vector<double>& axis, const char* what) {
+  if (axis.empty()) {
+    throw std::invalid_argument(std::string("PerfMatrix: empty ") + what);
+  }
+  for (std::size_t i = 0; i < axis.size(); ++i) {
+    if (!(axis[i] > 0.0)) {
+      throw std::invalid_argument(std::string("PerfMatrix: non-positive ") +
+                                  what);
+    }
+    if (i > 0 && !(axis[i] > axis[i - 1])) {
+      throw std::invalid_argument(std::string("PerfMatrix: ") + what +
+                                  " not strictly increasing");
+    }
+  }
+}
+
+/// Find interpolation bracket for x on axis: returns (index, weight) such
+/// that value = (1-w)*axis[i] + w*axis[i+1] in log space; clamps at edges.
+std::pair<std::size_t, double> bracket(const std::vector<double>& axis,
+                                       double x) {
+  if (x <= axis.front() || axis.size() == 1) return {0, 0.0};
+  if (x >= axis.back()) return {axis.size() - 2, 1.0};
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  const auto hi = static_cast<std::size_t>(it - axis.begin());
+  const std::size_t lo = hi - 1;
+  const double w = (std::log(x) - std::log(axis[lo])) /
+                   (std::log(axis[hi]) - std::log(axis[lo]));
+  return {lo, w};
+}
+
+}  // namespace
+
+PerfMatrix::PerfMatrix(std::vector<double> node_counts,
+                       std::vector<double> sizes_gb,
+                       std::vector<double> bandwidth_gbps)
+    : nodes_(std::move(node_counts)),
+      sizes_(std::move(sizes_gb)),
+      bw_(std::move(bandwidth_gbps)) {
+  check_axis(nodes_, "node axis");
+  check_axis(sizes_, "size axis");
+  if (bw_.size() != nodes_.size() * sizes_.size()) {
+    throw std::invalid_argument("PerfMatrix: bandwidth grid size mismatch");
+  }
+  for (double b : bw_) {
+    if (!(b > 0.0)) {
+      throw std::invalid_argument("PerfMatrix: non-positive bandwidth");
+    }
+  }
+}
+
+double PerfMatrix::bandwidth(double nodes, double per_node_gb) const {
+  if (!(nodes > 0.0) || !(per_node_gb > 0.0)) {
+    throw std::invalid_argument("PerfMatrix::bandwidth: arguments must be > 0");
+  }
+  const auto [ni, nw] = bracket(nodes_, nodes);
+  const auto [si, sw] = bracket(sizes_, per_node_gb);
+  const std::size_t ncols = sizes_.size();
+  const std::size_t ni2 = std::min(ni + 1, nodes_.size() - 1);
+  const std::size_t si2 = std::min(si + 1, ncols - 1);
+  // Interpolate log-bandwidth bilinearly for smooth scaling behaviour.
+  const double b00 = std::log(bw_[ni * ncols + si]);
+  const double b01 = std::log(bw_[ni * ncols + si2]);
+  const double b10 = std::log(bw_[ni2 * ncols + si]);
+  const double b11 = std::log(bw_[ni2 * ncols + si2]);
+  const double lo = b00 * (1.0 - sw) + b01 * sw;
+  const double hi = b10 * (1.0 - sw) + b11 * sw;
+  return std::exp(lo * (1.0 - nw) + hi * nw);
+}
+
+double PerfMatrix::transfer_seconds(double nodes, double per_node_gb) const {
+  return nodes * per_node_gb / bandwidth(nodes, per_node_gb);
+}
+
+}  // namespace pckpt::iomodel

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file perf_matrix.hpp
+/// The GPFS I/O performance matrix of the paper's Sec. IV: aggregate write
+/// bandwidth as a function of (node count, per-node transfer size). The
+/// simulation uses it to price every PFS checkpoint write and proactive
+/// recovery read.
+
+namespace pckpt::iomodel {
+
+/// Dense grid of measured (or synthesized) aggregate bandwidths with
+/// log-bilinear interpolation between grid points and clamping outside the
+/// grid. Rows are node counts, columns are per-node transfer sizes in GB,
+/// cells are aggregate GB/s.
+class PerfMatrix {
+ public:
+  /// \param node_counts strictly increasing, >= 1 entry
+  /// \param sizes_gb    strictly increasing per-node transfer sizes (GB)
+  /// \param bandwidth_gbps row-major [node][size], all > 0
+  PerfMatrix(std::vector<double> node_counts, std::vector<double> sizes_gb,
+             std::vector<double> bandwidth_gbps);
+
+  /// Aggregate bandwidth (GB/s) for `nodes` nodes each moving
+  /// `per_node_gb` GB. Interpolates bilinearly in log(nodes), log(size);
+  /// clamps to the grid edges.
+  double bandwidth(double nodes, double per_node_gb) const;
+
+  /// Seconds to move `nodes * per_node_gb` GB at the matrix bandwidth.
+  double transfer_seconds(double nodes, double per_node_gb) const;
+
+  const std::vector<double>& node_counts() const noexcept { return nodes_; }
+  const std::vector<double>& sizes_gb() const noexcept { return sizes_; }
+  double cell(std::size_t node_idx, std::size_t size_idx) const {
+    return bw_.at(node_idx * sizes_.size() + size_idx);
+  }
+
+ private:
+  std::vector<double> nodes_;
+  std::vector<double> sizes_;
+  std::vector<double> bw_;
+};
+
+}  // namespace pckpt::iomodel

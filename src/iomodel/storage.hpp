@@ -1,0 +1,104 @@
+#pragma once
+
+#include <stdexcept>
+
+#include "iomodel/perf_matrix.hpp"
+#include "iomodel/summit_io.hpp"
+
+/// \file storage.hpp
+/// Burst-buffer model and the storage façade the C/R models price their
+/// I/O against.
+
+namespace pckpt::iomodel {
+
+/// Per-node NVMe burst buffer (Summit: 1.6 TB, 2.1 GB/s write, 5.5 GB/s
+/// read — Sec. II).
+struct BurstBuffer {
+  double write_gbps = 2.1;
+  double read_gbps = 5.5;
+  double capacity_gb = 1600.0;
+
+  double write_seconds(double gb) const {
+    check(gb);
+    return gb / write_gbps;
+  }
+  double read_seconds(double gb) const {
+    check(gb);
+    return gb / read_gbps;
+  }
+
+ private:
+  void check(double gb) const {
+    if (!(gb >= 0.0)) {
+      throw std::invalid_argument("BurstBuffer: negative transfer");
+    }
+    if (gb > capacity_gb) {
+      throw std::invalid_argument(
+          "BurstBuffer: transfer exceeds device capacity");
+    }
+  }
+};
+
+/// Storage façade combining BBs, the PFS performance matrix and the
+/// interconnect. All C/R model I/O costs go through this type so a single
+/// substitution point controls the machine being simulated.
+class StorageModel {
+ public:
+  StorageModel(PerfMatrix matrix, BurstBuffer bb, SummitIOConfig io_cfg,
+               double interconnect_gbps = 12.5)
+      : matrix_(std::move(matrix)),
+        bb_(bb),
+        io_cfg_(io_cfg),
+        interconnect_gbps_(interconnect_gbps) {
+    if (!(interconnect_gbps > 0.0)) {
+      throw std::invalid_argument("StorageModel: interconnect must be > 0");
+    }
+  }
+
+  /// Synchronous per-node checkpoint to the local BB (all nodes write
+  /// concurrently to their own device, so job time = per-node time).
+  double bb_write_seconds(double per_node_gb) const {
+    return bb_.write_seconds(per_node_gb);
+  }
+  double bb_read_seconds(double per_node_gb) const {
+    return bb_.read_seconds(per_node_gb);
+  }
+
+  /// All `nodes` nodes writing `per_node_gb` each straight to the PFS
+  /// (safeguard checkpoints, p-ckpt phase 2, proactive recovery reads —
+  /// the paper assumes the same matrix for reads, Sec. IV).
+  double pfs_aggregate_seconds(double nodes, double per_node_gb) const {
+    return matrix_.transfer_seconds(nodes, per_node_gb);
+  }
+
+  /// One node writing/reading `gb` to/from the PFS contention-free (p-ckpt
+  /// phase 1, replacement-node recovery).
+  double pfs_single_node_seconds(double gb) const {
+    if (!(gb >= 0.0)) {
+      throw std::invalid_argument("pfs_single_node_seconds: negative size");
+    }
+    if (gb == 0.0) return 0.0;
+    return gb / node_bandwidth(gb, io_cfg_);
+  }
+
+  /// Node-to-node live-migration transfer of `gb` over the interconnect.
+  double lm_transfer_seconds(double gb) const {
+    if (!(gb >= 0.0)) {
+      throw std::invalid_argument("lm_transfer_seconds: negative size");
+    }
+    return gb / interconnect_gbps_;
+  }
+
+  const PerfMatrix& matrix() const noexcept { return matrix_; }
+  const BurstBuffer& burst_buffer() const noexcept { return bb_; }
+  const SummitIOConfig& io_config() const noexcept { return io_cfg_; }
+  double interconnect_gbps() const noexcept { return interconnect_gbps_; }
+
+ private:
+  PerfMatrix matrix_;
+  BurstBuffer bb_;
+  SummitIOConfig io_cfg_;
+  double interconnect_gbps_;
+};
+
+}  // namespace pckpt::iomodel

@@ -1,0 +1,87 @@
+#include "iomodel/summit_io.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pckpt::iomodel {
+
+double size_efficiency(double per_node_gb, const SummitIOConfig& cfg) {
+  if (!(per_node_gb > 0.0)) {
+    throw std::invalid_argument("size_efficiency: size must be > 0");
+  }
+  return per_node_gb / (per_node_gb + cfg.half_speed_size_gb);
+}
+
+namespace {
+
+/// Task-count efficiency relative to the peak: rises as a power law up to
+/// `peak_tasks`, then declines linearly toward `max_tasks_eff` at
+/// `max_tasks` (socket/adapter contention).
+double task_efficiency(int tasks, const SummitIOConfig& cfg) {
+  if (tasks < 1 || tasks > cfg.max_tasks) {
+    throw std::invalid_argument("task_efficiency: tasks out of range");
+  }
+  if (tasks <= cfg.peak_tasks) {
+    // f(1) = single_task_eff, f(peak) = 1, power-law in between.
+    const double a = -std::log(cfg.single_task_eff) /
+                     std::log(static_cast<double>(cfg.peak_tasks));
+    return std::pow(static_cast<double>(tasks) /
+                        static_cast<double>(cfg.peak_tasks),
+                    a);
+  }
+  const double frac = static_cast<double>(tasks - cfg.peak_tasks) /
+                      static_cast<double>(cfg.max_tasks - cfg.peak_tasks);
+  return 1.0 - (1.0 - cfg.max_tasks_eff) * frac;
+}
+
+}  // namespace
+
+double node_bandwidth_for_tasks(int tasks, double total_gb,
+                                const SummitIOConfig& cfg) {
+  return cfg.peak_node_bw_gbps * task_efficiency(tasks, cfg) *
+         size_efficiency(total_gb, cfg);
+}
+
+double node_bandwidth(double per_node_gb, const SummitIOConfig& cfg) {
+  return cfg.peak_node_bw_gbps * size_efficiency(per_node_gb, cfg);
+}
+
+double aggregate_bandwidth(double nodes, double per_node_gb,
+                           const SummitIOConfig& cfg) {
+  if (!(nodes >= 1.0)) {
+    throw std::invalid_argument("aggregate_bandwidth: nodes must be >= 1");
+  }
+  const double linear = nodes * node_bandwidth(per_node_gb, cfg);
+  // Harmonic saturation: smooth transition from linear scaling to the
+  // application-visible ceiling (matches the measured heat-map shape where
+  // adding nodes has diminishing returns).
+  return 1.0 / (1.0 / linear + 1.0 / cfg.pfs_ceiling_gbps);
+}
+
+PerfMatrix make_summit_matrix(const SummitIOConfig& cfg, double max_nodes,
+                              std::size_t node_steps,
+                              std::size_t size_steps) {
+  if (!(max_nodes >= 1.0) || node_steps < 2 || size_steps < 2) {
+    throw std::invalid_argument("make_summit_matrix: bad grid spec");
+  }
+  std::vector<double> nodes(node_steps);
+  for (std::size_t i = 0; i < node_steps; ++i) {
+    nodes[i] = std::exp(std::log(max_nodes) * static_cast<double>(i) /
+                        static_cast<double>(node_steps - 1));
+  }
+  // Per-node sizes from 1 MB to 512 GB (the DRAM bound of Sec. II).
+  const double lo = 0.001, hi = 512.0;
+  std::vector<double> sizes(size_steps);
+  for (std::size_t j = 0; j < size_steps; ++j) {
+    sizes[j] = lo * std::pow(hi / lo, static_cast<double>(j) /
+                                          static_cast<double>(size_steps - 1));
+  }
+  std::vector<double> bw;
+  bw.reserve(node_steps * size_steps);
+  for (double n : nodes) {
+    for (double s : sizes) bw.push_back(aggregate_bandwidth(n, s, cfg));
+  }
+  return PerfMatrix(std::move(nodes), std::move(sizes), std::move(bw));
+}
+
+}  // namespace pckpt::iomodel

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "iomodel/perf_matrix.hpp"
+
+/// \file summit_io.hpp
+/// Synthetic Summit-calibrated GPFS performance model. The paper measured
+/// these curves on the real machine (Figs. 2b, 2c); without access to
+/// Summit we generate them from a parametric model anchored to the numbers
+/// the paper quotes:
+///   - single-node PFS write peaks at ~13-13.5 GB/s with 8 MPI tasks,
+///   - per-task efficiency drops on both sides of 8 tasks,
+///   - small transfers are latency-bound (saturating size efficiency),
+///   - aggregate bandwidth saturates well below the 2.5 TB/s server-side
+///     ceiling for application-visible I/O.
+
+namespace pckpt::iomodel {
+
+struct SummitIOConfig {
+  /// Peak single-node PFS write bandwidth (GB/s), reached at `peak_tasks`
+  /// MPI tasks per node with large transfers. Paper: 13-13.5 GB/s.
+  double peak_node_bw_gbps = 13.4;
+  /// Task count per node at which node bandwidth peaks (paper: 8).
+  int peak_tasks = 8;
+  /// Max tasks per node explored in Fig. 2b (physical cores on Summit).
+  int max_tasks = 42;
+  /// Application-realizable aggregate PFS ceiling (GB/s). Server-side
+  /// capability is ~2500 GB/s; applications see less.
+  double pfs_ceiling_gbps = 1500.0;
+  /// Transfer size (GB per node) at which size efficiency reaches 50%.
+  double half_speed_size_gb = 0.25;
+  /// Efficiency ratio at 1 task relative to peak (Fig. 2b left edge).
+  double single_task_eff = 0.26;
+  /// Efficiency ratio at max_tasks relative to peak (oversubscription).
+  double max_tasks_eff = 0.70;
+};
+
+/// Size-dependent efficiency in (0,1]: saturating in transfer size
+/// (latency-dominated for small writes).
+double size_efficiency(double per_node_gb, const SummitIOConfig& cfg = {});
+
+/// Single-node aggregate bandwidth for `tasks` MPI tasks moving a total of
+/// `total_gb` from one node (the Fig. 2b family of curves).
+double node_bandwidth_for_tasks(int tasks, double total_gb,
+                                const SummitIOConfig& cfg = {});
+
+/// Best single-node bandwidth (at cfg.peak_tasks) for a transfer size —
+/// what the C/R models use for single-node PFS writes/reads.
+double node_bandwidth(double per_node_gb, const SummitIOConfig& cfg = {});
+
+/// Aggregate bandwidth of `nodes` nodes each moving `per_node_gb`
+/// (harmonic saturation toward the application ceiling) — the generator
+/// behind the Fig. 2c heat map.
+double aggregate_bandwidth(double nodes, double per_node_gb,
+                           const SummitIOConfig& cfg = {});
+
+/// Build the Fig. 2c performance matrix on a log grid.
+/// \param max_nodes largest node count row to generate (>= 1).
+PerfMatrix make_summit_matrix(const SummitIOConfig& cfg = {},
+                              double max_nodes = 4096.0,
+                              std::size_t node_steps = 13,
+                              std::size_t size_steps = 12);
+
+}  // namespace pckpt::iomodel

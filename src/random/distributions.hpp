@@ -1,0 +1,214 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <stdexcept>
+#include <vector>
+
+#include "random/rng.hpp"
+
+/// \file distributions.hpp
+/// Hand-rolled distribution samplers over Xoshiro256 (portable and
+/// deterministic; see rng.hpp). Each sampler validates its parameters at
+/// construction so model-configuration errors fail fast.
+
+namespace pckpt::rnd {
+
+/// Uniform real on [lo, hi).
+class Uniform {
+ public:
+  Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+    if (!(lo < hi)) throw std::invalid_argument("Uniform: lo must be < hi");
+  }
+  double operator()(Xoshiro256& g) const {
+    return lo_ + (hi_ - lo_) * g.uniform01();
+  }
+
+ private:
+  double lo_, hi_;
+};
+
+/// Bernoulli with probability p of `true`.
+class Bernoulli {
+ public:
+  explicit Bernoulli(double p) : p_(p) {
+    if (!(p >= 0.0 && p <= 1.0)) {
+      throw std::invalid_argument("Bernoulli: p must be in [0,1]");
+    }
+  }
+  bool operator()(Xoshiro256& g) const { return g.uniform01() < p_; }
+  double p() const noexcept { return p_; }
+
+ private:
+  double p_;
+};
+
+/// Exponential with rate lambda (mean 1/lambda).
+class Exponential {
+ public:
+  explicit Exponential(double lambda) : lambda_(lambda) {
+    if (!(lambda > 0.0)) {
+      throw std::invalid_argument("Exponential: lambda must be > 0");
+    }
+  }
+  double operator()(Xoshiro256& g) const {
+    double u;
+    do {
+      u = g.uniform01();
+    } while (u == 0.0);
+    return -std::log(u) / lambda_;
+  }
+
+ private:
+  double lambda_;
+};
+
+/// Weibull with shape k and scale lambda, via inverse transform:
+/// X = scale * (-ln U)^(1/k).
+class Weibull {
+ public:
+  Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+    if (!(shape > 0.0) || !(scale > 0.0)) {
+      throw std::invalid_argument("Weibull: shape and scale must be > 0");
+    }
+  }
+  double operator()(Xoshiro256& g) const {
+    double u;
+    do {
+      u = g.uniform01();
+    } while (u == 0.0);
+    return scale_ * std::pow(-std::log(u), 1.0 / shape_);
+  }
+
+  double shape() const noexcept { return shape_; }
+  double scale() const noexcept { return scale_; }
+
+  /// Mean = scale * Gamma(1 + 1/shape).
+  double mean() const { return scale_ * std::tgamma(1.0 + 1.0 / shape_); }
+
+  /// CDF F(x) = 1 - exp(-(x/scale)^shape).
+  double cdf(double x) const {
+    if (x <= 0.0) return 0.0;
+    return 1.0 - std::exp(-std::pow(x / scale_, shape_));
+  }
+
+  /// Hazard rate h(x) = (k/λ) (x/λ)^(k-1); decreasing for k < 1 (infant
+  /// mortality — the regime of all three Table-III systems).
+  double hazard(double x) const {
+    if (x <= 0.0) x = 1e-12;
+    return (shape_ / scale_) * std::pow(x / scale_, shape_ - 1.0);
+  }
+
+ private:
+  double shape_, scale_;
+};
+
+/// Standard normal via Box–Muller (deterministic two-draw variant).
+class Normal {
+ public:
+  Normal(double mean, double stddev) : mean_(mean), sd_(stddev) {
+    if (!(stddev >= 0.0)) {
+      throw std::invalid_argument("Normal: stddev must be >= 0");
+    }
+  }
+  double operator()(Xoshiro256& g) const {
+    double u1;
+    do {
+      u1 = g.uniform01();
+    } while (u1 == 0.0);
+    const double u2 = g.uniform01();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    return mean_ + sd_ * r * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+ private:
+  double mean_, sd_;
+};
+
+/// Lognormal: exp(Normal(mu, sigma)). Parameterized by the *underlying*
+/// normal's mu/sigma; helpers convert from a desired median and shape.
+class LogNormal {
+ public:
+  LogNormal(double mu, double sigma) : normal_(mu, sigma), mu_(mu),
+                                       sigma_(sigma) {
+    if (!(sigma >= 0.0)) {
+      throw std::invalid_argument("LogNormal: sigma must be >= 0");
+    }
+  }
+
+  /// Construct from the distribution's median and the log-space sigma.
+  static LogNormal from_median(double median, double sigma) {
+    if (!(median > 0.0)) {
+      throw std::invalid_argument("LogNormal: median must be > 0");
+    }
+    return LogNormal(std::log(median), sigma);
+  }
+
+  double operator()(Xoshiro256& g) const { return std::exp(normal_(g)); }
+
+  double median() const { return std::exp(mu_); }
+  double mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+ private:
+  Normal normal_;
+  double mu_, sigma_;
+};
+
+/// Discrete distribution over indices 0..n-1 with given non-negative
+/// weights (need not be normalized).
+class DiscreteWeights {
+ public:
+  explicit DiscreteWeights(std::vector<double> weights)
+      : cumulative_(std::move(weights)) {
+    if (cumulative_.empty()) {
+      throw std::invalid_argument("DiscreteWeights: empty weights");
+    }
+    double total = 0.0;
+    for (auto& w : cumulative_) {
+      if (!(w >= 0.0)) {
+        throw std::invalid_argument("DiscreteWeights: negative weight");
+      }
+      total += w;
+      w = total;
+    }
+    if (!(total > 0.0)) {
+      throw std::invalid_argument("DiscreteWeights: all weights zero");
+    }
+    total_ = total;
+  }
+
+  std::size_t operator()(Xoshiro256& g) const {
+    const double x = g.uniform01() * total_;
+    std::size_t lo = 0, hi = cumulative_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cumulative_[mid] <= x) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::size_t size() const noexcept { return cumulative_.size(); }
+
+ private:
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+/// Uniform integer on [0, n).
+inline std::uint64_t uniform_index(Xoshiro256& g, std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("uniform_index: n must be > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0}) - ((~std::uint64_t{0}) % n);
+  std::uint64_t x;
+  do {
+    x = g();
+  } while (x >= limit);
+  return x % n;
+}
+
+}  // namespace pckpt::rnd

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// \file rng.hpp
+/// xoshiro256** pseudo-random generator with splitmix64 seeding.
+///
+/// Deterministic across platforms (unlike std::mt19937 + std::*_distribution
+/// whose algorithms are implementation-defined for some distributions); all
+/// distribution sampling in `distributions.hpp` is written against this
+/// engine so campaign results are bit-reproducible everywhere.
+
+namespace pckpt::rnd {
+
+/// splitmix64 step — used to expand a single 64-bit seed into engine state
+/// and to derive hierarchical sub-seeds (run -> component -> draw).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Derive a child seed from a parent seed and a stream index. Used to give
+/// every simulation run and every stochastic component its own independent
+/// stream while keeping one top-level seed.
+constexpr std::uint64_t derive_seed(std::uint64_t parent,
+                                    std::uint64_t stream) {
+  std::uint64_t s = parent ^ (0x9E3779B97F4A7C15ULL * (stream + 1));
+  (void)splitmix64(s);
+  return splitmix64(s);
+}
+
+/// xoshiro256** engine (Blackman & Vigna). Satisfies
+/// std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : s_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace pckpt::rnd

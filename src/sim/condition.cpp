@@ -1,0 +1,66 @@
+#include "sim/condition.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "sim/environment.hpp"
+
+namespace pckpt::sim {
+
+namespace {
+
+struct ConditionState {
+  std::size_t remaining;
+  bool done = false;
+};
+
+}  // namespace
+
+EventPtr any_of(Environment& env, std::vector<EventPtr> events) {
+  auto result = env.event();
+  if (events.empty()) {
+    result->succeed();
+    return result;
+  }
+  auto st = std::make_shared<ConditionState>();
+  st->remaining = events.size();
+  for (auto& ev : events) {
+    ev->add_callback([result, st](EventCore& fired) {
+      if (st->done) return;
+      st->done = true;
+      if (fired.failed()) {
+        result->fail(fired.error());
+      } else {
+        result->succeed();
+      }
+    });
+  }
+  return result;
+}
+
+EventPtr all_of(Environment& env, std::vector<EventPtr> events) {
+  auto result = env.event();
+  if (events.empty()) {
+    result->succeed();
+    return result;
+  }
+  auto st = std::make_shared<ConditionState>();
+  st->remaining = events.size();
+  for (auto& ev : events) {
+    ev->add_callback([result, st](EventCore& fired) {
+      if (st->done) return;
+      if (fired.failed()) {
+        st->done = true;
+        result->fail(fired.error());
+        return;
+      }
+      if (--st->remaining == 0) {
+        st->done = true;
+        result->succeed();
+      }
+    });
+  }
+  return result;
+}
+
+}  // namespace pckpt::sim

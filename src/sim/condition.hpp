@@ -1,0 +1,24 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/event.hpp"
+
+/// \file condition.hpp
+/// Composite events: wait for any / all of a set of events.
+
+namespace pckpt::sim {
+
+class Environment;
+
+/// Event that succeeds when the first of `events` succeeds. If a child
+/// fails first, the condition fails with that child's error. An empty list
+/// yields an immediately-succeeding event.
+EventPtr any_of(Environment& env, std::vector<EventPtr> events);
+
+/// Event that succeeds once every event in `events` has succeeded. Any
+/// child failure fails the condition immediately. An empty list yields an
+/// immediately-succeeding event.
+EventPtr all_of(Environment& env, std::vector<EventPtr> events);
+
+}  // namespace pckpt::sim

@@ -1,0 +1,100 @@
+#include "sim/environment.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "sim/process.hpp"
+
+namespace pckpt::sim {
+
+Environment::~Environment() {
+  // Destroy frames of processes that never finished; this breaks the
+  // state<->frame ownership so everything is reclaimed.
+  auto procs = std::move(processes_);
+  processes_.clear();
+  for (const auto& [ptr, ps] : procs) ps->destroy_frame();
+  collect_garbage();
+}
+
+void Environment::collect_garbage() {
+  // Frames of finished coroutines are destroyed here, outside any coroutine
+  // context, to avoid destroying a frame from within its own final awaiter.
+  while (!graveyard_.empty()) {
+    auto h = graveyard_.back();
+    graveyard_.pop_back();
+    h.destroy();
+  }
+}
+
+EventPtr Environment::event() { return std::make_shared<EventCore>(*this); }
+
+EventPtr Environment::timeout(SimTime delay) {
+  if (!(delay >= 0.0)) {
+    throw std::invalid_argument("Environment::timeout: negative or NaN delay");
+  }
+  auto ev = event();
+  ev->state_ = EventCore::State::kScheduled;
+  heap_.push(Entry{now_ + delay, seq_++, ev});
+  return ev;
+}
+
+void Environment::schedule(EventPtr ev, SimTime delay) {
+  if (!(delay >= 0.0)) {
+    throw std::invalid_argument(
+        "Environment::schedule: negative or NaN delay");
+  }
+  if (ev->state_ == EventCore::State::kProcessed) {
+    throw std::logic_error("Environment::schedule: event already processed");
+  }
+  ev->state_ = EventCore::State::kScheduled;
+  heap_.push(Entry{now_ + delay, seq_++, std::move(ev)});
+}
+
+void Environment::defer(std::function<void()> fn) {
+  auto ev = event();
+  ev->add_callback([f = std::move(fn)](EventCore&) { f(); });
+  schedule(std::move(ev), 0.0);
+}
+
+Process& Environment::spawn(Process& p) {
+  if (!p.valid()) throw std::invalid_argument("Environment::spawn: invalid");
+  if (p.state()->spawned()) {
+    throw std::logic_error("Environment::spawn: process already spawned");
+  }
+  p.state()->start(*this);
+  processes_.emplace(p.state().get(), p.state());
+  return p;
+}
+
+Process Environment::spawn(Process&& p) {
+  spawn(p);
+  return std::move(p);
+}
+
+bool Environment::step() {
+  collect_garbage();
+  if (heap_.empty()) return false;
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.t;
+  ++processed_count_;
+  e.ev->process();
+  return true;
+}
+
+void Environment::run() {
+  while (step()) {
+  }
+  collect_garbage();
+}
+
+void Environment::run_until(SimTime until) {
+  while (!heap_.empty() && heap_.top().t <= until) step();
+  collect_garbage();
+  if (until != kTimeInfinity && until > now_) now_ = until;
+}
+
+void Environment::forget(ProcessState* ps) { processes_.erase(ps); }
+
+}  // namespace pckpt::sim

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/types.hpp"
+
+/// \file environment.hpp
+/// The simulation environment: clock + event heap + process registry.
+
+namespace pckpt::sim {
+
+class ProcessState;
+class Process;
+
+/// Discrete-event simulation environment (the SimPy `Environment`
+/// equivalent). Owns the event heap and the set of live processes.
+///
+/// Determinism: events fire in (time, insertion-sequence) order, so a given
+/// program produces the identical trajectory on every run.
+class Environment {
+ public:
+  Environment() = default;
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+  ~Environment();
+
+  /// Current simulation time in seconds.
+  SimTime now() const noexcept { return now_; }
+
+  /// Create a fresh pending event.
+  EventPtr event();
+
+  /// Create an event that succeeds `delay` seconds from now.
+  /// \throws std::invalid_argument for negative or NaN delay.
+  EventPtr timeout(SimTime delay);
+
+  /// Schedule a triggered event for processing `delay` seconds from now.
+  void schedule(EventPtr ev, SimTime delay = 0.0);
+
+  /// Run a plain function at the current time, after already-queued
+  /// same-time events (used for deferred wake-ups).
+  void defer(std::function<void()> fn);
+
+  /// Register a process coroutine and schedule its first resumption at the
+  /// current simulation time. Returns the same handle for chaining.
+  Process& spawn(Process& p);
+  Process spawn(Process&& p);
+
+  /// Process a single event. Returns false when the heap is empty.
+  bool step();
+
+  /// Run until the event heap drains.
+  void run();
+
+  /// Run until simulation time strictly exceeds `until` (events at exactly
+  /// `until` are processed). The clock ends at max(now, until).
+  void run_until(SimTime until);
+
+  /// Number of events waiting in the heap.
+  std::size_t pending_events() const noexcept { return heap_.size(); }
+
+  /// Number of not-yet-finished processes.
+  std::size_t live_processes() const noexcept { return processes_.size(); }
+
+  /// Total events processed since construction (for micro-benchmarks).
+  std::uint64_t events_processed() const noexcept { return processed_count_; }
+
+  /// Exceptions that escaped process coroutines, with the process name.
+  /// A healthy simulation leaves this empty (or each entry is consumed by
+  /// an awaiter of the process's done_event; entries are recorded either
+  /// way so tests can assert no process died unexpectedly).
+  const std::vector<std::pair<std::string, std::exception_ptr>>&
+  process_errors() const noexcept {
+    return process_errors_;
+  }
+
+ private:
+  friend class ProcessState;
+
+  void forget(ProcessState* ps);
+  void reap(std::coroutine_handle<> h) { graveyard_.push_back(h); }
+  void collect_garbage();
+  void record_error(const std::string& name, std::exception_ptr e) {
+    process_errors_.emplace_back(name, std::move(e));
+  }
+
+  struct Entry {
+    SimTime t;
+    EventSeq seq;
+    EventPtr ev;
+  };
+  struct EntryLater {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  std::unordered_map<ProcessState*, std::shared_ptr<ProcessState>> processes_;
+  std::vector<std::coroutine_handle<>> graveyard_;
+  std::vector<std::pair<std::string, std::exception_ptr>> process_errors_;
+  SimTime now_ = 0.0;
+  EventSeq seq_ = 0;
+  std::uint64_t processed_count_ = 0;
+};
+
+}  // namespace pckpt::sim

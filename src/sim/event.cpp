@@ -1,0 +1,43 @@
+#include "sim/event.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/environment.hpp"
+
+namespace pckpt::sim {
+
+void EventCore::add_callback(Callback cb) {
+  if (processed()) {
+    cb(*this);
+    return;
+  }
+  callbacks_.push_back(std::move(cb));
+}
+
+void EventCore::succeed() {
+  if (triggered()) {
+    throw std::logic_error("EventCore::succeed: event already triggered");
+  }
+  env_->schedule(shared_from_this(), 0.0);
+}
+
+void EventCore::fail(std::exception_ptr cause) {
+  if (triggered()) {
+    throw std::logic_error("EventCore::fail: event already triggered");
+  }
+  failed_ = true;
+  error_ = std::move(cause);
+  env_->schedule(shared_from_this(), 0.0);
+}
+
+void EventCore::process() {
+  state_ = State::kProcessed;
+  // Move callbacks out so callbacks registering further callbacks (or
+  // events) cannot invalidate the iteration.
+  auto cbs = std::move(callbacks_);
+  callbacks_.clear();
+  for (auto& cb : cbs) cb(*this);
+}
+
+}  // namespace pckpt::sim

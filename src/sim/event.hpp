@@ -1,0 +1,80 @@
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/types.hpp"
+
+/// \file event.hpp
+/// SimPy-style events: one-shot occurrences with attached callbacks.
+///
+/// Life cycle: `pending` (created) -> `scheduled` (triggered, sitting in the
+/// environment's heap) -> `processed` (callbacks ran). An event can succeed
+/// or fail; failure carries an exception_ptr that is rethrown into any
+/// process that awaits the event.
+
+namespace pckpt::sim {
+
+class Environment;
+
+class EventCore;
+using EventPtr = std::shared_ptr<EventCore>;
+
+/// One-shot simulation event.
+///
+/// Events are created through Environment::event() / Environment::timeout()
+/// and referenced through shared_ptr (EventPtr). They are not thread-safe:
+/// the kernel is single-threaded by design (deterministic replay matters
+/// more than parallel speedup for this simulator; campaigns parallelize at
+/// the run level instead).
+class EventCore : public std::enable_shared_from_this<EventCore> {
+ public:
+  using Callback = std::function<void(EventCore&)>;
+
+  enum class State { kPending, kScheduled, kProcessed };
+
+  explicit EventCore(Environment& env) : env_(&env) {}
+  EventCore(const EventCore&) = delete;
+  EventCore& operator=(const EventCore&) = delete;
+
+  Environment& env() const noexcept { return *env_; }
+  State state() const noexcept { return state_; }
+
+  /// True once the event has been triggered (scheduled or processed).
+  bool triggered() const noexcept { return state_ != State::kPending; }
+  /// True once callbacks have run.
+  bool processed() const noexcept { return state_ == State::kProcessed; }
+  /// True if the event completed with a failure.
+  bool failed() const noexcept { return failed_; }
+  /// The failure cause; null unless failed().
+  std::exception_ptr error() const noexcept { return error_; }
+
+  /// Register a callback to run when the event is processed. If the event
+  /// is already processed the callback runs immediately.
+  void add_callback(Callback cb);
+
+  /// Trigger the event successfully; it will be processed at the current
+  /// simulation time (after already-queued same-time events).
+  /// \throws std::logic_error if the event was already triggered.
+  void succeed();
+
+  /// Trigger the event as failed with the given cause.
+  /// \throws std::logic_error if the event was already triggered.
+  void fail(std::exception_ptr cause);
+
+ private:
+  friend class Environment;
+
+  /// Called by the environment's event loop: runs callbacks.
+  void process();
+
+  Environment* env_;
+  State state_ = State::kPending;
+  bool failed_ = false;
+  std::exception_ptr error_;
+  std::vector<Callback> callbacks_;
+};
+
+}  // namespace pckpt::sim

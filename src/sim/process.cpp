@@ -1,0 +1,72 @@
+#include "sim/process.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pckpt::sim {
+
+ProcessState::~ProcessState() {
+  // A frame still attached here means the environment died first and has
+  // already detached via destroy_frame(), or the process was never spawned.
+  destroy_frame();
+}
+
+void ProcessState::start(Environment& env) {
+  env_ = &env;
+  done_ = env.event();
+  auto self = shared_from_this();
+  env.defer([self] {
+    if (!self->finished_) self->resume();
+  });
+}
+
+void ProcessState::resume() {
+  assert(handle_ && !finished_);
+  handle_.resume();
+}
+
+void ProcessState::on_finished(std::exception_ptr error) {
+  // Runs inside FinalAwaiter::await_suspend: the coroutine body is done and
+  // all its locals are destroyed; the frame is reaped by the environment
+  // outside coroutine context.
+  finished_ = true;
+  awaiting_ = false;
+  if (error) {
+    env_->record_error(name_, error);
+    done_->fail(error);
+  } else {
+    done_->succeed();
+  }
+  auto h = handle_;
+  handle_ = nullptr;
+  env_->reap(h);
+  env_->forget(this);  // may release the last external reference; `this`
+                       // stays alive through the promise's ProcessPtr until
+                       // the frame is garbage-collected.
+}
+
+void ProcessState::destroy_frame() {
+  if (!handle_) return;
+  auto h = handle_;
+  handle_ = nullptr;
+  h.destroy();
+}
+
+bool ProcessState::interrupt(std::any cause) {
+  if (finished_) return false;
+  has_interrupt_ = true;
+  interrupt_cause_ = std::move(cause);
+  if (awaiting_) {
+    awaiting_ = false;
+    ++wait_epoch_;  // disarm the event callback that was waiting
+    auto self = shared_from_this();
+    env_->defer([self] {
+      if (!self->finished_) self->resume();
+    });
+  }
+  // If the process is currently executing (or not yet started), the flag is
+  // delivered at its next co_await.
+  return true;
+}
+
+}  // namespace pckpt::sim

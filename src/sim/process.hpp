@@ -1,0 +1,186 @@
+#pragma once
+
+#include <any>
+#include <coroutine>
+#include <exception>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "sim/environment.hpp"
+#include "sim/event.hpp"
+
+/// \file process.hpp
+/// Coroutine-based simulation processes (the SimPy generator equivalent).
+///
+/// A process is a C++20 coroutine returning `Process`. Inside the coroutine
+/// body, `co_await env.timeout(dt)` suspends for simulated time and
+/// `co_await ev` suspends until an event fires. Another process may call
+/// `Process::interrupt(cause)`, which makes the victim's in-flight
+/// `co_await` throw `sim::Interrupted` — this is how failures are injected
+/// into compute/checkpoint phases.
+///
+/// Lifetime: the coroutine frame is owned by a shared ProcessState that the
+/// Environment keeps alive until the coroutine finishes. `Process` handles
+/// are cheap shared references.
+
+namespace pckpt::sim {
+
+/// Thrown inside a process when it is interrupted while suspended.
+class Interrupted : public std::exception {
+ public:
+  explicit Interrupted(std::any cause) : cause_(std::move(cause)) {}
+  const char* what() const noexcept override { return "sim::Interrupted"; }
+  const std::any& cause() const noexcept { return cause_; }
+
+ private:
+  std::any cause_;
+};
+
+class Process;
+
+/// Shared state of one process coroutine. Users interact through `Process`.
+class ProcessState : public std::enable_shared_from_this<ProcessState> {
+ public:
+  ProcessState() = default;
+  ProcessState(const ProcessState&) = delete;
+  ProcessState& operator=(const ProcessState&) = delete;
+  ~ProcessState();
+
+  bool finished() const noexcept { return finished_; }
+  bool spawned() const noexcept { return env_ != nullptr; }
+  Environment& env() const { return *env_; }
+
+  /// Event that fires when the coroutine returns (or dies by exception, in
+  /// which case the event fails with that exception).
+  const EventPtr& done_event() const { return done_; }
+
+  /// Interrupt the process: its current (or next) co_await throws
+  /// `Interrupted` carrying `cause`. Returns false if the process already
+  /// finished (no-op).
+  bool interrupt(std::any cause = {});
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+ private:
+  friend class Process;
+  friend class Environment;
+  struct EventAwaiter;
+  struct FinalAwaiter;
+
+  void start(Environment& env);
+  void resume();
+  void on_finished(std::exception_ptr error);
+  /// Destroy a never-finished coroutine frame (environment teardown).
+  void destroy_frame();
+
+  Environment* env_ = nullptr;
+  std::coroutine_handle<> handle_;
+  EventPtr done_;
+  std::uint64_t wait_epoch_ = 0;
+  bool awaiting_ = false;
+  bool finished_ = false;
+  bool has_interrupt_ = false;
+  std::any interrupt_cause_;
+  std::string name_;
+};
+
+using ProcessPtr = std::shared_ptr<ProcessState>;
+
+/// Return object / handle of a process coroutine.
+class Process {
+ public:
+  struct promise_type;
+
+  Process() = default;
+
+  bool valid() const noexcept { return static_cast<bool>(state_); }
+  bool finished() const { return state_->finished(); }
+  const ProcessPtr& state() const { return state_; }
+  const EventPtr& done_event() const { return state_->done_event(); }
+
+  /// See ProcessState::interrupt.
+  bool interrupt(std::any cause = {}) {
+    return state_->interrupt(std::move(cause));
+  }
+
+  Process& named(std::string n) {
+    state_->set_name(std::move(n));
+    return *this;
+  }
+
+ private:
+  friend class Environment;
+  explicit Process(ProcessPtr s) : state_(std::move(s)) {}
+  ProcessPtr state_;
+};
+
+/// Awaiter for EventPtr inside a process coroutine (created by
+/// promise_type::await_transform; not used directly).
+struct ProcessState::EventAwaiter {
+  EventPtr ev;
+  ProcessState* proc;
+
+  bool await_ready() const noexcept {
+    return proc->has_interrupt_ || ev->processed();
+  }
+  void await_suspend(std::coroutine_handle<> /*h*/) {
+    proc->awaiting_ = true;
+    const auto epoch = ++proc->wait_epoch_;
+    // Hold the state alive through the callback so a dropped Process handle
+    // cannot dangle while a wake-up is armed.
+    ev->add_callback([st = proc->shared_from_this(), epoch](EventCore&) {
+      if (st->finished_ || !st->awaiting_ || st->wait_epoch_ != epoch) return;
+      st->awaiting_ = false;
+      st->resume();
+    });
+  }
+  void await_resume() const {
+    if (proc->has_interrupt_) {
+      proc->has_interrupt_ = false;
+      throw Interrupted(std::move(proc->interrupt_cause_));
+    }
+    if (ev->failed()) std::rethrow_exception(ev->error());
+  }
+};
+
+struct ProcessState::FinalAwaiter {
+  ProcessState* proc;
+  std::exception_ptr pending_error;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> /*h*/) noexcept {
+    // Coroutine locals are already destroyed; safe to mark completion and
+    // notify waiters. The frame itself is reaped by the environment.
+    proc->on_finished(pending_error);
+  }
+  void await_resume() const noexcept {}
+};
+
+struct Process::promise_type {
+  ProcessPtr state = std::make_shared<ProcessState>();
+  std::exception_ptr error;
+
+  Process get_return_object() {
+    state->handle_ =
+        std::coroutine_handle<promise_type>::from_promise(*this);
+    return Process(state);
+  }
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  auto final_suspend() noexcept {
+    return ProcessState::FinalAwaiter{state.get(), error};
+  }
+  void return_void() noexcept {}
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+
+  /// `co_await EventPtr`
+  ProcessState::EventAwaiter await_transform(EventPtr ev) {
+    return ProcessState::EventAwaiter{std::move(ev), state.get()};
+  }
+  /// `co_await Process` — waits for the child process's completion.
+  ProcessState::EventAwaiter await_transform(const Process& p) {
+    return ProcessState::EventAwaiter{p.done_event(), state.get()};
+  }
+};
+
+}  // namespace pckpt::sim

@@ -1,0 +1,54 @@
+#include "sim/resource.hpp"
+
+#include <stdexcept>
+
+#include "sim/environment.hpp"
+
+namespace pckpt::sim {
+
+Resource::Resource(Environment& env, std::size_t capacity)
+    : env_(&env), capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("Resource: capacity must be >= 1");
+  }
+}
+
+RequestPtr Resource::request(double priority) {
+  auto req = std::make_shared<detail::Request>();
+  req->granted = env_->event();
+  req->priority = priority;
+  req->id = next_id_++;
+  if (in_use_ < capacity_) {
+    ++in_use_;
+    req->is_granted = true;
+    req->granted->succeed();
+  } else {
+    waiting_.emplace(std::make_pair(priority, req->id), req);
+  }
+  return req;
+}
+
+void Resource::release(const RequestPtr& req) {
+  if (!req || req->cancelled) return;
+  if (req->is_granted) {
+    req->cancelled = true;  // marks "finished with" to make release idempotent
+    --in_use_;
+    grant_next();
+  } else {
+    req->cancelled = true;
+    waiting_.erase(std::make_pair(req->priority, req->id));
+  }
+}
+
+void Resource::grant_next() {
+  while (in_use_ < capacity_ && !waiting_.empty()) {
+    auto it = waiting_.begin();
+    RequestPtr next = it->second;
+    waiting_.erase(it);
+    ++in_use_;
+    next->is_granted = true;
+    next->granted->succeed();
+  }
+}
+
+}  // namespace pckpt::sim

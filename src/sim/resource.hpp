@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "sim/event.hpp"
+
+/// \file resource.hpp
+/// Counted resources with FIFO or priority admission, in the style of
+/// SimPy's `Resource` / `PriorityResource`.
+///
+/// Usage inside a process coroutine:
+/// \code
+///   auto req = res.request();        // or request(priority)
+///   co_await req->granted;
+///   ... use the resource ...
+///   res.release(req);                // or let a ResourceGuard do it
+/// \endcode
+/// `release()` on a still-waiting request cancels it, so the pattern is
+/// interrupt-safe: release in a catch/guard regardless of grant state.
+
+namespace pckpt::sim {
+
+class Environment;
+
+namespace detail {
+struct Request {
+  EventPtr granted;
+  double priority = 0.0;  ///< lower value = admitted first
+  std::uint64_t id = 0;
+  bool is_granted = false;
+  bool cancelled = false;
+};
+}  // namespace detail
+
+using RequestPtr = std::shared_ptr<detail::Request>;
+
+/// Counted resource with priority admission (FIFO among equal priorities).
+/// `Resource::request()` without a priority gives plain FIFO semantics.
+class Resource {
+ public:
+  /// \param capacity number of concurrent holders (>= 1).
+  Resource(Environment& env, std::size_t capacity);
+
+  /// Request a slot with the given priority (lower = sooner). The returned
+  /// request's `granted` event succeeds when the slot is assigned.
+  RequestPtr request(double priority = 0.0);
+
+  /// Release a granted slot, or cancel a waiting request. Safe to call
+  /// exactly once per request in either state.
+  void release(const RequestPtr& req);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t in_use() const noexcept { return in_use_; }
+  std::size_t queue_length() const noexcept { return waiting_.size(); }
+  Environment& env() const noexcept { return *env_; }
+
+ private:
+  void grant_next();
+
+  Environment* env_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::uint64_t next_id_ = 0;
+  /// Waiting requests ordered by (priority, arrival id).
+  std::map<std::pair<double, std::uint64_t>, RequestPtr> waiting_;
+};
+
+/// RAII holder: releases (or cancels) the request when destroyed, which in
+/// coroutines also covers unwinding caused by `sim::Interrupted`.
+class ResourceGuard {
+ public:
+  ResourceGuard(Resource& res, RequestPtr req)
+      : res_(&res), req_(std::move(req)) {}
+  ResourceGuard(const ResourceGuard&) = delete;
+  ResourceGuard& operator=(const ResourceGuard&) = delete;
+  ResourceGuard(ResourceGuard&& other) noexcept
+      : res_(other.res_), req_(std::move(other.req_)) {
+    other.res_ = nullptr;
+  }
+  ~ResourceGuard() { release(); }
+
+  /// Release early (idempotent).
+  void release() {
+    if (res_ && req_) {
+      res_->release(req_);
+      req_.reset();
+    }
+  }
+
+ private:
+  Resource* res_;
+  RequestPtr req_;
+};
+
+}  // namespace pckpt::sim

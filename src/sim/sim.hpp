@@ -1,0 +1,11 @@
+#pragma once
+
+/// \file sim.hpp
+/// Umbrella header for the discrete-event simulation kernel.
+
+#include "sim/condition.hpp"     // IWYU pragma: export
+#include "sim/environment.hpp"   // IWYU pragma: export
+#include "sim/event.hpp"         // IWYU pragma: export
+#include "sim/process.hpp"       // IWYU pragma: export
+#include "sim/resource.hpp"      // IWYU pragma: export
+#include "sim/types.hpp"         // IWYU pragma: export

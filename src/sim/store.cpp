@@ -1,0 +1,33 @@
+#include "sim/store.hpp"
+
+#include "sim/environment.hpp"
+
+namespace pckpt::sim {
+
+void Store::put(std::any item) {
+  if (!waiters_.empty()) {
+    TicketPtr t = waiters_.front();
+    waiters_.pop_front();
+    t->item = std::move(item);
+    t->fulfilled = true;
+    t->ready->succeed();
+    return;
+  }
+  items_.push_back(std::move(item));
+}
+
+Store::TicketPtr Store::get() {
+  auto t = std::make_shared<Ticket>();
+  t->ready = env_->event();
+  if (!items_.empty()) {
+    t->item = std::move(items_.front());
+    items_.pop_front();
+    t->fulfilled = true;
+    t->ready->succeed();
+  } else {
+    waiters_.push_back(t);
+  }
+  return t;
+}
+
+}  // namespace pckpt::sim

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <any>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "sim/event.hpp"
+
+/// \file store.hpp
+/// SimPy-style Store: an unbounded FIFO message channel between processes.
+/// `put()` deposits an item; `get()` returns a ticket whose event fires
+/// once an item is available (items are matched to tickets FIFO). Used by
+/// the node-level p-ckpt protocol to model notification/broadcast message
+/// exchange.
+
+namespace pckpt::sim {
+
+class Environment;
+
+class Store {
+ public:
+  struct Ticket {
+    EventPtr ready;   ///< fires when the item has been assigned
+    std::any item;    ///< valid once `ready` is processed
+    bool fulfilled = false;
+  };
+  using TicketPtr = std::shared_ptr<Ticket>;
+
+  explicit Store(Environment& env) : env_(&env) {}
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  /// Deposit an item; wakes the oldest waiting ticket, if any.
+  void put(std::any item);
+
+  /// Request the next item. Await `ticket->ready`, then read
+  /// `ticket->item`.
+  TicketPtr get();
+
+  std::size_t items() const noexcept { return items_.size(); }
+  std::size_t waiting() const noexcept { return waiters_.size(); }
+
+ private:
+  Environment* env_;
+  std::deque<std::any> items_;
+  std::deque<TicketPtr> waiters_;
+};
+
+}  // namespace pckpt::sim

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file types.hpp
+/// Fundamental scalar types for the discrete-event simulation kernel.
+
+namespace pckpt::sim {
+
+/// Simulation time in seconds. Double precision is sufficient for the
+/// horizons simulated here (weeks at sub-millisecond resolution).
+using SimTime = double;
+
+/// Sentinel meaning "run forever" for Environment::run_until().
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+/// Monotonically increasing tiebreaker for same-timestamp events, so the
+/// event loop is fully deterministic (FIFO among simultaneous events).
+using EventSeq = std::uint64_t;
+
+}  // namespace pckpt::sim

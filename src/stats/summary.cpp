@@ -1,0 +1,88 @@
+#include "stats/summary.hpp"
+
+#include <limits>
+#include <numeric>
+
+namespace pckpt::stats {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("percentile: empty sample");
+  }
+  if (!(q >= 0.0 && q <= 1.0)) {
+    throw std::invalid_argument("percentile: q must be in [0,1]");
+  }
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double percentile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, q);
+}
+
+BoxStats box_stats(std::vector<double> values) {
+  if (values.empty()) {
+    throw std::invalid_argument("box_stats: empty sample");
+  }
+  std::sort(values.begin(), values.end());
+  BoxStats b;
+  b.count = values.size();
+  b.min = values.front();
+  b.max = values.back();
+  b.q1 = percentile_sorted(values, 0.25);
+  b.median = percentile_sorted(values, 0.50);
+  b.q3 = percentile_sorted(values, 0.75);
+  b.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_lo = b.max;
+  b.whisker_hi = b.min;
+  for (double v : values) {
+    if (v >= lo_fence) {
+      b.whisker_lo = v;
+      break;
+    }
+  }
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_hi = *it;
+      break;
+    }
+  }
+  for (double v : values) {
+    if (v < lo_fence || v > hi_fence) ++b.outliers;
+  }
+  return b;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge
+  ++counts_[idx];
+}
+
+}  // namespace pckpt::stats

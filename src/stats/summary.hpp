@@ -1,0 +1,110 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+/// \file summary.hpp
+/// Small statistics toolkit: online moments, percentiles, box-plot stats.
+
+namespace pckpt::stats {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  /// Standard error of the mean.
+  double sem() const noexcept {
+    return n_ ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+  /// Half-width of the ~95% confidence interval for the mean.
+  double ci95_half_width() const noexcept { return 1.96 * sem(); }
+
+  void merge(const OnlineStats& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(o.n_);
+    const double delta = o.mean_ - mean_;
+    mean_ += delta * nb / (na + nb);
+    m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+    n_ += o.n_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Linear-interpolation percentile of a sample (q in [0,1]).
+/// Sorts a copy; use `percentile_sorted` for pre-sorted data.
+double percentile(std::vector<double> values, double q);
+
+/// Percentile over already-sorted data.
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Five-number summary plus mean/count, matching the structure of the
+/// paper's Fig. 2a box plots.
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double whisker_lo = 0.0;  ///< lowest sample >= q1 - 1.5 IQR
+  double whisker_hi = 0.0;  ///< highest sample <= q3 + 1.5 IQR
+  std::size_t count = 0;
+  std::size_t outliers = 0;  ///< samples outside the whiskers
+};
+
+BoxStats box_stats(std::vector<double> values);
+
+/// Fixed-width histogram for sanity-checking generated distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t total() const noexcept { return total_; }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  double bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  double bin_width() const noexcept { return width_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0, underflow_ = 0, overflow_ = 0;
+};
+
+}  // namespace pckpt::stats

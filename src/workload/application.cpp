@@ -1,0 +1,42 @@
+#include "workload/application.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace pckpt::workload {
+
+const std::vector<Application>& summit_workloads() {
+  static const std::vector<Application> kApps = {
+      {"CHIMERA", 2272, 646382.0, 360.0},
+      {"XGC", 1515, 149625.0, 240.0},
+      {"S3D", 505, 20199.0, 240.0},
+      {"GYRO", 126, 197.2, 120.0},
+      {"POP", 126, 102.5, 480.0},
+      {"VULCAN", 64, 3.27, 720.0},
+  };
+  return kApps;
+}
+
+const Application& workload_by_name(std::string_view name) {
+  std::string key(name);
+  std::transform(key.begin(), key.end(), key.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (const auto& app : summit_workloads()) {
+    if (app.name == key) return app;
+  }
+  throw std::out_of_range("workload_by_name: unknown application '" +
+                          std::string(name) + "'");
+}
+
+double scale_checkpoint_gb(double size_old_gb, int nodes_old,
+                           double dram_old_gb, int nodes_new,
+                           double dram_new_gb) {
+  if (!(size_old_gb > 0.0) || nodes_old < 1 || nodes_new < 1 ||
+      !(dram_old_gb > 0.0) || !(dram_new_gb > 0.0)) {
+    throw std::invalid_argument("scale_checkpoint_gb: bad arguments");
+  }
+  return size_old_gb * (static_cast<double>(nodes_new) * dram_new_gb) /
+         (static_cast<double>(nodes_old) * dram_old_gb);
+}
+
+}  // namespace pckpt::workload

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file application.hpp
+/// HPC workload descriptors (the paper's Table I) and the checkpoint-size
+/// scaling rule (Eq. 3) used to port Titan-era characteristics to Summit.
+
+namespace pckpt::workload {
+
+/// One scientific application's C/R-relevant characteristics.
+struct Application {
+  std::string name;
+  int nodes = 0;
+  double ckpt_total_gb = 0;   ///< aggregate checkpoint size on the machine
+  double compute_hours = 0;   ///< useful computation time to finish
+
+  double ckpt_per_node_gb() const {
+    return ckpt_total_gb / static_cast<double>(nodes);
+  }
+  double compute_seconds() const { return compute_hours * 3600.0; }
+
+  void validate() const {
+    if (nodes < 1) throw std::invalid_argument("Application: nodes >= 1");
+    if (!(ckpt_total_gb > 0.0)) {
+      throw std::invalid_argument("Application: checkpoint size must be > 0");
+    }
+    if (!(compute_hours > 0.0)) {
+      throw std::invalid_argument("Application: compute time must be > 0");
+    }
+  }
+};
+
+/// Table I: the six Summit workloads (checkpoint sizes already scaled to
+/// Summit's DRAM via Eq. 3 by the authors).
+const std::vector<Application>& summit_workloads();
+
+/// Lookup by name (case-insensitive). Throws std::out_of_range.
+const Application& workload_by_name(std::string_view name);
+
+/// Eq. 3: rescale a checkpoint size when porting an application between
+/// machines with different node counts and DRAM sizes:
+///   size_new = size_old * (nodes_new * dram_new) / (nodes_old * dram_old).
+double scale_checkpoint_gb(double size_old_gb, int nodes_old,
+                           double dram_old_gb, int nodes_new,
+                           double dram_new_gb);
+
+}  // namespace pckpt::workload

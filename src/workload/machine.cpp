@@ -1,0 +1,16 @@
+#include "workload/machine.hpp"
+
+namespace pckpt::workload {
+
+Machine summit() {
+  Machine m;
+  m.name = "Summit";
+  m.total_nodes = 4608;
+  m.dram_gb = 512.0;
+  m.burst_buffer = iomodel::BurstBuffer{2.1, 5.5, 1600.0};
+  m.interconnect_gbps = 12.5;
+  m.io = iomodel::SummitIOConfig{};
+  return m;
+}
+
+}  // namespace pckpt::workload

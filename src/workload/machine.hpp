@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "iomodel/storage.hpp"
+#include "iomodel/summit_io.hpp"
+
+/// \file machine.hpp
+/// Whole-machine descriptor: node counts, DRAM, BB devices, interconnect,
+/// and the PFS performance model (Sec. II system model).
+
+namespace pckpt::workload {
+
+struct Machine {
+  std::string name = "Summit";
+  int total_nodes = 4608;
+  double dram_gb = 512.0;
+  iomodel::BurstBuffer burst_buffer{};        // 1.6 TB, 2.1/5.5 GB/s
+  double interconnect_gbps = 12.5;            // node-to-node
+  iomodel::SummitIOConfig io{};               // PFS calibration
+
+  /// Build the storage façade (generates the PFS matrix out to
+  /// max(total_nodes, job sizes used)).
+  iomodel::StorageModel make_storage() const {
+    return iomodel::StorageModel(
+        iomodel::make_summit_matrix(io, static_cast<double>(total_nodes),
+                                    17, 14),
+        burst_buffer, io, interconnect_gbps);
+  }
+};
+
+/// The Summit configuration used throughout the paper.
+Machine summit();
+
+}  // namespace pckpt::workload

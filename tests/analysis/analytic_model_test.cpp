@@ -1,0 +1,92 @@
+#include "analysis/analytic_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace a = pckpt::analysis;
+
+TEST(AnalyticModel, CkptReductionFraction) {
+  EXPECT_DOUBLE_EQ(a::lm_checkpoint_reduction_fraction(0.0), 0.0);
+  EXPECT_NEAR(a::lm_checkpoint_reduction_fraction(0.75), 0.5, 1e-12);
+  EXPECT_THROW(a::lm_checkpoint_reduction_fraction(1.0),
+               std::invalid_argument);
+}
+
+TEST(AnalyticModel, BetaFraction) {
+  // alpha = 1: p-ckpt moves as much as LM; beta = sigma.
+  EXPECT_NEAR(a::beta_fraction(1.0, 0.4), 0.4, 1e-12);
+  // alpha = 3, sigma = 0.5: beta = 2.5/3.
+  EXPECT_NEAR(a::beta_fraction(3.0, 0.5), 2.5 / 3.0, 1e-12);
+  // beta >= sigma always (p-ckpt's deadline is shorter).
+  for (double s : {0.0, 0.2, 0.5}) {
+    for (double al : {1.0, 2.0, 3.0, 5.0}) {
+      EXPECT_GE(a::beta_fraction(al, s), s - 1e-12);
+      EXPECT_LE(a::beta_fraction(al, s), 1.0 + 1e-12);
+    }
+  }
+  EXPECT_THROW(a::beta_fraction(0.5, 0.2), std::invalid_argument);
+}
+
+TEST(AnalyticModel, SigmaUpperBoundIsGoldenRatioConjugate) {
+  const double bound = a::sigma_upper_bound();
+  EXPECT_NEAR(bound, 0.618, 0.001);  // paper: sigma < 0.61
+  // At the bound: sigma == sqrt(1 - sigma).
+  EXPECT_NEAR(bound, std::sqrt(1.0 - bound), 1e-12);
+}
+
+TEST(AnalyticModel, PaperAlphaThresholdRange) {
+  // Paper: within 0 <= sigma < 0.61, 1.04 <= alpha < 1.30 (the lower value
+  // corresponds to small positive sigma; at sigma=0 the bound is exactly 1).
+  EXPECT_NEAR(a::alpha_threshold_paper(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(a::alpha_threshold_paper(0.1), 1.049, 0.002);
+  EXPECT_NEAR(a::alpha_threshold_paper(0.60), 1.30, 0.01);
+  // Monotone increasing over the feasible range.
+  double prev = 0.0;
+  for (double s = 0.0; s < 0.61; s += 0.05) {
+    const double t = a::alpha_threshold_paper(s);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(AnalyticModel, DerivedThresholdAgreesAtZeroAndGrows) {
+  EXPECT_NEAR(a::alpha_threshold_derived(0.0), 1.0, 1e-12);
+  double prev = 0.0;
+  for (double s = 0.0; s < 0.55; s += 0.05) {
+    const double t = a::alpha_threshold_derived(s);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+  // Beyond the feasibility bound the derivation degenerates.
+  EXPECT_THROW(a::alpha_threshold_derived(0.63), std::invalid_argument);
+}
+
+TEST(AnalyticModel, PckptBeatsLmPredicateMatchesDerivedThreshold) {
+  for (double s : {0.05, 0.2, 0.4, 0.55}) {
+    const double t = a::alpha_threshold_derived(s);
+    EXPECT_TRUE(a::pckpt_beats_lm(t * 1.05, s));
+    EXPECT_FALSE(a::pckpt_beats_lm(std::max(1.0, t * 0.95), s));
+  }
+}
+
+TEST(AnalyticModel, RecomputationHeavySplitFavorsPckpt) {
+  // With recomp >> ckpt, even alpha barely above the break-even wins.
+  const double s = 0.3;
+  const double t = a::alpha_threshold_derived(s);
+  EXPECT_FALSE(a::pckpt_beats_lm(std::max(1.0, t * 0.97), s, 1.0));
+  EXPECT_TRUE(a::pckpt_beats_lm(std::max(1.0, t * 0.97), s, 2.0));
+}
+
+TEST(AnalyticModel, AlphaOneSigmaPositiveNeverWins) {
+  // At alpha = 1, beta == sigma: p-ckpt mitigates no more failures than LM
+  // but keeps the shorter checkpoint interval — LM wins on overhead.
+  EXPECT_FALSE(a::pckpt_beats_lm(1.0, 0.3));
+}
+
+TEST(AnalyticModel, Validation) {
+  EXPECT_THROW(a::alpha_threshold_paper(-0.1), std::invalid_argument);
+  EXPECT_THROW(a::pckpt_beats_lm(2.0, 0.2, 0.0), std::invalid_argument);
+  EXPECT_THROW(a::pckpt_beats_lm(0.9, 0.2), std::invalid_argument);
+}

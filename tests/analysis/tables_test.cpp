@@ -1,0 +1,69 @@
+#include "analysis/tables.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+using pckpt::analysis::Table;
+
+TEST(Table, BuildsAndFormats) {
+  Table t({"model", "overhead(h)", "FT"});
+  t.add_row();
+  t.cell("B").cell(14.901, 3).cell(0.0, 2);
+  t.add_row();
+  t.cell("P2").cell(8.348, 3).cell(0.69, 2);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.at(0, 0), "B");
+  EXPECT_EQ(t.at(1, 1), "8.348");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("model"), std::string::npos);
+  EXPECT_NE(s.find("P2"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, PercentAndIntCells) {
+  Table t({"x", "y"});
+  t.add_row();
+  t.cell_percent(53.25, 1).cell(42);
+  EXPECT_EQ(t.at(0, 0), "53.2%");
+  EXPECT_EQ(t.at(0, 1), "42");
+}
+
+TEST(Table, AlignmentPadsColumns) {
+  Table t({"a", "bbbb"});
+  t.add_row();
+  t.cell("wide-cell-content").cell("x");
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header line must be padded to the widest cell.
+  const auto header_end = out.find('\n');
+  const auto row_start = out.rfind("wide-cell-content");
+  ASSERT_NE(header_end, std::string::npos);
+  ASSERT_NE(row_start, std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"name", "v"});
+  t.add_row();
+  t.cell("a,b").cell(1);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,v\n\"a,b\",1\n");
+}
+
+TEST(Table, Validation) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"only"});
+  EXPECT_THROW(t.cell("no row yet"), std::logic_error);
+  t.add_row();
+  t.cell("ok");
+  EXPECT_THROW(t.cell("overflow"), std::logic_error);
+}
+
+TEST(Table, HoursHelper) {
+  EXPECT_EQ(pckpt::analysis::hours(3600.0), "1.0");
+  EXPECT_EQ(pckpt::analysis::hours(5400.0, 2), "1.50");
+}

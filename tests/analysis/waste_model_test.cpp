@@ -1,0 +1,124 @@
+#include "analysis/waste_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/campaign.hpp"
+#include "core/oci.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace a = pckpt::analysis;
+namespace core = pckpt::core;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+
+TEST(WasteModel, ComponentsAddUp) {
+  a::WasteInputs in;
+  in.compute_s = 100000.0;
+  in.t_ckpt_bb_s = 100.0;
+  in.oci_s = 5000.0;
+  in.rate_per_s = 1e-5;
+  in.recovery_s = 60.0;
+  const auto out = a::expected_waste(in);
+  EXPECT_DOUBLE_EQ(out.checkpoint_s, 100000.0 / 5000.0 * 100.0);
+  EXPECT_NEAR(out.total_s,
+              out.checkpoint_s + out.recomputation_s + out.recovery_s,
+              1e-9);
+  EXPECT_GT(out.expected_failures, 1.0);
+}
+
+TEST(WasteModel, Validation) {
+  a::WasteInputs in;
+  EXPECT_THROW(a::expected_waste(in), std::invalid_argument);
+  in = {100.0, 1.0, 10.0, 1e-5, -1.0, 1.0};
+  EXPECT_THROW(a::expected_waste(in), std::invalid_argument);
+  in = {100.0, 1.0, 10.0, 1e-5, 1.0, 0.0};
+  EXPECT_THROW(a::expected_waste(in), std::invalid_argument);
+}
+
+TEST(WasteModel, RenewalExcessRaisesFiniteHorizonCounts) {
+  // Decreasing-hazard Weibull (Table III shapes) front-loads failures:
+  // the expected count over a finite window exceeds t * rate.
+  a::WasteInputs poisson;
+  poisson.compute_s = 100000.0;
+  poisson.t_ckpt_bb_s = 50.0;
+  poisson.oci_s = 5000.0;
+  poisson.rate_per_s = 2e-5;
+  poisson.recovery_s = 60.0;
+  poisson.weibull_shape = 1.0;
+  a::WasteInputs weibull = poisson;
+  weibull.weibull_shape = 0.6885;  // Titan
+  EXPECT_GT(a::expected_waste(weibull).expected_failures,
+            a::expected_waste(poisson).expected_failures + 0.3);
+}
+
+TEST(WasteModel, YoungIntervalIsNearOptimal) {
+  a::WasteInputs in;
+  in.compute_s = 360.0 * 3600.0;
+  in.t_ckpt_bb_s = 135.5;
+  in.rate_per_s = 1.0 / (58.2 * 3600.0);
+  in.recovery_s = 80.0;
+  in.oci_s = 1.0;  // placeholder
+  const double young = core::young_oci_seconds(in.t_ckpt_bb_s, in.rate_per_s);
+  const double at_young = a::total_waste_at(in, young);
+  // Waste at Young's interval must be within a hair of a grid-search
+  // optimum (Young is first-order optimal).
+  double best = at_young;
+  for (double oci = young / 4.0; oci < young * 4.0; oci *= 1.05) {
+    best = std::min(best, a::total_waste_at(in, oci));
+  }
+  EXPECT_LT(at_young, best * 1.02);
+  // And visibly worse away from it.
+  EXPECT_GT(a::total_waste_at(in, young / 4.0), at_young * 1.3);
+  EXPECT_GT(a::total_waste_at(in, young * 4.0), at_young * 1.3);
+}
+
+TEST(WasteModel, SimulatorTracksClosedFormOnBaseModel) {
+  // End-to-end validation: the DES simulator's model-B overhead must
+  // match the first-order expectation within ~15% (Monte-Carlo noise +
+  // second-order effects like the async-drain window).
+  const auto machine = w::summit();
+  const auto storage = machine.make_storage();
+  const auto leads = f::LeadTimeModel::summit_default();
+  const auto& titan = f::system_by_name("titan");
+
+  for (const char* name : {"CHIMERA", "XGC", "S3D"}) {
+    const auto& app = w::workload_by_name(name);
+    core::RunSetup setup;
+    setup.app = &app;
+    setup.machine = &machine;
+    setup.storage = &storage;
+    setup.system = &titan;
+    setup.leads = &leads;
+    core::CrConfig cfg;
+    cfg.kind = core::ModelKind::kB;
+    const auto sim = core::run_campaign(setup, cfg, 120, 4711);
+
+    a::WasteInputs in;
+    in.compute_s = app.compute_seconds();
+    in.t_ckpt_bb_s = storage.bb_write_seconds(app.ckpt_per_node_gb());
+    in.rate_per_s = titan.job_rate_per_second(app.nodes);
+    in.weibull_shape = titan.weibull_shape;
+    in.oci_s = core::young_oci_seconds(in.t_ckpt_bb_s, in.rate_per_s);
+    in.recovery_s =
+        std::max(storage.bb_read_seconds(app.ckpt_per_node_gb()),
+                 storage.pfs_single_node_seconds(app.ckpt_per_node_gb())) +
+        cfg.restart_seconds;
+    const auto expect = a::expected_waste(in);
+
+    EXPECT_NEAR(sim.checkpoint_s.mean(), expect.checkpoint_s,
+                expect.checkpoint_s * 0.10)
+        << name;
+    EXPECT_NEAR(sim.total_overhead_s.mean(), expect.total_s,
+                expect.total_s * 0.18)
+        << name;
+    EXPECT_NEAR(sim.failures, expect.expected_failures,
+                expect.expected_failures * 0.20)
+        << name;
+  }
+}

@@ -1,0 +1,71 @@
+#include "core/cr_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace core = pckpt::core;
+using core::ModelKind;
+
+TEST(CrConfig, ModelNamesRoundTrip) {
+  for (auto k : {ModelKind::kB, ModelKind::kM1, ModelKind::kM2,
+                 ModelKind::kP1, ModelKind::kP2}) {
+    EXPECT_EQ(core::model_from_string(core::to_string(k)), k);
+  }
+}
+
+TEST(CrConfig, ModelAliases) {
+  EXPECT_EQ(core::model_from_string("base"), ModelKind::kB);
+  EXPECT_EQ(core::model_from_string("safeguard"), ModelKind::kM1);
+  EXPECT_EQ(core::model_from_string("lm"), ModelKind::kM2);
+  EXPECT_EQ(core::model_from_string("p-ckpt"), ModelKind::kP1);
+  EXPECT_EQ(core::model_from_string("hybrid"), ModelKind::kP2);
+  EXPECT_THROW(core::model_from_string("Q9"), std::invalid_argument);
+}
+
+TEST(CrConfig, CapabilityPredicates) {
+  EXPECT_FALSE(core::uses_lm(ModelKind::kB));
+  EXPECT_FALSE(core::uses_lm(ModelKind::kM1));
+  EXPECT_TRUE(core::uses_lm(ModelKind::kM2));
+  EXPECT_FALSE(core::uses_lm(ModelKind::kP1));
+  EXPECT_TRUE(core::uses_lm(ModelKind::kP2));
+
+  EXPECT_FALSE(core::uses_proactive_ckpt(ModelKind::kB));
+  EXPECT_TRUE(core::uses_proactive_ckpt(ModelKind::kM1));
+  EXPECT_FALSE(core::uses_proactive_ckpt(ModelKind::kM2));
+  EXPECT_TRUE(core::uses_proactive_ckpt(ModelKind::kP1));
+  EXPECT_TRUE(core::uses_proactive_ckpt(ModelKind::kP2));
+
+  EXPECT_FALSE(core::uses_pckpt(ModelKind::kM1));
+  EXPECT_TRUE(core::uses_pckpt(ModelKind::kP1));
+  EXPECT_TRUE(core::uses_pckpt(ModelKind::kP2));
+}
+
+TEST(CrConfig, DefaultsValidate) {
+  core::CrConfig cfg;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(CrConfig, ValidationRejectsBadKnobs) {
+  core::CrConfig cfg;
+  cfg.lm_transfer_factor = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.lm_safety_margin = 0.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.lm_runtime_dilation = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.restart_seconds = -1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.drain_concurrency = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.min_oci_seconds = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.predictor.recall = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}

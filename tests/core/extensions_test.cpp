@@ -1,0 +1,174 @@
+/// Tests for the two extension features: lead-estimation noise
+/// (PredictorConfig::lead_error_sigma) and online failure-rate estimation
+/// (CrConfig::rate_estimation = kObserved).
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "failure/trace.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace core = pckpt::core;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+using core::ModelKind;
+
+namespace {
+
+struct World {
+  w::Machine machine = w::summit();
+  pckpt::iomodel::StorageModel storage = machine.make_storage();
+  f::LeadTimeModel leads = f::LeadTimeModel::summit_default();
+  const f::FailureSystem& titan = f::system_by_name("titan");
+
+  core::RunSetup setup(const w::Application& app, std::uint64_t seed = 1) {
+    core::RunSetup s;
+    s.app = &app;
+    s.machine = &machine;
+    s.storage = &storage;
+    s.system = &titan;
+    s.leads = &leads;
+    s.seed = seed;
+    return s;
+  }
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- traces
+
+TEST(LeadNoise, ZeroSigmaGivesExactEstimates) {
+  f::PredictorConfig pred;
+  const f::FailureTrace t(world().titan, 1515, world().leads, pred, 5,
+                          1000.0 * 3600.0);
+  for (std::size_t i = 0; i < t.event_count(); ++i) {
+    const auto& ev = t.event(i);
+    if (ev.kind == f::TraceEvent::Kind::kPrediction) {
+      EXPECT_DOUBLE_EQ(ev.predicted_lead_s, ev.lead_s);
+    }
+  }
+}
+
+TEST(LeadNoise, NoiseLeavesFailureScheduleUntouched) {
+  f::PredictorConfig clean, noisy;
+  noisy.lead_error_sigma = 0.5;
+  const f::FailureTrace a(world().titan, 1515, world().leads, clean, 5,
+                          1000.0 * 3600.0);
+  const f::FailureTrace b(world().titan, 1515, world().leads, noisy, 5,
+                          1000.0 * 3600.0);
+  ASSERT_EQ(a.failures().size(), b.failures().size());
+  for (std::size_t i = 0; i < a.failures().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.failures()[i].time_s, b.failures()[i].time_s);
+    EXPECT_DOUBLE_EQ(a.failures()[i].lead_s, b.failures()[i].lead_s);
+  }
+}
+
+TEST(LeadNoise, NoisyEstimatesDifferButAreUnbiasedInLogSpace) {
+  f::PredictorConfig noisy;
+  noisy.lead_error_sigma = 0.5;
+  const f::FailureTrace t(world().titan, 1515, world().leads, noisy, 5,
+                          20000.0 * 3600.0);
+  int differ = 0, total = 0;
+  double log_ratio_sum = 0.0;
+  for (std::size_t i = 0; i < t.event_count(); ++i) {
+    const auto& ev = t.event(i);
+    if (ev.kind != f::TraceEvent::Kind::kPrediction ||
+        ev.is_false_positive()) {
+      continue;
+    }
+    ++total;
+    if (ev.predicted_lead_s != ev.lead_s) ++differ;
+    log_ratio_sum += std::log(ev.predicted_lead_s / ev.lead_s);
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_EQ(differ, total);
+  EXPECT_NEAR(log_ratio_sum / total, 0.0, 0.12);  // median-unbiased
+}
+
+TEST(LeadNoise, ValidationRejectsNegativeSigma) {
+  f::PredictorConfig pred;
+  pred.lead_error_sigma = -0.1;
+  EXPECT_THROW(pred.validate(), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ simulation
+
+TEST(LeadNoise, DegradesHybridMitigationOnLargeApps) {
+  // Misrouted decisions (LM chosen on an overestimated lead, p-ckpt's
+  // priority queue mis-ordered) reduce P2's FT ratio on CHIMERA, where
+  // the LM threshold sits inside the lead-time cluster.
+  auto& wd = world();
+  const auto& app = w::workload_by_name("CHIMERA");
+  auto ft_at = [&](double sigma) {
+    core::CrConfig cfg;
+    cfg.kind = ModelKind::kP2;
+    cfg.predictor.lead_error_sigma = sigma;
+    const auto r = core::run_campaign(wd.setup(app), cfg, 40, 77);
+    return r.pooled_ft_ratio();
+  };
+  const double oracle = ft_at(0.0);
+  const double noisy = ft_at(1.0);
+  EXPECT_GT(oracle, noisy + 0.03);
+}
+
+TEST(RateEstimation, ObservedModeMatchesAnalyticOnCalmRuns) {
+  // With zero failures observed, the smoothed estimate equals the
+  // analytic rate, so the OCI (and thus checkpoint count) barely moves.
+  auto& wd = world();
+  f::FailureSystem calm{"calm", 0.7, 5000.0, 4608};
+  const auto& app = w::workload_by_name("S3D");
+  core::RunSetup s = wd.setup(app);
+  s.system = &calm;
+  core::CrConfig analytic;
+  analytic.kind = ModelKind::kB;
+  core::CrConfig observed = analytic;
+  observed.rate_estimation = core::RateEstimation::kObserved;
+  const auto ra = core::simulate_run(s, analytic);
+  const auto ro = core::simulate_run(s, observed);
+  ASSERT_EQ(ra.failures, 0);
+  EXPECT_NEAR(ro.mean_oci_s(), ra.mean_oci_s(), ra.mean_oci_s() * 0.25);
+}
+
+TEST(RateEstimation, ObservedModeShortensIntervalUnderHeavyFailures) {
+  // CHIMERA under LANL System 18's rate (~3 h MTBF): the empirical rate
+  // exceeds nothing (it IS the rate), but early bursty failures drive the
+  // online estimate above/below analytic; averaged over runs the
+  // realized checkpoint count must track the failure burden.
+  auto& wd = world();
+  const auto& lanl18 = f::system_by_name("lanl18");
+  const auto& app = w::workload_by_name("CHIMERA");
+  core::RunSetup s = wd.setup(app, 3);
+  s.system = &lanl18;
+  core::CrConfig analytic;
+  analytic.kind = ModelKind::kB;
+  core::CrConfig observed = analytic;
+  observed.rate_estimation = core::RateEstimation::kObserved;
+  const auto ra = core::simulate_run(s, analytic);
+  const auto ro = core::simulate_run(s, observed);
+  EXPECT_GT(ra.failures, 20);
+  // Both complete and stay self-consistent.
+  EXPECT_NEAR(ro.makespan_s, ro.compute_s + ro.overheads.total(),
+              1e-6 * ro.makespan_s);
+  EXPECT_GT(ro.mean_oci_s(), 0.0);
+}
+
+TEST(RateEstimation, DeterministicUnderObservedMode) {
+  auto& wd = world();
+  const auto& app = w::workload_by_name("XGC");
+  core::CrConfig cfg;
+  cfg.kind = ModelKind::kP2;
+  cfg.rate_estimation = core::RateEstimation::kObserved;
+  const auto a = core::simulate_run(wd.setup(app, 9), cfg);
+  const auto b = core::simulate_run(wd.setup(app, 9), cfg);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.failures, b.failures);
+}

@@ -1,0 +1,56 @@
+#include "core/oci.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace core = pckpt::core;
+
+TEST(Oci, YoungFormulaValue) {
+  // t_bb = 135.5 s, MTBF = 58.2 h: OCI = sqrt(2 * 135.5 * 58.2 * 3600).
+  const double rate = 1.0 / (58.2 * 3600.0);
+  const double oci = core::young_oci_seconds(135.5, rate);
+  EXPECT_NEAR(oci, std::sqrt(2.0 * 135.5 / rate), 1e-9);
+  EXPECT_NEAR(oci / 3600.0, 2.09, 0.03);  // ~2.1 hours
+}
+
+TEST(Oci, YoungScalesWithSqrtOfCkptTime) {
+  const double rate = 1e-5;
+  EXPECT_NEAR(core::young_oci_seconds(400.0, rate),
+              2.0 * core::young_oci_seconds(100.0, rate), 1e-9);
+}
+
+TEST(Oci, YoungScalesInverselyWithSqrtOfRate) {
+  EXPECT_NEAR(core::young_oci_seconds(100.0, 4e-5),
+              0.5 * core::young_oci_seconds(100.0, 1e-5), 1e-9);
+}
+
+TEST(Oci, SigmaZeroMatchesYoung) {
+  EXPECT_DOUBLE_EQ(core::sigma_extended_oci_seconds(100.0, 1e-5, 0.0),
+                   core::young_oci_seconds(100.0, 1e-5));
+}
+
+TEST(Oci, SigmaExtendsInterval) {
+  const double base = core::young_oci_seconds(100.0, 1e-5);
+  const double ext = core::sigma_extended_oci_seconds(100.0, 1e-5, 0.75);
+  EXPECT_NEAR(ext, base * 2.0, 1e-9);  // 1/sqrt(0.25) = 2
+  EXPECT_NEAR(ext / base, core::oci_elongation_factor(0.75), 1e-12);
+}
+
+TEST(Oci, ElongationRangeOfObservation6) {
+  // Paper: 54-340% elongation across applications. sigma ~0.57 gives +53%;
+  // sigma ~0.95 gives +347%.
+  EXPECT_NEAR(core::oci_elongation_factor(0.57), 1.525, 0.01);
+  EXPECT_NEAR(core::oci_elongation_factor(0.948), 4.39, 0.03);
+}
+
+TEST(Oci, Validation) {
+  EXPECT_THROW(core::young_oci_seconds(0.0, 1e-5), std::invalid_argument);
+  EXPECT_THROW(core::young_oci_seconds(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(core::sigma_extended_oci_seconds(1.0, 1e-5, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(core::sigma_extended_oci_seconds(1.0, 1e-5, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(core::oci_elongation_factor(1.0), std::invalid_argument);
+}

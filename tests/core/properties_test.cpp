@@ -1,0 +1,228 @@
+/// Property-style sweeps over the C/R models: invariants that must hold
+/// for every (failure system, model, application) combination, and
+/// monotonicity properties in the predictor/model knobs. These are the
+/// guarantees the paper's conclusions rest on.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace core = pckpt::core;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+using core::ModelKind;
+
+namespace {
+
+struct World {
+  w::Machine machine = w::summit();
+  pckpt::iomodel::StorageModel storage = machine.make_storage();
+  f::LeadTimeModel leads = f::LeadTimeModel::summit_default();
+
+  core::RunSetup setup(const w::Application& app,
+                       const f::FailureSystem& sys,
+                       std::uint64_t seed) {
+    core::RunSetup s;
+    s.app = &app;
+    s.machine = &machine;
+    s.storage = &storage;
+    s.system = &sys;
+    s.leads = &leads;
+    s.seed = seed;
+    return s;
+  }
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Grid: (system x model) — applied to XGC, which exercises both the LM
+// and the p-ckpt paths.
+// ---------------------------------------------------------------------
+
+class SystemModelGrid
+    : public ::testing::TestWithParam<std::tuple<const char*, ModelKind>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SystemModelGrid,
+    ::testing::Combine(::testing::Values("titan", "lanl8", "lanl18"),
+                       ::testing::Values(ModelKind::kB, ModelKind::kM1,
+                                         ModelKind::kM2, ModelKind::kP1,
+                                         ModelKind::kP2)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param)) + "_" +
+             std::string(core::to_string(std::get<1>(info.param)));
+    });
+
+TEST_P(SystemModelGrid, InvariantsHoldOnEverySystem) {
+  auto& wd = world();
+  const auto& [sys_name, kind] = GetParam();
+  const auto& sys = f::system_by_name(sys_name);
+  const auto& app = w::workload_by_name("XGC");
+  core::CrConfig cfg;
+  cfg.kind = kind;
+  for (std::uint64_t seed : {2ull, 31ull}) {
+    const auto r = core::simulate_run(wd.setup(app, sys, seed), cfg);
+    // Accounting identity.
+    EXPECT_NEAR(r.makespan_s, r.compute_s + r.overheads.total(),
+                1e-6 * r.makespan_s);
+    // Counter consistency.
+    EXPECT_EQ(r.failures, r.mitigated_ckpt + r.mitigated_lm + r.unhandled);
+    EXPECT_LE(r.mitigated_ckpt + r.mitigated_lm, r.predicted);
+    EXPECT_GE(r.periodic_ckpts, 0);
+    // Capability constraints.
+    if (!core::uses_lm(kind)) {
+      EXPECT_EQ(r.mitigated_lm, 0);
+      EXPECT_EQ(r.lm_attempts, 0);
+      EXPECT_DOUBLE_EQ(r.overheads.migration_s, 0.0);
+    }
+    if (!core::uses_proactive_ckpt(kind)) {
+      EXPECT_EQ(r.mitigated_ckpt, 0);
+      EXPECT_EQ(r.proactive_ckpts, 0);
+    }
+    // Overheads non-negative and makespan at least the useful work.
+    EXPECT_GE(r.overheads.checkpoint_s, 0.0);
+    EXPECT_GE(r.overheads.recomputation_s, 0.0);
+    EXPECT_GE(r.overheads.recovery_s, 0.0);
+    EXPECT_GE(r.makespan_s, r.compute_s);
+  }
+}
+
+TEST_P(SystemModelGrid, PairedTracesShareFailureSchedule) {
+  auto& wd = world();
+  const auto& [sys_name, kind] = GetParam();
+  const auto& sys = f::system_by_name(sys_name);
+  const auto& app = w::workload_by_name("XGC");
+  core::CrConfig cfg;
+  cfg.kind = kind;
+  core::CrConfig base;
+  base.kind = ModelKind::kB;
+  const auto r = core::simulate_run(wd.setup(app, sys, 77), cfg);
+  const auto b = core::simulate_run(wd.setup(app, sys, 77), base);
+  // Same trace: failure counts match up to timeline-shift edge effects.
+  EXPECT_NEAR(r.failures, b.failures, 2.0);
+}
+
+// ---------------------------------------------------------------------
+// Monotonicity properties.
+// ---------------------------------------------------------------------
+
+namespace {
+
+double pooled_ft(ModelKind kind, double recall, double lead_scale,
+                 std::size_t runs = 25) {
+  auto& wd = world();
+  const auto& app = w::workload_by_name("XGC");
+  core::CrConfig cfg;
+  cfg.kind = kind;
+  cfg.predictor.recall = recall;
+  cfg.predictor.lead_scale = lead_scale;
+  auto setup = wd.setup(app, f::system_by_name("titan"), 0);
+  return core::run_campaign(setup, cfg, runs, 1234).pooled_ft_ratio();
+}
+
+}  // namespace
+
+class RecallSweep : public ::testing::TestWithParam<ModelKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Models, RecallSweep,
+                         ::testing::Values(ModelKind::kM2, ModelKind::kP1,
+                                           ModelKind::kP2),
+                         [](const auto& info) {
+                           return std::string(core::to_string(info.param));
+                         });
+
+TEST_P(RecallSweep, FtRatioIncreasesWithRecallAndIsBoundedByIt) {
+  const ModelKind kind = GetParam();
+  double prev = -1.0;
+  for (double recall : {0.3, 0.6, 0.9}) {
+    const double ft = pooled_ft(kind, recall, 1.0);
+    EXPECT_LE(ft, recall + 0.06) << "recall=" << recall;  // bound (+noise)
+    EXPECT_GE(ft, prev - 0.05);                           // monotone-ish
+    prev = ft;
+  }
+  EXPECT_DOUBLE_EQ(pooled_ft(kind, 0.0, 1.0), 0.0);
+}
+
+TEST(Monotonicity, P1FtRatioNondecreasingInLeadScale) {
+  double prev = -1.0;
+  for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+    const double ft = pooled_ft(ModelKind::kP1, 0.85, scale);
+    EXPECT_GE(ft, prev - 0.04) << "scale=" << scale;
+    prev = ft;
+  }
+}
+
+TEST(Monotonicity, M2FtRatioNondecreasingInLeadScale) {
+  double prev = -1.0;
+  for (double scale : {0.25, 0.5, 1.0, 2.0}) {
+    const double ft = pooled_ft(ModelKind::kM2, 0.85, scale);
+    EXPECT_GE(ft, prev - 0.04) << "scale=" << scale;
+    prev = ft;
+  }
+}
+
+TEST(Monotonicity, HigherLmTransferFactorNeverHelpsM2) {
+  auto& wd = world();
+  const auto& app = w::workload_by_name("XGC");
+  auto setup = wd.setup(app, f::system_by_name("titan"), 0);
+  double prev_ft = 2.0;
+  for (double alpha : {1.0, 2.0, 4.0}) {
+    core::CrConfig cfg;
+    cfg.kind = ModelKind::kM2;
+    cfg.lm_transfer_factor = alpha;
+    const auto r = core::run_campaign(setup, cfg, 25, 99);
+    EXPECT_LE(r.pooled_ft_ratio(), prev_ft + 0.03) << "alpha=" << alpha;
+    prev_ft = r.pooled_ft_ratio();
+  }
+}
+
+TEST(Monotonicity, SmallerDrainPoolDelaysRestorePoints) {
+  // Fewer concurrent drainers => BB checkpoints reach the PFS later =>
+  // more computation lost per unhandled failure (Fig. 1B window).
+  auto& wd = world();
+  const auto& app = w::workload_by_name("CHIMERA");
+  auto setup = wd.setup(app, f::system_by_name("titan"), 0);
+  core::CrConfig narrow;
+  narrow.kind = ModelKind::kB;
+  narrow.drain_concurrency = 2;
+  core::CrConfig wide = narrow;
+  wide.drain_concurrency = 2272;
+  const auto rn = core::run_campaign(setup, narrow, 30, 5);
+  const auto rw = core::run_campaign(setup, wide, 30, 5);
+  EXPECT_GT(rn.recomputation_s.mean(), rw.recomputation_s.mean());
+}
+
+TEST(Monotonicity, LongerRuntimeFavorsHybridOverPckpt) {
+  // The paper's Recommendation: checkpoint savings compound with runtime,
+  // so P2's advantage over P1 grows as the application runs longer.
+  auto& wd = world();
+  w::Application short_run{"short", 1515, 149625.0, 60.0};
+  w::Application long_run{"long", 1515, 149625.0, 480.0};
+  auto advantage = [&](const w::Application& app) {
+    auto setup = wd.setup(app, f::system_by_name("titan"), 0);
+    core::CrConfig p1;
+    p1.kind = ModelKind::kP1;
+    core::CrConfig p2;
+    p2.kind = ModelKind::kP2;
+    const auto r1 = core::run_campaign(setup, p1, 40, 7);
+    const auto r2 = core::run_campaign(setup, p2, 40, 7);
+    return (r1.total_overhead_s.mean() - r2.total_overhead_s.mean()) /
+           (app.compute_hours * 3600.0);
+  };
+  // Normalized by runtime, P2's edge should not shrink for long runs.
+  EXPECT_GE(advantage(long_run), advantage(short_run) * 0.8);
+}

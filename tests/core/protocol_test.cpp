@@ -1,0 +1,207 @@
+#include "core/protocol/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/protocol/node_state.hpp"
+
+namespace p = pckpt::core::protocol;
+using p::NodeState;
+
+// ---------------------------------------------------------------------
+// State machine (Fig. 5).
+// ---------------------------------------------------------------------
+
+TEST(NodeStateMachine, HappyPathsAreAllowed) {
+  // Vulnerable node taking the p-ckpt path.
+  p::NodeStateMachine vuln(0);
+  vuln.transition(NodeState::kVulnerable);
+  vuln.transition(NodeState::kPhase1Writing);
+  vuln.transition(NodeState::kNormal);
+
+  // Vulnerable node migrating away.
+  p::NodeStateMachine lm(1);
+  lm.transition(NodeState::kVulnerable);
+  lm.transition(NodeState::kMigrating);
+  lm.transition(NodeState::kMigrated);
+
+  // Healthy node during a p-ckpt round.
+  p::NodeStateMachine healthy(2);
+  healthy.transition(NodeState::kWaiting);
+  healthy.transition(NodeState::kPhase2Writing);
+  healthy.transition(NodeState::kNormal);
+}
+
+TEST(NodeStateMachine, LmAbortEdgeExists) {
+  // Fig. 5: LM in progress + shorter-lead prediction -> p-ckpt.
+  p::NodeStateMachine m(0);
+  m.transition(NodeState::kVulnerable);
+  m.transition(NodeState::kMigrating);
+  m.transition(NodeState::kPhase1Writing);
+  EXPECT_EQ(m.state(), NodeState::kPhase1Writing);
+}
+
+TEST(NodeStateMachine, FailureReachableFromActiveStates) {
+  for (auto from : {NodeState::kNormal, NodeState::kVulnerable,
+                    NodeState::kMigrating, NodeState::kPhase1Writing,
+                    NodeState::kWaiting, NodeState::kPhase2Writing}) {
+    EXPECT_TRUE(p::transition_allowed(from, NodeState::kFailed))
+        << p::to_string(from);
+  }
+}
+
+TEST(NodeStateMachine, IllegalTransitionsThrow) {
+  p::NodeStateMachine m(0);
+  EXPECT_THROW(m.transition(NodeState::kPhase2Writing), std::logic_error);
+  EXPECT_THROW(m.transition(NodeState::kMigrated), std::logic_error);
+  m.transition(NodeState::kVulnerable);
+  EXPECT_THROW(m.transition(NodeState::kWaiting), std::logic_error);
+  m.transition(NodeState::kFailed);
+  // Terminal.
+  EXPECT_THROW(m.transition(NodeState::kNormal), std::logic_error);
+}
+
+TEST(NodeStateMachine, MigratedIsTerminal) {
+  EXPECT_FALSE(p::transition_allowed(NodeState::kMigrated,
+                                     NodeState::kNormal));
+  EXPECT_FALSE(
+      p::transition_allowed(NodeState::kMigrated, NodeState::kFailed));
+}
+
+// ---------------------------------------------------------------------
+// Protocol round.
+// ---------------------------------------------------------------------
+
+namespace {
+p::ProtocolConfig chimera_like(int nodes = 64) {
+  p::ProtocolConfig cfg;
+  cfg.nodes = nodes;
+  cfg.per_node_gb = 284.5;
+  cfg.single_node_bw_gbps = 13.4;
+  cfg.aggregate_bw_gbps = 1400.0;
+  return cfg;
+}
+}  // namespace
+
+TEST(ProtocolRound, BroadcastLatencyMatchesSummitAnchor) {
+  p::ProtocolConfig cfg;
+  cfg.nodes = 2048;
+  cfg.per_node_gb = 1.0;
+  EXPECT_NEAR(cfg.broadcast_seconds(), 8e-6, 1e-7);  // ~8 us at 2048 nodes
+}
+
+TEST(ProtocolRound, SingleVulnerableCommitsInPhase1) {
+  const auto cfg = chimera_like();
+  const auto r = p::simulate_round(cfg, {{5, 0.0, 60.0}});
+  ASSERT_EQ(r.outcomes.size(), 1u);
+  EXPECT_TRUE(r.outcomes[0].mitigated);
+  // Phase-1 write = 284.5 / 13.4 ~= 21.2 s (plus ~us of coordination).
+  EXPECT_NEAR(r.outcomes[0].commit_s, 21.23, 0.1);
+  EXPECT_EQ(r.commit_order, (std::vector<int>{5}));
+  EXPECT_EQ(r.mitigated, 1u);
+}
+
+TEST(ProtocolRound, ShortLeadMissesDeadline) {
+  const auto cfg = chimera_like();
+  const auto r = p::simulate_round(cfg, {{5, 0.0, 10.0}});
+  EXPECT_FALSE(r.outcomes[0].mitigated);
+  EXPECT_EQ(r.mitigated, 0u);
+  EXPECT_GT(r.outcomes[0].commit_s, 10.0);  // committed, but too late
+}
+
+TEST(ProtocolRound, LeadTimePriorityOrdersByDeadline) {
+  const auto cfg = chimera_like();
+  // Three simultaneous predictions; deadlines reversed vs node ids.
+  const auto r = p::simulate_round(
+      cfg, {{1, 0.0, 100.0}, {2, 0.0, 50.0}, {3, 0.0, 26.0}});
+  EXPECT_EQ(r.commit_order, (std::vector<int>{3, 2, 1}));
+  // Node 3 (26 s lead) only survives BECAUSE it went first (one write is
+  // ~21.2 s; second place would commit at ~42 s).
+  EXPECT_TRUE(r.outcomes[2].mitigated);
+  EXPECT_EQ(r.mitigated, 3u);  // 21.2 < 26, 42.5 < 50, 63.7 < 100
+}
+
+TEST(ProtocolRound, FifoPolicySacrificesUrgentNode) {
+  auto cfg = chimera_like();
+  cfg.policy = p::QueuePolicy::kFifo;
+  const auto r = p::simulate_round(
+      cfg, {{1, 0.0, 100.0}, {2, 0.0, 50.0}, {3, 0.0, 26.0}});
+  EXPECT_EQ(r.commit_order, (std::vector<int>{1, 2, 3}));
+  // Node 3 commits third at ~63.7 s > 26 s deadline: unmitigated.
+  EXPECT_FALSE(r.outcomes[2].mitigated);
+  EXPECT_EQ(r.mitigated, 2u);
+}
+
+TEST(ProtocolRound, LifoIsWorseThanFifoHere) {
+  auto cfg = chimera_like();
+  cfg.policy = p::QueuePolicy::kLifo;
+  const auto r = p::simulate_round(
+      cfg, {{1, 0.0, 24.0}, {2, 0.0, 50.0}, {3, 0.0, 100.0}});
+  // LIFO serves node 3 first; node 1 (urgent, arrived first) dies.
+  EXPECT_EQ(r.commit_order.front(), 3);
+  EXPECT_FALSE(r.outcomes[0].mitigated);
+}
+
+TEST(ProtocolRound, MidRoundArrivalJoinsQueue) {
+  const auto cfg = chimera_like();
+  // Second prediction lands 5 s into the first node's write, with an
+  // urgent deadline; it is served next (phase 1 still running).
+  const auto r = p::simulate_round(cfg, {{1, 0.0, 30.0}, {2, 5.0, 45.0}});
+  EXPECT_EQ(r.commit_order, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(r.outcomes[0].mitigated);
+  EXPECT_TRUE(r.outcomes[1].mitigated);  // commits ~42.5 < 5+45
+}
+
+TEST(ProtocolRound, LateArrivalFoldsIntoPhase2) {
+  const auto cfg = chimera_like();
+  // Arrival far after phase 1 ends (~21.2 s): committed with the bulk
+  // write instead.
+  const auto r = p::simulate_round(cfg, {{1, 0.0, 30.0}, {2, 30.0, 60.0}});
+  ASSERT_EQ(r.commit_order.size(), 2u);
+  EXPECT_EQ(r.commit_order[0], 1);
+  EXPECT_EQ(r.commit_order[1], 2);
+  EXPECT_GT(r.outcomes[1].commit_s, r.phase1_s);
+}
+
+TEST(ProtocolRound, CoordinationCostIsNegligible) {
+  // The paper's Sec. VI claim: broadcasts/barriers are microseconds while
+  // writes are seconds.
+  const auto cfg = chimera_like(2048);
+  const auto r = p::simulate_round(cfg, {{7, 0.0, 60.0}});
+  EXPECT_LT(r.coordination_s, 1e-4);
+  EXPECT_GT(r.total_s, 20.0);
+  EXPECT_LT(r.coordination_s / r.total_s, 1e-5);
+}
+
+TEST(ProtocolRound, PhaseDurationsAddUp) {
+  const auto cfg = chimera_like(128);
+  const auto r = p::simulate_round(cfg, {{0, 0.0, 60.0}, {1, 0.0, 90.0}});
+  EXPECT_NEAR(r.total_s,
+              r.phase1_s + r.phase2_s + r.coordination_s, 1e-9);
+  // Phase 2 moves (nodes - 2) * per_node at the aggregate bandwidth.
+  EXPECT_NEAR(r.phase2_s, 126.0 * 284.5 / 1400.0, 1e-6);
+}
+
+TEST(ProtocolRound, AllHealthyNodesWalkTheStateMachine) {
+  const auto cfg = chimera_like(32);
+  const auto r = p::simulate_round(cfg, {{0, 0.0, 60.0}});
+  // 31 healthy nodes x 3 transitions + vulnerable x 3 = 96.
+  EXPECT_EQ(r.transitions, 31u * 3u + 3u);
+}
+
+TEST(ProtocolRound, Validation) {
+  auto cfg = chimera_like();
+  EXPECT_THROW(p::simulate_round(cfg, {}), std::invalid_argument);
+  EXPECT_THROW(p::simulate_round(cfg, {{-1, 0.0, 5.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(p::simulate_round(cfg, {{99999, 0.0, 5.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(p::simulate_round(cfg, {{1, 0.0, 5.0}, {1, 0.0, 9.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(p::simulate_round(cfg, {{1, -1.0, 5.0}}),
+               std::invalid_argument);
+  cfg.nodes = 0;
+  EXPECT_THROW(p::simulate_round(cfg, {{0, 0.0, 5.0}}),
+               std::invalid_argument);
+}

@@ -1,0 +1,167 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace core = pckpt::core;
+
+namespace {
+
+constexpr const char* kFullConfig = R"(
+# A full scenario (Fig. 3's configuration-file input).
+[machine]
+name = MiniSummit
+total_nodes = 1024
+dram_gb = 256
+interconnect_gbps = 10
+bb_write_gbps = 2.0
+bb_read_gbps = 5.0
+bb_capacity_gb = 800
+pfs_ceiling_gbps = 900
+
+[application alpha]
+nodes = 512
+ckpt_total_gb = 20000
+compute_hours = 120
+
+[application beta]
+name = BETA-RENAMED
+nodes = 64
+ckpt_total_gb = 50.5      ; inline comment
+compute_hours = 240
+
+[failure_system]
+name = testsys
+weibull_shape = 0.75
+weibull_scale_hours = 20
+total_nodes = 4096
+
+[predictor]
+recall = 0.9
+false_positive_rate = 0.1
+lead_scale = 1.5
+lead_error_sigma = 0.25
+
+[cr]
+model = P2
+lm_transfer_factor = 2.5
+spare_nodes = 4
+node_repair_hours = 6
+rate_estimation = observed
+)";
+
+}  // namespace
+
+TEST(ConfigFile, ParsesSectionsAndKeys) {
+  const auto cfg = core::ConfigFile::parse(kFullConfig);
+  EXPECT_TRUE(cfg.has_section("machine"));
+  EXPECT_TRUE(cfg.has_section("APPLICATION ALPHA"));  // case-insensitive
+  EXPECT_EQ(cfg.get_string("machine", "name"), "MiniSummit");
+  EXPECT_EQ(cfg.get_int("machine", "total_nodes"), 1024);
+  EXPECT_DOUBLE_EQ(cfg.get_double("application beta", "ckpt_total_gb"),
+                   50.5);
+}
+
+TEST(ConfigFile, CommentsAndWhitespaceAreIgnored) {
+  const auto cfg = core::ConfigFile::parse(
+      "  [s]  \n  a =  1  # trailing\n; full-line comment\nb=2\n");
+  EXPECT_EQ(cfg.get_int("s", "a"), 1);
+  EXPECT_EQ(cfg.get_int("s", "b"), 2);
+}
+
+TEST(ConfigFile, OptionalAccessors) {
+  const auto cfg = core::ConfigFile::parse("[s]\na = 3\n");
+  EXPECT_EQ(cfg.get_int_or("s", "a", 9), 3);
+  EXPECT_EQ(cfg.get_int_or("s", "missing", 9), 9);
+  EXPECT_DOUBLE_EQ(cfg.get_double_or("nosection", "x", 1.5), 1.5);
+  EXPECT_EQ(cfg.get_string_or("s", "missing", "dflt"), "dflt");
+  EXPECT_FALSE(cfg.find("s", "missing").has_value());
+}
+
+TEST(ConfigFile, MalformedInputReportsLineNumbers) {
+  try {
+    core::ConfigFile::parse("[ok]\nkey_without_value\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+  EXPECT_THROW(core::ConfigFile::parse("[unterminated\n"),
+               std::invalid_argument);
+  EXPECT_THROW(core::ConfigFile::parse("orphan = 1\n"), std::invalid_argument);
+  EXPECT_THROW(core::ConfigFile::parse("[]\n"), std::invalid_argument);
+  EXPECT_THROW(core::ConfigFile::parse("[s]\n= v\n"), std::invalid_argument);
+}
+
+TEST(ConfigFile, NumericValidation) {
+  const auto cfg = core::ConfigFile::parse("[s]\na = 1.5x\nb = 1.5\n");
+  EXPECT_THROW(cfg.get_double("s", "a"), std::invalid_argument);
+  EXPECT_THROW(cfg.get_int("s", "b"), std::invalid_argument);  // not integral
+  EXPECT_THROW(cfg.get_string("s", "zzz"), std::out_of_range);
+}
+
+TEST(Scenario, FullRoundTrip) {
+  const auto sc = core::load_scenario(core::ConfigFile::parse(kFullConfig));
+  EXPECT_EQ(sc.machine.name, "MiniSummit");
+  EXPECT_EQ(sc.machine.total_nodes, 1024);
+  EXPECT_DOUBLE_EQ(sc.machine.dram_gb, 256.0);
+  EXPECT_DOUBLE_EQ(sc.machine.burst_buffer.write_gbps, 2.0);
+  EXPECT_DOUBLE_EQ(sc.machine.io.pfs_ceiling_gbps, 900.0);
+
+  ASSERT_EQ(sc.applications.size(), 2u);
+  EXPECT_EQ(sc.applications[0].name, "alpha");
+  EXPECT_EQ(sc.applications[0].nodes, 512);
+  EXPECT_EQ(sc.applications[1].name, "BETA-RENAMED");
+
+  EXPECT_EQ(sc.system.name, "testsys");
+  EXPECT_DOUBLE_EQ(sc.system.weibull_shape, 0.75);
+
+  EXPECT_DOUBLE_EQ(sc.cr.predictor.recall, 0.9);
+  EXPECT_DOUBLE_EQ(sc.cr.predictor.lead_error_sigma, 0.25);
+  EXPECT_EQ(sc.cr.kind, core::ModelKind::kP2);
+  EXPECT_DOUBLE_EQ(sc.cr.lm_transfer_factor, 2.5);
+  EXPECT_EQ(sc.cr.spare_nodes, 4);
+  EXPECT_EQ(sc.cr.rate_estimation, core::RateEstimation::kObserved);
+}
+
+TEST(Scenario, DefaultsWhenSectionsOmitted) {
+  const auto sc = core::load_scenario(core::ConfigFile::parse(
+      "[application x]\nnodes = 10\nckpt_total_gb = 5\ncompute_hours = 1\n"));
+  EXPECT_EQ(sc.machine.name, "Summit");
+  EXPECT_EQ(sc.system.name, "OLCF Titan");
+  EXPECT_EQ(sc.cr.kind, core::ModelKind::kB);
+  EXPECT_DOUBLE_EQ(sc.cr.predictor.recall, 0.85);
+}
+
+TEST(Scenario, FailureSystemPreset) {
+  const auto sc = core::load_scenario(core::ConfigFile::parse(
+      "[application x]\nnodes = 10\nckpt_total_gb = 5\ncompute_hours = 1\n"
+      "[failure_system]\npreset = lanl18\n"));
+  EXPECT_EQ(sc.system.name, "LANL System 18");
+}
+
+TEST(Scenario, RequiresAnApplication) {
+  EXPECT_THROW(core::load_scenario(core::ConfigFile::parse("[machine]\n")),
+               std::invalid_argument);
+}
+
+TEST(Scenario, RejectsBadApplication) {
+  EXPECT_THROW(
+      core::load_scenario(core::ConfigFile::parse(
+          "[application x]\nnodes = 0\nckpt_total_gb = 5\ncompute_hours = 1\n")),
+      std::invalid_argument);
+}
+
+TEST(Scenario, RejectsBadFailureSystem) {
+  EXPECT_THROW(
+      core::load_scenario(core::ConfigFile::parse(
+          "[application x]\nnodes = 1\nckpt_total_gb = 5\ncompute_hours = 1\n"
+          "[failure_system]\nweibull_shape = -1\nweibull_scale_hours = 5\n"
+          "total_nodes = 10\n")),
+      std::invalid_argument);
+}
+
+TEST(ConfigFile, LoadMissingFileThrows) {
+  EXPECT_THROW(core::ConfigFile::load("/nonexistent/path.ini"),
+               std::runtime_error);
+}

@@ -1,0 +1,171 @@
+/// Tests for the finite replacement-node pool extension
+/// (CrConfig::spare_nodes / node_repair_hours). The paper assumes
+/// reserved nodes are always available; these tests pin the behaviour
+/// when that assumption is relaxed.
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace core = pckpt::core;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+using core::ModelKind;
+
+namespace {
+
+struct World {
+  w::Machine machine = w::summit();
+  pckpt::iomodel::StorageModel storage = machine.make_storage();
+  f::LeadTimeModel leads = f::LeadTimeModel::summit_default();
+  const f::FailureSystem& lanl18 = f::system_by_name("lanl18");
+
+  core::RunSetup setup(const w::Application& app, std::uint64_t seed = 1) {
+    core::RunSetup s;
+    s.app = &app;
+    s.machine = &machine;
+    s.storage = &storage;
+    s.system = &lanl18;  // failure-heavy: the pool actually drains
+    s.leads = &leads;
+    s.seed = seed;
+    return s;
+  }
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+}  // namespace
+
+TEST(SparePool, UnlimitedPoolMatchesDefaultBehaviour) {
+  auto& wd = world();
+  const auto& app = w::workload_by_name("XGC");
+  core::CrConfig def;
+  def.kind = ModelKind::kB;
+  core::CrConfig unlimited = def;
+  unlimited.spare_nodes = -1;
+  const auto a = core::simulate_run(wd.setup(app, 4), def);
+  const auto b = core::simulate_run(wd.setup(app, 4), unlimited);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(SparePool, HugePoolIsEquivalentToUnlimited) {
+  auto& wd = world();
+  const auto& app = w::workload_by_name("XGC");
+  core::CrConfig unlimited;
+  unlimited.kind = ModelKind::kB;
+  core::CrConfig huge = unlimited;
+  huge.spare_nodes = 100000;
+  const auto a = core::simulate_run(wd.setup(app, 4), unlimited);
+  const auto b = core::simulate_run(wd.setup(app, 4), huge);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(SparePool, TinyPoolInflatesRecoveryOverhead) {
+  // CHIMERA under LANL-18's rate fails every ~3.3 h; with one spare and
+  // 2 h repairs the pool stays feasible but recoveries regularly stall.
+  auto& wd = world();
+  const auto& app = w::workload_by_name("CHIMERA");
+  core::CrConfig unlimited;
+  unlimited.kind = ModelKind::kB;
+  core::CrConfig scarce = unlimited;
+  scarce.spare_nodes = 1;
+  scarce.node_repair_hours = 2.0;
+  double rec_unlimited = 0.0, rec_scarce = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    rec_unlimited += core::simulate_run(wd.setup(app, seed), unlimited)
+                         .overheads.recovery_s;
+    rec_scarce +=
+        core::simulate_run(wd.setup(app, seed), scarce).overheads.recovery_s;
+  }
+  EXPECT_GT(rec_scarce, rec_unlimited * 3.0);
+}
+
+TEST(SparePool, ShorterRepairShrinksTheStall) {
+  auto& wd = world();
+  const auto& app = w::workload_by_name("CHIMERA");
+  core::CrConfig slow;
+  slow.kind = ModelKind::kB;
+  slow.spare_nodes = 2;
+  slow.node_repair_hours = 4.0;
+  core::CrConfig fast = slow;
+  fast.node_repair_hours = 0.5;
+  const auto r_slow = core::simulate_run(wd.setup(app, 7), slow);
+  const auto r_fast = core::simulate_run(wd.setup(app, 7), fast);
+  EXPECT_LT(r_fast.overheads.recovery_s, r_slow.overheads.recovery_s);
+  EXPECT_LT(r_fast.makespan_s, r_slow.makespan_s);
+}
+
+TEST(SparePool, HybridFallsBackToPckptWhenPoolIsDry) {
+  // With no standing spares, LM never has a migration target at
+  // prediction time (returning repairs are consumed by recoveries), so P2
+  // leans on the p-ckpt path.
+  auto& wd = world();
+  const auto& app = w::workload_by_name("XGC");
+  core::CrConfig p2;
+  p2.kind = ModelKind::kP2;
+  p2.spare_nodes = 0;
+  p2.node_repair_hours = 1.0;
+  const auto r = core::simulate_run(wd.setup(app, 11), p2);
+  EXPECT_EQ(r.mitigated_lm, 0);
+  EXPECT_GT(r.mitigated_ckpt, 0);
+}
+
+TEST(SparePool, M2WithoutSparesCannotMitigateAtAll) {
+  auto& wd = world();
+  const auto& app = w::workload_by_name("XGC");
+  core::CrConfig m2;
+  m2.kind = ModelKind::kM2;
+  m2.spare_nodes = 0;
+  m2.node_repair_hours = 1.0;
+  const auto r = core::simulate_run(wd.setup(app, 11), m2);
+  EXPECT_EQ(r.mitigated_lm, 0);
+  EXPECT_EQ(r.mitigated_ckpt, 0);
+  EXPECT_EQ(r.unhandled, r.failures);
+}
+
+TEST(SparePool, InfeasibleConfigurationFailsLoudly) {
+  // Repairs far slower than the failure rate: the run cannot finish; the
+  // makespan guard must throw instead of simulating forever.
+  auto& wd = world();
+  const auto& app = w::workload_by_name("CHIMERA");
+  core::CrConfig cfg;
+  cfg.kind = ModelKind::kB;
+  cfg.spare_nodes = 1;
+  cfg.node_repair_hours = 500.0;
+  EXPECT_THROW(core::simulate_run(wd.setup(app, 7), cfg),
+               std::runtime_error);
+}
+
+TEST(SparePool, IdentityInvariantHoldsWithFinitePool) {
+  auto& wd = world();
+  const auto& app = w::workload_by_name("CHIMERA");
+  for (auto kind : {ModelKind::kB, ModelKind::kP2}) {
+    core::CrConfig cfg;
+    cfg.kind = kind;
+    cfg.spare_nodes = 2;
+    cfg.node_repair_hours = 6.0;
+    const auto r = core::simulate_run(wd.setup(app, 13), cfg);
+    EXPECT_NEAR(r.makespan_s, r.compute_s + r.overheads.total(),
+                1e-6 * r.makespan_s);
+  }
+}
+
+TEST(SparePool, ConfigValidation) {
+  core::CrConfig cfg;
+  cfg.spare_nodes = -2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.node_repair_hours = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = {};
+  cfg.spare_nodes = 0;
+  EXPECT_NO_THROW(cfg.validate());
+}

@@ -1,0 +1,188 @@
+#include "core/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace core = pckpt::core;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+using core::MarkerKind;
+using core::PhaseKind;
+using core::Timeline;
+
+// --------------------------------------------------------------- unit
+
+TEST(Timeline, SegmentsMergeAndDropZeroLength) {
+  Timeline t;
+  t.add_segment(PhaseKind::kCompute, 0.0, 10.0);
+  t.add_segment(PhaseKind::kCompute, 10.0, 20.0);  // merges
+  t.add_segment(PhaseKind::kBbCheckpoint, 20.0, 20.0);  // dropped
+  t.add_segment(PhaseKind::kBbCheckpoint, 20.0, 25.0);
+  ASSERT_EQ(t.segments().size(), 2u);
+  EXPECT_DOUBLE_EQ(t.segments()[0].end_s, 20.0);
+  EXPECT_DOUBLE_EQ(t.total(PhaseKind::kCompute), 20.0);
+  EXPECT_DOUBLE_EQ(t.total(PhaseKind::kBbCheckpoint), 5.0);
+  EXPECT_DOUBLE_EQ(t.span(), 25.0);
+}
+
+TEST(Timeline, RejectsOutOfOrderSegments) {
+  Timeline t;
+  t.add_segment(PhaseKind::kCompute, 0.0, 10.0);
+  EXPECT_THROW(t.add_segment(PhaseKind::kCompute, 5.0, 12.0),
+               std::invalid_argument);
+  EXPECT_THROW(t.add_segment(PhaseKind::kCompute, 12.0, 11.0),
+               std::invalid_argument);
+}
+
+TEST(Timeline, AsciiRenderShowsMajorityPhase) {
+  Timeline t;
+  t.add_segment(PhaseKind::kCompute, 0.0, 50.0);
+  t.add_segment(PhaseKind::kRecovery, 50.0, 100.0);
+  const std::string strip = t.render_ascii(10);
+  EXPECT_EQ(strip.size(), 10u);
+  EXPECT_EQ(strip.substr(0, 5), "=====");
+  EXPECT_EQ(strip.substr(5, 5), "RRRRR");
+  EXPECT_THROW(t.render_ascii(0), std::invalid_argument);
+}
+
+TEST(Timeline, EmptyRendersDots) {
+  Timeline t;
+  EXPECT_EQ(t.render_ascii(4), "....");
+  EXPECT_DOUBLE_EQ(t.span(), 0.0);
+}
+
+TEST(Timeline, CsvHasAllRows) {
+  Timeline t;
+  t.add_segment(PhaseKind::kCompute, 0.0, 5.0);
+  t.add_marker(MarkerKind::kFailure, 3.0);
+  std::ostringstream os;
+  t.print_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("segment,compute,0,5"), std::string::npos);
+  EXPECT_NE(out.find("marker,failure,3"), std::string::npos);
+}
+
+// --------------------------------------------------- simulation wiring
+
+namespace {
+
+core::RunResult recorded_run(const char* app_name, core::ModelKind kind,
+                             std::uint64_t seed) {
+  static const auto machine = w::summit();
+  static const auto storage = machine.make_storage();
+  static const auto leads = f::LeadTimeModel::summit_default();
+  core::RunSetup setup;
+  setup.app = &w::workload_by_name(app_name);
+  setup.machine = &machine;
+  setup.storage = &storage;
+  setup.system = &f::system_by_name("titan");
+  setup.leads = &leads;
+  setup.seed = seed;
+  core::CrConfig cfg;
+  cfg.kind = kind;
+  cfg.record_timeline = true;
+  return core::simulate_run(setup, cfg);
+}
+
+}  // namespace
+
+TEST(TimelineRecording, OffByDefault) {
+  static const auto machine = w::summit();
+  static const auto storage = machine.make_storage();
+  static const auto leads = f::LeadTimeModel::summit_default();
+  core::RunSetup setup;
+  setup.app = &w::workload_by_name("POP");
+  setup.machine = &machine;
+  setup.storage = &storage;
+  setup.system = &f::system_by_name("titan");
+  setup.leads = &leads;
+  const auto r = core::simulate_run(setup, core::CrConfig{});
+  EXPECT_TRUE(r.timeline.segments().empty());
+}
+
+TEST(TimelineRecording, SegmentsCoverTheMakespan) {
+  const auto r = recorded_run("XGC", core::ModelKind::kP2, 5);
+  ASSERT_FALSE(r.timeline.segments().empty());
+  double covered = 0.0;
+  double prev_end = 0.0;
+  for (const auto& s : r.timeline.segments()) {
+    EXPECT_GE(s.start_s, prev_end - 1e-6);  // ordered, non-overlapping
+    covered += s.duration();
+    prev_end = s.end_s;
+  }
+  EXPECT_NEAR(covered, r.makespan_s, 1e-3 * r.makespan_s);
+  EXPECT_NEAR(r.timeline.span(), r.makespan_s, 1e-6 * r.makespan_s);
+}
+
+TEST(TimelineRecording, PhaseTotalsMatchOverheadAccounting) {
+  const auto r = recorded_run("CHIMERA", core::ModelKind::kP1, 9);
+  const auto& t = r.timeline;
+  EXPECT_NEAR(t.total(PhaseKind::kRecovery), r.overheads.recovery_s, 1e-6);
+  EXPECT_NEAR(t.total(PhaseKind::kBbCheckpoint) +
+                  t.total(PhaseKind::kProactivePhase1) +
+                  t.total(PhaseKind::kProactivePhase2),
+              r.overheads.checkpoint_s, 1e-6);
+  EXPECT_NEAR(t.total(PhaseKind::kCompute),
+              r.compute_s + r.overheads.recomputation_s,
+              1e-3 * r.compute_s);
+}
+
+TEST(TimelineRecording, MarkersMatchCounters) {
+  const auto r = recorded_run("CHIMERA", core::ModelKind::kP2, 11);
+  int failures = 0, predictions = 0, fps = 0, lm_starts = 0, lm_done = 0;
+  for (const auto& m : r.timeline.markers()) {
+    switch (m.kind) {
+      case MarkerKind::kFailure:
+        ++failures;
+        break;
+      case MarkerKind::kPrediction:
+        ++predictions;
+        break;
+      case MarkerKind::kFalsePositive:
+        ++fps;
+        break;
+      case MarkerKind::kLmStart:
+        ++lm_starts;
+        break;
+      case MarkerKind::kLmComplete:
+        ++lm_done;
+        break;
+    }
+  }
+  // Failure markers record strikes, not LM-avoided failures.
+  EXPECT_EQ(failures, r.failures - r.mitigated_lm);
+  EXPECT_EQ(fps, r.false_positives);
+  EXPECT_EQ(lm_starts, r.lm_attempts);
+  EXPECT_GE(lm_starts, lm_done);
+  EXPECT_GE(predictions, r.mitigated_ckpt);
+}
+
+TEST(TimelineRecording, PckptRoundsShowBothPhases) {
+  const auto r = recorded_run("CHIMERA", core::ModelKind::kP1, 3);
+  ASSERT_GT(r.proactive_ckpts, 0);
+  EXPECT_GT(r.timeline.total(PhaseKind::kProactivePhase1), 0.0);
+  EXPECT_GT(r.timeline.total(PhaseKind::kProactivePhase2), 0.0);
+  // Phase 1 is one node at single-node bandwidth; phase 2 is everyone at
+  // aggregate bandwidth — both visible, phase 2 dominating.
+  EXPECT_GT(r.timeline.total(PhaseKind::kProactivePhase2),
+            r.timeline.total(PhaseKind::kProactivePhase1));
+}
+
+TEST(TimelineRecording, AsciiStripRendersForRealRun) {
+  const auto r = recorded_run("XGC", core::ModelKind::kP1, 5);
+  const auto strip = r.timeline.render_ascii(120);
+  EXPECT_EQ(strip.size(), 120u);
+  // Compute dominates every bucket at this resolution (a 47 s BB write
+  // never wins a ~2 h bucket); thin phases appear only at fine widths.
+  EXPECT_GT(std::count(strip.begin(), strip.end(), '='), 100);
+}

@@ -1,0 +1,164 @@
+#include "failure/log_analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace f = pckpt::failure;
+
+namespace {
+
+f::GeneratedLog small_log(std::uint64_t seed = 7, double noise = 600.0) {
+  f::LogGenConfig cfg;
+  cfg.seed = seed;
+  cfg.horizon_s = 48.0 * 3600.0;
+  cfg.nodes = 32;
+  cfg.chains_per_hour = 4.0;
+  cfg.noise_per_hour = noise;
+  return f::generate_log(f::example_chain_templates(), cfg);
+}
+
+}  // namespace
+
+TEST(LogAnalysis, GeneratorProducesOrderedEventsAndTruth) {
+  const auto log = small_log();
+  ASSERT_GT(log.events.size(), 100u);
+  ASSERT_GT(log.truth.size(), 50u);
+  for (std::size_t i = 1; i < log.events.size(); ++i) {
+    EXPECT_LE(log.events[i - 1].time_s, log.events[i].time_s);
+  }
+  for (const auto& inst : log.truth) {
+    EXPECT_GT(inst.lead_s(), 0.0);
+    EXPECT_GE(inst.node, 0);
+    EXPECT_LT(inst.node, 32);
+  }
+}
+
+TEST(LogAnalysis, GeneratorIsDeterministic) {
+  const auto a = small_log(3);
+  const auto b = small_log(3);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_EQ(a.truth.size(), b.truth.size());
+  for (std::size_t i = 0; i < a.truth.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.truth[i].start_s, b.truth[i].start_s);
+    EXPECT_DOUBLE_EQ(a.truth[i].end_s, b.truth[i].end_s);
+  }
+}
+
+TEST(LogAnalysis, DetectorRecoversAllInjectedChains) {
+  const auto log = small_log();
+  const auto found =
+      f::detect_chains(log.events, f::example_chain_templates());
+  // Concurrent same-template chains on one node can merge; with 32 nodes
+  // and 4 chains/h that is rare — recall must be near-perfect.
+  EXPECT_GE(found.size(), log.truth.size() * 95 / 100);
+  EXPECT_LE(found.size(), log.truth.size());
+}
+
+TEST(LogAnalysis, DetectedLeadTimesMatchTruth) {
+  const auto log = small_log(11, 0.0);  // no noise: exact recovery
+  const auto found =
+      f::detect_chains(log.events, f::example_chain_templates());
+  // Index truth by (node, start) for comparison.
+  std::map<std::pair<int, double>, const f::ChainInstance*> truth;
+  for (const auto& t : log.truth) truth[{t.node, t.start_s}] = &t;
+  std::size_t matched = 0;
+  for (const auto& c : found) {
+    auto it = truth.find({c.node, c.start_s});
+    if (it == truth.end()) continue;
+    EXPECT_EQ(c.template_id, it->second->template_id);
+    EXPECT_NEAR(c.lead_s(), it->second->lead_s(), 1e-9);
+    ++matched;
+  }
+  EXPECT_GE(matched, found.size() * 95 / 100);
+}
+
+TEST(LogAnalysis, NoiseDoesNotCreateFalseChains) {
+  f::LogGenConfig cfg;
+  cfg.seed = 5;
+  cfg.horizon_s = 24.0 * 3600.0;
+  cfg.nodes = 8;
+  cfg.chains_per_hour = 1e-9;  // effectively none
+  cfg.noise_per_hour = 2000.0;
+  const auto log = f::generate_log(f::example_chain_templates(), cfg);
+  const auto found =
+      f::detect_chains(log.events, f::example_chain_templates());
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(LogAnalysis, StalePartialMatchesAreAbandoned) {
+  // First phrase, then a long silence, then the rest: with a small
+  // max_gap_s the partial match must expire and nothing is detected.
+  const auto templates = f::example_chain_templates();
+  std::vector<f::LogEvent> events = {
+      {0.0, 0, templates[0].phrases[0]},
+      {10000.0, 0, templates[0].phrases[1]},
+      {10010.0, 0, templates[0].phrases[2]},
+  };
+  const auto strict = f::detect_chains(events, templates, 100.0);
+  EXPECT_TRUE(strict.empty());
+  const auto lax = f::detect_chains(events, templates, 1e6);
+  EXPECT_EQ(lax.size(), 1u);
+}
+
+TEST(LogAnalysis, InterleavedChainsOnDifferentNodesBothDetected) {
+  const auto templates = f::example_chain_templates();
+  const auto& t0 = templates[0];
+  std::vector<f::LogEvent> events;
+  // Two nodes advancing the same template, interleaved line by line.
+  for (std::size_t i = 0; i < t0.phrases.size(); ++i) {
+    events.push_back({i * 10.0, 1, t0.phrases[i]});
+    events.push_back({i * 10.0 + 1.0, 2, t0.phrases[i]});
+  }
+  const auto found = f::detect_chains(events, templates);
+  EXPECT_EQ(found.size(), 2u);
+}
+
+TEST(LogAnalysis, FittedModelMatchesGeneratorStatistics) {
+  const auto log = small_log(13);
+  const auto found =
+      f::detect_chains(log.events, f::example_chain_templates());
+  const auto model =
+      f::fit_lead_time_model(found, f::example_chain_templates());
+  ASSERT_GE(model.sequences().size(), 2u);
+  // Template 1 has 2 gaps with median 12 s => lead median ~24 s;
+  // template 3 has 3 gaps of ~8 s => ~24 s. The fitted medians must land
+  // in the right ballpark.
+  for (const auto& s : model.sequences()) {
+    EXPECT_GT(s.median_seconds, 10.0);
+    EXPECT_LT(s.median_seconds, 80.0);
+    EXPECT_GT(s.weight, 1.0);
+  }
+  // And the model must be usable by the simulator's sigma estimation.
+  EXPECT_GT(model.ccdf(10.0), 0.5);
+  EXPECT_LT(model.ccdf(300.0), 0.1);
+}
+
+TEST(LogAnalysis, FitRequiresDetections) {
+  EXPECT_THROW(
+      f::fit_lead_time_model({}, f::example_chain_templates()),
+      std::invalid_argument);
+}
+
+TEST(LogAnalysis, Validation) {
+  f::ChainTemplate bad;
+  bad.phrases = {"only-one"};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.phrases = {"a", ""};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.phrases = {"a", "b"};
+  bad.median_gap_s = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  f::LogGenConfig cfg;
+  cfg.nodes = 0;
+  EXPECT_THROW(f::generate_log(f::example_chain_templates(), cfg),
+               std::invalid_argument);
+  EXPECT_THROW(f::generate_log({}, f::LogGenConfig{}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      f::detect_chains({}, f::example_chain_templates(), 0.0),
+      std::invalid_argument);
+}

@@ -1,0 +1,74 @@
+#include "failure/system_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace f = pckpt::failure;
+
+TEST(SystemCatalog, HasAllTableIIISystems) {
+  const auto& systems = f::system_catalog();
+  ASSERT_EQ(systems.size(), 3u);
+  EXPECT_EQ(systems[0].name, "LANL System 8");
+  EXPECT_DOUBLE_EQ(systems[0].weibull_shape, 0.7111);
+  EXPECT_DOUBLE_EQ(systems[0].weibull_scale_hours, 67.375);
+  EXPECT_EQ(systems[0].total_nodes, 164);
+  EXPECT_EQ(systems[2].name, "OLCF Titan");
+  EXPECT_DOUBLE_EQ(systems[2].weibull_shape, 0.6885);
+  EXPECT_DOUBLE_EQ(systems[2].weibull_scale_hours, 5.4527);
+}
+
+TEST(SystemCatalog, LookupByAliases) {
+  EXPECT_EQ(f::system_by_name("titan").name, "OLCF Titan");
+  EXPECT_EQ(f::system_by_name("OLCF Titan").name, "OLCF Titan");
+  // The paper applies Titan's distribution to Summit.
+  EXPECT_EQ(f::system_by_name("summit").name, "OLCF Titan");
+  EXPECT_EQ(f::system_by_name("lanl8").name, "LANL System 8");
+  EXPECT_EQ(f::system_by_name("LANL System 18").name, "LANL System 18");
+  EXPECT_THROW(f::system_by_name("frontier"), std::out_of_range);
+}
+
+TEST(SystemCatalog, TitanSystemMtbfIsAFewHours) {
+  const auto& titan = f::system_by_name("titan");
+  const double mtbf = titan.system_mtbf_hours();
+  EXPECT_GT(mtbf, 5.0);
+  EXPECT_LT(mtbf, 9.0);
+}
+
+TEST(SystemCatalog, JobScalePreservesShapeAndScalesRate) {
+  const auto& titan = f::system_by_name("titan");
+  // Full system job: scale_job == scale_sys.
+  EXPECT_NEAR(titan.job_scale_hours(titan.total_nodes),
+              titan.weibull_scale_hours, 1e-12);
+  // Smaller jobs fail less often.
+  EXPECT_GT(titan.job_mtbf_hours(2272), titan.system_mtbf_hours());
+  EXPECT_GT(titan.job_mtbf_hours(64), titan.job_mtbf_hours(2272));
+}
+
+TEST(SystemCatalog, ChimeraJobMtbfAnchor) {
+  // CHIMERA on 2272/18868 Titan-nodes: MTBF should land in tens of hours.
+  const auto& titan = f::system_by_name("titan");
+  const double mtbf = titan.job_mtbf_hours(2272);
+  EXPECT_GT(mtbf, 30.0);
+  EXPECT_LT(mtbf, 200.0);
+}
+
+TEST(SystemCatalog, JobRatePerSecondConsistent) {
+  const auto& titan = f::system_by_name("titan");
+  const double rate = titan.job_rate_per_second(1024);
+  EXPECT_NEAR(rate * titan.job_mtbf_hours(1024) * 3600.0, 1.0, 1e-9);
+}
+
+TEST(SystemCatalog, JobNodesValidation) {
+  const auto& titan = f::system_by_name("titan");
+  EXPECT_THROW(titan.job_scale_hours(0), std::invalid_argument);
+}
+
+TEST(SystemCatalog, JobsLargerThanReferenceSystemExtrapolate) {
+  // The paper applies the 164-node LANL System 8 distribution to
+  // 2272-node Summit jobs; the per-node rate extrapolates.
+  const auto& lanl8 = f::system_by_name("lanl8");
+  const double job = lanl8.job_mtbf_hours(2272);
+  EXPECT_LT(job, lanl8.system_mtbf_hours());
+  EXPECT_NEAR(job * 2272.0 / 164.0, lanl8.system_mtbf_hours(), 1e-9);
+}

@@ -1,0 +1,161 @@
+#include "failure/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace f = pckpt::failure;
+
+namespace {
+
+f::FailureTrace make_trace(std::uint64_t seed, double horizon_h = 2000.0,
+                           f::PredictorConfig pred = {}) {
+  static const auto leads = f::LeadTimeModel::summit_default();
+  return f::FailureTrace(f::system_by_name("titan"), 2272, leads, pred, seed,
+                         horizon_h * 3600.0);
+}
+
+}  // namespace
+
+TEST(FailureTrace, DeterministicForSameSeed) {
+  const auto a = make_trace(42);
+  const auto b = make_trace(42);
+  ASSERT_EQ(a.event_count(), b.event_count());
+  for (std::size_t i = 0; i < a.event_count(); ++i) {
+    EXPECT_DOUBLE_EQ(a.event(i).time_s, b.event(i).time_s);
+    EXPECT_EQ(a.event(i).kind, b.event(i).kind);
+    EXPECT_EQ(a.event(i).node, b.event(i).node);
+  }
+}
+
+TEST(FailureTrace, DifferentSeedsDiffer) {
+  const auto a = make_trace(1);
+  const auto b = make_trace(2);
+  ASSERT_GT(a.failures().size(), 0u);
+  ASSERT_GT(b.failures().size(), 0u);
+  EXPECT_NE(a.failures()[0].time_s, b.failures()[0].time_s);
+}
+
+TEST(FailureTrace, EventsAreTimeOrdered) {
+  const auto t = make_trace(3);
+  for (std::size_t i = 1; i < t.event_count(); ++i) {
+    EXPECT_LE(t.event(i - 1).time_s, t.event(i).time_s);
+  }
+}
+
+TEST(FailureTrace, FailureCountNearExpectation) {
+  // Weibull k~0.69 renewal counts have CV ~1.5, so use a long horizon and
+  // a generous bound (this checks calibration, not the CLT).
+  const auto t = make_trace(4, 40000.0);
+  const double expected = t.job_rate_per_second() * 40000.0 * 3600.0;
+  const auto n = static_cast<double>(t.failures().size());
+  EXPECT_NEAR(n, expected, expected * 0.30);
+}
+
+TEST(FailureTrace, PredictionPrecedesItsFailureByLead) {
+  const auto t = make_trace(5);
+  for (std::size_t i = 0; i < t.event_count(); ++i) {
+    const auto& ev = t.event(i);
+    if (ev.kind == f::TraceEvent::Kind::kPrediction &&
+        !ev.is_false_positive()) {
+      const auto& fail = t.failures()[ev.failure_index];
+      EXPECT_NEAR(ev.time_s + ev.lead_s, fail.time_s, 1e-6);
+      EXPECT_LE(ev.time_s, fail.time_s);
+    }
+  }
+}
+
+TEST(FailureTrace, RecallControlsPredictedFraction) {
+  f::PredictorConfig pred;
+  pred.recall = 0.6;
+  const auto t = make_trace(6, 20000.0, pred);
+  std::size_t predicted = 0;
+  for (const auto& fl : t.failures()) {
+    if (fl.predicted) ++predicted;
+  }
+  const double frac =
+      static_cast<double>(predicted) / static_cast<double>(t.failures().size());
+  EXPECT_NEAR(frac, 0.6, 0.05);
+}
+
+TEST(FailureTrace, FalsePositiveFractionMatchesConfig) {
+  f::PredictorConfig pred;
+  pred.false_positive_rate = 0.18;
+  const auto t = make_trace(7, 40000.0, pred);
+  std::size_t fps = 0, preds = 0;
+  for (std::size_t i = 0; i < t.event_count(); ++i) {
+    const auto& ev = t.event(i);
+    if (ev.kind == f::TraceEvent::Kind::kPrediction) {
+      ++preds;
+      if (ev.is_false_positive()) ++fps;
+    }
+  }
+  ASSERT_GT(preds, 100u);
+  EXPECT_NEAR(static_cast<double>(fps) / static_cast<double>(preds), 0.18,
+              0.04);
+}
+
+TEST(FailureTrace, ZeroFalsePositiveRateEmitsNone) {
+  f::PredictorConfig pred;
+  pred.false_positive_rate = 0.0;
+  const auto t = make_trace(8, 10000.0, pred);
+  for (std::size_t i = 0; i < t.event_count(); ++i) {
+    EXPECT_FALSE(t.event(i).is_false_positive());
+  }
+}
+
+TEST(FailureTrace, LeadScaleScalesLeads) {
+  f::PredictorConfig base, scaled;
+  scaled.lead_scale = 1.5;
+  const auto a = make_trace(9, 5000.0, base);
+  const auto b = make_trace(9, 5000.0, scaled);
+  ASSERT_EQ(a.failures().size(), b.failures().size());
+  for (std::size_t i = 0; i < a.failures().size(); ++i) {
+    EXPECT_NEAR(b.failures()[i].lead_s, 1.5 * a.failures()[i].lead_s, 1e-9);
+    EXPECT_DOUBLE_EQ(a.failures()[i].time_s, b.failures()[i].time_s);
+  }
+}
+
+TEST(FailureTrace, ExtensionPreservesPrefix) {
+  auto t = make_trace(10, 1000.0);
+  const auto before = t.failures();
+  const auto n_events_before = t.event_count();
+  t.ensure_horizon(5000.0 * 3600.0);
+  ASSERT_GE(t.failures().size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.failures()[i].time_s, before[i].time_s);
+    EXPECT_EQ(t.failures()[i].node, before[i].node);
+    EXPECT_DOUBLE_EQ(t.failures()[i].lead_s, before[i].lead_s);
+  }
+  EXPECT_GT(t.event_count(), n_events_before);
+}
+
+TEST(FailureTrace, EnsureHorizonBelowCurrentIsNoop) {
+  auto t = make_trace(11, 1000.0);
+  const auto n = t.event_count();
+  t.ensure_horizon(10.0);
+  EXPECT_EQ(t.event_count(), n);
+}
+
+TEST(FailureTrace, NodesWithinJobRange) {
+  const auto t = make_trace(12);
+  for (const auto& fl : t.failures()) {
+    EXPECT_GE(fl.node, 0);
+    EXPECT_LT(fl.node, 2272);
+  }
+}
+
+TEST(FailureTrace, UnpredictedFailuresHaveNoPredictionEvent) {
+  const auto t = make_trace(13);
+  std::vector<bool> has_pred(t.failures().size(), false);
+  for (std::size_t i = 0; i < t.event_count(); ++i) {
+    const auto& ev = t.event(i);
+    if (ev.kind == f::TraceEvent::Kind::kPrediction &&
+        !ev.is_false_positive()) {
+      has_pred[ev.failure_index] = true;
+    }
+  }
+  for (std::size_t i = 0; i < t.failures().size(); ++i) {
+    EXPECT_EQ(has_pred[i], t.failures()[i].predicted);
+  }
+}

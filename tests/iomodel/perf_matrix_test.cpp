@@ -1,0 +1,89 @@
+#include "iomodel/perf_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+using pckpt::iomodel::PerfMatrix;
+
+namespace {
+PerfMatrix tiny() {
+  // nodes {1, 10}, sizes {1, 100} GB, bw row-major
+  return PerfMatrix({1.0, 10.0}, {1.0, 100.0},
+                    {10.0, 20.0,    // 1 node
+                     50.0, 200.0}); // 10 nodes
+}
+}  // namespace
+
+TEST(PerfMatrix, ExactGridPoints) {
+  const auto m = tiny();
+  EXPECT_DOUBLE_EQ(m.bandwidth(1.0, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth(1.0, 100.0), 20.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth(10.0, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth(10.0, 100.0), 200.0);
+}
+
+TEST(PerfMatrix, GeometricMidpointInterpolation) {
+  const auto m = tiny();
+  // Log-bilinear: halfway in log space between 1 and 100 GB is 10 GB, and
+  // the interpolated bandwidth is the geometric mean.
+  EXPECT_NEAR(m.bandwidth(1.0, 10.0), std::sqrt(10.0 * 20.0), 1e-9);
+  EXPECT_NEAR(m.bandwidth(10.0, 10.0), std::sqrt(50.0 * 200.0), 1e-9);
+}
+
+TEST(PerfMatrix, ClampsOutsideGrid) {
+  const auto m = tiny();
+  EXPECT_DOUBLE_EQ(m.bandwidth(0.5, 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth(100.0, 1000.0), 200.0);
+}
+
+TEST(PerfMatrix, InterpolationIsMonotoneOnMonotoneGrid) {
+  const auto m = tiny();
+  double prev = 0.0;
+  for (double n = 1.0; n <= 10.0; n += 0.5) {
+    const double b = m.bandwidth(n, 50.0);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+}
+
+TEST(PerfMatrix, InterpolatedValuesBoundedByCorners) {
+  const auto m = tiny();
+  for (double n : {1.5, 3.0, 7.7}) {
+    for (double s : {2.0, 30.0, 90.0}) {
+      const double b = m.bandwidth(n, s);
+      EXPECT_GE(b, 10.0);
+      EXPECT_LE(b, 200.0);
+    }
+  }
+}
+
+TEST(PerfMatrix, TransferSecondsConsistent) {
+  const auto m = tiny();
+  // 10 nodes x 100 GB at 200 GB/s = 5 s.
+  EXPECT_NEAR(m.transfer_seconds(10.0, 100.0), 5.0, 1e-9);
+}
+
+TEST(PerfMatrix, SingleRowAndColumnGrid) {
+  PerfMatrix m({4.0}, {8.0}, {42.0});
+  EXPECT_DOUBLE_EQ(m.bandwidth(1.0, 1.0), 42.0);
+  EXPECT_DOUBLE_EQ(m.bandwidth(100.0, 100.0), 42.0);
+}
+
+TEST(PerfMatrix, Validation) {
+  EXPECT_THROW(PerfMatrix({}, {1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(PerfMatrix({1.0}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(PerfMatrix({2.0, 1.0}, {1.0}, {1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(PerfMatrix({1.0}, {1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(PerfMatrix({1.0}, {1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(PerfMatrix({1.0, 1.0}, {1.0}, {1.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(PerfMatrix, BandwidthArgumentValidation) {
+  const auto m = tiny();
+  EXPECT_THROW(m.bandwidth(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(m.bandwidth(1.0, -1.0), std::invalid_argument);
+}

@@ -1,0 +1,135 @@
+#include "iomodel/summit_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "iomodel/storage.hpp"
+
+namespace io = pckpt::iomodel;
+
+TEST(SummitIO, NodeBandwidthPeaksAtEightTasks) {
+  const io::SummitIOConfig cfg;
+  const double size = 64.0;  // large transfer
+  const double at_peak = io::node_bandwidth_for_tasks(cfg.peak_tasks, size);
+  for (int t = 1; t <= cfg.max_tasks; ++t) {
+    EXPECT_LE(io::node_bandwidth_for_tasks(t, size), at_peak + 1e-9)
+        << "tasks=" << t;
+  }
+  // Strictly worse away from the peak.
+  EXPECT_LT(io::node_bandwidth_for_tasks(1, size), at_peak);
+  EXPECT_LT(io::node_bandwidth_for_tasks(42, size), at_peak);
+}
+
+TEST(SummitIO, PeakMatchesPaperAnchor) {
+  // Paper: 13-13.5 GB/s single-node PFS write with 8 tasks.
+  const double bw = io::node_bandwidth_for_tasks(8, 256.0);
+  EXPECT_GT(bw, 12.5);
+  EXPECT_LT(bw, 13.5);
+}
+
+TEST(SummitIO, TaskRangeValidation) {
+  EXPECT_THROW(io::node_bandwidth_for_tasks(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(io::node_bandwidth_for_tasks(43, 1.0), std::invalid_argument);
+}
+
+TEST(SummitIO, SizeEfficiencyIsSaturating) {
+  double prev = 0.0;
+  for (double s : {0.001, 0.01, 0.1, 1.0, 10.0, 100.0}) {
+    const double e = io::size_efficiency(s);
+    EXPECT_GT(e, prev);
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+  EXPECT_GT(io::size_efficiency(100.0), 0.99);
+}
+
+TEST(SummitIO, AggregateBandwidthMonotoneInNodes) {
+  double prev = 0.0;
+  for (double n : {1.0, 8.0, 64.0, 512.0, 4096.0}) {
+    const double b = io::aggregate_bandwidth(n, 32.0);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(SummitIO, AggregateBandwidthSaturatesBelowCeiling) {
+  const io::SummitIOConfig cfg;
+  const double b = io::aggregate_bandwidth(100000.0, 256.0, cfg);
+  EXPECT_LT(b, cfg.pfs_ceiling_gbps);
+  EXPECT_GT(b, 0.95 * cfg.pfs_ceiling_gbps);
+}
+
+TEST(SummitIO, SingleNodeAggregateMatchesNodeBandwidth) {
+  // With one node, far from the ceiling, aggregate ~= node bandwidth.
+  const double agg = io::aggregate_bandwidth(1.0, 64.0);
+  const double node = io::node_bandwidth(64.0);
+  EXPECT_NEAR(agg, node, node * 0.02);
+}
+
+TEST(SummitIO, MatrixMatchesGeneratorOnGridPoints) {
+  const io::SummitIOConfig cfg;
+  const auto m = io::make_summit_matrix(cfg, 4096.0, 13, 12);
+  for (std::size_t i = 0; i < m.node_counts().size(); i += 3) {
+    for (std::size_t j = 0; j < m.sizes_gb().size(); j += 3) {
+      const double expected =
+          io::aggregate_bandwidth(m.node_counts()[i], m.sizes_gb()[j], cfg);
+      EXPECT_NEAR(m.cell(i, j), expected, expected * 1e-12);
+    }
+  }
+}
+
+TEST(SummitIO, MatrixInterpolatesCloseToGenerator) {
+  const io::SummitIOConfig cfg;
+  const auto m = io::make_summit_matrix(cfg, 4096.0, 17, 14);
+  // Off-grid probes should be within a few percent of the analytic model.
+  for (double n : {3.0, 47.0, 333.0, 2272.0}) {
+    for (double s : {0.05, 0.81, 13.3, 284.5}) {
+      const double analytic = io::aggregate_bandwidth(n, s, cfg);
+      const double interp = m.bandwidth(n, s);
+      EXPECT_NEAR(interp, analytic, analytic * 0.06)
+          << "n=" << n << " s=" << s;
+    }
+  }
+}
+
+TEST(SummitIO, MakeMatrixValidation) {
+  EXPECT_THROW(io::make_summit_matrix({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(io::make_summit_matrix({}, 64.0, 1, 5),
+               std::invalid_argument);
+}
+
+TEST(StorageModel, BurstBufferTimings) {
+  io::BurstBuffer bb;
+  EXPECT_NEAR(bb.write_seconds(210.0), 100.0, 1e-9);
+  EXPECT_NEAR(bb.read_seconds(55.0), 10.0, 1e-9);
+  EXPECT_THROW(bb.write_seconds(-1.0), std::invalid_argument);
+  EXPECT_THROW(bb.write_seconds(2000.0), std::invalid_argument);  // capacity
+}
+
+TEST(StorageModel, FacadeTimings) {
+  const io::SummitIOConfig cfg;
+  io::StorageModel storage(io::make_summit_matrix(cfg, 4096.0), {}, cfg);
+  // Single-node PFS write of CHIMERA's per-node state: ~284.5 GB at
+  // ~13.4 GB/s ~= 21 s.
+  const double t = storage.pfs_single_node_seconds(284.5);
+  EXPECT_GT(t, 19.0);
+  EXPECT_LT(t, 23.0);
+  // LM transfer of 512 GB at 12.5 GB/s = 41 s.
+  EXPECT_NEAR(storage.lm_transfer_seconds(512.0), 40.96, 0.01);
+  EXPECT_DOUBLE_EQ(storage.pfs_single_node_seconds(0.0), 0.0);
+}
+
+TEST(StorageModel, AggregateCheckpointAnchors) {
+  const io::SummitIOConfig cfg;
+  io::StorageModel storage(io::make_summit_matrix(cfg, 4096.0, 17, 14), {},
+                           cfg);
+  // CHIMERA full proactive checkpoint: ~646 TB over 2272 nodes — several
+  // hundred seconds (far above typical lead times => safeguard fails).
+  const double chimera = storage.pfs_aggregate_seconds(2272.0, 284.5);
+  EXPECT_GT(chimera, 350.0);
+  EXPECT_LT(chimera, 600.0);
+  // POP: ~102.5 GB over 126 nodes — sub-second (safeguard succeeds).
+  const double pop = storage.pfs_aggregate_seconds(126.0, 102.5 / 126.0);
+  EXPECT_LT(pop, 2.0);
+}

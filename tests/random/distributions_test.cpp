@@ -1,0 +1,159 @@
+#include "random/distributions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+namespace rnd = pckpt::rnd;
+using pckpt::stats::OnlineStats;
+
+namespace {
+constexpr int kDraws = 200000;
+}
+
+TEST(Distributions, UniformRange) {
+  rnd::Xoshiro256 g(1);
+  rnd::Uniform u(3.0, 7.0);
+  OnlineStats s;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = u(g);
+    ASSERT_GE(x, 3.0);
+    ASSERT_LT(x, 7.0);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), 5.0, 0.02);
+}
+
+TEST(Distributions, UniformRejectsBadRange) {
+  EXPECT_THROW(rnd::Uniform(2.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(rnd::Uniform(3.0, 1.0), std::invalid_argument);
+}
+
+TEST(Distributions, BernoulliFrequencyMatchesP) {
+  rnd::Xoshiro256 g(2);
+  rnd::Bernoulli b(0.18);
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (b(g)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.18, 0.01);
+}
+
+TEST(Distributions, BernoulliRejectsOutOfRange) {
+  EXPECT_THROW(rnd::Bernoulli(-0.1), std::invalid_argument);
+  EXPECT_THROW(rnd::Bernoulli(1.1), std::invalid_argument);
+}
+
+TEST(Distributions, ExponentialMean) {
+  rnd::Xoshiro256 g(3);
+  rnd::Exponential e(0.25);  // mean 4
+  OnlineStats s;
+  for (int i = 0; i < kDraws; ++i) s.add(e(g));
+  EXPECT_NEAR(s.mean(), 4.0, 0.1);
+}
+
+TEST(Distributions, WeibullMeanMatchesGammaFormula) {
+  rnd::Xoshiro256 g(4);
+  // OLCF Titan parameters from Table III.
+  rnd::Weibull w(0.6885, 5.4527);
+  OnlineStats s;
+  for (int i = 0; i < kDraws; ++i) s.add(w(g));
+  EXPECT_NEAR(s.mean(), w.mean(), w.mean() * 0.03);
+}
+
+TEST(Distributions, WeibullCdfInverseConsistency) {
+  // Median of Weibull = scale * (ln 2)^(1/shape); CDF(median) = 0.5.
+  rnd::Weibull w(0.8170, 6.6293);
+  const double median = 6.6293 * std::pow(std::log(2.0), 1.0 / 0.8170);
+  EXPECT_NEAR(w.cdf(median), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(w.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.cdf(-5.0), 0.0);
+}
+
+TEST(Distributions, WeibullHazardDecreasingForShapeBelowOne) {
+  rnd::Weibull w(0.7, 10.0);
+  double prev = w.hazard(0.1);
+  for (double x = 1.0; x < 100.0; x += 5.0) {
+    const double h = w.hazard(x);
+    EXPECT_LT(h, prev);
+    prev = h;
+  }
+}
+
+TEST(Distributions, WeibullShapeOneIsExponential) {
+  rnd::Weibull w(1.0, 4.0);
+  // Constant hazard 1/scale.
+  EXPECT_NEAR(w.hazard(1.0), 0.25, 1e-12);
+  EXPECT_NEAR(w.hazard(50.0), 0.25, 1e-12);
+  EXPECT_NEAR(w.mean(), 4.0, 1e-9);
+}
+
+TEST(Distributions, WeibullEmpiricalCdfMatchesAnalytic) {
+  rnd::Xoshiro256 g(5);
+  rnd::Weibull w(0.7111, 67.375);  // LANL System 8
+  const double probe = 30.0;
+  int below = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    if (w(g) < probe) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / kDraws, w.cdf(probe), 0.01);
+}
+
+TEST(Distributions, LogNormalMedian) {
+  rnd::Xoshiro256 g(6);
+  auto ln = rnd::LogNormal::from_median(45.0, 0.5);
+  std::vector<double> xs;
+  xs.reserve(kDraws);
+  for (int i = 0; i < kDraws; ++i) xs.push_back(ln(g));
+  EXPECT_NEAR(pckpt::stats::percentile(std::move(xs), 0.5), 45.0, 1.0);
+  EXPECT_NEAR(ln.median(), 45.0, 1e-9);
+}
+
+TEST(Distributions, LogNormalMeanFormula) {
+  rnd::Xoshiro256 g(7);
+  rnd::LogNormal ln(2.0, 0.75);
+  OnlineStats s;
+  for (int i = 0; i < kDraws; ++i) s.add(ln(g));
+  EXPECT_NEAR(s.mean(), ln.mean(), ln.mean() * 0.03);
+}
+
+TEST(Distributions, DiscreteWeightsProportions) {
+  rnd::Xoshiro256 g(8);
+  rnd::DiscreteWeights d({1.0, 3.0, 6.0});
+  std::array<int, 3> hits{};
+  for (int i = 0; i < kDraws; ++i) ++hits[d(g)];
+  EXPECT_NEAR(hits[0] / static_cast<double>(kDraws), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_NEAR(hits[2] / static_cast<double>(kDraws), 0.6, 0.01);
+}
+
+TEST(Distributions, DiscreteWeightsValidation) {
+  EXPECT_THROW(rnd::DiscreteWeights({}), std::invalid_argument);
+  EXPECT_THROW(rnd::DiscreteWeights({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rnd::DiscreteWeights({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(Distributions, DiscreteWeightsZeroWeightNeverDrawn) {
+  rnd::Xoshiro256 g(9);
+  rnd::DiscreteWeights d({1.0, 0.0, 1.0});
+  for (int i = 0; i < 10000; ++i) EXPECT_NE(d(g), 1u);
+}
+
+TEST(Distributions, UniformIndexCoversRangeWithoutBias) {
+  rnd::Xoshiro256 g(10);
+  std::array<int, 5> hits{};
+  for (int i = 0; i < kDraws; ++i) ++hits[rnd::uniform_index(g, 5)];
+  for (int h : hits) {
+    EXPECT_NEAR(h / static_cast<double>(kDraws), 0.2, 0.01);
+  }
+}
+
+TEST(Distributions, UniformIndexRejectsZero) {
+  rnd::Xoshiro256 g(11);
+  EXPECT_THROW(rnd::uniform_index(g, 0), std::invalid_argument);
+}

@@ -1,0 +1,59 @@
+#include "random/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace rnd = pckpt::rnd;
+
+TEST(Xoshiro256, DeterministicForSameSeed) {
+  rnd::Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, DifferentSeedsDiverge) {
+  rnd::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, Uniform01InHalfOpenRange) {
+  rnd::Xoshiro256 g(7);
+  for (int i = 0; i < 100000; ++i) {
+    const double u = g.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, Uniform01MeanNearHalf) {
+  rnd::Xoshiro256 g(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += g.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(SeedDerivation, ChildStreamsAreDistinct) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t s = 0; s < 64; ++s) {
+    seeds.insert(rnd::derive_seed(12345, s));
+  }
+  EXPECT_EQ(seeds.size(), 64u);
+}
+
+TEST(SeedDerivation, DeterministicAndParentSensitive) {
+  EXPECT_EQ(rnd::derive_seed(1, 5), rnd::derive_seed(1, 5));
+  EXPECT_NE(rnd::derive_seed(1, 5), rnd::derive_seed(2, 5));
+  EXPECT_NE(rnd::derive_seed(1, 5), rnd::derive_seed(1, 6));
+}
+
+TEST(SeedDerivation, IsConstexpr) {
+  constexpr auto s = rnd::derive_seed(99, 3);
+  static_assert(s != 0);
+  SUCCEED();
+}

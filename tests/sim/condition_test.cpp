@@ -1,0 +1,114 @@
+#include "sim/condition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/environment.hpp"
+#include "sim/process.hpp"
+
+namespace sim = pckpt::sim;
+
+namespace {
+
+sim::Process await_event(sim::Environment&, sim::EventPtr ev, double* at,
+                         bool* failed) {
+  try {
+    co_await ev;
+    *at = ev->env().now();
+  } catch (...) {
+    *failed = true;
+  }
+}
+
+}  // namespace
+
+TEST(Condition, AnyOfFiresOnFirst) {
+  sim::Environment env;
+  auto cond = sim::any_of(env, {env.timeout(5.0), env.timeout(2.0),
+                                env.timeout(9.0)});
+  double at = -1.0;
+  bool failed = false;
+  env.spawn(await_event(env, cond, &at, &failed));
+  env.run();
+  EXPECT_DOUBLE_EQ(at, 2.0);
+  EXPECT_FALSE(failed);
+}
+
+TEST(Condition, AllOfWaitsForLast) {
+  sim::Environment env;
+  auto cond = sim::all_of(env, {env.timeout(5.0), env.timeout(2.0),
+                                env.timeout(9.0)});
+  double at = -1.0;
+  bool failed = false;
+  env.spawn(await_event(env, cond, &at, &failed));
+  env.run();
+  EXPECT_DOUBLE_EQ(at, 9.0);
+}
+
+TEST(Condition, EmptyAnyOfSucceedsImmediately) {
+  sim::Environment env;
+  auto cond = sim::any_of(env, {});
+  double at = -1.0;
+  bool failed = false;
+  env.spawn(await_event(env, cond, &at, &failed));
+  env.run();
+  EXPECT_DOUBLE_EQ(at, 0.0);
+}
+
+TEST(Condition, EmptyAllOfSucceedsImmediately) {
+  sim::Environment env;
+  auto cond = sim::all_of(env, {});
+  double at = -1.0;
+  bool failed = false;
+  env.spawn(await_event(env, cond, &at, &failed));
+  env.run();
+  EXPECT_DOUBLE_EQ(at, 0.0);
+}
+
+TEST(Condition, AnyOfPropagatesChildFailure) {
+  sim::Environment env;
+  auto bad = env.event();
+  bad->fail(std::make_exception_ptr(std::runtime_error("bad")));
+  auto cond = sim::any_of(env, {env.timeout(10.0), bad});
+  double at = -1.0;
+  bool failed = false;
+  env.spawn(await_event(env, cond, &at, &failed));
+  env.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(Condition, AllOfPropagatesChildFailure) {
+  sim::Environment env;
+  auto bad = env.event();
+  bad->fail(std::make_exception_ptr(std::runtime_error("bad")));
+  auto cond = sim::all_of(env, {env.timeout(1.0), bad});
+  double at = -1.0;
+  bool failed = false;
+  env.spawn(await_event(env, cond, &at, &failed));
+  env.run();
+  EXPECT_TRUE(failed);
+}
+
+TEST(Condition, AllOfWithAlreadyProcessedChildren) {
+  sim::Environment env;
+  auto a = env.timeout(1.0);
+  auto b = env.timeout(2.0);
+  env.run();  // both processed
+  auto cond = sim::all_of(env, {a, b});
+  double at = -1.0;
+  bool failed = false;
+  env.spawn(await_event(env, cond, &at, &failed));
+  env.run();
+  EXPECT_DOUBLE_EQ(at, 2.0);
+  EXPECT_FALSE(failed);
+}
+
+TEST(Condition, AnyOfDoesNotDoubleFire) {
+  sim::Environment env;
+  auto cond = sim::any_of(env, {env.timeout(1.0), env.timeout(1.0)});
+  int fires = 0;
+  cond->add_callback([&](sim::EventCore&) { ++fires; });
+  env.run();
+  EXPECT_EQ(fires, 1);
+}

@@ -1,0 +1,143 @@
+#include "sim/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace sim = pckpt::sim;
+
+TEST(Environment, StartsAtTimeZero) {
+  sim::Environment env;
+  EXPECT_DOUBLE_EQ(env.now(), 0.0);
+  EXPECT_EQ(env.pending_events(), 0u);
+}
+
+TEST(Environment, TimeoutAdvancesClock) {
+  sim::Environment env;
+  auto ev = env.timeout(5.0);
+  double fired_at = -1.0;
+  ev->add_callback([&](sim::EventCore& e) { fired_at = e.env().now(); });
+  env.run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+  EXPECT_DOUBLE_EQ(env.now(), 5.0);
+}
+
+TEST(Environment, TimeoutRejectsNegativeDelay) {
+  sim::Environment env;
+  EXPECT_THROW(env.timeout(-1.0), std::invalid_argument);
+}
+
+TEST(Environment, EventsFireInTimeOrder) {
+  sim::Environment env;
+  std::vector<int> order;
+  env.timeout(3.0)->add_callback([&](sim::EventCore&) { order.push_back(3); });
+  env.timeout(1.0)->add_callback([&](sim::EventCore&) { order.push_back(1); });
+  env.timeout(2.0)->add_callback([&](sim::EventCore&) { order.push_back(2); });
+  env.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Environment, SimultaneousEventsFireFifo) {
+  sim::Environment env;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    env.timeout(1.0)->add_callback(
+        [&order, i](sim::EventCore&) { order.push_back(i); });
+  }
+  env.run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Environment, RunUntilStopsClockAtBound) {
+  sim::Environment env;
+  env.timeout(10.0);
+  env.timeout(20.0);
+  env.run_until(15.0);
+  EXPECT_DOUBLE_EQ(env.now(), 15.0);
+  EXPECT_EQ(env.pending_events(), 1u);
+  env.run();
+  EXPECT_DOUBLE_EQ(env.now(), 20.0);
+}
+
+TEST(Environment, RunUntilProcessesEventsAtExactBound) {
+  sim::Environment env;
+  bool fired = false;
+  env.timeout(5.0)->add_callback([&](sim::EventCore&) { fired = true; });
+  env.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Environment, ManualEventSucceed) {
+  sim::Environment env;
+  auto ev = env.event();
+  EXPECT_FALSE(ev->triggered());
+  bool fired = false;
+  ev->add_callback([&](sim::EventCore&) { fired = true; });
+  ev->succeed();
+  EXPECT_TRUE(ev->triggered());
+  EXPECT_FALSE(ev->processed());
+  env.run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(ev->processed());
+}
+
+TEST(Environment, DoubleSucceedThrows) {
+  sim::Environment env;
+  auto ev = env.event();
+  ev->succeed();
+  EXPECT_THROW(ev->succeed(), std::logic_error);
+}
+
+TEST(Environment, FailedEventCarriesError) {
+  sim::Environment env;
+  auto ev = env.event();
+  ev->fail(std::make_exception_ptr(std::runtime_error("boom")));
+  bool saw_failure = false;
+  ev->add_callback([&](sim::EventCore& e) { saw_failure = e.failed(); });
+  env.run();
+  EXPECT_TRUE(saw_failure);
+  ASSERT_NE(ev->error(), nullptr);
+  EXPECT_THROW(std::rethrow_exception(ev->error()), std::runtime_error);
+}
+
+TEST(Environment, CallbackOnProcessedEventRunsImmediately) {
+  sim::Environment env;
+  auto ev = env.timeout(0.0);
+  env.run();
+  bool fired = false;
+  ev->add_callback([&](sim::EventCore&) { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST(Environment, CallbacksMayScheduleMoreEvents) {
+  sim::Environment env;
+  int chain = 0;
+  std::function<void(sim::EventCore&)> next = [&](sim::EventCore& e) {
+    if (++chain < 5) e.env().timeout(1.0)->add_callback(next);
+  };
+  env.timeout(1.0)->add_callback(next);
+  env.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(env.now(), 5.0);
+}
+
+TEST(Environment, DeferRunsAtCurrentTime) {
+  sim::Environment env;
+  double t = -1.0;
+  env.timeout(7.0)->add_callback([&](sim::EventCore& e) {
+    e.env().defer([&env, &t] { t = env.now(); });
+  });
+  env.run();
+  EXPECT_DOUBLE_EQ(t, 7.0);
+}
+
+TEST(Environment, EventsProcessedCounter) {
+  sim::Environment env;
+  for (int i = 0; i < 10; ++i) env.timeout(static_cast<double>(i));
+  env.run();
+  EXPECT_EQ(env.events_processed(), 10u);
+}

@@ -1,0 +1,237 @@
+#include "sim/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/environment.hpp"
+
+namespace sim = pckpt::sim;
+
+namespace {
+
+sim::Process sleeper(sim::Environment& env, double dt, double* woke_at) {
+  co_await env.timeout(dt);
+  *woke_at = env.now();
+}
+
+sim::Process two_phase(sim::Environment& env, std::vector<double>* marks) {
+  co_await env.timeout(1.0);
+  marks->push_back(env.now());
+  co_await env.timeout(2.0);
+  marks->push_back(env.now());
+}
+
+sim::Process waiter_on(sim::Environment&, sim::EventPtr ev, bool* done) {
+  co_await ev;
+  *done = true;
+}
+
+sim::Process interruptible(sim::Environment& env, double dt,
+                           bool* interrupted, double* at,
+                           std::string* cause_out) {
+  try {
+    co_await env.timeout(dt);
+  } catch (const sim::Interrupted& irq) {
+    *interrupted = true;
+    *at = env.now();
+    if (irq.cause().has_value()) {
+      *cause_out = std::any_cast<std::string>(irq.cause());
+    }
+  }
+}
+
+sim::Process thrower(sim::Environment& env) {
+  co_await env.timeout(1.0);
+  throw std::runtime_error("process died");
+}
+
+sim::Process parent_waits_child(sim::Environment& env, double* child_done_at,
+                                double* parent_done_at) {
+  auto child = env.spawn(sleeper(env, 5.0, child_done_at));
+  co_await child;
+  *parent_done_at = env.now();
+}
+
+}  // namespace
+
+TEST(Process, TimeoutSuspendsForSimTime) {
+  sim::Environment env;
+  double woke = -1.0;
+  env.spawn(sleeper(env, 3.5, &woke));
+  env.run();
+  EXPECT_DOUBLE_EQ(woke, 3.5);
+  EXPECT_EQ(env.live_processes(), 0u);
+}
+
+TEST(Process, SequentialTimeoutsAccumulate) {
+  sim::Environment env;
+  std::vector<double> marks;
+  env.spawn(two_phase(env, &marks));
+  env.run();
+  ASSERT_EQ(marks.size(), 2u);
+  EXPECT_DOUBLE_EQ(marks[0], 1.0);
+  EXPECT_DOUBLE_EQ(marks[1], 3.0);
+}
+
+TEST(Process, AwaitManualEvent) {
+  sim::Environment env;
+  auto gate = env.event();
+  bool done = false;
+  env.spawn(waiter_on(env, gate, &done));
+  env.run();
+  EXPECT_FALSE(done);  // nothing triggered the gate
+  gate->succeed();
+  env.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Process, ManyWaitersOnOneEventAllWake) {
+  sim::Environment env;
+  auto gate = env.event();
+  bool done[4] = {false, false, false, false};
+  for (bool& d : done) env.spawn(waiter_on(env, gate, &d));
+  gate->succeed();
+  env.run();
+  for (bool d : done) EXPECT_TRUE(d);
+}
+
+TEST(Process, DoneEventFiresOnCompletion) {
+  sim::Environment env;
+  double woke = -1.0;
+  auto p = env.spawn(sleeper(env, 2.0, &woke));
+  bool parent_saw = false;
+  p.done_event()->add_callback([&](sim::EventCore&) { parent_saw = true; });
+  env.run();
+  EXPECT_TRUE(parent_saw);
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(Process, AwaitChildProcess) {
+  sim::Environment env;
+  double child_done = -1.0, parent_done = -1.0;
+  env.spawn(parent_waits_child(env, &child_done, &parent_done));
+  env.run();
+  EXPECT_DOUBLE_EQ(child_done, 5.0);
+  EXPECT_DOUBLE_EQ(parent_done, 5.0);
+}
+
+TEST(Process, InterruptWakesAtInterruptTime) {
+  sim::Environment env;
+  bool interrupted = false;
+  double at = -1.0;
+  std::string cause;
+  auto p = env.spawn(interruptible(env, 100.0, &interrupted, &at, &cause));
+  env.timeout(10.0)->add_callback([&](sim::EventCore&) {
+    p.interrupt(std::string("failure"));
+  });
+  env.run();
+  EXPECT_TRUE(interrupted);
+  EXPECT_DOUBLE_EQ(at, 10.0);
+  EXPECT_EQ(cause, "failure");
+}
+
+TEST(Process, InterruptedTimeoutDoesNotWakeTwice) {
+  sim::Environment env;
+  bool interrupted = false;
+  double at = -1.0;
+  std::string cause;
+  auto p = env.spawn(interruptible(env, 20.0, &interrupted, &at, &cause));
+  env.timeout(5.0)->add_callback(
+      [&](sim::EventCore&) { p.interrupt(std::string("x")); });
+  env.run();  // runs past t=20 where the stale timeout fires
+  EXPECT_TRUE(interrupted);
+  EXPECT_DOUBLE_EQ(at, 5.0);
+  EXPECT_TRUE(p.finished());
+  EXPECT_DOUBLE_EQ(env.now(), 20.0);  // stale timeout still drains the heap
+}
+
+TEST(Process, InterruptFinishedProcessIsNoop) {
+  sim::Environment env;
+  double woke = -1.0;
+  auto p = env.spawn(sleeper(env, 1.0, &woke));
+  env.run();
+  EXPECT_TRUE(p.finished());
+  EXPECT_FALSE(p.interrupt(std::string("late")));
+}
+
+TEST(Process, UncaughtExceptionRecordedAndFailsDoneEvent) {
+  sim::Environment env;
+  auto p = env.spawn(thrower(env));
+  bool done_failed = false;
+  p.done_event()->add_callback(
+      [&](sim::EventCore& e) { done_failed = e.failed(); });
+  env.run();
+  EXPECT_TRUE(done_failed);
+  ASSERT_EQ(env.process_errors().size(), 1u);
+  EXPECT_THROW(std::rethrow_exception(env.process_errors()[0].second),
+               std::runtime_error);
+}
+
+TEST(Process, AwaitingFailedChildRethrows) {
+  sim::Environment env;
+  bool caught = false;
+  auto parent = [](sim::Environment& e, bool* c) -> sim::Process {
+    auto child = e.spawn(thrower(e));
+    try {
+      co_await child;
+    } catch (const std::runtime_error&) {
+      *c = true;
+    }
+  };
+  env.spawn(parent(env, &caught));
+  env.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(Process, EnvironmentTeardownReclaimsUnfinishedProcesses) {
+  // A process parked on a never-triggered event must not leak or crash when
+  // the environment is destroyed (ASan-clean).
+  bool done = false;
+  {
+    sim::Environment env;
+    auto gate = env.event();
+    env.spawn(waiter_on(env, gate, &done));
+    env.run();
+    EXPECT_EQ(env.live_processes(), 1u);
+  }
+  EXPECT_FALSE(done);
+}
+
+TEST(Process, NamesAreCarriedIntoErrorRecords) {
+  sim::Environment env;
+  env.spawn(thrower(env)).named("doomed");
+  env.run();
+  ASSERT_EQ(env.process_errors().size(), 1u);
+  EXPECT_EQ(env.process_errors()[0].first, "doomed");
+}
+
+TEST(Process, SpawningTwiceThrows) {
+  sim::Environment env;
+  double woke = 0.0;
+  auto p = env.spawn(sleeper(env, 1.0, &woke));
+  EXPECT_THROW(env.spawn(p), std::logic_error);
+}
+
+TEST(Process, ZeroDelayTimeoutRunsSameTime) {
+  sim::Environment env;
+  double woke = -1.0;
+  env.spawn(sleeper(env, 0.0, &woke));
+  env.run();
+  EXPECT_DOUBLE_EQ(woke, 0.0);
+}
+
+TEST(Process, InterruptBeforeFirstResumeDeliversAtFirstAwait) {
+  sim::Environment env;
+  bool interrupted = false;
+  double at = -1.0;
+  std::string cause;
+  auto p = env.spawn(interruptible(env, 50.0, &interrupted, &at, &cause));
+  p.interrupt(std::string("early"));
+  env.run();
+  EXPECT_TRUE(interrupted);
+  EXPECT_DOUBLE_EQ(at, 0.0);
+  EXPECT_EQ(cause, "early");
+}

@@ -1,0 +1,179 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/environment.hpp"
+#include "sim/process.hpp"
+
+namespace sim = pckpt::sim;
+
+namespace {
+
+/// Holds the resource for `hold` seconds, recording entry order.
+sim::Process user(sim::Environment& env, sim::Resource& res, double priority,
+                  double hold, int id, std::vector<int>* order) {
+  auto req = res.request(priority);
+  co_await req->granted;
+  order->push_back(id);
+  co_await env.timeout(hold);
+  res.release(req);
+}
+
+sim::Process guarded_user(sim::Environment& env, sim::Resource& res,
+                          double hold, std::vector<double>* done_times) {
+  auto req = res.request();
+  sim::ResourceGuard guard(res, req);
+  co_await req->granted;
+  co_await env.timeout(hold);
+  done_times->push_back(env.now());
+}
+
+sim::Process interruptible_user(sim::Environment& env, sim::Resource& res,
+                                double hold, bool* interrupted) {
+  auto req = res.request();
+  sim::ResourceGuard guard(res, req);
+  try {
+    co_await req->granted;
+    co_await env.timeout(hold);
+  } catch (const sim::Interrupted&) {
+    *interrupted = true;
+  }
+}
+
+}  // namespace
+
+TEST(Resource, ZeroCapacityRejected) {
+  sim::Environment env;
+  EXPECT_THROW(sim::Resource(env, 0), std::invalid_argument);
+}
+
+TEST(Resource, GrantsUpToCapacityImmediately) {
+  sim::Environment env;
+  sim::Resource res(env, 2);
+  auto a = res.request();
+  auto b = res.request();
+  auto c = res.request();
+  EXPECT_TRUE(a->is_granted);
+  EXPECT_TRUE(b->is_granted);
+  EXPECT_FALSE(c->is_granted);
+  EXPECT_EQ(res.in_use(), 2u);
+  EXPECT_EQ(res.queue_length(), 1u);
+}
+
+TEST(Resource, ReleaseHandsSlotToWaiter) {
+  sim::Environment env;
+  sim::Resource res(env, 1);
+  auto a = res.request();
+  auto b = res.request();
+  EXPECT_FALSE(b->is_granted);
+  res.release(a);
+  EXPECT_TRUE(b->is_granted);
+  EXPECT_EQ(res.in_use(), 1u);
+}
+
+TEST(Resource, FifoAmongEqualPriorities) {
+  sim::Environment env;
+  sim::Resource res(env, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 4; ++i) {
+    env.spawn(user(env, res, 0.0, 1.0, i, &order));
+  }
+  env.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Resource, LowerPriorityValueGoesFirst) {
+  sim::Environment env;
+  sim::Resource res(env, 1);
+  std::vector<int> order;
+  // id 0 grabs the slot; 1..3 queue with descending priority values so the
+  // grant order must be reversed.
+  env.spawn(user(env, res, 0.0, 1.0, 0, &order));
+  env.spawn(user(env, res, 30.0, 1.0, 1, &order));
+  env.spawn(user(env, res, 20.0, 1.0, 2, &order));
+  env.spawn(user(env, res, 10.0, 1.0, 3, &order));
+  env.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 3, 2, 1}));
+}
+
+TEST(Resource, SerializesHolders) {
+  sim::Environment env;
+  sim::Resource res(env, 1);
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) env.spawn(guarded_user(env, res, 2.0, &done));
+  env.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 4.0);
+  EXPECT_DOUBLE_EQ(done[2], 6.0);
+}
+
+TEST(Resource, CapacityTwoOverlaps) {
+  sim::Environment env;
+  sim::Resource res(env, 2);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) env.spawn(guarded_user(env, res, 2.0, &done));
+  env.run();
+  ASSERT_EQ(done.size(), 4u);
+  EXPECT_DOUBLE_EQ(done[0], 2.0);
+  EXPECT_DOUBLE_EQ(done[1], 2.0);
+  EXPECT_DOUBLE_EQ(done[2], 4.0);
+  EXPECT_DOUBLE_EQ(done[3], 4.0);
+}
+
+TEST(Resource, CancelWaitingRequestLeavesQueueConsistent) {
+  sim::Environment env;
+  sim::Resource res(env, 1);
+  auto a = res.request();
+  auto b = res.request();
+  auto c = res.request();
+  res.release(b);  // cancel while waiting
+  EXPECT_EQ(res.queue_length(), 1u);
+  res.release(a);
+  EXPECT_TRUE(c->is_granted);
+}
+
+TEST(Resource, ReleaseIsIdempotent) {
+  sim::Environment env;
+  sim::Resource res(env, 1);
+  auto a = res.request();
+  res.release(a);
+  res.release(a);
+  EXPECT_EQ(res.in_use(), 0u);
+  auto b = res.request();
+  EXPECT_TRUE(b->is_granted);
+}
+
+TEST(Resource, GuardReleasesOnInterrupt) {
+  sim::Environment env;
+  sim::Resource res(env, 1);
+  bool interrupted = false;
+  auto p = env.spawn(interruptible_user(env, res, 100.0, &interrupted));
+  env.timeout(5.0)->add_callback(
+      [&](sim::EventCore&) { p.interrupt(std::string("failure")); });
+  env.run();
+  EXPECT_TRUE(interrupted);
+  // The interrupted holder must have released the slot via its guard.
+  EXPECT_EQ(res.in_use(), 0u);
+  auto b = res.request();
+  EXPECT_TRUE(b->is_granted);
+}
+
+TEST(Resource, InterruptedWaiterDoesNotConsumeSlot) {
+  sim::Environment env;
+  sim::Resource res(env, 1);
+  bool holder_irq = false, waiter_irq = false;
+  env.spawn(interruptible_user(env, res, 100.0, &holder_irq));
+  auto waiter = env.spawn(interruptible_user(env, res, 1.0, &waiter_irq));
+  env.timeout(5.0)->add_callback(
+      [&](sim::EventCore&) { waiter.interrupt(std::string("x")); });
+  env.run_until(50.0);
+  EXPECT_TRUE(waiter_irq);
+  EXPECT_FALSE(holder_irq);
+  EXPECT_EQ(res.queue_length(), 0u);
+  EXPECT_EQ(res.in_use(), 1u);  // original holder still running
+}

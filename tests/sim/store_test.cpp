@@ -1,0 +1,98 @@
+#include "sim/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/environment.hpp"
+#include "sim/process.hpp"
+
+namespace sim = pckpt::sim;
+
+namespace {
+
+sim::Process consumer(sim::Environment&, sim::Store& store,
+                      std::vector<std::string>* got) {
+  for (int i = 0; i < 2; ++i) {
+    auto t = store.get();
+    co_await t->ready;
+    got->push_back(std::any_cast<std::string>(t->item));
+  }
+}
+
+sim::Process producer(sim::Environment& env, sim::Store& store,
+                      double delay) {
+  co_await env.timeout(delay);
+  store.put(std::string("a"));
+  co_await env.timeout(delay);
+  store.put(std::string("b"));
+}
+
+}  // namespace
+
+TEST(Store, PutThenGetImmediate) {
+  sim::Environment env;
+  sim::Store s(env);
+  s.put(42);
+  auto t = s.get();
+  EXPECT_TRUE(t->fulfilled);
+  env.run();
+  EXPECT_EQ(std::any_cast<int>(t->item), 42);
+  EXPECT_EQ(s.items(), 0u);
+}
+
+TEST(Store, GetBlocksUntilPut) {
+  sim::Environment env;
+  sim::Store s(env);
+  std::vector<std::string> got;
+  env.spawn(consumer(env, s, &got));
+  env.spawn(producer(env, s, 5.0));
+  env.run();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], "a");
+  EXPECT_EQ(got[1], "b");
+  EXPECT_DOUBLE_EQ(env.now(), 10.0);
+}
+
+TEST(Store, FifoAmongItems) {
+  sim::Environment env;
+  sim::Store s(env);
+  s.put(1);
+  s.put(2);
+  s.put(3);
+  auto a = s.get();
+  auto b = s.get();
+  EXPECT_EQ(std::any_cast<int>(a->item), 1);
+  EXPECT_EQ(std::any_cast<int>(b->item), 2);
+  EXPECT_EQ(s.items(), 1u);
+}
+
+TEST(Store, FifoAmongWaiters) {
+  sim::Environment env;
+  sim::Store s(env);
+  auto t1 = s.get();
+  auto t2 = s.get();
+  EXPECT_EQ(s.waiting(), 2u);
+  s.put(std::string("first"));
+  EXPECT_TRUE(t1->fulfilled);
+  EXPECT_FALSE(t2->fulfilled);
+  s.put(std::string("second"));
+  EXPECT_TRUE(t2->fulfilled);
+  env.run();
+  EXPECT_EQ(std::any_cast<std::string>(t1->item), "first");
+  EXPECT_EQ(std::any_cast<std::string>(t2->item), "second");
+}
+
+TEST(Store, CountsAreAccurate) {
+  sim::Environment env;
+  sim::Store s(env);
+  EXPECT_EQ(s.items(), 0u);
+  EXPECT_EQ(s.waiting(), 0u);
+  s.put(1);
+  EXPECT_EQ(s.items(), 1u);
+  (void)s.get();
+  EXPECT_EQ(s.items(), 0u);
+  (void)s.get();
+  EXPECT_EQ(s.waiting(), 1u);
+}

@@ -1,0 +1,132 @@
+#include "stats/summary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+using namespace pckpt::stats;
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, MeanAndVariance) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, MergeEqualsCombinedStream) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37 - 3.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  OnlineStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(OnlineStats, Ci95ShrinksWithSamples) {
+  OnlineStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 3);
+  for (int i = 0; i < 1000; ++i) large.add(i % 3);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Percentile, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0.9), 42.0);
+}
+
+TEST(Percentile, Validation) {
+  EXPECT_THROW(percentile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW(percentile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(BoxStats, FiveNumberSummary) {
+  std::vector<double> v;
+  for (int i = 1; i <= 101; ++i) v.push_back(i);  // 1..101
+  const auto b = box_stats(v);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.median, 51.0);
+  EXPECT_DOUBLE_EQ(b.q1, 26.0);
+  EXPECT_DOUBLE_EQ(b.q3, 76.0);
+  EXPECT_DOUBLE_EQ(b.max, 101.0);
+  EXPECT_DOUBLE_EQ(b.mean, 51.0);
+  EXPECT_EQ(b.count, 101u);
+  EXPECT_EQ(b.outliers, 0u);
+}
+
+TEST(BoxStats, DetectsOutliers) {
+  std::vector<double> v{10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 500};
+  const auto b = box_stats(v);
+  EXPECT_EQ(b.outliers, 1u);
+  EXPECT_LE(b.whisker_hi, 19.0);
+  EXPECT_DOUBLE_EQ(b.max, 500.0);
+}
+
+TEST(BoxStats, EmptyThrows) {
+  EXPECT_THROW(box_stats({}), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.9);   // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(-1.0);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}

@@ -1,0 +1,74 @@
+#include "workload/application.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "workload/machine.hpp"
+
+namespace w = pckpt::workload;
+
+TEST(Workloads, TableIContents) {
+  const auto& apps = w::summit_workloads();
+  ASSERT_EQ(apps.size(), 6u);
+  const auto& chimera = w::workload_by_name("CHIMERA");
+  EXPECT_EQ(chimera.nodes, 2272);
+  EXPECT_DOUBLE_EQ(chimera.ckpt_total_gb, 646382.0);
+  EXPECT_DOUBLE_EQ(chimera.compute_hours, 360.0);
+  const auto& vulcan = w::workload_by_name("vulcan");
+  EXPECT_EQ(vulcan.nodes, 64);
+  EXPECT_DOUBLE_EQ(vulcan.ckpt_total_gb, 3.27);
+}
+
+TEST(Workloads, PerNodeSizesFitSummitDram) {
+  const auto machine = w::summit();
+  for (const auto& app : w::summit_workloads()) {
+    EXPECT_LT(app.ckpt_per_node_gb(), machine.dram_gb) << app.name;
+    EXPECT_LT(app.ckpt_per_node_gb(), machine.burst_buffer.capacity_gb)
+        << app.name;
+  }
+}
+
+TEST(Workloads, LookupIsCaseInsensitiveAndValidating) {
+  EXPECT_EQ(w::workload_by_name("pop").name, "POP");
+  EXPECT_EQ(w::workload_by_name("XgC").name, "XGC");
+  EXPECT_THROW(w::workload_by_name("LAMMPS"), std::out_of_range);
+}
+
+TEST(Workloads, Eq3ScalingRoundTrip) {
+  // Doubling both node count and DRAM quadruples the checkpoint.
+  EXPECT_DOUBLE_EQ(w::scale_checkpoint_gb(100.0, 10, 32.0, 20, 64.0), 400.0);
+  // Identity scaling.
+  EXPECT_DOUBLE_EQ(w::scale_checkpoint_gb(100.0, 10, 32.0, 10, 32.0), 100.0);
+  EXPECT_THROW(w::scale_checkpoint_gb(-1.0, 1, 1.0, 1, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(w::scale_checkpoint_gb(1.0, 0, 1.0, 1, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Workloads, ValidateCatchesBadDescriptors) {
+  w::Application bad{"X", 0, 10.0, 1.0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = {"X", 4, -1.0, 1.0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad = {"X", 4, 10.0, 0.0};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  for (const auto& app : w::summit_workloads()) {
+    EXPECT_NO_THROW(app.validate());
+  }
+}
+
+TEST(Machine, SummitDescriptor) {
+  const auto m = w::summit();
+  EXPECT_EQ(m.total_nodes, 4608);
+  EXPECT_DOUBLE_EQ(m.dram_gb, 512.0);
+  EXPECT_DOUBLE_EQ(m.burst_buffer.write_gbps, 2.1);
+  EXPECT_DOUBLE_EQ(m.burst_buffer.read_gbps, 5.5);
+  EXPECT_DOUBLE_EQ(m.interconnect_gbps, 12.5);
+}
+
+TEST(Machine, StorageFacadeBuilds) {
+  const auto storage = w::summit().make_storage();
+  EXPECT_GT(storage.pfs_aggregate_seconds(2272.0, 284.5), 0.0);
+  EXPECT_GT(storage.matrix().node_counts().back(), 4000.0);
+}

@@ -1,0 +1,141 @@
+/// pckpt_sim — the command-line front end of the simulation framework:
+/// load a scenario from a configuration file (the Fig.-3 input), run a
+/// paired campaign of the requested models over every application in the
+/// scenario, and print the overhead/FT summary (optionally CSV).
+///
+/// Usage:
+///   pckpt_sim <scenario.ini> [--models=B,M1,M2,P1,P2] [--runs=N]
+///             [--seed=S] [--csv]
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "core/scenario.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: pckpt_sim <scenario.ini> [options]\n"
+      "  --models=B,M1,M2,P1,P2   comma-separated models (default: all)\n"
+      "  --runs=N                 paired runs per model (default 200)\n"
+      "  --seed=S                 base seed (default 2022)\n"
+      "  --csv                    CSV instead of aligned table\n"
+      "The scenario file format is documented in "
+      "src/core/scenario.hpp and configs/summit.ini.\n");
+}
+
+std::vector<pckpt::core::ModelKind> parse_models(const std::string& list) {
+  std::vector<pckpt::core::ModelKind> kinds;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const auto comma = list.find(',', pos);
+    const std::string name =
+        list.substr(pos, comma == std::string::npos ? list.size() - pos
+                                                    : comma - pos);
+    if (!name.empty()) kinds.push_back(pckpt::core::model_from_string(name));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (kinds.empty()) throw std::invalid_argument("--models: empty list");
+  return kinds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  if (argc < 2 || std::strcmp(argv[1], "--help") == 0 ||
+      std::strcmp(argv[1], "-h") == 0) {
+    usage();
+    return argc < 2 ? 2 : 0;
+  }
+
+  std::string models_arg = "B,M1,M2,P1,P2";
+  std::size_t runs = 200;
+  std::uint64_t seed = 2022;
+  bool csv = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--models=", 0) == 0) {
+      models_arg = arg.substr(9);
+    } else if (arg.rfind("--runs=", 0) == 0) {
+      runs = std::strtoul(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--csv") {
+      csv = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    const auto scenario =
+        core::load_scenario(core::ConfigFile::load(argv[1]));
+    const auto kinds = parse_models(models_arg);
+    const auto storage = scenario.machine.make_storage();
+    const auto leads = failure::LeadTimeModel::summit_default();
+
+    std::printf("pckpt_sim — %s, failure distribution %s, %zu paired runs\n\n",
+                scenario.machine.name.c_str(), scenario.system.name.c_str(),
+                runs);
+
+    analysis::Table t({"application", "model", "ckpt(h)", "recomp(h)",
+                       "recov(h)", "migr(h)", "total(h)", "%ofB", "FT",
+                       "fails/run", "makespan(h)"});
+    for (const auto& app : scenario.applications) {
+      core::RunSetup setup;
+      setup.app = &app;
+      setup.machine = &scenario.machine;
+      setup.storage = &storage;
+      setup.system = &scenario.system;
+      setup.leads = &leads;
+
+      // The base model is always computed for normalization.
+      auto base_cfg = scenario.cr;
+      base_cfg.kind = core::ModelKind::kB;
+      const auto base = core::run_campaign(setup, base_cfg, runs, seed);
+
+      for (auto kind : kinds) {
+        auto cfg = scenario.cr;
+        cfg.kind = kind;
+        const auto r = kind == core::ModelKind::kB
+                           ? base
+                           : core::run_campaign(setup, cfg, runs, seed);
+        t.add_row();
+        t.cell(app.name)
+            .cell(std::string(core::to_string(kind)))
+            .cell(r.checkpoint_h(), 3)
+            .cell(r.recomputation_h(), 3)
+            .cell(r.recovery_h(), 3)
+            .cell(r.migration_h(), 3)
+            .cell(r.total_overhead_h(), 3)
+            .cell_percent(100.0 * r.total_overhead_s.mean() /
+                              base.total_overhead_s.mean(),
+                          1)
+            .cell(r.pooled_ft_ratio(), 3)
+            .cell(r.failures, 2)
+            .cell(r.makespan_s.mean() / 3600.0, 1);
+      }
+    }
+    if (csv) {
+      t.print_csv(std::cout);
+    } else {
+      t.print(std::cout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pckpt_sim: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_knobs.dir/ablate_knobs.cpp.o"
+  "CMakeFiles/ablate_knobs.dir/ablate_knobs.cpp.o.d"
+  "ablate_knobs"
+  "ablate_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

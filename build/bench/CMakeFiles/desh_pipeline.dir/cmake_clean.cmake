@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/desh_pipeline.dir/desh_pipeline.cpp.o"
+  "CMakeFiles/desh_pipeline.dir/desh_pipeline.cpp.o.d"
+  "desh_pipeline"
+  "desh_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/desh_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

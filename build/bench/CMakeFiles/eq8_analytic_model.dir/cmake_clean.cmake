@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eq8_analytic_model.dir/eq8_analytic_model.cpp.o"
+  "CMakeFiles/eq8_analytic_model.dir/eq8_analytic_model.cpp.o.d"
+  "eq8_analytic_model"
+  "eq8_analytic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eq8_analytic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

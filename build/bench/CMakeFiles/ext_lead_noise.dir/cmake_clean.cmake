@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_lead_noise.dir/ext_lead_noise.cpp.o"
+  "CMakeFiles/ext_lead_noise.dir/ext_lead_noise.cpp.o.d"
+  "ext_lead_noise"
+  "ext_lead_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_lead_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_spare_pool.dir/ext_spare_pool.cpp.o"
+  "CMakeFiles/ext_spare_pool.dir/ext_spare_pool.cpp.o.d"
+  "ext_spare_pool"
+  "ext_spare_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_spare_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2a_lead_times.dir/fig2a_lead_times.cpp.o"
+  "CMakeFiles/fig2a_lead_times.dir/fig2a_lead_times.cpp.o.d"
+  "fig2a_lead_times"
+  "fig2a_lead_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2a_lead_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

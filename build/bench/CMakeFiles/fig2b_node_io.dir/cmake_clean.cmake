@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2b_node_io.dir/fig2b_node_io.cpp.o"
+  "CMakeFiles/fig2b_node_io.dir/fig2b_node_io.cpp.o.d"
+  "fig2b_node_io"
+  "fig2b_node_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_node_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

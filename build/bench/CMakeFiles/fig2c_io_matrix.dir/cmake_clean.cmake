@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2c_io_matrix.dir/fig2c_io_matrix.cpp.o"
+  "CMakeFiles/fig2c_io_matrix.dir/fig2c_io_matrix.cpp.o.d"
+  "fig2c_io_matrix"
+  "fig2c_io_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_io_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

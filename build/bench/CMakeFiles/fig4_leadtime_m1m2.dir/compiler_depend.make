@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_leadtime_m1m2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_overhead_titan.dir/fig6a_overhead_titan.cpp.o"
+  "CMakeFiles/fig6a_overhead_titan.dir/fig6a_overhead_titan.cpp.o.d"
+  "fig6a_overhead_titan"
+  "fig6a_overhead_titan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_overhead_titan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6b_overhead_lanl.dir/fig6b_overhead_lanl.cpp.o"
+  "CMakeFiles/fig6b_overhead_lanl.dir/fig6b_overhead_lanl.cpp.o.d"
+  "fig6b_overhead_lanl"
+  "fig6b_overhead_lanl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6b_overhead_lanl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

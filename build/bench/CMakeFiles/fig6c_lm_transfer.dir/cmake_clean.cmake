@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_lm_transfer.dir/fig6c_lm_transfer.cpp.o"
+  "CMakeFiles/fig6c_lm_transfer.dir/fig6c_lm_transfer.cpp.o.d"
+  "fig6c_lm_transfer"
+  "fig6c_lm_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_lm_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_lm_vs_pckpt.dir/fig8_lm_vs_pckpt.cpp.o"
+  "CMakeFiles/fig8_lm_vs_pckpt.dir/fig8_lm_vs_pckpt.cpp.o.d"
+  "fig8_lm_vs_pckpt"
+  "fig8_lm_vs_pckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_lm_vs_pckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_lm_vs_pckpt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs6_oci_elongation.dir/obs6_oci_elongation.cpp.o"
+  "CMakeFiles/obs6_oci_elongation.dir/obs6_oci_elongation.cpp.o.d"
+  "obs6_oci_elongation"
+  "obs6_oci_elongation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs6_oci_elongation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for obs6_oci_elongation.
+# This may be replaced when dependencies are built.

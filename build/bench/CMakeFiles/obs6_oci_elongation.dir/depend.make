@@ -1,0 +1,2 @@
+# Empty dependencies file for obs6_oci_elongation.
+# This may be replaced when dependencies are built.

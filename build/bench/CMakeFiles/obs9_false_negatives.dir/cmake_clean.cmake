@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs9_false_negatives.dir/obs9_false_negatives.cpp.o"
+  "CMakeFiles/obs9_false_negatives.dir/obs9_false_negatives.cpp.o.d"
+  "obs9_false_negatives"
+  "obs9_false_negatives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs9_false_negatives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

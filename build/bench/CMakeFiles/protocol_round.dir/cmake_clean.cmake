@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_round.dir/protocol_round.cpp.o"
+  "CMakeFiles/protocol_round.dir/protocol_round.cpp.o.d"
+  "protocol_round"
+  "protocol_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_ftratio_m1m2.dir/table2_ftratio_m1m2.cpp.o"
+  "CMakeFiles/table2_ftratio_m1m2.dir/table2_ftratio_m1m2.cpp.o.d"
+  "table2_ftratio_m1m2"
+  "table2_ftratio_m1m2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_ftratio_m1m2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

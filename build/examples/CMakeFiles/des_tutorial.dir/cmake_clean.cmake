@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/des_tutorial.dir/des_tutorial.cpp.o"
+  "CMakeFiles/des_tutorial.dir/des_tutorial.cpp.o.d"
+  "des_tutorial"
+  "des_tutorial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/des_tutorial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leadtime_study.dir/leadtime_study.cpp.o"
+  "CMakeFiles/leadtime_study.dir/leadtime_study.cpp.o.d"
+  "leadtime_study"
+  "leadtime_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leadtime_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

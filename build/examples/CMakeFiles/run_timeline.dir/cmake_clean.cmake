@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_timeline.dir/run_timeline.cpp.o"
+  "CMakeFiles/run_timeline.dir/run_timeline.cpp.o.d"
+  "run_timeline"
+  "run_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

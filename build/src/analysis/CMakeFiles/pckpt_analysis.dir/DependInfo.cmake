@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analytic_model.cpp" "src/analysis/CMakeFiles/pckpt_analysis.dir/analytic_model.cpp.o" "gcc" "src/analysis/CMakeFiles/pckpt_analysis.dir/analytic_model.cpp.o.d"
+  "/root/repo/src/analysis/tables.cpp" "src/analysis/CMakeFiles/pckpt_analysis.dir/tables.cpp.o" "gcc" "src/analysis/CMakeFiles/pckpt_analysis.dir/tables.cpp.o.d"
+  "/root/repo/src/analysis/waste_model.cpp" "src/analysis/CMakeFiles/pckpt_analysis.dir/waste_model.cpp.o" "gcc" "src/analysis/CMakeFiles/pckpt_analysis.dir/waste_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

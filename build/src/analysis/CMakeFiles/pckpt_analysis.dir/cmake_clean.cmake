@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pckpt_analysis.dir/analytic_model.cpp.o"
+  "CMakeFiles/pckpt_analysis.dir/analytic_model.cpp.o.d"
+  "CMakeFiles/pckpt_analysis.dir/tables.cpp.o"
+  "CMakeFiles/pckpt_analysis.dir/tables.cpp.o.d"
+  "CMakeFiles/pckpt_analysis.dir/waste_model.cpp.o"
+  "CMakeFiles/pckpt_analysis.dir/waste_model.cpp.o.d"
+  "libpckpt_analysis.a"
+  "libpckpt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pckpt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

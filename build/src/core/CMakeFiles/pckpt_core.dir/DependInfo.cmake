@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/pckpt_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/pckpt_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/cr_config.cpp" "src/core/CMakeFiles/pckpt_core.dir/cr_config.cpp.o" "gcc" "src/core/CMakeFiles/pckpt_core.dir/cr_config.cpp.o.d"
+  "/root/repo/src/core/oci.cpp" "src/core/CMakeFiles/pckpt_core.dir/oci.cpp.o" "gcc" "src/core/CMakeFiles/pckpt_core.dir/oci.cpp.o.d"
+  "/root/repo/src/core/protocol/coordinator.cpp" "src/core/CMakeFiles/pckpt_core.dir/protocol/coordinator.cpp.o" "gcc" "src/core/CMakeFiles/pckpt_core.dir/protocol/coordinator.cpp.o.d"
+  "/root/repo/src/core/protocol/node_state.cpp" "src/core/CMakeFiles/pckpt_core.dir/protocol/node_state.cpp.o" "gcc" "src/core/CMakeFiles/pckpt_core.dir/protocol/node_state.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/pckpt_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/pckpt_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/simulation.cpp" "src/core/CMakeFiles/pckpt_core.dir/simulation.cpp.o" "gcc" "src/core/CMakeFiles/pckpt_core.dir/simulation.cpp.o.d"
+  "/root/repo/src/core/timeline.cpp" "src/core/CMakeFiles/pckpt_core.dir/timeline.cpp.o" "gcc" "src/core/CMakeFiles/pckpt_core.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/pckpt_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/pckpt_iomodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pckpt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pckpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

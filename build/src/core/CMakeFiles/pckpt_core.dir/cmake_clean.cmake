@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pckpt_core.dir/campaign.cpp.o"
+  "CMakeFiles/pckpt_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/pckpt_core.dir/cr_config.cpp.o"
+  "CMakeFiles/pckpt_core.dir/cr_config.cpp.o.d"
+  "CMakeFiles/pckpt_core.dir/oci.cpp.o"
+  "CMakeFiles/pckpt_core.dir/oci.cpp.o.d"
+  "CMakeFiles/pckpt_core.dir/protocol/coordinator.cpp.o"
+  "CMakeFiles/pckpt_core.dir/protocol/coordinator.cpp.o.d"
+  "CMakeFiles/pckpt_core.dir/protocol/node_state.cpp.o"
+  "CMakeFiles/pckpt_core.dir/protocol/node_state.cpp.o.d"
+  "CMakeFiles/pckpt_core.dir/scenario.cpp.o"
+  "CMakeFiles/pckpt_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/pckpt_core.dir/simulation.cpp.o"
+  "CMakeFiles/pckpt_core.dir/simulation.cpp.o.d"
+  "CMakeFiles/pckpt_core.dir/timeline.cpp.o"
+  "CMakeFiles/pckpt_core.dir/timeline.cpp.o.d"
+  "libpckpt_core.a"
+  "libpckpt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pckpt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/failure/lead_time_model.cpp" "src/failure/CMakeFiles/pckpt_failure.dir/lead_time_model.cpp.o" "gcc" "src/failure/CMakeFiles/pckpt_failure.dir/lead_time_model.cpp.o.d"
+  "/root/repo/src/failure/log_analysis.cpp" "src/failure/CMakeFiles/pckpt_failure.dir/log_analysis.cpp.o" "gcc" "src/failure/CMakeFiles/pckpt_failure.dir/log_analysis.cpp.o.d"
+  "/root/repo/src/failure/system_catalog.cpp" "src/failure/CMakeFiles/pckpt_failure.dir/system_catalog.cpp.o" "gcc" "src/failure/CMakeFiles/pckpt_failure.dir/system_catalog.cpp.o.d"
+  "/root/repo/src/failure/trace.cpp" "src/failure/CMakeFiles/pckpt_failure.dir/trace.cpp.o" "gcc" "src/failure/CMakeFiles/pckpt_failure.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pckpt_failure.dir/lead_time_model.cpp.o"
+  "CMakeFiles/pckpt_failure.dir/lead_time_model.cpp.o.d"
+  "CMakeFiles/pckpt_failure.dir/log_analysis.cpp.o"
+  "CMakeFiles/pckpt_failure.dir/log_analysis.cpp.o.d"
+  "CMakeFiles/pckpt_failure.dir/system_catalog.cpp.o"
+  "CMakeFiles/pckpt_failure.dir/system_catalog.cpp.o.d"
+  "CMakeFiles/pckpt_failure.dir/trace.cpp.o"
+  "CMakeFiles/pckpt_failure.dir/trace.cpp.o.d"
+  "libpckpt_failure.a"
+  "libpckpt_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pckpt_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pckpt_iomodel.dir/perf_matrix.cpp.o"
+  "CMakeFiles/pckpt_iomodel.dir/perf_matrix.cpp.o.d"
+  "CMakeFiles/pckpt_iomodel.dir/summit_io.cpp.o"
+  "CMakeFiles/pckpt_iomodel.dir/summit_io.cpp.o.d"
+  "libpckpt_iomodel.a"
+  "libpckpt_iomodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pckpt_iomodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/condition.cpp" "src/sim/CMakeFiles/pckpt_sim.dir/condition.cpp.o" "gcc" "src/sim/CMakeFiles/pckpt_sim.dir/condition.cpp.o.d"
+  "/root/repo/src/sim/environment.cpp" "src/sim/CMakeFiles/pckpt_sim.dir/environment.cpp.o" "gcc" "src/sim/CMakeFiles/pckpt_sim.dir/environment.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/sim/CMakeFiles/pckpt_sim.dir/event.cpp.o" "gcc" "src/sim/CMakeFiles/pckpt_sim.dir/event.cpp.o.d"
+  "/root/repo/src/sim/process.cpp" "src/sim/CMakeFiles/pckpt_sim.dir/process.cpp.o" "gcc" "src/sim/CMakeFiles/pckpt_sim.dir/process.cpp.o.d"
+  "/root/repo/src/sim/resource.cpp" "src/sim/CMakeFiles/pckpt_sim.dir/resource.cpp.o" "gcc" "src/sim/CMakeFiles/pckpt_sim.dir/resource.cpp.o.d"
+  "/root/repo/src/sim/store.cpp" "src/sim/CMakeFiles/pckpt_sim.dir/store.cpp.o" "gcc" "src/sim/CMakeFiles/pckpt_sim.dir/store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

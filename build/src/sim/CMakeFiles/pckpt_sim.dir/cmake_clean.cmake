@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pckpt_sim.dir/condition.cpp.o"
+  "CMakeFiles/pckpt_sim.dir/condition.cpp.o.d"
+  "CMakeFiles/pckpt_sim.dir/environment.cpp.o"
+  "CMakeFiles/pckpt_sim.dir/environment.cpp.o.d"
+  "CMakeFiles/pckpt_sim.dir/event.cpp.o"
+  "CMakeFiles/pckpt_sim.dir/event.cpp.o.d"
+  "CMakeFiles/pckpt_sim.dir/process.cpp.o"
+  "CMakeFiles/pckpt_sim.dir/process.cpp.o.d"
+  "CMakeFiles/pckpt_sim.dir/resource.cpp.o"
+  "CMakeFiles/pckpt_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/pckpt_sim.dir/store.cpp.o"
+  "CMakeFiles/pckpt_sim.dir/store.cpp.o.d"
+  "libpckpt_sim.a"
+  "libpckpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pckpt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pckpt_stats.dir/summary.cpp.o"
+  "CMakeFiles/pckpt_stats.dir/summary.cpp.o.d"
+  "libpckpt_stats.a"
+  "libpckpt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pckpt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

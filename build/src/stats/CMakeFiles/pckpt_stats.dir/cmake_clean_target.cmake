@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpckpt_stats.a"
+)

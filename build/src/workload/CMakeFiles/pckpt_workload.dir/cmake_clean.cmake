@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pckpt_workload.dir/application.cpp.o"
+  "CMakeFiles/pckpt_workload.dir/application.cpp.o.d"
+  "CMakeFiles/pckpt_workload.dir/machine.cpp.o"
+  "CMakeFiles/pckpt_workload.dir/machine.cpp.o.d"
+  "libpckpt_workload.a"
+  "libpckpt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pckpt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

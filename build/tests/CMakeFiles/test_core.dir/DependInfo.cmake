@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cr_config_test.cpp" "tests/CMakeFiles/test_core.dir/core/cr_config_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/cr_config_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/test_core.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/oci_test.cpp" "tests/CMakeFiles/test_core.dir/core/oci_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/oci_test.cpp.o.d"
+  "/root/repo/tests/core/properties_test.cpp" "tests/CMakeFiles/test_core.dir/core/properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/properties_test.cpp.o.d"
+  "/root/repo/tests/core/protocol_test.cpp" "tests/CMakeFiles/test_core.dir/core/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/protocol_test.cpp.o.d"
+  "/root/repo/tests/core/scenario_test.cpp" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "/root/repo/tests/core/simulation_test.cpp" "tests/CMakeFiles/test_core.dir/core/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/simulation_test.cpp.o.d"
+  "/root/repo/tests/core/spare_pool_test.cpp" "tests/CMakeFiles/test_core.dir/core/spare_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/spare_pool_test.cpp.o.d"
+  "/root/repo/tests/core/timeline_test.cpp" "tests/CMakeFiles/test_core.dir/core/timeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/timeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/pckpt_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pckpt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/pckpt_iomodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pckpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

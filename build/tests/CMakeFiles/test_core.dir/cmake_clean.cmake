@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/cr_config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/cr_config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/extensions_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/extensions_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/oci_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/oci_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/properties_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/properties_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scenario_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/simulation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/simulation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/spare_pool_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/spare_pool_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/timeline_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/timeline_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/failure/lead_time_model_test.cpp" "tests/CMakeFiles/test_failure.dir/failure/lead_time_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_failure.dir/failure/lead_time_model_test.cpp.o.d"
+  "/root/repo/tests/failure/log_analysis_test.cpp" "tests/CMakeFiles/test_failure.dir/failure/log_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/test_failure.dir/failure/log_analysis_test.cpp.o.d"
+  "/root/repo/tests/failure/system_catalog_test.cpp" "tests/CMakeFiles/test_failure.dir/failure/system_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/test_failure.dir/failure/system_catalog_test.cpp.o.d"
+  "/root/repo/tests/failure/trace_test.cpp" "tests/CMakeFiles/test_failure.dir/failure/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_failure.dir/failure/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/failure/CMakeFiles/pckpt_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pckpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

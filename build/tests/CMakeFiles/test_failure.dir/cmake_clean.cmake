@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure.dir/failure/lead_time_model_test.cpp.o"
+  "CMakeFiles/test_failure.dir/failure/lead_time_model_test.cpp.o.d"
+  "CMakeFiles/test_failure.dir/failure/log_analysis_test.cpp.o"
+  "CMakeFiles/test_failure.dir/failure/log_analysis_test.cpp.o.d"
+  "CMakeFiles/test_failure.dir/failure/system_catalog_test.cpp.o"
+  "CMakeFiles/test_failure.dir/failure/system_catalog_test.cpp.o.d"
+  "CMakeFiles/test_failure.dir/failure/trace_test.cpp.o"
+  "CMakeFiles/test_failure.dir/failure/trace_test.cpp.o.d"
+  "test_failure"
+  "test_failure.pdb"
+  "test_failure[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

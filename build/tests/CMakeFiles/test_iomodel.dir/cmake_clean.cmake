@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iomodel.dir/iomodel/perf_matrix_test.cpp.o"
+  "CMakeFiles/test_iomodel.dir/iomodel/perf_matrix_test.cpp.o.d"
+  "CMakeFiles/test_iomodel.dir/iomodel/summit_io_test.cpp.o"
+  "CMakeFiles/test_iomodel.dir/iomodel/summit_io_test.cpp.o.d"
+  "test_iomodel"
+  "test_iomodel.pdb"
+  "test_iomodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iomodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

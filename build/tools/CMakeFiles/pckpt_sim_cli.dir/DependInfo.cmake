@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/pckpt_sim.cpp" "tools/CMakeFiles/pckpt_sim_cli.dir/pckpt_sim.cpp.o" "gcc" "tools/CMakeFiles/pckpt_sim_cli.dir/pckpt_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pckpt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/pckpt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pckpt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/failure/CMakeFiles/pckpt_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/pckpt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/iomodel/CMakeFiles/pckpt_iomodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pckpt_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

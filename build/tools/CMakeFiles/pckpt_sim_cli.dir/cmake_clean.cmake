@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pckpt_sim_cli.dir/pckpt_sim.cpp.o"
+  "CMakeFiles/pckpt_sim_cli.dir/pckpt_sim.cpp.o.d"
+  "pckpt_sim"
+  "pckpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pckpt_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   const bench::World world(opt.system);
+  bench::Engine engine(opt, "ablate_knobs");
   const auto& app = workload::workload_by_name("CHIMERA");
   const auto setup = world.setup(app);
 
@@ -26,7 +27,8 @@ int main(int argc, char** argv) {
   for (int d : {4, 16, 64, 256, 2272}) {
     auto cfg = bench::model(core::ModelKind::kB);
     cfg.drain_concurrency = d;
-    const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+    const auto r = engine.campaign(setup, cfg, app.name, "B",
+                                   {{"drain_concurrency", double(d)}});
     a.add_row();
     a.cell(d).cell(r.recomputation_h(), 3).cell(r.recovery_h(), 3).cell(
         r.total_overhead_h(), 3);
@@ -41,7 +43,8 @@ int main(int argc, char** argv) {
   for (double m : {1.0, 1.25, 1.5, 2.0}) {
     auto cfg = bench::model(core::ModelKind::kP2);
     cfg.lm_safety_margin = m;
-    const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+    const auto r = engine.campaign(setup, cfg, app.name, "P2",
+                                   {{"lm_safety_margin", m}});
     b.add_row();
     b.cell(m, 2)
         .cell(r.pooled_ft_ratio(), 3)
@@ -57,7 +60,8 @@ int main(int argc, char** argv) {
   for (double s : {0.0, 30.0, 120.0, 600.0}) {
     auto cfg = bench::model(core::ModelKind::kP1);
     cfg.restart_seconds = s;
-    const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+    const auto r = engine.campaign(setup, cfg, app.name, "P1",
+                                   {{"restart_seconds", s}});
     c.add_row();
     c.cell(s, 0).cell(r.recovery_h(), 3).cell(r.total_overhead_h(), 3);
   }

@@ -2,19 +2,30 @@
 
 /// \file bench_common.hpp
 /// Shared scaffolding for the experiment binaries: argument parsing, the
-/// Summit world (machine + storage + lead-time model), and the standard
-/// five-model configuration set.
+/// Summit world (machine + storage + lead-time model), the standard
+/// five-model configuration set, and the `Engine` that runs every
+/// campaign through the exec subsystem (thread pool + JSONL sink).
 
+#include <cerrno>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <initializer_list>
+#include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
+#include "analysis/tables.hpp"
 #include "core/campaign.hpp"
 #include "core/cr_config.hpp"
 #include "core/simulation.hpp"
+#include "exec/result_sink.hpp"
+#include "exec/thread_pool.hpp"
 #include "failure/lead_time_model.hpp"
 #include "failure/system_catalog.hpp"
 #include "workload/application.hpp"
@@ -25,9 +36,31 @@ namespace pckpt::bench {
 struct Options {
   std::size_t runs = 200;
   std::uint64_t seed = 2022;
+  std::size_t jobs = 0;  ///< 0 = auto (hardware concurrency)
   std::string system = "titan";
+  std::string jsonl;  ///< JSONL output path; empty = stdout tables only
   bool csv = false;
 };
+
+/// Parse a strictly-decimal unsigned integer; anything else (empty,
+/// signs, trailing junk, overflow) is a fatal usage error. `strtoul` alone
+/// silently accepts "12abc" and wraps "-1", both of which have burned
+/// campaign hours before.
+inline std::uint64_t parse_u64_flag(const char* flag, const char* text) {
+  bool digits_only = *text != '\0';
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') digits_only = false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = digits_only ? std::strtoull(text, &end, 10) : 0;
+  if (!digits_only || errno == ERANGE) {
+    std::fprintf(stderr, "%s: expected a non-negative integer, got '%s'\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return v;
+}
 
 inline Options parse_options(int argc, char** argv) {
   Options opt;
@@ -38,16 +71,32 @@ inline Options parse_options(int argc, char** argv) {
       return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
     };
     if (const char* v = value("--runs=")) {
-      opt.runs = std::strtoul(v, nullptr, 10);
+      opt.runs = parse_u64_flag("--runs", v);
     } else if (const char* v2 = value("--seed=")) {
-      opt.seed = std::strtoull(v2, nullptr, 10);
-    } else if (const char* v3 = value("--system=")) {
-      opt.system = v3;
+      opt.seed = parse_u64_flag("--seed", v2);
+    } else if (const char* v3 = value("--jobs=")) {
+      opt.jobs = parse_u64_flag("--jobs", v3);
+      if (opt.jobs == 0) {
+        std::fprintf(stderr, "--jobs must be >= 1\n");
+        std::exit(2);
+      }
+    } else if (const char* v4 = value("--system=")) {
+      opt.system = v4;
+    } else if (const char* v5 = value("--jsonl=")) {
+      if (*v5 == '\0') {
+        std::fprintf(stderr, "--jsonl: missing output path\n");
+        std::exit(2);
+      }
+      opt.jsonl = v5;
     } else if (arg == "--csv") {
       opt.csv = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "options: --runs=N (default 200)  --seed=S (default 2022)\n"
+          "         --jobs=N (worker threads; default: hardware "
+          "concurrency)\n"
+          "         --jsonl=PATH (machine-readable rows; see "
+          "docs/EXECUTION.md)\n"
           "         --system=titan|lanl8|lanl18  --csv\n");
       std::exit(0);
     } else {
@@ -85,6 +134,123 @@ struct World {
     return s;
   }
 };
+
+/// The exec-subsystem front end every experiment binary runs through: owns
+/// the worker pool (sized by --jobs), runs campaigns deterministically,
+/// and mirrors each campaign's aggregate as a JSONL row when --jsonl is
+/// given (schema: docs/EXECUTION.md).
+class Engine {
+ public:
+  using Extras = std::initializer_list<std::pair<const char*, double>>;
+
+  /// `append_jsonl` lets a binary that builds several engines in sequence
+  /// (e.g. fig6b's two failure distributions) accumulate one JSONL file.
+  Engine(const Options& opt, std::string bench_name, bool append_jsonl = false)
+      : opt_(opt),
+        bench_(std::move(bench_name)),
+        jobs_(exec::resolve_jobs(opt.jobs)) {
+    if (jobs_ > 1) {
+      pool_ = std::make_unique<exec::ThreadPool>(jobs_);
+      executor_ = std::make_unique<exec::ThreadPoolExecutor>(*pool_);
+    } else {
+      executor_ = std::make_unique<exec::SerialExecutor>();
+    }
+    if (!opt_.jsonl.empty()) {
+      try {
+        sink_ = std::make_unique<exec::JsonlSink>(opt_.jsonl, append_jsonl);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--jsonl: %s\n", e.what());
+        std::exit(2);
+      }
+    }
+  }
+
+  const Options& options() const noexcept { return opt_; }
+  std::size_t jobs() const noexcept { return jobs_; }
+  exec::Executor& executor() noexcept { return *executor_; }
+  exec::JsonlSink* sink() noexcept { return sink_.get(); }
+
+  /// Run one campaign cell through the engine; emit its JSONL row.
+  core::CampaignResult campaign(const core::RunSetup& setup,
+                                const core::CrConfig& cfg,
+                                std::string_view app,
+                                std::string_view model_label,
+                                Extras extras = {}) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto result = core::run_campaign(setup, cfg, opt_.runs, opt_.seed,
+                                     *executor_);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (sink_) {
+      exec::JsonlRow row;
+      row.add("bench", bench_)
+          .add("app", app)
+          .add("model", model_label)
+          .add("system", opt_.system)
+          .add("runs", static_cast<std::uint64_t>(opt_.runs))
+          .add("seed", opt_.seed)
+          .add("jobs", static_cast<std::uint64_t>(jobs_));
+      for (const auto& [key, v] : extras) row.add(key, v);
+      row.add("ckpt_h", result.checkpoint_h())
+          .add("recomp_h", result.recomputation_h())
+          .add("recov_h", result.recovery_h())
+          .add("migr_h", result.migration_h())
+          .add("total_h", result.total_overhead_h())
+          .add("makespan_h", result.makespan_s.mean() / 3600.0)
+          .add("ft_ratio", result.pooled_ft_ratio())
+          .add("failures_per_run", result.failures_per_run())
+          .add("predicted_per_run", result.predicted_per_run())
+          .add("mitigated_ckpt_per_run", result.mitigated_ckpt_per_run())
+          .add("mitigated_lm_per_run", result.mitigated_lm_per_run())
+          .add("unhandled_per_run", result.unhandled_per_run())
+          .add("false_positives_per_run", result.false_positives_per_run())
+          .add("mean_oci_s", result.mean_oci_s.mean())
+          .add("wall_s", wall_s)
+          .add("trials_per_s",
+               wall_s > 0.0 ? static_cast<double>(opt_.runs) / wall_s : 0.0);
+      sink_->write(row);
+    }
+    return result;
+  }
+
+  /// Paired five-model-style comparison through the engine, one JSONL row
+  /// per model.
+  std::vector<core::CampaignResult> comparison(
+      const core::RunSetup& setup, const std::vector<core::CrConfig>& cfgs,
+      std::string_view app, Extras extras = {}) {
+    std::vector<core::CampaignResult> out;
+    out.reserve(cfgs.size());
+    for (const auto& cfg : cfgs) {
+      out.push_back(campaign(setup, cfg, app,
+                             std::string(core::to_string(cfg.kind)), extras));
+    }
+    return out;
+  }
+
+ private:
+  Options opt_;
+  std::string bench_;
+  std::size_t jobs_;
+  std::unique_ptr<exec::ThreadPool> pool_;
+  std::unique_ptr<exec::Executor> executor_;
+  std::unique_ptr<exec::JsonlSink> sink_;
+};
+
+/// JSONL emission for the table-only binaries (no campaigns): write every
+/// row of the given tables to `opt.jsonl`, keyed by column header.
+inline void write_tables_jsonl(
+    const Options& opt, const char* bench_name,
+    std::initializer_list<const analysis::Table*> tables) {
+  if (opt.jsonl.empty()) return;
+  std::ofstream out(opt.jsonl);
+  if (!out) {
+    std::fprintf(stderr, "--jsonl: cannot open '%s' for writing\n",
+                 opt.jsonl.c_str());
+    std::exit(2);
+  }
+  for (const analysis::Table* t : tables) t->print_jsonl(out, bench_name);
+}
 
 /// The five models of the paper with default knobs and a given lead scale.
 inline std::vector<core::CrConfig> five_models(double lead_scale = 1.0) {

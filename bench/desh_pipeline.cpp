@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
     t.print(std::cout);
   }
 
+  bench::write_tables_jsonl(opt, "desh_pipeline", {&t});
   std::cout << "\nfitted mixture mean lead: " << fitted.mean()
             << " s; P(lead > 20 s) = " << fitted.ccdf(20.0) << "\n";
   return 0;

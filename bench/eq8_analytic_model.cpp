@@ -52,5 +52,6 @@ int main(int argc, char** argv) {
   } else {
     p.print(std::cout);
   }
+  bench::write_tables_jsonl(opt, "eq8_analytic_model", {&t, &p});
   return 0;
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   const bench::World world(opt.system);
+  bench::Engine engine(opt, "ext_lead_noise");
   const std::vector<double> sigmas = {0.0, 0.25, 0.5, 1.0};
   const std::vector<const char*> apps = {"CHIMERA", "XGC", "POP"};
 
@@ -27,8 +28,8 @@ int main(int argc, char** argv) {
   for (const char* app_name : apps) {
     const auto& app = workload::workload_by_name(app_name);
     const auto setup = world.setup(app);
-    const auto base = core::run_campaign(
-        setup, bench::model(core::ModelKind::kB), opt.runs, opt.seed);
+    const auto base = engine.campaign(
+        setup, bench::model(core::ModelKind::kB), app_name, "B");
 
     analysis::Table t({"sigma", "M2 FT", "M2 total%", "P1 FT", "P1 total%",
                        "P2 FT", "P2 total%"});
@@ -39,7 +40,9 @@ int main(int argc, char** argv) {
                         core::ModelKind::kP2}) {
         auto cfg = bench::model(kind);
         cfg.predictor.lead_error_sigma = s;
-        const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+        const auto r = engine.campaign(setup, cfg, app_name,
+                                       core::to_string(kind),
+                                       {{"lead_error_sigma", s}});
         t.cell(r.pooled_ft_ratio(), 3);
         t.cell_percent(100.0 * r.total_overhead_s.mean() /
                            base.total_overhead_s.mean(),

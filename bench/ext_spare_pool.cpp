@@ -14,7 +14,9 @@
 int main(int argc, char** argv) {
   using namespace pckpt;
   auto opt = bench::parse_options(argc, argv);
-  const bench::World world("lanl18");
+  opt.system = "lanl18";
+  const bench::World world(opt.system);
+  bench::Engine engine(opt, "ext_spare_pool");
   const auto& app = workload::workload_by_name("CHIMERA");
   const auto setup = world.setup(app);
 
@@ -30,7 +32,9 @@ int main(int argc, char** argv) {
       auto cfg = bench::model(kind);
       cfg.spare_nodes = spares;
       cfg.node_repair_hours = 2.0;
-      const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+      const auto r = engine.campaign(
+          setup, cfg, app.name, core::to_string(kind),
+          {{"spares", static_cast<double>(spares)}});
       t.add_row();
       t.cell(spares < 0 ? std::string("inf") : std::to_string(spares))
           .cell(std::string(core::to_string(kind)))

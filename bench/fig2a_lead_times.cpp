@@ -77,5 +77,6 @@ int main(int argc, char** argv) {
   } else {
     c.print(std::cout);
   }
+  bench::write_tables_jsonl(opt, "fig2a_lead_times", {&t, &c});
   return 0;
 }

@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   } else {
     t.print(std::cout);
   }
+  bench::write_tables_jsonl(opt, "fig2b_node_io", {&t});
 
   std::cout << "\npeak task count: " << cfg.peak_tasks
             << " (paper: 8 MPI tasks maximize a node's PFS bandwidth)\n";

@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
   } else {
     a.print(std::cout);
   }
+  bench::write_tables_jsonl(opt, "fig2c_io_matrix", {&t, &a});
   return 0;
 }

@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   bench::run_leadtime_sweep(
-      opt, {core::ModelKind::kM1, core::ModelKind::kM2}, "Fig. 4");
+      opt, {core::ModelKind::kM1, core::ModelKind::kM2}, "Fig. 4",
+      "fig4_leadtime_m1m2");
   return 0;
 }

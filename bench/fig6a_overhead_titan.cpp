@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   auto opt = bench::parse_options(argc, argv);
   opt.system = "titan";
-  bench::run_overhead_bars(opt, "Fig. 6a (Titan distribution)");
+  bench::run_overhead_bars(opt, "Fig. 6a (Titan distribution)",
+                           "fig6a_overhead_titan");
   return 0;
 }

@@ -8,9 +8,11 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   auto opt = bench::parse_options(argc, argv);
   opt.system = "lanl18";
-  bench::run_overhead_bars(opt, "Fig. 6b (LANL System 18 distribution)");
+  bench::run_overhead_bars(opt, "Fig. 6b (LANL System 18 distribution)",
+                           "fig6b_overhead_lanl");
   std::cout << "\n";
   opt.system = "lanl8";
-  bench::run_overhead_bars(opt, "Observation 7 (LANL System 8 distribution)");
+  bench::run_overhead_bars(opt, "Observation 7 (LANL System 8 distribution)",
+                           "fig6b_overhead_lanl", /*append_jsonl=*/true);
   return 0;
 }

@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   const bench::World world(opt.system);
+  bench::Engine engine(opt, "fig6c_lm_transfer");
   const std::vector<const char*> apps = {"CHIMERA", "XGC", "POP"};
   const std::vector<double> alphas = {1.0, 1.5, 2.0, 2.5, 3.0, 4.0};
 
@@ -27,8 +28,8 @@ int main(int argc, char** argv) {
   for (const char* app_name : apps) {
     const auto& app = workload::workload_by_name(app_name);
     const auto setup = world.setup(app);
-    const auto base = core::run_campaign(setup, bench::model(core::ModelKind::kB),
-                                         opt.runs, opt.seed);
+    const auto base = engine.campaign(
+        setup, bench::model(core::ModelKind::kB), app_name, "B");
     const double b = base.total_overhead_s.mean();
     auto emit = [&](const std::string& label, const core::CampaignResult& r) {
       t.add_row();
@@ -42,14 +43,15 @@ int main(int argc, char** argv) {
           .cell(r.pooled_ft_ratio(), 3);
     };
     emit("B", base);
-    emit("P1", core::run_campaign(setup, bench::model(core::ModelKind::kP1),
-                                  opt.runs, opt.seed));
+    emit("P1", engine.campaign(setup, bench::model(core::ModelKind::kP1),
+                               app_name, "P1"));
     for (double alpha : alphas) {
       auto cfg = bench::model(core::ModelKind::kM2);
       cfg.lm_transfer_factor = alpha;
       std::string label = "M2-" + std::to_string(alpha);
       label.resize(label.find('.') + 2);  // one decimal
-      emit(label, core::run_campaign(setup, cfg, opt.runs, opt.seed));
+      emit(label, engine.campaign(setup, cfg, app_name, label,
+                                  {{"lm_transfer_factor", alpha}}));
     }
   }
   if (opt.csv) {

@@ -8,6 +8,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   bench::run_leadtime_sweep(
-      opt, {core::ModelKind::kP1, core::ModelKind::kP2}, "Fig. 7");
+      opt, {core::ModelKind::kP1, core::ModelKind::kP2}, "Fig. 7",
+      "fig7_leadtime_p1p2");
   return 0;
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   const bench::World world(opt.system);
+  bench::Engine engine(opt, "fig8_lm_vs_pckpt");
   const std::vector<double> deltas = {-0.90, -0.75, -0.60, -0.45, -0.30,
                                       -0.15, 0.0,   0.15,  0.30,  0.45,
                                       0.60,  0.75,  0.90};
@@ -32,9 +33,9 @@ int main(int argc, char** argv) {
     t.add_row();
     t.cell_percent(d * 100.0, 0);
     for (const auto& app : workload::summit_workloads()) {
-      const auto r = core::run_campaign(
+      const auto r = engine.campaign(
           world.setup(app), bench::model(core::ModelKind::kP2, 1.0 + d),
-          opt.runs, opt.seed);
+          app.name, "P2", {{"lead_scale", 1.0 + d}});
       t.cell(100.0 * r.lm_minus_pckpt_ft(), 1);
     }
   }

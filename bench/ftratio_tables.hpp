@@ -16,8 +16,9 @@ namespace pckpt::bench {
 
 inline void run_ftratio_table(const Options& opt,
                               const std::vector<core::ModelKind>& kinds,
-                              const char* table_name) {
+                              const char* table_name, const char* slug) {
   const World world(opt.system);
+  Engine engine(opt, slug);
   const std::vector<const char*> apps = {"CHIMERA", "XGC", "POP"};
   const std::vector<double> deltas = {0.50, 0.10, 0.0, -0.10, -0.50};
 
@@ -39,8 +40,9 @@ inline void run_ftratio_table(const Options& opt,
     for (const char* app_name : apps) {
       const auto& app = workload::workload_by_name(app_name);
       for (auto k : kinds) {
-        const auto r = core::run_campaign(world.setup(app), model(k, 1.0 + d),
-                                          opt.runs, opt.seed);
+        const auto r = engine.campaign(world.setup(app), model(k, 1.0 + d),
+                                       app_name, core::to_string(k),
+                                       {{"lead_scale", 1.0 + d}});
         t.cell(r.pooled_ft_ratio(), 3);
       }
     }

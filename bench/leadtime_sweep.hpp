@@ -16,8 +16,9 @@ namespace pckpt::bench {
 
 inline void run_leadtime_sweep(const Options& opt,
                                const std::vector<core::ModelKind>& kinds,
-                               const char* figure_name) {
+                               const char* figure_name, const char* slug) {
   const World world(opt.system);
+  Engine engine(opt, slug);
   const std::vector<const char*> apps = {"CHIMERA", "XGC", "POP"};
   const std::vector<double> deltas = {-0.50, -0.40, -0.30, -0.20, -0.10,
                                       0.0,   0.10,  0.20,  0.30,  0.40,
@@ -36,9 +37,8 @@ inline void run_leadtime_sweep(const Options& opt,
     const auto setup = world.setup(app);
 
     // Model B is insensitive to lead scaling: compute it once.
-    const auto base =
-        core::run_campaign(setup, model(core::ModelKind::kB), opt.runs,
-                           opt.seed);
+    const auto base = engine.campaign(setup, model(core::ModelKind::kB),
+                                      app_name, "B", {{"lead_scale", 1.0}});
 
     std::vector<std::string> headers = {"leadΔ"};
     for (auto k : kinds) {
@@ -55,8 +55,9 @@ inline void run_leadtime_sweep(const Options& opt,
       t.add_row();
       t.cell_percent(d * 100.0, 0);
       for (auto k : kinds) {
-        const auto r = core::run_campaign(setup, model(k, 1.0 + d),
-                                          opt.runs, opt.seed);
+        const auto r = engine.campaign(setup, model(k, 1.0 + d), app_name,
+                                       core::to_string(k),
+                                       {{"lead_scale", 1.0 + d}});
         t.cell_percent(core::percent_reduction(base.checkpoint_s.mean(),
                                                r.checkpoint_s.mean()),
                        1);

@@ -1,0 +1,158 @@
+/// micro_exec — throughput and determinism harness for the parallel
+/// campaign engine.  Part 1 times the same campaign serially and through
+/// a thread pool, reporting trials/sec and speedup.  Part 2 is a stress
+/// test: the campaign is re-run with jobs in {1, 2, 7, 16} and every
+/// aggregate must be bit-identical to the serial reference; a mismatch is
+/// a hard failure (nonzero exit), because it breaks the engine's core
+/// contract (docs/EXECUTION.md).
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <tuple>
+#include <vector>
+
+#include "analysis/tables.hpp"
+#include "bench/bench_common.hpp"
+#include "core/campaign.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace {
+
+using pckpt::core::CampaignResult;
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Bit-exact comparison of every aggregate the engine merges.  Welford
+/// state is compared field-by-field: any divergence in mean/variance/
+/// min/max or in the raw count totals means the shard plan or merge
+/// order leaked a dependence on the thread count.
+bool stats_identical(const pckpt::stats::OnlineStats& a,
+                     const pckpt::stats::OnlineStats& b) {
+  return a.count() == b.count() && a.mean() == b.mean() &&
+         a.variance() == b.variance() && a.min() == b.min() &&
+         a.max() == b.max();
+}
+
+bool results_identical(const CampaignResult& a, const CampaignResult& b) {
+  return a.runs == b.runs && a.kind == b.kind &&
+         stats_identical(a.checkpoint_s, b.checkpoint_s) &&
+         stats_identical(a.recomputation_s, b.recomputation_s) &&
+         stats_identical(a.recovery_s, b.recovery_s) &&
+         stats_identical(a.migration_s, b.migration_s) &&
+         stats_identical(a.total_overhead_s, b.total_overhead_s) &&
+         stats_identical(a.makespan_s, b.makespan_s) &&
+         stats_identical(a.ft_ratio, b.ft_ratio) &&
+         stats_identical(a.mean_oci_s, b.mean_oci_s) &&
+         a.failures == b.failures && a.predicted == b.predicted &&
+         a.mitigated_ckpt == b.mitigated_ckpt &&
+         a.mitigated_lm == b.mitigated_lm && a.unhandled == b.unhandled &&
+         a.false_positives == b.false_positives;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  auto opt = bench::parse_options(argc, argv);
+  if (opt.runs == 200) opt.runs = 500;  // default: a 500-trial campaign
+
+  const bench::World world(opt.system);
+  const auto& app = workload::summit_workloads()[0];
+  const auto setup = world.setup(app);
+  core::CrConfig cfg;
+  cfg.kind = core::ModelKind::kP2;
+
+  std::printf("micro_exec — campaign engine throughput and determinism\n");
+  std::printf("workload: %s, model P2, %zu trials, base seed %llu\n\n",
+              app.name.c_str(), opt.runs,
+              static_cast<unsigned long long>(opt.seed));
+
+  // ---- Part 1: serial vs parallel throughput. ------------------------
+  CampaignResult serial;
+  const double serial_s = wall_seconds([&] {
+    serial = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+  });
+
+  const std::size_t jobs = exec::resolve_jobs(opt.jobs);
+  exec::ThreadPool pool(jobs);
+  exec::ThreadPoolExecutor pool_exec(pool);
+  CampaignResult parallel;
+  const double parallel_s = wall_seconds([&] {
+    parallel = core::run_campaign(setup, cfg, opt.runs, opt.seed, pool_exec);
+  });
+
+  analysis::Table t({"mode", "jobs", "wall(s)", "trials/s", "speedup"});
+  t.add_row();
+  t.cell("serial")
+      .cell(1)
+      .cell(serial_s, 3)
+      .cell(static_cast<double>(opt.runs) / serial_s, 1)
+      .cell(1.0, 2);
+  t.add_row();
+  t.cell("pool")
+      .cell(static_cast<int>(jobs))
+      .cell(parallel_s, 3)
+      .cell(static_cast<double>(opt.runs) / parallel_s, 1)
+      .cell(serial_s / parallel_s, 2);
+  if (opt.csv) {
+    t.print_csv(std::cout);
+  } else {
+    t.print(std::cout);
+  }
+
+  if (opt.jsonl.empty()) {
+    std::printf("\n");
+  } else try {
+    exec::JsonlSink sink(opt.jsonl);
+    for (const auto& [mode, n, secs] :
+         std::vector<std::tuple<const char*, std::size_t, double>>{
+             {"serial", 1, serial_s}, {"pool", jobs, parallel_s}}) {
+      exec::JsonlRow row;
+      row.add("bench", "micro_exec");
+      row.add("mode", mode);
+      row.add("jobs", n);
+      row.add("runs", opt.runs);
+      row.add("seed", opt.seed);
+      row.add("wall_s", secs);
+      row.add("trials_per_s", static_cast<double>(opt.runs) / secs);
+      row.add("speedup", serial_s / secs);
+      sink.write(row);
+    }
+    std::printf("\nwrote %zu rows to %s\n\n", sink.rows_written(),
+                opt.jsonl.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--jsonl: %s\n", e.what());
+    return 2;
+  }
+
+  // ---- Part 2: determinism stress across thread counts. --------------
+  std::printf("determinism stress — aggregates must be bit-identical to "
+              "the serial reference:\n");
+  bool ok = results_identical(serial, parallel);
+  std::printf("  jobs=%-2zu (timed run above)   %s\n", jobs,
+              ok ? "identical" : "MISMATCH");
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{7},
+                              std::size_t{16}}) {
+    exec::ThreadPool p(n);
+    exec::ThreadPoolExecutor ex(p);
+    const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed, ex);
+    const bool same = results_identical(serial, r);
+    ok = ok && same;
+    std::printf("  jobs=%-2zu                    %s\n", n,
+                same ? "identical" : "MISMATCH");
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "\nmicro_exec: FAILED — results depend on thread count\n");
+    return 1;
+  }
+  std::printf("\nall thread counts agree bit-for-bit with the serial run\n");
+  return 0;
+}

@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   const bench::World world(opt.system);
+  bench::Engine engine(opt, "obs6_oci_elongation");
 
   std::cout << "Observation 6 — OCI elongation (Eq. 2 vs Eq. 1) and its "
                "recomputation cost (P2 vs P1); "
@@ -31,12 +32,12 @@ int main(int argc, char** argv) {
     const double oci1 = core::young_oci_seconds(t_bb, rate);
     const double oci2 = core::sigma_extended_oci_seconds(t_bb, rate, sigma);
 
-    const auto p1 = core::run_campaign(
-        world.setup(app), bench::model(core::ModelKind::kP1), opt.runs,
-        opt.seed);
-    const auto p2 = core::run_campaign(
-        world.setup(app), bench::model(core::ModelKind::kP2), opt.runs,
-        opt.seed);
+    const auto p1 = engine.campaign(
+        world.setup(app), bench::model(core::ModelKind::kP1), app.name, "P1",
+        {{"sigma", sigma}});
+    const auto p2 = engine.campaign(
+        world.setup(app), bench::model(core::ModelKind::kP2), app.name, "P2",
+        {{"sigma", sigma}});
 
     t.add_row();
     t.cell(app.name)

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   const bench::World world(opt.system);
+  bench::Engine engine(opt, "obs9_false_negatives");
   const std::vector<double> fn_rates = {0.12, 0.20, 0.30, 0.40};
   const std::vector<const char*> apps = {"CHIMERA", "XGC", "POP"};
 
@@ -26,8 +27,8 @@ int main(int argc, char** argv) {
   for (const char* app_name : apps) {
     const auto& app = workload::workload_by_name(app_name);
     const auto setup = world.setup(app);
-    const auto base = core::run_campaign(
-        setup, bench::model(core::ModelKind::kB), opt.runs, opt.seed);
+    const auto base = engine.campaign(
+        setup, bench::model(core::ModelKind::kB), app_name, "B");
 
     analysis::Table t({"FN rate", "M1 recompΔ", "M1 FT", "M2 recompΔ",
                        "M2 FT", "P1 recompΔ", "P1 FT", "P2 recompΔ",
@@ -39,7 +40,9 @@ int main(int argc, char** argv) {
                         core::ModelKind::kP1, core::ModelKind::kP2}) {
         auto cfg = bench::model(kind);
         cfg.predictor.recall = 1.0 - fn;
-        const auto r = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+        const auto r = engine.campaign(setup, cfg, app_name,
+                                       core::to_string(kind),
+                                       {{"fn_rate", fn}});
         t.cell_percent(
             core::percent_reduction(base.recomputation_s.mean(),
                                     r.recomputation_s.mean()),

@@ -15,8 +15,10 @@
 
 namespace pckpt::bench {
 
-inline void run_overhead_bars(const Options& opt, const char* figure_name) {
+inline void run_overhead_bars(const Options& opt, const char* figure_name,
+                              const char* slug, bool append_jsonl = false) {
   const World world(opt.system);
+  Engine engine(opt, slug, append_jsonl);
 
   std::cout << figure_name
             << " — fault-tolerance overhead normalized to model B; "
@@ -29,9 +31,8 @@ inline void run_overhead_bars(const Options& opt, const char* figure_name) {
                            "M2 reduction", "M1 reduction"});
 
   for (const auto& app : workload::summit_workloads()) {
-    const auto res = core::run_model_comparison(world.setup(app),
-                                                five_models(), opt.runs,
-                                                opt.seed);
+    const auto res =
+        engine.comparison(world.setup(app), five_models(), app.name);
     const double base = res[0].total_overhead_s.mean();
     for (const auto& r : res) {
       t.add_row();
@@ -44,7 +45,7 @@ inline void run_overhead_bars(const Options& opt, const char* figure_name) {
           .cell_percent(100.0 * r.total_overhead_s.mean() / base, 1)
           .cell(r.total_overhead_h(), 2)
           .cell(r.pooled_ft_ratio(), 3)
-          .cell(r.failures, 2);
+          .cell(r.failures_per_run(), 2);
     }
     summary.add_row();
     summary.cell(app.name);

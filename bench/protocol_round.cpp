@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
   } else {
     ab.print(std::cout);
   }
+  bench::write_tables_jsonl(opt, "protocol_round", {&t, &ab});
   std::cout << "\n(EDF = the paper's lead-time priority; its margin over "
                "FIFO/LIFO is the value of prioritization under bursty "
                "predictions.)\n";

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
     t.print(std::cout);
   }
 
+  bench::write_tables_jsonl(opt, "table1_workloads", {&t});
   std::cout << "\nEq. 3 example: VULCAN's 0.75 GB checkpoint on a "
                "1024-node/16GB-DRAM machine scales to "
             << workload::scale_checkpoint_gb(0.75, 1024, 16.0, 64, 512.0)

@@ -7,6 +7,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   bench::run_ftratio_table(
-      opt, {core::ModelKind::kM1, core::ModelKind::kM2}, "Table II");
+      opt, {core::ModelKind::kM1, core::ModelKind::kM2}, "Table II",
+      "table2_ftratio_m1m2");
   return 0;
 }

@@ -7,6 +7,7 @@ int main(int argc, char** argv) {
   using namespace pckpt;
   const auto opt = bench::parse_options(argc, argv);
   bench::run_ftratio_table(
-      opt, {core::ModelKind::kP1, core::ModelKind::kP2}, "Table IV");
+      opt, {core::ModelKind::kP1, core::ModelKind::kP2}, "Table IV",
+      "table4_ftratio_p1p2");
   return 0;
 }

@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
                 r.checkpoint_h(), r.recomputation_h(), r.recovery_h(),
                 r.migration_h(), r.total_overhead_h(),
                 100.0 * r.total_overhead_s.mean() / base, r.pooled_ft_ratio(),
-                r.failures);
+                r.failures_per_run());
   }
   return 0;
 }

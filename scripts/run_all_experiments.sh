@@ -1,11 +1,15 @@
 #!/usr/bin/env sh
 # Regenerate every paper table/figure (plus the ablations and extension
 # experiments) into experiment_results/. Usage:
-#   scripts/run_all_experiments.sh [build-dir] [--runs=N]
+#   scripts/run_all_experiments.sh [build-dir] [--runs=N] [--jobs=N]
+# Campaign binaries run through the parallel execution engine (--jobs,
+# default: one worker per core) and additionally write machine-readable
+# JSONL next to each .txt (schema: docs/EXECUTION.md).
 set -eu
 
 BUILD_DIR="${1:-build}"
 RUNS_ARG="${2:---runs=400}"
+JOBS_ARG="${3:---jobs=$(nproc 2>/dev/null || echo 1)}"
 OUT_DIR="experiment_results"
 
 if [ ! -d "$BUILD_DIR/bench" ]; then
@@ -21,11 +25,14 @@ for bin in "$BUILD_DIR"/bench/*; do
   echo "== $name"
   case "$name" in
     micro_des)
+      # google-benchmark harness: no engine flags, no JSONL.
       "$bin" --benchmark_min_time=0.1s > "$OUT_DIR/$name.txt" 2>&1 ;;
     fig2*|table1*|eq8*|desh*|protocol*)
-      "$bin" > "$OUT_DIR/$name.txt" 2>&1 ;;   # deterministic / cheap
+      # Deterministic / cheap table binaries: serial, but still JSONL.
+      "$bin" --jsonl="$OUT_DIR/$name.jsonl" > "$OUT_DIR/$name.txt" 2>&1 ;;
     *)
-      "$bin" "$RUNS_ARG" > "$OUT_DIR/$name.txt" 2>&1 ;;
+      "$bin" "$RUNS_ARG" "$JOBS_ARG" --jsonl="$OUT_DIR/$name.jsonl" \
+        > "$OUT_DIR/$name.txt" 2>&1 ;;
   esac
 done
 echo "results written to $OUT_DIR/"

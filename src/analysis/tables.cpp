@@ -1,10 +1,14 @@
 #include "analysis/tables.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdlib>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+
+#include "exec/result_sink.hpp"
 
 namespace pckpt::analysis {
 
@@ -97,6 +101,28 @@ void Table::print_csv(std::ostream& os) const {
   };
   emit(headers_);
   for (const auto& row : cells_) emit(row);
+}
+
+void Table::print_jsonl(std::ostream& os, const std::string& bench_name) const {
+  for (std::size_t r = 0; r < cells_.size(); ++r) {
+    exec::JsonlRow row;
+    row.add("bench", bench_name)
+        .add("row", static_cast<std::uint64_t>(r));
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& v = c < cells_[r].size() ? cells_[r][c]
+                                                  : std::string();
+      // Emit fully-numeric cells as JSON numbers so consumers need no
+      // post-hoc coercion; anything else ("M2-1.5", "47.5%") stays a string.
+      char* end = nullptr;
+      const double num = std::strtod(v.c_str(), &end);
+      if (!v.empty() && end == v.c_str() + v.size() && std::isfinite(num)) {
+        row.add(headers_[c], num);
+      } else {
+        row.add(headers_[c], v);
+      }
+    }
+    os << row.str() << '\n';
+  }
 }
 
 std::string hours(double seconds, int precision) {

@@ -37,6 +37,12 @@ class Table {
   /// Render as CSV (quotes cells containing commas).
   void print_csv(std::ostream& os) const;
 
+  /// Render as JSONL: one JSON object per data row, keyed by the column
+  /// headers, prefixed with {"bench": bench_name, "row": index}. Cells
+  /// that parse fully as numbers are emitted as JSON numbers; everything
+  /// else (e.g. "-12.5%") as strings. Schema: docs/EXECUTION.md.
+  void print_jsonl(std::ostream& os, const std::string& bench_name) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> cells_;

@@ -23,42 +23,106 @@ void accumulate(CampaignResult& agg, const RunResult& r) {
   agg.false_positives += r.false_positives;
 }
 
-void finalize(CampaignResult& agg) {
-  if (agg.runs == 0) return;
-  const auto n = static_cast<double>(agg.runs);
-  agg.failures /= n;
-  agg.predicted /= n;
-  agg.mitigated_ckpt /= n;
-  agg.mitigated_lm /= n;
-  agg.unhandled /= n;
-  agg.false_positives /= n;
+}  // namespace
+
+void CampaignResult::merge(const CampaignResult& other) {
+  if (other.runs == 0) return;
+  if (runs == 0) kind = other.kind;
+  runs += other.runs;
+  checkpoint_s.merge(other.checkpoint_s);
+  recomputation_s.merge(other.recomputation_s);
+  recovery_s.merge(other.recovery_s);
+  migration_s.merge(other.migration_s);
+  total_overhead_s.merge(other.total_overhead_s);
+  makespan_s.merge(other.makespan_s);
+  ft_ratio.merge(other.ft_ratio);
+  mean_oci_s.merge(other.mean_oci_s);
+  failures += other.failures;
+  predicted += other.predicted;
+  mitigated_ckpt += other.mitigated_ckpt;
+  mitigated_lm += other.mitigated_lm;
+  unhandled += other.unhandled;
+  false_positives += other.false_positives;
 }
 
-}  // namespace
+CampaignResult run_campaign_shard(const RunSetup& base, const CrConfig& config,
+                                  std::size_t first_run, std::size_t last_run,
+                                  std::uint64_t base_seed) {
+  CampaignResult shard;
+  shard.kind = config.kind;
+  shard.runs = last_run - first_run;
+  for (std::size_t i = first_run; i < last_run; ++i) {
+    RunSetup setup = base;
+    setup.seed = rnd::derive_seed(base_seed, i);
+    accumulate(shard, simulate_run(setup, config));
+  }
+  return shard;
+}
+
+CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
+                            std::size_t runs, std::uint64_t base_seed,
+                            exec::Executor& ex,
+                            const exec::ProgressHook& progress) {
+  const auto plan = exec::plan_shards(runs);
+  std::vector<CampaignResult> shards(plan.count());
+  exec::run_sharded(
+      ex, plan,
+      [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        shards[shard] = run_campaign_shard(base, config, begin, end, base_seed);
+      },
+      progress);
+
+  CampaignResult agg;
+  agg.kind = config.kind;
+  for (const auto& shard : shards) agg.merge(shard);
+  return agg;
+}
 
 CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
                             std::size_t runs, std::uint64_t base_seed) {
-  CampaignResult agg;
-  agg.kind = config.kind;
-  agg.runs = runs;
-  for (std::size_t i = 0; i < runs; ++i) {
-    RunSetup setup = base;
-    setup.seed = rnd::derive_seed(base_seed, i);
-    accumulate(agg, simulate_run(setup, config));
+  exec::SerialExecutor serial;
+  return run_campaign(base, config, runs, base_seed, serial);
+}
+
+std::vector<CampaignResult> run_model_comparison(
+    const RunSetup& base, const std::vector<CrConfig>& configs,
+    std::size_t runs, std::uint64_t base_seed, exec::Executor& ex,
+    const exec::ProgressHook& progress) {
+  // One flat task batch across (config x trial-shard) keeps every worker
+  // busy across model boundaries instead of barriering per model.
+  const auto plan = exec::plan_shards(runs);
+  const std::size_t per_config = plan.count();
+  std::vector<std::vector<CampaignResult>> shards(
+      configs.size(), std::vector<CampaignResult>(per_config));
+
+  // One flat task per (config, shard); progress here is shard-granular.
+  const auto flat = exec::plan_shards(configs.size() * per_config, 1);
+  exec::run_sharded(
+      ex, flat,
+      [&](std::size_t task, std::size_t, std::size_t) {
+        const std::size_t c = task / per_config;
+        const std::size_t s = task % per_config;
+        shards[c][s] = run_campaign_shard(base, configs[c], plan.begin(s),
+                                          plan.end(s), base_seed);
+      },
+      progress);
+
+  std::vector<CampaignResult> out;
+  out.reserve(configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    CampaignResult agg;
+    agg.kind = configs[c].kind;
+    for (const auto& shard : shards[c]) agg.merge(shard);
+    out.push_back(agg);
   }
-  finalize(agg);
-  return agg;
+  return out;
 }
 
 std::vector<CampaignResult> run_model_comparison(
     const RunSetup& base, const std::vector<CrConfig>& configs,
     std::size_t runs, std::uint64_t base_seed) {
-  std::vector<CampaignResult> out;
-  out.reserve(configs.size());
-  for (const auto& cfg : configs) {
-    out.push_back(run_campaign(base, cfg, runs, base_seed));
-  }
-  return out;
+  exec::SerialExecutor serial;
+  return run_model_comparison(base, configs, runs, base_seed, serial);
 }
 
 double percent_reduction(double base, double value) {

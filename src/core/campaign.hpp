@@ -5,6 +5,8 @@
 
 #include "core/overheads.hpp"
 #include "core/simulation.hpp"
+#include "exec/executor.hpp"
+#include "exec/parallel_campaign.hpp"
 #include "stats/summary.hpp"
 
 /// \file campaign.hpp
@@ -12,10 +14,20 @@
 /// or several C/R models and aggregate the results. This is the C++
 /// equivalent of the paper's "1000 simulation runs, averaged" protocol,
 /// strengthened to a *paired* design: model comparisons share traces.
+///
+/// Campaigns run through the `exec` engine: trials are partitioned into
+/// fixed shards (exec::plan_shards), each shard is aggregated serially,
+/// and shards merge in ascending order — so aggregates are bit-identical
+/// for any executor / thread count (see docs/EXECUTION.md).
 
 namespace pckpt::core {
 
 /// Aggregated outcome of a campaign for one model.
+///
+/// The counter fields hold *raw totals across all runs* (mergeable); use
+/// the `*_per_run()` accessors for the paper-style per-run means. Keeping
+/// totals raw is what makes shard merging associative — normalizing in
+/// place would double-divide on merge.
 struct CampaignResult {
   ModelKind kind = ModelKind::kB;
   std::size_t runs = 0;
@@ -29,12 +41,25 @@ struct CampaignResult {
   stats::OnlineStats ft_ratio;
   stats::OnlineStats mean_oci_s;
 
-  double failures = 0;       ///< mean per run
+  double failures = 0;  ///< total across runs (see failures_per_run())
   double predicted = 0;
   double mitigated_ckpt = 0;
   double mitigated_lm = 0;
   double unhandled = 0;
   double false_positives = 0;
+
+  /// Fold another shard of the same campaign into this one. Aggregates
+  /// must cover disjoint run ranges; call in ascending shard order for
+  /// reproducible floating-point results.
+  void merge(const CampaignResult& other);
+
+  /// Mean event counts per run (the numbers the paper reports).
+  double failures_per_run() const { return per_run(failures); }
+  double predicted_per_run() const { return per_run(predicted); }
+  double mitigated_ckpt_per_run() const { return per_run(mitigated_ckpt); }
+  double mitigated_lm_per_run() const { return per_run(mitigated_lm); }
+  double unhandled_per_run() const { return per_run(unhandled); }
+  double false_positives_per_run() const { return per_run(false_positives); }
 
   /// Mean overheads in hours (for paper-style reporting).
   double checkpoint_h() const { return checkpoint_s.mean() / 3600.0; }
@@ -54,13 +79,39 @@ struct CampaignResult {
   double lm_minus_pckpt_ft() const {
     return failures > 0 ? (mitigated_lm - mitigated_ckpt) / failures : 0.0;
   }
+
+ private:
+  double per_run(double total) const {
+    return runs > 0 ? total / static_cast<double>(runs) : 0.0;
+  }
 };
 
-/// Run `runs` simulations of `config` with seeds derived from `base_seed`.
+/// Serially simulate trials `[first_run, last_run)` of a campaign; trial
+/// `i` uses seed `derive_seed(base_seed, i)` — keyed on the global trial
+/// index, so the result is independent of how trials are sharded.
+CampaignResult run_campaign_shard(const RunSetup& base, const CrConfig& config,
+                                  std::size_t first_run, std::size_t last_run,
+                                  std::uint64_t base_seed);
+
+/// Run `runs` simulations of `config` with seeds derived from `base_seed`
+/// on the given executor. Deterministic in (base, config, runs, base_seed)
+/// regardless of `ex`'s concurrency.
+CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
+                            std::size_t runs, std::uint64_t base_seed,
+                            exec::Executor& ex,
+                            const exec::ProgressHook& progress = {});
+
+/// Serial convenience overload (tests, examples): same chunked schedule on
+/// an inline executor, so it matches the parallel path bit-for-bit.
 CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
                             std::size_t runs, std::uint64_t base_seed);
 
 /// Run all requested models against the same `runs` traces.
+std::vector<CampaignResult> run_model_comparison(
+    const RunSetup& base, const std::vector<CrConfig>& configs,
+    std::size_t runs, std::uint64_t base_seed, exec::Executor& ex,
+    const exec::ProgressHook& progress = {});
+
 std::vector<CampaignResult> run_model_comparison(
     const RunSetup& base, const std::vector<CrConfig>& configs,
     std::size_t runs, std::uint64_t base_seed);

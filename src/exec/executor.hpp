@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+/// \file executor.hpp
+/// The execution-policy seam of the campaign engine: an `Executor` turns a
+/// batch of independent, index-addressed tasks into completed work. The
+/// simulation core is written against this interface only, so the same
+/// campaign code runs serially (tests, debugging, single-core boxes) or on
+/// a thread pool (`exec::ThreadPoolExecutor`) without behavioural change —
+/// determinism is owned by the *scheduling plan* (see parallel_campaign.hpp),
+/// never by the executor.
+
+namespace pckpt::exec {
+
+/// Runs `count` independent tasks, identified by index `0..count-1`.
+///
+/// Contract:
+///  - `run` blocks until every task has finished (or one has thrown).
+///  - Tasks may execute concurrently and in any order; callers must not
+///    depend on ordering for correctness or reproducibility.
+///  - If one or more tasks throw, `run` rethrows the first exception it
+///    captured after all started tasks have completed. Remaining queued
+///    tasks may be skipped.
+///  - `run` must not be called re-entrantly from inside one of its own
+///    tasks (a worker waiting on its own pool would deadlock).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Upper bound on tasks that can make progress simultaneously (>= 1).
+  virtual std::size_t concurrency() const noexcept = 0;
+
+  virtual void run(std::size_t count,
+                   const std::function<void(std::size_t)>& task) = 0;
+};
+
+/// Inline, same-thread executor: tasks run in index order. This is the
+/// default for `core::run_campaign` and the reference each parallel
+/// configuration is compared against in the determinism tests.
+class SerialExecutor final : public Executor {
+ public:
+  std::size_t concurrency() const noexcept override { return 1; }
+
+  void run(std::size_t count,
+           const std::function<void(std::size_t)>& task) override {
+    for (std::size_t i = 0; i < count; ++i) task(i);
+  }
+};
+
+}  // namespace pckpt::exec

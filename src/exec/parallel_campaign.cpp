@@ -1,0 +1,80 @@
+#include "exec/parallel_campaign.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+namespace pckpt::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+ShardPlan plan_shards(std::size_t total, std::size_t shard_size) {
+  ShardPlan plan;
+  plan.total = total;
+  plan.shard_size = std::max<std::size_t>(1, shard_size);
+  return plan;
+}
+
+ShardRunStats run_sharded(Executor& ex, const ShardPlan& plan,
+                          const ShardFn& fn, const ProgressHook& hook) {
+  ShardRunStats stats;
+  stats.shards = plan.count();
+  stats.items = plan.total;
+  if (stats.shards == 0) return stats;
+
+  const auto t0 = Clock::now();
+
+  // Shared meter state; shards report completion under the lock.
+  std::mutex meter_mutex;
+  std::size_t shards_done = 0;
+  std::size_t items_done = 0;
+  double max_shard_seconds = 0.0;
+
+  ex.run(stats.shards, [&](std::size_t shard) {
+    const auto shard_t0 = Clock::now();
+    fn(shard, plan.begin(shard), plan.end(shard));
+    const auto shard_t1 = Clock::now();
+
+    const double shard_s = seconds_between(shard_t0, shard_t1);
+    const double elapsed = seconds_between(t0, shard_t1);
+
+    std::lock_guard<std::mutex> lock(meter_mutex);
+    ++shards_done;
+    items_done += plan.end(shard) - plan.begin(shard);
+    max_shard_seconds = std::max(max_shard_seconds, shard_s);
+    if (hook) {
+      ShardProgress p;
+      p.shard_index = shard;
+      p.shards_done = shards_done;
+      p.shards_total = stats.shards;
+      p.items_done = items_done;
+      p.items_total = stats.items;
+      p.shard_seconds = shard_s;
+      p.elapsed_seconds = elapsed;
+      p.items_per_second =
+          elapsed > 0.0 ? static_cast<double>(items_done) / elapsed : 0.0;
+      hook(p);
+    }
+  });
+
+  stats.elapsed_seconds = seconds_between(t0, Clock::now());
+  stats.items_per_second =
+      stats.elapsed_seconds > 0.0
+          ? static_cast<double>(stats.items) / stats.elapsed_seconds
+          : 0.0;
+  {
+    std::lock_guard<std::mutex> lock(meter_mutex);
+    stats.max_shard_seconds = max_shard_seconds;
+  }
+  return stats;
+}
+
+}  // namespace pckpt::exec

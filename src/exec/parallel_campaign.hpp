@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "exec/executor.hpp"
+
+/// \file parallel_campaign.hpp
+/// The sharded campaign scheduler. A campaign of `total` trials is cut
+/// into fixed-size shards of consecutive trial indices; shards are the
+/// unit of dispatch onto an `Executor`, and shard *results* are merged by
+/// the caller in ascending shard order.
+///
+/// Determinism contract (docs/EXECUTION.md):
+///  1. The shard plan depends only on (total, shard_size) — never on the
+///     executor or its thread count.
+///  2. Each trial derives its RNG stream from the *global* trial index
+///     (`rnd::derive_seed(base_seed, i)`), never from a worker id.
+///  3. Shard results are merged in ascending shard index order.
+/// Under 1-3, a campaign's aggregate is bit-identical for any `--jobs`
+/// value, including the serial executor.
+
+namespace pckpt::exec {
+
+/// Trials per shard. Small enough to load-balance 16 workers on a
+/// 200-trial campaign, large enough that dispatch cost is noise next to a
+/// DES run. Fixed — see determinism contract above.
+inline constexpr std::size_t kDefaultShardTrials = 8;
+
+/// Partition of `0..total-1` into `count()` contiguous shards.
+struct ShardPlan {
+  std::size_t total = 0;
+  std::size_t shard_size = kDefaultShardTrials;
+
+  std::size_t count() const noexcept {
+    return shard_size == 0 ? 0 : (total + shard_size - 1) / shard_size;
+  }
+  std::size_t begin(std::size_t shard) const noexcept {
+    return shard * shard_size;
+  }
+  std::size_t end(std::size_t shard) const noexcept {
+    const std::size_t e = (shard + 1) * shard_size;
+    return e < total ? e : total;
+  }
+};
+
+/// Validated plan ctor: clamps shard_size to >= 1.
+ShardPlan plan_shards(std::size_t total,
+                      std::size_t shard_size = kDefaultShardTrials);
+
+/// Progress snapshot delivered once per completed shard. Hook invocations
+/// are serialized (the meter's lock is held), but arrive from worker
+/// threads in completion order — not shard order.
+struct ShardProgress {
+  std::size_t shard_index = 0;    ///< which shard just finished
+  std::size_t shards_done = 0;    ///< completed so far (including this one)
+  std::size_t shards_total = 0;
+  std::size_t items_done = 0;     ///< trials completed so far
+  std::size_t items_total = 0;
+  double shard_seconds = 0.0;     ///< wall time of this shard
+  double elapsed_seconds = 0.0;   ///< wall time since run_sharded started
+  double items_per_second = 0.0;  ///< items_done / elapsed
+};
+
+using ProgressHook = std::function<void(const ShardProgress&)>;
+
+/// Work function: process trials `[begin, end)` of shard `shard`.
+using ShardFn =
+    std::function<void(std::size_t shard, std::size_t begin, std::size_t end)>;
+
+/// Engine-level throughput metrics for one sharded run.
+struct ShardRunStats {
+  std::size_t shards = 0;
+  std::size_t items = 0;
+  double elapsed_seconds = 0.0;
+  double items_per_second = 0.0;
+  double max_shard_seconds = 0.0;  ///< slowest shard (straggler diagnostic)
+};
+
+/// Execute every shard of `plan` on `ex` and block until done. The shard
+/// function is called exactly once per shard; exceptions propagate per the
+/// Executor contract.
+ShardRunStats run_sharded(Executor& ex, const ShardPlan& plan,
+                          const ShardFn& fn, const ProgressHook& hook = {});
+
+}  // namespace pckpt::exec

@@ -1,0 +1,113 @@
+#include "exec/result_sink.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pckpt::exec {
+
+std::string JsonlRow::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonlRow::number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  return buf;
+}
+
+JsonlRow& JsonlRow::add(std::string_view key, std::string_view value) {
+  fields_.emplace_back(std::string(key), '"' + escape(value) + '"');
+  return *this;
+}
+
+JsonlRow& JsonlRow::add(std::string_view key, const char* value) {
+  return add(key, std::string_view(value));
+}
+
+JsonlRow& JsonlRow::add(std::string_view key, double value) {
+  fields_.emplace_back(std::string(key), number(value));
+  return *this;
+}
+
+JsonlRow& JsonlRow::add(std::string_view key, std::uint64_t value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+JsonlRow& JsonlRow::add(std::string_view key, int value) {
+  fields_.emplace_back(std::string(key), std::to_string(value));
+  return *this;
+}
+
+JsonlRow& JsonlRow::add(std::string_view key, bool value) {
+  fields_.emplace_back(std::string(key), value ? "true" : "false");
+  return *this;
+}
+
+JsonlRow& JsonlRow::add_raw(std::string_view key, std::string_view json) {
+  fields_.emplace_back(std::string(key), std::string(json));
+  return *this;
+}
+
+std::string JsonlRow::str() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : fields_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += escape(key);
+    out += "\":";
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
+JsonlSink::JsonlSink(const std::string& path, bool append)
+    : path_(path),
+      out_(path, append ? std::ios::out | std::ios::app : std::ios::out) {
+  if (!out_) {
+    throw std::runtime_error("JsonlSink: cannot open '" + path +
+                             "' for writing");
+  }
+}
+
+std::size_t JsonlSink::rows_written() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rows_;
+}
+
+void JsonlSink::write(const JsonlRow& row) {
+  const std::string line = row.str();
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line << '\n';
+  out_.flush();
+  ++rows_;
+}
+
+}  // namespace pckpt::exec

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file result_sink.hpp
+/// Machine-readable result emission for the bench harness: one JSON object
+/// per line (JSONL), written next to the human-readable stdout tables so
+/// downstream tooling (plot scripts, regression trackers) never scrapes
+/// ASCII tables. Schema: docs/EXECUTION.md.
+
+namespace pckpt::exec {
+
+/// One JSONL row: an insertion-ordered flat object of string / number /
+/// bool fields. Values are rendered on `str()`; doubles use shortest-ish
+/// `%.12g` (plenty for metric reporting) and non-finite values become
+/// `null` so every emitted line is valid JSON.
+class JsonlRow {
+ public:
+  JsonlRow& add(std::string_view key, std::string_view value);
+  JsonlRow& add(std::string_view key, const char* value);
+  JsonlRow& add(std::string_view key, double value);
+  JsonlRow& add(std::string_view key, std::uint64_t value);  // also size_t
+  JsonlRow& add(std::string_view key, int value);
+  JsonlRow& add(std::string_view key, bool value);
+
+  /// Append a value that is already valid JSON (e.g. from a numeric cell).
+  JsonlRow& add_raw(std::string_view key, std::string_view json_value);
+
+  bool empty() const noexcept { return fields_.empty(); }
+
+  /// Render as a single-line JSON object (no trailing newline).
+  std::string str() const;
+
+  /// JSON string escaping (quotes, backslash, control characters).
+  static std::string escape(std::string_view s);
+
+  /// Render a double as a JSON value (`null` for NaN/Inf).
+  static std::string number(double value);
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;  // key -> JSON
+};
+
+/// Thread-safe append-only JSONL file writer. Rows from concurrent
+/// campaigns interleave at line granularity; each line is flushed so a
+/// crashed or interrupted run still leaves a valid prefix.
+class JsonlSink {
+ public:
+  /// Opens `path` (truncating by default, appending when `append`);
+  /// throws std::runtime_error on failure.
+  explicit JsonlSink(const std::string& path, bool append = false);
+
+  const std::string& path() const noexcept { return path_; }
+  std::size_t rows_written() const noexcept;
+
+  void write(const JsonlRow& row);
+
+ private:
+  std::string path_;
+  mutable std::mutex mutex_;
+  std::ofstream out_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace pckpt::exec

@@ -1,0 +1,100 @@
+#include "exec/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace pckpt::exec {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ && drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // submit() wraps in packaged_task, so throws cannot escape it;
+             // raw post() tasks are expected not to throw.
+  }
+}
+
+void ThreadPoolExecutor::run(std::size_t count,
+                             const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+
+  struct Batch {
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+    explicit Batch(std::size_t n) : remaining(n) {}
+  };
+  auto batch = std::make_shared<Batch>(count);
+
+  for (std::size_t i = 0; i < count; ++i) {
+    pool_.post([batch, &task, i] {
+      std::exception_ptr err;
+      {
+        // Skip remaining work once a task has failed: the batch result is
+        // already an exception, so further shards would be wasted cycles.
+        std::lock_guard<std::mutex> lock(batch->m);
+        if (batch->first_error) {
+          if (--batch->remaining == 0) batch->done_cv.notify_all();
+          return;
+        }
+      }
+      try {
+        task(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(batch->m);
+      if (err && !batch->first_error) batch->first_error = err;
+      if (--batch->remaining == 0) batch->done_cv.notify_all();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(batch->m);
+  batch->done_cv.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+std::size_t resolve_jobs(std::size_t requested) noexcept {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+}  // namespace pckpt::exec

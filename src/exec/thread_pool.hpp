@@ -1,0 +1,87 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+/// \file thread_pool.hpp
+/// A small, reusable worker pool. One pool is created per process (or per
+/// bench binary) and shared by every campaign the binary runs; workers are
+/// long-lived so per-shard dispatch costs one lock + one notify, not a
+/// thread spawn.
+
+namespace pckpt::exec {
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Destruction semantics: the destructor *drains* the queue — every task
+/// already posted runs to completion before the workers join. This makes
+/// "destroy while busy" safe and keeps futures from `submit` valid.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (minimum 1; 0 is promoted to 1).
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task for execution; returns immediately.
+  void post(std::function<void()> task);
+
+  /// Enqueue a callable and get a future for its result. Exceptions thrown
+  /// by the callable are captured and rethrown by `future::get`.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    post([task]() { (*task)(); });
+    return result;
+  }
+
+  /// Number of tasks posted but not yet started (diagnostic only).
+  std::size_t queued() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Executor adapter over a ThreadPool. Dispatches the task batch onto the
+/// pool, blocks the calling thread until the batch completes, and rethrows
+/// the first task exception (by completion order) after the batch drains.
+class ThreadPoolExecutor final : public Executor {
+ public:
+  explicit ThreadPoolExecutor(ThreadPool& pool) : pool_(pool) {}
+
+  std::size_t concurrency() const noexcept override { return pool_.size(); }
+
+  void run(std::size_t count,
+           const std::function<void(std::size_t)>& task) override;
+
+ private:
+  ThreadPool& pool_;
+};
+
+/// `--jobs` resolution helper: 0 means "auto" = hardware_concurrency
+/// (which itself can report 0 on exotic platforms; we floor at 1).
+std::size_t resolve_jobs(std::size_t requested) noexcept;
+
+}  // namespace pckpt::exec

@@ -117,7 +117,7 @@ TEST(WasteModel, SimulatorTracksClosedFormOnBaseModel) {
     EXPECT_NEAR(sim.total_overhead_s.mean(), expect.total_s,
                 expect.total_s * 0.18)
         << name;
-    EXPECT_NEAR(sim.failures, expect.expected_failures,
+    EXPECT_NEAR(sim.failures_per_run(), expect.expected_failures,
                 expect.expected_failures * 0.20)
         << name;
   }

@@ -1,0 +1,281 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "exec/thread_pool.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "random/rng.hpp"
+#include "stats/summary.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace core = pckpt::core;
+namespace exec = pckpt::exec;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+namespace stats = pckpt::stats;
+namespace rnd = pckpt::rnd;
+using core::ModelKind;
+
+namespace {
+
+/// Shared fixture environment (built once: the PFS matrix is not free).
+struct World {
+  w::Machine machine = w::summit();
+  pckpt::iomodel::StorageModel storage = machine.make_storage();
+  f::LeadTimeModel leads = f::LeadTimeModel::summit_default();
+  const f::FailureSystem& titan = f::system_by_name("titan");
+
+  core::RunSetup setup(const w::Application& app) {
+    core::RunSetup s;
+    s.app = &app;
+    s.machine = &machine;
+    s.storage = &storage;
+    s.system = &titan;
+    s.leads = &leads;
+    return s;
+  }
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+core::CrConfig config_for(ModelKind kind) {
+  core::CrConfig cfg;
+  cfg.kind = kind;
+  return cfg;
+}
+
+bool stats_identical(const stats::OnlineStats& a, const stats::OnlineStats& b) {
+  return a.count() == b.count() && a.mean() == b.mean() &&
+         a.variance() == b.variance() && a.min() == b.min() &&
+         a.max() == b.max();
+}
+
+void expect_identical(const core::CampaignResult& a,
+                      const core::CampaignResult& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.kind, b.kind);
+  EXPECT_TRUE(stats_identical(a.checkpoint_s, b.checkpoint_s));
+  EXPECT_TRUE(stats_identical(a.recomputation_s, b.recomputation_s));
+  EXPECT_TRUE(stats_identical(a.recovery_s, b.recovery_s));
+  EXPECT_TRUE(stats_identical(a.migration_s, b.migration_s));
+  EXPECT_TRUE(stats_identical(a.total_overhead_s, b.total_overhead_s));
+  EXPECT_TRUE(stats_identical(a.makespan_s, b.makespan_s));
+  EXPECT_TRUE(stats_identical(a.ft_ratio, b.ft_ratio));
+  EXPECT_TRUE(stats_identical(a.mean_oci_s, b.mean_oci_s));
+  EXPECT_EQ(a.failures, b.failures);
+  EXPECT_EQ(a.predicted, b.predicted);
+  EXPECT_EQ(a.mitigated_ckpt, b.mitigated_ckpt);
+  EXPECT_EQ(a.mitigated_lm, b.mitigated_lm);
+  EXPECT_EQ(a.unhandled, b.unhandled);
+  EXPECT_EQ(a.false_positives, b.false_positives);
+}
+
+constexpr std::size_t kRuns = 40;
+constexpr std::uint64_t kSeed = 2022;
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// CampaignResult::merge.
+// ---------------------------------------------------------------------
+
+TEST(CampaignMerge, TwoShardsEqualOneBigShard) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(ModelKind::kP2);
+
+  const auto whole = core::run_campaign_shard(setup, cfg, 0, kRuns, kSeed);
+  auto merged = core::run_campaign_shard(setup, cfg, 0, 17, kSeed);
+  merged.merge(core::run_campaign_shard(setup, cfg, 17, kRuns, kSeed));
+
+  // Trial seeds key on the global index, so the split point is invisible
+  // to everything except Welford rounding; counts and extrema are exact.
+  EXPECT_EQ(merged.runs, whole.runs);
+  EXPECT_EQ(merged.failures, whole.failures);
+  EXPECT_EQ(merged.predicted, whole.predicted);
+  EXPECT_EQ(merged.mitigated_ckpt, whole.mitigated_ckpt);
+  EXPECT_EQ(merged.mitigated_lm, whole.mitigated_lm);
+  EXPECT_EQ(merged.unhandled, whole.unhandled);
+  EXPECT_EQ(merged.false_positives, whole.false_positives);
+  EXPECT_EQ(merged.total_overhead_s.count(), whole.total_overhead_s.count());
+  EXPECT_EQ(merged.total_overhead_s.min(), whole.total_overhead_s.min());
+  EXPECT_EQ(merged.total_overhead_s.max(), whole.total_overhead_s.max());
+  EXPECT_NEAR(merged.total_overhead_s.mean(), whole.total_overhead_s.mean(),
+              1e-12 * std::abs(whole.total_overhead_s.mean()));
+  EXPECT_NEAR(merged.makespan_s.variance(), whole.makespan_s.variance(),
+              1e-9 * std::abs(whole.makespan_s.variance()) + 1e-12);
+}
+
+TEST(CampaignMerge, EmptyIntoEmptyStaysEmpty) {
+  core::CampaignResult a, b;
+  a.merge(b);
+  EXPECT_EQ(a.runs, 0u);
+  EXPECT_EQ(a.failures, 0.0);
+  EXPECT_EQ(a.failures_per_run(), 0.0);
+  EXPECT_EQ(a.pooled_ft_ratio(), 0.0);
+}
+
+TEST(CampaignMerge, EmptyAdoptsNonEmpty) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto shard =
+      core::run_campaign_shard(setup, config_for(ModelKind::kM1), 0, 8, kSeed);
+
+  core::CampaignResult agg;
+  agg.merge(shard);
+  expect_identical(agg, shard);
+
+  // And merging an empty shard into a populated one is a no-op.
+  core::CampaignResult empty;
+  auto copy = shard;
+  copy.merge(empty);
+  expect_identical(copy, shard);
+}
+
+TEST(CampaignResult, PerRunAccessorsNormalizeTotals) {
+  core::CampaignResult r;
+  r.runs = 8;
+  r.failures = 20.0;
+  r.predicted = 12.0;
+  r.mitigated_ckpt = 6.0;
+  r.mitigated_lm = 4.0;
+  r.unhandled = 10.0;
+  r.false_positives = 2.0;
+  EXPECT_DOUBLE_EQ(r.failures_per_run(), 2.5);
+  EXPECT_DOUBLE_EQ(r.predicted_per_run(), 1.5);
+  EXPECT_DOUBLE_EQ(r.mitigated_ckpt_per_run(), 0.75);
+  EXPECT_DOUBLE_EQ(r.mitigated_lm_per_run(), 0.5);
+  EXPECT_DOUBLE_EQ(r.unhandled_per_run(), 1.25);
+  EXPECT_DOUBLE_EQ(r.false_positives_per_run(), 0.25);
+  // Pooled ratios divide totals by totals — no run-count involvement.
+  EXPECT_DOUBLE_EQ(r.pooled_ft_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(r.lm_minus_pckpt_ft(), -0.1);
+}
+
+// ---------------------------------------------------------------------
+// Determinism across executors and thread counts.
+// ---------------------------------------------------------------------
+
+TEST(CampaignDeterminism, SerialOverloadMatchesExplicitSerialExecutor) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(ModelKind::kP1);
+
+  const auto implicit = core::run_campaign(setup, cfg, kRuns, kSeed);
+  exec::SerialExecutor serial;
+  const auto explicit_serial =
+      core::run_campaign(setup, cfg, kRuns, kSeed, serial);
+  expect_identical(implicit, explicit_serial);
+}
+
+TEST(CampaignDeterminism, BitIdenticalAcrossThreadCounts) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(ModelKind::kP2);
+
+  const auto reference = core::run_campaign(setup, cfg, kRuns, kSeed);
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{7}, std::size_t{16}}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    exec::ThreadPool pool(jobs);
+    exec::ThreadPoolExecutor ex(pool);
+    const auto r = core::run_campaign(setup, cfg, kRuns, kSeed, ex);
+    expect_identical(reference, r);
+  }
+}
+
+TEST(CampaignDeterminism, ComparisonBitIdenticalAcrossThreadCounts) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const std::vector<core::CrConfig> configs = {
+      config_for(ModelKind::kB), config_for(ModelKind::kM2),
+      config_for(ModelKind::kP2)};
+
+  const auto reference =
+      core::run_model_comparison(setup, configs, kRuns, kSeed);
+  ASSERT_EQ(reference.size(), configs.size());
+  for (const std::size_t jobs : {std::size_t{2}, std::size_t{7}}) {
+    SCOPED_TRACE("jobs=" + std::to_string(jobs));
+    exec::ThreadPool pool(jobs);
+    exec::ThreadPoolExecutor ex(pool);
+    const auto rs = core::run_model_comparison(setup, configs, kRuns, kSeed, ex);
+    ASSERT_EQ(rs.size(), reference.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      expect_identical(reference[i], rs[i]);
+    }
+  }
+}
+
+TEST(CampaignDeterminism, ComparisonMatchesIndividualCampaigns) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const std::vector<core::CrConfig> configs = {config_for(ModelKind::kB),
+                                               config_for(ModelKind::kP2)};
+  const auto rs = core::run_model_comparison(setup, configs, kRuns, kSeed);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    const auto solo = core::run_campaign(setup, configs[i], kRuns, kSeed);
+    expect_identical(rs[i], solo);
+  }
+}
+
+TEST(CampaignDeterminism, ChunkedMergeTracksUnchunkedAccumulation) {
+  // The chunked Welford merge is not bit-identical to a single-pass
+  // accumulation over all trials, but it must agree to ~1e-12 relative —
+  // the engine's documented numerical contract (docs/EXECUTION.md).
+  auto& wd = world();
+  const auto& app = w::summit_workloads()[0];
+  const auto setup = wd.setup(app);
+  const auto cfg = config_for(ModelKind::kP2);
+
+  stats::OnlineStats total_s, makespan_s;
+  double failures = 0.0;
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    core::RunSetup s = setup;
+    s.seed = rnd::derive_seed(kSeed, i);
+    const auto r = core::simulate_run(s, cfg);
+    total_s.add(r.overheads.total());
+    makespan_s.add(r.makespan_s);
+    failures += r.failures;
+  }
+
+  const auto engine = core::run_campaign(setup, cfg, kRuns, kSeed);
+  EXPECT_EQ(engine.failures, failures);  // integer totals stay exact
+  EXPECT_NEAR(engine.total_overhead_s.mean(), total_s.mean(),
+              1e-12 * std::abs(total_s.mean()));
+  EXPECT_NEAR(engine.makespan_s.mean(), makespan_s.mean(),
+              1e-12 * std::abs(makespan_s.mean()));
+  EXPECT_NEAR(engine.makespan_s.variance(), makespan_s.variance(),
+              1e-9 * std::abs(makespan_s.variance()) + 1e-12);
+}
+
+TEST(CampaignDeterminism, ProgressHookReportsEveryTrial) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  exec::ThreadPool pool(2);
+  exec::ThreadPoolExecutor ex(pool);
+
+  std::size_t calls = 0;
+  std::size_t final_items = 0;
+  std::mutex m;
+  core::run_campaign(setup, config_for(ModelKind::kB), kRuns, kSeed, ex,
+                     [&](const exec::ShardProgress& p) {
+                       std::lock_guard<std::mutex> lock(m);
+                       ++calls;
+                       final_items = std::max(final_items, p.items_done);
+                     });
+  EXPECT_EQ(calls, exec::plan_shards(kRuns).count());
+  EXPECT_EQ(final_items, kRuns);
+}

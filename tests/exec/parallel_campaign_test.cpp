@@ -1,0 +1,165 @@
+#include "exec/parallel_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "exec/thread_pool.hpp"
+
+namespace exec = pckpt::exec;
+
+// ---------------------------------------------------------------------
+// Shard planning.
+// ---------------------------------------------------------------------
+
+TEST(ShardPlan, EmptyCampaignHasNoShards) {
+  const auto plan = exec::plan_shards(0);
+  EXPECT_EQ(plan.count(), 0u);
+}
+
+TEST(ShardPlan, SingleTrial) {
+  const auto plan = exec::plan_shards(1);
+  ASSERT_EQ(plan.count(), 1u);
+  EXPECT_EQ(plan.begin(0), 0u);
+  EXPECT_EQ(plan.end(0), 1u);
+}
+
+TEST(ShardPlan, ExactMultiple) {
+  const auto plan = exec::plan_shards(16, 8);
+  ASSERT_EQ(plan.count(), 2u);
+  EXPECT_EQ(plan.begin(0), 0u);
+  EXPECT_EQ(plan.end(0), 8u);
+  EXPECT_EQ(plan.begin(1), 8u);
+  EXPECT_EQ(plan.end(1), 16u);
+}
+
+TEST(ShardPlan, LastShardIsClamped) {
+  const auto plan = exec::plan_shards(13, 5);
+  ASSERT_EQ(plan.count(), 3u);
+  EXPECT_EQ(plan.end(2), 13u);
+  EXPECT_EQ(plan.end(2) - plan.begin(2), 3u);
+}
+
+TEST(ShardPlan, ZeroShardSizeIsClampedToOne) {
+  const auto plan = exec::plan_shards(4, 0);
+  EXPECT_EQ(plan.shard_size, 1u);
+  EXPECT_EQ(plan.count(), 4u);
+}
+
+TEST(ShardPlan, ShardsTileTheRangeWithoutGapsOrOverlap) {
+  for (std::size_t total : {1u, 7u, 8u, 9u, 200u, 500u}) {
+    const auto plan = exec::plan_shards(total);
+    std::size_t covered = 0;
+    std::size_t expect_begin = 0;
+    for (std::size_t s = 0; s < plan.count(); ++s) {
+      EXPECT_EQ(plan.begin(s), expect_begin);
+      EXPECT_GT(plan.end(s), plan.begin(s));
+      covered += plan.end(s) - plan.begin(s);
+      expect_begin = plan.end(s);
+    }
+    EXPECT_EQ(covered, total);
+  }
+}
+
+TEST(ShardPlan, PlanIsIndependentOfThreadCount) {
+  // The determinism contract's first clause, stated as a test: nothing in
+  // the plan type even *sees* an executor.
+  const auto a = exec::plan_shards(100);
+  const auto b = exec::plan_shards(100);
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.shard_size, b.shard_size);
+}
+
+// ---------------------------------------------------------------------
+// run_sharded.
+// ---------------------------------------------------------------------
+
+TEST(RunSharded, EachShardRunsExactlyOnce) {
+  exec::ThreadPool pool(4);
+  exec::ThreadPoolExecutor ex(pool);
+  const auto plan = exec::plan_shards(101, 8);
+
+  std::mutex m;
+  std::set<std::size_t> seen;
+  std::size_t items = 0;
+  const auto stats = exec::run_sharded(
+      ex, plan, [&](std::size_t shard, std::size_t begin, std::size_t end) {
+        std::lock_guard<std::mutex> lock(m);
+        EXPECT_TRUE(seen.insert(shard).second) << "shard ran twice";
+        EXPECT_EQ(begin, plan.begin(shard));
+        EXPECT_EQ(end, plan.end(shard));
+        items += end - begin;
+      });
+  EXPECT_EQ(seen.size(), plan.count());
+  EXPECT_EQ(items, 101u);
+  EXPECT_EQ(stats.shards, plan.count());
+  EXPECT_EQ(stats.items, 101u);
+  EXPECT_GE(stats.elapsed_seconds, 0.0);
+  EXPECT_GT(stats.items_per_second, 0.0);
+}
+
+TEST(RunSharded, ProgressHookFiresOncePerShard) {
+  exec::SerialExecutor ex;
+  const auto plan = exec::plan_shards(20, 8);  // 3 shards: 8 + 8 + 4
+
+  std::vector<exec::ShardProgress> events;
+  exec::run_sharded(
+      ex, plan, [](std::size_t, std::size_t, std::size_t) {},
+      [&](const exec::ShardProgress& p) { events.push_back(p); });
+
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].shards_done, i + 1);
+    EXPECT_EQ(events[i].shards_total, 3u);
+    EXPECT_EQ(events[i].items_total, 20u);
+  }
+  EXPECT_EQ(events.back().items_done, 20u);
+}
+
+TEST(RunSharded, EmptyPlanCallsNothing) {
+  exec::SerialExecutor ex;
+  bool called = false;
+  const auto stats = exec::run_sharded(
+      ex, exec::plan_shards(0),
+      [&](std::size_t, std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(stats.shards, 0u);
+  EXPECT_EQ(stats.items, 0u);
+}
+
+TEST(RunSharded, ShardExceptionPropagates) {
+  exec::ThreadPool pool(2);
+  exec::ThreadPoolExecutor ex(pool);
+  EXPECT_THROW(
+      exec::run_sharded(ex, exec::plan_shards(32),
+                        [](std::size_t shard, std::size_t, std::size_t) {
+                          if (shard == 2) {
+                            throw std::runtime_error("shard failure");
+                          }
+                        }),
+      std::runtime_error);
+}
+
+TEST(RunSharded, ProgressCountsAreConsistentUnderParallelism) {
+  exec::ThreadPool pool(7);
+  exec::ThreadPoolExecutor ex(pool);
+  const auto plan = exec::plan_shards(96, 8);
+
+  std::mutex m;
+  std::size_t last_done = 0;
+  bool monotonic = true;
+  exec::run_sharded(
+      ex, plan, [](std::size_t, std::size_t, std::size_t) {},
+      [&](const exec::ShardProgress& p) {
+        std::lock_guard<std::mutex> lock(m);
+        // Hook invocations are serialized; shards_done must strictly grow.
+        monotonic = monotonic && p.shards_done == last_done + 1;
+        last_done = p.shards_done;
+        EXPECT_LE(p.items_done, p.items_total);
+      });
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(last_done, plan.count());
+}

@@ -1,0 +1,128 @@
+#include "exec/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace exec = pckpt::exec;
+
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string temp_path(const char* name) {
+  return testing::TempDir() + name;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Escaping and number formatting.
+// ---------------------------------------------------------------------
+
+TEST(JsonlRow, EscapesSpecialCharacters) {
+  EXPECT_EQ(exec::JsonlRow::escape("plain"), "plain");
+  EXPECT_EQ(exec::JsonlRow::escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(exec::JsonlRow::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(exec::JsonlRow::escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(exec::JsonlRow::escape("tab\there"), "tab\\there");
+  EXPECT_EQ(exec::JsonlRow::escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonlRow, NumberFormatting) {
+  EXPECT_EQ(exec::JsonlRow::number(1.5), "1.5");
+  EXPECT_EQ(exec::JsonlRow::number(0.0), "0");
+  EXPECT_EQ(exec::JsonlRow::number(std::nan("")), "null");
+  EXPECT_EQ(exec::JsonlRow::number(std::numeric_limits<double>::infinity()),
+            "null");
+  EXPECT_EQ(exec::JsonlRow::number(-std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(JsonlRow, RendersTypedFieldsInInsertionOrder) {
+  exec::JsonlRow row;
+  row.add("name", "fig6a").add("runs", std::size_t{200}).add("x", 2.5);
+  row.add("ok", true).add("n", -3);
+  row.add_raw("raw", "[1,2]");
+  EXPECT_EQ(row.str(),
+            "{\"name\":\"fig6a\",\"runs\":200,\"x\":2.5,\"ok\":true,"
+            "\"n\":-3,\"raw\":[1,2]}");
+}
+
+TEST(JsonlRow, EmptyRowIsEmptyObject) {
+  exec::JsonlRow row;
+  EXPECT_TRUE(row.empty());
+  EXPECT_EQ(row.str(), "{}");
+}
+
+TEST(JsonlRow, KeysAreEscapedToo) {
+  exec::JsonlRow row;
+  row.add("we\"ird", 1);
+  EXPECT_EQ(row.str(), "{\"we\\\"ird\":1}");
+}
+
+// ---------------------------------------------------------------------
+// File sink.
+// ---------------------------------------------------------------------
+
+TEST(JsonlSink, WritesOneLinePerRow) {
+  const std::string path = temp_path("sink_basic.jsonl");
+  {
+    exec::JsonlSink sink(path);
+    for (int i = 0; i < 3; ++i) {
+      exec::JsonlRow row;
+      row.add("i", i);
+      sink.write(row);
+    }
+    EXPECT_EQ(sink.rows_written(), 3u);
+    EXPECT_EQ(sink.path(), path);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "{\"i\":0}");
+  EXPECT_EQ(lines[2], "{\"i\":2}");
+}
+
+TEST(JsonlSink, TruncatesByDefaultAppendsWhenAsked) {
+  const std::string path = temp_path("sink_append.jsonl");
+  {
+    exec::JsonlSink sink(path);
+    exec::JsonlRow row;
+    row.add("gen", 1);
+    sink.write(row);
+  }
+  {
+    exec::JsonlSink sink(path, /*append=*/true);
+    exec::JsonlRow row;
+    row.add("gen", 2);
+    sink.write(row);
+  }
+  EXPECT_EQ(read_lines(path).size(), 2u);
+
+  // A fresh non-append sink starts the file over.
+  {
+    exec::JsonlSink sink(path);
+    exec::JsonlRow row;
+    row.add("gen", 3);
+    sink.write(row);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"gen\":3}");
+}
+
+TEST(JsonlSink, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(exec::JsonlSink("/nonexistent-dir/x/y.jsonl"),
+               std::runtime_error);
+}

@@ -1,0 +1,162 @@
+#include "exec/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+namespace exec = pckpt::exec;
+
+TEST(ThreadPool, RunsPostedTasks) {
+  std::atomic<int> counter{0};
+  {
+    exec::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    for (int i = 0; i < 100; ++i) {
+      pool.post([&counter] { counter.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ZeroThreadsPromotedToOne) {
+  exec::ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  exec::ThreadPool pool(2);
+  auto f = pool.submit([] { return std::string("hello"); });
+  auto g = pool.submit([] { return 2 * 21; });
+  EXPECT_EQ(f.get(), "hello");
+  EXPECT_EQ(g.get(), 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  // The pool is destroyed (workers joined) before the future is read, so
+  // the stored exception's final release happens on this thread — without
+  // the join, TSan cannot see the refcount ordering inside libstdc++'s
+  // exception_ptr and reports a false race on the exception object.
+  std::future<int> f;
+  {
+    exec::ThreadPool pool(2);
+    f = pool.submit(
+        []() -> int { throw std::runtime_error("task failed"); });
+  }
+  EXPECT_THROW(
+      {
+        try {
+          f.get();
+        } catch (const std::runtime_error& e) {
+          EXPECT_STREQ(e.what(), "task failed");
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(ThreadPool, DestructionWhileBusyDrainsQueue) {
+  // Enqueue far more slow tasks than workers; destroying the pool must
+  // still run every one of them (drain semantics), not drop the queue.
+  std::atomic<int> done{0};
+  {
+    exec::ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.post([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, QueuedIsZeroAfterDrain) {
+  exec::ThreadPool pool(2);
+  pool.submit([] {}).get();
+  EXPECT_EQ(pool.queued(), 0u);
+}
+
+TEST(ThreadPoolExecutor, RunsEveryIndexExactlyOnce) {
+  exec::ThreadPool pool(4);
+  exec::ThreadPoolExecutor ex(pool);
+  EXPECT_EQ(ex.concurrency(), 4u);
+
+  constexpr std::size_t kCount = 257;
+  std::vector<std::atomic<int>> hits(kCount);
+  ex.run(kCount, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolExecutor, EmptyBatchIsANoop) {
+  exec::ThreadPool pool(2);
+  exec::ThreadPoolExecutor ex(pool);
+  bool called = false;
+  ex.run(0, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolExecutor, RethrowsFirstTaskException) {
+  exec::ThreadPool pool(4);
+  exec::ThreadPoolExecutor ex(pool);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      ex.run(64,
+             [&](std::size_t i) {
+               if (i == 13) throw std::runtime_error("shard 13 exploded");
+               completed.fetch_add(1);
+             }),
+      std::runtime_error);
+  // run() must not leave stragglers behind: by the time it returns
+  // (throwing), every dispatched task has finished or been skipped.
+  EXPECT_LE(completed.load(), 63);
+}
+
+TEST(ThreadPoolExecutor, PoolReusableAfterException) {
+  exec::ThreadPool pool(2);
+  exec::ThreadPoolExecutor ex(pool);
+  EXPECT_THROW(ex.run(4,
+                      [](std::size_t) {
+                        throw std::runtime_error("boom");
+                      }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  ex.run(8, [&](std::size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(SerialExecutor, RunsInIndexOrder) {
+  exec::SerialExecutor ex;
+  EXPECT_EQ(ex.concurrency(), 1u);
+  std::vector<std::size_t> order;
+  ex.run(5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SerialExecutor, PropagatesExceptions) {
+  exec::SerialExecutor ex;
+  EXPECT_THROW(ex.run(3,
+                      [](std::size_t i) {
+                        if (i == 1) throw std::logic_error("bad");
+                      }),
+               std::logic_error);
+}
+
+TEST(ResolveJobs, ExplicitValuePassesThrough) {
+  EXPECT_EQ(exec::resolve_jobs(1), 1u);
+  EXPECT_EQ(exec::resolve_jobs(7), 7u);
+}
+
+TEST(ResolveJobs, AutoIsAtLeastOne) {
+  EXPECT_GE(exec::resolve_jobs(0), 1u);
+}

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -49,6 +50,68 @@ TEST(OnlineStats, MergeWithEmpty) {
   c.merge(a);
   EXPECT_EQ(c.count(), 2u);
   EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(OnlineStats, MergeEmptyIntoEmpty) {
+  OnlineStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 0.0);
+  EXPECT_DOUBLE_EQ(a.max(), 0.0);
+}
+
+TEST(OnlineStats, MergeIntoEmptyCopiesState) {
+  // empty ⊕ nonempty must be *exactly* the nonempty accumulator — the
+  // campaign engine relies on this so that the first shard merged into a
+  // fresh aggregate costs no rounding at all.
+  OnlineStats a;
+  for (double x : {3.5, -1.0, 7.25}) a.add(x);
+  OnlineStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), a.count());
+  EXPECT_EQ(c.mean(), a.mean());
+  EXPECT_EQ(c.variance(), a.variance());
+  EXPECT_EQ(c.min(), a.min());
+  EXPECT_EQ(c.max(), a.max());
+}
+
+TEST(OnlineStats, ManyChunkMergeMatchesSinglePass) {
+  // The engine's shard pattern: 500 samples accumulated in chunks of 8,
+  // chunks merged in ascending order, versus one single-pass stream.
+  // Chunked Welford differs only by rounding — agreement to ~1e-12
+  // relative is the engine's documented numerical contract.
+  OnlineStats single;
+  std::vector<OnlineStats> chunks;
+  for (int i = 0; i < 500; ++i) {
+    // Deterministic values spanning several orders of magnitude.
+    const double x = (i % 17 + 1) * 1e3 + i * 0.001 - 250.0;
+    if (i % 8 == 0) chunks.emplace_back();
+    chunks.back().add(x);
+    single.add(x);
+  }
+  OnlineStats merged;
+  for (const auto& c : chunks) merged.merge(c);
+
+  EXPECT_EQ(merged.count(), single.count());
+  EXPECT_NEAR(merged.mean(), single.mean(), 1e-12 * std::abs(single.mean()));
+  EXPECT_NEAR(merged.variance(), single.variance(),
+              1e-10 * std::abs(single.variance()));
+  EXPECT_DOUBLE_EQ(merged.min(), single.min());
+  EXPECT_DOUBLE_EQ(merged.max(), single.max());
+}
+
+TEST(OnlineStats, MergeOrderIsDeterministic) {
+  // Merging the same chunks in the same order twice is bit-identical —
+  // the property the campaign scheduler's ascending-order merge leans on.
+  std::vector<OnlineStats> chunks(5);
+  for (int i = 0; i < 50; ++i) chunks[i % 5].add(i * 0.731 - 3.0);
+  OnlineStats a, b;
+  for (const auto& c : chunks) a.merge(c);
+  for (const auto& c : chunks) b.merge(c);
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.variance(), b.variance());
 }
 
 TEST(OnlineStats, Ci95ShrinksWithSamples) {

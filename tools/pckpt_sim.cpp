@@ -5,17 +5,22 @@
 ///
 /// Usage:
 ///   pckpt_sim <scenario.ini> [--models=B,M1,M2,P1,P2] [--runs=N]
-///             [--seed=S] [--csv]
+///             [--seed=S] [--jobs=N] [--jsonl=PATH] [--csv]
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "analysis/tables.hpp"
 #include "core/campaign.hpp"
 #include "core/simulation.hpp"
+#include "exec/result_sink.hpp"
+#include "exec/thread_pool.hpp"
 #include "failure/lead_time_model.hpp"
 #include "core/scenario.hpp"
 
@@ -27,9 +32,31 @@ void usage() {
       "  --models=B,M1,M2,P1,P2   comma-separated models (default: all)\n"
       "  --runs=N                 paired runs per model (default 200)\n"
       "  --seed=S                 base seed (default 2022)\n"
+      "  --jobs=N                 worker threads (default: one per core)\n"
+      "  --jsonl=PATH             append one JSON line per campaign to PATH\n"
       "  --csv                    CSV instead of aligned table\n"
       "The scenario file format is documented in "
       "src/core/scenario.hpp and configs/summit.ini.\n");
+}
+
+/// Strict non-negative integer parse: the whole value must be digits and
+/// fit in 64 bits, otherwise print a diagnostic and exit(2).
+std::uint64_t parse_u64_flag(const char* flag, const std::string& text) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "pckpt_sim: %s: expected a non-negative integer, "
+                         "got '%s'\n", flag, text.c_str());
+    std::exit(2);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    std::fprintf(stderr, "pckpt_sim: %s: value '%s' out of range\n", flag,
+                 text.c_str());
+    std::exit(2);
+  }
+  return v;
 }
 
 std::vector<pckpt::core::ModelKind> parse_models(const std::string& list) {
@@ -61,15 +88,33 @@ int main(int argc, char** argv) {
   std::string models_arg = "B,M1,M2,P1,P2";
   std::size_t runs = 200;
   std::uint64_t seed = 2022;
+  std::size_t jobs = 0;  // 0 = one worker per hardware thread
+  std::string jsonl_path;
   bool csv = false;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--models=", 0) == 0) {
       models_arg = arg.substr(9);
     } else if (arg.rfind("--runs=", 0) == 0) {
-      runs = std::strtoul(arg.c_str() + 7, nullptr, 10);
+      runs = static_cast<std::size_t>(parse_u64_flag("--runs", arg.substr(7)));
+      if (runs == 0) {
+        std::fprintf(stderr, "pckpt_sim: --runs must be at least 1\n");
+        return 2;
+      }
     } else if (arg.rfind("--seed=", 0) == 0) {
-      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      seed = parse_u64_flag("--seed", arg.substr(7));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = static_cast<std::size_t>(parse_u64_flag("--jobs", arg.substr(7)));
+      if (jobs == 0) {
+        std::fprintf(stderr, "pckpt_sim: --jobs must be at least 1\n");
+        return 2;
+      }
+    } else if (arg.rfind("--jsonl=", 0) == 0) {
+      jsonl_path = arg.substr(8);
+      if (jsonl_path.empty()) {
+        std::fprintf(stderr, "pckpt_sim: --jsonl requires a path\n");
+        return 2;
+      }
     } else if (arg == "--csv") {
       csv = true;
     } else {
@@ -86,9 +131,28 @@ int main(int argc, char** argv) {
     const auto storage = scenario.machine.make_storage();
     const auto leads = failure::LeadTimeModel::summit_default();
 
-    std::printf("pckpt_sim — %s, failure distribution %s, %zu paired runs\n\n",
+    // Campaign execution engine: a shared thread pool when more than one
+    // worker is useful, the serial executor otherwise.  Either way the
+    // trials run through the same fixed shard plan, so results are
+    // bit-identical for every --jobs value.
+    const std::size_t workers = exec::resolve_jobs(jobs);
+    std::unique_ptr<exec::ThreadPool> pool;
+    std::unique_ptr<exec::Executor> executor;
+    if (workers > 1) {
+      pool = std::make_unique<exec::ThreadPool>(workers);
+      executor = std::make_unique<exec::ThreadPoolExecutor>(*pool);
+    } else {
+      executor = std::make_unique<exec::SerialExecutor>();
+    }
+    std::unique_ptr<exec::JsonlSink> sink;
+    if (!jsonl_path.empty()) {
+      sink = std::make_unique<exec::JsonlSink>(jsonl_path, /*append=*/true);
+    }
+
+    std::printf("pckpt_sim — %s, failure distribution %s, %zu paired runs, "
+                "%zu worker(s)\n\n",
                 scenario.machine.name.c_str(), scenario.system.name.c_str(),
-                runs);
+                runs, workers);
 
     analysis::Table t({"application", "model", "ckpt(h)", "recomp(h)",
                        "recov(h)", "migr(h)", "total(h)", "%ofB", "FT",
@@ -104,14 +168,16 @@ int main(int argc, char** argv) {
       // The base model is always computed for normalization.
       auto base_cfg = scenario.cr;
       base_cfg.kind = core::ModelKind::kB;
-      const auto base = core::run_campaign(setup, base_cfg, runs, seed);
+      const auto base = core::run_campaign(setup, base_cfg, runs, seed,
+                                           *executor);
 
       for (auto kind : kinds) {
         auto cfg = scenario.cr;
         cfg.kind = kind;
         const auto r = kind == core::ModelKind::kB
                            ? base
-                           : core::run_campaign(setup, cfg, runs, seed);
+                           : core::run_campaign(setup, cfg, runs, seed,
+                                                *executor);
         t.add_row();
         t.cell(app.name)
             .cell(std::string(core::to_string(kind)))
@@ -124,8 +190,30 @@ int main(int argc, char** argv) {
                               base.total_overhead_s.mean(),
                           1)
             .cell(r.pooled_ft_ratio(), 3)
-            .cell(r.failures, 2)
+            .cell(r.failures_per_run(), 2)
             .cell(r.makespan_s.mean() / 3600.0, 1);
+        if (sink) {
+          exec::JsonlRow row;
+          row.add("bench", "pckpt_sim");
+          row.add("scenario", scenario.machine.name);
+          row.add("system", scenario.system.name);
+          row.add("app", app.name);
+          row.add("model", core::to_string(kind));
+          row.add("runs", runs);
+          row.add("seed", seed);
+          row.add("jobs", workers);
+          row.add("ckpt_h", r.checkpoint_h());
+          row.add("recomp_h", r.recomputation_h());
+          row.add("recov_h", r.recovery_h());
+          row.add("migr_h", r.migration_h());
+          row.add("total_h", r.total_overhead_h());
+          row.add("pct_of_base", 100.0 * r.total_overhead_s.mean() /
+                                     base.total_overhead_s.mean());
+          row.add("ft_ratio", r.pooled_ft_ratio());
+          row.add("failures_per_run", r.failures_per_run());
+          row.add("makespan_h", r.makespan_s.mean() / 3600.0);
+          sink->write(row);
+        }
       }
     }
     if (csv) {

@@ -26,6 +26,8 @@
 #include "core/simulation.hpp"
 #include "exec/result_sink.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/collector.hpp"
+#include "obs/trace_writer.hpp"
 #include "failure/lead_time_model.hpp"
 #include "failure/system_catalog.hpp"
 #include "workload/application.hpp"
@@ -40,6 +42,8 @@ struct Options {
   std::string system = "titan";
   std::string jsonl;  ///< JSONL output path; empty = stdout tables only
   bool csv = false;
+  std::string trace;  ///< semantic trace output path; empty = tracing off
+  obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
 };
 
 /// Parse a strictly-decimal unsigned integer; anything else (empty,
@@ -90,6 +94,20 @@ inline Options parse_options(int argc, char** argv) {
       opt.jsonl = v5;
     } else if (arg == "--csv") {
       opt.csv = true;
+    } else if (const char* v6 = value("--trace=")) {
+      if (*v6 == '\0') {
+        std::fprintf(stderr, "--trace: missing output path\n");
+        std::exit(2);
+      }
+      opt.trace = v6;
+    } else if (const char* v7 = value("--trace-format=")) {
+      try {
+        opt.trace_format = obs::trace_format_from_string(v7);
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "--trace-format: expected jsonl|chrome, got '%s'\n",
+                     v7);
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "options: --runs=N (default 200)  --seed=S (default 2022)\n"
@@ -97,6 +115,9 @@ inline Options parse_options(int argc, char** argv) {
           "concurrency)\n"
           "         --jsonl=PATH (machine-readable rows; see "
           "docs/EXECUTION.md)\n"
+          "         --trace=PATH (semantic run trace; see "
+          "docs/OBSERVABILITY.md)\n"
+          "         --trace-format=jsonl|chrome (default jsonl)\n"
           "         --system=titan|lanl8|lanl18  --csv\n");
       std::exit(0);
     } else {
@@ -163,12 +184,29 @@ class Engine {
         std::exit(2);
       }
     }
+    if (!opt_.trace.empty()) {
+      trace_out_.open(opt_.trace);
+      if (!trace_out_) {
+        std::fprintf(stderr, "--trace: cannot open '%s' for writing\n",
+                     opt_.trace.c_str());
+        std::exit(2);
+      }
+      trace_writer_ = obs::make_trace_writer(opt_.trace_format, trace_out_);
+    }
+  }
+
+  ~Engine() {
+    if (trace_writer_) trace_writer_->finish();
   }
 
   const Options& options() const noexcept { return opt_; }
   std::size_t jobs() const noexcept { return jobs_; }
   exec::Executor& executor() noexcept { return *executor_; }
   exec::JsonlSink* sink() noexcept { return sink_.get(); }
+  bool tracing() const noexcept { return trace_writer_ != nullptr; }
+  /// Rollup of everything traced so far (events.* / span_s.* entries);
+  /// empty unless --trace is active.
+  const obs::MetricsRegistry& metrics() const noexcept { return metrics_; }
 
   /// Run one campaign cell through the engine; emit its JSONL row.
   core::CampaignResult campaign(const core::RunSetup& setup,
@@ -177,8 +215,17 @@ class Engine {
                                 std::string_view model_label,
                                 Extras extras = {}) {
     const auto t0 = std::chrono::steady_clock::now();
+    obs::CampaignTraceCollector collector;
     auto result = core::run_campaign(setup, cfg, opt_.runs, opt_.seed,
-                                     *executor_);
+                                     *executor_, {},
+                                     trace_writer_ ? &collector : nullptr);
+    if (trace_writer_) {
+      std::string label(app);
+      label += '/';
+      label += model_label;
+      collector.write(*trace_writer_, label);
+      collector.summarize(metrics_);
+    }
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -235,6 +282,9 @@ class Engine {
   std::unique_ptr<exec::ThreadPool> pool_;
   std::unique_ptr<exec::Executor> executor_;
   std::unique_ptr<exec::JsonlSink> sink_;
+  std::ofstream trace_out_;
+  std::unique_ptr<obs::TraceWriter> trace_writer_;
+  obs::MetricsRegistry metrics_;
 };
 
 /// JSONL emission for the table-only binaries (no campaigns): write every

@@ -1,5 +1,6 @@
 #include "core/campaign.hpp"
 
+#include "obs/collector.hpp"
 #include "random/rng.hpp"
 
 namespace pckpt::core {
@@ -47,13 +48,18 @@ void CampaignResult::merge(const CampaignResult& other) {
 
 CampaignResult run_campaign_shard(const RunSetup& base, const CrConfig& config,
                                   std::size_t first_run, std::size_t last_run,
-                                  std::uint64_t base_seed) {
+                                  std::uint64_t base_seed,
+                                  obs::CampaignTraceCollector* trace) {
   CampaignResult shard;
   shard.kind = config.kind;
   shard.runs = last_run - first_run;
   for (std::size_t i = first_run; i < last_run; ++i) {
     RunSetup setup = base;
     setup.seed = rnd::derive_seed(base_seed, i);
+    if (trace != nullptr) {
+      setup.trace = &trace->sink_for(i);
+      setup.run_id = i;
+    }
     accumulate(shard, simulate_run(setup, config));
   }
   return shard;
@@ -62,13 +68,18 @@ CampaignResult run_campaign_shard(const RunSetup& base, const CrConfig& config,
 CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
                             std::size_t runs, std::uint64_t base_seed,
                             exec::Executor& ex,
-                            const exec::ProgressHook& progress) {
+                            const exec::ProgressHook& progress,
+                            obs::CampaignTraceCollector* trace) {
+  // Size the per-trial slots before any worker can touch them; after this
+  // the collector is data-race free (one slot per task, no growth).
+  if (trace != nullptr) trace->reset(runs);
   const auto plan = exec::plan_shards(runs);
   std::vector<CampaignResult> shards(plan.count());
   exec::run_sharded(
       ex, plan,
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
-        shards[shard] = run_campaign_shard(base, config, begin, end, base_seed);
+        shards[shard] =
+            run_campaign_shard(base, config, begin, end, base_seed, trace);
       },
       progress);
 

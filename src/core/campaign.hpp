@@ -20,6 +20,10 @@
 /// and shards merge in ascending order — so aggregates are bit-identical
 /// for any executor / thread count (see docs/EXECUTION.md).
 
+namespace pckpt::obs {
+class CampaignTraceCollector;
+}
+
 namespace pckpt::core {
 
 /// Aggregated outcome of a campaign for one model.
@@ -89,17 +93,25 @@ struct CampaignResult {
 /// Serially simulate trials `[first_run, last_run)` of a campaign; trial
 /// `i` uses seed `derive_seed(base_seed, i)` — keyed on the global trial
 /// index, so the result is independent of how trials are sharded.
+///
+/// When `trace` is non-null it must already be sized to the campaign's
+/// trial count; trial `i` emits into `trace->sink_for(i)` with
+/// `Event::run_id == i` (docs/OBSERVABILITY.md).
 CampaignResult run_campaign_shard(const RunSetup& base, const CrConfig& config,
                                   std::size_t first_run, std::size_t last_run,
-                                  std::uint64_t base_seed);
+                                  std::uint64_t base_seed,
+                                  obs::CampaignTraceCollector* trace = nullptr);
 
 /// Run `runs` simulations of `config` with seeds derived from `base_seed`
 /// on the given executor. Deterministic in (base, config, runs, base_seed)
-/// regardless of `ex`'s concurrency.
+/// regardless of `ex`'s concurrency. A non-null `trace` is reset to `runs`
+/// slots before dispatch and collects every trial's semantic events; the
+/// collected bytes are `--jobs`-independent (see obs/collector.hpp).
 CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
                             std::size_t runs, std::uint64_t base_seed,
                             exec::Executor& ex,
-                            const exec::ProgressHook& progress = {});
+                            const exec::ProgressHook& progress = {},
+                            obs::CampaignTraceCollector* trace = nullptr);
 
 /// Serial convenience overload (tests, examples): same chunked schedule on
 /// an inline executor, so it matches the parallel path bit-for-bit.

@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/trace_sink.hpp"
 #include "sim/sim.hpp"
 
 namespace pckpt::core::protocol {
@@ -113,6 +114,12 @@ class Round {
     ++transitions_;
   }
 
+  void emit(obs::Event e) {
+    if (cfg_.trace == nullptr) return;
+    e.run_id = cfg_.run_id;
+    cfg_.trace->emit(e);
+  }
+
   /// Pick the next phase-1 writer per the configured policy.
   std::size_t pick_next() const {
     std::size_t best = 0;
@@ -140,13 +147,22 @@ class Round {
   sim::Process vulnerable_node(VulnerableSpec spec) {
     if (spec.arrival_s > 0.0) co_await env_.timeout(spec.arrival_s);
     note_transition(spec.node, NodeState::kVulnerable);
+    emit(obs::Event::instant(obs::Category::kProtocol, "round_vulnerable",
+                             env_.now(),
+                             obs::kTrackNodeBase + spec.node)
+             .with("node", spec.node)
+             .with("deadline_s", spec.arrival_s + spec.lead_s));
     queue_.push_back(
         QueueEntry{spec.node, spec.arrival_s + spec.lead_s, next_order_++});
     if (!round_started_) {
       round_started_ = true;
       // The initiating node broadcasts the p-ckpt request to everyone.
+      const double bcast_t0 = env_.now();
       co_await env_.timeout(cfg_.broadcast_seconds());
       result_.coordination_s += cfg_.broadcast_seconds();
+      emit(obs::Event::span(obs::Category::kProtocol, "round_request_bcast",
+                            bcast_t0, env_.now(), obs::kTrackRound)
+               .with("node", spec.node));
       pckpt_notice_->succeed();
     }
   }
@@ -162,6 +178,10 @@ class Round {
 
   sim::Process coordinator() {
     co_await pckpt_notice_;
+    emit(obs::Event::instant(obs::Category::kProtocol, "round_begin",
+                             env_.now(), obs::kTrackRound)
+             .with("nodes", cfg_.nodes)
+             .with("vulnerable", static_cast<double>(specs_.size())));
     // ------------------------------------------------------ phase 1
     const double t1_start = env_.now();
     const double write_s = cfg_.per_node_gb / cfg_.single_node_bw_gbps;
@@ -177,17 +197,27 @@ class Round {
       const QueueEntry entry = queue_[idx];
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
       note_transition(entry.node, NodeState::kPhase1Writing);
+      const double w0 = env_.now();
       co_await env_.timeout(write_s);
       commit_time_[static_cast<std::size_t>(entry.node)] = env_.now();
       note_transition(entry.node, NodeState::kNormal);
+      emit(obs::Event::span(obs::Category::kProtocol, "round_phase1_write",
+                            w0, env_.now(),
+                            obs::kTrackNodeBase + entry.node)
+               .with("node", entry.node)
+               .with("deadline_s", entry.deadline_s));
       result_.commit_order.push_back(entry.node);
       ++processed;
     }
     result_.phase1_s = env_.now() - t1_start;
 
     // --------------------------------------- pfs-commit broadcast
+    const double c0 = env_.now();
     co_await env_.timeout(cfg_.broadcast_seconds());
     result_.coordination_s += cfg_.broadcast_seconds();
+    emit(obs::Event::span(obs::Category::kProtocol, "round_commit_bcast", c0,
+                          env_.now(), obs::kTrackRound)
+             .with("phase1_commits", static_cast<double>(processed)));
     pfs_commit_->succeed();
 
     // ------------------------------------------------------ phase 2
@@ -208,12 +238,24 @@ class Round {
     }
     queue_.clear();
     result_.phase2_s = env_.now() - t2_start;
+    emit(obs::Event::span(obs::Category::kProtocol, "round_phase2_write",
+                          t2_start, env_.now(), obs::kTrackRound)
+             .with("writers", healthy));
 
     // ------------------------------------------------- final barrier
+    const double b0 = env_.now();
     co_await env_.timeout(cfg_.broadcast_seconds());
     result_.coordination_s += cfg_.broadcast_seconds();
     phase2_done_->succeed();
     result_.total_s = env_.now();
+    emit(obs::Event::span(obs::Category::kProtocol, "round_barrier", b0,
+                          env_.now(), obs::kTrackRound));
+    emit(obs::Event::instant(obs::Category::kProtocol, "round_end",
+                             env_.now(), obs::kTrackRound)
+             .with("total_s", result_.total_s)
+             .with("phase1_s", result_.phase1_s)
+             .with("phase2_s", result_.phase2_s)
+             .with("coordination_s", result_.coordination_s));
   }
 
   ProtocolConfig cfg_;

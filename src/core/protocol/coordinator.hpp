@@ -1,9 +1,14 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/protocol/node_state.hpp"
+
+namespace pckpt::obs {
+class TraceSink;
+}
 
 /// \file coordinator.hpp
 /// Node-granularity simulation of ONE coordinated prioritized checkpoint
@@ -37,6 +42,13 @@ struct ProtocolConfig {
   /// (calibrated so 2048 nodes ~= 8 us, as measured on Summit).
   double broadcast_base_us = 8.0 / 11.0;
   QueuePolicy policy = QueuePolicy::kLeadTime;
+
+  /// Optional semantic trace sink (null = off; not part of validate()).
+  /// Round events land on `obs::kTrackRound`, per-node writes on the
+  /// node tracks — see docs/OBSERVABILITY.md.
+  obs::TraceSink* trace = nullptr;
+  /// `Event::run_id` stamped into emitted events.
+  std::uint64_t run_id = 0;
 
   void validate() const;
 

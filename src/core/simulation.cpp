@@ -4,10 +4,12 @@
 #include <cassert>
 #include <cmath>
 #include <deque>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
 #include "core/oci.hpp"
+#include "obs/trace_sink.hpp"
 
 namespace pckpt::core {
 
@@ -53,11 +55,27 @@ struct RecoveryPlan {
   double duration_s = 0;
 };
 
+/// One live-migration attempt in flight (keyed by prediction key).
+struct LmInfo {
+  std::uint64_t generation = 0;
+  double start_s = 0;
+  int node = 0;
+};
+
+/// A pending prediction: the estimated failure deadline plus the victim
+/// node (the node is what lets trace events land on per-node tracks).
+struct PendingPrediction {
+  double deadline_s = 0;
+  int node = 0;
+};
+
 class Run {
  public:
   Run(const RunSetup& setup, const CrConfig& config)
       : setup_(setup),
         cfg_(config),
+        sink_(setup.trace),
+        run_id_(setup.run_id),
         trace_(*setup.system, setup.app->nodes, *setup.leads,
                config.predictor, setup.seed,
                setup.app->compute_seconds() * 1.5 + 48.0 * 3600.0),
@@ -80,11 +98,27 @@ class Run {
   }
 
   RunResult execute() {
+    std::unique_ptr<obs::KernelTraceBridge> kernel_bridge;
+    if (sink_ != nullptr && setup_.trace_kernel) {
+      kernel_bridge =
+          std::make_unique<obs::KernelTraceBridge>(*sink_, run_id_);
+      env_.set_tracer(kernel_bridge.get());
+    }
+    if (sink_ != nullptr) {
+      emit(obs::Event::instant(obs::Category::kRun, "run_begin", 0.0,
+                               obs::kTrackApp)
+               .with("nodes", nodes_)
+               .with("work_s", total_work_)
+               .with("model", static_cast<double>(cfg_.kind))
+               .with("theta_lm_s", theta_lm_s_)
+               .with("sigma", sigma_));
+    }
     auto app = env_.spawn(app_process()).named("app");
     app_ = app.state();
     auto injector = env_.spawn(injector_process()).named("injector");
     injector_ = injector.state();
     env_.run();
+    env_.set_tracer(nullptr);
     if (!env_.process_errors().empty()) {
       std::rethrow_exception(env_.process_errors().front().second);
     }
@@ -105,15 +139,24 @@ class Run {
     // All decisions run on the predictor's ESTIMATE of the lead; the
     // actual failure timing comes from the trace's failure event.
     const double deadline = env_.now() + ev.predicted_lead_s;
+    if (sink_ != nullptr) {
+      emit(instant(obs::Category::kPrediction,
+                   ev.is_false_positive() ? "prediction_fp" : "prediction_tp",
+                   node_track(ev.node))
+               .with("node", ev.node)
+               .with("lead_s", ev.lead_s)
+               .with("predicted_lead_s", ev.predicted_lead_s)
+               .with("deadline_s", deadline));
+    }
     if (cfg_.kind == ModelKind::kB) return;  // base model: no prediction use
     if (ev.is_false_positive()) ++result_.false_positives;
     mark_event(ev.is_false_positive() ? MarkerKind::kFalsePositive
                                       : MarkerKind::kPrediction);
-    pending_predictions_[key] = deadline;
-    decide(key, deadline, ev.predicted_lead_s);
+    pending_predictions_[key] = PendingPrediction{deadline, ev.node};
+    decide(key, deadline, ev.predicted_lead_s, ev.node);
   }
 
-  void decide(std::size_t key, double deadline, double lead_s) {
+  void decide(std::size_t key, double deadline, double lead_s, int node) {
     switch (cfg_.kind) {
       case ModelKind::kB:
         return;
@@ -123,13 +166,13 @@ class Run {
         return;
       case ModelKind::kM2:
         if (lead_s >= cfg_.lm_safety_margin * theta_lm_s_) {
-          start_lm(key);
+          start_lm(key, node);
         }
         // M2 has no fallback for short leads (the gap p-ckpt fills).
         return;
       case ModelKind::kP2:
         if (lead_s >= cfg_.lm_safety_margin * theta_lm_s_) {
-          start_lm(key);
+          start_lm(key, node);
         } else {
           abort_inflight_lms_into_queue();
           enqueue_proactive(key, deadline);
@@ -205,33 +248,46 @@ class Run {
     return wait;
   }
 
-  void start_lm(std::size_t key) {
+  void start_lm(std::size_t key, int node) {
     if (!try_acquire_spare()) {
       // No migration target available: fall back to p-ckpt in the hybrid
       // model; M2 has no fallback.
       if (cfg_.kind == ModelKind::kP2) {
         auto it = pending_predictions_.find(key);
-        if (it != pending_predictions_.end() && it->second > env_.now()) {
-          enqueue_proactive(key, it->second);
+        if (it != pending_predictions_.end() &&
+            it->second.deadline_s > env_.now()) {
+          enqueue_proactive(key, it->second.deadline_s);
         }
       }
       return;
     }
     ++result_.lm_attempts;
     mark_event(MarkerKind::kLmStart);
+    if (sink_ != nullptr) {
+      emit(instant(obs::Category::kMigration, "lm_begin", node_track(node))
+               .with("node", node)
+               .with("theta_s", theta_lm_s_));
+    }
     const auto generation = ++lm_generation_;
-    lm_active_[key] = generation;
+    lm_active_[key] = LmInfo{generation, env_.now(), node};
     auto ev = env_.timeout(theta_lm_s_);
     ev->add_callback([this, key, generation](sim::EventCore&) {
       if (done_) return;
       auto it = lm_active_.find(key);
-      if (it == lm_active_.end() || it->second != generation) {
+      if (it == lm_active_.end() || it->second.generation != generation) {
         return;  // aborted, or overtaken by the failure
       }
+      const LmInfo info = it->second;
       lm_active_.erase(it);
       lm_done_.insert(key);
       pending_predictions_.erase(key);
       mark_event(MarkerKind::kLmComplete);
+      if (sink_ != nullptr) {
+        emit(obs::Event::span(obs::Category::kMigration, "lm_migrate",
+                              info.start_s, env_.now(),
+                              node_track(info.node))
+                 .with("node", info.node));
+      }
       node_enters_repair();  // the drained node is checked out / repaired
       const double stall = cfg_.lm_runtime_dilation * theta_lm_s_;
       if (stall > 0.0 && phase_ == Phase::kCompute) {
@@ -244,11 +300,17 @@ class Run {
   /// Fig. 5: a short-lead prediction aborts in-flight LMs; the nodes being
   /// migrated are still vulnerable and join the p-ckpt priority queue.
   void abort_inflight_lms_into_queue() {
-    for (const auto& [key, gen] : lm_active_) {
+    for (const auto& [key, info] : lm_active_) {
       ++result_.lm_aborts;
+      if (sink_ != nullptr) {
+        emit(instant(obs::Category::kMigration, "lm_abort",
+                     node_track(info.node))
+                 .with("node", info.node));
+      }
       auto it = pending_predictions_.find(key);
-      const double deadline =
-          it != pending_predictions_.end() ? it->second : env_.now();
+      const double deadline = it != pending_predictions_.end()
+                                  ? it->second.deadline_s
+                                  : env_.now();
       if (deadline > env_.now()) {
         queue_.insert(VulnerableEntry{deadline, key});
       }
@@ -265,6 +327,14 @@ class Run {
       if (f.predicted) ++result_.predicted;
       ++result_.mitigated_lm;
       lm_done_.erase(fi);
+      if (sink_ != nullptr) {
+        emit(instant(obs::Category::kFailure, "failure", node_track(f.node))
+                 .with("fi", static_cast<double>(fi))
+                 .with("node", f.node)
+                 .with("predicted", f.predicted ? 1 : 0)
+                 .with("committed", 0)
+                 .with("outcome", 2));  // mitigated by live migration
+      }
       return;
     }
     ++result_.failures;
@@ -279,6 +349,14 @@ class Run {
       ++result_.mitigated_ckpt;
     } else {
       ++result_.unhandled;
+    }
+    if (sink_ != nullptr) {
+      emit(instant(obs::Category::kFailure, "failure", node_track(f.node))
+               .with("fi", static_cast<double>(fi))
+               .with("node", f.node)
+               .with("predicted", f.predicted ? 1 : 0)
+               .with("committed", committed ? 1 : 0)
+               .with("outcome", committed ? 1 : 0));
     }
     strikes_.push_back(FailureStrike{fi, committed});
     app_->interrupt();
@@ -309,15 +387,61 @@ class Run {
   }
 
   /// Timeline instrumentation (no-ops unless cfg_.record_timeline).
+  /// When a trace sink is attached, the same points also emit phase
+  /// spans — the two instruments stay in lockstep by construction.
   void mark(PhaseKind kind, double t0) {
     if (cfg_.record_timeline) {
       result_.timeline.add_segment(kind, t0, env_.now());
+    }
+    if (sink_ != nullptr && env_.now() > t0) {
+      static constexpr struct {
+        const char* name;
+        obs::Category cat;
+      } kPhaseEvent[] = {
+          {"compute", obs::Category::kPhase},
+          {"ckpt_bb", obs::Category::kCheckpoint},
+          {"pckpt_phase1", obs::Category::kCheckpoint},
+          {"pckpt_phase2", obs::Category::kCheckpoint},
+          {"recovery", obs::Category::kRecovery},
+          {"stall", obs::Category::kMigration},
+      };
+      const auto& ev = kPhaseEvent[static_cast<std::size_t>(kind)];
+      emit(obs::Event::span(ev.cat, ev.name, t0, env_.now(), obs::kTrackApp));
     }
   }
   void mark_event(MarkerKind kind) {
     if (cfg_.record_timeline) {
       result_.timeline.add_marker(kind, env_.now());
     }
+  }
+
+  // ------------------------------------------------------------------
+  // Semantic trace emission (docs/OBSERVABILITY.md). All helpers are
+  // no-ops when no sink is attached; the hot path pays one null check.
+  // ------------------------------------------------------------------
+
+  void emit(obs::Event e) {
+    e.run_id = run_id_;
+    sink_->emit(e);
+  }
+
+  obs::Event instant(obs::Category cat, const char* name,
+                     std::int32_t track) const {
+    return obs::Event::instant(cat, name, env_.now(), track);
+  }
+
+  static std::int32_t node_track(int node) {
+    return obs::kTrackNodeBase + node;
+  }
+
+  /// Victim node for a prediction key (failure index or FP key); falls
+  /// back to -kTrackNodeBase (track 0 would collide with the app lane)
+  /// when the pending entry is already gone.
+  int node_of_key(std::size_t key) const {
+    if (key < kFpBase) return trace_.failures()[key].node;
+    auto it = pending_predictions_.find(key);
+    return it != pending_predictions_.end() ? it->second.node
+                                            : -obs::kTrackNodeBase;
   }
 
   RecoveryPlan plan_recovery() const {
@@ -372,17 +496,17 @@ class Run {
   /// in-progress proactive action: nodes still expected to fail get a new
   /// chance at mitigation (LM or p-ckpt) with their remaining lead time.
   void reinitiate_pending_predictions() {
-    std::vector<std::pair<std::size_t, double>> live;
+    std::vector<std::pair<std::size_t, PendingPrediction>> live;
     for (auto it = pending_predictions_.begin();
          it != pending_predictions_.end();) {
-      if (it->second <= env_.now() + kEps) {
+      if (it->second.deadline_s <= env_.now() + kEps) {
         it = pending_predictions_.erase(it);  // stale (FP deadline passed)
       } else {
         live.emplace_back(it->first, it->second);
         ++it;
       }
     }
-    for (const auto& [key, deadline] : live) {
+    for (const auto& [key, pending] : live) {
       if (lm_active_.count(key) || lm_done_.count(key) ||
           committed_.count(key)) {
         continue;  // already being handled
@@ -390,7 +514,8 @@ class Run {
       bool queued = phase2_pending_.count(key) > 0;
       for (const auto& e : queue_) queued = queued || e.key == key;
       if (queued) continue;
-      decide(key, deadline, deadline - env_.now());
+      decide(key, pending.deadline_s, pending.deadline_s - env_.now(),
+             pending.node);
     }
   }
 
@@ -427,13 +552,21 @@ class Run {
     // Spectral-style throttled bleed-off: at most `drain_concurrency` nodes
     // write concurrently, so the whole job's data moves at that subset's
     // aggregate bandwidth.
+    const double t0 = env_.now();
     const double drain_nodes =
         std::min(nodes_, static_cast<double>(cfg_.drain_concurrency));
     const double bw =
         setup_.storage->matrix().bandwidth(drain_nodes, per_node_gb_);
     co_await env_.timeout(nodes_ * per_node_gb_ / bw);
-    if (epoch == drain_epoch_ && !done_) {
+    const bool committed = epoch == drain_epoch_ && !done_;
+    if (committed) {
       periodic_restore_ = std::max(periodic_restore_, progress);
+    }
+    if (sink_ != nullptr) {
+      emit(obs::Event::span(obs::Category::kDrain, "pfs_drain", t0,
+                            env_.now(), obs::kTrackDrain)
+               .with("progress", progress)
+               .with("committed", committed ? 1 : 0));
     }
   }
 
@@ -495,6 +628,11 @@ class Run {
           double remaining = setup_.storage->bb_write_seconds(per_node_gb_);
           next = Next::kCompute;
           bool completed = true;
+          if (sink_ != nullptr) {
+            emit(instant(obs::Category::kCheckpoint, "ckpt_bb_begin",
+                         obs::kTrackApp)
+                     .with("write_s", remaining));
+          }
           while (remaining > kEps) {
             const double t0 = env_.now();
             try {
@@ -523,6 +661,11 @@ class Run {
               break;
             }
           }
+          if (sink_ != nullptr) {
+            emit(instant(obs::Category::kCheckpoint, "ckpt_bb_end",
+                         obs::kTrackApp)
+                     .with("completed", completed ? 1 : 0));
+          }
           if (completed) {
             ++result_.periodic_ckpts;
             env_.spawn(drain_process(work_done_, drain_epoch_))
@@ -540,6 +683,13 @@ class Run {
           round_commits_.clear();
           bool aborted = false;
           bool have_pending_handled_strike = false;
+          if (sink_ != nullptr) {
+            emit(instant(obs::Category::kProtocol, "pckpt_round_begin",
+                         obs::kTrackRound)
+                     .with("queued", static_cast<double>(queue_.size() +
+                                                         phase2_pending_.size()))
+                     .with("pckpt", uses_pckpt(cfg_.kind) ? 1 : 0));
+          }
 
           if (!uses_pckpt(cfg_.kind)) {
             // Safeguard: every node writes in one bulk PFS transfer; all
@@ -590,6 +740,12 @@ class Run {
             if (!aborted && remaining <= kEps) {
               committed_.insert(entry.key);
               round_commits_.push_back(entry.key);
+              if (sink_ != nullptr) {
+                emit(instant(obs::Category::kProtocol, "pckpt_commit",
+                             node_track(node_of_key(entry.key)))
+                         .with("key", static_cast<double>(entry.key))
+                         .with("deadline_s", entry.deadline_s));
+              }
               pending_predictions_.erase(entry.key);
             }
           }
@@ -636,12 +792,24 @@ class Run {
             for (std::size_t key : phase2_pending_) {
               committed_.insert(key);
               round_commits_.push_back(key);
+              if (sink_ != nullptr) {
+                emit(instant(obs::Category::kProtocol, "pckpt_commit",
+                             node_track(node_of_key(key)))
+                         .with("key", static_cast<double>(key)));
+              }
               pending_predictions_.erase(key);
             }
             phase2_pending_.clear();
             proactive_restore_ = std::max(proactive_restore_, work_done_);
             ++result_.proactive_ckpts;
             proactive_active_ = false;
+            if (sink_ != nullptr) {
+              emit(instant(obs::Category::kProtocol, "pckpt_round_end",
+                           obs::kTrackRound)
+                       .with("aborted", 0)
+                       .with("commits",
+                             static_cast<double>(round_commits_.size())));
+            }
             if (have_pending_handled_strike || !strikes_.empty()) {
               recovery_plan = plan_recovery();
               next = Next::kRecovery;
@@ -665,6 +833,12 @@ class Run {
               }
             }
             for (std::size_t key : round_commits_) committed_.erase(key);
+            if (sink_ != nullptr) {
+              emit(instant(obs::Category::kProtocol, "pckpt_round_end",
+                           obs::kTrackRound)
+                       .with("aborted", 1)
+                       .with("commits", 0));
+            }
             round_commits_.clear();
             queue_.clear();
             phase2_pending_.clear();
@@ -685,6 +859,13 @@ class Run {
               std::max(0.0, work_done_ - recovery_plan.restore_progress);
           result_.overheads.recomputation_s += loss;
           work_done_ = recovery_plan.restore_progress;
+          if (sink_ != nullptr) {
+            emit(instant(obs::Category::kRecovery, "restart", obs::kTrackApp)
+                     .with("loss_s", loss)
+                     .with("from_proactive",
+                           recovery_plan.from_proactive ? 1 : 0)
+                     .with("duration_s", recovery_plan.duration_s));
+          }
           // The failed node needs a replacement; with a finite pool the
           // recovery stalls until one is repaired.
           double remaining = recovery_plan.duration_s + acquire_spare_wait();
@@ -707,6 +888,11 @@ class Run {
                 check_makespan_guard();
                 strikes_.clear();
                 remaining = plan_recovery().duration_s + acquire_spare_wait();
+                if (sink_ != nullptr) {
+                  emit(instant(obs::Category::kRecovery, "recovery_restart",
+                               obs::kTrackApp)
+                           .with("duration_s", remaining));
+                }
               } else if (w == Wake::kStall) {
                 pending_stall_s_ = 0.0;
               }
@@ -764,6 +950,26 @@ class Run {
     phase_ = Phase::kDone;
     done_ = true;
     result_.makespan_s = env_.now();
+    if (sink_ != nullptr) {
+      // Counters are final here; only trailing pfs_drain spans (in-flight
+      // BB drains completing after the app) may follow this event.
+      emit(instant(obs::Category::kRun, "run_end", obs::kTrackApp)
+               .with("makespan_s", result_.makespan_s)
+               .with("failures", static_cast<double>(result_.failures))
+               .with("predicted", static_cast<double>(result_.predicted))
+               .with("mitigated_ckpt",
+                     static_cast<double>(result_.mitigated_ckpt))
+               .with("mitigated_lm", static_cast<double>(result_.mitigated_lm))
+               .with("unhandled", static_cast<double>(result_.unhandled))
+               .with("false_positives",
+                     static_cast<double>(result_.false_positives))
+               .with("periodic_ckpts",
+                     static_cast<double>(result_.periodic_ckpts))
+               .with("proactive_ckpts",
+                     static_cast<double>(result_.proactive_ckpts))
+               .with("lm_attempts", static_cast<double>(result_.lm_attempts))
+               .with("lm_aborts", static_cast<double>(result_.lm_aborts)));
+    }
     injector_->interrupt();
     co_return;
   }
@@ -773,6 +979,8 @@ class Run {
   sim::Environment env_;
   const RunSetup& setup_;
   CrConfig cfg_;
+  obs::TraceSink* sink_ = nullptr;  // null = tracing off (the default)
+  std::uint64_t run_id_ = 0;
   failure::FailureTrace trace_;
   RunResult result_;
 
@@ -801,11 +1009,11 @@ class Run {
   int round_phase_ = 1;
 
   // Live migration state.
-  std::map<std::size_t, std::uint64_t> lm_active_;  // key -> generation
+  std::map<std::size_t, LmInfo> lm_active_;
   std::set<std::size_t> lm_done_;
   std::uint64_t lm_generation_ = 0;
 
-  std::map<std::size_t, double> pending_predictions_;  // key -> deadline
+  std::map<std::size_t, PendingPrediction> pending_predictions_;
   std::vector<double> repair_ends_;  // replacement-pool repair completions
   std::size_t spares_available_ = 0;
   double makespan_guard_s_ = 0;

@@ -23,6 +23,10 @@
 /// trace; the controller reacts per the configured model (B/M1/M2/P1/P2),
 /// implementing the hybrid p-ckpt state machine of Fig. 5.
 
+namespace pckpt::obs {
+class TraceSink;
+}
+
 namespace pckpt::core {
 
 /// Immutable description of one run's environment (shared across the
@@ -34,6 +38,16 @@ struct RunSetup {
   const failure::FailureSystem* system = nullptr;
   const failure::LeadTimeModel* leads = nullptr;
   std::uint64_t seed = 1;
+
+  /// Optional semantic trace sink for this run (null = tracing off, the
+  /// default; the only cost then is one branch per emission site).
+  /// Event vocabulary and determinism contract: docs/OBSERVABILITY.md.
+  obs::TraceSink* trace = nullptr;
+  /// Global trial index stamped into every emitted event (`Event::run_id`).
+  std::uint64_t run_id = 0;
+  /// Also emit DES-kernel events (schedule/fire/interrupt) — verbose,
+  /// off by default; has no effect unless `trace` is set.
+  bool trace_kernel = false;
 };
 
 /// Simulate one run; deterministic in (setup.seed, config).

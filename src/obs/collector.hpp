@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_sink.hpp"
+#include "obs/trace_writer.hpp"
+
+/// \file collector.hpp
+/// Per-campaign trace collection that preserves the execution engine's
+/// determinism contract (docs/EXECUTION.md): every trial gets its own
+/// `MemoryTraceSink` slot addressed by the *global trial index*, worker
+/// threads only ever touch their own trial's slot, and serialization
+/// happens on the calling thread in ascending trial order after the
+/// campaign completes. Trace bytes are therefore identical for any
+/// `--jobs` value — the same argument that makes `CampaignResult`
+/// merging bit-identical.
+
+namespace pckpt::obs {
+
+class CampaignTraceCollector {
+ public:
+  CampaignTraceCollector() = default;
+  explicit CampaignTraceCollector(std::size_t trials) { reset(trials); }
+
+  /// Pre-size the per-trial buffers. Must be called (by the campaign
+  /// runner) before any worker dispatch; the slot array never grows
+  /// during a run, so `sink_for` stays data-race free across workers.
+  void reset(std::size_t trials) {
+    buffers_.clear();
+    buffers_.resize(trials);
+  }
+
+  std::size_t trials() const noexcept { return buffers_.size(); }
+
+  /// The sink for one trial. Thread-safe under the engine's discipline:
+  /// distinct trials are owned by distinct tasks.
+  TraceSink& sink_for(std::size_t trial) { return buffers_.at(trial); }
+
+  const std::vector<Event>& events_for(std::size_t trial) const {
+    return buffers_.at(trial).events();
+  }
+
+  std::size_t total_events() const noexcept {
+    std::size_t n = 0;
+    for (const auto& b : buffers_) n += b.size();
+    return n;
+  }
+
+  /// Serialize every trial's events in ascending trial order under the
+  /// given campaign label. Deterministic in the collected events alone.
+  void write(TraceWriter& writer, std::string_view label) const {
+    writer.begin_campaign(label);
+    for (const auto& buffer : buffers_) {
+      for (const Event& e : buffer.events()) writer.write(e);
+    }
+  }
+
+  /// Roll per-event counts and span durations into `metrics`:
+  /// `events.<name>` counters, `span_s.<name>` duration stats, and an
+  /// overall `events.total` counter. Iterates trials in ascending order
+  /// so registry insertion order is deterministic.
+  void summarize(MetricsRegistry& metrics) const {
+    for (const auto& buffer : buffers_) {
+      for (const Event& e : buffer.events()) summarize_event(metrics, e);
+    }
+  }
+
+  /// Single-event rollup, shared with tests and ad-hoc sinks.
+  static void summarize_event(MetricsRegistry& metrics, const Event& e) {
+    ++metrics.counter("events.total");
+    ++metrics.counter(std::string("events.") + e.name);
+    if (!e.is_instant()) {
+      metrics.stat(std::string("span_s.") + e.name).add(e.duration_s());
+    }
+  }
+
+ private:
+  std::vector<MemoryTraceSink> buffers_;
+};
+
+}  // namespace pckpt::obs

@@ -1,0 +1,124 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+/// \file event.hpp
+/// The typed trace record of the observability layer. One `Event` is
+/// either an *instant* (t0 == t1: a prediction arrived, a failure
+/// struck) or a *span* (t0 < t1: a burst-buffer write, a recovery).
+///
+/// Design constraints, in priority order:
+///  1. Deterministic: an event is a pure value; serializing the same
+///     event sequence always yields the same bytes (see
+///     docs/OBSERVABILITY.md for the determinism contract).
+///  2. Cheap: no heap allocation per event. Names and field keys are
+///     static string literals (`const char*` by contract); payloads are
+///     a fixed-capacity array of numeric fields.
+///  3. Self-describing: every event carries the simulation time window,
+///     the global trial index (`run_id`), a category, a track (which
+///     simulated node/process lane it belongs to) and named fields.
+
+namespace pckpt::obs {
+
+/// Coarse event taxonomy; used for filtering and for metrics rollups.
+enum class Category : std::uint8_t {
+  kRun,         ///< run lifecycle (run_begin / run_end)
+  kPhase,       ///< application phase spans (compute, stall)
+  kCheckpoint,  ///< BB + proactive checkpoint activity
+  kDrain,       ///< asynchronous BB -> PFS drains
+  kPrediction,  ///< predictor events (true and false positives)
+  kFailure,     ///< failure strikes
+  kRecovery,    ///< restore / restart activity
+  kMigration,   ///< live-migration activity
+  kProtocol,    ///< p-ckpt protocol round phases
+  kKernel,      ///< DES kernel mechanics (schedule / fire / interrupt)
+};
+
+std::string_view to_string(Category c);
+
+/// Track (lane) identifiers. Tracks map to Chrome-trace threads: one
+/// per simulated node plus a few well-known process lanes.
+inline constexpr std::int32_t kTrackApp = 0;     ///< application controller
+inline constexpr std::int32_t kTrackDrain = 1;   ///< BB->PFS drain process
+inline constexpr std::int32_t kTrackKernel = 2;  ///< DES kernel events
+inline constexpr std::int32_t kTrackRound = 3;   ///< protocol coordinator
+/// Node `n` reports on track `kTrackNodeBase + n`.
+inline constexpr std::int32_t kTrackNodeBase = 8;
+
+/// Human-readable track label ("app", "drain", "node 17", ...) written
+/// into an internal buffer-free snippet; used by the writers.
+std::string_view track_label_prefix(std::int32_t track);
+
+struct Event {
+  /// Payload capacity. `run_end` is the widest emitter (11 fields).
+  static constexpr std::size_t kMaxFields = 12;
+
+  /// One named numeric payload entry. `key` must be a string literal
+  /// (or otherwise outlive the event).
+  struct Field {
+    const char* key = "";
+    double value = 0.0;
+  };
+
+  double t0_s = 0.0;  ///< start time (== t1_s for instants)
+  double t1_s = 0.0;  ///< end time; also the emission time
+  std::uint64_t run_id = 0;  ///< global trial index within a campaign
+  std::int32_t track = kTrackApp;
+  Category category = Category::kRun;
+  const char* name = "";  ///< static string literal by contract
+  std::array<Field, kMaxFields> fields{};
+  std::size_t field_count = 0;
+
+  bool is_instant() const noexcept { return t1_s == t0_s; }
+  double duration_s() const noexcept { return t1_s - t0_s; }
+
+  /// Append a payload field; silently drops past capacity (callers emit
+  /// fixed field sets well under `kMaxFields`).
+  Event& with(const char* key, double value) noexcept {
+    if (field_count < kMaxFields) {
+      fields[field_count++] = Field{key, value};
+    }
+    return *this;
+  }
+
+  /// Look up a field by key; returns `fallback` when absent.
+  double field(std::string_view key, double fallback = 0.0) const noexcept {
+    for (std::size_t i = 0; i < field_count; ++i) {
+      if (key == fields[i].key) return fields[i].value;
+    }
+    return fallback;
+  }
+  bool has_field(std::string_view key) const noexcept {
+    for (std::size_t i = 0; i < field_count; ++i) {
+      if (key == fields[i].key) return true;
+    }
+    return false;
+  }
+
+  static Event instant(Category cat, const char* name, double t_s,
+                       std::int32_t track) noexcept {
+    Event e;
+    e.t0_s = t_s;
+    e.t1_s = t_s;
+    e.track = track;
+    e.category = cat;
+    e.name = name;
+    return e;
+  }
+
+  static Event span(Category cat, const char* name, double t0_s, double t1_s,
+                    std::int32_t track) noexcept {
+    Event e;
+    e.t0_s = t0_s;
+    e.t1_s = t1_s;
+    e.track = track;
+    e.category = cat;
+    e.name = name;
+    return e;
+  }
+};
+
+}  // namespace pckpt::obs

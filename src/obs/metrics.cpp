@@ -1,0 +1,137 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+#include "exec/result_sink.hpp"
+
+namespace pckpt::obs {
+
+std::uint64_t& MetricsRegistry::counter(std::string_view name) {
+  auto it = counter_index_.find(std::string(name));
+  if (it == counter_index_.end()) {
+    counters_.emplace_back(std::string(name), 0);
+    it = counter_index_.emplace(std::string(name), counters_.size() - 1).first;
+  }
+  return counters_[it->second].second;
+}
+
+stats::OnlineStats& MetricsRegistry::stat(std::string_view name) {
+  auto it = stat_index_.find(std::string(name));
+  if (it == stat_index_.end()) {
+    stats_.emplace_back(std::string(name), stats::OnlineStats{});
+    it = stat_index_.emplace(std::string(name), stats_.size() - 1).first;
+  }
+  return stats_[it->second].second;
+}
+
+stats::Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
+                                             double hi, std::size_t bins) {
+  auto it = histogram_index_.find(std::string(name));
+  if (it == histogram_index_.end()) {
+    NamedHistogram h;
+    h.name.assign(name);
+    h.lo = lo;
+    h.hi = hi;
+    h.bins = bins;
+    h.hist = std::make_unique<stats::Histogram>(lo, hi, bins);
+    histograms_.push_back(std::move(h));
+    it = histogram_index_.emplace(std::string(name), histograms_.size() - 1)
+             .first;
+  }
+  const NamedHistogram& h = histograms_[it->second];
+  if (h.lo != lo || h.hi != hi || h.bins != bins) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" +
+                                std::string(name) +
+                                "' re-registered with a different shape");
+  }
+  return *histograms_[it->second].hist;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) counter(name) += value;
+  for (const auto& [name, s] : other.stats_) stat(name).merge(s);
+  for (const auto& h : other.histograms_) {
+    stats::Histogram& mine = histogram(h.name, h.lo, h.hi, h.bins);
+    // Histogram has no native merge; replay bin mid-points bin by bin.
+    for (std::size_t b = 0; b < h.hist->bins(); ++b) {
+      const double mid = h.hist->bin_lo(b) + 0.5 * h.hist->bin_width();
+      for (std::size_t n = 0; n < h.hist->bin_count(b); ++n) mine.add(mid);
+    }
+    for (std::size_t n = 0; n < h.hist->underflow(); ++n) {
+      mine.add(h.lo - h.hist->bin_width());
+    }
+    for (std::size_t n = 0; n < h.hist->overflow(); ++n) {
+      mine.add(h.hi + h.hist->bin_width());
+    }
+  }
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, value] : counters_) {
+    std::snprintf(buf, sizeof buf, "%-40s %12llu\n", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    out += buf;
+  }
+  for (const auto& [name, s] : stats_) {
+    std::snprintf(buf, sizeof buf,
+                  "%-40s mean=%.6g min=%.6g max=%.6g n=%zu\n", name.c_str(),
+                  s.mean(), s.min(), s.max(), s.count());
+    out += buf;
+  }
+  for (const auto& h : histograms_) {
+    std::snprintf(buf, sizeof buf, "%-40s histogram n=%zu [%g, %g) x%zu\n",
+                  h.name.c_str(), h.hist->total(), h.lo, h.hi, h.bins);
+    out += buf;
+  }
+  return out;
+}
+
+void MetricsRegistry::write_jsonl(std::ostream& os,
+                                  std::string_view label) const {
+  for (const auto& [name, value] : counters_) {
+    exec::JsonlRow row;
+    row.add("label", label)
+        .add("metric", name)
+        .add("kind", "counter")
+        .add("value", static_cast<std::uint64_t>(value));
+    os << row.str() << '\n';
+  }
+  for (const auto& [name, s] : stats_) {
+    exec::JsonlRow row;
+    row.add("label", label)
+        .add("metric", name)
+        .add("kind", "stat")
+        .add("count", static_cast<std::uint64_t>(s.count()))
+        .add("mean", s.mean())
+        .add("stddev", s.stddev())
+        .add("min", s.min())
+        .add("max", s.max());
+    os << row.str() << '\n';
+  }
+  for (const auto& h : histograms_) {
+    exec::JsonlRow row;
+    row.add("label", label)
+        .add("metric", h.name)
+        .add("kind", "histogram")
+        .add("lo", h.lo)
+        .add("hi", h.hi)
+        .add("bins", static_cast<std::uint64_t>(h.bins))
+        .add("total", static_cast<std::uint64_t>(h.hist->total()))
+        .add("underflow", static_cast<std::uint64_t>(h.hist->underflow()))
+        .add("overflow", static_cast<std::uint64_t>(h.hist->overflow()));
+    std::string counts = "[";
+    for (std::size_t b = 0; b < h.hist->bins(); ++b) {
+      if (b > 0) counts += ',';
+      counts += std::to_string(h.hist->bin_count(b));
+    }
+    counts += ']';
+    row.add_raw("counts", counts);
+    os << row.str() << '\n';
+  }
+}
+
+}  // namespace pckpt::obs

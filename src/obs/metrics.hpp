@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/summary.hpp"
+
+/// \file metrics.hpp
+/// `MetricsRegistry` — named counters, online moment accumulators and
+/// fixed-width histograms, registered on first use and iterated in
+/// insertion order (so exports are deterministic). Reuses the
+/// `src/stats/` toolkit for the numeric machinery.
+///
+/// The registry is single-threaded by design: per-run metrics live in
+/// per-trial registries (or are derived from per-trial trace buffers
+/// via `summarize_events`), and campaign-level rollups happen on the
+/// merging thread — the same discipline the campaign engine uses for
+/// results (docs/EXECUTION.md).
+
+namespace pckpt::obs {
+
+class MetricsRegistry {
+ public:
+  /// Monotonic counter, created at zero on first use.
+  std::uint64_t& counter(std::string_view name);
+
+  /// Welford accumulator, created empty on first use.
+  stats::OnlineStats& stat(std::string_view name);
+
+  /// Fixed-width histogram; the (lo, hi, bins) shape is set by the
+  /// first call and must match on later calls (throws otherwise).
+  stats::Histogram& histogram(std::string_view name, double lo, double hi,
+                              std::size_t bins);
+
+  bool empty() const noexcept {
+    return counters_.empty() && stats_.empty() && histograms_.empty();
+  }
+
+  /// Fold another registry into this one (counters add, stats merge).
+  /// Histograms must have matching shapes; bin counts add.
+  void merge(const MetricsRegistry& other);
+
+  /// Insertion-ordered views.
+  const std::vector<std::pair<std::string, std::uint64_t>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  const std::vector<std::pair<std::string, stats::OnlineStats>>& stats()
+      const noexcept {
+    return stats_;
+  }
+
+  /// Render `name value` lines (counters) and `name mean/min/max/count`
+  /// lines (stats) in insertion order — the human-readable summary the
+  /// CLI prints after a traced campaign.
+  std::string to_string() const;
+
+  /// One JSON line per metric: {"metric": name, "kind": ..., ...}.
+  void write_jsonl(std::ostream& os, std::string_view label) const;
+
+ private:
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+  std::vector<std::pair<std::string, stats::OnlineStats>> stats_;
+  struct NamedHistogram {
+    std::string name;
+    double lo = 0.0, hi = 0.0;
+    std::size_t bins = 0;
+    std::unique_ptr<stats::Histogram> hist;
+  };
+  std::vector<NamedHistogram> histograms_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::unordered_map<std::string, std::size_t> stat_index_;
+  std::unordered_map<std::string, std::size_t> histogram_index_;
+};
+
+}  // namespace pckpt::obs

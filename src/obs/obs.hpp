@@ -1,0 +1,10 @@
+#pragma once
+
+/// \file obs.hpp
+/// Umbrella header for the observability layer (docs/OBSERVABILITY.md).
+
+#include "obs/collector.hpp"     // IWYU pragma: export
+#include "obs/event.hpp"         // IWYU pragma: export
+#include "obs/metrics.hpp"       // IWYU pragma: export
+#include "obs/trace_sink.hpp"    // IWYU pragma: export
+#include "obs/trace_writer.hpp"  // IWYU pragma: export

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "sim/tracer.hpp"
+
+/// \file trace_sink.hpp
+/// `TraceSink` — the emission seam of the observability layer. The
+/// simulation core writes `Event`s to a sink without knowing whether
+/// they end up in memory, a JSONL file, or a Chrome trace. Campaigns
+/// buffer per-trial events in `MemoryTraceSink`s and serialize them in
+/// ascending trial order (see obs/collector.hpp), which is what keeps
+/// trace bytes identical across `--jobs` values.
+
+namespace pckpt::obs {
+
+/// Receives events as the simulation emits them. Implementations used
+/// inside a single simulated run need not be thread-safe: a run is
+/// single-threaded, and campaigns give every trial its own sink.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(const Event& e) = 0;
+};
+
+/// Buffers events in emission order. The workhorse sink: tests inspect
+/// it directly, campaigns use one per trial.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void emit(const Event& e) override { events_.push_back(e); }
+
+  const std::vector<Event>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Adapts the DES kernel hook (`sim::KernelTracer`) onto a `TraceSink`:
+/// every scheduling decision becomes a `Category::kKernel` instant.
+/// Kernel traces are verbose — they are opt-in per run
+/// (`core::RunSetup::trace_kernel`) and excluded from golden traces.
+class KernelTraceBridge final : public sim::KernelTracer {
+ public:
+  KernelTraceBridge(TraceSink& sink, std::uint64_t run_id)
+      : sink_(&sink), run_id_(run_id) {}
+
+  void on_schedule(sim::SimTime now, sim::SimTime fire_at,
+                   sim::EventSeq seq) override {
+    Event e = Event::instant(Category::kKernel, "sched", now, kTrackKernel);
+    e.run_id = run_id_;
+    e.with("at_s", fire_at).with("seq", static_cast<double>(seq));
+    sink_->emit(e);
+  }
+
+  void on_event(sim::SimTime t, sim::EventSeq seq) override {
+    Event e = Event::instant(Category::kKernel, "fire", t, kTrackKernel);
+    e.run_id = run_id_;
+    e.with("seq", static_cast<double>(seq));
+    sink_->emit(e);
+  }
+
+  void on_spawn(sim::SimTime now, const std::string& /*name*/) override {
+    Event e = Event::instant(Category::kKernel, "spawn", now, kTrackKernel);
+    e.run_id = run_id_;
+    sink_->emit(e);
+  }
+
+  void on_interrupt(sim::SimTime now, const std::string& /*name*/) override {
+    Event e = Event::instant(Category::kKernel, "interrupt", now,
+                             kTrackKernel);
+    e.run_id = run_id_;
+    sink_->emit(e);
+  }
+
+ private:
+  TraceSink* sink_;
+  std::uint64_t run_id_;
+};
+
+}  // namespace pckpt::obs

@@ -1,0 +1,192 @@
+#include "obs/trace_writer.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "exec/result_sink.hpp"
+
+namespace pckpt::obs {
+
+using exec::JsonlRow;
+
+std::string_view to_string(Category c) {
+  switch (c) {
+    case Category::kRun: return "run";
+    case Category::kPhase: return "phase";
+    case Category::kCheckpoint: return "checkpoint";
+    case Category::kDrain: return "drain";
+    case Category::kPrediction: return "prediction";
+    case Category::kFailure: return "failure";
+    case Category::kRecovery: return "recovery";
+    case Category::kMigration: return "migration";
+    case Category::kProtocol: return "protocol";
+    case Category::kKernel: return "kernel";
+  }
+  return "?";
+}
+
+std::string_view track_label_prefix(std::int32_t track) {
+  switch (track) {
+    case kTrackApp: return "app";
+    case kTrackDrain: return "drain";
+    case kTrackKernel: return "kernel";
+    case kTrackRound: return "round";
+    default: return track >= kTrackNodeBase ? "node" : "track";
+  }
+}
+
+namespace {
+
+std::string track_label(std::int32_t track) {
+  std::string label(track_label_prefix(track));
+  if (track >= kTrackNodeBase) {
+    label += ' ';
+    label += std::to_string(track - kTrackNodeBase);
+  } else if (track > kTrackRound) {
+    label += ' ';
+    label += std::to_string(track);
+  }
+  return label;
+}
+
+}  // namespace
+
+TraceFormat trace_format_from_string(std::string_view name) {
+  if (name == "jsonl") return TraceFormat::kJsonl;
+  if (name == "chrome") return TraceFormat::kChrome;
+  throw std::invalid_argument("trace format must be 'jsonl' or 'chrome', got '" +
+                              std::string(name) + "'");
+}
+
+std::string_view to_string(TraceFormat f) {
+  return f == TraceFormat::kJsonl ? "jsonl" : "chrome";
+}
+
+// ---------------------------------------------------------------- JSONL
+
+void JsonlTraceWriter::begin_campaign(std::string_view label) {
+  campaign_.assign(label);
+}
+
+void JsonlTraceWriter::write(const Event& e) {
+  JsonlRow row;
+  row.add("campaign", campaign_)
+      .add("run", e.run_id)
+      .add("cat", to_string(e.category))
+      .add("name", e.name)
+      .add("track", static_cast<int>(e.track))
+      .add("t0_s", e.t0_s)
+      .add("t1_s", e.t1_s);
+  for (std::size_t i = 0; i < e.field_count; ++i) {
+    row.add(e.fields[i].key, e.fields[i].value);
+  }
+  *out_ << row.str() << '\n';
+  ++events_written_;
+}
+
+void JsonlTraceWriter::finish() { out_->flush(); }
+
+// --------------------------------------------------------------- Chrome
+
+ChromeTraceWriter::~ChromeTraceWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; a failed flush surfaces via the stream.
+  }
+}
+
+void ChromeTraceWriter::raw(std::string_view json) {
+  if (!started_) {
+    *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    started_ = true;
+  }
+  if (!first_record_) *out_ << ",\n";
+  first_record_ = false;
+  *out_ << json;
+}
+
+void ChromeTraceWriter::begin_campaign(std::string_view label) {
+  campaign_.assign(label);
+  // Each campaign gets a fresh pid namespace above everything the
+  // previous campaigns used, so trials never collide across campaigns.
+  pid_base_ = max_pid_ + 1;
+}
+
+std::int64_t ChromeTraceWriter::pid_for(std::uint64_t run_id) {
+  const auto pid = pid_base_ + static_cast<std::int64_t>(run_id);
+  if (pid > max_pid_) max_pid_ = pid;
+  return pid;
+}
+
+void ChromeTraceWriter::ensure_names(std::int64_t pid, std::uint64_t run_id,
+                                     std::int32_t track) {
+  if (named_processes_.insert(pid).second) {
+    std::string name = campaign_.empty() ? "run" : campaign_;
+    name += " trial ";
+    name += std::to_string(run_id);
+    raw("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+        ",\"name\":\"process_name\",\"args\":{\"name\":\"" +
+        JsonlRow::escape(name) + "\"}}");
+  }
+  if (named_threads_.insert({pid, track}).second) {
+    raw("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+        ",\"tid\":" + std::to_string(track) +
+        ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+        JsonlRow::escape(track_label(track)) + "\"}}");
+  }
+}
+
+void ChromeTraceWriter::write(const Event& e) {
+  const std::int64_t pid = pid_for(e.run_id);
+  ensure_names(pid, e.run_id, e.track);
+
+  // Simulation seconds -> trace microseconds.
+  const double ts_us = e.t0_s * 1e6;
+  std::string json = "{\"ph\":\"";
+  json += e.is_instant() ? 'i' : 'X';
+  json += "\",\"pid\":" + std::to_string(pid) +
+          ",\"tid\":" + std::to_string(e.track) + ",\"ts\":" +
+          JsonlRow::number(ts_us);
+  if (e.is_instant()) {
+    json += ",\"s\":\"t\"";
+  } else {
+    json += ",\"dur\":" + JsonlRow::number(e.duration_s() * 1e6);
+  }
+  json += ",\"name\":\"" + JsonlRow::escape(e.name) + "\",\"cat\":\"" +
+          std::string(to_string(e.category)) + "\"";
+  if (e.field_count > 0) {
+    json += ",\"args\":{";
+    for (std::size_t i = 0; i < e.field_count; ++i) {
+      if (i > 0) json += ',';
+      json += '"';
+      json += JsonlRow::escape(e.fields[i].key);
+      json += "\":";
+      json += JsonlRow::number(e.fields[i].value);
+    }
+    json += '}';
+  }
+  json += '}';
+  raw(json);
+  ++events_written_;
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (!started_) {
+    *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  }
+  *out_ << "]}\n";
+  out_->flush();
+}
+
+std::unique_ptr<TraceWriter> make_trace_writer(TraceFormat format,
+                                               std::ostream& out) {
+  if (format == TraceFormat::kChrome) {
+    return std::make_unique<ChromeTraceWriter>(out);
+  }
+  return std::make_unique<JsonlTraceWriter>(out);
+}
+
+}  // namespace pckpt::obs

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "obs/event.hpp"
+
+/// \file trace_writer.hpp
+/// Serialization back ends for trace events. Two formats:
+///
+///  - JSONL (`JsonlTraceWriter`): one JSON object per event, in the
+///    order written. The reference format — golden-trace tests diff it
+///    line by line, and the `--jobs` byte-identity contract is stated
+///    over it. Schema: docs/OBSERVABILITY.md.
+///  - Chrome `trace_event` (`ChromeTraceWriter`): a JSON document
+///    loadable in Perfetto / `chrome://tracing`. Each trial maps to a
+///    process (pid), each simulated node/process lane to a named thread
+///    (tid), spans to `ph:"X"` duration events and instants to
+///    `ph:"i"`.
+///
+/// Writers are single-threaded by design: campaigns buffer events per
+/// trial and serialize them from one thread in ascending trial order
+/// (obs/collector.hpp), so the emitted bytes are independent of worker
+/// count.
+
+namespace pckpt::obs {
+
+enum class TraceFormat { kJsonl, kChrome };
+
+/// Parse `jsonl` / `chrome`; throws std::invalid_argument otherwise.
+TraceFormat trace_format_from_string(std::string_view name);
+std::string_view to_string(TraceFormat f);
+
+class TraceWriter {
+ public:
+  virtual ~TraceWriter() = default;
+
+  /// Begin a named campaign (e.g. "xgc/P2"). Events written afterwards
+  /// belong to it; a writer may serialize several campaigns in
+  /// sequence into one file.
+  virtual void begin_campaign(std::string_view label) = 0;
+
+  virtual void write(const Event& e) = 0;
+
+  /// Flush any trailing structure (idempotent; called once after the
+  /// last event). Chrome traces are not valid JSON until finished.
+  virtual void finish() = 0;
+
+  std::uint64_t events_written() const noexcept { return events_written_; }
+
+ protected:
+  std::uint64_t events_written_ = 0;
+};
+
+/// One JSON object per line; key order is fixed (campaign, run, cat,
+/// name, track, t0_s, t1_s, then payload fields in emission order), so
+/// identical event sequences serialize to identical bytes.
+class JsonlTraceWriter final : public TraceWriter {
+ public:
+  explicit JsonlTraceWriter(std::ostream& out) : out_(&out) {}
+
+  void begin_campaign(std::string_view label) override;
+  void write(const Event& e) override;
+  void finish() override;
+
+ private:
+  std::ostream* out_;
+  std::string campaign_;
+};
+
+/// Chrome `trace_event` JSON: `{"traceEvents":[...]}` with lazy
+/// process/thread-name metadata so every trial shows up as a process
+/// with one named track per simulated node/process.
+class ChromeTraceWriter final : public TraceWriter {
+ public:
+  explicit ChromeTraceWriter(std::ostream& out) : out_(&out) {}
+  ~ChromeTraceWriter() override;
+
+  void begin_campaign(std::string_view label) override;
+  void write(const Event& e) override;
+  void finish() override;
+
+ private:
+  void raw(std::string_view json);
+  std::int64_t pid_for(std::uint64_t run_id);
+  void ensure_names(std::int64_t pid, std::uint64_t run_id,
+                    std::int32_t track);
+
+  std::ostream* out_;
+  std::string campaign_;
+  bool started_ = false;
+  bool finished_ = false;
+  bool first_record_ = true;
+  std::int64_t pid_base_ = 0;
+  std::int64_t max_pid_ = -1;
+  std::set<std::int64_t> named_processes_;
+  std::set<std::pair<std::int64_t, std::int32_t>> named_threads_;
+};
+
+/// Factory keyed on the `--trace-format` flag value.
+std::unique_ptr<TraceWriter> make_trace_writer(TraceFormat format,
+                                               std::ostream& out);
+
+}  // namespace pckpt::obs

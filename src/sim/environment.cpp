@@ -35,7 +35,9 @@ EventPtr Environment::timeout(SimTime delay) {
   }
   auto ev = event();
   ev->state_ = EventCore::State::kScheduled;
-  heap_.push(Entry{now_ + delay, seq_++, ev});
+  const EventSeq seq = seq_++;
+  heap_.push(Entry{now_ + delay, seq, ev});
+  if (tracer_) tracer_->on_schedule(now_, now_ + delay, seq);
   return ev;
 }
 
@@ -48,7 +50,9 @@ void Environment::schedule(EventPtr ev, SimTime delay) {
     throw std::logic_error("Environment::schedule: event already processed");
   }
   ev->state_ = EventCore::State::kScheduled;
-  heap_.push(Entry{now_ + delay, seq_++, std::move(ev)});
+  const EventSeq seq = seq_++;
+  heap_.push(Entry{now_ + delay, seq, std::move(ev)});
+  if (tracer_) tracer_->on_schedule(now_, now_ + delay, seq);
 }
 
 void Environment::defer(std::function<void()> fn) {
@@ -64,6 +68,7 @@ Process& Environment::spawn(Process& p) {
   }
   p.state()->start(*this);
   processes_.emplace(p.state().get(), p.state());
+  if (tracer_) tracer_->on_spawn(now_, p.state()->name());
   return p;
 }
 
@@ -79,6 +84,7 @@ bool Environment::step() {
   heap_.pop();
   now_ = e.t;
   ++processed_count_;
+  if (tracer_) tracer_->on_event(e.t, e.seq);
   e.ev->process();
   return true;
 }

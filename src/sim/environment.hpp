@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sim/event.hpp"
+#include "sim/tracer.hpp"
 #include "sim/types.hpp"
 
 /// \file environment.hpp
@@ -75,6 +76,12 @@ class Environment {
   /// Total events processed since construction (for micro-benchmarks).
   std::uint64_t events_processed() const noexcept { return processed_count_; }
 
+  /// Attach (or detach, with nullptr) a kernel tracer. The environment
+  /// does not own the tracer; it must outlive the simulation. Tracing is
+  /// off by default and costs one null check per kernel operation.
+  void set_tracer(KernelTracer* tracer) noexcept { tracer_ = tracer; }
+  KernelTracer* tracer() const noexcept { return tracer_; }
+
   /// Exceptions that escaped process coroutines, with the process name.
   /// A healthy simulation leaves this empty (or each entry is consumed by
   /// an awaiter of the process's done_event; entries are recorded either
@@ -113,6 +120,7 @@ class Environment {
   SimTime now_ = 0.0;
   EventSeq seq_ = 0;
   std::uint64_t processed_count_ = 0;
+  KernelTracer* tracer_ = nullptr;
 };
 
 }  // namespace pckpt::sim

@@ -54,6 +54,9 @@ void ProcessState::destroy_frame() {
 
 bool ProcessState::interrupt(std::any cause) {
   if (finished_) return false;
+  if (env_ != nullptr && env_->tracer() != nullptr) {
+    env_->tracer()->on_interrupt(env_->now(), name_);
+  }
   has_interrupt_ = true;
   interrupt_cause_ = std::move(cause);
   if (awaiting_) {

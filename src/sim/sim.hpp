@@ -8,4 +8,5 @@
 #include "sim/event.hpp"         // IWYU pragma: export
 #include "sim/process.hpp"       // IWYU pragma: export
 #include "sim/resource.hpp"      // IWYU pragma: export
+#include "sim/tracer.hpp"        // IWYU pragma: export
 #include "sim/types.hpp"         // IWYU pragma: export

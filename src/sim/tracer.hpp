@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+
+#include "sim/types.hpp"
+
+/// \file tracer.hpp
+/// Optional kernel-level observability hook for the DES engine. An
+/// attached `KernelTracer` sees every scheduling decision the
+/// `Environment` makes: event scheduling, event firing, process spawns
+/// and interrupts. The default state is "no tracer" and costs one
+/// branch-on-null per kernel operation, so campaigns that do not trace
+/// pay nothing measurable.
+///
+/// The hook is deliberately below the semantic layer: it reports kernel
+/// mechanics (times, sequence numbers, process names), not C/R meaning.
+/// The semantic events live in `src/obs/` (see docs/OBSERVABILITY.md);
+/// `obs::KernelTraceBridge` adapts this interface onto an
+/// `obs::TraceSink` when kernel-level traces are wanted.
+
+namespace pckpt::sim {
+
+/// Observer of kernel scheduling activity. All callbacks run on the
+/// simulation thread, synchronously with the operation they describe;
+/// implementations must not re-enter the environment.
+class KernelTracer {
+ public:
+  virtual ~KernelTracer() = default;
+
+  /// An event was pushed onto the heap to fire at `fire_at`.
+  virtual void on_schedule(SimTime now, SimTime fire_at, EventSeq seq) {
+    (void)now;
+    (void)fire_at;
+    (void)seq;
+  }
+
+  /// An event was popped from the heap and is about to be processed;
+  /// `t` is the new simulation time.
+  virtual void on_event(SimTime t, EventSeq seq) {
+    (void)t;
+    (void)seq;
+  }
+
+  /// A process coroutine was registered with the environment. The name
+  /// may still be empty if `.named()` is applied after `spawn()`.
+  virtual void on_spawn(SimTime now, const std::string& name) {
+    (void)now;
+    (void)name;
+  }
+
+  /// A process was interrupted (its pending await will throw).
+  virtual void on_interrupt(SimTime now, const std::string& name) {
+    (void)now;
+    (void)name;
+  }
+};
+
+}  // namespace pckpt::sim

@@ -1,0 +1,159 @@
+/// Statistical validation of the predictor model behind FailureTrace:
+/// over many independently seeded traces, the realized recall, the
+/// false-positive fraction of predictions, and the FP-to-failure rate
+/// ratio must sit inside binomial confidence bounds of their configured
+/// values — including when noisy lead estimates are enabled.
+///
+/// Bounds are 4-sigma (p < 1e-4 per check), so the suite is effectively
+/// deterministic while still being sensitive to real regressions in the
+/// generator's stream discipline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "failure/trace.hpp"
+
+namespace f = pckpt::failure;
+
+namespace {
+
+constexpr double kHorizonS = 400.0 * 3600.0;
+constexpr int kJobNodes = 2048;
+constexpr int kTraces = 40;
+
+struct TraceStats {
+  std::size_t failures = 0;
+  std::size_t predicted_failures = 0;
+  std::size_t predictions = 0;
+  std::size_t false_positives = 0;
+  double log_lead_ratio_sum = 0;  ///< sum of log(predicted/actual)
+  std::size_t noisy_leads = 0;    ///< predictions where estimate != actual
+};
+
+/// Accumulate confusion-matrix counts over `kTraces` seeds of the same
+/// failure environment.
+TraceStats collect(const f::PredictorConfig& predictor) {
+  const auto& titan = f::system_by_name("titan");
+  const auto leads = f::LeadTimeModel::summit_default();
+  TraceStats s;
+  for (std::uint64_t seed = 1; seed <= kTraces; ++seed) {
+    f::FailureTrace trace(titan, kJobNodes, leads, predictor, seed, kHorizonS);
+    for (const auto& failure : trace.failures()) {
+      ++s.failures;
+      if (failure.predicted) ++s.predicted_failures;
+    }
+    for (std::size_t i = 0; i < trace.event_count(); ++i) {
+      const auto& ev = trace.event(i);
+      if (ev.kind != f::TraceEvent::Kind::kPrediction) continue;
+      ++s.predictions;
+      if (ev.is_false_positive()) ++s.false_positives;
+      if (ev.predicted_lead_s != ev.lead_s) ++s.noisy_leads;
+      if (ev.lead_s > 0 && ev.predicted_lead_s > 0) {
+        s.log_lead_ratio_sum += std::log(ev.predicted_lead_s / ev.lead_s);
+      }
+    }
+  }
+  return s;
+}
+
+/// 4-sigma binomial bound on |p_hat - p|.
+void expect_binomial(double p_hat, double p, std::size_t n,
+                     const char* what) {
+  ASSERT_GT(n, 100u) << what << ": sample too small to test";
+  const double bound = 4.0 * std::sqrt(p * (1.0 - p) / static_cast<double>(n));
+  EXPECT_NEAR(p_hat, p, bound)
+      << what << ": observed " << p_hat << " over n=" << n
+      << " is outside the 4-sigma band around " << p;
+}
+
+}  // namespace
+
+TEST(PredictorStats, RecallMatchesConfiguredRate) {
+  f::PredictorConfig predictor;  // defaults: recall .85, fpr .18
+  const auto s = collect(predictor);
+  expect_binomial(static_cast<double>(s.predicted_failures) /
+                      static_cast<double>(s.failures),
+                  predictor.recall, s.failures, "recall");
+}
+
+TEST(PredictorStats, FalsePositiveFractionOfPredictions) {
+  f::PredictorConfig predictor;
+  const auto s = collect(predictor);
+  expect_binomial(static_cast<double>(s.false_positives) /
+                      static_cast<double>(s.predictions),
+                  predictor.false_positive_rate, s.predictions,
+                  "false-positive fraction");
+}
+
+/// The FP stream is an independent Poisson process whose rate is
+/// fp_stream_factor() times the failure rate, so the per-trace ratio of
+/// FP count to failure count estimates that factor directly.
+TEST(PredictorStats, FpStreamFactorGovernsFpRate) {
+  f::PredictorConfig predictor;
+  const auto s = collect(predictor);
+  const double factor = predictor.fp_stream_factor();
+  const double observed = static_cast<double>(s.false_positives) /
+                          static_cast<double>(s.failures);
+  // Both counts fluctuate (FP ~ Poisson(factor * failures), failures ~
+  // Poisson): 4-sigma band on the ratio via the delta method.
+  const double bound = 4.0 * std::sqrt(factor * (1.0 + factor) /
+                                       static_cast<double>(s.failures));
+  EXPECT_NEAR(observed, factor, bound)
+      << "FP/failure ratio drifted from fp_stream_factor()=" << factor;
+}
+
+TEST(PredictorStats, OracleLeadsAreExactByDefault) {
+  f::PredictorConfig predictor;  // lead_error_sigma = 0
+  const auto s = collect(predictor);
+  EXPECT_EQ(s.noisy_leads, 0u)
+      << "lead estimates must equal actual leads when lead_error_sigma=0";
+  EXPECT_EQ(s.log_lead_ratio_sum, 0.0);
+}
+
+TEST(PredictorStats, NoisyLeadEstimatesAreUnbiasedInLogSpace) {
+  f::PredictorConfig predictor;
+  predictor.lead_error_sigma = 0.5;
+  const auto s = collect(predictor);
+
+  // With sigma > 0 essentially every true prediction's estimate differs
+  // from the actual lead. (False positives are excluded: their "lead" is
+  // a pure estimate, so the trace stores it unperturbed.)
+  ASSERT_GT(s.predictions, 100u);
+  const std::size_t true_predictions = s.predictions - s.false_positives;
+  EXPECT_GT(s.noisy_leads, true_predictions * 9 / 10);
+  EXPECT_LE(s.noisy_leads, true_predictions);
+
+  // log(predicted/actual) ~ N(0, sigma^2): the sample mean stays within
+  // 4 * sigma / sqrt(n) of zero.
+  const double mean =
+      s.log_lead_ratio_sum / static_cast<double>(s.predictions);
+  const double bound = 4.0 * predictor.lead_error_sigma /
+                       std::sqrt(static_cast<double>(s.predictions));
+  EXPECT_NEAR(mean, 0.0, bound)
+      << "noisy lead estimates are biased in log space";
+}
+
+/// Noise perturbs only the estimate: the actual failure schedule (times,
+/// nodes, leads) is bit-identical with and without lead_error_sigma.
+TEST(PredictorStats, LeadNoiseDoesNotPerturbTheFailureSchedule) {
+  const auto& titan = f::system_by_name("titan");
+  const auto leads = f::LeadTimeModel::summit_default();
+  f::PredictorConfig oracle;
+  f::PredictorConfig noisy;
+  noisy.lead_error_sigma = 0.5;
+  for (std::uint64_t seed : {7u, 19u, 23u}) {
+    f::FailureTrace a(titan, kJobNodes, leads, oracle, seed, kHorizonS);
+    f::FailureTrace b(titan, kJobNodes, leads, noisy, seed, kHorizonS);
+    ASSERT_EQ(a.failures().size(), b.failures().size()) << "seed " << seed;
+    for (std::size_t i = 0; i < a.failures().size(); ++i) {
+      EXPECT_EQ(a.failures()[i].time_s, b.failures()[i].time_s);
+      EXPECT_EQ(a.failures()[i].node, b.failures()[i].node);
+      EXPECT_EQ(a.failures()[i].lead_s, b.failures()[i].lead_s);
+    }
+  }
+}

@@ -1,0 +1,187 @@
+/// Golden-table regression tests: the FT-ratio columns of the paper's
+/// Tables II (M1/M2) and IV (P1/P2) at three lead-time scales, plus the
+/// Eq. 8 analytic thresholds, rendered to CSV and compared cell-by-cell
+/// against committed files under tests/obs/golden/.
+///
+/// Regenerating after an INTENDED change:
+///   PCKPT_REGEN_GOLDEN=1 ./build/tests/test_golden
+///       --gtest_filter='GoldenTables.*'
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analytic_model.hpp"
+#include "core/campaign.hpp"
+#include "exec/result_sink.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace core = pckpt::core;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+namespace an = pckpt::analysis;
+
+namespace {
+
+bool regen_requested() {
+  const char* v = std::getenv("PCKPT_REGEN_GOLDEN");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+std::string num(double v) { return pckpt::exec::JsonlRow::number(v); }
+
+constexpr std::size_t kRuns = 24;
+constexpr std::uint64_t kSeed = 2022;
+
+struct TableWorld {
+  w::Machine machine = w::summit();
+  pckpt::iomodel::StorageModel storage = machine.make_storage();
+  f::LeadTimeModel leads = f::LeadTimeModel::summit_default();
+  const f::FailureSystem& titan = f::system_by_name("titan");
+};
+
+TableWorld& table_world() {
+  static TableWorld w;
+  return w;
+}
+
+/// FT-ratio CSV for a pair of models over the paper's applications and
+/// three lead-time scales (1.5 / 1.0 / 0.5 = the +50% / 0 / -50% deltas).
+std::string render_ft_csv(const std::vector<core::ModelKind>& kinds) {
+  auto& wd = table_world();
+  std::ostringstream out;
+  out << "app,model,lead_scale,ft_ratio,failures_per_run\n";
+  for (const char* name : {"CHIMERA", "XGC", "POP"}) {
+    const auto& app = w::workload_by_name(name);
+    core::RunSetup setup;
+    setup.app = &app;
+    setup.machine = &wd.machine;
+    setup.storage = &wd.storage;
+    setup.system = &wd.titan;
+    setup.leads = &wd.leads;
+    for (double lead_scale : {1.5, 1.0, 0.5}) {
+      for (auto kind : kinds) {
+        core::CrConfig cfg;
+        cfg.kind = kind;
+        cfg.predictor.lead_scale = lead_scale;
+        const auto r = core::run_campaign(setup, cfg, kRuns, kSeed);
+        out << app.name << ',' << core::to_string(kind) << ','
+            << num(lead_scale) << ',' << num(r.pooled_ft_ratio()) << ','
+            << num(r.failures_per_run()) << '\n';
+      }
+    }
+  }
+  return out.str();
+}
+
+/// Eq. 8 (and its re-derivation) on a sigma grid, plus the Eq. 5/6
+/// ingredients — pure closed forms, so the CSV is exact by construction.
+std::string render_eq8_csv() {
+  std::ostringstream out;
+  out << "sigma,alpha_paper,alpha_derived,lm_ckpt_reduction,beta_alpha1.5\n";
+  for (int i = 0; i <= 12; ++i) {
+    const double sigma = 0.05 * i;
+    out << num(sigma) << ',' << num(an::alpha_threshold_paper(sigma)) << ','
+        << num(an::alpha_threshold_derived(sigma)) << ','
+        << num(an::lm_checkpoint_reduction_fraction(sigma)) << ','
+        << num(an::beta_fraction(1.5, sigma)) << '\n';
+  }
+  return out.str();
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::vector<std::string> cells;
+    std::istringstream ls(line);
+    std::string cell;
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+/// Exact cell-by-cell comparison with a readable first-divergence
+/// message; regenerates the file instead when PCKPT_REGEN_GOLDEN is set.
+void check_against_golden(const std::string& filename,
+                          const std::string& actual) {
+  const std::string path = std::string(PCKPT_GOLDEN_DIR) + "/" + filename;
+  if (regen_requested()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate with PCKPT_REGEN_GOLDEN=1 "
+                     "./build/tests/test_golden";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto expected = parse_csv(buf.str());
+  const auto got = parse_csv(actual);
+
+  const std::size_t rows = std::min(expected.size(), got.size());
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t cols = std::min(expected[r].size(), got[r].size());
+    for (std::size_t c = 0; c < cols; ++c) {
+      ASSERT_EQ(expected[r][c], got[r][c])
+          << "first divergence in " << filename << " at row " << (r + 1)
+          << ", column " << (c + 1) << " (header: "
+          << (expected.empty() || expected[0].size() <= c ? "?"
+                                                          : expected[0][c])
+          << ")\n  golden: " << expected[r][c] << "\n  actual: " << got[r][c]
+          << "\nRegenerate with PCKPT_REGEN_GOLDEN=1 if this change is "
+             "intended.";
+    }
+    ASSERT_EQ(expected[r].size(), got[r].size())
+        << filename << ": column count changed at row " << (r + 1);
+  }
+  ASSERT_EQ(expected.size(), got.size())
+      << filename << ": row count changed (golden " << expected.size()
+      << ", actual " << got.size() << ")";
+}
+
+}  // namespace
+
+TEST(GoldenTables, TableIIFtRatiosExact) {
+  check_against_golden(
+      "table2_ft.csv",
+      render_ft_csv({core::ModelKind::kM1, core::ModelKind::kM2}));
+}
+
+TEST(GoldenTables, TableIVFtRatiosExact) {
+  check_against_golden(
+      "table4_ft.csv",
+      render_ft_csv({core::ModelKind::kP1, core::ModelKind::kP2}));
+}
+
+TEST(GoldenTables, Eq8AnalyticOutputsExact) {
+  check_against_golden("eq8.csv", render_eq8_csv());
+}
+
+/// Sanity on the rendered values themselves (independent of the golden
+/// files): FT ratios are probabilities and the paper's headline ordering
+/// P2 >= P1 holds on the pooled campaign.
+TEST(GoldenTables, RenderedFtRatiosAreSane) {
+  const auto rows =
+      parse_csv(render_ft_csv({core::ModelKind::kP1, core::ModelKind::kP2}));
+  ASSERT_GT(rows.size(), 1u);
+  double p1_sum = 0, p2_sum = 0;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const double ft = std::stod(rows[r][3]);
+    EXPECT_GE(ft, 0.0);
+    EXPECT_LE(ft, 1.0);
+    (rows[r][1] == "P1" ? p1_sum : p2_sum) += ft;
+  }
+  EXPECT_GE(p2_sum, p1_sum);
+}

@@ -1,0 +1,182 @@
+/// Golden-trace regression tests: one canonical semantic trace per C/R
+/// model (B, M1, M2, P1, P2) at a fixed seed, committed under
+/// tests/obs/golden/. Any change to the simulator's event sequence —
+/// reordered emissions, altered payloads, different timing — fails here
+/// with the first diverging line spelled out.
+///
+/// Regenerating after an INTENDED change:
+///   PCKPT_REGEN_GOLDEN=1 ./build/tests/test_golden
+///       --gtest_filter='Golden/GoldenTrace.*'
+/// then inspect the diff of tests/obs/golden/ and commit it.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "obs/obs.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace core = pckpt::core;
+namespace obs = pckpt::obs;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+
+namespace {
+
+#ifndef PCKPT_GOLDEN_DIR
+#error "PCKPT_GOLDEN_DIR must point at tests/obs/golden"
+#endif
+
+bool regen_requested() {
+  const char* v = std::getenv("PCKPT_REGEN_GOLDEN");
+  return v != nullptr && *v != '\0' && std::string(v) != "0";
+}
+
+/// The canonical golden environment: small enough that traces stay a few
+/// hundred lines, failure-prone enough (titan distribution) that every
+/// event family appears across the five models.
+struct GoldenWorld {
+  w::Machine machine = w::summit();
+  pckpt::iomodel::StorageModel storage = machine.make_storage();
+  f::LeadTimeModel leads = f::LeadTimeModel::summit_default();
+  /// A deliberately failure-hot Weibull system: the job-level MTBF lands
+  /// near one hour so a two-hour run sees failures, predictions, LM
+  /// attempts and p-ckpt rounds — while the trace stays a few hundred
+  /// lines.
+  f::FailureSystem hot{"golden-hot", 0.7, 0.5, 4608};
+  w::Application app{"golden", 2048, 2048.0 * 16.0, 2.0};
+
+  core::RunSetup setup() const {
+    core::RunSetup s;
+    s.app = &app;
+    s.machine = &machine;
+    s.storage = &storage;
+    s.system = &hot;
+    s.leads = &leads;
+    return s;
+  }
+};
+
+GoldenWorld& golden_world() {
+  static GoldenWorld w;
+  return w;
+}
+
+constexpr std::size_t kGoldenRuns = 2;
+constexpr std::uint64_t kGoldenSeed = 424242;
+
+std::string render_trace(core::ModelKind kind) {
+  auto& wd = golden_world();
+  core::CrConfig cfg;
+  cfg.kind = kind;
+  obs::CampaignTraceCollector collector;
+  pckpt::exec::SerialExecutor serial;
+  core::run_campaign(wd.setup(), cfg, kGoldenRuns, kGoldenSeed, serial, {},
+                     &collector);
+  std::ostringstream out;
+  obs::JsonlTraceWriter writer(out);
+  collector.write(writer, std::string("golden/") +
+                              std::string(core::to_string(kind)));
+  writer.finish();
+  return out.str();
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string golden_path(core::ModelKind kind) {
+  return std::string(PCKPT_GOLDEN_DIR) + "/trace_" +
+         std::string(core::to_string(kind)) + ".jsonl";
+}
+
+}  // namespace
+
+class GoldenTrace : public ::testing::TestWithParam<core::ModelKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Golden, GoldenTrace,
+                         ::testing::Values(core::ModelKind::kB,
+                                           core::ModelKind::kM1,
+                                           core::ModelKind::kM2,
+                                           core::ModelKind::kP1,
+                                           core::ModelKind::kP2),
+                         [](const auto& param_info) {
+                           return std::string(
+                               core::to_string(param_info.param));
+                         });
+
+TEST_P(GoldenTrace, MatchesCommittedTraceLineByLine) {
+  const std::string path = golden_path(GetParam());
+  const std::string actual = render_trace(GetParam());
+
+  if (regen_requested()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual;
+    GTEST_SKIP() << "regenerated " << path << " ("
+                 << split_lines(actual).size() << " lines)";
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate with PCKPT_REGEN_GOLDEN=1 "
+                     "./build/tests/test_golden";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto expected_lines = split_lines(buf.str());
+  const auto actual_lines = split_lines(actual);
+
+  const std::size_t n = std::min(expected_lines.size(), actual_lines.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(expected_lines[i], actual_lines[i])
+        << "first trace divergence at line " << (i + 1) << " of " << path
+        << "\n  golden: " << expected_lines[i]
+        << "\n  actual: " << actual_lines[i]
+        << "\nIf this change is intended, regenerate with "
+           "PCKPT_REGEN_GOLDEN=1 ./build/tests/test_golden and commit the "
+           "updated golden files.";
+  }
+  ASSERT_EQ(expected_lines.size(), actual_lines.size())
+      << "trace length changed: golden has " << expected_lines.size()
+      << " events, actual has " << actual_lines.size()
+      << " (first " << n << " lines agree). Regenerate with "
+         "PCKPT_REGEN_GOLDEN=1 if intended.";
+}
+
+/// The golden environment must actually exercise the interesting event
+/// families — otherwise the golden files silently stop guarding the
+/// mitigation paths.
+TEST(GoldenTraceCoverage, EventFamiliesPresent) {
+  obs::MetricsRegistry m;
+  for (auto kind : {core::ModelKind::kB, core::ModelKind::kM1,
+                    core::ModelKind::kM2, core::ModelKind::kP1,
+                    core::ModelKind::kP2}) {
+    for (const std::string& line : split_lines(render_trace(kind))) {
+      const auto name_pos = line.find("\"name\":\"");
+      ASSERT_NE(name_pos, std::string::npos);
+      const auto start = name_pos + 8;
+      const auto end = line.find('"', start);
+      ++m.counter("events." + line.substr(start, end - start));
+    }
+  }
+  for (const char* required :
+       {"run_begin", "run_end", "compute", "ckpt_bb_begin", "ckpt_bb_end",
+        "pfs_drain", "failure", "restart", "prediction_tp", "lm_begin",
+        "pckpt_round_begin", "pckpt_round_end"}) {
+    EXPECT_GT(m.counter(std::string("events.") + required), 0u)
+        << "golden environment no longer produces '" << required << "'";
+  }
+}

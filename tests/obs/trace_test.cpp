@@ -1,0 +1,400 @@
+#include "obs/obs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "exec/thread_pool.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "sim/sim.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace obs = pckpt::obs;
+namespace core = pckpt::core;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+namespace exec = pckpt::exec;
+
+namespace {
+
+obs::Event sample_span() {
+  return obs::Event::span(obs::Category::kCheckpoint, "ckpt_bb", 10.0, 12.5,
+                          obs::kTrackApp)
+      .with("completed", 1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Event value semantics.
+// ---------------------------------------------------------------------
+
+TEST(Event, InstantAndSpanBasics) {
+  const auto i =
+      obs::Event::instant(obs::Category::kFailure, "failure", 42.0, 9);
+  EXPECT_TRUE(i.is_instant());
+  EXPECT_DOUBLE_EQ(i.t0_s, 42.0);
+  EXPECT_DOUBLE_EQ(i.t1_s, 42.0);
+  EXPECT_EQ(i.track, 9);
+
+  const auto s = sample_span();
+  EXPECT_FALSE(s.is_instant());
+  EXPECT_DOUBLE_EQ(s.duration_s(), 2.5);
+  EXPECT_STREQ(s.name, "ckpt_bb");
+}
+
+TEST(Event, FieldLookupAndFallback) {
+  auto e = obs::Event::instant(obs::Category::kPrediction, "prediction_tp",
+                               1.0, obs::kTrackNodeBase + 3);
+  e.with("node", 3).with("lead_s", 55.5);
+  EXPECT_EQ(e.field_count, 2u);
+  EXPECT_DOUBLE_EQ(e.field("node"), 3.0);
+  EXPECT_DOUBLE_EQ(e.field("lead_s"), 55.5);
+  EXPECT_TRUE(e.has_field("lead_s"));
+  EXPECT_FALSE(e.has_field("deadline_s"));
+  EXPECT_DOUBLE_EQ(e.field("deadline_s", -1.0), -1.0);
+}
+
+TEST(Event, FieldCapacityDropsSilently) {
+  auto e = obs::Event::instant(obs::Category::kRun, "x", 0.0, 0);
+  for (int i = 0; i < 2 * static_cast<int>(obs::Event::kMaxFields); ++i) {
+    e.with("k", i);
+  }
+  EXPECT_EQ(e.field_count, obs::Event::kMaxFields);
+}
+
+TEST(TraceFormat, ParseAndReject) {
+  EXPECT_EQ(obs::trace_format_from_string("jsonl"), obs::TraceFormat::kJsonl);
+  EXPECT_EQ(obs::trace_format_from_string("chrome"),
+            obs::TraceFormat::kChrome);
+  EXPECT_THROW(obs::trace_format_from_string("perfetto"),
+               std::invalid_argument);
+  EXPECT_THROW(obs::trace_format_from_string(""), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------
+
+TEST(MemoryTraceSink, BuffersInEmissionOrder) {
+  obs::MemoryTraceSink sink;
+  sink.emit(obs::Event::instant(obs::Category::kRun, "run_begin", 0.0, 0));
+  sink.emit(sample_span());
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_STREQ(sink.events()[0].name, "run_begin");
+  EXPECT_STREQ(sink.events()[1].name, "ckpt_bb");
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(KernelTraceBridge, ForwardsKernelEventsWithRunId) {
+  obs::MemoryTraceSink sink;
+  obs::KernelTraceBridge bridge(sink, 7);
+  pckpt::sim::Environment env;
+  env.set_tracer(&bridge);
+  env.spawn([](pckpt::sim::Environment& e) -> pckpt::sim::Process {
+    co_await e.timeout(1.0);
+    co_await e.timeout(2.0);
+  }(env));
+  env.run();
+  env.set_tracer(nullptr);
+  ASSERT_GT(sink.size(), 0u);
+  for (const auto& e : sink.events()) {
+    EXPECT_EQ(e.category, obs::Category::kKernel);
+    EXPECT_EQ(e.run_id, 7u);
+    EXPECT_EQ(e.track, obs::kTrackKernel);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Writers.
+// ---------------------------------------------------------------------
+
+TEST(JsonlTraceWriter, FixedKeyOrderAndPayload) {
+  std::ostringstream out;
+  obs::JsonlTraceWriter writer(out);
+  writer.begin_campaign("app/P2");
+  auto e = sample_span();
+  e.run_id = 3;
+  writer.write(e);
+  writer.finish();
+  EXPECT_EQ(out.str(),
+            "{\"campaign\":\"app/P2\",\"run\":3,\"cat\":\"checkpoint\","
+            "\"name\":\"ckpt_bb\",\"track\":0,\"t0_s\":10,\"t1_s\":12.5,"
+            "\"completed\":1}\n");
+  EXPECT_EQ(writer.events_written(), 1u);
+}
+
+TEST(ChromeTraceWriter, ValidStructureAndLazyMetadata) {
+  std::ostringstream out;
+  {
+    obs::ChromeTraceWriter writer(out);
+    writer.begin_campaign("x/B");
+    auto s = sample_span();
+    writer.write(s);
+    writer.write(s);  // same (pid, tid): metadata must not repeat
+    auto i = obs::Event::instant(obs::Category::kFailure, "failure", 20.0,
+                                 obs::kTrackNodeBase + 4);
+    writer.write(i);
+    writer.finish();
+    writer.finish();  // idempotent
+  }
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(text.substr(text.size() - 3), "]}\n");
+  // One process_name, two thread_names (app track + node 4 track).
+  auto count = [&](const std::string& needle) {
+    std::size_t n = 0;
+    for (std::size_t p = text.find(needle); p != std::string::npos;
+         p = text.find(needle, p + 1)) {
+      ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count("process_name"), 1u);
+  EXPECT_EQ(count("thread_name"), 2u);
+  EXPECT_EQ(count("\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count("\"ph\":\"i\""), 1u);
+  EXPECT_NE(text.find("\"name\":\"node 4\""), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, CampaignsGetDisjointPidNamespaces) {
+  std::ostringstream out;
+  obs::ChromeTraceWriter writer(out);
+  writer.begin_campaign("first");
+  auto e = sample_span();
+  e.run_id = 0;
+  writer.write(e);
+  writer.begin_campaign("second");
+  writer.write(e);  // same run_id, different campaign -> different pid
+  writer.finish();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"first trial 0\""), std::string::npos);
+  EXPECT_NE(text.find("\"second trial 0\""), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":0"), std::string::npos);
+  EXPECT_NE(text.find("\"pid\":1"), std::string::npos);
+}
+
+TEST(ChromeTraceWriter, EmptyTraceIsStillValidJson) {
+  std::ostringstream out;
+  {
+    obs::ChromeTraceWriter writer(out);
+  }  // dtor finishes
+  EXPECT_EQ(out.str(), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}\n");
+}
+
+TEST(MakeTraceWriter, FactoryPicksFormat) {
+  std::ostringstream out;
+  auto jsonl = obs::make_trace_writer(obs::TraceFormat::kJsonl, out);
+  auto chrome = obs::make_trace_writer(obs::TraceFormat::kChrome, out);
+  EXPECT_NE(dynamic_cast<obs::JsonlTraceWriter*>(jsonl.get()), nullptr);
+  EXPECT_NE(dynamic_cast<obs::ChromeTraceWriter*>(chrome.get()), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Metrics.
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, CountersStatsHistograms) {
+  obs::MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  ++m.counter("events.total");
+  ++m.counter("events.total");
+  m.stat("span_s.ckpt").add(2.0);
+  m.stat("span_s.ckpt").add(4.0);
+  m.histogram("lead_s", 0.0, 100.0, 10).add(55.0);
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.counter("events.total"), 2u);
+  EXPECT_DOUBLE_EQ(m.stat("span_s.ckpt").mean(), 3.0);
+  // Shape mismatch on re-registration must throw.
+  EXPECT_THROW(m.histogram("lead_s", 0.0, 50.0, 10), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, MergeAddsAndToStringIsOrdered) {
+  obs::MetricsRegistry a, b;
+  ++a.counter("n");
+  a.stat("s").add(1.0);
+  ++b.counter("n");
+  b.stat("s").add(3.0);
+  b.histogram("h", 0, 10, 5).add(2.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("n"), 2u);
+  EXPECT_EQ(a.stat("s").count(), 2u);
+  const std::string text = a.to_string();
+  EXPECT_NE(text.find("n"), std::string::npos);
+  EXPECT_LT(text.find("n"), text.find("s"));
+}
+
+// ---------------------------------------------------------------------
+// Collector + campaign integration.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct TraceWorld {
+  w::Machine machine = w::summit();
+  pckpt::iomodel::StorageModel storage = machine.make_storage();
+  f::LeadTimeModel leads = f::LeadTimeModel::summit_default();
+  const f::FailureSystem& titan = f::system_by_name("titan");
+  // Small but failure-prone app: traces stay cheap while every event
+  // type (predictions, failures, LM, p-ckpt rounds) still occurs.
+  w::Application app{"tracelet", 2048, 2048.0 * 16.0, 2.0};
+
+  core::RunSetup setup() const {
+    core::RunSetup s;
+    s.app = &app;
+    s.machine = &machine;
+    s.storage = &storage;
+    s.system = &titan;
+    s.leads = &leads;
+    return s;
+  }
+};
+
+TraceWorld& trace_world() {
+  static TraceWorld w;
+  return w;
+}
+
+std::string campaign_trace_bytes(core::ModelKind kind, std::size_t runs,
+                                 exec::Executor& ex) {
+  auto& wd = trace_world();
+  core::CrConfig cfg;
+  cfg.kind = kind;
+  obs::CampaignTraceCollector collector;
+  core::run_campaign(wd.setup(), cfg, runs, 2022, ex, {}, &collector);
+  std::ostringstream out;
+  obs::JsonlTraceWriter writer(out);
+  collector.write(writer, "trace/golden");
+  writer.finish();
+  return out.str();
+}
+
+}  // namespace
+
+TEST(CampaignTraceCollector, SlotsFollowGlobalTrialIndex) {
+  obs::CampaignTraceCollector c(3);
+  EXPECT_EQ(c.trials(), 3u);
+  c.sink_for(2).emit(
+      obs::Event::instant(obs::Category::kRun, "run_begin", 0.0, 0));
+  EXPECT_EQ(c.events_for(2).size(), 1u);
+  EXPECT_EQ(c.events_for(0).size(), 0u);
+  EXPECT_EQ(c.total_events(), 1u);
+  EXPECT_THROW(c.sink_for(3), std::out_of_range);
+}
+
+TEST(CampaignTraceCollector, WritesInAscendingTrialOrder) {
+  obs::CampaignTraceCollector c(2);
+  auto late = obs::Event::instant(obs::Category::kRun, "run_begin", 0.0, 0);
+  late.run_id = 1;
+  auto early = obs::Event::instant(obs::Category::kRun, "run_begin", 0.0, 0);
+  early.run_id = 0;
+  c.sink_for(1).emit(late);   // filled out of order on purpose
+  c.sink_for(0).emit(early);
+  std::ostringstream out;
+  obs::JsonlTraceWriter w(out);
+  c.write(w, "c");
+  const std::string text = out.str();
+  EXPECT_LT(text.find("\"run\":0"), text.find("\"run\":1"));
+}
+
+TEST(CampaignTraceCollector, SummarizeRollsUpCountsAndSpans) {
+  obs::CampaignTraceCollector c(1);
+  c.sink_for(0).emit(
+      obs::Event::instant(obs::Category::kRun, "run_begin", 0.0, 0));
+  c.sink_for(0).emit(sample_span());
+  obs::MetricsRegistry m;
+  c.summarize(m);
+  EXPECT_EQ(m.counter("events.total"), 2u);
+  EXPECT_EQ(m.counter("events.run_begin"), 1u);
+  EXPECT_EQ(m.counter("events.ckpt_bb"), 1u);
+  EXPECT_DOUBLE_EQ(m.stat("span_s.ckpt_bb").mean(), 2.5);
+}
+
+TEST(SimulateRunTrace, BeginsAndEndsEveryRun) {
+  auto& wd = trace_world();
+  core::CrConfig cfg;
+  cfg.kind = core::ModelKind::kP2;
+  obs::MemoryTraceSink sink;
+  auto setup = wd.setup();
+  setup.seed = 11;
+  setup.trace = &sink;
+  setup.run_id = 5;
+  const auto r = core::simulate_run(setup, cfg);
+  ASSERT_GT(sink.size(), 2u);
+  EXPECT_STREQ(sink.events().front().name, "run_begin");
+  bool saw_end = false;
+  for (const auto& e : sink.events()) {
+    EXPECT_EQ(e.run_id, 5u);
+    if (std::string_view(e.name) == "run_end") {
+      saw_end = true;
+      EXPECT_DOUBLE_EQ(e.field("makespan_s"), r.makespan_s);
+      EXPECT_DOUBLE_EQ(e.field("failures"),
+                       static_cast<double>(r.failures));
+      EXPECT_DOUBLE_EQ(e.field("unhandled"),
+                       static_cast<double>(r.unhandled));
+    }
+  }
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(SimulateRunTrace, KernelTracingIsOptIn) {
+  auto& wd = trace_world();
+  core::CrConfig cfg;
+  cfg.kind = core::ModelKind::kB;
+  obs::MemoryTraceSink off, on;
+  auto setup = wd.setup();
+  setup.seed = 3;
+  setup.trace = &off;
+  core::simulate_run(setup, cfg);
+  setup.trace = &on;
+  setup.trace_kernel = true;
+  core::simulate_run(setup, cfg);
+  auto kernel_events = [](const obs::MemoryTraceSink& s) {
+    std::size_t n = 0;
+    for (const auto& e : s.events()) {
+      if (e.category == obs::Category::kKernel) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(kernel_events(off), 0u);
+  EXPECT_GT(kernel_events(on), 0u);
+  EXPECT_GT(on.size(), off.size());
+}
+
+/// The ISSUE's headline determinism guarantee: serializing a campaign
+/// trace yields the same bytes for any worker count.
+TEST(CampaignTraceDeterminism, BytesIdenticalAcrossJobs) {
+  exec::SerialExecutor serial;
+  const std::string base =
+      campaign_trace_bytes(core::ModelKind::kP2, 16, serial);
+  ASSERT_FALSE(base.empty());
+  for (std::size_t jobs : {2u, 7u}) {
+    exec::ThreadPool pool(jobs);
+    exec::ThreadPoolExecutor ex(pool);
+    const std::string other =
+        campaign_trace_bytes(core::ModelKind::kP2, 16, ex);
+    EXPECT_EQ(base, other) << "trace bytes diverged at --jobs=" << jobs;
+  }
+}
+
+TEST(CampaignTraceDeterminism, ResultsUnchangedByTracing) {
+  auto& wd = trace_world();
+  core::CrConfig cfg;
+  cfg.kind = core::ModelKind::kP2;
+  exec::SerialExecutor ex;
+  obs::CampaignTraceCollector collector;
+  const auto traced =
+      core::run_campaign(wd.setup(), cfg, 8, 2022, ex, {}, &collector);
+  const auto plain = core::run_campaign(wd.setup(), cfg, 8, 2022, ex);
+  EXPECT_EQ(traced.makespan_s.mean(), plain.makespan_s.mean());
+  EXPECT_EQ(traced.failures, plain.failures);
+  EXPECT_EQ(traced.mitigated_ckpt, plain.mitigated_ckpt);
+  EXPECT_GT(collector.total_events(), 0u);
+}

@@ -1,0 +1,373 @@
+/// Property tests for the observability layer, in two parts.
+///
+/// Part A drives the DES kernel's `KernelTracer` hook with randomized
+/// coroutine programs (~100 seeds) and checks the hook's contract:
+/// schedule targets never lie in the past, fire times are monotone, the
+/// fire count matches the kernel's own event counter, and nothing is
+/// reported after the simulation drains (or after the tracer detaches).
+///
+/// Part B runs the full simulator with a `MemoryTraceSink` across every
+/// C/R model and many seeds, and reconciles the semantic event stream
+/// against the `RunResult` counters: the trace and the aggregate numbers
+/// are two views of the same run and must never disagree.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/simulation.hpp"
+#include "failure/lead_time_model.hpp"
+#include "obs/collector.hpp"
+#include "obs/trace_sink.hpp"
+#include "sim/sim.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace sim = pckpt::sim;
+namespace obs = pckpt::obs;
+namespace core = pckpt::core;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+
+namespace {
+
+// ---------------------------------------------------------------- Part A
+
+/// Records every kernel callback and flags any activity that arrives
+/// after the test declares the simulation closed.
+class RecordingTracer final : public sim::KernelTracer {
+ public:
+  struct Sched {
+    sim::SimTime now;
+    sim::SimTime fire_at;
+    sim::EventSeq seq;
+  };
+
+  void on_schedule(sim::SimTime now, sim::SimTime fire_at,
+                   sim::EventSeq seq) override {
+    if (closed) late_callbacks++;
+    schedules.push_back({now, fire_at, seq});
+  }
+  void on_event(sim::SimTime t, sim::EventSeq seq) override {
+    if (closed) late_callbacks++;
+    fires.emplace_back(t, seq);
+  }
+  void on_spawn(sim::SimTime /*now*/, const std::string& /*name*/) override {
+    if (closed) late_callbacks++;
+    spawns++;
+  }
+  void on_interrupt(sim::SimTime /*now*/,
+                    const std::string& /*name*/) override {
+    if (closed) late_callbacks++;
+    interrupts++;
+  }
+
+  std::vector<Sched> schedules;
+  std::vector<std::pair<sim::SimTime, sim::EventSeq>> fires;
+  int spawns = 0;
+  int interrupts = 0;
+  bool closed = false;
+  int late_callbacks = 0;
+};
+
+sim::Process worker(sim::Environment& env, std::vector<double> delays) {
+  try {
+    for (double d : delays) co_await env.timeout(d);
+  } catch (const sim::Interrupted&) {
+    co_return;
+  }
+}
+
+/// Interrupts victims on a fixed schedule; interrupting an already
+/// finished process is a documented no-op, so the plan needs no
+/// coordination with the victims' lifetimes.
+sim::Process chaos(sim::Environment& env, std::vector<sim::Process>* victims,
+                   std::vector<std::pair<double, std::size_t>> plan) {
+  for (auto [delay, idx] : plan) {
+    co_await env.timeout(delay);
+    (*victims)[idx % victims->size()].interrupt();
+  }
+}
+
+TEST(KernelTracerProperties, RandomProgramsSatisfyTheHookContract) {
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> n_workers(1, 6);
+    std::uniform_int_distribution<int> n_steps(1, 8);
+    std::uniform_real_distribution<double> delay(0.0, 10.0);
+
+    sim::Environment env;
+    RecordingTracer tracer;
+    env.set_tracer(&tracer);
+
+    std::vector<sim::Process> procs;
+    const int workers = n_workers(rng);
+    for (int i = 0; i < workers; ++i) {
+      std::vector<double> delays(static_cast<std::size_t>(n_steps(rng)));
+      for (double& d : delays) d = delay(rng);
+      procs.push_back(env.spawn(worker(env, std::move(delays))));
+    }
+    std::vector<std::pair<double, std::size_t>> plan(
+        static_cast<std::size_t>(n_steps(rng)));
+    for (auto& [d, idx] : plan) {
+      d = delay(rng);
+      idx = static_cast<std::size_t>(rng() % 64);
+    }
+    auto controller = env.spawn(chaos(env, &procs, std::move(plan)));
+    env.run();
+    tracer.closed = true;
+
+    // Schedule targets are never in the past.
+    for (const auto& s : tracer.schedules) {
+      ASSERT_GE(s.fire_at, s.now) << "seed " << seed;
+    }
+    // Fire times are monotone non-decreasing, and the tracer saw exactly
+    // the events the kernel says it processed.
+    for (std::size_t i = 1; i < tracer.fires.size(); ++i) {
+      ASSERT_GE(tracer.fires[i].first, tracer.fires[i - 1].first)
+          << "seed " << seed << ", fire " << i;
+    }
+    ASSERT_EQ(tracer.fires.size(), env.events_processed()) << "seed " << seed;
+    ASSERT_EQ(tracer.spawns, workers + 1) << "seed " << seed;
+    if (!tracer.fires.empty()) {
+      ASSERT_EQ(env.now(), tracer.fires.back().first) << "seed " << seed;
+    }
+
+    // A drained simulation is quiescent: no live processes, no pending
+    // events, no escaped exceptions, and no further tracer callbacks.
+    ASSERT_EQ(env.live_processes(), 0u) << "seed " << seed;
+    ASSERT_EQ(env.pending_events(), 0u) << "seed " << seed;
+    ASSERT_TRUE(env.process_errors().empty()) << "seed " << seed;
+    ASSERT_EQ(tracer.late_callbacks, 0) << "seed " << seed;
+
+    // Detaching really detaches.
+    env.set_tracer(nullptr);
+    tracer.closed = false;
+    const auto fires_before = tracer.fires.size();
+    env.spawn(worker(env, {1.0}));
+    env.run();
+    ASSERT_EQ(tracer.fires.size(), fires_before) << "seed " << seed;
+    ASSERT_EQ(tracer.spawns, workers + 1) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------- Part B
+
+/// A failure-hot world (job MTBF near one hour against a two-hour run)
+/// so that every mitigation path appears across the seed sweep.
+struct PropertyWorld {
+  w::Machine machine = w::summit();
+  pckpt::iomodel::StorageModel storage = machine.make_storage();
+  f::LeadTimeModel leads = f::LeadTimeModel::summit_default();
+  f::FailureSystem hot{"property-hot", 0.7, 0.5, 4608};
+  w::Application app{"property", 2048, 2048.0 * 16.0, 2.0};
+
+  core::RunSetup setup(std::uint64_t seed) const {
+    core::RunSetup s;
+    s.app = &app;
+    s.machine = &machine;
+    s.storage = &storage;
+    s.system = &hot;
+    s.leads = &leads;
+    s.seed = seed;
+    return s;
+  }
+};
+
+PropertyWorld& property_world() {
+  static PropertyWorld w;
+  return w;
+}
+
+std::size_t count_events(const std::vector<obs::Event>& events,
+                         std::string_view name) {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [&](const obs::Event& e) { return name == e.name; }));
+}
+
+class TraceReconciliation : public ::testing::TestWithParam<core::ModelKind> {
+};
+
+INSTANTIATE_TEST_SUITE_P(AllModels, TraceReconciliation,
+                         ::testing::Values(core::ModelKind::kB,
+                                           core::ModelKind::kM1,
+                                           core::ModelKind::kM2,
+                                           core::ModelKind::kP1,
+                                           core::ModelKind::kP2),
+                         [](const auto& param_info) {
+                           return std::string(
+                               core::to_string(param_info.param));
+                         });
+
+TEST_P(TraceReconciliation, EventStreamMatchesRunResultCounters) {
+  auto& wd = property_world();
+  core::CrConfig cfg;
+  cfg.kind = GetParam();
+  const bool is_base = GetParam() == core::ModelKind::kB;
+
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    obs::MemoryTraceSink sink;
+    auto setup = wd.setup(seed);
+    setup.trace = &sink;
+    setup.run_id = seed;
+    const auto r = core::simulate_run(setup, cfg);
+    const auto& events = sink.events();
+    ASSERT_FALSE(events.empty()) << "seed " << seed;
+
+    // Lifecycle: the stream opens with run_begin, contains exactly one
+    // run_end, and every event carries the configured run_id.
+    EXPECT_STREQ(events.front().name, "run_begin") << "seed " << seed;
+    ASSERT_EQ(count_events(events, "run_end"), 1u) << "seed " << seed;
+    for (const auto& e : events) {
+      ASSERT_EQ(e.run_id, seed);
+    }
+
+    // Emission order: events are appended at simulation time, so t1_s is
+    // non-decreasing across the whole stream (spans are emitted at their
+    // end time), and no span runs backwards.
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      ASSERT_LE(events[i].t0_s, events[i].t1_s) << "seed " << seed;
+      if (i > 0) {
+        ASSERT_GE(events[i].t1_s, events[i - 1].t1_s)
+            << "seed " << seed << ", event " << i << " ("
+            << events[i].name << " after " << events[i - 1].name << ")";
+      }
+    }
+
+    // Checkpoint bracketing: begin/end strictly alternate and balance,
+    // even when a write is cut short by a strike or a proactive request.
+    int depth = 0;
+    std::size_t completed_ckpts = 0;
+    for (const auto& e : events) {
+      const std::string_view name = e.name;
+      if (name == "ckpt_bb_begin") {
+        ASSERT_EQ(depth, 0) << "nested ckpt_bb at seed " << seed;
+        depth = 1;
+      } else if (name == "ckpt_bb_end") {
+        ASSERT_EQ(depth, 1) << "unmatched ckpt_bb_end at seed " << seed;
+        depth = 0;
+        if (e.field("completed") == 1.0) ++completed_ckpts;
+      }
+    }
+    EXPECT_EQ(depth, 0) << "unclosed ckpt_bb at seed " << seed;
+    EXPECT_EQ(completed_ckpts, static_cast<std::size_t>(r.periodic_ckpts))
+        << "seed " << seed;
+
+    // Count reconciliation: the trace and the RunResult are two views of
+    // the same run.
+    EXPECT_EQ(count_events(events, "failure"),
+              static_cast<std::size_t>(r.failures))
+        << "seed " << seed;
+    EXPECT_EQ(count_events(events, "lm_begin"),
+              static_cast<std::size_t>(r.lm_attempts))
+        << "seed " << seed;
+    EXPECT_EQ(count_events(events, "lm_abort"),
+              static_cast<std::size_t>(r.lm_aborts))
+        << "seed " << seed;
+    if (!is_base) {
+      EXPECT_EQ(count_events(events, "prediction_fp"),
+                static_cast<std::size_t>(r.false_positives))
+          << "seed " << seed;
+    }
+    std::size_t clean_rounds = 0;
+    int outcome_ckpt = 0, outcome_lm = 0, outcome_unhandled = 0;
+    for (const auto& e : events) {
+      const std::string_view name = e.name;
+      if (name == "pckpt_round_end" && e.field("aborted") == 0.0) {
+        ++clean_rounds;
+      }
+      if (name == "failure") {
+        const double outcome = e.field("outcome");
+        if (outcome == 1.0) {
+          ++outcome_ckpt;
+        } else if (outcome == 2.0) {
+          ++outcome_lm;
+        } else {
+          ++outcome_unhandled;
+        }
+      }
+    }
+    EXPECT_EQ(clean_rounds, static_cast<std::size_t>(r.proactive_ckpts))
+        << "seed " << seed;
+    // The per-failure outcome labels partition the failure count exactly
+    // like the aggregate mitigation counters... except that an aborted
+    // p-ckpt round may retroactively reclassify an already-emitted
+    // mitigated_ckpt failure as unhandled, so those two labels are
+    // compared as a sum.
+    EXPECT_EQ(outcome_lm, r.mitigated_lm) << "seed " << seed;
+    EXPECT_EQ(outcome_ckpt + outcome_unhandled,
+              r.mitigated_ckpt + r.unhandled)
+        << "seed " << seed;
+
+    // run_end payload mirrors the final RunResult field by field.
+    const auto run_end =
+        std::find_if(events.begin(), events.end(), [](const obs::Event& e) {
+          return std::string_view(e.name) == "run_end";
+        });
+    ASSERT_NE(run_end, events.end());
+    EXPECT_EQ(run_end->field("makespan_s"), r.makespan_s) << "seed " << seed;
+    const std::pair<const char*, int> counters[] = {
+        {"failures", r.failures},
+        {"predicted", r.predicted},
+        {"mitigated_ckpt", r.mitigated_ckpt},
+        {"mitigated_lm", r.mitigated_lm},
+        {"unhandled", r.unhandled},
+        {"false_positives", r.false_positives},
+        {"periodic_ckpts", r.periodic_ckpts},
+        {"proactive_ckpts", r.proactive_ckpts},
+        {"lm_attempts", r.lm_attempts},
+        {"lm_aborts", r.lm_aborts},
+    };
+    for (const auto& [key, value] : counters) {
+      EXPECT_EQ(run_end->field(key, -1.0), static_cast<double>(value))
+          << "run_end field '" << key << "' at seed " << seed;
+    }
+    // Only in-flight drains may outlive the application.
+    for (auto it = run_end + 1; it != events.end(); ++it) {
+      EXPECT_STREQ(it->name, "pfs_drain") << "seed " << seed;
+    }
+  }
+}
+
+/// Campaign-level reconciliation: per-trial trace counters sum to the
+/// CampaignResult's raw totals, and the collector accounts for every
+/// buffered event.
+TEST(TraceReconciliation, CampaignTotalsMatchCollectedTraces) {
+  auto& wd = property_world();
+  core::CrConfig cfg;
+  cfg.kind = core::ModelKind::kP2;
+  constexpr std::size_t kRuns = 12;
+
+  obs::CampaignTraceCollector collector;
+  pckpt::exec::SerialExecutor serial;
+  const auto r = core::run_campaign(wd.setup(0), cfg, kRuns, 99, serial, {},
+                                    &collector);
+
+  ASSERT_EQ(collector.trials(), kRuns);
+  std::size_t events_seen = 0;
+  double failures = 0, lm_attempts = 0, false_positives = 0;
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    const auto& events = collector.events_for(i);
+    events_seen += events.size();
+    failures += static_cast<double>(count_events(events, "failure"));
+    lm_attempts += static_cast<double>(count_events(events, "lm_begin"));
+    false_positives +=
+        static_cast<double>(count_events(events, "prediction_fp"));
+    for (const auto& e : events) {
+      ASSERT_EQ(e.run_id, i);
+    }
+  }
+  EXPECT_EQ(events_seen, collector.total_events());
+  EXPECT_EQ(failures, r.failures);
+  EXPECT_EQ(false_positives, r.false_positives);
+  EXPECT_GE(lm_attempts, r.mitigated_lm);  // attempts can abort or fail
+}
+
+}  // namespace

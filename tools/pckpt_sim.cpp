@@ -6,11 +6,14 @@
 /// Usage:
 ///   pckpt_sim <scenario.ini> [--models=B,M1,M2,P1,P2] [--runs=N]
 ///             [--seed=S] [--jobs=N] [--jsonl=PATH] [--csv]
+///             [--trace=PATH] [--trace-format=jsonl|chrome]
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -22,6 +25,7 @@
 #include "exec/result_sink.hpp"
 #include "exec/thread_pool.hpp"
 #include "failure/lead_time_model.hpp"
+#include "obs/obs.hpp"
 #include "core/scenario.hpp"
 
 namespace {
@@ -35,6 +39,10 @@ void usage() {
       "  --jobs=N                 worker threads (default: one per core)\n"
       "  --jsonl=PATH             append one JSON line per campaign to PATH\n"
       "  --csv                    CSV instead of aligned table\n"
+      "  --trace=PATH             write a semantic run trace to PATH\n"
+      "                           (schema: docs/OBSERVABILITY.md)\n"
+      "  --trace-format=FMT       jsonl (default) or chrome; chrome traces\n"
+      "                           load in Perfetto / chrome://tracing\n"
       "The scenario file format is documented in "
       "src/core/scenario.hpp and configs/summit.ini.\n");
 }
@@ -91,6 +99,8 @@ int main(int argc, char** argv) {
   std::size_t jobs = 0;  // 0 = one worker per hardware thread
   std::string jsonl_path;
   bool csv = false;
+  std::string trace_path;
+  pckpt::obs::TraceFormat trace_format = pckpt::obs::TraceFormat::kJsonl;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--models=", 0) == 0) {
@@ -117,6 +127,22 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--csv") {
       csv = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "pckpt_sim: --trace requires a path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--trace-format=", 0) == 0) {
+      try {
+        trace_format = obs::trace_format_from_string(arg.substr(15));
+      } catch (const std::exception&) {
+        std::fprintf(stderr,
+                     "pckpt_sim: --trace-format: expected jsonl|chrome, "
+                     "got '%s'\n",
+                     arg.substr(15).c_str());
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
@@ -148,6 +174,18 @@ int main(int argc, char** argv) {
     if (!jsonl_path.empty()) {
       sink = std::make_unique<exec::JsonlSink>(jsonl_path, /*append=*/true);
     }
+    std::ofstream trace_out;
+    std::unique_ptr<obs::TraceWriter> trace_writer;
+    if (!trace_path.empty()) {
+      trace_out.open(trace_path);
+      if (!trace_out) {
+        std::fprintf(stderr, "pckpt_sim: --trace: cannot open '%s'\n",
+                     trace_path.c_str());
+        return 2;
+      }
+      trace_writer = obs::make_trace_writer(trace_format, trace_out);
+    }
+    obs::MetricsRegistry trace_metrics;
 
     std::printf("pckpt_sim — %s, failure distribution %s, %zu paired runs, "
                 "%zu worker(s)\n\n",
@@ -165,19 +203,39 @@ int main(int argc, char** argv) {
       setup.system = &scenario.system;
       setup.leads = &leads;
 
-      // The base model is always computed for normalization.
+      // The base model is always computed for normalization. Its trace is
+      // emitted only when B is among the requested models.
+      const bool want_base_trace =
+          trace_writer != nullptr &&
+          std::find(kinds.begin(), kinds.end(), core::ModelKind::kB) !=
+              kinds.end();
       auto base_cfg = scenario.cr;
       base_cfg.kind = core::ModelKind::kB;
-      const auto base = core::run_campaign(setup, base_cfg, runs, seed,
-                                           *executor);
+      obs::CampaignTraceCollector base_collector;
+      const auto base =
+          core::run_campaign(setup, base_cfg, runs, seed, *executor, {},
+                             want_base_trace ? &base_collector : nullptr);
+      if (want_base_trace) {
+        base_collector.write(*trace_writer, app.name + "/B");
+        base_collector.summarize(trace_metrics);
+      }
 
       for (auto kind : kinds) {
         auto cfg = scenario.cr;
         cfg.kind = kind;
-        const auto r = kind == core::ModelKind::kB
-                           ? base
-                           : core::run_campaign(setup, cfg, runs, seed,
-                                                *executor);
+        obs::CampaignTraceCollector collector;
+        const bool trace_this =
+            trace_writer != nullptr && kind != core::ModelKind::kB;
+        const auto r =
+            kind == core::ModelKind::kB
+                ? base
+                : core::run_campaign(setup, cfg, runs, seed, *executor, {},
+                                     trace_this ? &collector : nullptr);
+        if (trace_this) {
+          collector.write(*trace_writer,
+                          app.name + "/" + std::string(core::to_string(kind)));
+          collector.summarize(trace_metrics);
+        }
         t.add_row();
         t.cell(app.name)
             .cell(std::string(core::to_string(kind)))
@@ -220,6 +278,14 @@ int main(int argc, char** argv) {
       t.print_csv(std::cout);
     } else {
       t.print(std::cout);
+    }
+    if (trace_writer) {
+      trace_writer->finish();
+      std::printf("\ntrace: %s (%s, %llu events)\n", trace_path.c_str(),
+                  std::string(obs::to_string(trace_format)).c_str(),
+                  static_cast<unsigned long long>(
+                      trace_writer->events_written()));
+      std::fputs(trace_metrics.to_string().c_str(), stdout);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pckpt_sim: %s\n", e.what());

@@ -6,8 +6,10 @@
 /// five-model configuration set, and the `Engine` that runs every
 /// campaign through the exec subsystem (thread pool + JSONL sink).
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -15,6 +17,7 @@
 #include <fstream>
 #include <initializer_list>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -26,7 +29,9 @@
 #include "core/simulation.hpp"
 #include "exec/result_sink.hpp"
 #include "exec/thread_pool.hpp"
+#include "obs/bench_json.hpp"
 #include "obs/collector.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_writer.hpp"
 #include "failure/lead_time_model.hpp"
 #include "failure/system_catalog.hpp"
@@ -44,6 +49,9 @@ struct Options {
   bool csv = false;
   std::string trace;  ///< semantic trace output path; empty = tracing off
   obs::TraceFormat trace_format = obs::TraceFormat::kJsonl;
+  std::string bench_json;  ///< BENCH_*.json output path; empty = off
+  bool profile = false;    ///< print the host-time attribution table
+  std::size_t repeat = 0;  ///< warmup+repeat samples; 0 = single sample
 };
 
 /// Parse a strictly-decimal unsigned integer; anything else (empty,
@@ -66,7 +74,9 @@ inline std::uint64_t parse_u64_flag(const char* flag, const char* text) {
   return v;
 }
 
-inline Options parse_options(int argc, char** argv) {
+/// `with_repeat` enables `--repeat=N` (micro benches only); every other
+/// binary keeps rejecting it so the flag surface stays strict.
+inline Options parse_options(int argc, char** argv, bool with_repeat = false) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -108,6 +118,20 @@ inline Options parse_options(int argc, char** argv) {
                      v7);
         std::exit(2);
       }
+    } else if (const char* v8 = value("--bench-json=")) {
+      if (*v8 == '\0') {
+        std::fprintf(stderr, "--bench-json: missing output path\n");
+        std::exit(2);
+      }
+      opt.bench_json = v8;
+    } else if (arg == "--profile") {
+      opt.profile = true;
+    } else if (with_repeat && (value("--repeat=") != nullptr)) {
+      opt.repeat = parse_u64_flag("--repeat", value("--repeat="));
+      if (opt.repeat == 0) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        std::exit(2);
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "options: --runs=N (default 200)  --seed=S (default 2022)\n"
@@ -118,7 +142,15 @@ inline Options parse_options(int argc, char** argv) {
           "         --trace=PATH (semantic run trace; see "
           "docs/OBSERVABILITY.md)\n"
           "         --trace-format=jsonl|chrome (default jsonl)\n"
+          "         --bench-json=PATH (machine-readable bench telemetry; "
+          "see docs/OBSERVABILITY.md)\n"
+          "         --profile (print host-time attribution table)\n"
           "         --system=titan|lanl8|lanl18  --csv\n");
+      if (with_repeat) {
+        std::printf(
+            "         --repeat=N (warmup + N timed samples; report "
+            "min/median/stddev)\n");
+      }
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
@@ -131,6 +163,113 @@ inline Options parse_options(int argc, char** argv) {
   }
   return opt;
 }
+
+/// min/median/stddev over the timed samples of a `--repeat=N` run — the
+/// stable signal regression gating needs on noisy 1-core CI containers
+/// (median gates; stddev is reported as informational).
+struct RepeatStats {
+  double min = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+};
+
+inline RepeatStats summarize_repeats(std::vector<double> samples) {
+  RepeatStats r;
+  if (samples.empty()) return r;
+  std::sort(samples.begin(), samples.end());
+  r.min = samples.front();
+  const std::size_t n = samples.size();
+  r.median = n % 2 == 1 ? samples[n / 2]
+                        : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+  double mean = 0.0;
+  for (const double s : samples) mean += s;
+  mean /= static_cast<double>(n);
+  double ss = 0.0;
+  for (const double s : samples) ss += (s - mean) * (s - mean);
+  r.stddev = n > 1 ? std::sqrt(ss / static_cast<double>(n - 1)) : 0.0;
+  return r;
+}
+
+/// Shared `--bench-json` / `--profile` lifecycle for a bench binary:
+/// validates the output path up front (strict, exit 2), attaches the
+/// self-profiler while measurements run, and on `finish()` prints the
+/// host-time attribution table and/or writes the `pckpt-bench/1`
+/// document. The standard identity keys (runs/seed/jobs/system) are
+/// pre-filled as `config`.
+class BenchTelemetry {
+ public:
+  BenchTelemetry(const Options& opt, std::string bench_name,
+                 std::size_t resolved_jobs)
+      : opt_(opt), writer_(std::move(bench_name)) {
+    if (!opt_.bench_json.empty()) {
+      std::ofstream probe(opt_.bench_json, std::ios::app);
+      if (!probe) {
+        std::fprintf(stderr, "--bench-json: cannot open '%s' for writing\n",
+                     opt_.bench_json.c_str());
+        std::exit(2);
+      }
+    }
+    writer_.add_config("runs", static_cast<double>(opt_.runs));
+    writer_.add_config("seed", static_cast<double>(opt_.seed));
+    writer_.add_config("jobs", static_cast<double>(resolved_jobs));
+    writer_.add_config("system", opt_.system);
+    if (opt_.repeat > 0) {
+      writer_.add_config("repeat", static_cast<double>(opt_.repeat));
+    }
+    // Attach only when nothing else is profiling (e.g. a binary stacking
+    // several Engines): the first owner wins, the rest just read it.
+    if (active() && obs::Profiler::active() == nullptr) {
+      profiler_.emplace();
+      profiler_->attach();
+    }
+  }
+
+  ~BenchTelemetry() { finish(); }
+  BenchTelemetry(const BenchTelemetry&) = delete;
+  BenchTelemetry& operator=(const BenchTelemetry&) = delete;
+
+  /// Telemetry requested at all (profiler attached, doc will be emitted)?
+  bool active() const noexcept {
+    return opt_.profile || !opt_.bench_json.empty();
+  }
+
+  void add_metric(std::string_view key, double value) {
+    writer_.add_metric(key, value);
+  }
+
+  /// Stop profiling, render outputs. Idempotent; called by the dtor.
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    obs::ProfileReport report;
+    if (profiler_) {
+      profiler_->detach();
+      report = profiler_->report();
+      writer_.set_profile(report);
+    }
+    if (opt_.profile && !report.empty()) {
+      std::printf("\nhost-time attribution (%zu thread record(s), %.4f s "
+                  "instrumented):\n%s",
+                  report.threads, report.covered_s(),
+                  report.to_string().c_str());
+    }
+    if (!opt_.bench_json.empty()) {
+      try {
+        writer_.write(opt_.bench_json);
+        std::printf("\nwrote bench telemetry to %s\n", opt_.bench_json.c_str());
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--bench-json: %s\n", e.what());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  Options opt_;
+  obs::BenchJsonWriter writer_;
+  std::optional<obs::Profiler> profiler_;
+  bool finished_ = false;
+};
 
 /// Everything a campaign needs, built once per binary.
 struct World {
@@ -193,10 +332,20 @@ class Engine {
       }
       trace_writer_ = obs::make_trace_writer(opt_.trace_format, trace_out_);
     }
+    telemetry_ = std::make_unique<BenchTelemetry>(opt_, bench_, jobs_);
   }
 
   ~Engine() {
     if (trace_writer_) trace_writer_->finish();
+    if (telemetry_) {
+      telemetry_->add_metric("wall_s", total_wall_s_);
+      telemetry_->add_metric("trials_per_s",
+                             total_wall_s_ > 0.0
+                                 ? static_cast<double>(total_trials_) /
+                                       total_wall_s_
+                                 : 0.0);
+      telemetry_->finish();
+    }
   }
 
   const Options& options() const noexcept { return opt_; }
@@ -229,6 +378,8 @@ class Engine {
     const double wall_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    total_wall_s_ += wall_s;
+    total_trials_ += opt_.runs;
     if (sink_) {
       exec::JsonlRow row;
       row.add("bench", bench_)
@@ -284,7 +435,10 @@ class Engine {
   std::unique_ptr<exec::JsonlSink> sink_;
   std::ofstream trace_out_;
   std::unique_ptr<obs::TraceWriter> trace_writer_;
+  std::unique_ptr<BenchTelemetry> telemetry_;
   obs::MetricsRegistry metrics_;
+  double total_wall_s_ = 0.0;
+  std::uint64_t total_trials_ = 0;
 };
 
 /// JSONL emission for the table-only binaries (no campaigns): write every

@@ -1,9 +1,20 @@
 /// Microbenchmarks (google-benchmark): DES kernel event throughput,
 /// coroutine process switching, performance-matrix lookups, RNG sampling,
 /// and one full end-to-end simulated run per model.
+///
+/// On top of google-benchmark's own flags this binary accepts the repo's
+/// bench-telemetry flags: `--repeat=N` (maps to N repetitions reporting
+/// aggregates only) and `--bench-json=PATH` (pckpt-bench/1 document, one
+/// metric per benchmark/aggregate; see docs/OBSERVABILITY.md).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
 #include "core/simulation.hpp"
 #include "failure/lead_time_model.hpp"
 #include "failure/system_catalog.hpp"
@@ -95,6 +106,100 @@ void BM_FullRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRun)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
 
+/// ConsoleReporter that also keeps every reported run so the main below
+/// can translate them into pckpt-bench/1 metrics after the fact.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& run : report) runs_.push_back(run);
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<Run>& runs() const noexcept { return runs_; }
+
+ private:
+  std::vector<Run> runs_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using benchmark::BenchmarkReporter;
+
+  // Split our flags from google-benchmark's. `--repeat=N` becomes
+  // N repetitions with aggregate-only reporting (median/stddev per
+  // benchmark — the stable signal for gating); everything unrecognized
+  // is left for benchmark::Initialize to validate.
+  std::string bench_json;
+  std::uint64_t repeat = 0;
+  std::vector<std::string> passthrough;
+  passthrough.emplace_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      bench_json = arg.substr(13);
+      if (bench_json.empty()) {
+        std::fprintf(stderr, "--bench-json: missing output path\n");
+        return 2;
+      }
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      repeat = pckpt::bench::parse_u64_flag("--repeat", arg.c_str() + 9);
+      if (repeat == 0) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        return 2;
+      }
+    } else {
+      passthrough.push_back(arg);
+    }
+  }
+  if (repeat > 0) {
+    passthrough.push_back("--benchmark_repetitions=" + std::to_string(repeat));
+    passthrough.push_back("--benchmark_report_aggregates_only=true");
+  }
+  std::vector<char*> gb_argv;
+  for (std::string& s : passthrough) gb_argv.push_back(s.data());
+  int gb_argc = static_cast<int>(gb_argv.size());
+  benchmark::Initialize(&gb_argc, gb_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(gb_argc, gb_argv.data())) {
+    return 2;
+  }
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (bench_json.empty()) return 0;
+
+  pckpt::obs::BenchJsonWriter writer("micro_des");
+  writer.add_config("repetitions",
+                    static_cast<double>(repeat > 0 ? repeat : 1));
+  for (const BenchmarkReporter::Run& run : reporter.runs()) {
+    if (run.error_occurred) continue;
+    // "BM_FullRun/2.real_us" (+ ".median"/".stddev" for aggregates):
+    // real time is lower-is-better by the naming convention, and
+    // items_per_second maps to a higher-is-better `_per_s` metric.
+    std::string name = run.run_name.str();
+    name += ".real_";
+    name += benchmark::GetTimeUnitString(run.time_unit);
+    std::string suffix;
+    if (run.run_type == BenchmarkReporter::Run::RT_Aggregate) {
+      if (run.aggregate_name == "cv") continue;  // noise ratio, not a metric
+      suffix = "." + run.aggregate_name;
+    }
+    writer.add_metric(name + suffix, run.GetAdjustedRealTime());
+    const auto items = run.counters.find("items_per_second");
+    if (items != run.counters.end()) {
+      std::string base = run.run_name.str();
+      writer.add_metric(base + ".items_per_s" + suffix,
+                        static_cast<double>(items->second));
+    }
+  }
+  try {
+    writer.write(bench_json);
+    std::printf("wrote bench telemetry to %s\n", bench_json.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "--bench-json: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}

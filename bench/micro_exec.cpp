@@ -60,7 +60,7 @@ bool results_identical(const CampaignResult& a, const CampaignResult& b) {
 
 int main(int argc, char** argv) {
   using namespace pckpt;
-  auto opt = bench::parse_options(argc, argv);
+  auto opt = bench::parse_options(argc, argv, /*with_repeat=*/true);
   if (opt.runs == 200) opt.runs = 500;  // default: a 500-trial campaign
 
   const bench::World world(opt.system);
@@ -69,42 +69,95 @@ int main(int argc, char** argv) {
   core::CrConfig cfg;
   cfg.kind = core::ModelKind::kP2;
 
+  const std::size_t jobs = exec::resolve_jobs(opt.jobs);
+  bench::BenchTelemetry telemetry(opt, "micro_exec", jobs);
+
   std::printf("micro_exec — campaign engine throughput and determinism\n");
   std::printf("workload: %s, model P2, %zu trials, base seed %llu\n\n",
               app.name.c_str(), opt.runs,
               static_cast<unsigned long long>(opt.seed));
 
   // ---- Part 1: serial vs parallel throughput. ------------------------
+  // With --repeat=N: one untimed warmup, then N timed samples per mode,
+  // reported as min/median/stddev (the median gates regressions; a single
+  // sample is far too noisy on 1-core CI containers).
+  //
+  // All serial samples run before the ThreadPool exists: glibc malloc
+  // stays on its single-threaded fast path until the first pthread is
+  // spawned, and the campaign's coroutine frames allocate enough that
+  // creating the pool up front costs the serial runs ~15% — which would
+  // read as a phantom regression against pre-pool baselines.
   CampaignResult serial;
-  const double serial_s = wall_seconds([&] {
-    serial = core::run_campaign(setup, cfg, opt.runs, opt.seed);
-  });
-
-  const std::size_t jobs = exec::resolve_jobs(opt.jobs);
+  CampaignResult parallel;
+  const std::size_t samples = opt.repeat > 0 ? opt.repeat : 1;
+  if (opt.repeat > 0) {
+    std::printf("repeat mode: 1 warmup + %zu samples per mode\n\n", samples);
+    core::run_campaign(setup, cfg, opt.runs, opt.seed);  // warmup
+  }
+  std::vector<double> serial_walls, pool_walls;
+  for (std::size_t s = 0; s < samples; ++s) {
+    serial_walls.push_back(wall_seconds([&] {
+      serial = core::run_campaign(setup, cfg, opt.runs, opt.seed);
+    }));
+  }
   exec::ThreadPool pool(jobs);
   exec::ThreadPoolExecutor pool_exec(pool);
-  CampaignResult parallel;
-  const double parallel_s = wall_seconds([&] {
-    parallel = core::run_campaign(setup, cfg, opt.runs, opt.seed, pool_exec);
-  });
+  for (std::size_t s = 0; s < samples; ++s) {
+    pool_walls.push_back(wall_seconds([&] {
+      parallel = core::run_campaign(setup, cfg, opt.runs, opt.seed, pool_exec);
+    }));
+  }
+  auto rates = [&](const std::vector<double>& walls) {
+    std::vector<double> r;
+    for (const double w : walls) {
+      r.push_back(w > 0.0 ? static_cast<double>(opt.runs) / w : 0.0);
+    }
+    return bench::summarize_repeats(std::move(r));
+  };
+  const bench::RepeatStats serial_rate = rates(serial_walls);
+  const bench::RepeatStats pool_rate = rates(pool_walls);
+  const double serial_s = bench::summarize_repeats(serial_walls).median;
+  const double parallel_s = bench::summarize_repeats(pool_walls).median;
 
-  analysis::Table t({"mode", "jobs", "wall(s)", "trials/s", "speedup"});
+  analysis::Table t(opt.repeat > 0
+                        ? std::vector<std::string>{"mode", "jobs", "wall(s)",
+                                                   "trials/s med", "min",
+                                                   "stddev", "speedup"}
+                        : std::vector<std::string>{"mode", "jobs", "wall(s)",
+                                                   "trials/s", "speedup"});
   t.add_row();
-  t.cell("serial")
-      .cell(1)
-      .cell(serial_s, 3)
-      .cell(static_cast<double>(opt.runs) / serial_s, 1)
-      .cell(1.0, 2);
+  t.cell("serial").cell(1).cell(serial_s, 3).cell(serial_rate.median, 1);
+  if (opt.repeat > 0) {
+    t.cell(serial_rate.min, 1).cell(serial_rate.stddev, 1);
+  }
+  t.cell(1.0, 2);
   t.add_row();
   t.cell("pool")
       .cell(static_cast<int>(jobs))
       .cell(parallel_s, 3)
-      .cell(static_cast<double>(opt.runs) / parallel_s, 1)
-      .cell(serial_s / parallel_s, 2);
+      .cell(pool_rate.median, 1);
+  if (opt.repeat > 0) {
+    t.cell(pool_rate.min, 1).cell(pool_rate.stddev, 1);
+  }
+  t.cell(serial_s / parallel_s, 2);
   if (opt.csv) {
     t.print_csv(std::cout);
   } else {
     t.print(std::cout);
+  }
+
+  if (opt.repeat > 0) {
+    telemetry.add_metric("serial.trials_per_s.median", serial_rate.median);
+    telemetry.add_metric("serial.trials_per_s.min", serial_rate.min);
+    telemetry.add_metric("serial.trials_per_s.stddev", serial_rate.stddev);
+    telemetry.add_metric("pool.trials_per_s.median", pool_rate.median);
+    telemetry.add_metric("pool.trials_per_s.min", pool_rate.min);
+    telemetry.add_metric("pool.trials_per_s.stddev", pool_rate.stddev);
+    telemetry.add_metric("speedup.median", serial_s / parallel_s);
+  } else {
+    telemetry.add_metric("serial.trials_per_s", serial_rate.median);
+    telemetry.add_metric("pool.trials_per_s", pool_rate.median);
+    telemetry.add_metric("speedup", serial_s / parallel_s);
   }
 
   if (opt.jsonl.empty()) {

@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include "obs/collector.hpp"
+#include "obs/profiler.hpp"
 #include "random/rng.hpp"
 
 namespace pckpt::core {
@@ -54,6 +55,7 @@ CampaignResult run_campaign_shard(const RunSetup& base, const CrConfig& config,
   shard.kind = config.kind;
   shard.runs = last_run - first_run;
   for (std::size_t i = first_run; i < last_run; ++i) {
+    obs::ScopedTimer prof_span("campaign.simulate");
     RunSetup setup = base;
     setup.seed = rnd::derive_seed(base_seed, i);
     if (trace != nullptr) {
@@ -85,7 +87,10 @@ CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
 
   CampaignResult agg;
   agg.kind = config.kind;
-  for (const auto& shard : shards) agg.merge(shard);
+  {
+    obs::ScopedTimer prof_span("campaign.merge");
+    for (const auto& shard : shards) agg.merge(shard);
+  }
   return agg;
 }
 
@@ -120,6 +125,7 @@ std::vector<CampaignResult> run_model_comparison(
 
   std::vector<CampaignResult> out;
   out.reserve(configs.size());
+  obs::ScopedTimer prof_span("campaign.merge");
   for (std::size_t c = 0; c < configs.size(); ++c) {
     CampaignResult agg;
     agg.kind = configs[c].kind;

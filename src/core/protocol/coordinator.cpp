@@ -6,6 +6,7 @@
 #include <map>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "obs/trace_sink.hpp"
 #include "sim/sim.hpp"
 
@@ -275,6 +276,7 @@ class Round {
 
 RoundResult simulate_round(const ProtocolConfig& cfg,
                            std::vector<VulnerableSpec> vulnerable) {
+  obs::ScopedTimer prof_span("protocol.round");
   Round round(cfg, std::move(vulnerable));
   return round.run();
 }

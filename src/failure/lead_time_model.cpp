@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
+
 namespace pckpt::failure {
 
 namespace {
@@ -50,6 +52,7 @@ LeadTimeModel LeadTimeModel::summit_default() {
 }
 
 LeadTimeModel::Sample LeadTimeModel::sample(rnd::Xoshiro256& rng) const {
+  obs::ScopedTimer prof_span("rng.lead_sample");
   const std::size_t idx = picker_(rng);
   return Sample{sequences_[idx].id, dists_[idx](rng)};
 }

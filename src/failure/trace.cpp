@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/profiler.hpp"
 #include "random/distributions.hpp"
 #include "random/rng.hpp"
 
@@ -36,6 +37,7 @@ void FailureTrace::ensure_horizon(double t_s) {
 }
 
 void FailureTrace::generate() {
+  obs::ScopedTimer prof_span("failure.trace_gen");
   failures_.clear();
   events_.clear();
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace pckpt::iomodel {
 
 namespace {
@@ -60,6 +62,7 @@ PerfMatrix::PerfMatrix(std::vector<double> node_counts,
 }
 
 double PerfMatrix::bandwidth(double nodes, double per_node_gb) const {
+  obs::ScopedTimer prof_span("iomodel.lookup");
   if (!(nodes > 0.0) || !(per_node_gb > 0.0)) {
     throw std::invalid_argument("PerfMatrix::bandwidth: arguments must be > 0");
   }

@@ -1,0 +1,681 @@
+#include "obs/bench_json.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "exec/result_sink.hpp"
+
+namespace pckpt::obs {
+
+namespace {
+
+#if defined(PCKPT_GIT_REV)
+constexpr const char* kGitRev = PCKPT_GIT_REV;
+#else
+constexpr const char* kGitRev = "unknown";
+#endif
+
+std::string json_string(std::string_view s) {
+  return "\"" + exec::JsonlRow::escape(s) + "\"";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Writer.
+// ---------------------------------------------------------------------
+
+BenchJsonWriter::BenchJsonWriter(std::string bench_name)
+    : bench_(std::move(bench_name)) {}
+
+void BenchJsonWriter::add_config(std::string_view key, double value) {
+  config_.emplace_back(std::string(key), exec::JsonlRow::number(value));
+}
+
+void BenchJsonWriter::add_config(std::string_view key,
+                                 std::string_view value) {
+  config_.emplace_back(std::string(key), json_string(value));
+}
+
+void BenchJsonWriter::add_metric(std::string_view key, double value) {
+  metrics_.emplace_back(std::string(key), value);
+}
+
+void BenchJsonWriter::set_profile(const ProfileReport& report) {
+  profile_.clear();
+  for (const auto& e : report.spans) {
+    profile_.push_back(ProfileRow{
+        e.label, e.stats.calls, static_cast<double>(e.stats.total_ns) * 1e-9,
+        static_cast<double>(e.stats.self_ns()) * 1e-9});
+  }
+}
+
+std::string BenchJsonWriter::str() const {
+  const HostCounters host = sample_host_counters();
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": " + json_string(kBenchSchema) + ",\n";
+  out += "  \"bench\": " + json_string(bench_) + ",\n";
+  out += "  \"git_rev\": " + json_string(kGitRev) + ",\n";
+  out += "  \"host\": {";
+  out += "\"clock\": " + json_string(ProfClock::name());
+  out += ", \"peak_rss_kb\": " +
+         exec::JsonlRow::number(static_cast<double>(host.peak_rss_kb));
+  if (host.heap_valid) {
+    out += ", \"heap_used_kb\": " +
+           exec::JsonlRow::number(static_cast<double>(host.heap_used_kb));
+  }
+  out += "},\n";
+  out += "  \"config\": {";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_string(config_[i].first) + ": " + config_[i].second;
+  }
+  out += "},\n";
+  out += "  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n    " + json_string(metrics_[i].first) + ": " +
+           exec::JsonlRow::number(metrics_[i].second);
+  }
+  out += metrics_.empty() ? std::string("},\n") : std::string("\n  },\n");
+  out += "  \"profile\": {";
+  for (std::size_t i = 0; i < profile_.size(); ++i) {
+    const ProfileRow& r = profile_[i];
+    if (i > 0) out += ",";
+    out += "\n    " + json_string(r.label) + ": {\"calls\": " +
+           exec::JsonlRow::number(static_cast<double>(r.calls)) +
+           ", \"total_s\": " + exec::JsonlRow::number(r.total_s) +
+           ", \"self_s\": " + exec::JsonlRow::number(r.self_s) + "}";
+  }
+  out += profile_.empty() ? std::string("}\n") : std::string("\n  }\n");
+  out += "}\n";
+  return out;
+}
+
+void BenchJsonWriter::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("bench-json: cannot open '" + path +
+                             "' for writing");
+  }
+  out << str();
+  if (!out.good()) {
+    throw std::runtime_error("bench-json: write to '" + path + "' failed");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Minimal JSON reader — just enough for the pckpt-bench/1 schema (and
+// strict about it: any syntax error reports its byte offset). Numbers,
+// strings, bools, nulls, arrays and objects are parsed; values land in a
+// small tagged union.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  const JsonValue* get(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.compare(pos_, lit.size(), lit) == 0) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue value() {
+    const char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        v.kind = JsonValue::Kind::kString;
+        v.string = string();
+        return v;
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        v.kind = JsonValue::Kind::kNull;
+        return v;
+      default:
+        return number();
+    }
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected object key");
+      std::string key = string();
+      expect(':');
+      v.object.emplace_back(std::move(key), value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // Bench documents are ASCII; keep non-ASCII escapes lossy-simple.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  JsonValue number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (errno == ERANGE || end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number '" + token + "'");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = d;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string render_scalar(const JsonValue& v) {
+  switch (v.kind) {
+    case JsonValue::Kind::kString: return v.string;
+    case JsonValue::Kind::kNumber: return exec::JsonlRow::number(v.number);
+    case JsonValue::Kind::kBool: return v.boolean ? "true" : "false";
+    default: return "null";
+  }
+}
+
+}  // namespace
+
+BenchDoc parse_bench_json(std::string_view text) {
+  const JsonValue root = JsonParser(text).parse();
+  if (root.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("bench-json: top level is not an object");
+  }
+  BenchDoc doc;
+  const JsonValue* schema = root.get("schema");
+  if (schema == nullptr || schema->kind != JsonValue::Kind::kString) {
+    throw std::runtime_error("bench-json: missing \"schema\" marker");
+  }
+  doc.schema = schema->string;
+  if (doc.schema != kBenchSchema) {
+    throw std::runtime_error("bench-json: unsupported schema '" + doc.schema +
+                             "' (expected '" + std::string(kBenchSchema) +
+                             "')");
+  }
+  if (const JsonValue* b = root.get("bench");
+      b != nullptr && b->kind == JsonValue::Kind::kString) {
+    doc.bench = b->string;
+  }
+  if (const JsonValue* r = root.get("git_rev");
+      r != nullptr && r->kind == JsonValue::Kind::kString) {
+    doc.git_rev = r->string;
+  }
+  if (const JsonValue* c = root.get("config");
+      c != nullptr && c->kind == JsonValue::Kind::kObject) {
+    for (const auto& [k, v] : c->object) doc.config[k] = render_scalar(v);
+  }
+  const JsonValue* m = root.get("metrics");
+  if (m == nullptr || m->kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("bench-json: missing \"metrics\" object");
+  }
+  for (const auto& [k, v] : m->object) {
+    if (v.kind != JsonValue::Kind::kNumber) {
+      throw std::runtime_error("bench-json: metric '" + k +
+                               "' is not a number");
+    }
+    doc.metrics[k] = v.number;
+  }
+  if (const JsonValue* p = root.get("profile");
+      p != nullptr && p->kind == JsonValue::Kind::kObject) {
+    for (const auto& [label, entry] : p->object) {
+      if (entry.kind != JsonValue::Kind::kObject) continue;
+      BenchDoc::ProfileEntry pe;
+      if (const JsonValue* x = entry.get("calls");
+          x != nullptr && x->kind == JsonValue::Kind::kNumber) {
+        pe.calls = static_cast<std::uint64_t>(x->number);
+      }
+      if (const JsonValue* x = entry.get("total_s");
+          x != nullptr && x->kind == JsonValue::Kind::kNumber) {
+        pe.total_s = x->number;
+      }
+      if (const JsonValue* x = entry.get("self_s");
+          x != nullptr && x->kind == JsonValue::Kind::kNumber) {
+        pe.self_s = x->number;
+      }
+      doc.profile[label] = pe;
+    }
+  }
+  return doc;
+}
+
+BenchDoc load_bench_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open '" + path + "'");
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    return parse_bench_json(ss.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Comparison.
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string_view strip_aggregate_suffix(std::string_view name) {
+  for (const std::string_view suffix :
+       {".min", ".median", ".max", ".mean"}) {
+    if (name.size() > suffix.size() &&
+        name.substr(name.size() - suffix.size()) == suffix) {
+      return name.substr(0, name.size() - suffix.size());
+    }
+  }
+  return name;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+bool higher_is_better(std::string_view metric) {
+  const std::string_view base = strip_aggregate_suffix(metric);
+  return ends_with(base, "_per_s") || ends_with(base, "_rate") ||
+         ends_with(base, "speedup");
+}
+
+bool is_informational(std::string_view metric) {
+  return ends_with(metric, ".stddev");
+}
+
+CompareResult compare_bench(const BenchDoc& baseline, const BenchDoc& current,
+                            double tolerance_frac) {
+  CompareResult out;
+  for (const auto& [key, base_v] : baseline.config) {
+    auto it = current.config.find(key);
+    const std::string cur_v = it != current.config.end() ? it->second : "-";
+    if (cur_v != base_v) {
+      out.config_changes.push_back(key + ": " + base_v + " -> " + cur_v);
+    }
+  }
+  for (const auto& [name, base_v] : baseline.metrics) {
+    auto it = current.metrics.find(name);
+    if (it == current.metrics.end()) {
+      out.only_baseline.push_back(name);
+      out.regression = true;  // a gated metric vanished
+      continue;
+    }
+    MetricDelta d;
+    d.name = name;
+    d.baseline = base_v;
+    d.current = it->second;
+    d.higher_better = higher_is_better(name);
+    d.informational = is_informational(name);
+    const double denom = std::abs(base_v);
+    d.change_frac = denom > 0.0 ? (d.current - d.baseline) / denom
+                                : (d.current == d.baseline ? 0.0 : HUGE_VAL);
+    if (!d.informational && std::isfinite(d.change_frac)) {
+      const double worsening =
+          d.higher_better ? -d.change_frac : d.change_frac;
+      d.regressed = worsening > tolerance_frac;
+    } else if (!d.informational && !std::isfinite(d.change_frac)) {
+      d.regressed = !d.higher_better && d.current > d.baseline;
+    }
+    out.regression = out.regression || d.regressed;
+    out.deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, v] : current.metrics) {
+    (void)v;
+    if (baseline.metrics.find(name) == baseline.metrics.end()) {
+      out.only_current.push_back(name);
+    }
+  }
+  return out;
+}
+
+std::string format_compare(const BenchDoc& baseline, const BenchDoc& current,
+                           const CompareResult& cmp) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof buf, "bench %s: %s (%s) vs %s (%s)\n",
+                current.bench.c_str(), baseline.git_rev.c_str(), "baseline",
+                current.git_rev.c_str(), "current");
+  out += buf;
+  for (const auto& c : cmp.config_changes) {
+    out += "  config changed — comparison may be meaningless: " + c + "\n";
+  }
+  std::snprintf(buf, sizeof buf, "  %-36s %14s %14s %9s  %s\n", "metric",
+                "baseline", "current", "delta", "status");
+  out += buf;
+  for (const auto& d : cmp.deltas) {
+    const char* status = d.informational
+                             ? "info"
+                             : (d.regressed ? "REGRESSED"
+                                            : (d.higher_better
+                                                   ? (d.change_frac >= 0 ? "ok"
+                                                                         : "ok(-)")
+                                                   : (d.change_frac <= 0
+                                                          ? "ok"
+                                                          : "ok(-)")));
+    std::snprintf(buf, sizeof buf, "  %-36s %14.6g %14.6g %+8.1f%%  %s\n",
+                  d.name.c_str(), d.baseline, d.current,
+                  100.0 * d.change_frac, status);
+    out += buf;
+  }
+  for (const auto& name : cmp.only_baseline) {
+    out += "  " + name + ": present in baseline only — REGRESSED\n";
+  }
+  for (const auto& name : cmp.only_current) {
+    out += "  " + name + ": new metric (not gated)\n";
+  }
+  // Profile shifts are advisory: self-time moving between subsystems is
+  // diagnostic context for a wall-time regression, never a gate itself.
+  for (const auto& [label, base_p] : baseline.profile) {
+    auto it = current.profile.find(label);
+    if (it == current.profile.end()) continue;
+    const double denom = base_p.self_s;
+    if (denom <= 0.0) continue;
+    const double frac = (it->second.self_s - base_p.self_s) / denom;
+    if (std::abs(frac) >= 0.25) {
+      std::snprintf(buf, sizeof buf,
+                    "  profile %-27s self %.4fs -> %.4fs (%+.0f%%)\n",
+                    label.c_str(), base_p.self_s, it->second.self_s,
+                    100.0 * frac);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// CLI driver.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void usage(std::ostream& err) {
+  err << "usage: bench_report [options] BASELINE.json CURRENT.json\n"
+         "       bench_report [options] BASELINE_DIR CURRENT_DIR\n"
+         "  --tolerance=PCT  allowed regression in percent (default 10)\n"
+         "  --warn-only      report regressions but always exit 0\n"
+         "Directory mode compares every BENCH_*.json in CURRENT_DIR\n"
+         "against the file of the same name in BASELINE_DIR (typically\n"
+         "the committed bench/baselines/). Exit codes: 0 = ok,\n"
+         "1 = regression beyond tolerance, 2 = usage or parse error.\n";
+}
+
+/// One file-vs-file comparison; returns true when a regression gates.
+bool report_pair(const std::string& base_path, const std::string& cur_path,
+                 double tolerance, std::ostream& out) {
+  const BenchDoc baseline = load_bench_json(base_path);
+  const BenchDoc current = load_bench_json(cur_path);
+  const CompareResult cmp = compare_bench(baseline, current, tolerance);
+  out << format_compare(baseline, current, cmp);
+  return cmp.regression;
+}
+
+}  // namespace
+
+int run_bench_report(const std::vector<std::string>& args, std::ostream& out,
+                     std::ostream& err) {
+  namespace fs = std::filesystem;
+  double tolerance = 0.10;
+  bool warn_only = false;
+  std::vector<std::string> paths;
+  for (const auto& arg : args) {
+    if (arg.rfind("--tolerance=", 0) == 0) {
+      const std::string v = arg.substr(12);
+      errno = 0;
+      char* end = nullptr;
+      const double pct = std::strtod(v.c_str(), &end);
+      if (v.empty() || errno == ERANGE || end != v.c_str() + v.size() ||
+          !(pct >= 0.0)) {
+        err << "bench_report: --tolerance: expected a non-negative percent, "
+               "got '"
+            << v << "'\n";
+        return 2;
+      }
+      tolerance = pct / 100.0;
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(out);
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      err << "bench_report: unknown option: " << arg << "\n";
+      usage(err);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2) {
+    err << "bench_report: expected exactly two paths, got "
+        << paths.size() << "\n";
+    usage(err);
+    return 2;
+  }
+
+  bool regression = false;
+  try {
+    std::error_code ec;
+    const bool base_dir = fs::is_directory(paths[0], ec);
+    const bool cur_dir = fs::is_directory(paths[1], ec);
+    if (base_dir != cur_dir) {
+      err << "bench_report: '" << paths[0] << "' and '" << paths[1]
+          << "' must both be files or both be directories\n";
+      return 2;
+    }
+    if (!base_dir) {
+      regression = report_pair(paths[0], paths[1], tolerance, out);
+    } else {
+      std::vector<std::string> names;
+      for (const auto& entry : fs::directory_iterator(paths[1])) {
+        const std::string name = entry.path().filename().string();
+        if (entry.is_regular_file() && name.rfind("BENCH_", 0) == 0 &&
+            ends_with(name, ".json")) {
+          names.push_back(name);
+        }
+      }
+      std::sort(names.begin(), names.end());
+      if (names.empty()) {
+        err << "bench_report: no BENCH_*.json files under '" << paths[1]
+            << "'\n";
+        return 2;
+      }
+      std::size_t compared = 0;
+      for (const auto& name : names) {
+        const fs::path base_path = fs::path(paths[0]) / name;
+        if (!fs::exists(base_path)) {
+          out << name << ": no committed baseline yet (skipped; regenerate "
+                         "per docs/OBSERVABILITY.md)\n";
+          continue;
+        }
+        regression =
+            report_pair(base_path.string(),
+                        (fs::path(paths[1]) / name).string(), tolerance, out) ||
+            regression;
+        ++compared;
+      }
+      for (const auto& entry : fs::directory_iterator(paths[0])) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("BENCH_", 0) == 0 && ends_with(name, ".json") &&
+            !fs::exists(fs::path(paths[1]) / name)) {
+          out << name << ": baseline has no current counterpart\n";
+        }
+      }
+      out << "compared " << compared << " of " << names.size()
+          << " bench file(s)\n";
+    }
+  } catch (const std::exception& e) {
+    err << "bench_report: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (regression) {
+    out << (warn_only ? "REGRESSION detected (warn-only mode: exit 0)\n"
+                      : "REGRESSION detected\n");
+    return warn_only ? 0 : 1;
+  }
+  out << "no regression beyond tolerance\n";
+  return 0;
+}
+
+}  // namespace pckpt::obs

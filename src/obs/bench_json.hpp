@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/profiler.hpp"
+
+/// \file bench_json.hpp
+/// Machine-readable bench telemetry (schema `pckpt-bench/1`) and the
+/// perf-regression comparison behind `tools/bench_report`. Every bench
+/// binary emits one JSON document per invocation via `--bench-json=PATH`;
+/// `bench_report` diffs two documents (or a directory against the
+/// committed baselines under `bench/baselines/`) and gates on regressions
+/// beyond a tolerance. Schema and workflow: docs/OBSERVABILITY.md.
+
+namespace pckpt::obs {
+
+inline constexpr std::string_view kBenchSchema = "pckpt-bench/1";
+
+/// Builder for one bench-telemetry document. Field groups:
+/// - `config`: identity of the measurement (runs, seed, jobs, ...);
+///   bench_report warns when configs differ instead of comparing apples
+///   to oranges.
+/// - `metrics`: the gated numbers. Direction is inferred from the name
+///   (see `higher_is_better`); `*.stddev` entries are informational.
+/// - `profile`: per-span host-time attribution from the self-profiler.
+class BenchJsonWriter {
+ public:
+  explicit BenchJsonWriter(std::string bench_name);
+
+  void add_config(std::string_view key, double value);
+  void add_config(std::string_view key, std::string_view value);
+  void add_metric(std::string_view key, double value);
+  void set_profile(const ProfileReport& report);
+
+  /// Render the full document (pretty-printed, stable key order: schema
+  /// header, config, metrics, profile — each group in insertion order).
+  std::string str() const;
+
+  /// Write to `path`; throws std::runtime_error on I/O failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> config_;   // key -> JSON
+  std::vector<std::pair<std::string, double>> metrics_;
+  struct ProfileRow {
+    std::string label;
+    std::uint64_t calls;
+    double total_s;
+    double self_s;
+  };
+  std::vector<ProfileRow> profile_;
+};
+
+/// A parsed bench-telemetry document. Maps are sorted, so comparisons
+/// and reports iterate deterministically.
+struct BenchDoc {
+  std::string schema;
+  std::string bench;
+  std::string git_rev;
+  std::map<std::string, std::string> config;  // values re-rendered as text
+  std::map<std::string, double> metrics;
+  struct ProfileEntry {
+    std::uint64_t calls = 0;
+    double total_s = 0;
+    double self_s = 0;
+  };
+  std::map<std::string, ProfileEntry> profile;
+};
+
+/// Parse a `pckpt-bench/1` document. \throws std::runtime_error with a
+/// byte offset on malformed JSON or a wrong/missing schema marker.
+BenchDoc parse_bench_json(std::string_view text);
+
+/// Load and parse; the error message includes the path.
+BenchDoc load_bench_json(const std::string& path);
+
+/// Direction convention (documented in docs/OBSERVABILITY.md): metric
+/// names ending in `_per_s`, `_rate` or `speedup` — after stripping an
+/// aggregate suffix (`.min`, `.median`, `.max`, `.mean`) — are
+/// higher-is-better; everything else is lower-is-better.
+bool higher_is_better(std::string_view metric);
+
+/// `*.stddev` metrics describe noise, not performance; they are reported
+/// but never gate.
+bool is_informational(std::string_view metric);
+
+struct MetricDelta {
+  std::string name;
+  double baseline = 0;
+  double current = 0;
+  double change_frac = 0;  ///< (current - baseline) / |baseline|
+  bool higher_better = false;
+  bool informational = false;
+  bool regressed = false;  ///< worse than baseline beyond tolerance
+};
+
+struct CompareResult {
+  std::vector<MetricDelta> deltas;          // sorted by metric name
+  std::vector<std::string> only_baseline;   // metric disappeared
+  std::vector<std::string> only_current;    // new metric (not gated)
+  std::vector<std::string> config_changes;  // "key: old -> new"
+  bool regression = false;
+};
+
+/// Compare `current` against `baseline` with a relative tolerance
+/// (`tolerance_frac = 0.1` allows a 10% regression). A vanished metric
+/// counts as a regression; a new one does not.
+CompareResult compare_bench(const BenchDoc& baseline, const BenchDoc& current,
+                            double tolerance_frac);
+
+/// Render the per-metric delta table plus config-change and profile-shift
+/// notes, as printed by `tools/bench_report`.
+std::string format_compare(const BenchDoc& baseline, const BenchDoc& current,
+                           const CompareResult& cmp);
+
+/// Full `bench_report` CLI driver (factored out of tools/bench_report.cpp
+/// so the regression/tolerance/exit-code logic is unit-testable).
+/// args excludes argv[0]. Returns the process exit code:
+/// 0 = no regression, 1 = regression beyond tolerance, 2 = usage or
+/// parse error.
+int run_bench_report(const std::vector<std::string>& args, std::ostream& out,
+                     std::ostream& err);
+
+}  // namespace pckpt::obs

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace_sink.hpp"
 #include "obs/trace_writer.hpp"
 
@@ -52,6 +53,7 @@ class CampaignTraceCollector {
   /// Serialize every trial's events in ascending trial order under the
   /// given campaign label. Deterministic in the collected events alone.
   void write(TraceWriter& writer, std::string_view label) const {
+    ScopedTimer prof_span("obs.trace_write");
     writer.begin_campaign(label);
     for (const auto& buffer : buffers_) {
       for (const Event& e : buffer.events()) writer.write(e);
@@ -63,6 +65,7 @@ class CampaignTraceCollector {
   /// overall `events.total` counter. Iterates trials in ascending order
   /// so registry insertion order is deterministic.
   void summarize(MetricsRegistry& metrics) const {
+    ScopedTimer prof_span("obs.trace_summarize");
     for (const auto& buffer : buffers_) {
       for (const Event& e : buffer.events()) summarize_event(metrics, e);
     }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "exec/result_sink.hpp"
+#include "obs/profiler.hpp"
 
 namespace pckpt::obs {
 
@@ -131,6 +132,16 @@ void MetricsRegistry::write_jsonl(std::ostream& os,
     counts += ']';
     row.add_raw("counts", counts);
     os << row.str() << '\n';
+  }
+}
+
+void merge_profile(const ProfileReport& report, MetricsRegistry& registry) {
+  // report.spans is already sorted by label, so registration (and thus
+  // to_string/write_jsonl order) is deterministic.
+  for (const auto& e : report.spans) {
+    registry.counter("prof.calls." + e.label) += e.stats.calls;
+    registry.counter("prof.us." + e.label) += e.stats.total_ns / 1000;
+    registry.counter("prof.self_us." + e.label) += e.stats.self_ns() / 1000;
   }
 }
 

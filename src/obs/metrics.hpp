@@ -24,6 +24,8 @@
 
 namespace pckpt::obs {
 
+struct ProfileReport;
+
 class MetricsRegistry {
  public:
   /// Monotonic counter, created at zero on first use.
@@ -77,5 +79,12 @@ class MetricsRegistry {
   std::unordered_map<std::string, std::size_t> stat_index_;
   std::unordered_map<std::string, std::size_t> histogram_index_;
 };
+
+/// Fold a profiler report (obs/profiler.hpp) into a registry as counters
+/// `prof.calls.<label>`, `prof.us.<label>` (inclusive microseconds) and
+/// `prof.self_us.<label>` (exclusive), in sorted-label order so repeated
+/// merges render identically. This is how `pckpt_sim --profile` shares
+/// the trace-metrics dump path.
+void merge_profile(const ProfileReport& report, MetricsRegistry& registry);
 
 }  // namespace pckpt::obs

@@ -3,8 +3,10 @@
 /// \file obs.hpp
 /// Umbrella header for the observability layer (docs/OBSERVABILITY.md).
 
+#include "obs/bench_json.hpp"    // IWYU pragma: export
 #include "obs/collector.hpp"     // IWYU pragma: export
 #include "obs/event.hpp"         // IWYU pragma: export
 #include "obs/metrics.hpp"       // IWYU pragma: export
+#include "obs/profiler.hpp"      // IWYU pragma: export
 #include "obs/trace_sink.hpp"    // IWYU pragma: export
 #include "obs/trace_writer.hpp"  // IWYU pragma: export

@@ -1,0 +1,176 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include <sys/resource.h>
+#if defined(__GLIBC__) && defined(__GLIBC_PREREQ)
+#if __GLIBC_PREREQ(2, 33)
+#define PCKPT_HAVE_MALLINFO2 1
+#include <malloc.h>
+#endif
+#endif
+
+namespace pckpt::obs {
+
+std::atomic<Profiler*> Profiler::g_active{nullptr};
+std::atomic<std::uint64_t> Profiler::g_generation{0};
+
+namespace prof_detail {
+
+namespace {
+
+/// Per-thread cache of the records registered with the current attach
+/// epoch. Keyed on the profiler's generation (not its address): a new
+/// attach — even of a recycled allocation — always gets fresh records.
+struct RecordsCache {
+  std::uint64_t generation = 0;
+  std::shared_ptr<ThreadRecords> rec;
+};
+
+thread_local RecordsCache t_cache;
+
+}  // namespace
+
+ThreadRecords& records_for(Profiler& p) {
+  if (t_cache.generation != p.generation() || !t_cache.rec) {
+    auto rec = std::make_shared<ThreadRecords>();
+    p.register_thread(rec);
+    t_cache.generation = p.generation();
+    t_cache.rec = std::move(rec);
+  }
+  return *t_cache.rec;
+}
+
+}  // namespace prof_detail
+
+Profiler::~Profiler() { detach(); }
+
+void Profiler::attach() {
+  generation_ = 1 + g_generation.fetch_add(1, std::memory_order_relaxed);
+  Profiler* expected = nullptr;
+  if (!g_active.compare_exchange_strong(expected, this,
+                                        std::memory_order_release,
+                                        std::memory_order_relaxed)) {
+    throw std::logic_error("Profiler::attach: another profiler is active");
+  }
+}
+
+void Profiler::detach() noexcept {
+  Profiler* expected = this;
+  g_active.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_relaxed);
+}
+
+void Profiler::register_thread(
+    std::shared_ptr<prof_detail::ThreadRecords> rec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  threads_.push_back(std::move(rec));
+}
+
+ProfileReport Profiler::report() const {
+  // std::map orders labels lexicographically and the per-label fold is
+  // integer addition, so the merge is independent of both thread
+  // registration order and slot first-use order.
+  std::map<std::string, SpanStats> merged;
+  ProfileReport out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.threads = threads_.size();
+    for (const auto& rec : threads_) {
+      for (const auto& [label, stats] : rec->slots) {
+        merged[label].add(stats);
+      }
+    }
+  }
+  out.spans.reserve(merged.size());
+  for (auto& [label, stats] : merged) {
+    out.spans.push_back(ProfileReport::Entry{label, stats});
+  }
+  return out;
+}
+
+void ScopedTimer::begin(Profiler& p, const char* label) {
+  prof_detail::ThreadRecords& rec = prof_detail::records_for(p);
+  slot_ = &rec.slot(label);
+  rec_ = &rec;
+  parent_ = rec.current;
+  rec.current = this;
+  child_ns_ = 0;
+  start_ns_ = ProfClock::now_ns();  // last: exclude our own setup cost
+}
+
+void ScopedTimer::end() {
+  const std::uint64_t now = ProfClock::now_ns();
+  const std::uint64_t elapsed = now > start_ns_ ? now - start_ns_ : 0;
+  SpanStats& s = *slot_;
+  ++s.calls;
+  s.total_ns += elapsed;
+  s.child_ns += child_ns_;
+  if (elapsed > s.max_ns) s.max_ns = elapsed;
+  rec_->current = parent_;
+  if (parent_ != nullptr) parent_->child_ns_ += elapsed;
+}
+
+const ProfileReport::Entry* ProfileReport::find(
+    std::string_view label) const noexcept {
+  for (const auto& e : spans) {
+    if (e.label == label) return &e;
+  }
+  return nullptr;
+}
+
+double ProfileReport::covered_s() const noexcept {
+  double s = 0.0;
+  for (const auto& e : spans) {
+    s += static_cast<double>(e.stats.self_ns()) * 1e-9;
+  }
+  return s;
+}
+
+std::string ProfileReport::to_string() const {
+  std::vector<const Entry*> order;
+  order.reserve(spans.size());
+  for (const auto& e : spans) order.push_back(&e);
+  std::sort(order.begin(), order.end(), [](const Entry* a, const Entry* b) {
+    if (a->stats.self_ns() != b->stats.self_ns()) {
+      return a->stats.self_ns() > b->stats.self_ns();
+    }
+    return a->label < b->label;  // tie-break keeps the order total
+  });
+  const double covered = covered_s();
+  std::string outstr;
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%-28s %10s %12s %12s %7s\n", "span",
+                "calls", "total(s)", "self(s)", "self%");
+  outstr += buf;
+  for (const Entry* e : order) {
+    const double self_s = static_cast<double>(e->stats.self_ns()) * 1e-9;
+    std::snprintf(buf, sizeof buf, "%-28s %10llu %12.6f %12.6f %6.1f%%\n",
+                  e->label.c_str(),
+                  static_cast<unsigned long long>(e->stats.calls),
+                  static_cast<double>(e->stats.total_ns) * 1e-9, self_s,
+                  covered > 0.0 ? 100.0 * self_s / covered : 0.0);
+    outstr += buf;
+  }
+  return outstr;
+}
+
+HostCounters sample_host_counters() {
+  HostCounters hc;
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    hc.peak_rss_kb = static_cast<std::uint64_t>(ru.ru_maxrss);  // KB on Linux
+  }
+#if defined(PCKPT_HAVE_MALLINFO2)
+  const struct mallinfo2 mi = mallinfo2();
+  hc.heap_used_kb = static_cast<std::uint64_t>(mi.uordblks) / 1024;
+  hc.heap_valid = true;
+#endif
+  return hc;
+}
+
+}  // namespace pckpt::obs

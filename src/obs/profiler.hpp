@@ -1,0 +1,256 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#if defined(PCKPT_PROFILER_CLOCK_CPUTIME)
+#include <ctime>
+#endif
+
+/// \file profiler.hpp
+/// Self-profiling of *host* wall-clock (or per-thread CPU) time, the
+/// counterpart of the simulated-time tracing in `obs/event.hpp`: where a
+/// trace says "the run checkpointed at t=400 s of simulated time", the
+/// profiler says "the simulator spent 38% of its host time in the DES
+/// kernel". See docs/OBSERVABILITY.md ("Host-time profiling").
+///
+/// Design contract (mirrors the `sim::KernelTracer` hook):
+///
+/// - **Disabled by default, one branch when disabled.** A `ScopedTimer`
+///   constructed while no `Profiler` is attached loads one atomic and
+///   branches; it reads no clock and touches no shared state. The
+///   `bench/micro_exec` throughput baseline is part of the acceptance
+///   bar for keeping it that way.
+/// - **Thread-local accumulation.** Each thread accumulates spans into
+///   its own records (registered once per thread per attach); workers
+///   never contend on the hot path.
+/// - **Deterministic merge.** Accumulators are integer nanosecond/call
+///   counters, so folding thread records is commutative and
+///   order-independent; `report()` additionally sorts labels, making the
+///   merged output byte-stable for a given set of records.
+/// - **Self-time attribution.** Timers nest; each scope's elapsed time is
+///   charged to its parent's `child_ns`, so `self_ns = total - child`
+///   partitions the instrumented wall time with no double counting and
+///   per-subsystem attribution sums to the instrumented total.
+///
+/// This header is intentionally dependency-free (library `pckpt_prof`):
+/// the DES kernel, the I/O model and the failure-trace generator all
+/// instrument themselves with it, and all of those sit *below*
+/// `pckpt_obs` in the link order. The bridge into `obs::MetricsRegistry`
+/// lives in `obs/metrics.hpp` (`merge_profile`).
+
+namespace pckpt::obs {
+
+/// The profiling clock, selected at compile time:
+/// default            — `std::chrono::steady_clock` (wall time),
+/// -DPCKPT_PROFILER_CLOCK_CPUTIME — per-thread CPU time
+///                      (`CLOCK_THREAD_CPUTIME_ID`), which excludes
+///                      scheduler preemption at ~3x the read cost.
+struct ProfClock {
+  static std::uint64_t now_ns() noexcept {
+#if defined(PCKPT_PROFILER_CLOCK_CPUTIME)
+    timespec ts;
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+#endif
+  }
+
+  static constexpr std::string_view name() noexcept {
+#if defined(PCKPT_PROFILER_CLOCK_CPUTIME)
+    return "thread-cputime";
+#else
+    return "steady";
+#endif
+  }
+};
+
+/// Per-label accumulator. All fields are integers so cross-thread merging
+/// is exact and order-independent.
+struct SpanStats {
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;  ///< inclusive (children counted)
+  std::uint64_t child_ns = 0;  ///< time spent in nested instrumented spans
+  std::uint64_t max_ns = 0;    ///< longest single span
+
+  /// Exclusive time: inclusive minus instrumented children. Clamped at 0
+  /// (same-label recursion can make child_ns exceed total_ns transiently
+  /// while outer frames are still open).
+  std::uint64_t self_ns() const noexcept {
+    return total_ns > child_ns ? total_ns - child_ns : 0;
+  }
+
+  void add(const SpanStats& o) noexcept {
+    calls += o.calls;
+    total_ns += o.total_ns;
+    child_ns += o.child_ns;
+    if (o.max_ns > max_ns) max_ns = o.max_ns;
+  }
+};
+
+class Profiler;
+class ScopedTimer;
+
+namespace prof_detail {
+
+/// One thread's span accumulators, owned jointly by the thread-local
+/// cache and the profiler (shared_ptr), so records survive thread exit
+/// until the profiler reports them.
+struct ThreadRecords {
+  /// deque, not vector: open ScopedTimers hold references into this
+  /// container, so growing it (a nested span with a brand-new label) must
+  /// not relocate existing accumulators.
+  std::deque<std::pair<const char*, SpanStats>> slots;  // first-use order
+  std::unordered_map<const void*, std::size_t> index;   // label ptr -> slot
+  ScopedTimer* current = nullptr;  ///< innermost open span on this thread
+
+  SpanStats& slot(const char* label) {
+    auto it = index.find(label);
+    if (it == index.end()) {
+      slots.emplace_back(label, SpanStats{});
+      it = index.emplace(label, slots.size() - 1).first;
+    }
+    return slots[it->second].second;
+  }
+};
+
+ThreadRecords& records_for(Profiler& p);
+
+}  // namespace prof_detail
+
+/// Merged view of every thread's accumulators, labels sorted
+/// lexicographically. Pure value; safe to keep after the profiler dies.
+struct ProfileReport {
+  struct Entry {
+    std::string label;
+    SpanStats stats;
+  };
+  std::vector<Entry> spans;  ///< sorted by label
+  std::size_t threads = 0;   ///< thread records merged
+
+  bool empty() const noexcept { return spans.empty(); }
+  const Entry* find(std::string_view label) const noexcept;
+
+  /// Sum of self-times: the instrumented fraction of host time. Compare
+  /// against the measured wall time of the instrumented region to get
+  /// coverage (docs/OBSERVABILITY.md documents the >= 90% target).
+  double covered_s() const noexcept;
+
+  /// Aligned human-readable attribution table (label, calls, total s,
+  /// self s, share of covered time), biggest self-time first.
+  std::string to_string() const;
+};
+
+/// Host-side resource counters sampled from the OS allocator/kernel.
+struct HostCounters {
+  std::uint64_t peak_rss_kb = 0;  ///< high-water resident set (getrusage)
+  std::uint64_t heap_used_kb = 0;  ///< live malloc'd bytes (mallinfo2)
+  bool heap_valid = false;  ///< heap_used_kb is meaningful (glibc >= 2.33)
+};
+
+HostCounters sample_host_counters();
+
+/// Span-accumulation registry. At most one profiler is *attached*
+/// (globally active) at a time; `ScopedTimer`s constructed while it is
+/// attached record into it. Typical use:
+///
+///   obs::Profiler prof;
+///   prof.attach();
+///   ... run campaigns ...
+///   prof.detach();
+///   obs::ProfileReport report = prof.report();
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+  ~Profiler();
+
+  /// Make this profiler the recording target of every new ScopedTimer.
+  /// \throws std::logic_error if another profiler is already attached.
+  void attach();
+
+  /// Stop recording (no-op when not attached). Already-open spans on
+  /// other threads finish into their records; call report() only after
+  /// the instrumented work has quiesced (e.g. the campaign returned).
+  void detach() noexcept;
+
+  bool attached() const noexcept { return active() == this; }
+
+  /// The globally attached profiler, or null (the common case).
+  static Profiler* active() noexcept {
+    return g_active.load(std::memory_order_acquire);
+  }
+
+  /// Deterministic merge of every thread's accumulators (integer sums,
+  /// sorted labels). Requires quiescence: no span may be concurrently
+  /// open on another thread.
+  ProfileReport report() const;
+
+  /// Attach epoch; bumped on every attach() so stale thread-local record
+  /// caches from an earlier attach never alias a new one.
+  std::uint64_t generation() const noexcept { return generation_; }
+
+ private:
+  friend prof_detail::ThreadRecords& prof_detail::records_for(Profiler&);
+
+  void register_thread(std::shared_ptr<prof_detail::ThreadRecords> rec);
+
+  mutable std::mutex mutex_;
+  std::vector<std::shared_ptr<prof_detail::ThreadRecords>> threads_;
+  std::uint64_t generation_ = 0;
+
+  static std::atomic<Profiler*> g_active;
+  static std::atomic<std::uint64_t> g_generation;
+};
+
+/// RAII span: charges the enclosed host time to `label` on the current
+/// thread. `label` must be a string literal (or otherwise outlive the
+/// profiler) — accumulators key on the pointer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* label) {
+    Profiler* p = Profiler::active();
+    if (p == nullptr) return;  // disabled path: one load + one branch
+    begin(*p, label);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (slot_ != nullptr) end();
+  }
+
+ private:
+  void begin(Profiler& p, const char* label);
+  void end();
+
+  SpanStats* slot_ = nullptr;  ///< null = this span is not recording
+  ScopedTimer* parent_ = nullptr;
+  prof_detail::ThreadRecords* rec_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t child_ns_ = 0;
+
+  friend struct ScopedTimerLayout;
+};
+
+/// The disabled path must stay trivially cheap: a ScopedTimer is a
+/// handful of words on the stack, never heap-allocated. Growing it past a
+/// cache line is a red flag that someone added state to the hot path.
+static_assert(sizeof(ScopedTimer) <= 64,
+              "ScopedTimer must stay within one cache line");
+
+}  // namespace pckpt::obs

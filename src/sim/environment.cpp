@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/profiler.hpp"
 #include "sim/process.hpp"
 
 namespace pckpt::sim {
@@ -90,12 +91,14 @@ bool Environment::step() {
 }
 
 void Environment::run() {
+  obs::ScopedTimer prof_span("sim.kernel");
   while (step()) {
   }
   collect_garbage();
 }
 
 void Environment::run_until(SimTime until) {
+  obs::ScopedTimer prof_span("sim.kernel");
   while (!heap_.empty() && heap_.top().t <= until) step();
   collect_garbage();
   if (until != kTimeInfinity && until > now_) now_ = until;

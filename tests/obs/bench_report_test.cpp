@@ -1,0 +1,234 @@
+// Bench-telemetry suite (src/obs/bench_json.hpp): pckpt-bench/1 documents
+// round-trip through the writer and parser, metric direction and
+// tolerance rules behave as documented, and the bench_report driver
+// returns the contractual exit codes (0 ok / 1 regression / 2 usage or
+// parse error) over fixture files.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using pckpt::obs::BenchDoc;
+using pckpt::obs::BenchJsonWriter;
+using pckpt::obs::compare_bench;
+using pckpt::obs::higher_is_better;
+using pckpt::obs::is_informational;
+using pckpt::obs::parse_bench_json;
+using pckpt::obs::run_bench_report;
+
+class BenchReportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("pckpt_bench_report_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string write_doc(const std::string& name, double trials_per_s,
+                        double wall_s, const fs::path& subdir = {}) {
+    BenchJsonWriter w("fixture");
+    w.add_config("runs", 100.0);
+    w.add_config("system", "titan");
+    w.add_metric("trials_per_s", trials_per_s);
+    w.add_metric("wall_s", wall_s);
+    const fs::path base = subdir.empty() ? dir_ : dir_ / subdir;
+    fs::create_directories(base);
+    const std::string path = (base / name).string();
+    w.write(path);
+    return path;
+  }
+
+  int report(std::vector<std::string> args) {
+    out_.str("");
+    err_.str("");
+    return run_bench_report(args, out_, err_);
+  }
+
+  fs::path dir_;
+  std::ostringstream out_;
+  std::ostringstream err_;
+};
+
+TEST(BenchJson, WriterParserRoundTrip) {
+  BenchJsonWriter w("roundtrip");
+  w.add_config("runs", 500.0);
+  w.add_config("system", "titan");
+  w.add_metric("trials_per_s", 1234.5);
+  w.add_metric("wall_s", 0.405);
+  const BenchDoc doc = parse_bench_json(w.str());
+  EXPECT_EQ(doc.schema, "pckpt-bench/1");
+  EXPECT_EQ(doc.bench, "roundtrip");
+  EXPECT_FALSE(doc.git_rev.empty());
+  EXPECT_EQ(doc.config.at("runs"), "500");
+  EXPECT_EQ(doc.config.at("system"), "titan");
+  EXPECT_DOUBLE_EQ(doc.metrics.at("trials_per_s"), 1234.5);
+  EXPECT_DOUBLE_EQ(doc.metrics.at("wall_s"), 0.405);
+}
+
+TEST(BenchJson, ParserRejectsGarbageAndWrongSchema) {
+  EXPECT_THROW(parse_bench_json("not json"), std::runtime_error);
+  EXPECT_THROW(parse_bench_json("{\"metrics\": {}}"), std::runtime_error);
+  EXPECT_THROW(
+      parse_bench_json("{\"schema\": \"pckpt-bench/999\", \"metrics\": {}}"),
+      std::runtime_error);
+  EXPECT_THROW(
+      parse_bench_json("{\"schema\": \"pckpt-bench/1\"}"),  // no metrics
+      std::runtime_error);
+  EXPECT_THROW(parse_bench_json("{\"schema\": \"pckpt-bench/1\", "
+                                "\"metrics\": {\"x\": \"oops\"}}"),
+               std::runtime_error);
+  // Trailing junk after the document is a parse error, not ignored.
+  EXPECT_THROW(parse_bench_json("{\"schema\": \"pckpt-bench/1\", "
+                                "\"metrics\": {}} extra"),
+               std::runtime_error);
+}
+
+TEST(BenchJson, DirectionConvention) {
+  EXPECT_TRUE(higher_is_better("trials_per_s"));
+  EXPECT_TRUE(higher_is_better("serial.trials_per_s.median"));
+  EXPECT_TRUE(higher_is_better("hit_rate"));
+  EXPECT_TRUE(higher_is_better("speedup"));
+  EXPECT_TRUE(higher_is_better("speedup.median"));
+  EXPECT_FALSE(higher_is_better("wall_s"));
+  EXPECT_FALSE(higher_is_better("BM_FullRun/2.real_us.median"));
+  EXPECT_FALSE(higher_is_better("peak_rss_kb"));
+  EXPECT_TRUE(is_informational("serial.trials_per_s.stddev"));
+  EXPECT_FALSE(is_informational("serial.trials_per_s.median"));
+}
+
+TEST(BenchJson, CompareAppliesToleranceAndDirection) {
+  BenchDoc base, cur;
+  base.metrics["trials_per_s"] = 1000.0;
+  base.metrics["wall_s"] = 1.0;
+  base.metrics["trials_per_s.stddev"] = 5.0;
+  // 5% slower throughput, 5% more wall, stddev doubled.
+  cur.metrics["trials_per_s"] = 950.0;
+  cur.metrics["wall_s"] = 1.05;
+  cur.metrics["trials_per_s.stddev"] = 10.0;
+
+  EXPECT_FALSE(compare_bench(base, cur, 0.10).regression);  // within 10%
+  const auto tight = compare_bench(base, cur, 0.02);        // beyond 2%
+  EXPECT_TRUE(tight.regression);
+  int regressed = 0;
+  for (const auto& d : tight.deltas) regressed += d.regressed ? 1 : 0;
+  EXPECT_EQ(regressed, 2);  // both gated metrics, never the stddev
+
+  // Improvements never regress, whatever the tolerance.
+  BenchDoc faster = cur;
+  faster.metrics["trials_per_s"] = 2000.0;
+  faster.metrics["wall_s"] = 0.5;
+  faster.metrics["trials_per_s.stddev"] = 0.1;
+  EXPECT_FALSE(compare_bench(base, faster, 0.0).regression);
+}
+
+TEST(BenchJson, VanishedMetricRegressesNewMetricDoesNot) {
+  BenchDoc base, cur;
+  base.metrics["wall_s"] = 1.0;
+  base.metrics["old_only"] = 2.0;
+  cur.metrics["wall_s"] = 1.0;
+  cur.metrics["new_only"] = 3.0;
+  const auto cmp = compare_bench(base, cur, 0.10);
+  EXPECT_TRUE(cmp.regression);
+  ASSERT_EQ(cmp.only_baseline.size(), 1u);
+  EXPECT_EQ(cmp.only_baseline[0], "old_only");
+  ASSERT_EQ(cmp.only_current.size(), 1u);
+  EXPECT_EQ(cmp.only_current[0], "new_only");
+}
+
+TEST(BenchJson, CompareFlagsConfigChanges) {
+  BenchDoc base, cur;
+  base.config["runs"] = "100";
+  cur.config["runs"] = "500";
+  base.metrics["wall_s"] = 1.0;
+  cur.metrics["wall_s"] = 1.0;
+  const auto cmp = compare_bench(base, cur, 0.10);
+  ASSERT_EQ(cmp.config_changes.size(), 1u);
+  EXPECT_EQ(cmp.config_changes[0], "runs: 100 -> 500");
+  EXPECT_FALSE(cmp.regression);  // advisory, not a gate
+}
+
+TEST_F(BenchReportTest, ExitZeroWhenWithinTolerance) {
+  const auto base = write_doc("BENCH_a.json", 1000.0, 1.0);
+  const auto cur = write_doc("BENCH_b.json", 980.0, 1.01);
+  EXPECT_EQ(report({base, cur}), 0);
+  EXPECT_NE(out_.str().find("no regression"), std::string::npos);
+}
+
+TEST_F(BenchReportTest, ExitOneOnRegressionAndZeroWarnOnly) {
+  const auto base = write_doc("BENCH_a.json", 1000.0, 1.0);
+  const auto cur = write_doc("BENCH_b.json", 500.0, 2.0);
+  EXPECT_EQ(report({base, cur}), 1);
+  EXPECT_NE(out_.str().find("REGRESSED"), std::string::npos);
+  EXPECT_EQ(report({"--warn-only", base, cur}), 0);
+  EXPECT_NE(out_.str().find("warn-only"), std::string::npos);
+}
+
+TEST_F(BenchReportTest, ToleranceFlagWidensTheGate) {
+  const auto base = write_doc("BENCH_a.json", 1000.0, 1.0);
+  const auto cur = write_doc("BENCH_b.json", 800.0, 1.25);  // 20% worse
+  EXPECT_EQ(report({base, cur}), 1);  // default 10%
+  EXPECT_EQ(report({"--tolerance=30", base, cur}), 0);
+  EXPECT_EQ(report({"--tolerance=5", base, cur}), 1);
+}
+
+TEST_F(BenchReportTest, UsageAndParseErrorsExitTwo) {
+  const auto good = write_doc("BENCH_a.json", 1000.0, 1.0);
+  EXPECT_EQ(report({}), 2);                          // missing paths
+  EXPECT_EQ(report({good}), 2);                      // one path
+  EXPECT_EQ(report({"--bogus", good, good}), 2);     // unknown flag
+  EXPECT_EQ(report({"--tolerance=x", good, good}), 2);
+  EXPECT_EQ(report({"--tolerance=-5", good, good}), 2);
+  EXPECT_EQ(report({(dir_ / "missing.json").string(), good}), 2);
+  const auto bad = (dir_ / "BENCH_bad.json").string();
+  std::ofstream(bad) << "{ nope";
+  EXPECT_EQ(report({bad, good}), 2);
+  // One file, one directory: ambiguous, refuse.
+  EXPECT_EQ(report({good, dir_.string()}), 2);
+}
+
+TEST_F(BenchReportTest, DirectoryModeComparesByFileName) {
+  write_doc("BENCH_one.json", 1000.0, 1.0, "baselines");
+  write_doc("BENCH_two.json", 500.0, 1.0, "baselines");
+  write_doc("BENCH_one.json", 990.0, 1.01, "results");
+  write_doc("BENCH_two.json", 495.0, 1.02, "results");
+  // Only in results: skipped with a note, not a failure.
+  write_doc("BENCH_new.json", 1.0, 1.0, "results");
+  EXPECT_EQ(report({(dir_ / "baselines").string(),
+                    (dir_ / "results").string()}),
+            0);
+  EXPECT_NE(out_.str().find("compared 2 of 3"), std::string::npos);
+  EXPECT_NE(out_.str().find("no committed baseline yet"), std::string::npos);
+
+  // A regression in any one file gates the whole directory.
+  write_doc("BENCH_two.json", 100.0, 5.0, "results");
+  EXPECT_EQ(report({(dir_ / "baselines").string(),
+                    (dir_ / "results").string()}),
+            1);
+  EXPECT_EQ(report({"--warn-only", (dir_ / "baselines").string(),
+                    (dir_ / "results").string()}),
+            0);
+}
+
+TEST_F(BenchReportTest, EmptyResultsDirectoryIsAUsageError) {
+  fs::create_directories(dir_ / "baselines");
+  fs::create_directories(dir_ / "results");
+  EXPECT_EQ(report({(dir_ / "baselines").string(),
+                    (dir_ / "results").string()}),
+            2);
+}
+
+}  // namespace

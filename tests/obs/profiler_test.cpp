@@ -1,0 +1,205 @@
+// Self-profiler suite (src/obs/profiler.hpp): the disabled path records
+// nothing, nested spans partition time into exact self/child shares, the
+// cross-thread merge is deterministic, and merge_profile renders into the
+// MetricsRegistry in sorted-label order.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+
+namespace {
+
+using pckpt::obs::MetricsRegistry;
+using pckpt::obs::merge_profile;
+using pckpt::obs::ProfileReport;
+using pckpt::obs::Profiler;
+using pckpt::obs::ScopedTimer;
+using pckpt::obs::SpanStats;
+
+void spin_ns(std::uint64_t ns) {
+  const std::uint64_t t0 = pckpt::obs::ProfClock::now_ns();
+  while (pckpt::obs::ProfClock::now_ns() - t0 < ns) {
+  }
+}
+
+TEST(Profiler, DetachedRecordsNothing) {
+  ASSERT_EQ(Profiler::active(), nullptr);
+  {
+    ScopedTimer t("never.recorded");
+    spin_ns(1000);
+  }
+  Profiler prof;
+  prof.attach();
+  prof.detach();
+  const ProfileReport report = prof.report();
+  EXPECT_TRUE(report.empty());
+  EXPECT_EQ(report.find("never.recorded"), nullptr);
+}
+
+TEST(Profiler, SpanStructStaysSmall) {
+  // The disabled path is one atomic load + branch over a stack object;
+  // keep the object within a cache line (compile-time mirror of the
+  // static_assert in the header).
+  static_assert(sizeof(ScopedTimer) <= 64);
+  SUCCEED();
+}
+
+TEST(Profiler, RecordsCallsAndTime) {
+  Profiler prof;
+  prof.attach();
+  for (int i = 0; i < 5; ++i) {
+    ScopedTimer t("unit.work");
+    spin_ns(20000);
+  }
+  prof.detach();
+  const ProfileReport report = prof.report();
+  const auto* e = report.find("unit.work");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->stats.calls, 5u);
+  EXPECT_GE(e->stats.total_ns, 5u * 20000u);
+  EXPECT_GE(e->stats.max_ns, 20000u);
+  EXPECT_EQ(e->stats.self_ns(), e->stats.total_ns);  // no children
+}
+
+TEST(Profiler, NestedSpansPartitionIntoSelfAndChild) {
+  Profiler prof;
+  prof.attach();
+  {
+    ScopedTimer outer("nest.outer");
+    spin_ns(20000);
+    {
+      ScopedTimer inner("nest.inner");
+      spin_ns(20000);
+    }
+    spin_ns(20000);
+  }
+  prof.detach();
+  const ProfileReport report = prof.report();
+  const auto* outer = report.find("nest.outer");
+  const auto* inner = report.find("nest.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The child's full elapsed time is charged to the parent's child_ns, so
+  // self times partition the outer span exactly (no double counting).
+  EXPECT_EQ(outer->stats.child_ns, inner->stats.total_ns);
+  EXPECT_EQ(outer->stats.self_ns() + inner->stats.total_ns,
+            outer->stats.total_ns);
+  EXPECT_GE(outer->stats.self_ns(), 2u * 20000u);
+  EXPECT_GE(inner->stats.self_ns(), 20000u);
+}
+
+TEST(Profiler, AttachIsExclusive) {
+  Profiler a;
+  a.attach();
+  Profiler b;
+  EXPECT_THROW(b.attach(), std::logic_error);
+  a.detach();
+  b.attach();  // slot freed
+  EXPECT_TRUE(b.attached());
+  b.detach();
+}
+
+TEST(Profiler, ReattachGetsFreshRecords) {
+  // The thread-local records cache keys on the attach generation: a
+  // second profiler on the same thread must not inherit the first's
+  // accumulators.
+  {
+    Profiler first;
+    first.attach();
+    {
+      ScopedTimer t("gen.span");
+    }
+    first.detach();
+    EXPECT_EQ(first.report().find("gen.span")->stats.calls, 1u);
+  }
+  Profiler second;
+  second.attach();
+  {
+    ScopedTimer t("gen.span");
+  }
+  second.detach();
+  const ProfileReport report = second.report();
+  const auto* e = report.find("gen.span");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->stats.calls, 1u);  // not 2: no leakage across attaches
+}
+
+TEST(Profiler, CrossThreadMergeIsDeterministic) {
+  // Four threads record disjoint call counts into two shared labels; the
+  // merged totals must be the exact integer sums regardless of thread
+  // scheduling, and repeated report() calls must render identically.
+  Profiler prof;
+  prof.attach();
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([w] {
+      for (int i = 0; i < (w + 1) * 10; ++i) {
+        ScopedTimer a("mt.alpha");
+        ScopedTimer b("mt.beta");
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  prof.detach();
+
+  const ProfileReport r1 = prof.report();
+  EXPECT_EQ(r1.threads, 4u);
+  const auto* alpha = r1.find("mt.alpha");
+  const auto* beta = r1.find("mt.beta");
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(alpha->stats.calls, 100u);  // 10+20+30+40
+  EXPECT_EQ(beta->stats.calls, 100u);
+  // Labels come out sorted, so two reports are byte-identical.
+  const ProfileReport r2 = prof.report();
+  EXPECT_EQ(r1.to_string(), r2.to_string());
+  ASSERT_EQ(r1.spans.size(), 2u);
+  EXPECT_EQ(r1.spans[0].label, "mt.alpha");
+  EXPECT_EQ(r1.spans[1].label, "mt.beta");
+}
+
+TEST(Profiler, CoveredSecondsSumsSelfTimes) {
+  ProfileReport report;
+  report.spans.push_back({"a", SpanStats{1, 3'000'000'000ULL, 1'000'000'000ULL, 0}});
+  report.spans.push_back({"b", SpanStats{1, 1'000'000'000ULL, 0, 0}});
+  EXPECT_DOUBLE_EQ(report.covered_s(), 3.0);  // (3-1) + 1 seconds
+}
+
+TEST(Profiler, MergeProfileRendersSortedCounters) {
+  Profiler prof;
+  prof.attach();
+  {
+    ScopedTimer b("zz.late");
+    spin_ns(1000);
+  }
+  {
+    ScopedTimer a("aa.early");
+    spin_ns(1000);
+  }
+  prof.detach();
+
+  MetricsRegistry reg;
+  merge_profile(prof.report(), reg);
+  const auto& counters = reg.counters();
+  ASSERT_EQ(counters.size(), 6u);
+  // Sorted by label, three counters per span, insertion order preserved.
+  EXPECT_EQ(counters[0].first, "prof.calls.aa.early");
+  EXPECT_EQ(counters[1].first, "prof.us.aa.early");
+  EXPECT_EQ(counters[2].first, "prof.self_us.aa.early");
+  EXPECT_EQ(counters[3].first, "prof.calls.zz.late");
+  EXPECT_EQ(counters[0].second, 1u);
+  EXPECT_EQ(counters[3].second, 1u);
+}
+
+TEST(Profiler, HostCountersReportPeakRss) {
+  const auto hc = pckpt::obs::sample_host_counters();
+  EXPECT_GT(hc.peak_rss_kb, 0u);  // any live process has a resident set
+}
+
+}  // namespace

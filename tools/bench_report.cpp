@@ -1,0 +1,21 @@
+/// bench_report — diff two pckpt-bench/1 telemetry files (or a baseline
+/// directory against a results directory) and gate on perf regressions.
+///
+/// Usage:
+///   bench_report [--tolerance=PCT] [--warn-only] OLD.json NEW.json
+///   bench_report [--tolerance=PCT] [--warn-only] bench/baselines results/
+///
+/// Exit codes: 0 = ok, 1 = regression beyond tolerance, 2 = usage/parse
+/// error. All of the logic lives in obs::run_bench_report (unit-tested in
+/// tests/obs/bench_report_test.cpp); this is just the process shell.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/bench_json.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return pckpt::obs::run_bench_report(args, std::cout, std::cerr);
+}

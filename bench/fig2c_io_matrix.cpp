@@ -47,16 +47,15 @@ int main(int argc, char** argv) {
                      "full PFS write(s)"});
   const bench::World world;
   for (const auto& app : workload::summit_workloads()) {
+    // One resolved query per application feeds both derived columns.
+    const auto q = world.storage.pfs_aggregate_query(app.nodes,
+                                                     app.ckpt_per_node_gb());
     a.add_row();
     a.cell(app.name)
         .cell(app.nodes)
         .cell(app.ckpt_per_node_gb(), 2)
-        .cell(world.storage.matrix().bandwidth(app.nodes,
-                                               app.ckpt_per_node_gb()),
-              1)
-        .cell(world.storage.pfs_aggregate_seconds(app.nodes,
-                                                  app.ckpt_per_node_gb()),
-              1);
+        .cell(q.bandwidth_gbps(), 1)
+        .cell(q.transfer_seconds(), 1);
   }
   if (opt.csv) {
     a.print_csv(std::cout);

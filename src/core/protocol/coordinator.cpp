@@ -146,7 +146,7 @@ class Round {
   }
 
   sim::Process vulnerable_node(VulnerableSpec spec) {
-    if (spec.arrival_s > 0.0) co_await env_.timeout(spec.arrival_s);
+    if (spec.arrival_s > 0.0) co_await env_.delay(spec.arrival_s);
     note_transition(spec.node, NodeState::kVulnerable);
     emit(obs::Event::instant(obs::Category::kProtocol, "round_vulnerable",
                              env_.now(),
@@ -159,7 +159,7 @@ class Round {
       round_started_ = true;
       // The initiating node broadcasts the p-ckpt request to everyone.
       const double bcast_t0 = env_.now();
-      co_await env_.timeout(cfg_.broadcast_seconds());
+      co_await env_.delay(cfg_.broadcast_seconds());
       result_.coordination_s += cfg_.broadcast_seconds();
       emit(obs::Event::span(obs::Category::kProtocol, "round_request_bcast",
                             bcast_t0, env_.now(), obs::kTrackRound)
@@ -199,7 +199,7 @@ class Round {
       queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(idx));
       note_transition(entry.node, NodeState::kPhase1Writing);
       const double w0 = env_.now();
-      co_await env_.timeout(write_s);
+      co_await env_.delay(write_s);
       commit_time_[static_cast<std::size_t>(entry.node)] = env_.now();
       note_transition(entry.node, NodeState::kNormal);
       emit(obs::Event::span(obs::Category::kProtocol, "round_phase1_write",
@@ -214,7 +214,7 @@ class Round {
 
     // --------------------------------------- pfs-commit broadcast
     const double c0 = env_.now();
-    co_await env_.timeout(cfg_.broadcast_seconds());
+    co_await env_.delay(cfg_.broadcast_seconds());
     result_.coordination_s += cfg_.broadcast_seconds();
     emit(obs::Event::span(obs::Category::kProtocol, "round_commit_bcast", c0,
                           env_.now(), obs::kTrackRound)
@@ -226,7 +226,7 @@ class Round {
     const double healthy =
         static_cast<double>(cfg_.nodes) - static_cast<double>(processed);
     if (healthy > 0.0) {
-      co_await env_.timeout(healthy * cfg_.per_node_gb /
+      co_await env_.delay(healthy * cfg_.per_node_gb /
                             cfg_.aggregate_bw_gbps);
     }
     // Vulnerable nodes whose predictions landed too late for phase 1
@@ -245,7 +245,7 @@ class Round {
 
     // ------------------------------------------------- final barrier
     const double b0 = env_.now();
-    co_await env_.timeout(cfg_.broadcast_seconds());
+    co_await env_.delay(cfg_.broadcast_seconds());
     result_.coordination_s += cfg_.broadcast_seconds();
     phase2_done_->succeed();
     result_.total_s = env_.now();

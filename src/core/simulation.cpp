@@ -87,7 +87,17 @@ class Run {
         sigma_(uses_lm(cfg_.kind)
                    ? estimate_sigma(*setup.leads, cfg_.predictor, theta_lm_s_,
                                     cfg_.lm_safety_margin)
-                   : 0.0) {
+                   : 0.0),
+        // Per-checkpoint I/O costs depend only on run-constant operating
+        // points; resolve them once here instead of per checkpoint.
+        t_bb_write_s_(setup.storage->bb_write_seconds(per_node_gb_)),
+        t_bb_read_s_(setup.storage->bb_read_seconds(per_node_gb_)),
+        pfs_single_s_(setup.storage->pfs_single_node_seconds(per_node_gb_)),
+        all_nodes_query_(
+            setup.storage->pfs_aggregate_query(nodes_, per_node_gb_)),
+        drain_query_(setup.storage->matrix().query(
+            std::min(nodes_, static_cast<double>(cfg_.drain_concurrency)),
+            per_node_gb_)) {
     if (cfg_.spare_nodes >= 0) {
       spares_available_ = static_cast<std::size_t>(cfg_.spare_nodes);
     }
@@ -448,16 +458,14 @@ class Run {
     RecoveryPlan plan;
     plan.from_proactive = proactive_restore_ > periodic_restore_;
     plan.restore_progress = std::max(periodic_restore_, proactive_restore_);
-    const auto& storage = *setup_.storage;
     if (plan.from_proactive) {
       // All nodes reload their slice from the PFS (Sec. II checkpoint
       // model) — the expensive path that shows up in P1's recovery bars.
-      plan.duration_s = storage.pfs_aggregate_seconds(nodes_, per_node_gb_);
+      plan.duration_s = all_nodes_query_.transfer_seconds();
     } else {
       // Healthy nodes restore from their BBs; only the replacement node
       // touches the PFS, contention-free.
-      plan.duration_s = std::max(storage.bb_read_seconds(per_node_gb_),
-                                 storage.pfs_single_node_seconds(per_node_gb_));
+      plan.duration_s = std::max(t_bb_read_s_, pfs_single_s_);
     }
     plan.duration_s += cfg_.restart_seconds;
     return plan;
@@ -476,7 +484,7 @@ class Run {
   }
 
   double current_oci() {
-    const double t_bb = setup_.storage->bb_write_seconds(per_node_gb_);
+    const double t_bb = t_bb_write_s_;
     const double analytic = trace_.job_rate_per_second();
     double rate = analytic;
     if (cfg_.rate_estimation == RateEstimation::kObserved) {
@@ -533,7 +541,7 @@ class Run {
         }
         const failure::TraceEvent ev = trace_.event(i);  // copy: may realloc
         if (ev.time_s > env_.now()) {
-          co_await env_.timeout(ev.time_s - env_.now());
+          co_await env_.delay(ev.time_s - env_.now());
         }
         if (done_) break;
         if (ev.kind == failure::TraceEvent::Kind::kPrediction) {
@@ -553,11 +561,10 @@ class Run {
     // write concurrently, so the whole job's data moves at that subset's
     // aggregate bandwidth.
     const double t0 = env_.now();
-    const double drain_nodes =
-        std::min(nodes_, static_cast<double>(cfg_.drain_concurrency));
-    const double bw =
-        setup_.storage->matrix().bandwidth(drain_nodes, per_node_gb_);
-    co_await env_.timeout(nodes_ * per_node_gb_ / bw);
+    // The throttled subset's bandwidth is run-constant: resolved once in
+    // the constructor (drain_query_), reused by every drain.
+    const double bw = drain_query_.bandwidth_gbps();
+    co_await env_.delay(nodes_ * per_node_gb_ / bw);
     const bool committed = epoch == drain_epoch_ && !done_;
     if (committed) {
       periodic_restore_ = std::max(periodic_restore_, progress);
@@ -594,7 +601,7 @@ class Run {
           while (remaining > kEps) {
             const double t0 = env_.now();
             try {
-              co_await env_.timeout(remaining);
+              co_await env_.delay(remaining);
               work_done_ += remaining;
               remaining = 0;
               mark(PhaseKind::kCompute, t0);
@@ -625,7 +632,7 @@ class Run {
         // ----------------------------------------------------------- BB ckpt
         case Next::kBbCkpt: {
           phase_ = Phase::kBbCkpt;
-          double remaining = setup_.storage->bb_write_seconds(per_node_gb_);
+          double remaining = t_bb_write_s_;
           next = Next::kCompute;
           bool completed = true;
           if (sink_ != nullptr) {
@@ -636,7 +643,7 @@ class Run {
           while (remaining > kEps) {
             const double t0 = env_.now();
             try {
-              co_await env_.timeout(remaining);
+              co_await env_.delay(remaining);
               result_.overheads.checkpoint_s += remaining;
               remaining = 0;
               mark(PhaseKind::kBbCheckpoint, t0);
@@ -703,12 +710,11 @@ class Run {
           while (uses_pckpt(cfg_.kind) && !queue_.empty() && !aborted) {
             const VulnerableEntry entry = *queue_.begin();
             queue_.erase(queue_.begin());
-            double remaining =
-                setup_.storage->pfs_single_node_seconds(per_node_gb_);
+            double remaining = pfs_single_s_;
             while (remaining > kEps && !aborted) {
               const double t0 = env_.now();
               try {
-                co_await env_.timeout(remaining);
+                co_await env_.delay(remaining);
                 result_.overheads.checkpoint_s += remaining;
                 remaining = 0;
                 mark(PhaseKind::kProactivePhase1, t0);
@@ -756,12 +762,16 @@ class Run {
             const double vuln =
                 static_cast<double>(round_commits_.size());
             const double writers = std::max(1.0, nodes_ - vuln);
+            // Writer count varies per round: resolve one query per round
+            // and reuse it (the common all-healthy case also hits the
+            // matrix's memo cache).
             double remaining =
-                setup_.storage->pfs_aggregate_seconds(writers, per_node_gb_);
+                setup_.storage->pfs_aggregate_query(writers, per_node_gb_)
+                    .transfer_seconds();
             while (remaining > kEps && !aborted) {
               const double t0 = env_.now();
               try {
-                co_await env_.timeout(remaining);
+                co_await env_.delay(remaining);
                 result_.overheads.checkpoint_s += remaining;
                 remaining = 0;
                 mark(PhaseKind::kProactivePhase2, t0);
@@ -872,7 +882,7 @@ class Run {
           while (remaining > kEps) {
             const double t0 = env_.now();
             try {
-              co_await env_.timeout(remaining);
+              co_await env_.delay(remaining);
               result_.overheads.recovery_s += remaining;
               remaining = 0;
               mark(PhaseKind::kRecovery, t0);
@@ -916,7 +926,7 @@ class Run {
           while (remaining > kEps) {
             const double t0 = env_.now();
             try {
-              co_await env_.timeout(remaining);
+              co_await env_.delay(remaining);
               result_.overheads.migration_s += remaining;
               remaining = 0;
               mark(PhaseKind::kStall, t0);
@@ -989,6 +999,13 @@ class Run {
   const double nodes_;
   const double theta_lm_s_;
   const double sigma_;
+
+  // Run-constant I/O costs, resolved once in the constructor.
+  const double t_bb_write_s_;
+  const double t_bb_read_s_;
+  const double pfs_single_s_;
+  const iomodel::BandwidthQuery all_nodes_query_;  ///< full-machine PFS point
+  const iomodel::BandwidthQuery drain_query_;      ///< throttled drain subset
 
   double work_done_ = 0;
   Phase phase_ = Phase::kCompute;

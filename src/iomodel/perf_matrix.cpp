@@ -1,7 +1,10 @@
 #include "iomodel/perf_matrix.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 #include <utility>
 
@@ -41,6 +44,30 @@ std::pair<std::size_t, double> bracket(const std::vector<double>& axis,
   return {lo, w};
 }
 
+/// Direct-mapped memo cell for bandwidth(). The simulator prices the same
+/// handful of operating points millions of times per campaign (one per
+/// checkpoint per trial), so even a tiny cache hits almost always.
+struct MemoCell {
+  std::uint64_t matrix_id = 0;  // 0 = empty (ids start at 1)
+  double nodes = 0.0;
+  double per_node_gb = 0.0;
+  double bw_gbps = 0.0;
+};
+
+constexpr std::size_t kMemoSlots = 16;  // power of two: mask indexing
+
+std::size_t memo_index(std::uint64_t id, double nodes, double gb) {
+  std::uint64_t h = std::bit_cast<std::uint64_t>(nodes);
+  h = (h ^ std::bit_cast<std::uint64_t>(gb)) * 0x9E3779B97F4A7C15ull;
+  h ^= id;
+  return static_cast<std::size_t>((h >> 32) & (kMemoSlots - 1));
+}
+
+std::uint64_t next_memo_id() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
 
 PerfMatrix::PerfMatrix(std::vector<double> node_counts,
@@ -48,7 +75,8 @@ PerfMatrix::PerfMatrix(std::vector<double> node_counts,
                        std::vector<double> bandwidth_gbps)
     : nodes_(std::move(node_counts)),
       sizes_(std::move(sizes_gb)),
-      bw_(std::move(bandwidth_gbps)) {
+      bw_(std::move(bandwidth_gbps)),
+      memo_id_(next_memo_id()) {
   check_axis(nodes_, "node axis");
   check_axis(sizes_, "size axis");
   if (bw_.size() != nodes_.size() * sizes_.size()) {
@@ -62,10 +90,25 @@ PerfMatrix::PerfMatrix(std::vector<double> node_counts,
 }
 
 double PerfMatrix::bandwidth(double nodes, double per_node_gb) const {
-  obs::ScopedTimer prof_span("iomodel.lookup");
   if (!(nodes > 0.0) || !(per_node_gb > 0.0)) {
     throw std::invalid_argument("PerfMatrix::bandwidth: arguments must be > 0");
   }
+  // The cache is keyed by matrix identity + exact argument bits; a hit
+  // returns the exact value interpolate() would produce, so results (and
+  // hence simulated trajectories) are independent of cache state.
+  static thread_local MemoCell memo[kMemoSlots];
+  MemoCell& cell = memo[memo_index(memo_id_, nodes, per_node_gb)];
+  if (cell.matrix_id == memo_id_ && cell.nodes == nodes &&
+      cell.per_node_gb == per_node_gb) {
+    return cell.bw_gbps;
+  }
+  obs::ScopedTimer prof_span("iomodel.lookup");
+  const double bw = interpolate(nodes, per_node_gb);
+  cell = MemoCell{memo_id_, nodes, per_node_gb, bw};
+  return bw;
+}
+
+double PerfMatrix::interpolate(double nodes, double per_node_gb) const {
   const auto [ni, nw] = bracket(nodes_, nodes);
   const auto [si, sw] = bracket(sizes_, per_node_gb);
   const std::size_t ncols = sizes_.size();

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 /// \file perf_matrix.hpp
@@ -10,6 +11,41 @@
 /// recovery read.
 
 namespace pckpt::iomodel {
+
+class PerfMatrix;
+
+/// A resolved bandwidth lookup: one (nodes, per-node GB) operating point,
+/// interpolated once via PerfMatrix::query() and then reused for every
+/// checkpoint priced at that point. Callers that price the same transfer
+/// repeatedly (periodic checkpoints, recovery reads, BB drains) should
+/// resolve a query per phase instead of calling PerfMatrix::bandwidth in
+/// the per-checkpoint path.
+class BandwidthQuery {
+ public:
+  /// Default-constructed queries are unresolved (bandwidth 0, not valid()).
+  BandwidthQuery() = default;
+
+  bool valid() const noexcept { return bw_gbps_ > 0.0; }
+  double nodes() const noexcept { return nodes_; }
+  double per_node_gb() const noexcept { return per_node_gb_; }
+  /// Aggregate bandwidth (GB/s) at the resolved operating point.
+  double bandwidth_gbps() const noexcept { return bw_gbps_; }
+  /// Seconds to move nodes() * per_node_gb() GB at the resolved bandwidth.
+  double transfer_seconds() const noexcept { return seconds_; }
+
+ private:
+  friend class PerfMatrix;
+  BandwidthQuery(double nodes, double per_node_gb, double bw_gbps)
+      : nodes_(nodes),
+        per_node_gb_(per_node_gb),
+        bw_gbps_(bw_gbps),
+        seconds_(nodes * per_node_gb / bw_gbps) {}
+
+  double nodes_ = 0.0;
+  double per_node_gb_ = 0.0;
+  double bw_gbps_ = 0.0;
+  double seconds_ = 0.0;
+};
 
 /// Dense grid of measured (or synthesized) aggregate bandwidths with
 /// log-bilinear interpolation between grid points and clamping outside the
@@ -25,8 +61,16 @@ class PerfMatrix {
 
   /// Aggregate bandwidth (GB/s) for `nodes` nodes each moving
   /// `per_node_gb` GB. Interpolates bilinearly in log(nodes), log(size);
-  /// clamps to the grid edges.
+  /// clamps to the grid edges. Repeated lookups at the same operating
+  /// point hit a small thread-local memo cache (results are identical to
+  /// the uncached interpolation — the cache affects timing only).
   double bandwidth(double nodes, double per_node_gb) const;
+
+  /// Resolve one operating point into a reusable handle (see
+  /// BandwidthQuery). Same validation/clamping as bandwidth().
+  BandwidthQuery query(double nodes, double per_node_gb) const {
+    return BandwidthQuery(nodes, per_node_gb, bandwidth(nodes, per_node_gb));
+  }
 
   /// Seconds to move `nodes * per_node_gb` GB at the matrix bandwidth.
   double transfer_seconds(double nodes, double per_node_gb) const;
@@ -38,9 +82,16 @@ class PerfMatrix {
   }
 
  private:
+  double interpolate(double nodes, double per_node_gb) const;
+
   std::vector<double> nodes_;
   std::vector<double> sizes_;
   std::vector<double> bw_;
+  /// Content identity for the lookup memo cache: fresh per construction,
+  /// shared by copies/moves (identical grids). Keying the cache on this
+  /// instead of `this` makes a recycled allocation unable to alias a
+  /// stale cell.
+  std::uint64_t memo_id_;
 };
 
 }  // namespace pckpt::iomodel

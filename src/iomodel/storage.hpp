@@ -71,6 +71,13 @@ class StorageModel {
     return matrix_.transfer_seconds(nodes, per_node_gb);
   }
 
+  /// Resolve the PFS operating point once and reuse the handle per
+  /// checkpoint (see BandwidthQuery). Equivalent to calling
+  /// pfs_aggregate_seconds with the same arguments every time.
+  BandwidthQuery pfs_aggregate_query(double nodes, double per_node_gb) const {
+    return matrix_.query(nodes, per_node_gb);
+  }
+
   /// One node writing/reading `gb` to/from the PFS contention-free (p-ckpt
   /// phase 1, replacement-node recovery).
   double pfs_single_node_seconds(double gb) const {

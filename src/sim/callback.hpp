@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// \file callback.hpp
+/// Small-buffer callback for the DES kernel's hot path.
+///
+/// `EventCallback` is a move-only, type-erased `void(EventCore&)` callable
+/// that stores small captures inline (no heap allocation) and falls back
+/// to the heap only for oversized or over-aligned callables. The kernel's
+/// own wake-up closures (a ProcessPtr plus an epoch, a handful of words)
+/// always fit inline, which is what keeps event processing allocation-free
+/// steady-state — `std::function`'s 16-byte inline buffer spills exactly
+/// those captures to the heap on every await.
+
+namespace pckpt::sim {
+
+class EventCore;
+
+class EventCallback {
+ public:
+  /// Inline capture budget. Sized for the kernel's own closures (waiter
+  /// wake-ups, condition fan-ins: an Event handle plus a shared_ptr) with
+  /// headroom for typical user lambdas.
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventCallback() noexcept = default;
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback>>>
+  EventCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&, EventCore&>,
+                  "EventCallback requires a void(EventCore&) callable");
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &vtable_inline<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &vtable_heap<Fn>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return vt_ != nullptr; }
+
+  void operator()(EventCore& ev) { vt_->invoke(buf_, ev); }
+
+  void reset() noexcept {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage, EventCore& ev);
+    /// Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static constexpr VTable vtable_inline = {
+      [](void* storage, EventCore& ev) {
+        (*std::launder(reinterpret_cast<Fn*>(storage)))(ev);
+      },
+      [](void* dst, void* src) noexcept {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* storage) noexcept {
+        std::launder(reinterpret_cast<Fn*>(storage))->~Fn();
+      },
+  };
+
+  template <class Fn>
+  static constexpr VTable vtable_heap = {
+      [](void* storage, EventCore& ev) {
+        (**std::launder(reinterpret_cast<Fn**>(storage)))(ev);
+      },
+      [](void* dst, void* src) noexcept {
+        // The stored pointer is trivially destructible; copying it over is
+        // a complete relocation.
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* storage) noexcept {
+        delete *std::launder(reinterpret_cast<Fn**>(storage));
+      },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace pckpt::sim

@@ -11,10 +11,13 @@ namespace pckpt::sim {
 
 Environment::~Environment() {
   // Destroy frames of processes that never finished; this breaks the
-  // state<->frame ownership so everything is reclaimed.
+  // state<->frame ownership so everything is reclaimed. Dropping the
+  // ProcessPtrs here (not in member destruction) keeps every pooled-event
+  // release inside the pool's lifetime.
   auto procs = std::move(processes_);
   processes_.clear();
   for (const auto& [ptr, ps] : procs) ps->destroy_frame();
+  procs.clear();
   collect_garbage();
 }
 
@@ -28,18 +31,28 @@ void Environment::collect_garbage() {
   }
 }
 
-EventPtr Environment::event() { return std::make_shared<EventCore>(*this); }
-
 EventPtr Environment::timeout(SimTime delay) {
   if (!(delay >= 0.0)) {
     throw std::invalid_argument("Environment::timeout: negative or NaN delay");
   }
-  auto ev = event();
+  EventPtr ev = event();
   ev->state_ = EventCore::State::kScheduled;
-  const EventSeq seq = seq_++;
-  heap_.push(Entry{now_ + delay, seq, ev});
-  if (tracer_) tracer_->on_schedule(now_, now_ + delay, seq);
+  push_entry(*ev, now_ + delay);
   return ev;
+}
+
+void Environment::schedule_at(const EventPtr& ev, SimTime at) {
+  if (!(at >= now_)) {
+    throw std::invalid_argument(
+        "Environment::schedule_at: time in the past or NaN");
+  }
+  EventCore& rec = *ev;
+  if (rec.state_ == EventCore::State::kProcessed) {
+    throw std::logic_error(
+        "Environment::schedule_at: event already processed");
+  }
+  rec.state_ = EventCore::State::kScheduled;
+  push_entry(rec, at);
 }
 
 void Environment::schedule(EventPtr ev, SimTime delay) {
@@ -47,20 +60,15 @@ void Environment::schedule(EventPtr ev, SimTime delay) {
     throw std::invalid_argument(
         "Environment::schedule: negative or NaN delay");
   }
-  if (ev->state_ == EventCore::State::kProcessed) {
+  EventCore& rec = *ev;
+  if (rec.state_ == EventCore::State::kProcessed) {
     throw std::logic_error("Environment::schedule: event already processed");
   }
-  ev->state_ = EventCore::State::kScheduled;
-  const EventSeq seq = seq_++;
-  heap_.push(Entry{now_ + delay, seq, std::move(ev)});
-  if (tracer_) tracer_->on_schedule(now_, now_ + delay, seq);
+  rec.state_ = EventCore::State::kScheduled;
+  push_entry(rec, now_ + delay);
 }
 
-void Environment::defer(std::function<void()> fn) {
-  auto ev = event();
-  ev->add_callback([f = std::move(fn)](EventCore&) { f(); });
-  schedule(std::move(ev), 0.0);
-}
+void Environment::defer(std::function<void()> fn) { post(std::move(fn)); }
 
 Process& Environment::spawn(Process& p) {
   if (!p.valid()) throw std::invalid_argument("Environment::spawn: invalid");
@@ -81,12 +89,14 @@ Process Environment::spawn(Process&& p) {
 bool Environment::step() {
   collect_garbage();
   if (heap_.empty()) return false;
-  Entry e = heap_.top();
-  heap_.pop();
+  const HeapEntry e = heap_.pop();
   now_ = e.t;
   ++processed_count_;
   if (tracer_) tracer_->on_event(e.t, e.seq);
-  e.ev->process();
+  EventCore& rec = pool_.record(e.slot);
+  --rec.sched_count_;
+  rec.process();
+  rec.deref();  // the heap entry's reference
   return true;
 }
 

@@ -5,13 +5,15 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "sim/event.hpp"
+#include "sim/event_heap.hpp"
+#include "sim/event_pool.hpp"
 #include "sim/tracer.hpp"
 #include "sim/types.hpp"
 
@@ -22,9 +24,21 @@ namespace pckpt::sim {
 
 class ProcessState;
 class Process;
+class Environment;
+
+/// Tag returned by Environment::delay(): an allocation-free suspension of
+/// `dt` simulated seconds, usable only as `co_await env.delay(dt)` inside
+/// a process. Unlike timeout(), no event is visible to the caller and the
+/// process's reusable timer event is recycled, so the steady-state wait
+/// path performs no allocation at all.
+struct Delay {
+  Environment* env;
+  SimTime dt;
+};
 
 /// Discrete-event simulation environment (the SimPy `Environment`
-/// equivalent). Owns the event heap and the set of live processes.
+/// equivalent). Owns the event pool, the event heap, and the set of live
+/// processes.
 ///
 /// Determinism: events fire in (time, insertion-sequence) order, so a given
 /// program produces the identical trajectory on every run.
@@ -39,17 +53,51 @@ class Environment {
   SimTime now() const noexcept { return now_; }
 
   /// Create a fresh pending event.
-  EventPtr event();
+  EventPtr event() {
+    EventCore* rec = pool_.acquire(*this);
+    return EventPtr(rec, rec->gen_);
+  }
 
   /// Create an event that succeeds `delay` seconds from now.
   /// \throws std::invalid_argument for negative or NaN delay.
   EventPtr timeout(SimTime delay);
 
-  /// Schedule a triggered event for processing `delay` seconds from now.
+  /// Suspend the awaiting process for `dt` simulated seconds:
+  /// `co_await env.delay(dt)`. The hot-path replacement for
+  /// `co_await env.timeout(dt)` — reuses the process's timer event.
+  /// Negative/NaN `dt` throws std::invalid_argument at the co_await.
+  Delay delay(SimTime dt) noexcept { return Delay{this, dt}; }
+
+  /// Schedule a triggered event for processing at absolute simulation
+  /// time `at` (use `env.now() + dt` for a relative delay).
+  /// \throws std::invalid_argument if `at` is in the past or NaN.
+  /// \throws std::logic_error if the event was already processed.
+  void schedule_at(const EventPtr& ev, SimTime at);
+
+  /// Schedule a triggered event for processing at the current time, after
+  /// already-queued same-time events.
+  void post(const EventPtr& ev) { schedule_at(ev, now_); }
+
+  /// Run a plain callable at the current time, after already-queued
+  /// same-time events (deferred wake-ups). The closure rides inline in a
+  /// pooled event's small-buffer callback.
+  template <class Fn,
+            class = std::enable_if_t<std::is_invocable_v<std::decay_t<Fn>&>>>
+  void post(Fn&& fn) {
+    EventPtr ev = event();
+    ev->add_callback(
+        [f = std::forward<Fn>(fn)](EventCore&) mutable { f(); });
+    trigger_now(*ev);
+  }
+
+  /// \deprecated Delay-relative scheduling of an event handle; use
+  /// `schedule_at(ev, env.now() + delay)` (or `post(ev)` for delay 0).
+  [[deprecated("use schedule_at(ev, env.now() + delay) or post(ev)")]]
   void schedule(EventPtr ev, SimTime delay = 0.0);
 
-  /// Run a plain function at the current time, after already-queued
-  /// same-time events (used for deferred wake-ups).
+  /// \deprecated Type-erased deferral through std::function; use
+  /// `post(fn)`, which keeps small closures inline.
+  [[deprecated("use post(fn)")]]
   void defer(std::function<void()> fn);
 
   /// Register a process coroutine and schedule its first resumption at the
@@ -76,6 +124,9 @@ class Environment {
   /// Total events processed since construction (for micro-benchmarks).
   std::uint64_t events_processed() const noexcept { return processed_count_; }
 
+  /// The slab pool backing this environment's events (diagnostics/tests).
+  const EventPool& event_pool() const noexcept { return pool_; }
+
   /// Attach (or detach, with nullptr) a kernel tracer. The environment
   /// does not own the tracer; it must outlive the simulation. Tracing is
   /// off by default and costs one null check per kernel operation.
@@ -93,6 +144,24 @@ class Environment {
 
  private:
   friend class ProcessState;
+  friend class EventCore;
+
+  /// Assign the next sequence number and push one heap entry for `rec`
+  /// firing at absolute time `t`. The heap entry owns one reference.
+  void push_entry(EventCore& rec, SimTime t) {
+    const EventSeq seq = seq_++;
+    ++rec.refs_;
+    ++rec.sched_count_;
+    heap_.push(HeapEntry{t, seq, rec.slot_});
+    if (tracer_) tracer_->on_schedule(now_, t, seq);
+  }
+
+  /// Mark `rec` scheduled and queue it at the current time (the succeed/
+  /// fail/kick path).
+  void trigger_now(EventCore& rec) {
+    rec.state_ = EventCore::State::kScheduled;
+    push_entry(rec, now_);
+  }
 
   void forget(ProcessState* ps);
   void reap(std::coroutine_handle<> h) { graveyard_.push_back(h); }
@@ -101,19 +170,10 @@ class Environment {
     process_errors_.emplace_back(name, std::move(e));
   }
 
-  struct Entry {
-    SimTime t;
-    EventSeq seq;
-    EventPtr ev;
-  };
-  struct EntryLater {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
-
-  std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
+  // pool_ is declared first so it is destroyed *last*: frames, process
+  // states, and heap entries all point into it.
+  EventPool pool_;
+  EventHeap heap_;
   std::unordered_map<ProcessState*, std::shared_ptr<ProcessState>> processes_;
   std::vector<std::coroutine_handle<>> graveyard_;
   std::vector<std::pair<std::string, std::exception_ptr>> process_errors_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/environment.hpp"
+#include "sim/process.hpp"
 
 namespace pckpt::sim {
 
@@ -12,14 +13,14 @@ void EventCore::add_callback(Callback cb) {
     cb(*this);
     return;
   }
-  callbacks_.push_back(std::move(cb));
+  callbacks_.push(std::move(cb));
 }
 
 void EventCore::succeed() {
   if (triggered()) {
     throw std::logic_error("EventCore::succeed: event already triggered");
   }
-  env_->schedule(shared_from_this(), 0.0);
+  env_->trigger_now(*this);
 }
 
 void EventCore::fail(std::exception_ptr cause) {
@@ -28,16 +29,70 @@ void EventCore::fail(std::exception_ptr cause) {
   }
   failed_ = true;
   error_ = std::move(cause);
-  env_->schedule(shared_from_this(), 0.0);
+  env_->trigger_now(*this);
 }
 
 void EventCore::process() {
   state_ = State::kProcessed;
-  // Move callbacks out so callbacks registering further callbacks (or
-  // events) cannot invalidate the iteration.
-  auto cbs = std::move(callbacks_);
-  callbacks_.clear();
-  for (auto& cb : cbs) cb(*this);
+  // The intrusive waiter woke first (it registered first — later awaiters
+  // spill to the callback list, preserving registration order overall).
+  if (waiter_mode_ != WaiterMode::kNone) {
+    const WaiterMode mode = waiter_mode_;
+    waiter_mode_ = WaiterMode::kNone;
+    ProcessPtr proc = std::move(waiter_);
+    waiter_.reset();
+    if (mode == WaiterMode::kKick) {
+      if (!proc->finished_) proc->resume();
+    } else if (!proc->finished_ && proc->awaiting_ &&
+               proc->wait_epoch_ == waiter_epoch_) {
+      proc->awaiting_ = false;
+      proc->resume();
+    }
+  }
+  if (!callbacks_.empty()) {
+    // Move callbacks out so callbacks registering further callbacks cannot
+    // invalidate the iteration.
+    auto cbs = callbacks_.take();
+    cbs.run(*this);
+  }
+}
+
+void EventCore::await_by(ProcessPtr proc, std::uint64_t epoch) {
+  if (waiter_mode_ == WaiterMode::kNone && callbacks_.empty()) {
+    waiter_mode_ = WaiterMode::kAwait;
+    waiter_ = std::move(proc);
+    waiter_epoch_ = epoch;
+    return;
+  }
+  // Later registrations spill behind whatever is already queued so wake-up
+  // order matches registration order.
+  callbacks_.push([st = std::move(proc), epoch](EventCore&) {
+    if (st->finished_ || !st->awaiting_ || st->wait_epoch_ != epoch) return;
+    st->awaiting_ = false;
+    st->resume();
+  });
+}
+
+void EventCore::rearm() noexcept {
+  state_ = State::kPending;
+  failed_ = false;
+  error_ = nullptr;
+}
+
+EventCore* Event::checked() const {
+  if (rec_ == nullptr || rec_->gen_ != gen_) {
+    throw std::logic_error(
+        "sim::Event: stale handle (event released, slot recycled)");
+  }
+  return rec_;
+}
+
+EventCore* EventObserver::operator->() const {
+  if (rec_ == nullptr || rec_->gen_ != gen_) {
+    throw std::logic_error(
+        "sim::EventObserver: use-after-release (generation mismatch)");
+  }
+  return rec_;
 }
 
 }  // namespace pckpt::sim

@@ -1,41 +1,108 @@
 #pragma once
 
+#include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/types.hpp"
 
 /// \file event.hpp
 /// SimPy-style events: one-shot occurrences with attached callbacks.
 ///
-/// Life cycle: `pending` (created) -> `scheduled` (triggered, sitting in the
-/// environment's heap) -> `processed` (callbacks ran). An event can succeed
-/// or fail; failure carries an exception_ptr that is rethrown into any
-/// process that awaits the event.
+/// Life cycle: `pending` (created) -> `scheduled` (triggered, sitting in
+/// the environment's heap) -> `processed` (callbacks ran). An event can
+/// succeed or fail; failure carries an exception_ptr that is rethrown into
+/// any process that awaits the event.
+///
+/// Storage model (the hot-path overhaul): events live in a slab pool owned
+/// by their Environment instead of individual `shared_ptr` allocations.
+/// `Event` is a generation-checked, intrusively refcounted handle — 16
+/// bytes, non-atomic count (the kernel is single-threaded by design;
+/// campaigns parallelize at the run level, one Environment per run). When
+/// the last handle and the last heap reference drop, the slot returns to
+/// the pool's free list and its generation counter bumps, so any stale
+/// `EventObserver` (or buggy handle) trips a `std::logic_error` instead of
+/// reading recycled state. Handles must not outlive their Environment —
+/// the same contract the previous `shared_ptr<EventCore>` had in practice,
+/// since events always pointed back at the environment that made them.
 
 namespace pckpt::sim {
 
 class Environment;
-
 class EventCore;
-using EventPtr = std::shared_ptr<EventCore>;
+class EventPool;
+class Event;
+class ProcessState;
+using ProcessPtr = std::shared_ptr<ProcessState>;
 
-/// One-shot simulation event.
-///
-/// Events are created through Environment::event() / Environment::timeout()
-/// and referenced through shared_ptr (EventPtr). They are not thread-safe:
-/// the kernel is single-threaded by design (deterministic replay matters
-/// more than parallel speedup for this simulator; campaigns parallelize at
-/// the run level instead).
-class EventCore : public std::enable_shared_from_this<EventCore> {
+namespace detail {
+
+/// Callback storage tuned for the dominant shape: zero or one callback
+/// per event. The first callback lives inline in the pool record; only
+/// fan-in events (conditions, multi-waiter gates) touch the spill vector.
+class CallbackList {
  public:
-  using Callback = std::function<void(EventCore&)>;
+  bool empty() const noexcept { return !first_ && spill_.empty(); }
 
-  enum class State { kPending, kScheduled, kProcessed };
+  void push(EventCallback cb) {
+    if (!first_ && spill_.empty()) {
+      first_ = std::move(cb);
+    } else {
+      spill_.push_back(std::move(cb));
+    }
+  }
 
-  explicit EventCore(Environment& env) : env_(&env) {}
+  /// Move the whole list out (used by process(): callbacks registered
+  /// while running must not invalidate the iteration).
+  CallbackList take() noexcept {
+    CallbackList out;
+    out.first_ = std::move(first_);
+    first_.reset();
+    out.spill_ = std::move(spill_);
+    spill_.clear();
+    return out;
+  }
+
+  template <class EventRef>
+  void run(EventRef& ev) {
+    if (first_) first_(ev);
+    for (EventCallback& cb : spill_) cb(ev);
+  }
+
+  /// Reset to the fully-trivial state: also frees spill capacity, so a
+  /// cleared list owns no heap storage (the pool's teardown fast path
+  /// relies on released records having only no-op destructors).
+  void clear() noexcept {
+    first_.reset();
+    if (spill_.capacity() != 0) {
+      std::vector<EventCallback>().swap(spill_);
+    }
+  }
+
+ private:
+  EventCallback first_;
+  std::vector<EventCallback> spill_;
+};
+
+}  // namespace detail
+
+/// One-shot simulation event, stored in the environment's event pool.
+///
+/// Created through Environment::event() / Environment::timeout() and
+/// referenced through `Event` handles (the `EventPtr` alias is kept for
+/// source compatibility). Not thread-safe: the kernel is single-threaded
+/// by design (deterministic replay matters more than parallel speedup for
+/// this simulator; campaigns parallelize at the run level instead).
+class EventCore {
+ public:
+  using Callback = EventCallback;
+
+  enum class State : std::uint8_t { kPending, kScheduled, kProcessed };
+
+  EventCore() = default;
   EventCore(const EventCore&) = delete;
   EventCore& operator=(const EventCore&) = delete;
 
@@ -66,15 +133,157 @@ class EventCore : public std::enable_shared_from_this<EventCore> {
 
  private:
   friend class Environment;
+  friend class EventPool;
+  friend class Event;
+  friend class EventObserver;
+  friend class ProcessState;
 
-  /// Called by the environment's event loop: runs callbacks.
+  enum class WaiterMode : std::uint8_t {
+    kNone,   ///< no intrusive waiter armed
+    kAwait,  ///< resume iff still awaiting this epoch (co_await path)
+    kKick,   ///< resume unconditionally unless finished (spawn/interrupt)
+  };
+
+  /// Called by the environment's event loop: wakes the intrusive waiter,
+  /// then runs callbacks in registration order.
   void process();
 
-  Environment* env_;
+  /// Park `proc` on this event (the co_await fast path). Uses the
+  /// intrusive waiter slot when this is the first registration, so the
+  /// common single-waiter await allocates nothing; later registrations
+  /// spill to the callback list to preserve registration order.
+  void await_by(ProcessPtr proc, std::uint64_t epoch);
+
+  /// Drop one reference; releases the slot back to the pool at zero.
+  void deref() noexcept;
+
+  /// Reset a just-processed event back to pending for reuse by its owner
+  /// (the per-process timeout event). Precondition: no live heap entry.
+  void rearm() noexcept;
+
+  Environment* env_ = nullptr;
+  EventPool* pool_ = nullptr;
+  EventSlot slot_ = 0;
+  std::uint32_t gen_ = 0;
+  std::uint32_t refs_ = 0;
+  std::uint32_t sched_count_ = 0;  ///< live heap entries for this slot
   State state_ = State::kPending;
   bool failed_ = false;
+  WaiterMode waiter_mode_ = WaiterMode::kNone;
+  std::uint64_t waiter_epoch_ = 0;
+  ProcessPtr waiter_;
   std::exception_ptr error_;
-  std::vector<Callback> callbacks_;
+  detail::CallbackList callbacks_;
 };
+
+/// Owning, generation-checked handle to a pooled event. Copying bumps a
+/// plain (non-atomic) refcount; the slot is recycled when the last handle
+/// and the last heap entry are gone. Pointer-like: `ev->succeed()`,
+/// `ev->processed()`, ... Must not outlive the owning Environment.
+class Event {
+ public:
+  Event() noexcept = default;
+
+  Event(const Event& other) noexcept : rec_(other.rec_), gen_(other.gen_) {
+    if (rec_ != nullptr) ++rec_->refs_;
+  }
+  Event(Event&& other) noexcept : rec_(other.rec_), gen_(other.gen_) {
+    other.rec_ = nullptr;
+  }
+  Event& operator=(const Event& other) noexcept {
+    Event tmp(other);
+    swap(tmp);
+    return *this;
+  }
+  Event& operator=(Event&& other) noexcept {
+    if (this != &other) {
+      release();
+      rec_ = other.rec_;
+      gen_ = other.gen_;
+      other.rec_ = nullptr;
+    }
+    return *this;
+  }
+  ~Event() { release(); }
+
+  /// True when the handle points at a live (same-generation) event.
+  bool valid() const noexcept {
+    return rec_ != nullptr && rec_->gen_ == gen_;
+  }
+  explicit operator bool() const noexcept { return rec_ != nullptr; }
+
+  /// Access the event. \throws std::logic_error on a stale handle
+  /// (use-after-release — the slot was recycled).
+  EventCore* operator->() const { return checked(); }
+  EventCore& operator*() const { return *checked(); }
+
+  /// Non-owning observer for lifetime diagnostics and tests.
+  class EventObserver observer() const noexcept;
+
+  void reset() noexcept {
+    release();
+    rec_ = nullptr;
+  }
+
+ private:
+  friend class Environment;
+  friend class EventPool;
+  friend class ProcessState;
+
+  Event(EventCore* rec, std::uint32_t gen) noexcept : rec_(rec), gen_(gen) {
+    ++rec_->refs_;
+  }
+
+  EventCore* checked() const;
+
+  void release() noexcept {
+    if (rec_ != nullptr) {
+      rec_->deref();
+      rec_ = nullptr;
+    }
+  }
+
+  void swap(Event& other) noexcept {
+    std::swap(rec_, other.rec_);
+    std::swap(gen_, other.gen_);
+  }
+
+  EventCore* rec_ = nullptr;
+  std::uint32_t gen_ = 0;
+};
+
+/// Non-owning observer of a pooled event. Does not keep the slot alive;
+/// once the event is released and its generation bumps, any access throws
+/// `std::logic_error` — this is the use-after-release tripwire the pool's
+/// handle discipline is tested against.
+class EventObserver {
+ public:
+  EventObserver() noexcept = default;
+
+  /// True while the observed event's slot has not been recycled.
+  bool alive() const noexcept {
+    return rec_ != nullptr && rec_->gen_ == gen_;
+  }
+
+  /// \throws std::logic_error if the event was released (generation
+  /// mismatch: use-after-release).
+  EventCore* operator->() const;
+
+ private:
+  friend class Event;
+  EventObserver(EventCore* rec, std::uint32_t gen) noexcept
+      : rec_(rec), gen_(gen) {}
+
+  EventCore* rec_ = nullptr;
+  std::uint32_t gen_ = 0;
+};
+
+inline EventObserver Event::observer() const noexcept {
+  return EventObserver(rec_, gen_);
+}
+
+/// Source-compat alias: `EventPtr` used to be `shared_ptr<EventCore>`;
+/// it is now the pooled handle with the same pointer-like surface.
+using EventPtr = Event;
 
 }  // namespace pckpt::sim

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+/// \file event_heap.hpp
+/// Flat 4-ary min-heap over POD `(fire_time, seq, slot)` entries — the
+/// event queue of the DES kernel.
+///
+/// Why 4-ary instead of `std::priority_queue`'s implicit binary heap:
+///   - entries are 24-byte PODs, so four children share one or two cache
+///     lines and a sift-down level costs a single line fetch;
+///   - the tree is half as deep, halving the number of dependent
+///     compare-and-move rounds per pop on the ~10^5-event heaps the
+///     campaign models build;
+///   - no shared_ptr copies ride along with the sift moves (the payload
+///     is a pool slot index, not an owning pointer).
+///
+/// Ordering is strict weak over `(fire_time, seq)`; `seq` is the kernel's
+/// monotone schedule counter, so equal-time events pop FIFO and the heap
+/// is fully deterministic (the PR-2 golden traces are the oracle for
+/// this contract).
+
+namespace pckpt::sim {
+
+/// One scheduled occurrence. POD: moved with memcpy-class stores during
+/// sifting; the slot is resolved against the environment's event pool
+/// only at pop time.
+struct HeapEntry {
+  SimTime t;        ///< absolute fire time (seconds)
+  EventSeq seq;     ///< FIFO tie-breaker among equal fire times
+  EventSlot slot;   ///< event pool slot that fires
+};
+
+/// Flat array 4-ary min-heap of HeapEntry. Not a template: the kernel
+/// needs exactly one instantiation and the concrete type keeps the
+/// translation unit small.
+class EventHeap {
+ public:
+  static constexpr std::size_t kArity = 4;
+
+  bool empty() const noexcept { return v_.empty(); }
+  std::size_t size() const noexcept { return v_.size(); }
+  const HeapEntry& top() const noexcept { return v_.front(); }
+
+  void reserve(std::size_t n) { v_.reserve(n); }
+  void clear() noexcept { v_.clear(); }
+
+  void push(HeapEntry e) {
+    std::size_t i = v_.size();
+    v_.push_back(e);
+    // Sift up: shift parents down until e's position is found, then
+    // store once (avoids per-level swaps).
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!before(e, v_[parent])) break;
+      v_[i] = v_[parent];
+      i = parent;
+    }
+    v_[i] = e;
+  }
+
+  /// Remove and return the minimum entry. Precondition: !empty().
+  HeapEntry pop() {
+    HeapEntry min = v_.front();
+    HeapEntry last = v_.back();
+    v_.pop_back();
+    if (!v_.empty()) {
+      std::size_t i = 0;
+      const std::size_t n = v_.size();
+      for (;;) {
+        const std::size_t first = i * kArity + 1;
+        if (first >= n) break;
+        // Smallest of up to four children.
+        std::size_t best = first;
+        const std::size_t end =
+            first + kArity < n ? first + kArity : n;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (before(v_[c], v_[best])) best = c;
+        }
+        if (!before(v_[best], last)) break;
+        v_[i] = v_[best];
+        i = best;
+      }
+      v_[i] = last;
+    }
+    return min;
+  }
+
+ private:
+  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  std::vector<HeapEntry> v_;
+};
+
+}  // namespace pckpt::sim

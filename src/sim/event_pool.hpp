@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "sim/types.hpp"
+
+/// \file event_pool.hpp
+/// Slab/free-list storage for pooled events.
+///
+/// Records live in fixed-size slabs that are never moved or freed until
+/// the pool dies, so `EventCore*` stays stable for a record's whole life.
+/// Slabs are raw storage: a record is placement-constructed the first
+/// time its slot is handed out (folding the zero-init into the first
+/// touch) and thereafter recycled through a LIFO free list. Each recycle
+/// bumps the record's generation counter, which is what lets stale
+/// observers detect use-after-release (see event.hpp). Steady-state event
+/// traffic touches only the free-list vector — no allocator calls.
+
+namespace pckpt::sim {
+
+class EventPool {
+ public:
+  /// Records per slab. Power of two so slot->record resolution is a
+  /// shift+mask; 256 × ~160 B keeps a slab well under typical L2.
+  static constexpr std::size_t kSlabSize = 256;
+
+  EventPool() = default;
+  EventPool(const EventPool&) = delete;
+  EventPool& operator=(const EventPool&) = delete;
+
+  ~EventPool() {
+    // Fast path: every constructed record went back through release(),
+    // which already scrubbed it (callbacks reset, spill storage freed,
+    // waiter dropped) — nothing left with a non-trivial destructor.
+    if (free_.size() != hwm_) {
+      // Live records remain (handles held at environment teardown). Sever
+      // cross-record references first, while every slab is still alive:
+      // callbacks and waiter slots may own handles to *other* pooled
+      // events (condition fan-ins do), and dropping those handles
+      // re-enters release(). Only then run the destructors.
+      for (std::size_t s = 0; s < hwm_; ++s) {
+        EventCore& rec = record(static_cast<EventSlot>(s));
+        ++rec.gen_;  // kill observers first so reentrant reads see "dead"
+        rec.callbacks_.clear();
+        rec.waiter_.reset();
+        rec.error_ = nullptr;
+      }
+      for (std::size_t s = 0; s < hwm_; ++s) {
+        record(static_cast<EventSlot>(s)).~EventCore();
+      }
+    }
+    // Slabs now hold no live objects; park them for the next environment
+    // on this thread. Campaigns build one Environment per trial, so slab
+    // recycling keeps the event working set cache-warm across trials.
+    auto& cache = slab_cache();
+    for (auto& slab : slabs_) {
+      if (cache.size() >= kMaxCachedSlabs) break;
+      cache.push_back(std::move(slab));
+    }
+  }
+
+  /// Take a slot (recycled from the free list, or freshly constructed at
+  /// the high-water mark, growing by one slab when needed) and reset it
+  /// to a pending event. The returned record has zero references — the
+  /// caller wraps it in an Event handle immediately.
+  EventCore* acquire(Environment& env) {
+    EventCore* rec;
+    if (!free_.empty()) {
+      rec = &record(free_.back());
+      free_.pop_back();
+    } else {
+      if (hwm_ == capacity()) grow();
+      const EventSlot slot = static_cast<EventSlot>(hwm_++);
+      rec = ::new (slot_storage(slot)) EventCore();
+      rec->pool_ = this;
+      rec->slot_ = slot;
+    }
+    rec->env_ = &env;
+    rec->state_ = EventCore::State::kPending;
+    rec->failed_ = false;
+    return rec;
+  }
+
+  /// Return a slot to the free list once its last reference is gone.
+  /// Bumps the generation (stale observers now throw) and drops whatever
+  /// the record still owns; clearing callbacks may recursively release
+  /// other records, which is safe — the free list never reallocates
+  /// (capacity is reserved at grow time).
+  void release(EventCore& rec) noexcept {
+    ++rec.gen_;
+    rec.callbacks_.clear();
+    rec.waiter_.reset();
+    rec.waiter_mode_ = EventCore::WaiterMode::kNone;
+    rec.error_ = nullptr;
+    free_.push_back(rec.slot_);
+  }
+
+  EventCore& record(EventSlot slot) noexcept {
+    return *std::launder(
+        reinterpret_cast<EventCore*>(slot_storage(slot)));
+  }
+
+  /// Slots constructed so far (live + free) — for tests/diagnostics.
+  std::size_t slots_created() const noexcept { return hwm_; }
+  std::size_t free_slots() const noexcept { return free_.size(); }
+
+ private:
+  std::size_t capacity() const noexcept {
+    return slabs_.size() * kSlabSize;
+  }
+
+  void* slot_storage(EventSlot slot) const noexcept {
+    return slabs_[slot / kSlabSize].get() +
+           (slot % kSlabSize) * sizeof(EventCore);
+  }
+
+  /// Thread-local stash of retired slabs (all environments on a thread
+  /// share it; exec workers each get their own). Bounded so a one-off
+  /// huge simulation cannot pin memory forever.
+  static constexpr std::size_t kMaxCachedSlabs = 16;
+  static std::vector<std::unique_ptr<std::byte[]>>& slab_cache() {
+    static thread_local std::vector<std::unique_ptr<std::byte[]>> cache;
+    return cache;
+  }
+
+  void grow() {
+    // new[] storage is aligned for any fundamental-alignment type, which
+    // covers EventCore (alignof <= max_align_t).
+    static_assert(alignof(EventCore) <= alignof(std::max_align_t));
+    auto& cache = slab_cache();
+    if (!cache.empty()) {
+      slabs_.push_back(std::move(cache.back()));
+      cache.pop_back();
+    } else {
+      slabs_.push_back(
+          std::make_unique<std::byte[]>(kSlabSize * sizeof(EventCore)));
+    }
+    free_.reserve(capacity());  // release() may not reallocate (noexcept)
+  }
+
+  std::vector<std::unique_ptr<std::byte[]>> slabs_;
+  std::vector<EventSlot> free_;
+  std::size_t hwm_ = 0;  ///< slots constructed so far; slab fill watermark
+};
+
+inline void EventCore::deref() noexcept {
+  if (--refs_ == 0) pool_->release(*this);
+}
+
+}  // namespace pckpt::sim

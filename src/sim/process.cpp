@@ -1,6 +1,7 @@
 #include "sim/process.hpp"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace pckpt::sim {
@@ -14,10 +15,47 @@ ProcessState::~ProcessState() {
 void ProcessState::start(Environment& env) {
   env_ = &env;
   done_ = env.event();
-  auto self = shared_from_this();
-  env.defer([self] {
-    if (!self->finished_) self->resume();
-  });
+  kick();
+}
+
+void ProcessState::kick() {
+  EventPtr ev = env_->event();
+  EventCore& rec = *ev;
+  rec.waiter_mode_ = EventCore::WaiterMode::kKick;
+  rec.waiter_ = shared_from_this();
+  env_->trigger_now(rec);
+}
+
+void ProcessState::arm_timer(SimTime dt) {
+  if (!(dt >= 0.0)) {
+    throw std::invalid_argument(
+        "Environment::delay: negative or NaN delay");
+  }
+  awaiting_ = true;
+  const auto epoch = ++wait_epoch_;
+  EventCore* rec = nullptr;
+  if (timer_) {
+    EventCore& old = *timer_;
+    if (old.sched_count_ == 0) {
+      // Previous firing fully retired: recycle in place.
+      old.rearm();
+      rec = &old;
+    } else {
+      // An interrupted wait left a stale heap entry in flight. Abandon the
+      // old record (the heap entry keeps it alive until it pops, where the
+      // epoch check disarms it) and take a fresh one.
+      timer_ = env_->event();
+      rec = &*timer_;
+    }
+  } else {
+    timer_ = env_->event();
+    rec = &*timer_;
+  }
+  rec->waiter_mode_ = EventCore::WaiterMode::kAwait;
+  rec->waiter_ = shared_from_this();
+  rec->waiter_epoch_ = epoch;
+  rec->state_ = EventCore::State::kScheduled;
+  env_->push_entry(*rec, env_->now() + dt);
 }
 
 void ProcessState::resume() {
@@ -31,6 +69,7 @@ void ProcessState::on_finished(std::exception_ptr error) {
   // outside coroutine context.
   finished_ = true;
   awaiting_ = false;
+  timer_.reset();
   if (error) {
     env_->record_error(name_, error);
     done_->fail(error);
@@ -61,11 +100,8 @@ bool ProcessState::interrupt(std::any cause) {
   interrupt_cause_ = std::move(cause);
   if (awaiting_) {
     awaiting_ = false;
-    ++wait_epoch_;  // disarm the event callback that was waiting
-    auto self = shared_from_this();
-    env_->defer([self] {
-      if (!self->finished_) self->resume();
-    });
+    ++wait_epoch_;  // disarm whichever event the process was parked on
+    kick();
   }
   // If the process is currently executing (or not yet started), the flag is
   // delivered at its next co_await.

@@ -14,15 +14,20 @@
 /// Coroutine-based simulation processes (the SimPy generator equivalent).
 ///
 /// A process is a C++20 coroutine returning `Process`. Inside the coroutine
-/// body, `co_await env.timeout(dt)` suspends for simulated time and
-/// `co_await ev` suspends until an event fires. Another process may call
-/// `Process::interrupt(cause)`, which makes the victim's in-flight
-/// `co_await` throw `sim::Interrupted` — this is how failures are injected
-/// into compute/checkpoint phases.
+/// body, `co_await env.delay(dt)` (or `co_await env.timeout(dt)`) suspends
+/// for simulated time and `co_await ev` suspends until an event fires.
+/// Another process may call `Process::interrupt(cause)`, which makes the
+/// victim's in-flight `co_await` throw `sim::Interrupted` — this is how
+/// failures are injected into compute/checkpoint phases.
 ///
 /// Lifetime: the coroutine frame is owned by a shared ProcessState that the
 /// Environment keeps alive until the coroutine finishes. `Process` handles
 /// are cheap shared references.
+///
+/// Hot path: awaiting parks the process in the event's intrusive waiter
+/// slot (no closure allocation), and `co_await env.delay(dt)` recycles a
+/// per-process timer event from the pool — steady-state waits neither
+/// allocate nor free.
 
 namespace pckpt::sim {
 
@@ -66,7 +71,9 @@ class ProcessState : public std::enable_shared_from_this<ProcessState> {
  private:
   friend class Process;
   friend class Environment;
+  friend class EventCore;
   struct EventAwaiter;
+  struct DelayAwaiter;
   struct FinalAwaiter;
 
   void start(Environment& env);
@@ -75,9 +82,22 @@ class ProcessState : public std::enable_shared_from_this<ProcessState> {
   /// Destroy a never-finished coroutine frame (environment teardown).
   void destroy_frame();
 
+  /// Queue a resume at the current time, after already-queued same-time
+  /// events, via a pooled kick event (the start/interrupt wake-up path).
+  void kick();
+
+  /// Schedule the reusable timer event to fire `dt` seconds from now and
+  /// park this process on it. Recycles `timer_` when its previous firing
+  /// fully retired; if a stale heap entry is still in flight (interrupted
+  /// wait), the old record is abandoned to the pool and a fresh one takes
+  /// its place.
+  /// \throws std::invalid_argument for negative or NaN `dt`.
+  void arm_timer(SimTime dt);
+
   Environment* env_ = nullptr;
   std::coroutine_handle<> handle_;
   EventPtr done_;
+  EventPtr timer_;
   std::uint64_t wait_epoch_ = 0;
   bool awaiting_ = false;
   bool finished_ = false;
@@ -122,19 +142,15 @@ struct ProcessState::EventAwaiter {
   EventPtr ev;
   ProcessState* proc;
 
-  bool await_ready() const noexcept {
+  bool await_ready() const {
     return proc->has_interrupt_ || ev->processed();
   }
   void await_suspend(std::coroutine_handle<> /*h*/) {
     proc->awaiting_ = true;
     const auto epoch = ++proc->wait_epoch_;
-    // Hold the state alive through the callback so a dropped Process handle
-    // cannot dangle while a wake-up is armed.
-    ev->add_callback([st = proc->shared_from_this(), epoch](EventCore&) {
-      if (st->finished_ || !st->awaiting_ || st->wait_epoch_ != epoch) return;
-      st->awaiting_ = false;
-      st->resume();
-    });
+    // The intrusive waiter slot holds the state alive (ProcessPtr), so a
+    // dropped Process handle cannot dangle while a wake-up is armed.
+    ev->await_by(proc->shared_from_this(), epoch);
   }
   void await_resume() const {
     if (proc->has_interrupt_) {
@@ -142,6 +158,21 @@ struct ProcessState::EventAwaiter {
       throw Interrupted(std::move(proc->interrupt_cause_));
     }
     if (ev->failed()) std::rethrow_exception(ev->error());
+  }
+};
+
+/// Awaiter for `co_await env.delay(dt)` — the allocation-free timed wait.
+struct ProcessState::DelayAwaiter {
+  SimTime dt;
+  ProcessState* proc;
+
+  bool await_ready() const noexcept { return proc->has_interrupt_; }
+  void await_suspend(std::coroutine_handle<> /*h*/) { proc->arm_timer(dt); }
+  void await_resume() const {
+    if (proc->has_interrupt_) {
+      proc->has_interrupt_ = false;
+      throw Interrupted(std::move(proc->interrupt_cause_));
+    }
   }
 };
 
@@ -180,6 +211,10 @@ struct Process::promise_type {
   /// `co_await Process` — waits for the child process's completion.
   ProcessState::EventAwaiter await_transform(const Process& p) {
     return ProcessState::EventAwaiter{p.done_event(), state.get()};
+  }
+  /// `co_await env.delay(dt)` — timed wait on the reusable timer event.
+  ProcessState::DelayAwaiter await_transform(Delay d) {
+    return ProcessState::DelayAwaiter{d.dt, state.get()};
   }
 };
 

@@ -20,4 +20,9 @@ inline constexpr SimTime kTimeInfinity =
 /// event loop is fully deterministic (FIFO among simultaneous events).
 using EventSeq = std::uint64_t;
 
+/// Index of an event's slot in the environment's slab pool. Slots are
+/// recycled through a free list; a paired generation counter detects
+/// stale references (see event.hpp).
+using EventSlot = std::uint32_t;
+
 }  // namespace pckpt::sim

@@ -87,3 +87,33 @@ TEST(PerfMatrix, BandwidthArgumentValidation) {
   EXPECT_THROW(m.bandwidth(0.0, 1.0), std::invalid_argument);
   EXPECT_THROW(m.bandwidth(1.0, -1.0), std::invalid_argument);
 }
+
+TEST(PerfMatrix, QueryMatchesDirectLookups) {
+  const auto m = tiny();
+  const auto q = m.query(10.0, 100.0);
+  EXPECT_TRUE(q.valid());
+  EXPECT_DOUBLE_EQ(q.nodes(), 10.0);
+  EXPECT_DOUBLE_EQ(q.per_node_gb(), 100.0);
+  EXPECT_DOUBLE_EQ(q.bandwidth_gbps(), m.bandwidth(10.0, 100.0));
+  EXPECT_DOUBLE_EQ(q.transfer_seconds(), m.transfer_seconds(10.0, 100.0));
+}
+
+TEST(PerfMatrix, DefaultQueryIsInvalid) {
+  const pckpt::iomodel::BandwidthQuery q;
+  EXPECT_FALSE(q.valid());
+  EXPECT_DOUBLE_EQ(q.bandwidth_gbps(), 0.0);
+}
+
+TEST(PerfMatrix, RepeatedLookupsAreMemoStable) {
+  // The thread-local memo cache must be invisible in values: the same
+  // arguments return bit-identical bandwidth on every call, and other
+  // matrices with other contents cannot pollute the answer.
+  const auto m = tiny();
+  const double first = m.bandwidth(3.0, 7.0);
+  PerfMatrix other({1.0, 10.0}, {1.0, 100.0},
+                   {1.0, 2.0, 5.0, 9.0});
+  (void)other.bandwidth(3.0, 7.0);  // same args, different matrix
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(m.bandwidth(3.0, 7.0), first);
+  }
+}

@@ -375,7 +375,7 @@ TEST(CampaignTraceDeterminism, BytesIdenticalAcrossJobs) {
   const std::string base =
       campaign_trace_bytes(core::ModelKind::kP2, 16, serial);
   ASSERT_FALSE(base.empty());
-  for (std::size_t jobs : {2u, 7u}) {
+  for (std::size_t jobs : {1u, 2u, 7u}) {
     exec::ThreadPool pool(jobs);
     exec::ThreadPoolExecutor ex(pool);
     const std::string other =

@@ -125,7 +125,66 @@ TEST(Environment, CallbacksMayScheduleMoreEvents) {
   EXPECT_DOUBLE_EQ(env.now(), 5.0);
 }
 
-TEST(Environment, DeferRunsAtCurrentTime) {
+TEST(Environment, PostRunsCallableAtCurrentTime) {
+  sim::Environment env;
+  double t = -1.0;
+  env.timeout(7.0)->add_callback([&](sim::EventCore& e) {
+    e.env().post([&env, &t] { t = env.now(); });
+  });
+  env.run();
+  EXPECT_DOUBLE_EQ(t, 7.0);
+}
+
+TEST(Environment, ScheduleAtFiresAtAbsoluteTime) {
+  sim::Environment env;
+  env.timeout(4.0);
+  env.run_until(4.0);
+  auto ev = env.event();
+  double fired_at = -1.0;
+  ev->add_callback([&](sim::EventCore& e) { fired_at = e.env().now(); });
+  env.schedule_at(ev, 9.0);  // absolute, not relative to now()==4
+  EXPECT_TRUE(ev->triggered());
+  env.run();
+  EXPECT_DOUBLE_EQ(fired_at, 9.0);
+}
+
+TEST(Environment, ScheduleAtRejectsPastTime) {
+  sim::Environment env;
+  env.timeout(5.0);
+  env.run();
+  auto ev = env.event();
+  EXPECT_THROW(env.schedule_at(ev, 1.0), std::invalid_argument);
+}
+
+TEST(Environment, PostEventFiresAtCurrentTime) {
+  sim::Environment env;
+  env.timeout(3.0);
+  env.run_until(3.0);
+  auto ev = env.event();
+  double fired_at = -1.0;
+  ev->add_callback([&](sim::EventCore& e) { fired_at = e.env().now(); });
+  env.post(ev);
+  env.run();
+  EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+// The deprecated schedule()/defer() shims must keep old call sites
+// working until the next release. Exercised here (and only here) with
+// the warning suppressed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(Environment, DeprecatedScheduleShimDelaysRelativeToNow) {
+  sim::Environment env;
+  auto ev = env.event();
+  double fired_at = -1.0;
+  ev->add_callback([&](sim::EventCore& e) { fired_at = e.env().now(); });
+  env.schedule(ev, 6.0);
+  env.run();
+  EXPECT_DOUBLE_EQ(fired_at, 6.0);
+  EXPECT_THROW(env.schedule(env.event(), -1.0), std::invalid_argument);
+}
+
+TEST(Environment, DeprecatedDeferShimRunsAtCurrentTime) {
   sim::Environment env;
   double t = -1.0;
   env.timeout(7.0)->add_callback([&](sim::EventCore& e) {
@@ -134,6 +193,7 @@ TEST(Environment, DeferRunsAtCurrentTime) {
   env.run();
   EXPECT_DOUBLE_EQ(t, 7.0);
 }
+#pragma GCC diagnostic pop
 
 TEST(Environment, EventsProcessedCounter) {
   sim::Environment env;

@@ -57,6 +57,62 @@ sim::Process parent_waits_child(sim::Environment& env, double* child_done_at,
 
 }  // namespace
 
+namespace {
+
+sim::Process delay_sleeper(sim::Environment& env, double dt, double* woke_at) {
+  co_await env.delay(dt);
+  *woke_at = env.now();
+}
+
+sim::Process delay_interruptible(sim::Environment& env, double dt,
+                                 bool* interrupted, double* at) {
+  try {
+    co_await env.delay(dt);
+  } catch (const sim::Interrupted&) {
+    *interrupted = true;
+    *at = env.now();
+  }
+  // The abandoned timer must not fire back into the coroutine: sleep
+  // again past the original deadline and record the second wake.
+  co_await env.delay(dt);
+}
+
+}  // namespace
+
+TEST(Process, DelaySuspendsForSimTime) {
+  sim::Environment env;
+  double woke = -1.0;
+  env.spawn(delay_sleeper(env, 3.5, &woke));
+  env.run();
+  EXPECT_DOUBLE_EQ(woke, 3.5);
+  EXPECT_EQ(env.live_processes(), 0u);
+}
+
+TEST(Process, DelayRejectsNegative) {
+  sim::Environment env;
+  double woke = -1.0;
+  env.spawn(delay_sleeper(env, -1.0, &woke)).named("bad-delay");
+  env.run();
+  ASSERT_EQ(env.process_errors().size(), 1u);
+  EXPECT_THROW(std::rethrow_exception(env.process_errors().front().second),
+               std::invalid_argument);
+}
+
+TEST(Process, InterruptedDelayDoesNotWakeTwice) {
+  sim::Environment env;
+  bool interrupted = false;
+  double at = -1.0;
+  auto p = env.spawn(delay_interruptible(env, 10.0, &interrupted, &at));
+  env.timeout(4.0)->add_callback(
+      [st = p.state()](sim::EventCore&) { st->interrupt(); });
+  env.run();
+  EXPECT_TRUE(interrupted);
+  EXPECT_DOUBLE_EQ(at, 4.0);
+  // Second sleep ran its full 10 s from t=4: the stale timer entry from
+  // the interrupted wait (t=10) was disarmed, not redelivered.
+  EXPECT_DOUBLE_EQ(env.now(), 14.0);
+}
+
 TEST(Process, TimeoutSuspendsForSimTime) {
   sim::Environment env;
   double woke = -1.0;

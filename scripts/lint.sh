@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Local mirror of the CI static-analysis job (docs/STATIC_ANALYSIS.md).
+#
+# Builds the pckpt_lint tool if needed (into build/, configured with
+# compile commands exported so clang-tidy can reuse the same tree), runs
+# the in-tree linter as a hard gate, then runs clang-tidy with the pinned
+# .clang-tidy profile if it is installed. Exit status is nonzero iff any
+# gate fails, so this is safe to wire into a pre-push hook.
+#
+# Usage: scripts/lint.sh [build-dir]     (default: build)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${1:-build}"
+cd "$ROOT"
+
+status=0
+
+# --- build the linter (and compile_commands.json) if needed -----------
+if [ ! -x "$BUILD/tools/pckpt_lint" ] || [ ! -f "$BUILD/compile_commands.json" ]; then
+  echo "== configuring $BUILD (WERROR + compile commands)"
+  cmake -B "$BUILD" -S . -DPCKPT_WERROR=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON || exit 2
+  echo "== building pckpt_lint"
+  cmake --build "$BUILD" --target pckpt_lint_cli -j"$(nproc)" || exit 2
+fi
+
+# --- gate 1: pckpt_lint ----------------------------------------------
+echo "== pckpt_lint src tools bench"
+if ! "$BUILD/tools/pckpt_lint" src tools bench; then
+  status=1
+fi
+
+# --- gate 2: clang-tidy (skipped with a warning if not installed) -----
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (pinned profile, full compile_commands.json)"
+  if ! run-clang-tidy -p "$BUILD" -quiet \
+      "$ROOT/(src|tools|bench)/.*\.(cpp|cc)$"; then
+    status=1
+  fi
+elif command -v clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy (run-clang-tidy missing; linting sources serially)"
+  find src tools bench -name '*.cpp' -print0 |
+    xargs -0 -n8 clang-tidy -p "$BUILD" -quiet || status=1
+else
+  echo "!! clang-tidy not installed; skipping tidy gate (CI still runs it)"
+fi
+
+exit $status

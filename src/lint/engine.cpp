@@ -1,0 +1,300 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+/// \file engine.cpp
+/// FileContext construction (waiver map, include list), the engine
+/// driver, and the CLI runner behind tools/pckpt_lint.
+
+namespace pckpt::lint {
+
+namespace fs = std::filesystem;
+
+std::string_view to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+std::string format_finding(const Finding& f) {
+  std::ostringstream os;
+  os << f.path << ':' << f.line << ':' << f.col << ": " << to_string(f.severity)
+     << ": [" << f.rule << "] " << f.message;
+  return os.str();
+}
+
+namespace {
+
+/// Parse waiver slugs out of a comment body: everything after a
+/// `lint:` marker, comma/space-separated, [a-z0-9-]+.
+std::vector<std::string> parse_waiver_slugs(std::string_view text) {
+  std::vector<std::string> slugs;
+  const std::size_t at = text.find("lint:");
+  if (at == std::string_view::npos) return slugs;
+  std::string_view rest = text.substr(at + 5);
+  std::string cur;
+  for (char c : rest) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-') {
+      cur.push_back(c);
+    } else if (!cur.empty()) {
+      slugs.push_back(std::move(cur));
+      cur.clear();
+      if (c != ',' && c != ' ' && c != '\t') break;  // prose resumed
+    }
+  }
+  if (!cur.empty()) slugs.push_back(std::move(cur));
+  return slugs;
+}
+
+/// Parse `#include <x>` / `#include "x"` targets line by line (the
+/// token stream splits `<vector>` into three tokens; raw-line parsing
+/// is simpler and exact for this).
+std::vector<std::string> parse_includes(std::string_view source) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < source.size()) {
+    std::size_t eol = source.find('\n', pos);
+    if (eol == std::string_view::npos) eol = source.size();
+    std::string_view line = source.substr(pos, eol - pos);
+    pos = eol + 1;
+    std::size_t i = line.find_first_not_of(" \t");
+    if (i == std::string_view::npos || line[i] != '#') continue;
+    i = line.find_first_not_of(" \t", i + 1);
+    if (i == std::string_view::npos || line.substr(i, 7) != "include") continue;
+    i = line.find_first_not_of(" \t", i + 7);
+    if (i == std::string_view::npos) continue;
+    const char open = line[i];
+    const char close = open == '<' ? '>' : (open == '"' ? '"' : '\0');
+    if (close == '\0') continue;
+    const std::size_t end = line.find(close, i + 1);
+    if (end == std::string_view::npos) continue;
+    out.emplace_back(line.substr(i + 1, end - i - 1));
+  }
+  return out;
+}
+
+}  // namespace
+
+FileContext::FileContext(std::string path, std::string_view source)
+    : path_(std::move(path)),
+      lex_(lex(source)),
+      includes_(parse_includes(source)) {
+  for (const Comment& c : lex_.comments) {
+    const auto slugs = parse_waiver_slugs(c.text);
+    if (slugs.empty()) continue;
+    waiver_slug_count_ += slugs.size();
+    for (const auto& slug : slugs) {
+      for (int line = c.line_begin; line <= c.line_end; ++line) {
+        waivers_[line].insert(slug);
+      }
+      // A comment that owns its line(s) also covers the next line of
+      // code below it.
+      if (c.owns_line) waivers_[c.line_end + 1].insert(slug);
+    }
+  }
+}
+
+bool FileContext::is_header() const {
+  return path_.size() >= 2 && (path_.ends_with(".hpp") || path_.ends_with(".h"));
+}
+
+bool FileContext::in_dir(std::string_view dir) const {
+  return path_.find(dir) != std::string::npos;
+}
+
+bool FileContext::is_kernel_file() const {
+  if (!in_dir("src/sim/")) return false;
+  const std::size_t slash = path_.find_last_of('/');
+  const std::string_view base =
+      slash == std::string::npos
+          ? std::string_view(path_)
+          : std::string_view(path_).substr(slash + 1);
+  for (std::string_view k :
+       {"callback.hpp", "event.hpp", "event.cpp", "event_heap.hpp",
+        "event_pool.hpp", "environment.hpp", "environment.cpp"}) {
+    if (base == k) return true;
+  }
+  return false;
+}
+
+bool FileContext::waived(int line, std::string_view slug) const {
+  const auto it = waivers_.find(line);
+  return it != waivers_.end() && it->second.count(slug) != 0;
+}
+
+LintEngine::LintEngine() : rules_(make_default_rules()) {}
+
+bool LintEngine::restrict_rules(const std::vector<std::string>& ids) {
+  if (ids.empty()) return true;
+  std::vector<std::unique_ptr<Rule>> kept;
+  for (auto& rule : rules_) {
+    if (std::find(ids.begin(), ids.end(), rule->id()) != ids.end()) {
+      kept.push_back(std::move(rule));
+    }
+  }
+  if (kept.size() != ids.size()) return false;
+  rules_ = std::move(kept);
+  return true;
+}
+
+std::vector<Finding> LintEngine::lint_source(std::string path,
+                                             std::string_view source,
+                                             LintStats* stats) {
+  FileContext ctx(std::move(path), source);
+  std::vector<Finding> raw;
+  for (const auto& rule : rules_) {
+    const std::size_t before = raw.size();
+    rule->check(ctx, raw);
+    // Drop waived findings, counting them.
+    std::size_t kept = before;
+    for (std::size_t i = before; i < raw.size(); ++i) {
+      if (ctx.waived(raw[i].line, rule->waiver_slug())) {
+        if (stats != nullptr) ++stats->waived;
+      } else {
+        if (kept != i) raw[kept] = std::move(raw[i]);
+        ++kept;
+      }
+    }
+    raw.resize(kept);
+  }
+  std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.rule < b.rule;
+  });
+  if (stats != nullptr) {
+    ++stats->files;
+    for (const Finding& f : raw) {
+      if (f.severity == Severity::kError) ++stats->errors;
+      else ++stats->warnings;
+    }
+  }
+  return raw;
+}
+
+namespace {
+
+bool lintable_file(const fs::path& p) {
+  const auto ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".cpp";
+}
+
+bool skip_dir(const fs::path& p) {
+  const auto name = p.filename().string();
+  return name == ".git" || name.rfind("build", 0) == 0 ||
+         name == "fixtures";  // lint fixtures violate rules on purpose
+}
+
+/// Path relative to root when under it, '/'-separated, else generic.
+std::string display_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  if (!ec && !rel.empty() && rel.native()[0] != '.') {
+    return rel.generic_string();
+  }
+  return p.generic_string();
+}
+
+}  // namespace
+
+int run_pckpt_lint(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> rule_ids;
+  std::vector<std::string> paths;
+  bool list_rules = false;
+
+  for (const std::string& a : args) {
+    if (a == "--list-rules") {
+      list_rules = true;
+    } else if (a.rfind("--root=", 0) == 0) {
+      root = fs::path(a.substr(7));
+    } else if (a.rfind("--rule=", 0) == 0) {
+      rule_ids.push_back(a.substr(7));
+    } else if (a == "--help" || a == "-h") {
+      out << "usage: pckpt_lint [--root=DIR] [--rule=ID]... [--list-rules] "
+             "PATH...\n";
+      return 0;
+    } else if (a.rfind("--", 0) == 0) {
+      err << "pckpt_lint: unknown option '" << a << "'\n";
+      return 2;
+    } else {
+      paths.push_back(a);
+    }
+  }
+
+  LintEngine engine;
+  if (!engine.restrict_rules(rule_ids)) {
+    err << "pckpt_lint: unknown rule id in --rule= (see --list-rules)\n";
+    return 2;
+  }
+
+  if (list_rules) {
+    for (const auto& rule : engine.rules()) {
+      out << rule->id() << " (waive: // lint: " << rule->waiver_slug()
+          << ")\n    " << rule->summary() << "\n";
+    }
+    if (paths.empty()) return 0;
+  }
+
+  if (paths.empty()) {
+    err << "pckpt_lint: no paths given (try: pckpt_lint src tools bench)\n";
+    return 2;
+  }
+
+  // Collect files: each PATH is a file or a directory to recurse.
+  std::vector<fs::path> files;
+  for (const std::string& p : paths) {
+    fs::path abs = fs::path(p).is_absolute() ? fs::path(p) : root / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_directory() && skip_dir(it->path())) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && lintable_file(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(abs, ec)) {
+      files.push_back(abs);
+    } else {
+      err << "pckpt_lint: no such file or directory: " << p << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  LintStats stats;
+  bool failed = false;
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      err << "pckpt_lint: cannot read " << file.generic_string() << "\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string source = buf.str();
+    const auto findings =
+        engine.lint_source(display_path(file, root), source, &stats);
+    for (const Finding& f : findings) {
+      err << format_finding(f) << "\n";
+      failed = failed || f.severity == Severity::kError;
+    }
+  }
+
+  out << "pckpt-lint: " << stats.files << " files, " << stats.errors
+      << " errors, " << stats.warnings << " warnings, " << stats.waived
+      << " waived\n";
+  return failed ? 1 : 0;
+}
+
+}  // namespace pckpt::lint

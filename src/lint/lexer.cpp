@@ -1,0 +1,230 @@
+#include "lint/token.hpp"
+
+#include <cctype>
+#include <string>
+
+namespace pckpt::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+/// Cursor over the source buffer tracking line/column.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  bool eof() const { return i_ >= s_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return i_ + ahead < s_.size() ? s_[i_ + ahead] : '\0';
+  }
+  std::size_t pos() const { return i_; }
+  int line() const { return line_; }
+  int col() const { return col_; }
+
+  void advance() {
+    if (s_[i_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++i_;
+  }
+  void advance(std::size_t n) {
+    while (n-- > 0 && !eof()) advance();
+  }
+
+  std::string_view slice(std::size_t from) const {
+    return s_.substr(from, i_ - from);
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+/// Longest-first operator table so `::`/`->`/`+=`/`<<=` lex as one token.
+constexpr std::string_view kOps3[] = {"<<=", ">>=", "...", "->*"};
+constexpr std::string_view kOps2[] = {"::", "->", "++", "--", "+=", "-=",
+                                      "*=", "/=", "%=", "&=", "|=", "^=",
+                                      "==", "!=", "<=", ">=", "&&", "||",
+                                      "<<", ">>"};
+
+}  // namespace
+
+LexResult lex(std::string_view source) {
+  LexResult out;
+  Cursor c(source);
+  bool in_preproc = false;     // inside a directive, until unescaped newline
+  bool line_has_code = false;  // any token seen on the current line yet
+
+  while (!c.eof()) {
+    const char ch = c.peek();
+
+    if (ch == '\n') {
+      in_preproc = false;
+      line_has_code = false;
+      c.advance();
+      continue;
+    }
+    if (ch == '\\' && c.peek(1) == '\n') {  // line continuation
+      c.advance(2);
+      continue;
+    }
+    if (ch == ' ' || ch == '\t' || ch == '\r' || ch == '\v' || ch == '\f') {
+      c.advance();
+      continue;
+    }
+
+    // Comments.
+    if (ch == '/' && c.peek(1) == '/') {
+      const int line = c.line();
+      const bool owns = !line_has_code;
+      c.advance(2);
+      const std::size_t from = c.pos();
+      while (!c.eof() && c.peek() != '\n') c.advance();
+      out.comments.push_back({line, line, owns, c.slice(from)});
+      continue;
+    }
+    if (ch == '/' && c.peek(1) == '*') {
+      const int line = c.line();
+      const bool owns = !line_has_code;
+      c.advance(2);
+      const std::size_t from = c.pos();
+      std::size_t to = from;
+      while (!c.eof()) {
+        if (c.peek() == '*' && c.peek(1) == '/') {
+          to = c.pos();
+          c.advance(2);
+          break;
+        }
+        to = c.pos() + 1;
+        c.advance();
+      }
+      out.comments.push_back({line, c.line(), owns,
+                              source.substr(from, to - from)});
+      continue;
+    }
+
+    const int line = c.line();
+    const int col = c.col();
+    const std::size_t from = c.pos();
+    line_has_code = true;
+
+    // Preprocessor directive start: `#` as first token on the line.
+    if (ch == '#' && !in_preproc) {
+      in_preproc = true;
+      c.advance();
+      out.tokens.push_back({TokKind::kPunct, true, line, col, c.slice(from)});
+      continue;
+    }
+
+    // Raw string literal R"delim( ... )delim".
+    if (ch == 'R' && c.peek(1) == '"') {
+      c.advance(2);
+      std::string delim;
+      while (!c.eof() && c.peek() != '(' && delim.size() < 16) {
+        delim.push_back(c.peek());
+        c.advance();
+      }
+      if (!c.eof()) c.advance();  // '('
+      const std::string close = ")" + delim + "\"";
+      while (!c.eof()) {
+        if (c.peek() == close[0] &&
+            source.substr(c.pos(), close.size()) == close) {
+          c.advance(close.size());
+          break;
+        }
+        c.advance();
+      }
+      out.tokens.push_back(
+          {TokKind::kString, in_preproc, line, col, c.slice(from)});
+      continue;
+    }
+
+    // String / char literals (with escape handling).
+    if (ch == '"' || ch == '\'') {
+      const char quote = ch;
+      c.advance();
+      while (!c.eof() && c.peek() != '\n') {
+        if (c.peek() == '\\') {
+          c.advance(2);
+          continue;
+        }
+        if (c.peek() == quote) {
+          c.advance();
+          break;
+        }
+        c.advance();
+      }
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            in_preproc, line, col, c.slice(from)});
+      continue;
+    }
+
+    // Identifiers / keywords. A string prefix like u8"..." lexes as an
+    // identifier followed by a string, which is fine for rule matching.
+    if (ident_start(ch)) {
+      while (!c.eof() && ident_char(c.peek())) c.advance();
+      out.tokens.push_back(
+          {TokKind::kIdent, in_preproc, line, col, c.slice(from)});
+      continue;
+    }
+
+    // pp-numbers: digits, idents, quotes-as-separators, exponent signs.
+    if (digit(ch) || (ch == '.' && digit(c.peek(1)))) {
+      while (!c.eof()) {
+        const char n = c.peek();
+        if (ident_char(n) || n == '.' || n == '\'') {
+          c.advance();
+          continue;
+        }
+        if (n == '+' || n == '-') {
+          const char prev = source[c.pos() - 1];
+          if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+            c.advance();
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back(
+          {TokKind::kNumber, in_preproc, line, col, c.slice(from)});
+      continue;
+    }
+
+    // Punctuation, maximal munch.
+    std::size_t n = 1;
+    const std::string_view rest = source.substr(c.pos());
+    for (std::string_view op : kOps3) {
+      if (rest.substr(0, 3) == op) {
+        n = 3;
+        break;
+      }
+    }
+    if (n == 1) {
+      for (std::string_view op : kOps2) {
+        if (rest.substr(0, 2) == op) {
+          n = 2;
+          break;
+        }
+      }
+    }
+    c.advance(n);
+    out.tokens.push_back(
+        {TokKind::kPunct, in_preproc, line, col, c.slice(from)});
+  }
+
+  return out;
+}
+
+}  // namespace pckpt::lint

@@ -1,0 +1,147 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.hpp"
+
+/// \file lint.hpp
+/// pckpt-lint: project-specific static analysis for the p-ckpt tree.
+///
+/// The engine runs a fixed catalog of token-level rules over C++ sources
+/// and reports file:line:col findings. Three rule families exist
+/// (docs/STATIC_ANALYSIS.md has the full catalog and rationale):
+///
+///   - determinism: the golden traces are bit-identical at any --jobs
+///     only because no code consults wall clocks, raw RNGs, or the
+///     iteration order of unordered containers. These rules make that a
+///     machine-checked property instead of reviewer folklore.
+///   - hot-path: the kernel overhaul removed std::function, shared_ptr
+///     and node-based containers from the DES kernel files; these rules
+///     keep them out.
+///   - hygiene: `#pragma once`, no `using namespace` in headers, and a
+///     curated direct-include check for std:: symbols in headers.
+///
+/// Waivers: a finding is suppressed by a comment `// lint: <slug>` on
+/// the same line, or on a comment-only line directly above. Each rule
+/// names the slug it honors (e.g. `fp-order-ok`); several hot-path rules
+/// share `hot-path-ok`. Waivers are counted and reported so they stay
+/// visible in review.
+
+namespace pckpt::lint {
+
+enum class Severity : unsigned char { kWarning, kError };
+
+std::string_view to_string(Severity s);
+
+/// One diagnostic. `path` is the path the file was linted under (rule
+/// scoping matches on it, so it is repo-relative in normal use).
+struct Finding {
+  std::string rule;
+  Severity severity;
+  std::string path;
+  int line;
+  int col;
+  std::string message;
+};
+
+/// Format as `path:line:col: error: [rule] message`.
+std::string format_finding(const Finding& f);
+
+/// Everything a rule may inspect about one file.
+class FileContext {
+ public:
+  FileContext(std::string path, std::string_view source);
+
+  const std::string& path() const { return path_; }
+  const std::vector<Token>& tokens() const { return lex_.tokens; }
+  const std::vector<Comment>& comments() const { return lex_.comments; }
+
+  /// Directive-free view: `#include` targets in source order, e.g.
+  /// "vector" or "sim/types.hpp" (no angle brackets / quotes).
+  const std::vector<std::string>& includes() const { return includes_; }
+
+  bool is_header() const;
+  /// True when the (generic, '/'-separated) path contains `dir` — use
+  /// trailing-slash forms like "src/sim/" to scope rules to a subtree.
+  bool in_dir(std::string_view dir) const;
+  /// The DES kernel files the hot-path rules police (docs/KERNEL.md).
+  bool is_kernel_file() const;
+
+  /// True when line `line` carries (or sits under) a `// lint: <slug>`
+  /// waiver naming `slug`.
+  bool waived(int line, std::string_view slug) const;
+
+  /// Number of distinct waiver slugs parsed in this file (reporting).
+  std::size_t waiver_count() const { return waiver_slug_count_; }
+
+ private:
+  std::string path_;
+  LexResult lex_;
+  std::vector<std::string> includes_;
+  std::map<int, std::set<std::string, std::less<>>> waivers_;  // by line
+  std::size_t waiver_slug_count_ = 0;
+};
+
+/// One lint rule. Stateless; `check` appends findings (the engine
+/// filters waived ones afterwards so rules never reimplement waivers).
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual std::string_view id() const = 0;
+  virtual std::string_view waiver_slug() const = 0;
+  virtual std::string_view summary() const = 0;
+  virtual Severity severity() const { return Severity::kError; }
+  virtual void check(const FileContext& ctx,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// The built-in rule catalog, in report order.
+std::vector<std::unique_ptr<Rule>> make_default_rules();
+
+struct LintStats {
+  std::size_t files = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t waived = 0;  ///< findings suppressed by honored waivers
+};
+
+/// Lint engine over the default (or a restricted) rule catalog.
+class LintEngine {
+ public:
+  LintEngine();
+
+  /// Restrict to the given rule ids. Returns false (and leaves the
+  /// catalog untouched) if any id is unknown.
+  bool restrict_rules(const std::vector<std::string>& ids);
+
+  const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+
+  /// Lint one in-memory source under `path` (tests lint fixture bodies
+  /// under virtual paths like "src/sim/x.cpp" to exercise scoped rules).
+  std::vector<Finding> lint_source(std::string path, std::string_view source,
+                                   LintStats* stats = nullptr);
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/// CLI entry point (the `tools/pckpt_lint` shell calls this; tests call
+/// it directly). Usage:
+///
+///   pckpt_lint [--root=DIR] [--rule=ID]... [--list-rules] PATH...
+///
+/// PATHs are files or directories (recursed for *.hpp/*.h/*.cpp),
+/// resolved against --root (default: current directory); findings are
+/// reported with root-relative paths so rule scoping matches the repo
+/// layout. Exit codes mirror bench_report: 0 = clean, 1 = findings at
+/// error severity, 2 = usage or I/O error.
+int run_pckpt_lint(const std::vector<std::string>& args, std::ostream& out,
+                   std::ostream& err);
+
+}  // namespace pckpt::lint

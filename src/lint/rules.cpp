@@ -1,0 +1,534 @@
+#include <algorithm>
+#include <initializer_list>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+/// \file rules.cpp
+/// The built-in pckpt-lint rule catalog. Token-level heuristics, tuned
+/// so the real tree lints clean (docs/STATIC_ANALYSIS.md documents each
+/// rule's rationale, scope, and waiver slug).
+
+namespace pckpt::lint {
+
+namespace {
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool ident_in(const Token& t, std::initializer_list<std::string_view> set) {
+  if (t.kind != TokKind::kIdent) return false;
+  return std::find(set.begin(), set.end(), t.text) != set.end();
+}
+
+/// True when tokens[i] is written as a member access (`x.f`, `x->f`).
+bool member_access(const std::vector<Token>& ts, std::size_t i) {
+  return i > 0 && (is_punct(ts[i - 1], ".") || is_punct(ts[i - 1], "->"));
+}
+
+/// True when tokens[i] is qualified as `std::tokens[i]`.
+bool std_qualified(const std::vector<Token>& ts, std::size_t i) {
+  return i >= 2 && is_punct(ts[i - 1], "::") && is_ident(ts[i - 2], "std");
+}
+
+Finding make_finding(const Rule& rule, const FileContext& ctx,
+                     const Token& at, std::string message) {
+  return Finding{std::string(rule.id()), rule.severity(), ctx.path(),
+                 at.line, at.col, std::move(message)};
+}
+
+/// Skip a balanced template argument list starting at `<`; returns the
+/// index just past the matching `>`. Token-level: treats `>>` as two
+/// closers, which is correct for type contexts.
+std::size_t skip_template_args(const std::vector<Token>& ts, std::size_t i) {
+  if (i >= ts.size() || !is_punct(ts[i], "<")) return i;
+  int depth = 0;
+  for (; i < ts.size(); ++i) {
+    if (is_punct(ts[i], "<")) ++depth;
+    else if (is_punct(ts[i], ">")) --depth;
+    else if (is_punct(ts[i], ">>")) depth -= 2;
+    if (depth <= 0) return i + 1;
+  }
+  return i;
+}
+
+/// Names of variables declared in this file with a type named in `types`
+/// (`std::unordered_map<K, V> name`, `double name = 0;`, ...).
+std::set<std::string, std::less<>> declared_names(
+    const FileContext& ctx, std::initializer_list<std::string_view> types) {
+  std::set<std::string, std::less<>> names;
+  const auto& ts = ctx.tokens();
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].preproc || !ident_in(ts[i], types)) continue;
+    if (member_access(ts, i)) continue;
+    std::size_t j = skip_template_args(ts, i + 1);
+    while (j < ts.size() &&
+           (is_punct(ts[j], "*") || is_punct(ts[j], "&") ||
+            is_ident(ts[j], "const")))
+      ++j;
+    if (j < ts.size() && ts[j].kind == TokKind::kIdent) {
+      names.insert(std::string(ts[j].text));
+    }
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------
+// Determinism rules.
+// ---------------------------------------------------------------------
+
+/// determinism/wall-clock: real-time sources make runs irreproducible —
+/// a trace byte that depends on the host clock breaks the golden-trace
+/// contract. steady_clock is allowed (monotonic, used only for
+/// profiling/benchmarks, never feeds simulation state).
+class WallClockRule final : public Rule {
+ public:
+  std::string_view id() const override { return "wall-clock"; }
+  std::string_view waiver_slug() const override { return "wall-clock-ok"; }
+  std::string_view summary() const override {
+    return "ban wall-clock/real-time sources (system_clock, gettimeofday, "
+           "time(), localtime, ...)";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ident_in(ts[i], {"system_clock", "high_resolution_clock",
+                           "gettimeofday", "timespec_get", "localtime",
+                           "gmtime", "strftime", "CLOCK_REALTIME"})) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            std::string("wall-clock source '") + std::string(ts[i].text) +
+                "' is nondeterministic; use simulation time or "
+                "steady_clock (waive: // lint: wall-clock-ok)"));
+        continue;
+      }
+      // `time(...)` / `std::time(...)` the C library call, not members
+      // or declarations named `time`.
+      if (is_ident(ts[i], "time") && i + 1 < ts.size() &&
+          is_punct(ts[i + 1], "(") && !member_access(ts, i) &&
+          (i == 0 || ts[i - 1].kind != TokKind::kIdent)) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            "C time() reads the wall clock; simulations must be "
+            "reproducible (waive: // lint: wall-clock-ok)"));
+      }
+    }
+  }
+};
+
+/// determinism/raw-rng: all randomness flows through src/random/
+/// (xoshiro256** + explicit seed derivation). std engines differ across
+/// platforms and rand()/random_device are unseedable/nondeterministic.
+class RawRngRule final : public Rule {
+ public:
+  std::string_view id() const override { return "raw-rng"; }
+  std::string_view waiver_slug() const override { return "raw-rng-ok"; }
+  std::string_view summary() const override {
+    return "ban rand()/random_device/std engines outside src/random/";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (ctx.in_dir("src/random/")) return;
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      const bool engine =
+          ident_in(ts[i], {"random_device", "default_random_engine",
+                           "mt19937", "mt19937_64", "minstd_rand",
+                           "minstd_rand0", "ranlux24", "ranlux48", "knuth_b"});
+      const bool c_call = ident_in(ts[i], {"rand", "srand"}) &&
+                          i + 1 < ts.size() && is_punct(ts[i + 1], "(") &&
+                          !member_access(ts, i);
+      if (!engine && !c_call) continue;
+      out.push_back(make_finding(
+          *this, ctx, ts[i],
+          std::string("raw RNG '") + std::string(ts[i].text) +
+              "': seedable, platform-stable randomness lives in "
+              "src/random/ (waive: // lint: raw-rng-ok)"));
+    }
+  }
+};
+
+/// determinism/unordered-iter: iteration order of unordered containers
+/// is implementation- and seed-dependent; anything trace-visible in the
+/// kernel/model/observability trees must not be produced by it. Lookups
+/// (`find`, `count`, `erase(key)`) stay fine.
+class UnorderedIterRule final : public Rule {
+ public:
+  std::string_view id() const override { return "unordered-iter"; }
+  std::string_view waiver_slug() const override { return "unordered-iter-ok"; }
+  std::string_view summary() const override {
+    return "ban iterating unordered containers in src/sim|core|obs";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.in_dir("src/sim/") && !ctx.in_dir("src/core/") &&
+        !ctx.in_dir("src/obs/"))
+      return;
+    const auto names =
+        declared_names(ctx, {"unordered_map", "unordered_set",
+                             "unordered_multimap", "unordered_multiset"});
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      // `for (decl : expr)` where expr mentions an unordered variable.
+      if (is_ident(ts[i], "for") && i + 1 < ts.size() &&
+          is_punct(ts[i + 1], "(")) {
+        int depth = 0;
+        std::size_t colon = 0, close = 0;
+        for (std::size_t j = i + 1; j < ts.size(); ++j) {
+          if (is_punct(ts[j], "(")) ++depth;
+          else if (is_punct(ts[j], ")")) {
+            if (--depth == 0) {
+              close = j;
+              break;
+            }
+          } else if (depth == 1 && is_punct(ts[j], ":")) {
+            colon = j;
+          }
+        }
+        if (colon != 0 && close != 0) {
+          for (std::size_t j = colon + 1; j < close; ++j) {
+            if (ts[j].kind == TokKind::kIdent &&
+                (names.count(ts[j].text) != 0 ||
+                 ts[j].text.find("unordered_") == 0)) {
+              out.push_back(make_finding(
+                  *this, ctx, ts[i],
+                  std::string("range-for over unordered container '") +
+                      std::string(ts[j].text) +
+                      "': iteration order is not deterministic (waive: "
+                      "// lint: unordered-iter-ok)"));
+              break;
+            }
+          }
+        }
+      }
+      // `name.begin()` / `name->cbegin()` on an unordered variable.
+      if (ts[i].kind == TokKind::kIdent && names.count(ts[i].text) != 0 &&
+          i + 3 < ts.size() &&
+          (is_punct(ts[i + 1], ".") || is_punct(ts[i + 1], "->")) &&
+          ident_in(ts[i + 2], {"begin", "cbegin", "rbegin", "crbegin"}) &&
+          is_punct(ts[i + 3], "(")) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            std::string("iterator over unordered container '") + std::string(ts[i].text) +
+                "': iteration order is not deterministic (waive: "
+                "// lint: unordered-iter-ok)"));
+      }
+    }
+  }
+};
+
+/// determinism/fp-accum: floating-point accumulation is order-sensitive;
+/// in the observability/statistics trees the accumulated values are
+/// trace- and report-visible, so every compound accumulation must carry
+/// a waiver asserting its order is deterministic (e.g. serialized in
+/// ascending trial order).
+class FpAccumRule final : public Rule {
+ public:
+  std::string_view id() const override { return "fp-accum"; }
+  std::string_view waiver_slug() const override { return "fp-order-ok"; }
+  std::string_view summary() const override {
+    return "float/double += into trace-visible state needs an "
+           "fp-order-ok waiver (src/obs, src/stats)";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.in_dir("src/obs/") && !ctx.in_dir("src/stats/")) return;
+    const auto names = declared_names(ctx, {"double", "float"});
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (ts[i].kind == TokKind::kIdent && names.count(ts[i].text) != 0 &&
+          (is_punct(ts[i + 1], "+=") || is_punct(ts[i + 1], "-="))) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            std::string("floating-point accumulation into '") + std::string(ts[i].text) +
+                "' is order-sensitive; assert deterministic order with "
+                "// lint: fp-order-ok"));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// Hot-path rules (scoped to the DES kernel files, see docs/KERNEL.md).
+// ---------------------------------------------------------------------
+
+/// hot-path/std-function: the kernel replaced std::function with the
+/// 48-byte-inline EventCallback precisely because std::function heap-
+/// allocates the kernel's own wake-up closures on every await.
+class StdFunctionRule final : public Rule {
+ public:
+  std::string_view id() const override { return "hot-path-function"; }
+  std::string_view waiver_slug() const override { return "hot-path-ok"; }
+  std::string_view summary() const override {
+    return "ban std::function in DES kernel files (use EventCallback)";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.is_kernel_file()) return;
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (is_ident(ts[i], "function") && std_qualified(ts, i)) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            "std::function in a kernel file: spills small captures to the "
+            "heap; use sim::EventCallback (waive: // lint: hot-path-ok)"));
+      }
+    }
+  }
+};
+
+/// hot-path/shared-ptr: per-event shared_ptr traffic is what the pooled
+/// handle overhaul removed; only per-process state may be shared-owned,
+/// and each such use carries a waiver explaining why.
+class SharedPtrRule final : public Rule {
+ public:
+  std::string_view id() const override { return "hot-path-shared-ptr"; }
+  std::string_view waiver_slug() const override { return "hot-path-ok"; }
+  std::string_view summary() const override {
+    return "ban shared_ptr/make_shared in DES kernel files";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.is_kernel_file()) return;
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ident_in(ts[i], {"shared_ptr", "make_shared", "weak_ptr"})) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            std::string("'") + std::string(ts[i].text) +
+                "' in a kernel file: events are pooled handles, not "
+                "shared-owned (waive: // lint: hot-path-ok)"));
+      }
+    }
+  }
+};
+
+/// hot-path/heap-container: node-based std containers allocate per
+/// element; kernel storage is flat (EventHeap over a vector, slab pool).
+/// vector/array stay allowed — flat storage is the point.
+class HeapContainerRule final : public Rule {
+ public:
+  std::string_view id() const override { return "hot-path-container"; }
+  std::string_view waiver_slug() const override { return "hot-path-ok"; }
+  std::string_view summary() const override {
+    return "ban node-based std containers in DES kernel files";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.is_kernel_file()) return;
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ident_in(ts[i], {"map", "set", "multimap", "multiset", "list",
+                           "deque", "unordered_map", "unordered_set",
+                           "unordered_multimap", "unordered_multiset",
+                           "priority_queue"}) &&
+          std_qualified(ts, i)) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            std::string("std::") + std::string(ts[i].text) +
+                " in a kernel file: node-based/per-element allocation; "
+                "kernel storage is flat (waive: // lint: hot-path-ok)"));
+      }
+    }
+  }
+};
+
+/// hot-path/deprecated-shim: `schedule(ev, dt)` and `defer(fn)` survive
+/// only as deprecated compatibility shims; new code uses the typed
+/// schedule_at/post/delay API. The dedicated shim suite is exempt.
+class DeprecatedShimRule final : public Rule {
+ public:
+  std::string_view id() const override { return "deprecated-shim"; }
+  std::string_view waiver_slug() const override { return "deprecated-shim-ok"; }
+  std::string_view summary() const override {
+    return "ban calls to the deprecated schedule(ev, dt)/defer(fn) shims";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (ctx.in_dir("tests/sim/") &&
+        ctx.path().find("environment_test") != std::string::npos)
+      return;  // the one suite that exercises the shims, on purpose
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ident_in(ts[i], {"schedule", "defer"}) && member_access(ts, i) &&
+          i + 1 < ts.size() && is_punct(ts[i + 1], "(")) {
+        const bool sched = ts[i].text == "schedule";
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            std::string("deprecated shim '") +
+                (sched ? "schedule(ev, dt)" : "defer(fn)") + "': use " +
+                (sched ? "schedule_at(ev, env.now() + dt) or post(ev)"
+                       : "post(fn)") +
+                " (waive: // lint: deprecated-shim-ok)"));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
+// Hygiene rules.
+// ---------------------------------------------------------------------
+
+/// hygiene/pragma-once: every header starts with `#pragma once` before
+/// any code token.
+class PragmaOnceRule final : public Rule {
+ public:
+  std::string_view id() const override { return "pragma-once"; }
+  std::string_view waiver_slug() const override { return "pragma-once-ok"; }
+  std::string_view summary() const override {
+    return "headers must open with #pragma once";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.is_header()) return;
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i + 2 < ts.size(); ++i) {
+      if (is_punct(ts[i], "#") && is_ident(ts[i + 1], "pragma") &&
+          is_ident(ts[i + 2], "once")) {
+        if (i == 0) return;  // first tokens in the file: compliant
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            "#pragma once must be the first directive in the header"));
+        return;
+      }
+      if (!ts[i].preproc) break;  // code before any `#pragma once`
+    }
+    const Token at =
+        ts.empty() ? Token{TokKind::kPunct, false, 1, 1, ""} : ts.front();
+    out.push_back(
+        make_finding(*this, ctx, at, "header is missing #pragma once"));
+  }
+};
+
+/// hygiene/using-namespace: a `using namespace` in a header leaks into
+/// every includer.
+class UsingNamespaceRule final : public Rule {
+ public:
+  std::string_view id() const override { return "using-namespace"; }
+  std::string_view waiver_slug() const override { return "using-namespace-ok"; }
+  std::string_view summary() const override {
+    return "no `using namespace` in headers";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.is_header()) return;
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+      if (is_ident(ts[i], "using") && is_ident(ts[i + 1], "namespace")) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            "`using namespace` in a header leaks into every includer"));
+      }
+    }
+  }
+};
+
+/// hygiene/std-include: header self-sufficiency for a curated set of
+/// std:: symbols — if a header names std::X it must directly include
+/// the header that provides X rather than lean on transitive includes.
+class StdIncludeRule final : public Rule {
+ public:
+  std::string_view id() const override { return "std-include"; }
+  std::string_view waiver_slug() const override { return "std-include-ok"; }
+  std::string_view summary() const override {
+    return "headers must directly include what they use (curated std:: "
+           "symbol map)";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.is_header() || !ctx.in_dir("src/")) return;
+    const auto& inc = ctx.includes();
+    const auto has_any = [&inc](const std::vector<std::string_view>& hs) {
+      for (std::string_view h : hs) {
+        if (std::find(inc.begin(), inc.end(), h) != inc.end()) return true;
+      }
+      return false;
+    };
+    std::set<std::string, std::less<>> reported;
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i].preproc || !std_qualified(ts, i) ||
+          ts[i].kind != TokKind::kIdent)
+        continue;
+      const std::string_view sym = ts[i].text;
+      const auto needed = required_headers(sym);
+      if (needed.empty() || has_any(needed)) continue;
+      if (!reported.insert(std::string(sym)).second) continue;
+      out.push_back(make_finding(
+          *this, ctx, ts[i],
+          std::string("std::") + std::string(sym) + " used but <" +
+              std::string(needed.front()) +
+              "> is not directly included (header self-sufficiency)"));
+    }
+  }
+
+ private:
+  /// The headers (any one suffices) a symbol requires. Curated: only
+  /// symbols whose home header is unambiguous are listed.
+  static std::vector<std::string_view> required_headers(
+      std::string_view sym) {
+    if (sym == "vector") return {"vector"};
+    if (sym == "string") return {"string"};
+    if (sym == "string_view") return {"string_view"};
+    if (sym == "unordered_map" || sym == "unordered_multimap")
+      return {"unordered_map"};
+    if (sym == "unordered_set" || sym == "unordered_multiset")
+      return {"unordered_set"};
+    if (sym == "map" || sym == "multimap") return {"map"};
+    if (sym == "deque") return {"deque"};
+    if (sym == "array") return {"array"};
+    if (sym == "optional") return {"optional"};
+    if (sym == "variant" || sym == "monostate") return {"variant"};
+    if (sym == "tuple") return {"tuple"};
+    if (sym == "function") return {"functional"};
+    if (sym == "shared_ptr" || sym == "unique_ptr" || sym == "weak_ptr" ||
+        sym == "make_shared" || sym == "make_unique")
+      return {"memory"};
+    if (sym == "uint8_t" || sym == "uint16_t" || sym == "uint32_t" ||
+        sym == "uint64_t" || sym == "int8_t" || sym == "int16_t" ||
+        sym == "int32_t" || sym == "int64_t" || sym == "uintptr_t" ||
+        sym == "intptr_t")
+      return {"cstdint"};
+    if (sym == "byte") return {"cstddef"};
+    if (sym == "ostringstream" || sym == "istringstream" ||
+        sym == "stringstream")
+      return {"sstream"};
+    if (sym == "ofstream" || sym == "ifstream" || sym == "fstream")
+      return {"fstream"};
+    if (sym == "exception_ptr" || sym == "current_exception" ||
+        sym == "rethrow_exception" || sym == "make_exception_ptr")
+      return {"exception"};
+    if (sym == "runtime_error" || sym == "logic_error" ||
+        sym == "invalid_argument" || sym == "out_of_range" ||
+        sym == "domain_error" || sym == "length_error")
+      return {"stdexcept"};
+    if (sym == "numeric_limits") return {"limits"};
+    if (sym == "thread" || sym == "jthread") return {"thread"};
+    if (sym == "mutex" || sym == "lock_guard" || sym == "unique_lock" ||
+        sym == "scoped_lock")
+      return {"mutex"};
+    if (sym == "condition_variable") return {"condition_variable"};
+    if (sym == "atomic") return {"atomic"};
+    if (sym == "coroutine_handle" || sym == "suspend_always" ||
+        sym == "suspend_never")
+      return {"coroutine"};
+    if (sym == "chrono") return {"chrono"};
+    return {};
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Rule>> make_default_rules() {
+  std::vector<std::unique_ptr<Rule>> rules;
+  rules.push_back(std::make_unique<WallClockRule>());
+  rules.push_back(std::make_unique<RawRngRule>());
+  rules.push_back(std::make_unique<UnorderedIterRule>());
+  rules.push_back(std::make_unique<FpAccumRule>());
+  rules.push_back(std::make_unique<StdFunctionRule>());
+  rules.push_back(std::make_unique<SharedPtrRule>());
+  rules.push_back(std::make_unique<HeapContainerRule>());
+  rules.push_back(std::make_unique<DeprecatedShimRule>());
+  rules.push_back(std::make_unique<PragmaOnceRule>());
+  rules.push_back(std::make_unique<UsingNamespaceRule>());
+  rules.push_back(std::make_unique<StdIncludeRule>());
+  return rules;
+}
+
+}  // namespace pckpt::lint

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+/// \file token.hpp
+/// Minimal C++ lexer for pckpt-lint.
+///
+/// The lint engine does not parse C++ — it pattern-matches over a token
+/// stream. The lexer therefore only needs to be exact about the things
+/// that would otherwise cause false findings: comments (rule patterns
+/// must never match prose), string/char literals (including raw
+/// strings), and preprocessor directives (tokens inside a directive are
+/// flagged so rules can reason about `#pragma once` and `#include`
+/// separately from code).
+
+namespace pckpt::lint {
+
+enum class TokKind : unsigned char {
+  kIdent,    ///< identifier or keyword
+  kNumber,   ///< numeric literal (pp-numbers, so 0x1p-3 is one token)
+  kString,   ///< "..." or R"delim(...)delim" (prefixes folded in)
+  kChar,     ///< '...'
+  kPunct,    ///< operator / punctuation, maximal munch for ::, ->, +=, ...
+};
+
+struct Token {
+  TokKind kind;
+  bool preproc;           ///< inside a preprocessor directive line
+  int line;               ///< 1-based
+  int col;                ///< 1-based
+  std::string_view text;  ///< view into the source buffer
+};
+
+/// One comment, `//...` or `/*...*/`.
+struct Comment {
+  int line_begin;   ///< 1-based first line
+  int line_end;     ///< 1-based last line (== line_begin for `//`)
+  bool owns_line;   ///< only whitespace precedes it on its first line
+  std::string_view text;  ///< comment body without the delimiters
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenize `source`. Never fails: unterminated literals and comments
+/// lex to end-of-file, and unknown bytes become single-char punctuation.
+/// The returned views point into `source`, which must outlive the result.
+LexResult lex(std::string_view source);
+
+}  // namespace pckpt::lint

@@ -25,7 +25,13 @@ constexpr const char* kGitRev = "unknown";
 #endif
 
 std::string json_string(std::string_view s) {
-  return "\"" + exec::JsonlRow::escape(s) + "\"";
+  // Built with insert/append rather than `"\"" + escape(s) + "\""`: the
+  // operator+(const char*, string&&) form trips a GCC 12 -Wrestrict
+  // false positive (PR105329) once -Werror promotes it.
+  std::string out = exec::JsonlRow::escape(s);
+  out.insert(out.begin(), '"');
+  out.push_back('"');
+  return out;
 }
 
 }  // namespace

@@ -126,7 +126,8 @@ const ProfileReport::Entry* ProfileReport::find(
 double ProfileReport::covered_s() const noexcept {
   double s = 0.0;
   for (const auto& e : spans) {
-    s += static_cast<double>(e.stats.self_ns()) * 1e-9;
+    // Spans are stored in deterministic sorted-label order (see merge()).
+    s += static_cast<double>(e.stats.self_ns()) * 1e-9;  // lint: fp-order-ok
   }
   return s;
 }

@@ -129,4 +129,13 @@ class EventCallback {
   const VTable* vt_ = nullptr;
 };
 
+// Compile-time contracts (docs/KERNEL.md): the 48-byte inline budget is
+// what keeps the kernel's own wake-up closures (ProcessPtr + epoch, an
+// Event handle + a shared_ptr) off the heap, and the callback must
+// relocate nothrow because CallbackList::take()/clear() are noexcept.
+static_assert(EventCallback::kInlineSize == 48);
+static_assert(sizeof(EventCallback) == 64);
+static_assert(std::is_nothrow_move_constructible_v<EventCallback>);
+static_assert(std::is_nothrow_move_assignable_v<EventCallback>);
+
 }  // namespace pckpt::sim

@@ -68,6 +68,7 @@ void Environment::schedule(EventPtr ev, SimTime delay) {
   push_entry(rec, now_ + delay);
 }
 
+// Deprecated type-erased shim; new code uses post(fn). lint: hot-path-ok
 void Environment::defer(std::function<void()> fn) { post(std::move(fn)); }
 
 Process& Environment::spawn(Process& p) {

@@ -2,6 +2,7 @@
 
 #include <coroutine>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
@@ -98,7 +99,7 @@ class Environment {
   /// \deprecated Type-erased deferral through std::function; use
   /// `post(fn)`, which keeps small closures inline.
   [[deprecated("use post(fn)")]]
-  void defer(std::function<void()> fn);
+  void defer(std::function<void()> fn);  // lint: hot-path-ok (shim)
 
   /// Register a process coroutine and schedule its first resumption at the
   /// current simulation time. Returns the same handle for chaining.
@@ -174,6 +175,8 @@ class Environment {
   // states, and heap entries all point into it.
   EventPool pool_;
   EventHeap heap_;
+  // Per-process registry: touched on spawn/finish only, never per event,
+  // and never iterated (lookup/erase by key). lint: hot-path-ok
   std::unordered_map<ProcessState*, std::shared_ptr<ProcessState>> processes_;
   std::vector<std::coroutine_handle<>> graveyard_;
   std::vector<std::pair<std::string, std::exception_ptr>> process_errors_;

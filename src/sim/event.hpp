@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,9 @@ class EventCore;
 class EventPool;
 class Event;
 class ProcessState;
+// Shared ownership is per *process* (one coroutine frame per process,
+// pinned by the environment registry and any awaiting events) — not
+// per event. lint: hot-path-ok
 using ProcessPtr = std::shared_ptr<ProcessState>;
 
 namespace detail {
@@ -285,5 +289,13 @@ inline EventObserver Event::observer() const noexcept {
 /// Source-compat alias: `EventPtr` used to be `shared_ptr<EventCore>`;
 /// it is now the pooled handle with the same pointer-like surface.
 using EventPtr = Event;
+
+// Compile-time contracts (docs/KERNEL.md): handles are passed and stored
+// by value all over the kernel, so they must stay pointer+generation
+// sized — 16 bytes, same as the shared_ptr they replaced, never larger.
+static_assert(sizeof(Event) == 16);
+static_assert(sizeof(EventObserver) == 16);
+static_assert(std::is_nothrow_move_constructible_v<Event>);
+static_assert(std::is_nothrow_move_assignable_v<Event>);
 
 }  // namespace pckpt::sim

@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "sim/types.hpp"
@@ -34,6 +35,15 @@ struct HeapEntry {
   EventSeq seq;     ///< FIFO tie-breaker among equal fire times
   EventSlot slot;   ///< event pool slot that fires
 };
+
+// Compile-time contracts (docs/KERNEL.md): sift moves are memcpy-class
+// stores and pops never run destructors, so the entry must stay a
+// trivially copyable/destructible standard-layout 24-byte record — four
+// children per two cache lines is what pays for the 4-ary shape.
+static_assert(std::is_trivially_copyable_v<HeapEntry>);
+static_assert(std::is_trivially_destructible_v<HeapEntry>);
+static_assert(std::is_standard_layout_v<HeapEntry>);
+static_assert(sizeof(HeapEntry) == 24);
 
 /// Flat array 4-ary min-heap of HeapEntry. Not a template: the kernel
 /// needs exactly one instantiation and the concrete type keeps the

@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <memory>
 #include <new>
+#include <type_traits>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -150,5 +151,17 @@ class EventPool {
 inline void EventCore::deref() noexcept {
   if (--refs_ == 0) pool_->release(*this);
 }
+
+// Compile-time contracts (docs/KERNEL.md): slot->record resolution is a
+// shift+mask, so the slab size must stay a power of two; slabs are new[]
+// byte storage, which only aligns to max_align_t; and the free list must
+// hold trivially-destructible slot indices (release() is noexcept and
+// may never allocate or destroy). The size budget keeps one slab
+// (kSlabSize records) well under typical L2 — growing EventCore past it
+// is a hot-path regression, not a tweak.
+static_assert((EventPool::kSlabSize & (EventPool::kSlabSize - 1)) == 0);
+static_assert(alignof(EventCore) <= alignof(std::max_align_t));
+static_assert(std::is_trivially_destructible_v<EventSlot>);
+static_assert(sizeof(EventCore) <= 192);
 
 }  // namespace pckpt::sim

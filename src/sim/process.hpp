@@ -2,6 +2,7 @@
 
 #include <any>
 #include <coroutine>
+#include <cstdint>
 #include <exception>
 #include <memory>
 #include <string>

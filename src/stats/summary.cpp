@@ -1,5 +1,6 @@
 #include "stats/summary.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <numeric>
 
@@ -62,13 +63,22 @@ BoxStats box_stats(std::vector<double> values) {
   return b;
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
-      counts_(bins, 0) {
+namespace {
+
+// Validate before the member-init list runs: width_ divides by `bins`,
+// so the check must happen before the division, not in the ctor body.
+double checked_bin_width(double lo, double hi, std::size_t bins) {
   if (!(hi > lo) || bins == 0) {
     throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
   }
+  return (hi - lo) / static_cast<double>(bins);
 }
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_(checked_bin_width(lo, hi, bins)),
+      counts_(bins, 0) {}
 
 void Histogram::add(double x) {
   ++total_;

@@ -18,8 +18,10 @@ class OnlineStats {
   void add(double x) {
     ++n_;
     const double delta = x - mean_;
-    mean_ += delta / static_cast<double>(n_);
-    m2_ += delta * (x - mean_);
+    // Callers feed samples serially in trial order; the campaign engine
+    // merges shard accumulators in fixed shard order (deterministic).
+    mean_ += delta / static_cast<double>(n_);  // lint: fp-order-ok
+    m2_ += delta * (x - mean_);                // lint: fp-order-ok
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);
   }
@@ -48,8 +50,9 @@ class OnlineStats {
     const double na = static_cast<double>(n_);
     const double nb = static_cast<double>(o.n_);
     const double delta = o.mean_ - mean_;
-    mean_ += delta * nb / (na + nb);
-    m2_ += o.m2_ + delta * delta * na * nb / (na + nb);
+    // merge() runs over shards in fixed ascending shard order.
+    mean_ += delta * nb / (na + nb);                       // lint: fp-order-ok
+    m2_ += o.m2_ + delta * delta * na * nb / (na + nb);    // lint: fp-order-ok
     n_ += o.n_;
     min_ = std::min(min_, o.min_);
     max_ = std::max(max_, o.max_);

@@ -62,9 +62,9 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(ModelKind::kB, ModelKind::kM1,
                                          ModelKind::kM2, ModelKind::kP1,
                                          ModelKind::kP2)),
-    [](const auto& info) {
-      return std::string(std::get<0>(info.param)) + "_" +
-             std::string(core::to_string(std::get<1>(info.param)));
+    [](const auto& pinfo) {
+      return std::string(std::get<0>(pinfo.param)) + "_" +
+             std::string(core::to_string(std::get<1>(pinfo.param)));
     });
 
 TEST_P(SystemModelGrid, InvariantsHoldOnEverySystem) {
@@ -141,8 +141,8 @@ class RecallSweep : public ::testing::TestWithParam<ModelKind> {};
 INSTANTIATE_TEST_SUITE_P(Models, RecallSweep,
                          ::testing::Values(ModelKind::kM2, ModelKind::kP1,
                                            ModelKind::kP2),
-                         [](const auto& info) {
-                           return std::string(core::to_string(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(core::to_string(pinfo.param));
                          });
 
 TEST_P(RecallSweep, FtRatioIncreasesWithRecallAndIsBoundedByIt) {

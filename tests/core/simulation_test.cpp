@@ -115,8 +115,8 @@ INSTANTIATE_TEST_SUITE_P(Models, AllModels,
                          ::testing::Values(ModelKind::kB, ModelKind::kM1,
                                            ModelKind::kM2, ModelKind::kP1,
                                            ModelKind::kP2),
-                         [](const auto& info) {
-                           return std::string(core::to_string(info.param));
+                         [](const auto& pinfo) {
+                           return std::string(core::to_string(pinfo.param));
                          });
 
 TEST_P(AllModels, MakespanEqualsComputePlusOverheads) {

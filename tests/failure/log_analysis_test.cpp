@@ -109,8 +109,9 @@ TEST(LogAnalysis, InterleavedChainsOnDifferentNodesBothDetected) {
   std::vector<f::LogEvent> events;
   // Two nodes advancing the same template, interleaved line by line.
   for (std::size_t i = 0; i < t0.phrases.size(); ++i) {
-    events.push_back({i * 10.0, 1, t0.phrases[i]});
-    events.push_back({i * 10.0 + 1.0, 2, t0.phrases[i]});
+    const double t = static_cast<double>(i) * 10.0;
+    events.push_back({t, 1, t0.phrases[i]});
+    events.push_back({t + 1.0, 2, t0.phrases[i]});
   }
   const auto found = f::detect_chains(events, templates);
   EXPECT_EQ(found.size(), 2u);

@@ -1,0 +1,9 @@
+// Fixture: violates deprecated-shim.
+struct Env;
+void drive(Env& envr);
+
+template <class E, class Ev, class Fn>
+void old_style(E& env, Ev ev, Fn fn) {
+  env.schedule(ev, 1.5);
+  env.defer(fn);
+}

@@ -1,0 +1,6 @@
+// Fixture: the typed scheduling API.
+template <class E, class Ev, class Fn>
+void new_style(E& env, Ev ev, Fn fn) {
+  env.schedule_at(ev, env.now() + 1.5);
+  env.post(fn);
+}

@@ -1,0 +1,6 @@
+// Fixture: violates fp-accum (linted under src/obs/).
+double total(const double* xs, int n) {
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += xs[i];
+  return sum;
+}

@@ -1,0 +1,7 @@
+// Fixture: waived accumulation (order asserted deterministic).
+double total(const double* xs, int n) {
+  double sum = 0.0;
+  // Samples arrive serialized in ascending trial order.
+  for (int i = 0; i < n; ++i) sum += xs[i];  // lint: fp-order-ok
+  return sum;
+}

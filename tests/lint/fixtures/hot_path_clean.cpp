@@ -1,0 +1,7 @@
+// Fixture: flat storage in kernel files is fine (linted as
+// src/sim/event.cpp).
+#include <vector>
+
+struct Flat {
+  std::vector<int> slots;
+};

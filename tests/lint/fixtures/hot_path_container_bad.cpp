@@ -1,0 +1,6 @@
+// Fixture: violates hot-path-container (linted as src/sim/event.cpp).
+#include <map>
+
+struct Index {
+  std::map<int, int> by_id;
+};

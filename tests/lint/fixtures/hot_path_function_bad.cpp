@@ -1,0 +1,6 @@
+// Fixture: violates hot-path-function (linted as src/sim/event.cpp).
+#include <functional>
+
+struct Hook {
+  std::function<void()> cb;
+};

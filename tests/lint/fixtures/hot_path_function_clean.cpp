@@ -1,0 +1,4 @@
+// Fixture: EventCallback in kernel files is the sanctioned type.
+struct EventCallbackUser {
+  int inline_budget = 48;
+};

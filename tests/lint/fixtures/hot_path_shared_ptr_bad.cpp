@@ -1,0 +1,6 @@
+// Fixture: violates hot-path-shared-ptr (linted as src/sim/event.cpp).
+#include <memory>
+
+struct Node {
+  std::shared_ptr<Node> next;
+};

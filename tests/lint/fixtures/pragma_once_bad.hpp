@@ -1,0 +1,4 @@
+// Fixture: header missing #pragma once.
+struct NoGuard {
+  int x = 0;
+};

@@ -1,0 +1,6 @@
+#pragma once
+
+// Fixture: compliant header.
+struct Guarded {
+  int x = 0;
+};

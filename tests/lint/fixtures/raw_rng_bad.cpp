@@ -1,0 +1,9 @@
+// Fixture: violates raw-rng outside src/random/.
+#include <cstdlib>
+#include <random>
+
+int draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen()) + rand();
+}

@@ -1,0 +1,4 @@
+// Fixture: randomness through the project RNG is fine.
+#include "random/rng.hpp"
+
+double draw(pckpt::rng::Xoshiro256& g) { return g.uniform01(); }

@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: violates std-include (uses std::string via a transitive
+// include; linted under src/).
+#include <vector>
+
+struct Named {
+  std::vector<int> ids;
+  std::string name;
+};

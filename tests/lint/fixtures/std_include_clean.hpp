@@ -1,0 +1,10 @@
+#pragma once
+
+// Fixture: self-sufficient header.
+#include <string>
+#include <vector>
+
+struct Named {
+  std::vector<int> ids;
+  std::string name;
+};

@@ -1,0 +1,9 @@
+// Fixture: violates unordered-iter (linted under src/sim/).
+#include <string>
+#include <unordered_map>
+
+int sum_all(const std::unordered_map<std::string, int>& index) {
+  int s = 0;
+  for (const auto& kv : index) s += kv.second;
+  return s;
+}

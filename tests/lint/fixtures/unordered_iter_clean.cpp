@@ -1,0 +1,8 @@
+// Fixture: key lookup on unordered containers is fine.
+#include <string>
+#include <unordered_map>
+
+int lookup(const std::unordered_map<std::string, int>& index) {
+  const auto it = index.find("x");
+  return it == index.end() ? 0 : it->second;
+}

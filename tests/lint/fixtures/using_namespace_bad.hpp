@@ -1,0 +1,8 @@
+#pragma once
+
+// Fixture: violates using-namespace.
+#include <vector>
+
+using namespace std;
+
+inline vector<int> v() { return {}; }

@@ -1,0 +1,6 @@
+#pragma once
+
+// Fixture: qualified names in headers.
+#include <vector>
+
+inline std::vector<int> v() { return {}; }

@@ -1,0 +1,8 @@
+// Fixture: standalone previous-line waiver honored.
+#include <ctime>
+
+double stamp() {
+  // Bench harness wants a host timestamp here, not sim time.
+  // lint: wall-clock-ok
+  return static_cast<double>(time(nullptr));
+}

@@ -1,0 +1,6 @@
+// Fixture: same-line waiver honored.
+#include <ctime>
+
+double stamp() {
+  return static_cast<double>(time(nullptr));  // lint: wall-clock-ok
+}

@@ -1,0 +1,6 @@
+// Fixture: a waiver for a different rule does not suppress wall-clock.
+#include <ctime>
+
+double stamp() {
+  return static_cast<double>(time(nullptr));  // lint: raw-rng-ok
+}

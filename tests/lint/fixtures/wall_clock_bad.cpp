@@ -1,0 +1,10 @@
+// Fixture: violates wall-clock (linted under a src/ virtual path).
+#include <chrono>
+#include <ctime>
+
+double stamp() {
+  auto now = std::chrono::system_clock::now();
+  (void)now;
+  std::time_t t = time(nullptr);
+  return static_cast<double>(t);
+}

@@ -1,0 +1,8 @@
+// Fixture: steady_clock and simulation time are fine.
+#include <chrono>
+
+double elapsed() {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}

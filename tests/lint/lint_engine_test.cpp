@@ -1,0 +1,358 @@
+// pckpt-lint engine suite: per-rule fixtures (one clean + one violating
+// file per rule), golden diagnostic output, waiver-comment semantics,
+// CLI exit codes, and the self-test that keeps the real tree clean.
+//
+// Fixtures live in tests/lint/fixtures/ and are linted under *virtual*
+// paths (e.g. "src/sim/event.cpp") so the path-scoped rules fire; the
+// directory itself is skipped by the CLI's tree walk on purpose.
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace lint = pckpt::lint;
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(PCKPT_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Lint fixture `name` as if it lived at `virtual_path`.
+std::vector<lint::Finding> lint_fixture(const std::string& name,
+                                        const std::string& virtual_path,
+                                        lint::LintStats* stats = nullptr) {
+  lint::LintEngine engine;
+  return engine.lint_source(virtual_path, read_fixture(name), stats);
+}
+
+int run_cli(const std::vector<std::string>& args, std::string* out_text = nullptr,
+            std::string* err_text = nullptr) {
+  std::ostringstream out, err;
+  const int rc = lint::run_pckpt_lint(args, out, err);
+  if (out_text != nullptr) *out_text = out.str();
+  if (err_text != nullptr) *err_text = err.str();
+  return rc;
+}
+
+// ---------------------------------------------------------------------
+// Per-rule fixture pairs.
+// ---------------------------------------------------------------------
+
+TEST(LintRules, WallClockFlagsSystemClockAndTime) {
+  const auto fs = lint_fixture("wall_clock_bad.cpp", "src/core/x.cpp");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "wall-clock");
+  EXPECT_EQ(fs[0].line, 6);
+  EXPECT_EQ(fs[1].rule, "wall-clock");
+  EXPECT_EQ(fs[1].line, 8);
+}
+
+TEST(LintRules, WallClockAllowsSteadyClock) {
+  EXPECT_TRUE(lint_fixture("wall_clock_clean.cpp", "src/core/x.cpp").empty());
+}
+
+TEST(LintRules, RawRngFlagsDeviceEngineAndRand) {
+  const auto fs = lint_fixture("raw_rng_bad.cpp", "src/core/x.cpp");
+  ASSERT_EQ(fs.size(), 3u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "raw-rng");
+}
+
+TEST(LintRules, RawRngExemptsSrcRandom) {
+  // The same violating source is legal inside src/random/.
+  EXPECT_TRUE(lint_fixture("raw_rng_bad.cpp", "src/random/x.cpp").empty());
+}
+
+TEST(LintRules, RawRngAllowsProjectRng) {
+  EXPECT_TRUE(lint_fixture("raw_rng_clean.cpp", "src/core/x.cpp").empty());
+}
+
+TEST(LintRules, UnorderedIterFlagsRangeFor) {
+  const auto fs = lint_fixture("unordered_iter_bad.cpp", "src/sim/x.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unordered-iter");
+  EXPECT_EQ(fs[0].line, 7);
+}
+
+TEST(LintRules, UnorderedIterAllowsLookup) {
+  EXPECT_TRUE(
+      lint_fixture("unordered_iter_clean.cpp", "src/sim/x.cpp").empty());
+}
+
+TEST(LintRules, UnorderedIterScopedToKernelDirs) {
+  // Outside src/sim|core|obs the rule does not apply.
+  EXPECT_TRUE(
+      lint_fixture("unordered_iter_bad.cpp", "src/analysis/x.cpp").empty());
+}
+
+TEST(LintRules, FpAccumFlagsUnwaivedAccumulation) {
+  const auto fs = lint_fixture("fp_accum_bad.cpp", "src/obs/x.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "fp-accum");
+}
+
+TEST(LintRules, FpAccumHonorsWaiver) {
+  lint::LintStats stats;
+  EXPECT_TRUE(
+      lint_fixture("fp_accum_clean.cpp", "src/obs/x.cpp", &stats).empty());
+  EXPECT_EQ(stats.waived, 1u);
+}
+
+TEST(LintRules, HotPathFunctionFlaggedInKernelFile) {
+  const auto fs =
+      lint_fixture("hot_path_function_bad.cpp", "src/sim/event.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hot-path-function");
+}
+
+TEST(LintRules, HotPathFunctionAllowedOutsideKernelFiles) {
+  // The same source in a non-kernel file (process.cpp is not in the
+  // kernel set) is not the hot path's business.
+  EXPECT_TRUE(
+      lint_fixture("hot_path_function_bad.cpp", "src/sim/process.cpp")
+          .empty());
+}
+
+TEST(LintRules, HotPathSharedPtrFlaggedInKernelFile) {
+  const auto fs =
+      lint_fixture("hot_path_shared_ptr_bad.cpp", "src/sim/event.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hot-path-shared-ptr");
+}
+
+TEST(LintRules, HotPathContainerFlaggedInKernelFile) {
+  const auto fs =
+      lint_fixture("hot_path_container_bad.cpp", "src/sim/event.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "hot-path-container");
+}
+
+TEST(LintRules, HotPathFlatStorageClean) {
+  EXPECT_TRUE(
+      lint_fixture("hot_path_clean.cpp", "src/sim/event.cpp").empty());
+  EXPECT_TRUE(
+      lint_fixture("hot_path_function_clean.cpp", "src/sim/event.cpp")
+          .empty());
+}
+
+TEST(LintRules, DeprecatedShimFlagsScheduleAndDefer) {
+  const auto fs = lint_fixture("deprecated_shim_bad.cpp", "src/core/x.cpp");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "deprecated-shim");
+  EXPECT_EQ(fs[1].rule, "deprecated-shim");
+}
+
+TEST(LintRules, DeprecatedShimAllowsTypedApi) {
+  EXPECT_TRUE(
+      lint_fixture("deprecated_shim_clean.cpp", "src/core/x.cpp").empty());
+}
+
+TEST(LintRules, DeprecatedShimExemptsDedicatedSuite) {
+  EXPECT_TRUE(lint_fixture("deprecated_shim_bad.cpp",
+                           "tests/sim/environment_test.cpp")
+                  .empty());
+}
+
+TEST(LintRules, PragmaOnceRequiredInHeaders) {
+  const auto fs = lint_fixture("pragma_once_bad.hpp", "src/core/x.hpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "pragma-once");
+  EXPECT_TRUE(
+      lint_fixture("pragma_once_clean.hpp", "src/core/x.hpp").empty());
+}
+
+TEST(LintRules, PragmaOnceNotRequiredInSources) {
+  EXPECT_TRUE(lint_fixture("pragma_once_bad.hpp", "src/core/x.cpp").empty());
+}
+
+TEST(LintRules, UsingNamespaceBannedInHeaders) {
+  const auto fs = lint_fixture("using_namespace_bad.hpp", "src/core/x.hpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "using-namespace");
+  EXPECT_TRUE(
+      lint_fixture("using_namespace_clean.hpp", "src/core/x.hpp").empty());
+}
+
+TEST(LintRules, StdIncludeRequiresDirectInclude) {
+  const auto fs = lint_fixture("std_include_bad.hpp", "src/core/x.hpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "std-include");
+  EXPECT_NE(fs[0].message.find("<string>"), std::string::npos);
+  EXPECT_TRUE(
+      lint_fixture("std_include_clean.hpp", "src/core/x.hpp").empty());
+}
+
+TEST(LintRules, StdIncludeScopedToSrcHeaders) {
+  EXPECT_TRUE(
+      lint_fixture("std_include_bad.hpp", "bench/x.hpp").empty());
+}
+
+// ---------------------------------------------------------------------
+// Waiver semantics.
+// ---------------------------------------------------------------------
+
+TEST(LintWaivers, SameLineWaiverHonored) {
+  lint::LintStats stats;
+  EXPECT_TRUE(
+      lint_fixture("waiver_same_line.cpp", "src/core/x.cpp", &stats).empty());
+  EXPECT_EQ(stats.waived, 1u);
+}
+
+TEST(LintWaivers, StandaloneCommentCoversNextLine) {
+  lint::LintStats stats;
+  EXPECT_TRUE(
+      lint_fixture("waiver_prev_line.cpp", "src/core/x.cpp", &stats).empty());
+  EXPECT_EQ(stats.waived, 1u);
+}
+
+TEST(LintWaivers, WrongSlugDoesNotSuppress) {
+  const auto fs = lint_fixture("waiver_wrong_slug.cpp", "src/core/x.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "wall-clock");
+}
+
+TEST(LintWaivers, WaiverInProseCommentDoesNotLeakAcrossLines) {
+  lint::LintEngine engine;
+  // The waiver names the right slug but sits two lines above the
+  // violation with code in between — it must not apply.
+  const std::string src =
+      "// lint: wall-clock-ok\n"
+      "int unrelated = 0;\n"
+      "double t() { return (double)time(nullptr); }\n";
+  const auto fs = engine.lint_source("src/core/x.cpp", src);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "wall-clock");
+}
+
+// ---------------------------------------------------------------------
+// Golden diagnostic output.
+// ---------------------------------------------------------------------
+
+TEST(LintGolden, DiagnosticFormatIsStable) {
+  const auto fs = lint_fixture("wall_clock_bad.cpp", "src/core/x.cpp");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(lint::format_finding(fs[0]),
+            "src/core/x.cpp:6:27: error: [wall-clock] wall-clock source "
+            "'system_clock' is nondeterministic; use simulation time or "
+            "steady_clock (waive: // lint: wall-clock-ok)");
+  EXPECT_EQ(lint::format_finding(fs[1]),
+            "src/core/x.cpp:8:19: error: [wall-clock] C time() reads the "
+            "wall clock; simulations must be reproducible (waive: // lint: "
+            "wall-clock-ok)");
+}
+
+TEST(LintGolden, FindingsSortedByLineThenColumn) {
+  lint::LintEngine engine;
+  const std::string src =
+      "#include <ctime>\n"
+      "double a() { return (double)time(nullptr); }\n"
+      "int b() { return rand(); }\n";
+  const auto fs = engine.lint_source("src/core/x.cpp", src);
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[1].line, 3);
+}
+
+// ---------------------------------------------------------------------
+// Engine mechanics: comments, strings, rule restriction.
+// ---------------------------------------------------------------------
+
+TEST(LintEngine, CommentsAndStringsNeverMatchRules) {
+  lint::LintEngine engine;
+  const std::string src =
+      "// system_clock in prose\n"
+      "/* rand() in a block comment */\n"
+      "const char* s = \"system_clock rand() shared_ptr\";\n";
+  EXPECT_TRUE(engine.lint_source("src/sim/event.cpp", src).empty());
+}
+
+TEST(LintEngine, RestrictRulesUnknownIdRejected) {
+  lint::LintEngine engine;
+  EXPECT_FALSE(engine.restrict_rules({"no-such-rule"}));
+  EXPECT_TRUE(engine.restrict_rules({"wall-clock"}));
+  ASSERT_EQ(engine.rules().size(), 1u);
+  EXPECT_EQ(engine.rules()[0]->id(), "wall-clock");
+}
+
+TEST(LintEngine, RuleCatalogCoversAllFamilies) {
+  lint::LintEngine engine;
+  const auto& rules = engine.rules();
+  std::vector<std::string> ids;
+  for (const auto& r : rules) ids.emplace_back(r->id());
+  for (const char* want :
+       {"wall-clock", "raw-rng", "unordered-iter", "fp-accum",
+        "hot-path-function", "hot-path-shared-ptr", "hot-path-container",
+        "deprecated-shim", "pragma-once", "using-namespace", "std-include"}) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), want), ids.end()) << want;
+  }
+}
+
+// ---------------------------------------------------------------------
+// CLI: exit codes mirror bench_report (0 clean / 1 findings / 2 usage).
+// ---------------------------------------------------------------------
+
+TEST(LintCli, CleanFileExitsZero) {
+  std::string out;
+  const int rc = run_cli({"--root=" PCKPT_LINT_FIXTURE_DIR,
+                          "wall_clock_clean.cpp"},
+                         &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("0 errors"), std::string::npos);
+}
+
+TEST(LintCli, ViolationExitsOneWithDiagnostics) {
+  std::string out, err;
+  const int rc = run_cli({"--root=" PCKPT_LINT_FIXTURE_DIR,
+                          "wall_clock_bad.cpp"},
+                         &out, &err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("wall_clock_bad.cpp:6:"), std::string::npos);
+  EXPECT_NE(err.find("[wall-clock]"), std::string::npos);
+}
+
+TEST(LintCli, MissingPathExitsTwo) {
+  std::string err;
+  EXPECT_EQ(run_cli({"no/such/path.cpp"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("no such file"), std::string::npos);
+}
+
+TEST(LintCli, UnknownOptionExitsTwo) {
+  EXPECT_EQ(run_cli({"--bogus"}), 2);
+}
+
+TEST(LintCli, UnknownRuleIdExitsTwo) {
+  EXPECT_EQ(run_cli({"--rule=no-such-rule", "."}), 2);
+}
+
+TEST(LintCli, NoPathsExitsTwo) { EXPECT_EQ(run_cli({}), 2); }
+
+TEST(LintCli, ListRulesExitsZero) {
+  std::string out;
+  EXPECT_EQ(run_cli({"--list-rules"}, &out), 0);
+  EXPECT_NE(out.find("wall-clock"), std::string::npos);
+  EXPECT_NE(out.find("std-include"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// The gate: the real tree lints clean.
+// ---------------------------------------------------------------------
+
+TEST(LintTree, RealTreeHasZeroFindings) {
+  std::string out, err;
+  const int rc = run_cli(
+      {"--root=" PCKPT_SOURCE_DIR, "src", "tools", "bench"}, &out, &err);
+  EXPECT_EQ(rc, 0) << err;
+  EXPECT_NE(out.find("0 errors, 0 warnings"), std::string::npos) << out;
+}
+
+}  // namespace

@@ -1,0 +1,22 @@
+/// pckpt_lint — determinism- and hot-path-aware static analysis for the
+/// p-ckpt tree (docs/STATIC_ANALYSIS.md has the rule catalog).
+///
+/// Usage:
+///   pckpt_lint [--root=DIR] [--rule=ID]... [--list-rules] PATH...
+///   pckpt_lint src tools bench            # the CI gate invocation
+///
+/// Exit codes: 0 = clean, 1 = findings at error severity, 2 = usage or
+/// I/O error — the same contract as bench_report. All logic lives in
+/// lint::run_pckpt_lint (unit-tested in tests/lint/); this is just the
+/// process shell.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return pckpt::lint::run_pckpt_lint(args, std::cout, std::cerr);
+}

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "analysis/tables.hpp"
+#include "obs/cli_flags.hpp"
 #include "core/campaign.hpp"
 #include "core/cr_config.hpp"
 #include "core/simulation.hpp"
@@ -54,113 +55,47 @@ struct Options {
   std::size_t repeat = 0;  ///< warmup+repeat samples; 0 = single sample
 };
 
-/// Parse a strictly-decimal unsigned integer; anything else (empty,
-/// signs, trailing junk, overflow) is a fatal usage error. `strtoul` alone
-/// silently accepts "12abc" and wraps "-1", both of which have burned
-/// campaign hours before.
+/// Strictly-decimal unsigned integer parse (via the shared strict CLI
+/// helper, src/obs/cli_flags.hpp). `strtoul` alone silently accepts
+/// "12abc" and wraps "-1", both of which have burned campaign hours
+/// before.
 inline std::uint64_t parse_u64_flag(const char* flag, const char* text) {
-  bool digits_only = *text != '\0';
-  for (const char* p = text; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') digits_only = false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = digits_only ? std::strtoull(text, &end, 10) : 0;
-  if (!digits_only || errno == ERANGE) {
-    std::fprintf(stderr, "%s: expected a non-negative integer, got '%s'\n",
-                 flag, text);
-    std::exit(2);
-  }
-  return v;
+  return obs::cli_u64("bench", flag, text);
 }
 
-/// `with_repeat` enables `--repeat=N` (micro benches only); every other
-/// binary keeps rejecting it so the flag surface stays strict.
+/// The common flag block every experiment binary accepts. `with_repeat`
+/// additionally enables `--repeat=N` (micro benches only); every other
+/// binary keeps rejecting it so the flag surface stays strict. Parsing
+/// and validation live in src/obs/cli_flags.{hpp,cpp}, shared with
+/// pckpt_sim and the serve tools.
 inline Options parse_options(int argc, char** argv, bool with_repeat = false) {
-  Options opt;
+  unsigned mask = obs::kCliRuns | obs::kCliSeed | obs::kCliJobs |
+                  obs::kCliJsonl | obs::kCliCsv | obs::kCliTrace |
+                  obs::kCliBenchJson | obs::kCliProfile | obs::kCliSystem;
+  if (with_repeat) mask |= obs::kCliRepeat;
+  obs::CommonFlags flags;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto value = [&](const char* prefix) -> const char* {
-      const std::size_t n = std::strlen(prefix);
-      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
-    };
-    if (const char* v = value("--runs=")) {
-      opt.runs = parse_u64_flag("--runs", v);
-    } else if (const char* v2 = value("--seed=")) {
-      opt.seed = parse_u64_flag("--seed", v2);
-    } else if (const char* v3 = value("--jobs=")) {
-      opt.jobs = parse_u64_flag("--jobs", v3);
-      if (opt.jobs == 0) {
-        std::fprintf(stderr, "--jobs must be >= 1\n");
-        std::exit(2);
-      }
-    } else if (const char* v4 = value("--system=")) {
-      opt.system = v4;
-    } else if (const char* v5 = value("--jsonl=")) {
-      if (*v5 == '\0') {
-        std::fprintf(stderr, "--jsonl: missing output path\n");
-        std::exit(2);
-      }
-      opt.jsonl = v5;
-    } else if (arg == "--csv") {
-      opt.csv = true;
-    } else if (const char* v6 = value("--trace=")) {
-      if (*v6 == '\0') {
-        std::fprintf(stderr, "--trace: missing output path\n");
-        std::exit(2);
-      }
-      opt.trace = v6;
-    } else if (const char* v7 = value("--trace-format=")) {
-      try {
-        opt.trace_format = obs::trace_format_from_string(v7);
-      } catch (const std::exception&) {
-        std::fprintf(stderr, "--trace-format: expected jsonl|chrome, got '%s'\n",
-                     v7);
-        std::exit(2);
-      }
-    } else if (const char* v8 = value("--bench-json=")) {
-      if (*v8 == '\0') {
-        std::fprintf(stderr, "--bench-json: missing output path\n");
-        std::exit(2);
-      }
-      opt.bench_json = v8;
-    } else if (arg == "--profile") {
-      opt.profile = true;
-    } else if (with_repeat && (value("--repeat=") != nullptr)) {
-      opt.repeat = parse_u64_flag("--repeat", value("--repeat="));
-      if (opt.repeat == 0) {
-        std::fprintf(stderr, "--repeat must be >= 1\n");
-        std::exit(2);
-      }
-    } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "options: --runs=N (default 200)  --seed=S (default 2022)\n"
-          "         --jobs=N (worker threads; default: hardware "
-          "concurrency)\n"
-          "         --jsonl=PATH (machine-readable rows; see "
-          "docs/EXECUTION.md)\n"
-          "         --trace=PATH (semantic run trace; see "
-          "docs/OBSERVABILITY.md)\n"
-          "         --trace-format=jsonl|chrome (default jsonl)\n"
-          "         --bench-json=PATH (machine-readable bench telemetry; "
-          "see docs/OBSERVABILITY.md)\n"
-          "         --profile (print host-time attribution table)\n"
-          "         --system=titan|lanl8|lanl18  --csv\n");
-      if (with_repeat) {
-        std::printf(
-            "         --repeat=N (warmup + N timed samples; report "
-            "min/median/stddev)\n");
-      }
+    if (obs::cli_consume_common("bench", arg, mask, flags)) continue;
+    if (arg == "--help" || arg == "-h") {
+      std::printf("options:\n%s", obs::cli_common_help(mask).c_str());
       std::exit(0);
-    } else {
-      std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
-      std::exit(2);
     }
-  }
-  if (opt.runs == 0) {
-    std::fprintf(stderr, "--runs must be >= 1\n");
+    std::fprintf(stderr, "unknown option: %s (try --help)\n", arg.c_str());
     std::exit(2);
   }
+  Options opt;
+  opt.runs = flags.runs;
+  opt.seed = flags.seed;
+  opt.jobs = flags.jobs;
+  opt.system = flags.system;
+  opt.jsonl = flags.jsonl;
+  opt.csv = flags.csv;
+  opt.trace = flags.trace;
+  opt.trace_format = flags.trace_format;
+  opt.bench_json = flags.bench_json;
+  opt.profile = flags.profile;
+  opt.repeat = flags.repeat;
   return opt;
 }
 

@@ -1,0 +1,152 @@
+/// micro_serve — latency harness for the serving layer (docs/SERVING.md):
+/// the three paths a pckpt_serve daemon answers from, measured at the
+/// planner/store boundary (no socket, so the numbers isolate cache and
+/// planner cost from kernel scheduling noise):
+///
+///   hit.us            memoized lookup + payload copy
+///   estimate_miss.us  tier-A closed-form answer + durable append
+///   exact_miss.ms     tier-B campaign (the --runs knob sizes it)
+///   reopen.ms         recovery-on-open scan of the populated log
+///
+/// Emits pckpt-bench/1 telemetry via --bench-json; gated warn-only in
+/// CI until a baseline trajectory exists (see .github/workflows/ci.yml).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/scenario.hpp"
+#include "failure/system_catalog.hpp"
+#include "serve/planner.hpp"
+#include "serve/result_store.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+pckpt::core::Scenario scenario_for(const std::string& system_name) {
+  pckpt::core::Scenario s;
+  s.machine = pckpt::workload::summit();
+  s.applications = pckpt::workload::summit_workloads();
+  s.system = pckpt::failure::system_by_name(system_name);
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  auto opt = bench::parse_options(argc, argv, /*with_repeat=*/true);
+  if (opt.runs == 200) opt.runs = 32;  // default: a small tier-B campaign
+  const std::size_t samples = opt.repeat > 0 ? opt.repeat : 1;
+
+  const std::string store_path =
+      "/tmp/pckpt_micro_serve_" + std::to_string(::getpid());
+  ::unlink(store_path.c_str());
+  ::unlink((store_path + ".journal").c_str());
+
+  bench::BenchTelemetry telemetry(opt, "micro_serve", /*resolved_jobs=*/1);
+
+  std::printf("micro_serve — serving-layer latencies (%zu sample(s), "
+              "tier-B campaign of %zu trials)\n\n",
+              samples, opt.runs);
+
+  auto store = std::make_unique<serve::ResultStore>(store_path);
+  serve::Planner planner(scenario_for(opt.system), serve::AdmissionConfig{},
+                         *store);
+
+  serve::QuerySpec spec;
+  spec.model = "P2";
+  spec.app = "VULCAN";
+
+  std::vector<double> hit_us, est_us, exact_ms, reopen_ms;
+  std::size_t fresh = 0;  // monotone counter keeping miss keys unique
+  for (std::size_t s = 0; s < samples + 1; ++s) {
+    const bool warmup = s == 0;
+
+    // Tier-A misses: each query perturbs one policy knob by an exact
+    // power-of-two step, so every iteration is a distinct cache key.
+    constexpr std::size_t kMisses = 64;
+    const double t_est = wall_seconds([&] {
+      for (std::size_t i = 0; i < kMisses; ++i) {
+        serve::QuerySpec q = spec;
+        q.lead_scale = 1.0 + static_cast<double>(++fresh) * 0x1p-20;
+        (void)planner.answer(q);
+      }
+    });
+
+    // Hits: the first answer above is cached; re-ask it.
+    serve::QuerySpec q_hit = spec;
+    q_hit.lead_scale = 1.0 + 0x1p-20;
+    constexpr std::size_t kHits = 512;
+    const double t_hit = wall_seconds([&] {
+      for (std::size_t i = 0; i < kHits; ++i) (void)planner.answer(q_hit);
+    });
+
+    // Tier-B miss: one full campaign, unique seed per iteration.
+    serve::QuerySpec q_exact = spec;
+    q_exact.mode = "exact";
+    q_exact.runs = static_cast<std::uint64_t>(opt.runs);
+    q_exact.seed = opt.seed + s;
+    const double t_exact =
+        wall_seconds([&] { (void)planner.answer(q_exact); });
+
+    // Recovery-on-open over everything written so far.
+    double t_open = 0.0;
+    std::unique_ptr<serve::ResultStore> reopened;
+    t_open = wall_seconds(
+        [&] { reopened = std::make_unique<serve::ResultStore>(store_path); });
+    const std::size_t records = reopened->stats().records;
+    reopened.reset();
+
+    if (warmup) continue;
+    est_us.push_back(t_est / kMisses * 1e6);
+    hit_us.push_back(t_hit / kHits * 1e6);
+    exact_ms.push_back(t_exact * 1e3);
+    reopen_ms.push_back(t_open * 1e3);
+    std::printf("sample %zu: hit %.2f us, estimate-miss %.2f us, "
+                "exact-miss %.2f ms, reopen(%zu recs) %.3f ms\n",
+                s, hit_us.back(), est_us.back(), exact_ms.back(), records,
+                reopen_ms.back());
+  }
+
+  const auto hit = bench::summarize_repeats(hit_us);
+  const auto est = bench::summarize_repeats(est_us);
+  const auto exact = bench::summarize_repeats(exact_ms);
+  const auto reopen = bench::summarize_repeats(reopen_ms);
+  std::printf("\nmedians: hit %.2f us, estimate-miss %.2f us, "
+              "exact-miss %.2f ms, reopen %.3f ms\n",
+              hit.median, est.median, exact.median, reopen.median);
+
+  telemetry.add_metric("hit.us.median", hit.median);
+  telemetry.add_metric("hit.us.min", hit.min);
+  telemetry.add_metric("hit.us.stddev", hit.stddev);
+  telemetry.add_metric("estimate_miss.us.median", est.median);
+  telemetry.add_metric("estimate_miss.us.min", est.min);
+  telemetry.add_metric("estimate_miss.us.stddev", est.stddev);
+  telemetry.add_metric("exact_miss.ms.median", exact.median);
+  telemetry.add_metric("exact_miss.ms.min", exact.min);
+  telemetry.add_metric("exact_miss.ms.stddev", exact.stddev);
+  telemetry.add_metric("reopen.ms.median", reopen.median);
+  telemetry.add_metric("reopen.ms.min", reopen.min);
+  telemetry.add_metric("reopen.ms.stddev", reopen.stddev);
+  telemetry.finish();
+
+  store.reset();
+  ::unlink(store_path.c_str());
+  ::unlink((store_path + ".journal").c_str());
+  return 0;
+}

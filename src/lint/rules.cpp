@@ -162,11 +162,13 @@ class UnorderedIterRule final : public Rule {
   std::string_view id() const override { return "unordered-iter"; }
   std::string_view waiver_slug() const override { return "unordered-iter-ok"; }
   std::string_view summary() const override {
-    return "ban iterating unordered containers in src/sim|core|obs";
+    return "ban iterating unordered containers in src/sim|core|obs|serve";
   }
   void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    // src/serve/ is in scope because its payloads are cached byte-for-
+    // byte: any iteration-order wobble would poison the store forever.
     if (!ctx.in_dir("src/sim/") && !ctx.in_dir("src/core/") &&
-        !ctx.in_dir("src/obs/"))
+        !ctx.in_dir("src/obs/") && !ctx.in_dir("src/serve/"))
       return;
     const auto names =
         declared_names(ctx, {"unordered_map", "unordered_set",

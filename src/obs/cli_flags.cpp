@@ -1,0 +1,185 @@
+#include "obs/cli_flags.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pckpt::obs {
+
+namespace {
+
+[[noreturn]] void usage_error(const char* tool, const char* flag,
+                              const char* what, const char* got) {
+  std::fprintf(stderr, "%s: %s: %s, got '%s'\n", tool, flag, what, got);
+  std::exit(2);
+}
+
+}  // namespace
+
+const char* cli_value(const std::string& arg, const char* prefix) {
+  const std::size_t n = std::strlen(prefix);
+  return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+}
+
+std::uint64_t cli_u64(const char* tool, const char* flag, const char* text) {
+  bool digits_only = *text != '\0';
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') digits_only = false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = digits_only ? std::strtoull(text, &end, 10) : 0;
+  if (!digits_only || errno == ERANGE) {
+    usage_error(tool, flag, "expected a non-negative integer", text);
+  }
+  return v;
+}
+
+std::uint64_t cli_u64_min(const char* tool, const char* flag,
+                          const char* text, std::uint64_t min) {
+  const std::uint64_t v = cli_u64(tool, flag, text);
+  if (v < min) {
+    std::fprintf(stderr, "%s: %s: must be at least %llu\n", tool, flag,
+                 static_cast<unsigned long long>(min));
+    std::exit(2);
+  }
+  return v;
+}
+
+std::string cli_path(const char* tool, const char* flag, const char* text) {
+  if (*text == '\0') {
+    std::fprintf(stderr, "%s: %s: missing path\n", tool, flag);
+    std::exit(2);
+  }
+  return text;
+}
+
+double cli_double(const char* tool, const char* flag, const char* text) {
+  if (*text == '\0') {
+    usage_error(tool, flag, "expected a number", text);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (errno == ERANGE || end != text + std::strlen(text) ||
+      !std::isfinite(v)) {
+    usage_error(tool, flag, "expected a finite number", text);
+  }
+  return v;
+}
+
+bool cli_consume_common(const char* tool, const std::string& arg,
+                        unsigned mask, CommonFlags& out) {
+  if ((mask & kCliRuns) != 0) {
+    if (const char* v = cli_value(arg, "--runs=")) {
+      out.runs = static_cast<std::size_t>(cli_u64_min(tool, "--runs", v, 1));
+      return true;
+    }
+  }
+  if ((mask & kCliSeed) != 0) {
+    if (const char* v = cli_value(arg, "--seed=")) {
+      out.seed = cli_u64(tool, "--seed", v);
+      return true;
+    }
+  }
+  if ((mask & kCliJobs) != 0) {
+    if (const char* v = cli_value(arg, "--jobs=")) {
+      out.jobs = static_cast<std::size_t>(cli_u64_min(tool, "--jobs", v, 1));
+      return true;
+    }
+  }
+  if ((mask & kCliJsonl) != 0) {
+    if (const char* v = cli_value(arg, "--jsonl=")) {
+      out.jsonl = cli_path(tool, "--jsonl", v);
+      return true;
+    }
+  }
+  if ((mask & kCliCsv) != 0 && arg == "--csv") {
+    out.csv = true;
+    return true;
+  }
+  if ((mask & kCliTrace) != 0) {
+    if (const char* v = cli_value(arg, "--trace=")) {
+      out.trace = cli_path(tool, "--trace", v);
+      return true;
+    }
+    if (const char* v = cli_value(arg, "--trace-format=")) {
+      try {
+        out.trace_format = trace_format_from_string(v);
+      } catch (const std::exception&) {
+        usage_error(tool, "--trace-format", "expected jsonl|chrome", v);
+      }
+      return true;
+    }
+  }
+  if ((mask & kCliBenchJson) != 0) {
+    if (const char* v = cli_value(arg, "--bench-json=")) {
+      out.bench_json = cli_path(tool, "--bench-json", v);
+      return true;
+    }
+  }
+  if ((mask & kCliProfile) != 0 && arg == "--profile") {
+    out.profile = true;
+    return true;
+  }
+  if ((mask & kCliRepeat) != 0) {
+    if (const char* v = cli_value(arg, "--repeat=")) {
+      out.repeat =
+          static_cast<std::size_t>(cli_u64_min(tool, "--repeat", v, 1));
+      return true;
+    }
+  }
+  if ((mask & kCliSystem) != 0) {
+    if (const char* v = cli_value(arg, "--system=")) {
+      out.system = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string cli_common_help(unsigned mask) {
+  std::string out;
+  if ((mask & kCliRuns) != 0) {
+    out += "  --runs=N                 paired runs per campaign (default "
+           "200)\n";
+  }
+  if ((mask & kCliSeed) != 0) {
+    out += "  --seed=S                 base seed (default 2022)\n";
+  }
+  if ((mask & kCliJobs) != 0) {
+    out += "  --jobs=N                 worker threads (default: one per "
+           "core)\n";
+  }
+  if ((mask & kCliJsonl) != 0) {
+    out += "  --jsonl=PATH             machine-readable rows (see "
+           "docs/EXECUTION.md)\n";
+  }
+  if ((mask & kCliCsv) != 0) {
+    out += "  --csv                    CSV instead of aligned tables\n";
+  }
+  if ((mask & kCliTrace) != 0) {
+    out += "  --trace=PATH             semantic run trace (see "
+           "docs/OBSERVABILITY.md)\n"
+           "  --trace-format=FMT       jsonl (default) or chrome\n";
+  }
+  if ((mask & kCliBenchJson) != 0) {
+    out += "  --bench-json=PATH        pckpt-bench/1 telemetry (see "
+           "docs/OBSERVABILITY.md)\n";
+  }
+  if ((mask & kCliProfile) != 0) {
+    out += "  --profile                host-time attribution table\n";
+  }
+  if ((mask & kCliRepeat) != 0) {
+    out += "  --repeat=N               warmup + N timed samples "
+           "(min/median/stddev)\n";
+  }
+  if ((mask & kCliSystem) != 0) {
+    out += "  --system=NAME            titan|lanl8|lanl18 (default titan)\n";
+  }
+  return out;
+}
+
+}  // namespace pckpt::obs

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/trace_writer.hpp"
+
+/// \file cli_flags.hpp
+/// The one strict-validation command-line helper shared by every binary
+/// in the repo (tools/pckpt_sim, tools/pckpt_serve, tools/pckpt_query and
+/// the bench harness). Before this existed, `--jobs`/`--jsonl`/
+/// `--bench-json` parsing was duplicated per binary and the copies
+/// drifted; now a flag means the same thing — and rejects the same
+/// garbage with the same `exit(2)` contract — everywhere.
+///
+/// Conventions (docs/EXECUTION.md):
+///  - integers are strict decimal: empty strings, signs, trailing junk
+///    and overflow are fatal usage errors, never silently clamped;
+///  - path-valued flags reject empty values;
+///  - diagnostics are printed as "<tool>: <flag>: ..." on stderr and the
+///    process exits with status 2 (usage error).
+
+namespace pckpt::obs {
+
+/// If `arg` starts with `prefix` (e.g. "--jobs="), return the value part
+/// (may be empty); otherwise nullptr.
+const char* cli_value(const std::string& arg, const char* prefix);
+
+/// Strict non-negative decimal integer; exits(2) with a diagnostic
+/// naming `tool` and `flag` on anything else.
+std::uint64_t cli_u64(const char* tool, const char* flag, const char* text);
+
+/// As cli_u64, additionally requiring `value >= min`.
+std::uint64_t cli_u64_min(const char* tool, const char* flag,
+                          const char* text, std::uint64_t min);
+
+/// Non-empty path value; exits(2) otherwise.
+std::string cli_path(const char* tool, const char* flag, const char* text);
+
+/// Strict finite double; exits(2) on empty/trailing junk/NaN/inf.
+double cli_double(const char* tool, const char* flag, const char* text);
+
+/// Which of the common flags a binary accepts (bitmask).
+enum CliFlagMask : unsigned {
+  kCliRuns = 1u << 0,       ///< --runs=N        (>= 1)
+  kCliSeed = 1u << 1,       ///< --seed=S
+  kCliJobs = 1u << 2,       ///< --jobs=N        (>= 1; 0 = auto default)
+  kCliJsonl = 1u << 3,      ///< --jsonl=PATH
+  kCliCsv = 1u << 4,        ///< --csv
+  kCliTrace = 1u << 5,      ///< --trace=PATH, --trace-format=jsonl|chrome
+  kCliBenchJson = 1u << 6,  ///< --bench-json=PATH
+  kCliProfile = 1u << 7,    ///< --profile
+  kCliRepeat = 1u << 8,     ///< --repeat=N      (>= 1; micro benches)
+  kCliSystem = 1u << 9,     ///< --system=NAME
+};
+
+/// Parsed values for the common flag block, with the repo-wide defaults.
+struct CommonFlags {
+  std::size_t runs = 200;
+  std::uint64_t seed = 2022;
+  std::size_t jobs = 0;  ///< 0 = auto (one worker per hardware thread)
+  std::string jsonl;
+  bool csv = false;
+  std::string trace;
+  TraceFormat trace_format = TraceFormat::kJsonl;
+  std::string bench_json;
+  bool profile = false;
+  std::size_t repeat = 0;  ///< 0 = single sample
+  std::string system = "titan";
+};
+
+/// Try to consume `arg` as one of the common flags enabled in `mask`.
+/// Returns true when consumed (value stored in `out`); false when the
+/// flag is not part of the common block (caller handles or rejects it).
+/// Malformed values never return — strict exit(2), as above.
+bool cli_consume_common(const char* tool, const std::string& arg,
+                        unsigned mask, CommonFlags& out);
+
+/// One help line per enabled flag, for embedding into a usage() text.
+std::string cli_common_help(unsigned mask);
+
+}  // namespace pckpt::obs

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file json_value.hpp
+/// The repo's one hand-rolled JSON reader: a small tagged-union value and
+/// a strict recursive-descent parser (any syntax error reports its byte
+/// offset). Grown out of the `pckpt-bench/1` telemetry reader and now
+/// shared by the bench-report tooling and the `pckpt_serve` wire protocol
+/// (docs/SERVING.md). Writing stays with exec::JsonlRow /
+/// obs::BenchJsonWriter — this header is the read side only.
+
+namespace pckpt::obs {
+
+/// A parsed JSON value. Object members keep insertion order so documents
+/// render and iterate deterministically.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // insertion order
+
+  /// First member named `key`, or nullptr (valid only for kObject).
+  const JsonValue* get(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Typed member lookup: engaged only when the member exists and has the
+  /// matching kind. `key_u64` additionally requires a non-negative
+  /// integral value.
+  std::optional<std::string> key_string(std::string_view key) const;
+  std::optional<double> key_number(std::string_view key) const;
+  std::optional<bool> key_bool(std::string_view key) const;
+  std::optional<std::uint64_t> key_u64(std::string_view key) const;
+};
+
+/// Parse one complete JSON document (trailing bytes are an error).
+/// \throws std::runtime_error with a byte offset on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace pckpt::obs

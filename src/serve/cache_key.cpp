@@ -1,0 +1,161 @@
+#include "serve/cache_key.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pckpt::serve {
+
+CanonicalQuery canonicalize(std::string_view mode, std::string_view model,
+                            std::uint64_t runs, std::uint64_t seed,
+                            const workload::Machine& machine,
+                            const workload::Application& app,
+                            const failure::FailureSystem& system,
+                            const core::CrConfig& cr) {
+  CanonicalQuery q;
+  q.mode = std::string(mode);
+  q.model = std::string(model);
+  q.runs = runs;
+  q.seed = seed;
+
+  q.machine_nodes = machine.total_nodes;
+  q.dram_gb = machine.dram_gb;
+  q.interconnect_gbps = machine.interconnect_gbps;
+  q.bb_write_gbps = machine.burst_buffer.write_gbps;
+  q.bb_read_gbps = machine.burst_buffer.read_gbps;
+  q.bb_capacity_gb = machine.burst_buffer.capacity_gb;
+  q.pfs_ceiling_gbps = machine.io.pfs_ceiling_gbps;
+  q.node_pfs_gbps = machine.io.peak_node_bw_gbps;
+
+  q.app = app.name;
+  q.app_nodes = app.nodes;
+  q.ckpt_total_gb = app.ckpt_total_gb;
+  q.compute_hours = app.compute_hours;
+
+  q.system = system.name;
+  q.weibull_shape = system.weibull_shape;
+  q.weibull_scale_hours = system.weibull_scale_hours;
+  q.system_nodes = system.total_nodes;
+
+  q.recall = cr.predictor.recall;
+  q.false_positive_rate = cr.predictor.false_positive_rate;
+  q.lead_scale = cr.predictor.lead_scale;
+  q.lead_error_sigma = cr.predictor.lead_error_sigma;
+  q.lm_transfer_factor = cr.lm_transfer_factor;
+  q.lm_safety_margin = cr.lm_safety_margin;
+  q.lm_runtime_dilation = cr.lm_runtime_dilation;
+  q.restart_seconds = cr.restart_seconds;
+  q.min_oci_seconds = cr.min_oci_seconds;
+  q.node_repair_hours = cr.node_repair_hours;
+  q.drain_concurrency = cr.drain_concurrency;
+  q.spare_nodes = cr.spare_nodes;
+  return q;
+}
+
+std::string canonical_double(std::string_view field, double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("cache key: non-finite value for '" +
+                                std::string(field) + "'");
+  }
+  // %.17g (max_digits10) is the shortest format guaranteed to round-trip
+  // every IEEE-754 binary64 — identical bits canonicalize identically on
+  // every conforming platform. printf %g never consults the locale for
+  // the decimal point on the classic "C" locale these tools run under;
+  // the tests pin known renderings to catch any drift.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+namespace {
+
+void emit(std::string& out, std::string_view key, std::string_view value) {
+  out.append(key);
+  out.push_back('=');
+  out.append(value);
+  out.push_back('\n');
+}
+
+void emit_d(std::string& out, std::string_view key, double value) {
+  emit(out, key, canonical_double(key, value));
+}
+
+void emit_i(std::string& out, std::string_view key, long long value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", value);
+  emit(out, key, buf);
+}
+
+void emit_u(std::string& out, std::string_view key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  emit(out, key, buf);
+}
+
+}  // namespace
+
+std::string canonical_text(const CanonicalQuery& q) {
+  // Keys in lexicographic order — the order is part of the schema and
+  // pinned by the hash tests; a new field must keep the sort and bump
+  // kCacheKeySchema.
+  std::string out;
+  out.reserve(768);
+  out.append(kCacheKeySchema);
+  out.push_back('\n');
+  emit(out, "app", q.app);
+  emit_i(out, "app_nodes", q.app_nodes);
+  emit_d(out, "bb_capacity_gb", q.bb_capacity_gb);
+  emit_d(out, "bb_read_gbps", q.bb_read_gbps);
+  emit_d(out, "bb_write_gbps", q.bb_write_gbps);
+  emit_d(out, "ckpt_total_gb", q.ckpt_total_gb);
+  emit_d(out, "compute_hours", q.compute_hours);
+  emit_d(out, "dram_gb", q.dram_gb);
+  emit_i(out, "drain_concurrency", q.drain_concurrency);
+  emit_d(out, "false_positive_rate", q.false_positive_rate);
+  emit_d(out, "interconnect_gbps", q.interconnect_gbps);
+  emit_d(out, "lead_error_sigma", q.lead_error_sigma);
+  emit_d(out, "lead_scale", q.lead_scale);
+  emit_d(out, "lm_runtime_dilation", q.lm_runtime_dilation);
+  emit_d(out, "lm_safety_margin", q.lm_safety_margin);
+  emit_d(out, "lm_transfer_factor", q.lm_transfer_factor);
+  emit_i(out, "machine_nodes", q.machine_nodes);
+  emit_d(out, "min_oci_seconds", q.min_oci_seconds);
+  emit(out, "mode", q.mode);
+  emit(out, "model", q.model);
+  emit_d(out, "node_pfs_gbps", q.node_pfs_gbps);
+  emit_d(out, "node_repair_hours", q.node_repair_hours);
+  emit_d(out, "pfs_ceiling_gbps", q.pfs_ceiling_gbps);
+  emit_d(out, "recall", q.recall);
+  emit_d(out, "restart_seconds", q.restart_seconds);
+  emit_u(out, "runs", q.runs);
+  emit_u(out, "seed", q.seed);
+  emit_i(out, "spare_nodes", q.spare_nodes);
+  emit(out, "system", q.system);
+  emit_i(out, "system_nodes", q.system_nodes);
+  emit_d(out, "weibull_scale_hours", q.weibull_scale_hours);
+  emit_d(out, "weibull_shape", q.weibull_shape);
+  return out;
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t cache_key(const CanonicalQuery& q) {
+  return fnv1a64(canonical_text(q));
+}
+
+std::string key_hex(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+}  // namespace pckpt::serve

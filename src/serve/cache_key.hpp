@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/cr_config.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+/// \file cache_key.hpp
+/// Deterministic cache keys for the campaign service (docs/SERVING.md).
+///
+/// A query is canonicalized into the *resolved physical tuple* that fully
+/// determines its answer — machine geometry, workload, failure system,
+/// C/R policy knobs, seed and trial count — rendered as a sorted
+/// `key=value` text block and hashed with FNV-1a/64. Hashing resolved
+/// numbers rather than preset names means `system=titan` and an explicit
+/// Weibull(0.51, 7.45h, 18688) spec share one cache entry, and a changed
+/// catalog constant naturally invalidates old entries.
+///
+/// Portability contract (pinned by tests/serve/cache_key_test.cpp):
+///  - doubles are rendered with round-trippable `%.17g`
+///    (max_digits10 for IEEE-754 binary64), so the same bit pattern
+///    canonicalizes identically under every compiler/libc;
+///  - NaN and infinities are rejected with std::invalid_argument naming
+///    the offending field — they must never reach the store;
+///  - fields are emitted in fixed sorted order; adding a field is a
+///    schema change and must bump kCacheKeySchema.
+
+namespace pckpt::serve {
+
+/// Schema tag mixed into every canonical text (first line). Bump when
+/// the field set changes so stale stores miss instead of mismatching.
+inline constexpr std::string_view kCacheKeySchema = "pckpt-query/1";
+
+/// Everything that determines a query's answer, fully resolved (no
+/// names that require a catalog to interpret — except the informational
+/// app/system labels, which are hashed too so distinct presets with
+/// coincidentally equal numbers stay distinguishable in stats output).
+struct CanonicalQuery {
+  // Query.
+  std::string mode;   ///< "estimate" (tier A) or "exact" (tier B)
+  std::string model;  ///< B | M1 | M2 | P1 | P2
+  std::uint64_t runs = 0;
+  std::uint64_t seed = 0;
+
+  // Machine geometry.
+  int machine_nodes = 0;
+  double dram_gb = 0;
+  double interconnect_gbps = 0;
+  double bb_write_gbps = 0;
+  double bb_read_gbps = 0;
+  double bb_capacity_gb = 0;
+  double pfs_ceiling_gbps = 0;
+  double node_pfs_gbps = 0;
+
+  // Workload.
+  std::string app;
+  int app_nodes = 0;
+  double ckpt_total_gb = 0;
+  double compute_hours = 0;
+
+  // Failure system.
+  std::string system;
+  double weibull_shape = 0;
+  double weibull_scale_hours = 0;
+  int system_nodes = 0;
+
+  // C/R policy.
+  double recall = 0;
+  double false_positive_rate = 0;
+  double lead_scale = 0;
+  double lead_error_sigma = 0;
+  double lm_transfer_factor = 0;
+  double lm_safety_margin = 0;
+  double lm_runtime_dilation = 0;
+  double restart_seconds = 0;
+  double min_oci_seconds = 0;
+  double node_repair_hours = 0;
+  int drain_concurrency = 0;
+  int spare_nodes = 0;
+};
+
+/// Build the canonical tuple from typed scenario pieces.
+CanonicalQuery canonicalize(std::string_view mode, std::string_view model,
+                            std::uint64_t runs, std::uint64_t seed,
+                            const workload::Machine& machine,
+                            const workload::Application& app,
+                            const failure::FailureSystem& system,
+                            const core::CrConfig& cr);
+
+/// Render a double for hashing: shortest fixed `%.17g`, locale-free.
+/// \throws std::invalid_argument (naming `field`) on NaN/inf.
+std::string canonical_double(std::string_view field, double value);
+
+/// The canonical text block (schema line + sorted `key=value` lines,
+/// '\n'-terminated). This is what gets hashed; it is also stored in the
+/// record payload header for post-mortem debugging of collisions.
+std::string canonical_text(const CanonicalQuery& q);
+
+/// FNV-1a over arbitrary bytes (64-bit, offset 0xcbf29ce484222325,
+/// prime 0x100000001b3).
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// fnv1a64(canonical_text(q)) — the ResultStore key.
+std::uint64_t cache_key(const CanonicalQuery& q);
+
+/// Fixed-width lowercase hex rendering of a key (16 chars, no prefix) —
+/// the wire and log spelling of keys.
+std::string key_hex(std::uint64_t key);
+
+}  // namespace pckpt::serve

@@ -1,0 +1,346 @@
+#include "serve/planner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "analysis/analytic_model.hpp"
+#include "analysis/waste_model.hpp"
+#include "core/oci.hpp"
+#include "core/simulation.hpp"
+#include "exec/executor.hpp"
+#include "exec/result_sink.hpp"
+
+namespace pckpt::serve {
+
+// ---------------------------------------------------------------------
+// Admission gate.
+// ---------------------------------------------------------------------
+
+void AdmissionGate::acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (inflight_ < cfg_.max_inflight) {
+    ++inflight_;
+    return;
+  }
+  if (cfg_.wait_ms == 0 || waiting_ >= cfg_.queue_limit) {
+    ++rejected_;
+    throw ServeError(429, "admission queue full; retry later");
+  }
+  ++waiting_;
+  // The one real-time dependency in the serve tree: a *bounded* wait for
+  // a campaign slot. The deadline never feeds simulation state or any
+  // persisted byte — it only decides when a queued client gets its 429 —
+  // so the determinism argument for the wall-clock ban does not apply.
+  const auto deadline =                          // lint: wall-clock-ok
+      std::chrono::system_clock::now() +         // lint: wall-clock-ok
+      std::chrono::milliseconds(cfg_.wait_ms);
+  const bool admitted = cv_.wait_until(
+      lock, deadline, [this] { return inflight_ < cfg_.max_inflight; });
+  --waiting_;
+  if (!admitted) {
+    ++rejected_;
+    throw ServeError(429, "admission wait timed out; retry later");
+  }
+  ++inflight_;
+}
+
+void AdmissionGate::release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --inflight_;
+  }
+  cv_.notify_one();
+}
+
+std::size_t AdmissionGate::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+std::size_t AdmissionGate::rejected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejected_;
+}
+
+// ---------------------------------------------------------------------
+// Payload rendering.
+// ---------------------------------------------------------------------
+
+namespace {
+
+void add_query_fields(exec::JsonlRow& row, const CanonicalQuery& q) {
+  row.add("schema", "pckpt-serve/1");
+  row.add("mode", q.mode);
+  row.add("model", q.model);
+  row.add("app", q.app);
+  row.add("system", q.system);
+  row.add("runs", q.runs);
+  row.add("seed", q.seed);
+}
+
+}  // namespace
+
+std::string render_exact_payload(const CanonicalQuery& q,
+                                 const core::CampaignResult& r) {
+  // Metric names match the pckpt_sim --jsonl row schema so the e2e
+  // byte-identity test can compare field strings one-to-one (both sides
+  // render through JsonlRow's %.12g).
+  exec::JsonlRow row;
+  add_query_fields(row, q);
+  row.add("ckpt_h", r.checkpoint_h());
+  row.add("recomp_h", r.recomputation_h());
+  row.add("recov_h", r.recovery_h());
+  row.add("migr_h", r.migration_h());
+  row.add("total_h", r.total_overhead_h());
+  row.add("ft_ratio", r.pooled_ft_ratio());
+  row.add("failures_per_run", r.failures_per_run());
+  row.add("makespan_h", r.makespan_s.mean() / 3600.0);
+  return row.str();
+}
+
+std::string render_estimate_payload(const CanonicalQuery& q,
+                                    const EstimateBreakdown& e) {
+  exec::JsonlRow row;
+  add_query_fields(row, q);
+  row.add("oci_s", e.oci_s);
+  row.add("sigma", e.sigma);
+  row.add("beta", e.beta);
+  row.add("mitigated_fraction", e.mitigated_fraction);
+  row.add("ckpt_h", e.checkpoint_h);
+  row.add("recomp_h", e.recomputation_h);
+  row.add("recov_h", e.recovery_h);
+  row.add("total_h", e.total_h);
+  row.add("expected_failures", e.expected_failures);
+  return row.str();
+}
+
+// ---------------------------------------------------------------------
+// Tier A: the closed-form estimate.
+// ---------------------------------------------------------------------
+
+EstimateBreakdown estimate_query(const Planner::Resolved& r,
+                                 const workload::Machine& machine,
+                                 const iomodel::StorageModel& storage,
+                                 const failure::LeadTimeModel& leads) {
+  const workload::Application& app = r.app;
+  const double per_node_gb = app.ckpt_per_node_gb();
+  const double t_ckpt = storage.bb_write_seconds(per_node_gb);
+  const double rate = r.system.job_rate_per_second(app.nodes);
+
+  // sigma (Eq. 2) from the failure-analysis model; beta (Eq. 6) from the
+  // alpha the policy configures. beta can go negative for small alpha —
+  // clamp into [0, 1] as the paper does implicitly.
+  const double theta =
+      core::lm_theta_seconds(app, machine, storage, r.cr.lm_transfer_factor);
+  const double sigma = core::estimate_sigma(leads, r.cr.predictor, theta,
+                                            r.cr.lm_safety_margin);
+  const double beta = std::clamp(
+      analysis::beta_fraction(r.cr.lm_transfer_factor, sigma), 0.0, 1.0);
+
+  // First-order mitigation fraction per model: B mitigates nothing, the
+  // LM-only model avoids the sigma fraction, the proactive-checkpoint
+  // models the beta fraction, and the hybrid takes the better of the
+  // two per failure.
+  double mitigated = 0.0;
+  switch (r.cr.kind) {
+    case core::ModelKind::kB:
+      break;
+    case core::ModelKind::kM1:
+    case core::ModelKind::kP1:
+      mitigated = beta;
+      break;
+    case core::ModelKind::kM2:
+      mitigated = sigma;
+      break;
+    case core::ModelKind::kP2:
+      mitigated = std::max(sigma, beta);
+      break;
+  }
+
+  // LM-capable models run the sigma-extended interval of Eq. 2; all
+  // others use Young's Eq. 1. Both respect the configured floor.
+  double oci = core::uses_lm(r.cr.kind)
+                   ? core::sigma_extended_oci_seconds(t_ckpt, rate, sigma)
+                   : core::young_oci_seconds(t_ckpt, rate);
+  oci = std::max(oci, r.cr.min_oci_seconds);
+
+  analysis::WasteInputs in;
+  in.compute_s = app.compute_seconds();
+  in.t_ckpt_bb_s = t_ckpt;
+  in.oci_s = oci;
+  in.rate_per_s = rate;
+  in.recovery_s = storage.bb_read_seconds(per_node_gb) + r.cr.restart_seconds;
+  in.weibull_shape = r.system.weibull_shape;
+  const analysis::WasteBreakdown waste = analysis::expected_waste(in);
+
+  EstimateBreakdown e;
+  e.oci_s = oci;
+  e.sigma = sigma;
+  e.beta = beta;
+  e.mitigated_fraction = mitigated;
+  e.checkpoint_h = waste.checkpoint_s / 3600.0;
+  // Mitigated failures restore from state persisted at the prediction
+  // instead of the last periodic checkpoint: their recomputation loss is
+  // avoided at first order, the recovery/restart cost is not.
+  e.recomputation_h = waste.recomputation_s * (1.0 - mitigated) / 3600.0;
+  e.recovery_h = waste.recovery_s / 3600.0;
+  e.total_h = e.checkpoint_h + e.recomputation_h + e.recovery_h;
+  e.expected_failures = waste.expected_failures;
+  return e;
+}
+
+// ---------------------------------------------------------------------
+// Planner.
+// ---------------------------------------------------------------------
+
+Planner::Planner(core::Scenario scenario, AdmissionConfig admission,
+                 ResultStore& store)
+    : scenario_(std::move(scenario)),
+      storage_(scenario_.machine.make_storage()),
+      leads_(failure::LeadTimeModel::summit_default()),
+      gate_(admission),
+      store_(store) {}
+
+Planner::Resolved Planner::resolve(const QuerySpec& spec) const {
+  Resolved r;
+
+  core::ModelKind kind;
+  try {
+    kind = core::model_from_string(spec.model);
+  } catch (const std::exception&) {
+    throw ServeError(404, "unknown model '" + spec.model + "'");
+  }
+
+  // Scenario applications first (they may shadow the built-in table),
+  // then the Summit workload catalog.
+  const workload::Application* app = nullptr;
+  for (const auto& a : scenario_.applications) {
+    if (a.name == spec.app) app = &a;
+  }
+  if (app == nullptr) {
+    try {
+      app = &workload::workload_by_name(spec.app);
+    } catch (const std::out_of_range&) {
+      throw ServeError(404, "unknown application '" + spec.app + "'");
+    }
+  }
+  r.app = *app;
+
+  if (spec.system.empty()) {
+    r.system = scenario_.system;
+  } else {
+    try {
+      r.system = failure::system_by_name(spec.system);
+    } catch (const std::out_of_range&) {
+      throw ServeError(404, "unknown failure system '" + spec.system + "'");
+    }
+  }
+
+  r.cr = scenario_.cr;
+  r.cr.kind = kind;
+  if (spec.recall) r.cr.predictor.recall = *spec.recall;
+  if (spec.false_positive_rate) {
+    r.cr.predictor.false_positive_rate = *spec.false_positive_rate;
+  }
+  if (spec.lead_scale) r.cr.predictor.lead_scale = *spec.lead_scale;
+  if (spec.lead_error_sigma) {
+    r.cr.predictor.lead_error_sigma = *spec.lead_error_sigma;
+  }
+  if (spec.lm_transfer_factor) {
+    r.cr.lm_transfer_factor = *spec.lm_transfer_factor;
+  }
+  if (spec.lm_safety_margin) r.cr.lm_safety_margin = *spec.lm_safety_margin;
+  if (spec.lm_runtime_dilation) {
+    r.cr.lm_runtime_dilation = *spec.lm_runtime_dilation;
+  }
+  if (spec.restart_seconds) r.cr.restart_seconds = *spec.restart_seconds;
+  if (spec.min_oci_seconds) r.cr.min_oci_seconds = *spec.min_oci_seconds;
+  if (spec.node_repair_hours) r.cr.node_repair_hours = *spec.node_repair_hours;
+  if (spec.drain_concurrency) {
+    r.cr.drain_concurrency = static_cast<int>(*spec.drain_concurrency);
+  }
+  if (spec.spare_nodes) {
+    const double s = *spec.spare_nodes;
+    if (s != std::floor(s)) {
+      throw ServeError(400, "spare_nodes must be an integer");
+    }
+    r.cr.spare_nodes = static_cast<int>(s);
+  }
+  try {
+    r.cr.validate();
+  } catch (const std::exception& e) {
+    throw ServeError(400, e.what());
+  }
+
+  // Estimate-tier answers do not depend on the trial count or seed:
+  // normalize them to zero so every estimate of the same physics shares
+  // one cache entry.
+  const bool estimate = spec.mode == "estimate";
+  r.canonical = canonicalize(
+      spec.mode, core::to_string(kind), estimate ? 0 : spec.runs,
+      estimate ? 0 : spec.seed, scenario_.machine, r.app, r.system, r.cr);
+  r.key = cache_key(r.canonical);
+  return r;
+}
+
+Planner::Outcome Planner::answer(const QuerySpec& spec,
+                                 const exec::ProgressHook& progress) {
+  const Resolved r = resolve(spec);
+
+  Outcome out;
+  out.key = r.key;
+  out.tier = spec.mode;
+
+  if (auto hit = store_.lookup(r.key)) {
+    out.payload = std::move(*hit);
+    out.cached = true;
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.hits;
+    return out;
+  }
+
+  if (spec.mode == "estimate") {
+    const EstimateBreakdown e =
+        estimate_query(r, scenario_.machine, storage_, leads_);
+    out.payload = render_estimate_payload(r.canonical, e);
+    store_.put(r.key, out.payload);
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.estimate_misses;
+    return out;
+  }
+
+  // Tier B: a full DES campaign under admission control. Each admitted
+  // campaign runs on a serial executor — results are --jobs-independent
+  // by the engine's determinism contract, and service concurrency comes
+  // from admitting several campaigns, not from sharding one.
+  AdmissionTicket ticket(gate_);
+  core::RunSetup setup;
+  setup.app = &r.app;
+  setup.machine = &scenario_.machine;
+  setup.storage = &storage_;
+  setup.system = &r.system;
+  setup.leads = &leads_;
+  exec::SerialExecutor ex;
+  const core::CampaignResult result =
+      core::run_campaign(setup, r.cr, static_cast<std::size_t>(spec.runs),
+                         spec.seed, ex, progress);
+  out.payload = render_exact_payload(r.canonical, result);
+  store_.put(r.key, out.payload);
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.exact_misses;
+  return out;
+}
+
+Planner::Counters Planner::counters() const {
+  Counters c;
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    c = counters_;
+  }
+  c.rejected = gate_.rejected();
+  c.inflight = gate_.inflight();
+  return c;
+}
+
+}  // namespace pckpt::serve

@@ -1,0 +1,167 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/scenario.hpp"
+#include "failure/lead_time_model.hpp"
+#include "serve/cache_key.hpp"
+#include "serve/protocol.hpp"
+#include "serve/result_store.hpp"
+
+/// \file planner.hpp
+/// The two-tier query planner behind pckpt_serve (docs/SERVING.md).
+///
+/// Every query is first canonicalized (serve/cache_key.hpp) and looked
+/// up in the ResultStore; a hit returns the memoized payload bytes
+/// untouched. A miss is answered by one of two tiers:
+///
+///  - tier A (`mode=estimate`): the closed-form waste model of Eqs. 1-8
+///    (analysis/) evaluated in-process — microseconds, no admission
+///    control. First-order: mitigation fractions come from the analytic
+///    sigma/beta, not the DES.
+///  - tier B (`mode=exact`): a full paired DES campaign via
+///    core::run_campaign, scheduled under an admission gate (at most
+///    `max_inflight` concurrent campaigns; excess waiters are bounded by
+///    `queue_limit` and `admission_wait_ms`, beyond which the request is
+///    rejected with a 429-style ServeError instead of queueing without
+///    bound).
+///
+/// Determinism contract: for a given canonical query, the exact-tier
+/// payload bytes equal render_exact_payload(run_campaign(...)) of a
+/// standalone run with the same config and seed — campaigns inherit the
+/// engine's jobs-independence, and payload rendering is a pure function
+/// of the CampaignResult. Tests assert hit == miss == standalone bytes.
+
+namespace pckpt::serve {
+
+/// Bounded concurrency for tier-B campaigns.
+struct AdmissionConfig {
+  std::size_t max_inflight = 1;   ///< concurrent exact campaigns
+  std::size_t queue_limit = 4;    ///< waiters allowed beyond inflight
+  std::uint64_t wait_ms = 0;      ///< max queue wait before a 429
+};
+
+/// Counting gate implementing AdmissionConfig. acquire() either admits
+/// within the deadline or throws ServeError(429).
+class AdmissionGate {
+ public:
+  explicit AdmissionGate(AdmissionConfig cfg) : cfg_(cfg) {}
+
+  void acquire();
+  void release();
+
+  std::size_t inflight() const;
+  std::size_t rejected() const;
+
+ private:
+  AdmissionConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t inflight_ = 0;
+  std::size_t waiting_ = 0;
+  std::size_t rejected_ = 0;
+};
+
+/// RAII admission ticket.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(AdmissionGate& gate) : gate_(gate) {
+    gate_.acquire();
+  }
+  ~AdmissionTicket() { gate_.release(); }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+ private:
+  AdmissionGate& gate_;
+};
+
+class Planner {
+ public:
+  struct Outcome {
+    std::string payload;  ///< deterministic JSON object (payload bytes)
+    std::uint64_t key = 0;
+    bool cached = false;
+    std::string tier;  ///< "estimate" or "exact"
+  };
+
+  struct Counters {
+    std::size_t hits = 0;
+    std::size_t estimate_misses = 0;
+    std::size_t exact_misses = 0;
+    std::size_t rejected = 0;
+    std::size_t inflight = 0;
+  };
+
+  /// `scenario`: a core::Scenario the daemon serves (its machine,
+  /// default CrConfig and failure system; its applications joined with
+  /// the built-in Summit workload table for name resolution).
+  Planner(core::Scenario scenario, AdmissionConfig admission,
+          ResultStore& store);
+
+  /// Resolved, validated form of a QuerySpec.
+  struct Resolved {
+    CanonicalQuery canonical;
+    std::uint64_t key = 0;
+    workload::Application app;
+    failure::FailureSystem system;
+    core::CrConfig cr;
+  };
+
+  /// Resolve names against the catalogs and apply overrides.
+  /// \throws ServeError 404 (unknown app/system/model) or 400 (override
+  /// rejected by CrConfig::validate).
+  Resolved resolve(const QuerySpec& spec) const;
+
+  /// Answer a query: cache hit, tier-A estimate, or tier-B campaign.
+  /// `progress` (may be empty) receives shard completions of a tier-B
+  /// miss. Thread-safe. \throws ServeError (429 on admission rejection).
+  Outcome answer(const QuerySpec& spec,
+                 const exec::ProgressHook& progress = {});
+
+  Counters counters() const;
+  const ResultStore& store() const noexcept { return store_; }
+
+ private:
+  core::Scenario scenario_;
+  iomodel::StorageModel storage_;
+  failure::LeadTimeModel leads_;
+  AdmissionGate gate_;
+  ResultStore& store_;
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+};
+
+/// Deterministic payload rendering — pure functions of their inputs,
+/// shared by the planner, the tests and the byte-identity checks.
+std::string render_exact_payload(const CanonicalQuery& q,
+                                 const core::CampaignResult& r);
+
+/// Tier-A closed-form answer.
+struct EstimateBreakdown {
+  double oci_s = 0;
+  double sigma = 0;          ///< LM-eligible failure fraction (Eq. 2)
+  double beta = 0;           ///< p-ckpt-mitigable fraction (Eq. 6)
+  double mitigated_fraction = 0;  ///< applied per model kind
+  double checkpoint_h = 0;
+  double recomputation_h = 0;
+  double recovery_h = 0;
+  double total_h = 0;
+  double expected_failures = 0;
+};
+
+std::string render_estimate_payload(const CanonicalQuery& q,
+                                    const EstimateBreakdown& e);
+
+/// Evaluate tier A for a resolved query on the given machine/storage.
+EstimateBreakdown estimate_query(const Planner::Resolved& r,
+                                 const workload::Machine& machine,
+                                 const iomodel::StorageModel& storage,
+                                 const failure::LeadTimeModel& leads);
+
+}  // namespace pckpt::serve

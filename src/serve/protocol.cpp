@@ -1,0 +1,199 @@
+#include "serve/protocol.hpp"
+
+#include <cmath>
+
+#include "exec/result_sink.hpp"
+#include "obs/json_value.hpp"
+
+namespace pckpt::serve {
+
+namespace {
+
+using obs::JsonValue;
+
+[[noreturn]] void bad_request(const std::string& message) {
+  throw ServeError(400, message);
+}
+
+double require_finite_number(const JsonValue& v, const std::string& key) {
+  if (!v.is_number()) bad_request("member '" + key + "' must be a number");
+  if (!std::isfinite(v.number)) {
+    bad_request("member '" + key + "' must be finite");
+  }
+  return v.number;
+}
+
+std::uint64_t require_u64(const JsonValue& v, const std::string& key) {
+  const double d = require_finite_number(v, key);
+  if (d < 0 || d != std::floor(d) || d >= 1.8446744073709552e19) {
+    bad_request("member '" + key + "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(d);
+}
+
+std::string require_string(const JsonValue& v, const std::string& key) {
+  if (!v.is_string()) bad_request("member '" + key + "' must be a string");
+  return v.string;
+}
+
+bool require_bool(const JsonValue& v, const std::string& key) {
+  if (v.kind != JsonValue::Kind::kBool) {
+    bad_request("member '" + key + "' must be a boolean");
+  }
+  return v.boolean;
+}
+
+/// Apply one query member. Returns false for names it does not know —
+/// the caller turns that into a 400 so typos never silently fall back
+/// to defaults.
+bool apply_query_member(QuerySpec& q, const std::string& key,
+                        const JsonValue& v) {
+  if (key == "mode") {
+    q.mode = require_string(v, key);
+    if (q.mode != "estimate" && q.mode != "exact") {
+      bad_request("mode must be 'estimate' or 'exact'");
+    }
+  } else if (key == "model") {
+    q.model = require_string(v, key);
+  } else if (key == "app") {
+    q.app = require_string(v, key);
+  } else if (key == "system") {
+    q.system = require_string(v, key);
+  } else if (key == "runs") {
+    q.runs = require_u64(v, key);
+    if (q.runs == 0) bad_request("runs must be >= 1");
+  } else if (key == "seed") {
+    q.seed = require_u64(v, key);
+  } else if (key == "progress") {
+    q.progress = require_bool(v, key);
+  } else if (key == "recall") {
+    q.recall = require_finite_number(v, key);
+  } else if (key == "false_positive_rate") {
+    q.false_positive_rate = require_finite_number(v, key);
+  } else if (key == "lead_scale") {
+    q.lead_scale = require_finite_number(v, key);
+  } else if (key == "lead_error_sigma") {
+    q.lead_error_sigma = require_finite_number(v, key);
+  } else if (key == "lm_transfer_factor") {
+    q.lm_transfer_factor = require_finite_number(v, key);
+  } else if (key == "lm_safety_margin") {
+    q.lm_safety_margin = require_finite_number(v, key);
+  } else if (key == "lm_runtime_dilation") {
+    q.lm_runtime_dilation = require_finite_number(v, key);
+  } else if (key == "restart_seconds") {
+    q.restart_seconds = require_finite_number(v, key);
+  } else if (key == "min_oci_seconds") {
+    q.min_oci_seconds = require_finite_number(v, key);
+  } else if (key == "node_repair_hours") {
+    q.node_repair_hours = require_finite_number(v, key);
+  } else if (key == "drain_concurrency") {
+    q.drain_concurrency = require_u64(v, key);
+  } else if (key == "spare_nodes") {
+    q.spare_nodes = require_finite_number(v, key);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Request parse_request(std::string_view line) {
+  JsonValue root;
+  try {
+    root = obs::parse_json(line);
+  } catch (const std::exception& e) {
+    bad_request(std::string("malformed JSON: ") + e.what());
+  }
+  if (!root.is_object()) bad_request("request must be a JSON object");
+
+  const JsonValue* op = root.get("op");
+  if (op == nullptr || !op->is_string()) {
+    bad_request("missing string member 'op'");
+  }
+
+  Request req;
+  if (op->string == "ping") {
+    req.op = Op::kPing;
+  } else if (op->string == "stats") {
+    req.op = Op::kStats;
+  } else if (op->string == "shutdown") {
+    req.op = Op::kShutdown;
+  } else if (op->string == "query") {
+    req.op = Op::kQuery;
+  } else {
+    bad_request("unknown op '" + op->string + "'");
+  }
+
+  if (req.op != Op::kQuery) {
+    // Non-query ops take no other members.
+    if (root.object.size() != 1) {
+      bad_request("op '" + op->string + "' takes no other members");
+    }
+    return req;
+  }
+
+  for (const auto& [key, value] : root.object) {
+    if (key == "op") continue;
+    if (!apply_query_member(req.query, key, value)) {
+      bad_request("unknown member '" + key + "'");
+    }
+  }
+  if (req.query.model.empty()) bad_request("missing member 'model'");
+  if (req.query.app.empty()) bad_request("missing member 'app'");
+  return req;
+}
+
+std::string render_error_line(int code, std::string_view message) {
+  exec::JsonlRow row;
+  row.add("ev", "error");
+  row.add("code", code);
+  row.add("message", message);
+  return row.str();
+}
+
+std::string render_progress_line(std::string_view key_hex,
+                                 const exec::ShardProgress& p) {
+  exec::JsonlRow row;
+  row.add("ev", "progress");
+  row.add("key", key_hex);
+  row.add("shards_done", static_cast<std::uint64_t>(p.shards_done));
+  row.add("shards_total", static_cast<std::uint64_t>(p.shards_total));
+  row.add("items_done", static_cast<std::uint64_t>(p.items_done));
+  row.add("items_total", static_cast<std::uint64_t>(p.items_total));
+  return row.str();
+}
+
+std::string render_pong_line(std::string_view version) {
+  exec::JsonlRow row;
+  row.add("ev", "pong");
+  row.add("version", version);
+  return row.str();
+}
+
+std::string render_result_line(std::string_view key_hex,
+                               std::string_view tier, bool cached,
+                               std::string_view payload_json) {
+  exec::JsonlRow row;
+  row.add("ev", "result");
+  row.add("key", key_hex);
+  row.add("tier", tier);
+  row.add("cached", cached);
+  row.add_raw("payload", payload_json);  // MUST stay the last member
+  return row.str();
+}
+
+std::optional<std::string_view> extract_payload(std::string_view line) {
+  constexpr std::string_view kPrefix = "{\"ev\":\"result\"";
+  constexpr std::string_view kMarker = "\"payload\":";
+  if (line.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  const std::size_t at = line.rfind(kMarker);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::size_t begin = at + kMarker.size();
+  if (line.empty() || line.back() != '}' || begin >= line.size() - 1) {
+    return std::nullopt;
+  }
+  return line.substr(begin, line.size() - 1 - begin);
+}
+
+}  // namespace pckpt::serve

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "exec/parallel_campaign.hpp"
+
+/// \file protocol.hpp
+/// The pckpt_serve wire protocol (docs/SERVING.md): newline-delimited
+/// JSON over a unix-domain socket. Every request is one JSON object on
+/// one line; the daemon answers with one or more lines, each a JSON
+/// object whose `ev` member names its kind:
+///
+///   {"op":"ping"}                            -> {"ev":"pong",...}
+///   {"op":"stats"}                           -> {"ev":"stats",...}
+///   {"op":"shutdown"}                        -> {"ev":"bye"}
+///   {"op":"query","model":"P1","app":...}    -> [{"ev":"progress",...}]*
+///                                               {"ev":"result",...}
+/// Any failure yields a single {"ev":"error","code":N,"message":...}
+/// line; `code` follows HTTP conventions (400 malformed request, 404
+/// unknown preset, 429 admission queue full, 500 internal).
+///
+/// Result lines place the memoized payload object LAST:
+///   {"ev":"result","key":"<16-hex>","tier":"exact","cached":false,
+///    "payload":{...}}
+/// so `extract_payload` can recover the payload's exact bytes — the
+/// byte-identity contract (cache hit == fresh run == standalone
+/// pckpt_sim) is asserted on those raw bytes, not on reparsed values.
+
+namespace pckpt::serve {
+
+/// Error carrying a wire code. Thrown by parse/plan stages; the server
+/// renders it as an `ev:error` line instead of tearing down the
+/// connection.
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(int code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  int code() const noexcept { return code_; }
+
+ private:
+  int code_;
+};
+
+/// A parsed `op:query` request. Names are resolved against the
+/// catalogs (workload_by_name / system_by_name) by the planner; the
+/// optional members override the daemon's scenario CrConfig.
+struct QuerySpec {
+  std::string mode = "estimate";  ///< "estimate" (tier A) | "exact" (tier B)
+  std::string model;              ///< B | M1 | M2 | P1 | P2 (required)
+  std::string app;                ///< workload name (required)
+  std::string system;             ///< failure system; empty = scenario's
+  std::uint64_t runs = 200;       ///< exact-tier trials
+  std::uint64_t seed = 2022;
+  bool progress = false;          ///< stream ev:progress during exact runs
+
+  // C/R policy overrides (absent = scenario defaults).
+  std::optional<double> recall;
+  std::optional<double> false_positive_rate;
+  std::optional<double> lead_scale;
+  std::optional<double> lead_error_sigma;
+  std::optional<double> lm_transfer_factor;
+  std::optional<double> lm_safety_margin;
+  std::optional<double> lm_runtime_dilation;
+  std::optional<double> restart_seconds;
+  std::optional<double> min_oci_seconds;
+  std::optional<double> node_repair_hours;
+  std::optional<std::uint64_t> drain_concurrency;
+  std::optional<double> spare_nodes;  ///< -1 = unbounded (catalog default)
+};
+
+enum class Op { kQuery, kPing, kStats, kShutdown };
+
+struct Request {
+  Op op = Op::kPing;
+  QuerySpec query;  ///< meaningful only when op == kQuery
+};
+
+/// Parse one request line. \throws ServeError(400, ...) on malformed
+/// JSON, unknown op, unknown member, or a type mismatch — unknown
+/// members are rejected (not ignored) so a typoed override can never
+/// silently query the default policy.
+Request parse_request(std::string_view line);
+
+/// Render one `ev:error` line (no trailing newline).
+std::string render_error_line(int code, std::string_view message);
+
+/// Render one `ev:progress` line for a shard completion.
+std::string render_progress_line(std::string_view key_hex,
+                                 const exec::ShardProgress& p);
+
+std::string render_pong_line(std::string_view version);
+
+/// Render the final `ev:result` line. `payload_json` must be a complete
+/// JSON object; it is embedded verbatim as the LAST member.
+std::string render_result_line(std::string_view key_hex,
+                               std::string_view tier, bool cached,
+                               std::string_view payload_json);
+
+/// Recover the exact payload bytes from a `render_result_line` output
+/// (or anything following the same payload-last convention). Returns
+/// nullopt if `line` is not a result line.
+std::optional<std::string_view> extract_payload(std::string_view line);
+
+}  // namespace pckpt::serve

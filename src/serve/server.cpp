@@ -1,0 +1,265 @@
+#include "serve/server.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "exec/result_sink.hpp"
+#include "serve/protocol.hpp"
+
+namespace pckpt::serve {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), "serve: " + what);
+}
+
+int make_unix_socket(const std::string& path, sockaddr_un& addr) {
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("serve: socket path empty or longer than " +
+                                std::to_string(sizeof(addr.sun_path) - 1) +
+                                " bytes: '" + path + "'");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) fail("socket");
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return fd;
+}
+
+/// Write the line plus '\n'; returns false once the peer is gone
+/// (EPIPE/ECONNRESET) so handlers can stop streaming to dead clients.
+bool write_line(int fd, std::string_view line) {
+  std::string framed(line);
+  framed.push_back('\n');
+  const char* p = framed.data();
+  std::size_t left = framed.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Server.
+// ---------------------------------------------------------------------
+
+Server::Server(std::string socket_path, Planner& planner)
+    : socket_path_(std::move(socket_path)), planner_(planner) {
+  sockaddr_un addr;
+  listen_fd_ = make_unix_socket(socket_path_, addr);
+  // A previous daemon instance that crashed leaves the socket file
+  // behind; binding over it needs the unlink. A *live* daemon is not
+  // protected against — the store's journal makes concurrent writers
+  // the only real hazard, and the tools document one daemon per store.
+  ::unlink(socket_path_.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    fail("bind " + socket_path_);
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    ::unlink(socket_path_.c_str());
+    errno = saved;
+    fail("listen " + socket_path_);
+  }
+}
+
+Server::~Server() {
+  stop();
+  for (auto& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  ::unlink(socket_path_.c_str());
+}
+
+void Server::stop() {
+  if (stopping_.exchange(true)) return;
+  // Wake the accept loop and any handler blocked in recv. The fds stay
+  // open (owned by their threads); shutdown() just unblocks them.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void Server::run() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen socket shut down (stop()) or fatal
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      conn_fds_.insert(fd);
+    }
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+  stop();
+  for (auto& t : handlers_) {
+    if (t.joinable()) t.join();
+  }
+  handlers_.clear();
+}
+
+void Server::handle_connection(int fd) {
+  std::string buf;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;  // client closed
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buf.find('\n', start); nl != std::string::npos;
+         nl = buf.find('\n', start)) {
+      const std::string_view line(buf.data() + start, nl - start);
+      if (!line.empty() && !handle_line(line, fd)) {
+        open = false;
+        break;
+      }
+      start = nl + 1;
+    }
+    buf.erase(0, start);
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    conn_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+bool Server::handle_line(std::string_view line, int fd) {
+  Request req;
+  try {
+    req = parse_request(line);
+  } catch (const ServeError& e) {
+    return write_line(fd, render_error_line(e.code(), e.what()));
+  }
+
+  switch (req.op) {
+    case Op::kPing:
+      return write_line(fd, render_pong_line(kServeVersion));
+    case Op::kShutdown:
+      write_line(fd, "{\"ev\":\"bye\"}");
+      stop();
+      return false;
+    case Op::kStats: {
+      const ResultStore::Stats s = planner_.store().stats();
+      const Planner::Counters c = planner_.counters();
+      exec::JsonlRow row;
+      row.add("ev", "stats");
+      row.add("records", static_cast<std::uint64_t>(s.records));
+      row.add("log_records", static_cast<std::uint64_t>(s.log_records));
+      row.add("log_bytes", s.log_bytes);
+      row.add("replayed_journal", s.replayed_journal);
+      row.add("truncated_bytes", s.truncated_bytes);
+      row.add("hits", static_cast<std::uint64_t>(c.hits));
+      row.add("estimate_misses",
+              static_cast<std::uint64_t>(c.estimate_misses));
+      row.add("exact_misses", static_cast<std::uint64_t>(c.exact_misses));
+      row.add("rejected", static_cast<std::uint64_t>(c.rejected));
+      row.add("inflight", static_cast<std::uint64_t>(c.inflight));
+      return write_line(fd, row.str());
+    }
+    case Op::kQuery:
+      break;
+  }
+
+  try {
+    exec::ProgressHook hook;
+    if (req.query.progress) {
+      // Pre-resolve just to learn the key for progress lines; answer()
+      // re-resolves (cheap) — keeping resolve() const and answer()'s
+      // signature simple beats threading the key through.
+      const std::uint64_t key = planner_.resolve(req.query).key;
+      const std::string hex = key_hex(key);
+      hook = [fd, hex](const exec::ShardProgress& p) {
+        write_line(fd, render_progress_line(hex, p));
+      };
+    }
+    const Planner::Outcome out = planner_.answer(req.query, hook);
+    return write_line(fd, render_result_line(key_hex(out.key), out.tier,
+                                             out.cached, out.payload));
+  } catch (const ServeError& e) {
+    return write_line(fd, render_error_line(e.code(), e.what()));
+  } catch (const std::exception& e) {
+    return write_line(fd, render_error_line(500, e.what()));
+  }
+}
+
+// ---------------------------------------------------------------------
+// Client.
+// ---------------------------------------------------------------------
+
+Client::Client(const std::string& socket_path) {
+  sockaddr_un addr;
+  fd_ = make_unix_socket(socket_path, addr);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    fail("connect " + socket_path);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Client::send_line(std::string_view line) {
+  if (!write_line(fd_, line)) fail("send");
+}
+
+std::optional<std::string> Client::read_line() {
+  while (true) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    if (n == 0) {
+      if (buf_.empty()) return std::nullopt;
+      std::string line = std::move(buf_);
+      buf_.clear();
+      return line;
+    }
+    buf_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace pckpt::serve

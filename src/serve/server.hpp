@@ -1,0 +1,86 @@
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "serve/planner.hpp"
+
+/// \file server.hpp
+/// The pckpt_serve daemon core: a unix-domain-socket server speaking
+/// the NDJSON protocol of serve/protocol.hpp, one handler thread per
+/// connection, all queries funneled through one Planner (which owns the
+/// admission gate) and one crash-safe ResultStore.
+///
+/// Lifecycle: the constructor binds and listens (unlinking a stale
+/// socket file first); run() accepts until a `shutdown` op arrives or
+/// stop() is called, then drains handler threads and unlinks the
+/// socket. stop() is thread-safe and idempotent.
+
+namespace pckpt::serve {
+
+/// Protocol/version banner returned by `ping`.
+inline constexpr std::string_view kServeVersion = "pckpt-serve/1";
+
+class Server {
+ public:
+  /// Binds `socket_path` and listens. \throws std::system_error.
+  Server(std::string socket_path, Planner& planner);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept loop; blocks until a shutdown request or stop(). Joins all
+  /// connection handlers before returning and unlinks the socket file.
+  void run();
+
+  /// Request termination from another thread: wakes the accept loop and
+  /// nudges open connections closed.
+  void stop();
+
+  const std::string& socket_path() const noexcept { return socket_path_; }
+
+ private:
+  void handle_connection(int fd);
+  /// Process one request line; writes response line(s) to `fd`.
+  /// Returns false when the connection should close (shutdown op).
+  bool handle_line(std::string_view line, int fd);
+
+  std::string socket_path_;
+  Planner& planner_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::mutex conn_mu_;
+  std::set<int> conn_fds_;
+  std::vector<std::thread> handlers_;
+};
+
+/// Minimal blocking client for the same protocol — used by pckpt_query
+/// and the tests.
+class Client {
+ public:
+  /// Connects to `socket_path`. \throws std::system_error.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Send one request line (newline appended).
+  void send_line(std::string_view line);
+
+  /// Next response line (without the newline), or nullopt on EOF.
+  std::optional<std::string> read_line();
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+}  // namespace pckpt::serve

@@ -90,9 +90,17 @@ TEST(LintRules, UnorderedIterAllowsLookup) {
 }
 
 TEST(LintRules, UnorderedIterScopedToKernelDirs) {
-  // Outside src/sim|core|obs the rule does not apply.
+  // Outside src/sim|core|obs|serve the rule does not apply.
   EXPECT_TRUE(
       lint_fixture("unordered_iter_bad.cpp", "src/analysis/x.cpp").empty());
+}
+
+TEST(LintRules, UnorderedIterCoversServeTree) {
+  // The serving layer caches payloads byte-for-byte, so it inherits the
+  // same iteration-order ban as the kernel and observability trees.
+  const auto fs = lint_fixture("unordered_iter_bad.cpp", "src/serve/x.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unordered-iter");
 }
 
 TEST(LintRules, FpAccumFlagsUnwaivedAccumulation) {

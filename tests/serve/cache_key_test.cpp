@@ -1,0 +1,123 @@
+#include "serve/cache_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/cr_config.hpp"
+#include "failure/system_catalog.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace pckpt::serve {
+namespace {
+
+// Classic FNV-1a/64 test vectors — pin the constants so the on-disk
+// store format can never silently change hash functions.
+TEST(Fnv1a64, KnownVectors) {
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a64, KeyHexIsFixedWidthLowercase) {
+  EXPECT_EQ(key_hex(0), "0000000000000000");
+  EXPECT_EQ(key_hex(0xcbf29ce484222325ull), "cbf29ce484222325");
+}
+
+// The %.17g renderings are part of the persistent schema: a platform or
+// compiler whose printf renders differently would fragment the cache.
+TEST(CanonicalDouble, RoundTrippableRenderings) {
+  EXPECT_EQ(canonical_double("x", 0.1), "0.10000000000000001");
+  EXPECT_EQ(canonical_double("x", 1.0 / 3.0), "0.33333333333333331");
+  EXPECT_EQ(canonical_double("x", 12.5), "12.5");
+  EXPECT_EQ(canonical_double("x", 0.0), "0");
+  EXPECT_EQ(canonical_double("x", -1.0), "-1");
+  EXPECT_EQ(canonical_double("x", 1e300), "1.0000000000000001e+300");
+}
+
+TEST(CanonicalDouble, RejectsNonFiniteNamingTheField) {
+  try {
+    canonical_double("weibull_shape", std::nan(""));
+    FAIL() << "NaN accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("weibull_shape"), std::string::npos);
+  }
+  EXPECT_THROW(
+      canonical_double("dram_gb", std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      canonical_double("dram_gb", -std::numeric_limits<double>::infinity()),
+      std::invalid_argument);
+}
+
+CanonicalQuery reference_query() {
+  core::CrConfig cr;
+  cr.kind = core::ModelKind::kP1;
+  return canonicalize("exact", "P1", 200, 2022, workload::summit(),
+                      workload::workload_by_name("VULCAN"),
+                      failure::system_by_name("titan"), cr);
+}
+
+// The golden key→hash pair of the reference query. If this moves, every
+// existing store on disk silently misses — treat a failure here as a
+// schema break requiring a kCacheKeySchema bump, not a test update.
+TEST(CacheKey, PinnedReferenceHash) {
+  EXPECT_EQ(key_hex(cache_key(reference_query())), "428e2cf7ccc0fc62");
+}
+
+TEST(CacheKey, CanonicalTextIsSchemaTaggedAndSorted) {
+  const std::string text = canonical_text(reference_query());
+  EXPECT_EQ(text.rfind("pckpt-query/1\napp=VULCAN\napp_nodes=64\n", 0), 0u);
+  EXPECT_NE(text.find("\nrecall=0.84999999999999998\n"), std::string::npos);
+  EXPECT_NE(text.find("\nsystem=OLCF Titan\n"), std::string::npos);
+  EXPECT_NE(text.find("\nweibull_shape=0.6885\n"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(CacheKey, EveryFieldPerturbsTheKey) {
+  const CanonicalQuery base = reference_query();
+  const std::uint64_t k0 = cache_key(base);
+
+  CanonicalQuery q = base;
+  q.seed = 2023;
+  EXPECT_NE(cache_key(q), k0);
+  q = base;
+  q.runs = 201;
+  EXPECT_NE(cache_key(q), k0);
+  q = base;
+  q.mode = "estimate";
+  EXPECT_NE(cache_key(q), k0);
+  q = base;
+  q.recall = 0.86;
+  EXPECT_NE(cache_key(q), k0);
+  q = base;
+  q.spare_nodes = 4;
+  EXPECT_NE(cache_key(q), k0);
+  q = base;
+  q.weibull_scale_hours = std::nextafter(q.weibull_scale_hours, 10.0);
+  EXPECT_NE(cache_key(q), k0) << "one-ulp change must perturb the key";
+}
+
+TEST(CacheKey, ResolvedTupleNotNamesDecidesEquality) {
+  // Two queries differing only in informational spelling of the same
+  // physics hash differently only through the label fields; identical
+  // labels + identical numbers collide by construction.
+  const CanonicalQuery a = reference_query();
+  CanonicalQuery b = reference_query();
+  EXPECT_EQ(cache_key(a), cache_key(b));
+}
+
+TEST(CacheKey, CanonicalizeRejectsNonFinitePolicy) {
+  core::CrConfig cr;
+  cr.restart_seconds = std::numeric_limits<double>::infinity();
+  const auto q = canonicalize("exact", "B", 1, 1, workload::summit(),
+                              workload::workload_by_name("VULCAN"),
+                              failure::system_by_name("titan"), cr);
+  EXPECT_THROW(canonical_text(q), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pckpt::serve

@@ -1,0 +1,273 @@
+#include "serve/planner.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/scenario.hpp"
+#include "exec/executor.hpp"
+#include "failure/system_catalog.hpp"
+#include "obs/json_value.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace pckpt::serve {
+namespace {
+
+core::Scenario summit_scenario() {
+  core::Scenario s;
+  s.machine = workload::summit();
+  s.applications = workload::summit_workloads();
+  s.system = failure::system_by_name("titan");
+  return s;
+}
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = testing::TempDir() + "pckpt_planner_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ::unlink(path_.c_str());
+    ::unlink((path_ + ".journal").c_str());
+    store_ = std::make_unique<ResultStore>(path_);
+    planner_ = std::make_unique<Planner>(summit_scenario(), AdmissionConfig{},
+                                         *store_);
+  }
+  void TearDown() override {
+    planner_.reset();
+    store_.reset();
+    ::unlink(path_.c_str());
+    ::unlink((path_ + ".journal").c_str());
+  }
+
+  static QuerySpec estimate_spec() {
+    QuerySpec q;
+    q.mode = "estimate";
+    q.model = "P1";
+    q.app = "VULCAN";
+    return q;
+  }
+
+  static QuerySpec exact_spec() {
+    QuerySpec q;
+    q.mode = "exact";
+    q.model = "P1";
+    q.app = "VULCAN";
+    q.runs = 8;
+    q.seed = 7;
+    return q;
+  }
+
+  std::string path_;
+  std::unique_ptr<ResultStore> store_;
+  std::unique_ptr<Planner> planner_;
+};
+
+TEST_F(PlannerTest, EstimateMissThenByteIdenticalHit) {
+  const auto miss = planner_->answer(estimate_spec());
+  EXPECT_FALSE(miss.cached);
+  EXPECT_EQ(miss.tier, "estimate");
+  const auto hit = planner_->answer(estimate_spec());
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.key, miss.key);
+  EXPECT_EQ(hit.payload, miss.payload);
+
+  const auto c = planner_->counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.estimate_misses, 1u);
+  EXPECT_EQ(c.exact_misses, 0u);
+}
+
+TEST_F(PlannerTest, EstimateIgnoresRunsAndSeedInTheKey) {
+  QuerySpec a = estimate_spec();
+  a.runs = 10;
+  a.seed = 1;
+  QuerySpec b = estimate_spec();
+  b.runs = 999;
+  b.seed = 2;
+  EXPECT_EQ(planner_->resolve(a).key, planner_->resolve(b).key);
+  // ...but exact queries do key on them.
+  QuerySpec c = exact_spec();
+  QuerySpec d = exact_spec();
+  d.seed = 8;
+  EXPECT_NE(planner_->resolve(c).key, planner_->resolve(d).key);
+}
+
+TEST_F(PlannerTest, EstimatePayloadIsValidJsonWithSchema) {
+  const auto out = planner_->answer(estimate_spec());
+  const auto doc = obs::parse_json(out.payload);
+  EXPECT_EQ(doc.key_string("schema"), "pckpt-serve/1");
+  EXPECT_EQ(doc.key_string("mode"), "estimate");
+  EXPECT_EQ(doc.key_string("model"), "P1");
+  const auto sigma = doc.key_number("sigma");
+  const auto beta = doc.key_number("beta");
+  ASSERT_TRUE(sigma && beta);
+  EXPECT_GE(*sigma, 0.0);
+  EXPECT_LE(*sigma, 1.0);
+  EXPECT_GE(*beta, 0.0);
+  EXPECT_LE(*beta, 1.0);
+  EXPECT_GT(*doc.key_number("total_h"), 0.0);
+}
+
+TEST_F(PlannerTest, EstimateModelOrderingMatchesThePaper) {
+  // The mitigating models must estimate no more total overhead than the
+  // base model on the same physics (first-order sanity, Obs. 5-8).
+  auto total_h = [&](const char* model) {
+    QuerySpec q = estimate_spec();
+    q.model = model;
+    const auto doc = obs::parse_json(planner_->answer(q).payload);
+    return *doc.key_number("total_h");
+  };
+  const double b = total_h("B");
+  EXPECT_LE(total_h("M2"), b);
+  EXPECT_LE(total_h("P1"), b);
+  EXPECT_LE(total_h("P2"), b);
+}
+
+TEST_F(PlannerTest, ExactMissMatchesStandaloneCampaignByteForByte) {
+  const QuerySpec spec = exact_spec();
+  const auto out = planner_->answer(spec);
+  EXPECT_FALSE(out.cached);
+
+  // Reconstruct the identical campaign by hand — same engine, same
+  // config, same seed — and render it through the same pure function.
+  const core::Scenario scenario = summit_scenario();
+  const auto storage = scenario.machine.make_storage();
+  const auto leads = failure::LeadTimeModel::summit_default();
+  const Planner::Resolved r = planner_->resolve(spec);
+  core::RunSetup setup;
+  setup.app = &r.app;
+  setup.machine = &scenario.machine;
+  setup.storage = &storage;
+  setup.system = &r.system;
+  setup.leads = &leads;
+  exec::SerialExecutor ex;
+  const auto result = core::run_campaign(
+      setup, r.cr, static_cast<std::size_t>(spec.runs), spec.seed, ex);
+  EXPECT_EQ(out.payload, render_exact_payload(r.canonical, result));
+
+  // And the cache hit returns those bytes untouched.
+  const auto hit = planner_->answer(spec);
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.payload, out.payload);
+}
+
+TEST_F(PlannerTest, ExactResultsPersistAcrossStoreReopen) {
+  const auto first = planner_->answer(exact_spec());
+  planner_.reset();
+  store_.reset();
+  store_ = std::make_unique<ResultStore>(path_);
+  planner_ = std::make_unique<Planner>(summit_scenario(), AdmissionConfig{},
+                                       *store_);
+  const auto hit = planner_->answer(exact_spec());
+  EXPECT_TRUE(hit.cached);
+  EXPECT_EQ(hit.payload, first.payload);
+}
+
+TEST_F(PlannerTest, UnknownNamesAre404) {
+  auto code_of = [&](QuerySpec q) {
+    try {
+      planner_->resolve(q);
+    } catch (const ServeError& e) {
+      return e.code();
+    }
+    return 0;
+  };
+  QuerySpec q = estimate_spec();
+  q.model = "P9";
+  EXPECT_EQ(code_of(q), 404);
+  q = estimate_spec();
+  q.app = "NOSUCH";
+  EXPECT_EQ(code_of(q), 404);
+  q = estimate_spec();
+  q.system = "cray1";
+  EXPECT_EQ(code_of(q), 404);
+}
+
+TEST_F(PlannerTest, InvalidOverridesAre400) {
+  QuerySpec q = estimate_spec();
+  q.recall = 1.5;
+  try {
+    planner_->resolve(q);
+    FAIL() << "recall=1.5 accepted";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), 400);
+  }
+  q = estimate_spec();
+  q.spare_nodes = 2.5;
+  try {
+    planner_->resolve(q);
+    FAIL() << "fractional spare_nodes accepted";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), 400);
+  }
+}
+
+TEST_F(PlannerTest, OverridesChangeTheKeyAndTheAnswer) {
+  QuerySpec q = estimate_spec();
+  const auto base = planner_->answer(q);
+  q.lm_transfer_factor = 6.0;
+  const auto bigger_alpha = planner_->answer(q);
+  EXPECT_NE(bigger_alpha.key, base.key);
+  EXPECT_FALSE(bigger_alpha.cached);
+  EXPECT_NE(bigger_alpha.payload, base.payload);
+}
+
+// -----------------------------------------------------------------
+// Admission gate.
+// -----------------------------------------------------------------
+
+TEST(AdmissionGateTest, ImmediateRejectWhenFullAndNoWait) {
+  AdmissionGate gate({/*max_inflight=*/1, /*queue_limit=*/4, /*wait_ms=*/0});
+  gate.acquire();
+  try {
+    gate.acquire();
+    FAIL() << "second acquire admitted";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), 429);
+  }
+  EXPECT_EQ(gate.rejected(), 1u);
+  gate.release();
+  gate.acquire();  // slot free again
+  gate.release();
+  EXPECT_EQ(gate.inflight(), 0u);
+}
+
+TEST(AdmissionGateTest, QueueLimitBoundsWaiters) {
+  // wait_ms > 0 but zero queue slots: still an immediate 429.
+  AdmissionGate gate({1, /*queue_limit=*/0, /*wait_ms=*/1000});
+  gate.acquire();
+  EXPECT_THROW(gate.acquire(), ServeError);
+  gate.release();
+}
+
+TEST(AdmissionGateTest, WaiterAdmittedOnRelease) {
+  AdmissionGate gate({1, 4, /*wait_ms=*/30000});
+  gate.acquire();
+  // Whether the waiter parks before or after the release, it must end
+  // up admitted (never rejected) within the generous wait budget.
+  std::thread waiter([&] { AdmissionTicket t(gate); });
+  gate.release();
+  waiter.join();
+  EXPECT_EQ(gate.inflight(), 0u);
+  EXPECT_EQ(gate.rejected(), 0u);
+}
+
+TEST(AdmissionGateTest, ShortWaitTimesOutWith429) {
+  AdmissionGate gate({1, 4, /*wait_ms=*/10});
+  gate.acquire();
+  try {
+    gate.acquire();
+    FAIL() << "admitted past a full gate";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), 429);
+  }
+  gate.release();
+}
+
+}  // namespace
+}  // namespace pckpt::serve

@@ -1,0 +1,130 @@
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pckpt::serve {
+namespace {
+
+TEST(ParseRequest, QueryDefaultsAndRequiredFields) {
+  const Request r =
+      parse_request(R"({"op":"query","model":"P1","app":"VULCAN"})");
+  EXPECT_EQ(r.op, Op::kQuery);
+  EXPECT_EQ(r.query.mode, "estimate");
+  EXPECT_EQ(r.query.model, "P1");
+  EXPECT_EQ(r.query.app, "VULCAN");
+  EXPECT_TRUE(r.query.system.empty());
+  EXPECT_EQ(r.query.runs, 200u);
+  EXPECT_EQ(r.query.seed, 2022u);
+  EXPECT_FALSE(r.query.progress);
+  EXPECT_FALSE(r.query.recall.has_value());
+}
+
+TEST(ParseRequest, QueryWithOverrides) {
+  const Request r = parse_request(
+      R"({"op":"query","mode":"exact","model":"P2","app":"XGC",)"
+      R"("system":"lanl18","runs":64,"seed":7,"progress":true,)"
+      R"("recall":0.9,"spare_nodes":-1,"drain_concurrency":8})");
+  EXPECT_EQ(r.query.mode, "exact");
+  EXPECT_EQ(r.query.system, "lanl18");
+  EXPECT_EQ(r.query.runs, 64u);
+  EXPECT_EQ(r.query.seed, 7u);
+  EXPECT_TRUE(r.query.progress);
+  EXPECT_EQ(r.query.recall, 0.9);
+  EXPECT_EQ(r.query.spare_nodes, -1.0);
+  EXPECT_EQ(r.query.drain_concurrency, 8u);
+}
+
+TEST(ParseRequest, NonQueryOps) {
+  EXPECT_EQ(parse_request(R"({"op":"ping"})").op, Op::kPing);
+  EXPECT_EQ(parse_request(R"({"op":"stats"})").op, Op::kStats);
+  EXPECT_EQ(parse_request(R"({"op":"shutdown"})").op, Op::kShutdown);
+}
+
+int error_code_of(const std::string& line) {
+  try {
+    parse_request(line);
+  } catch (const ServeError& e) {
+    return e.code();
+  }
+  return 0;
+}
+
+TEST(ParseRequest, MalformedRequestsAre400) {
+  EXPECT_EQ(error_code_of("not json"), 400);
+  EXPECT_EQ(error_code_of("[1,2]"), 400);
+  EXPECT_EQ(error_code_of("{}"), 400);
+  EXPECT_EQ(error_code_of(R"({"op":"reticulate"})"), 400);
+  // Required members.
+  EXPECT_EQ(error_code_of(R"({"op":"query","app":"XGC"})"), 400);
+  EXPECT_EQ(error_code_of(R"({"op":"query","model":"P1"})"), 400);
+  // Type and range errors.
+  EXPECT_EQ(error_code_of(R"({"op":"query","model":1,"app":"X"})"), 400);
+  EXPECT_EQ(
+      error_code_of(R"({"op":"query","model":"P1","app":"X","runs":0})"),
+      400);
+  EXPECT_EQ(
+      error_code_of(R"({"op":"query","model":"P1","app":"X","runs":1.5})"),
+      400);
+  EXPECT_EQ(
+      error_code_of(R"({"op":"query","model":"P1","app":"X","mode":"fast"})"),
+      400);
+  // Unknown member: rejected so a typoed override can't silently fall
+  // back to defaults.
+  EXPECT_EQ(
+      error_code_of(R"({"op":"query","model":"P1","app":"X","recal":0.9})"),
+      400);
+  // Non-query ops take no extra members.
+  EXPECT_EQ(error_code_of(R"({"op":"ping","model":"P1"})"), 400);
+}
+
+TEST(ParseRequest, ErrorMessagesNameTheProblem) {
+  try {
+    parse_request(R"({"op":"query","model":"P1","app":"X","recal":0.9})");
+    FAIL();
+  } catch (const ServeError& e) {
+    EXPECT_NE(std::string(e.what()).find("recal"), std::string::npos);
+  }
+}
+
+TEST(RenderLines, ErrorAndPong) {
+  EXPECT_EQ(render_error_line(429, "full"),
+            R"({"ev":"error","code":429,"message":"full"})");
+  EXPECT_EQ(render_pong_line("pckpt-serve/1"),
+            R"({"ev":"pong","version":"pckpt-serve/1"})");
+}
+
+TEST(RenderLines, ProgressLine) {
+  exec::ShardProgress p;
+  p.shards_done = 2;
+  p.shards_total = 4;
+  p.items_done = 16;
+  p.items_total = 32;
+  EXPECT_EQ(render_progress_line("00000000000000ff", p),
+            R"({"ev":"progress","key":"00000000000000ff",)"
+            R"("shards_done":2,"shards_total":4,)"
+            R"("items_done":16,"items_total":32})");
+}
+
+TEST(ExtractPayload, RoundTripsExactBytes) {
+  const std::string payload =
+      R"({"schema":"pckpt-serve/1","total_h":0.0411111210389})";
+  const std::string line =
+      render_result_line("428e2cf7ccc0fc62", "exact", true, payload);
+  const auto got = extract_payload(line);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  // The surrounding envelope carries the metadata.
+  EXPECT_NE(line.find(R"("key":"428e2cf7ccc0fc62")"), std::string::npos);
+  EXPECT_NE(line.find(R"("cached":true)"), std::string::npos);
+}
+
+TEST(ExtractPayload, RejectsNonResultLines) {
+  EXPECT_FALSE(extract_payload(render_error_line(500, "boom")).has_value());
+  EXPECT_FALSE(extract_payload("{\"ev\":\"pong\"}").has_value());
+  EXPECT_FALSE(extract_payload("").has_value());
+}
+
+}  // namespace
+}  // namespace pckpt::serve

@@ -1,0 +1,227 @@
+/// End-to-end test over the real binaries: spawn `pckpt_serve` on the
+/// checked-in Summit scenario, drive it with `pckpt_query`, and check
+/// the memoized exact-tier payload against a standalone `pckpt_sim` run
+/// of the identical campaign — field strings must match byte-for-byte
+/// (both sides render through JsonlRow's %.12g).
+///
+/// Binary locations arrive as compile definitions (PCKPT_SERVE_BIN,
+/// PCKPT_QUERY_BIN, PCKPT_SIM_BIN, PCKPT_SCENARIO_INI) wired by
+/// tests/CMakeLists.txt via $<TARGET_FILE:...>.
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+constexpr int kRuns = 6;
+constexpr int kSeed = 9;
+
+/// fork+exec argv[0] with the given arguments, capture stdout, return
+/// the exit code. stderr passes through to the test log.
+int run_capture(const std::vector<std::string>& argv, std::string* out) {
+  int pipefd[2];
+  EXPECT_EQ(::pipe(pipefd), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(pipefd[0]);
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[1]);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const auto& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execv(args[0], args.data());
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+  std::string captured;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(pipefd[0], buf, sizeof(buf))) > 0) {
+    captured.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(pipefd[0]);
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  if (out) *out = std::move(captured);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// The raw rendered text of `"name":<value>` inside a JSON line, value
+/// taken verbatim up to the next top-level ',' or '}'. Good enough for
+/// the flat rows both tools emit, and exactly what byte-identity needs.
+std::string raw_field(const std::string& line, const std::string& name) {
+  const std::string tag = "\"" + name + "\":";
+  const auto at = line.find(tag);
+  if (at == std::string::npos) return {};
+  auto end = at + tag.size();
+  bool in_string = false;
+  for (; end < line.size(); ++end) {
+    const char c = line[end];
+    if (c == '"' && line[end - 1] != '\\') in_string = !in_string;
+    if (!in_string && (c == ',' || c == '}')) break;
+  }
+  return line.substr(at + tag.size(), end - (at + tag.size()));
+}
+
+class ServeToolsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag = std::to_string(::getpid());
+    socket_ = "/tmp/pckpt_e2e_" + tag + ".sock";
+    store_ = testing::TempDir() + "pckpt_e2e_store_" + tag;
+    jsonl_ = testing::TempDir() + "pckpt_e2e_sim_" + tag + ".jsonl";
+    ::unlink(store_.c_str());
+    ::unlink((store_ + ".journal").c_str());
+    ::unlink(jsonl_.c_str());
+
+    daemon_ = ::fork();
+    if (daemon_ == 0) {
+      const char* bin = PCKPT_SERVE_BIN;
+      ::execl(bin, bin, ("--socket=" + socket_).c_str(),
+              ("--store=" + store_).c_str(),
+              "--scenario=" PCKPT_SCENARIO_INI, (char*)nullptr);
+      ::_exit(127);
+    }
+    ASSERT_TRUE(wait_for_socket()) << "daemon never came up";
+  }
+
+  void TearDown() override {
+    std::string out;
+    run_capture({PCKPT_QUERY_BIN, "--socket=" + socket_, "--shutdown"}, &out);
+    int status = 0;
+    ::waitpid(daemon_, &status, 0);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "daemon exit status " << status;
+    ::unlink(store_.c_str());
+    ::unlink((store_ + ".journal").c_str());
+    ::unlink(jsonl_.c_str());
+  }
+
+  /// Poll until the daemon's listening socket accepts a connection.
+  bool wait_for_socket() {
+    for (int i = 0; i < 500; ++i) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, socket_.c_str(),
+                   sizeof(addr.sun_path) - 1);
+      const int rc = ::connect(
+          fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+      ::close(fd);
+      if (rc == 0) return true;
+      ::usleep(10 * 1000);
+    }
+    return false;
+  }
+
+  std::string query_payload(const char* mode, const char* model) {
+    std::string out;
+    const int rc = run_capture(
+        {PCKPT_QUERY_BIN, "--socket=" + socket_, std::string("--mode=") + mode,
+         std::string("--model=") + model, "--app=vulcan",
+         "--runs=" + std::to_string(kRuns), "--seed=" + std::to_string(kSeed),
+         "--payload-only"},
+        &out);
+    EXPECT_EQ(rc, 0) << out;
+    return out;
+  }
+
+  std::string socket_;
+  std::string store_;
+  std::string jsonl_;
+  pid_t daemon_ = -1;
+};
+
+TEST_F(ServeToolsTest, PingAnswersOverTheWire) {
+  std::string out;
+  const int rc =
+      run_capture({PCKPT_QUERY_BIN, "--socket=" + socket_, "--ping"}, &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("\"ev\":\"pong\""), std::string::npos);
+}
+
+TEST_F(ServeToolsTest, RepeatQueryIsAByteIdenticalCacheHit) {
+  const std::string miss = query_payload("exact", "P1");
+  const std::string hit = query_payload("exact", "P1");
+  ASSERT_FALSE(miss.empty());
+  EXPECT_EQ(miss, hit);
+}
+
+TEST_F(ServeToolsTest, ExactPayloadMatchesStandalonePckptSim) {
+  const std::string payload = query_payload("exact", "P1");
+  ASSERT_FALSE(payload.empty());
+
+  std::string sim_out;
+  const int rc = run_capture(
+      {PCKPT_SIM_BIN, PCKPT_SCENARIO_INI, "--models=P1",
+       "--runs=" + std::to_string(kRuns), "--seed=" + std::to_string(kSeed),
+       "--jobs=1", "--jsonl=" + jsonl_},
+      &sim_out);
+  ASSERT_EQ(rc, 0) << sim_out;
+
+  // Locate the VULCAN/P1 row in the standalone run's JSONL stream.
+  std::ifstream in(jsonl_);
+  std::string line;
+  std::string row;
+  while (std::getline(in, line)) {
+    if (line.find("\"app\":\"vulcan\"") != std::string::npos &&
+        line.find("\"model\":\"P1\"") != std::string::npos) {
+      row = line;
+      break;
+    }
+  }
+  ASSERT_FALSE(row.empty()) << "no vulcan/P1 row in pckpt_sim output";
+
+  // Every metric the daemon serves must be the byte-identical rendering
+  // pckpt_sim wrote — same engine, same seed, same printf path.
+  for (const char* field :
+       {"ckpt_h", "recomp_h", "recov_h", "migr_h", "total_h", "ft_ratio",
+        "failures_per_run", "makespan_h"}) {
+    const std::string served = raw_field(payload, field);
+    const std::string standalone = raw_field(row, field);
+    ASSERT_FALSE(served.empty()) << field << " missing from payload";
+    ASSERT_FALSE(standalone.empty()) << field << " missing from sim row";
+    EXPECT_EQ(served, standalone) << field;
+  }
+}
+
+TEST_F(ServeToolsTest, EstimateTierAnswersWithoutACampaign) {
+  const std::string payload = query_payload("estimate", "P2");
+  EXPECT_NE(payload.find("\"mode\":\"estimate\""), std::string::npos);
+  EXPECT_FALSE(raw_field(payload, "sigma").empty());
+  EXPECT_FALSE(raw_field(payload, "total_h").empty());
+}
+
+TEST_F(ServeToolsTest, StoreSurvivesDaemonRestart) {
+  const std::string first = query_payload("exact", "M2");
+
+  // Cleanly restart the daemon on the same store.
+  std::string out;
+  run_capture({PCKPT_QUERY_BIN, "--socket=" + socket_, "--shutdown"}, &out);
+  int status = 0;
+  ::waitpid(daemon_, &status, 0);
+  daemon_ = ::fork();
+  if (daemon_ == 0) {
+    const char* bin = PCKPT_SERVE_BIN;
+    ::execl(bin, bin, ("--socket=" + socket_).c_str(),
+            ("--store=" + store_).c_str(),
+            "--scenario=" PCKPT_SCENARIO_INI, (char*)nullptr);
+    ::_exit(127);
+  }
+  ASSERT_TRUE(wait_for_socket());
+
+  // The same query is now a hit served from the reopened log.
+  EXPECT_EQ(query_payload("exact", "M2"), first);
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "failure/system_catalog.hpp"
+#include "obs/json_value.hpp"
+#include "serve/protocol.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace pckpt::serve {
+namespace {
+
+core::Scenario summit_scenario() {
+  core::Scenario s;
+  s.machine = workload::summit();
+  s.applications = workload::summit_workloads();
+  s.system = failure::system_by_name("titan");
+  return s;
+}
+
+/// Full in-process daemon: store + planner + server on a temp socket,
+/// run() on a background thread. Sockets live in /tmp (sun_path caps
+/// paths at ~107 bytes; TempDir can exceed that under some runners).
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag = std::to_string(::getpid());
+    socket_path_ = "/tmp/pckpt_srv_" + tag + ".sock";
+    store_path_ = testing::TempDir() + "pckpt_server_store_" + tag;
+    ::unlink(store_path_.c_str());
+    ::unlink((store_path_ + ".journal").c_str());
+    store_ = std::make_unique<ResultStore>(store_path_);
+    planner_ = std::make_unique<Planner>(summit_scenario(),
+                                         AdmissionConfig{}, *store_);
+    server_ = std::make_unique<Server>(socket_path_, *planner_);
+    runner_ = std::thread([this] { server_->run(); });
+  }
+  void TearDown() override {
+    server_->stop();
+    runner_.join();
+    server_.reset();
+    planner_.reset();
+    store_.reset();
+    ::unlink(store_path_.c_str());
+    ::unlink((store_path_ + ".journal").c_str());
+  }
+
+  /// One-shot request: send a line, read response lines until the
+  /// terminal (non-progress) one, return all of them.
+  std::vector<std::string> roundtrip(const std::string& request) {
+    Client client(socket_path_);
+    client.send_line(request);
+    std::vector<std::string> lines;
+    while (auto line = client.read_line()) {
+      const bool progress = line->rfind("{\"ev\":\"progress\"", 0) == 0;
+      lines.push_back(std::move(*line));
+      if (!progress) break;
+    }
+    return lines;
+  }
+
+  std::string socket_path_;
+  std::string store_path_;
+  std::unique_ptr<ResultStore> store_;
+  std::unique_ptr<Planner> planner_;
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+};
+
+TEST_F(ServerTest, PingPong) {
+  const auto lines = roundtrip(R"({"op":"ping"})");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], R"({"ev":"pong","version":"pckpt-serve/1"})");
+}
+
+TEST_F(ServerTest, MalformedLineYieldsError400) {
+  const auto lines = roundtrip("this is not json");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind(R"({"ev":"error","code":400)", 0), 0u);
+}
+
+TEST_F(ServerTest, UnknownApplicationYields404) {
+  const auto lines =
+      roundtrip(R"({"op":"query","model":"P1","app":"NOSUCH"})");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind(R"({"ev":"error","code":404)", 0), 0u);
+}
+
+TEST_F(ServerTest, EstimateMissThenHitSamePayloadBytes) {
+  const std::string q = R"({"op":"query","model":"P1","app":"VULCAN"})";
+  const auto miss = roundtrip(q);
+  const auto hit = roundtrip(q);
+  ASSERT_EQ(miss.size(), 1u);
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_NE(miss[0].find(R"("cached":false)"), std::string::npos);
+  EXPECT_NE(hit[0].find(R"("cached":true)"), std::string::npos);
+  const auto p_miss = extract_payload(miss[0]);
+  const auto p_hit = extract_payload(hit[0]);
+  ASSERT_TRUE(p_miss && p_hit);
+  EXPECT_EQ(*p_miss, *p_hit);
+}
+
+TEST_F(ServerTest, ExactQueryStreamsProgressAndMemoizes) {
+  const std::string q =
+      R"({"op":"query","mode":"exact","model":"P2","app":"VULCAN",)"
+      R"("runs":8,"seed":7,"progress":true})";
+  const auto miss = roundtrip(q);
+  ASSERT_GE(miss.size(), 2u) << "expected at least one progress line";
+  for (std::size_t i = 0; i + 1 < miss.size(); ++i) {
+    EXPECT_EQ(miss[i].rfind(R"({"ev":"progress")", 0), 0u);
+  }
+  const std::string& result = miss.back();
+  EXPECT_NE(result.find(R"("tier":"exact")"), std::string::npos);
+  EXPECT_NE(result.find(R"("cached":false)"), std::string::npos);
+
+  const auto hit = roundtrip(q);
+  // Cache hits skip the campaign entirely — no progress lines.
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_NE(hit[0].find(R"("cached":true)"), std::string::npos);
+  EXPECT_EQ(*extract_payload(hit[0]), *extract_payload(result));
+}
+
+TEST_F(ServerTest, StatsReflectTraffic) {
+  roundtrip(R"({"op":"query","model":"M2","app":"VULCAN"})");
+  roundtrip(R"({"op":"query","model":"M2","app":"VULCAN"})");
+  const auto lines = roundtrip(R"({"op":"stats"})");
+  ASSERT_EQ(lines.size(), 1u);
+  const auto doc = obs::parse_json(lines[0]);
+  EXPECT_EQ(doc.key_u64("hits"), 1u);
+  EXPECT_EQ(doc.key_u64("estimate_misses"), 1u);
+  EXPECT_EQ(doc.key_u64("records"), 1u);
+  EXPECT_GT(*doc.key_u64("log_bytes"), 0u);
+}
+
+TEST_F(ServerTest, ConcurrentClientsAllAnswered) {
+  constexpr int kClients = 8;
+  std::vector<std::string> payloads(kClients);
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([this, i, &payloads] {
+      // Half share one query (exercising concurrent memoization of the
+      // same key), half are distinct.
+      const std::string app = (i % 2 == 0) ? "VULCAN" : "POP";
+      Client client(socket_path_);
+      client.send_line(R"({"op":"query","model":"P1","app":")" + app +
+                       R"("})");
+      if (auto line = client.read_line()) {
+        if (auto p = extract_payload(*line)) payloads[static_cast<std::size_t>(i)] = std::string(*p);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_FALSE(payloads[static_cast<std::size_t>(i)].empty()) << i;
+    // Same app -> byte-identical payload regardless of which client
+    // computed it and which hit the cache.
+    EXPECT_EQ(payloads[static_cast<std::size_t>(i)],
+              payloads[static_cast<std::size_t>(i % 2)]);
+  }
+}
+
+TEST_F(ServerTest, ShutdownOpStopsTheServer) {
+  const auto lines = roundtrip(R"({"op":"shutdown"})");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], R"({"ev":"bye"})");
+  runner_.join();  // run() must return promptly after the shutdown op
+  runner_ = std::thread([] {});  // keep TearDown's join() valid
+}
+
+}  // namespace
+}  // namespace pckpt::serve

@@ -1,0 +1,162 @@
+/// pckpt_query — CLI client for the pckpt_serve daemon: builds one
+/// NDJSON request from flags, streams the daemon's response lines, and
+/// exits nonzero on an `ev:error` reply. Progress events go to stderr
+/// so stdout carries exactly the final result line (or, with
+/// --payload-only, the raw memoized payload bytes — the form the
+/// byte-identity tests diff).
+///
+/// Usage:
+///   pckpt_query --socket=PATH --model=M --app=NAME [options]
+///   pckpt_query --socket=PATH --ping | --stats | --shutdown
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "exec/result_sink.hpp"
+#include "obs/cli_flags.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+constexpr unsigned kFlagMask =
+    pckpt::obs::kCliRuns | pckpt::obs::kCliSeed | pckpt::obs::kCliSystem;
+
+void usage() {
+  std::printf(
+      "usage: pckpt_query --socket=PATH (--ping|--stats|--shutdown |"
+      " --model=M --app=NAME [options])\n"
+      "  --socket=PATH            daemon unix-domain socket\n"
+      "  --model=M                B|M1|M2|P1|P2\n"
+      "  --app=NAME               workload name (paper Table I)\n"
+      "  --mode=estimate|exact    tier (default estimate)\n"
+      "%s"
+      "  --progress               stream shard progress to stderr\n"
+      "  --payload-only           print only the payload bytes\n"
+      "  --set KEY=VALUE          numeric C/R policy override "
+      "(repeatable)\n"
+      "Wire protocol: docs/SERVING.md.\n",
+      pckpt::obs::cli_common_help(kFlagMask).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  std::string socket_path;
+  std::string mode = "estimate";
+  std::string model;
+  std::string app;
+  std::string op = "query";
+  bool progress = false;
+  bool payload_only = false;
+  obs::CommonFlags flags;
+  flags.system.clear();  // empty = daemon scenario's failure system
+  exec::JsonlRow overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (const char* v = obs::cli_value(arg, "--socket=")) {
+      socket_path = obs::cli_path("pckpt_query", "--socket", v);
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--mode=")) {
+      mode = v;
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--model=")) {
+      model = v;
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--app=")) {
+      app = v;
+      continue;
+    }
+    if (arg == "--ping" || arg == "--stats" || arg == "--shutdown") {
+      op = arg.substr(2);
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg == "--payload-only") {
+      payload_only = true;
+    } else if (arg == "--set" && i + 1 < argc) {
+      const std::string kv = argv[++i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::fprintf(stderr, "pckpt_query: --set: expected KEY=VALUE\n");
+        return 2;
+      }
+      overrides.add(kv.substr(0, eq),
+                    obs::cli_double("pckpt_query", "--set",
+                                    kv.c_str() + eq + 1));
+    } else if (!obs::cli_consume_common("pckpt_query", arg, kFlagMask,
+                                        flags)) {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (socket_path.empty() || (op == "query" && (model.empty() || app.empty()))) {
+    usage();
+    return 2;
+  }
+
+  try {
+    serve::Client client(socket_path);
+    exec::JsonlRow req;
+    req.add("op", op);
+    if (op == "query") {
+      req.add("mode", mode);
+      req.add("model", model);
+      req.add("app", app);
+      if (!flags.system.empty()) req.add("system", flags.system);
+      req.add("runs", static_cast<std::uint64_t>(flags.runs));
+      req.add("seed", flags.seed);
+      if (progress) req.add("progress", true);
+      // Splice policy overrides into the same object: strip the
+      // override row's braces and append its members.
+      const std::string extra = overrides.str();
+      std::string line = req.str();
+      if (extra.size() > 2) {
+        line.pop_back();
+        line += ',';
+        line.append(extra, 1, extra.size() - 2);
+        line += '}';
+      }
+      client.send_line(line);
+    } else {
+      client.send_line(req.str());
+    }
+
+    int rc = 1;  // no terminal line = failure
+    while (auto line = client.read_line()) {
+      if (line->rfind("{\"ev\":\"progress\"", 0) == 0) {
+        std::fprintf(stderr, "%s\n", line->c_str());
+        continue;
+      }
+      if (line->rfind("{\"ev\":\"error\"", 0) == 0) {
+        std::fprintf(stderr, "pckpt_query: %s\n", line->c_str());
+        return 1;
+      }
+      if (payload_only) {
+        if (const auto payload = serve::extract_payload(*line)) {
+          std::printf("%.*s\n", static_cast<int>(payload->size()),
+                      payload->data());
+          rc = 0;
+          break;
+        }
+      }
+      std::printf("%s\n", line->c_str());
+      rc = 0;
+      break;  // pong / stats / bye / result are all single terminal lines
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pckpt_query: %s\n", e.what());
+    return 1;
+  }
+}

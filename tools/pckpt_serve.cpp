@@ -1,0 +1,120 @@
+/// pckpt_serve — the campaign-as-a-service daemon (docs/SERVING.md):
+/// listens on a unix-domain socket, answers NDJSON queries from a
+/// crash-safe memoized ResultStore, computes misses via the two-tier
+/// planner (closed-form estimates in-process, exact DES campaigns under
+/// admission control), and persists every computed payload so the next
+/// identical query is a byte-identical cache hit.
+///
+/// Usage:
+///   pckpt_serve --socket=PATH --store=PATH [--scenario=FILE]
+///               [--max-inflight=N] [--queue-limit=N] [--wait-ms=MS]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "failure/system_catalog.hpp"
+#include "obs/cli_flags.hpp"
+#include "serve/server.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: pckpt_serve --socket=PATH --store=PATH [options]\n"
+      "  --socket=PATH            unix-domain socket to listen on\n"
+      "  --store=PATH             result-store log file (created if absent)\n"
+      "  --scenario=FILE          scenario INI (default: built-in Summit)\n"
+      "  --max-inflight=N         concurrent exact campaigns (default 1)\n"
+      "  --queue-limit=N          admission waiters beyond inflight "
+      "(default 4)\n"
+      "  --wait-ms=MS             max admission wait before a 429 "
+      "(default 0)\n"
+      "Protocol and store format: docs/SERVING.md.\n");
+}
+
+/// The scenario served when no --scenario file is given: the paper's
+/// Summit machine, its Table-I workloads, the Titan failure
+/// distribution and default C/R policy.
+pckpt::core::Scenario builtin_scenario() {
+  pckpt::core::Scenario s;
+  s.machine = pckpt::workload::summit();
+  s.applications = pckpt::workload::summit_workloads();
+  s.system = pckpt::failure::system_by_name("titan");
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  std::string socket_path;
+  std::string store_path;
+  std::string scenario_path;
+  serve::AdmissionConfig admission;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    }
+    if (const char* v = obs::cli_value(arg, "--socket=")) {
+      socket_path = obs::cli_path("pckpt_serve", "--socket", v);
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--store=")) {
+      store_path = obs::cli_path("pckpt_serve", "--store", v);
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--scenario=")) {
+      scenario_path = obs::cli_path("pckpt_serve", "--scenario", v);
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--max-inflight=")) {
+      admission.max_inflight = static_cast<std::size_t>(
+          obs::cli_u64_min("pckpt_serve", "--max-inflight", v, 1));
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--queue-limit=")) {
+      admission.queue_limit = static_cast<std::size_t>(
+          obs::cli_u64("pckpt_serve", "--queue-limit", v));
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--wait-ms=")) {
+      admission.wait_ms = obs::cli_u64("pckpt_serve", "--wait-ms", v);
+      continue;
+    }
+    std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+    usage();
+    return 2;
+  }
+  if (socket_path.empty() || store_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const core::Scenario scenario =
+        scenario_path.empty()
+            ? builtin_scenario()
+            : core::load_scenario(core::ConfigFile::load(scenario_path));
+    serve::ResultStore store(store_path);
+    const auto stats = store.stats();
+    serve::Planner planner(scenario, admission, store);
+    serve::Server server(socket_path, planner);
+    std::printf("pckpt_serve: listening on %s, store %s (%zu records%s)\n",
+                socket_path.c_str(), store_path.c_str(), stats.records,
+                stats.replayed_journal ? ", journal replayed" : "");
+    std::fflush(stdout);
+    server.run();
+    std::printf("pckpt_serve: shut down\n");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pckpt_serve: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

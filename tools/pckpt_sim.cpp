@@ -9,10 +9,8 @@
 ///             [--trace=PATH] [--trace-format=jsonl|chrome] [--profile]
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -26,48 +24,27 @@
 #include "exec/result_sink.hpp"
 #include "exec/thread_pool.hpp"
 #include "failure/lead_time_model.hpp"
+#include "obs/cli_flags.hpp"
 #include "obs/obs.hpp"
 #include "core/scenario.hpp"
 
 namespace {
 
+// The common flag block shared with the bench harness and the serve
+// tools (src/obs/cli_flags.hpp): strict validation, exit(2) on garbage.
+constexpr unsigned kFlagMask = pckpt::obs::kCliRuns | pckpt::obs::kCliSeed |
+                               pckpt::obs::kCliJobs | pckpt::obs::kCliJsonl |
+                               pckpt::obs::kCliCsv | pckpt::obs::kCliTrace |
+                               pckpt::obs::kCliProfile;
+
 void usage() {
   std::printf(
       "usage: pckpt_sim <scenario.ini> [options]\n"
       "  --models=B,M1,M2,P1,P2   comma-separated models (default: all)\n"
-      "  --runs=N                 paired runs per model (default 200)\n"
-      "  --seed=S                 base seed (default 2022)\n"
-      "  --jobs=N                 worker threads (default: one per core)\n"
-      "  --jsonl=PATH             append one JSON line per campaign to PATH\n"
-      "  --csv                    CSV instead of aligned table\n"
-      "  --trace=PATH             write a semantic run trace to PATH\n"
-      "                           (schema: docs/OBSERVABILITY.md)\n"
-      "  --trace-format=FMT       jsonl (default) or chrome; chrome traces\n"
-      "                           load in Perfetto / chrome://tracing\n"
-      "  --profile                report host-time attribution per\n"
-      "                           subsystem (docs/OBSERVABILITY.md)\n"
+      "%s"
       "The scenario file format is documented in "
-      "src/core/scenario.hpp and configs/summit.ini.\n");
-}
-
-/// Strict non-negative integer parse: the whole value must be digits and
-/// fit in 64 bits, otherwise print a diagnostic and exit(2).
-std::uint64_t parse_u64_flag(const char* flag, const std::string& text) {
-  if (text.empty() ||
-      text.find_first_not_of("0123456789") != std::string::npos) {
-    std::fprintf(stderr, "pckpt_sim: %s: expected a non-negative integer, "
-                         "got '%s'\n", flag, text.c_str());
-    std::exit(2);
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
-  if (errno == ERANGE || end != text.c_str() + text.size()) {
-    std::fprintf(stderr, "pckpt_sim: %s: value '%s' out of range\n", flag,
-                 text.c_str());
-    std::exit(2);
-  }
-  return v;
+      "src/core/scenario.hpp and configs/summit.ini.\n",
+      pckpt::obs::cli_common_help(kFlagMask).c_str());
 }
 
 std::vector<pckpt::core::ModelKind> parse_models(const std::string& list) {
@@ -97,64 +74,25 @@ int main(int argc, char** argv) {
   }
 
   std::string models_arg = "B,M1,M2,P1,P2";
-  std::size_t runs = 200;
-  std::uint64_t seed = 2022;
-  std::size_t jobs = 0;  // 0 = one worker per hardware thread
-  std::string jsonl_path;
-  bool csv = false;
-  std::string trace_path;
-  pckpt::obs::TraceFormat trace_format = pckpt::obs::TraceFormat::kJsonl;
-  bool profile = false;
+  obs::CommonFlags flags;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--models=", 0) == 0) {
       models_arg = arg.substr(9);
-    } else if (arg.rfind("--runs=", 0) == 0) {
-      runs = static_cast<std::size_t>(parse_u64_flag("--runs", arg.substr(7)));
-      if (runs == 0) {
-        std::fprintf(stderr, "pckpt_sim: --runs must be at least 1\n");
-        return 2;
-      }
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      seed = parse_u64_flag("--seed", arg.substr(7));
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      jobs = static_cast<std::size_t>(parse_u64_flag("--jobs", arg.substr(7)));
-      if (jobs == 0) {
-        std::fprintf(stderr, "pckpt_sim: --jobs must be at least 1\n");
-        return 2;
-      }
-    } else if (arg.rfind("--jsonl=", 0) == 0) {
-      jsonl_path = arg.substr(8);
-      if (jsonl_path.empty()) {
-        std::fprintf(stderr, "pckpt_sim: --jsonl requires a path\n");
-        return 2;
-      }
-    } else if (arg == "--csv") {
-      csv = true;
-    } else if (arg.rfind("--trace=", 0) == 0) {
-      trace_path = arg.substr(8);
-      if (trace_path.empty()) {
-        std::fprintf(stderr, "pckpt_sim: --trace requires a path\n");
-        return 2;
-      }
-    } else if (arg.rfind("--trace-format=", 0) == 0) {
-      try {
-        trace_format = obs::trace_format_from_string(arg.substr(15));
-      } catch (const std::exception&) {
-        std::fprintf(stderr,
-                     "pckpt_sim: --trace-format: expected jsonl|chrome, "
-                     "got '%s'\n",
-                     arg.substr(15).c_str());
-        return 2;
-      }
-    } else if (arg == "--profile") {
-      profile = true;
-    } else {
+    } else if (!obs::cli_consume_common("pckpt_sim", arg, kFlagMask, flags)) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
       return 2;
     }
   }
+  const std::size_t runs = flags.runs;
+  const std::uint64_t seed = flags.seed;
+  const std::size_t jobs = flags.jobs;
+  const std::string& jsonl_path = flags.jsonl;
+  const bool csv = flags.csv;
+  const std::string& trace_path = flags.trace;
+  const obs::TraceFormat trace_format = flags.trace_format;
+  const bool profile = flags.profile;
 
   try {
     const auto scenario =

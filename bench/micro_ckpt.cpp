@@ -1,0 +1,175 @@
+/// micro_ckpt — latency harness for campaign checkpointing
+/// (docs/CHECKPOINTING.md), measured at the CampaignCheckpointer
+/// boundary so the numbers isolate encode/journal/fsync cost from
+/// engine scheduling noise:
+///
+///   commit.us        durably committing one shard result
+///   resume.ms        reopen + decode of a 128-shard checkpoint
+///   campaign.ms      reference campaign, checkpoint sink disabled
+///   campaign_ckpt.ms same campaign with per-shard commits enabled
+///   ckpt_overhead.pct relative cost of checkpointing the campaign
+///
+/// The campaign.ms pair doubles as the "checkpointing off is free"
+/// guard: a null sink must not slow the engine, and the overhead of a
+/// live sink stays bounded by the per-shard commit cost.
+///
+/// Emits pckpt-bench/1 telemetry via --bench-json; gated warn-only in
+/// CI until a baseline trajectory exists (see .github/workflows/ci.yml).
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "ckpt/campaign_ckpt.hpp"
+#include "core/campaign.hpp"
+#include "exec/executor.hpp"
+
+namespace {
+
+double wall_seconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pckpt;
+  auto opt = bench::parse_options(argc, argv, /*with_repeat=*/true);
+  const std::size_t samples = opt.repeat > 0 ? opt.repeat : 1;
+
+  const bench::World world(opt.system);
+  const auto& app = workload::summit_workloads()[0];
+  const auto setup = world.setup(app);
+  core::CrConfig cfg;
+  cfg.kind = core::ModelKind::kP2;
+
+  const std::string dir = "/tmp/pckpt_micro_ckpt_" + std::to_string(::getpid());
+  const std::string manifest = "micro_ckpt/commit-resume-harness";
+
+  bench::BenchTelemetry telemetry(opt, "micro_ckpt", /*resolved_jobs=*/1);
+
+  std::printf("micro_ckpt — campaign checkpoint latencies (%zu sample(s), "
+              "campaign of %zu trials)\n\n",
+              samples, opt.runs);
+
+  // One representative shard result, reused for every commit below: the
+  // commit path cost depends on the payload shape, not which trials
+  // produced it.
+  const core::CampaignResult shard_result =
+      core::run_campaign_shard(setup, cfg, 0, 8, opt.seed);
+
+  // 128 shards is enough log volume that the resume scan dominates the
+  // open() syscalls without making a sample slow.
+  constexpr std::size_t kShards = 128;
+  constexpr std::size_t kShardTrials = 8;
+
+  std::vector<double> commit_us, resume_ms, campaign_ms, campaign_ckpt_ms;
+  for (std::size_t s = 0; s < samples + 1; ++s) {
+    const bool warmup = s == 0;
+
+    // Per-shard commit: encode + journal write + fsync + log append.
+    {
+      ckpt::CampaignCheckpointer writer(dir, manifest, kShards * kShardTrials,
+                                        /*resume=*/false);
+      const double t_commit = wall_seconds([&] {
+        for (std::size_t i = 0; i < kShards; ++i) {
+          writer.commit_shard(i, shard_result, i * kShardTrials,
+                              (i + 1) * kShardTrials, nullptr);
+        }
+      });
+
+      // Resume replay: reopen the fully-committed log and decode every
+      // shard back into engine results.
+      double t_resume = 0.0;
+      {
+        std::optional<ckpt::CampaignCheckpointer> reader;
+        core::CampaignResult out;
+        std::size_t loaded = 0;
+        t_resume = wall_seconds([&] {
+          reader.emplace(dir, manifest, kShards * kShardTrials,
+                         /*resume=*/true);
+          while (loaded < kShards && reader->load_shard(loaded, out, nullptr)) {
+            ++loaded;
+          }
+        });
+        if (loaded != kShards) {
+          std::fprintf(stderr, "resume decoded %zu/%zu shards\n", loaded,
+                       kShards);
+          return 1;
+        }
+        reader->remove();
+      }
+      if (!warmup) {
+        commit_us.push_back(t_commit / kShards * 1e6);
+        resume_ms.push_back(t_resume * 1e3);
+      }
+    }
+
+    // Whole-campaign cost with the sink disabled (the engine's default
+    // path) and enabled — same trials, same serial executor.
+    exec::SerialExecutor ex;
+    core::CampaignResult plain;
+    const double t_plain = wall_seconds([&] {
+      plain = core::run_campaign(setup, cfg, opt.runs, opt.seed, ex, {},
+                                 nullptr, nullptr);
+    });
+    core::CampaignResult ckpted;
+    double t_ckpt = 0.0;
+    {
+      ckpt::CampaignCheckpointer sink(dir, manifest, opt.runs,
+                                      /*resume=*/false);
+      t_ckpt = wall_seconds([&] {
+        ckpted = core::run_campaign(setup, cfg, opt.runs, opt.seed, ex, {},
+                                    nullptr, &sink);
+      });
+      sink.remove();
+    }
+    if (ckpted.makespan_s.mean() != plain.makespan_s.mean()) {
+      std::fprintf(stderr, "checkpointed campaign diverged from plain run\n");
+      return 1;
+    }
+
+    if (warmup) continue;
+    campaign_ms.push_back(t_plain * 1e3);
+    campaign_ckpt_ms.push_back(t_ckpt * 1e3);
+    std::printf("sample %zu: commit %.2f us, resume(%zu shards) %.3f ms, "
+                "campaign %.2f ms plain / %.2f ms checkpointed\n",
+                s, commit_us.back(), kShards, resume_ms.back(),
+                campaign_ms.back(), campaign_ckpt_ms.back());
+  }
+
+  const auto commit = bench::summarize_repeats(commit_us);
+  const auto resume = bench::summarize_repeats(resume_ms);
+  const auto plain = bench::summarize_repeats(campaign_ms);
+  const auto ckpted = bench::summarize_repeats(campaign_ckpt_ms);
+  const double overhead_pct =
+      plain.median > 0.0 ? (ckpted.median - plain.median) / plain.median * 100.0
+                         : 0.0;
+  std::printf("\nmedians: commit %.2f us, resume %.3f ms, campaign %.2f ms, "
+              "checkpointed %.2f ms (overhead %.1f%%)\n",
+              commit.median, resume.median, plain.median, ckpted.median,
+              overhead_pct);
+
+  telemetry.add_metric("commit.us.median", commit.median);
+  telemetry.add_metric("commit.us.min", commit.min);
+  telemetry.add_metric("commit.us.stddev", commit.stddev);
+  telemetry.add_metric("resume.ms.median", resume.median);
+  telemetry.add_metric("resume.ms.min", resume.min);
+  telemetry.add_metric("resume.ms.stddev", resume.stddev);
+  telemetry.add_metric("campaign.ms.median", plain.median);
+  telemetry.add_metric("campaign.ms.min", plain.min);
+  telemetry.add_metric("campaign_ckpt.ms.median", ckpted.median);
+  telemetry.add_metric("campaign_ckpt.ms.min", ckpted.min);
+  telemetry.add_metric("ckpt_overhead.pct", overhead_pct);
+  telemetry.finish();
+  return 0;
+}

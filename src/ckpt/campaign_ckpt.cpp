@@ -1,0 +1,336 @@
+#include "ckpt/campaign_ckpt.hpp"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+#include "obs/collector.hpp"
+
+namespace pckpt::ckpt {
+
+namespace {
+
+constexpr std::uint8_t kShardVersion = 1;
+
+/// Sanity caps for decode: a hostile or corrupted payload must not
+/// drive allocations. Every event needs at least this many bytes.
+constexpr std::size_t kMinEventBytes = 8 + 8 + 8 + 4 + 1 + 1 + 2;
+
+void make_dir(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::system_error(errno, std::generic_category(),
+                            "CampaignCheckpointer: mkdir " + dir);
+  }
+}
+
+/// Bounds-checked little-endian cursor over a payload.
+struct Reader {
+  const char* p = nullptr;
+  std::size_t left = 0;
+  bool ok = true;
+
+  bool need(std::size_t n) {
+    if (left < n) ok = false;
+    return ok;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    const auto v = static_cast<std::uint8_t>(static_cast<unsigned char>(*p));
+    ++p;
+    --left;
+    return v;
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    const auto v = wire::get_u16(p);
+    p += 2;
+    left -= 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    const auto v = wire::get_u32(p);
+    p += 4;
+    left -= 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    const auto v = wire::get_u64(p);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  double f64() {
+    if (!need(8)) return 0.0;
+    const double v = wire::get_f64(p);
+    p += 8;
+    left -= 8;
+    return v;
+  }
+  std::string_view bytes(std::size_t n) {
+    if (!need(n)) return {};
+    const std::string_view v(p, n);
+    p += n;
+    left -= n;
+    return v;
+  }
+};
+
+void put_stats(std::string& out, const stats::OnlineStats& s) {
+  wire::put_u64(out, static_cast<std::uint64_t>(s.count()));
+  wire::put_f64(out, s.mean());
+  wire::put_f64(out, s.m2());
+  wire::put_f64(out, s.min());
+  wire::put_f64(out, s.max());
+}
+
+stats::OnlineStats get_stats(Reader& r) {
+  const auto n = static_cast<std::size_t>(r.u64());
+  const double mean_v = r.f64();
+  const double m2_v = r.f64();
+  const double min_v = r.f64();
+  const double max_v = r.f64();
+  return stats::OnlineStats::from_moments(n, mean_v, m2_v, min_v, max_v);
+}
+
+void put_string(std::string& out, std::string_view s) {
+  if (s.size() > 0xffffu) {
+    throw std::invalid_argument(
+        "CampaignCheckpointer: event name/key longer than 64 KiB");
+  }
+  wire::put_u16(out, static_cast<std::uint16_t>(s.size()));
+  out.append(s);
+}
+
+void put_event(std::string& out, const obs::Event& e) {
+  wire::put_f64(out, e.t0_s);
+  wire::put_f64(out, e.t1_s);
+  wire::put_u64(out, e.run_id);
+  wire::put_u32(out, static_cast<std::uint32_t>(e.track));
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(e.category)));
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(e.field_count)));
+  put_string(out, e.name);
+  for (std::size_t i = 0; i < e.field_count; ++i) {
+    put_string(out, e.fields[i].key);
+    wire::put_f64(out, e.fields[i].value);
+  }
+}
+
+bool get_event(Reader& r, StringInterner& names, obs::Event& e) {
+  e.t0_s = r.f64();
+  e.t1_s = r.f64();
+  e.run_id = r.u64();
+  e.track = static_cast<std::int32_t>(r.u32());
+  const std::uint8_t cat = r.u8();
+  const std::uint8_t nfields = r.u8();
+  if (!r.ok || cat > static_cast<std::uint8_t>(obs::Category::kKernel) ||
+      nfields > obs::Event::kMaxFields) {
+    return false;
+  }
+  e.category = static_cast<obs::Category>(cat);
+  const std::uint16_t name_len = r.u16();
+  const std::string_view name = r.bytes(name_len);
+  if (!r.ok) return false;
+  e.name = names.intern(name);
+  e.field_count = nfields;
+  for (std::size_t i = 0; i < nfields; ++i) {
+    const std::uint16_t key_len = r.u16();
+    const std::string_view key = r.bytes(key_len);
+    const double value = r.f64();
+    if (!r.ok) return false;
+    e.fields[i] = obs::Event::Field{names.intern(key), value};
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string hex_key(std::uint64_t key) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(key));
+  return buf;
+}
+
+std::string encode_shard(const core::CampaignResult& result,
+                         const obs::CampaignTraceCollector* trace,
+                         std::size_t first_run, std::size_t last_run) {
+  std::string out;
+  out.push_back(static_cast<char>(kShardVersion));
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(result.kind)));
+  out.push_back(trace != nullptr ? '\x01' : '\x00');
+  wire::put_u64(out, static_cast<std::uint64_t>(result.runs));
+  put_stats(out, result.checkpoint_s);
+  put_stats(out, result.recomputation_s);
+  put_stats(out, result.recovery_s);
+  put_stats(out, result.migration_s);
+  put_stats(out, result.total_overhead_s);
+  put_stats(out, result.makespan_s);
+  put_stats(out, result.ft_ratio);
+  put_stats(out, result.mean_oci_s);
+  wire::put_f64(out, result.failures);
+  wire::put_f64(out, result.predicted);
+  wire::put_f64(out, result.mitigated_ckpt);
+  wire::put_f64(out, result.mitigated_lm);
+  wire::put_f64(out, result.unhandled);
+  wire::put_f64(out, result.false_positives);
+  if (trace != nullptr) {
+    wire::put_u64(out, static_cast<std::uint64_t>(last_run - first_run));
+    for (std::size_t i = first_run; i < last_run; ++i) {
+      const auto& events = trace->events_for(i);
+      wire::put_u64(out, static_cast<std::uint64_t>(events.size()));
+      for (const obs::Event& e : events) put_event(out, e);
+    }
+  }
+  return out;
+}
+
+bool decode_shard(std::string_view bytes, StringInterner& names,
+                  DecodedShard& out) {
+  Reader r{bytes.data(), bytes.size()};
+  if (r.u8() != kShardVersion) return false;
+  const std::uint8_t kind = r.u8();
+  const std::uint8_t has_trace = r.u8();
+  if (!r.ok || kind > static_cast<std::uint8_t>(core::ModelKind::kP2) ||
+      has_trace > 1) {
+    return false;
+  }
+  out.result = core::CampaignResult{};
+  out.result.kind = static_cast<core::ModelKind>(kind);
+  out.result.runs = static_cast<std::size_t>(r.u64());
+  out.result.checkpoint_s = get_stats(r);
+  out.result.recomputation_s = get_stats(r);
+  out.result.recovery_s = get_stats(r);
+  out.result.migration_s = get_stats(r);
+  out.result.total_overhead_s = get_stats(r);
+  out.result.makespan_s = get_stats(r);
+  out.result.ft_ratio = get_stats(r);
+  out.result.mean_oci_s = get_stats(r);
+  out.result.failures = r.f64();
+  out.result.predicted = r.f64();
+  out.result.mitigated_ckpt = r.f64();
+  out.result.mitigated_lm = r.f64();
+  out.result.unhandled = r.f64();
+  out.result.false_positives = r.f64();
+  out.has_trace = has_trace == 1;
+  out.trial_events.clear();
+  if (out.has_trace) {
+    const std::uint64_t trials = r.u64();
+    if (!r.ok || trials > r.left / 8 + 1) return false;
+    out.trial_events.resize(static_cast<std::size_t>(trials));
+    for (auto& trial : out.trial_events) {
+      const std::uint64_t count = r.u64();
+      if (!r.ok || count > r.left / kMinEventBytes + 1) return false;
+      trial.resize(static_cast<std::size_t>(count));
+      for (obs::Event& e : trial) {
+        if (!get_event(r, names, e)) return false;
+      }
+    }
+  }
+  return r.ok && r.left == 0;
+}
+
+CampaignCheckpointer::CampaignCheckpointer(const std::string& dir,
+                                           std::string manifest_text,
+                                           std::size_t runs, bool resume)
+    : dir_(dir),
+      manifest_text_(std::move(manifest_text)),
+      key_(fnv1a64(manifest_text_)),
+      plan_(exec::plan_shards(runs)) {
+  manifest_payload_ = std::string(kCkptSchema) + "\n" +
+                      "total=" + std::to_string(plan_.total) + "\n" +
+                      "shard_size=" + std::to_string(plan_.shard_size) +
+                      "\n----\n" + manifest_text_;
+  make_dir(dir_);
+  const std::string path = dir_ + "/" + hex_key(key_) + ".ckpt";
+  if (!resume) {
+    ::unlink(path.c_str());
+    ::unlink((path + ".journal").c_str());
+  }
+  payloads_.assign(plan_.count(), std::string());
+  bool have_manifest = false;
+  std::string found_manifest;
+  log_.emplace(path, [&](std::uint64_t k, std::string_view p) {
+    if (k == 0) {
+      found_manifest.assign(p);
+      have_manifest = true;
+      return;
+    }
+    const std::uint64_t idx = k - 1;
+    if (idx < payloads_.size()) payloads_[idx] = std::string(p);
+  });
+  if (have_manifest && found_manifest != manifest_payload_) {
+    // A different campaign's file (key collision) or a stale plan:
+    // discard everything and start over — resuming into it would merge
+    // foreign shards.
+    log_->remove_files();
+    log_.reset();
+    std::fill(payloads_.begin(), payloads_.end(), std::string());
+    log_.emplace(path, DurableLog::ReplayFn{});
+    have_manifest = false;
+  }
+  if (have_manifest) {
+    reused_ = true;
+  } else {
+    log_->append(0, manifest_payload_);
+  }
+  while (prefix_ < payloads_.size() && !payloads_[prefix_].empty()) {
+    ++prefix_;
+  }
+}
+
+bool CampaignCheckpointer::load_shard(std::size_t shard,
+                                      core::CampaignResult& out,
+                                      obs::CampaignTraceCollector* trace) {
+  if (shard >= prefix_) return false;
+  DecodedShard d;
+  if (!decode_shard(payloads_[shard], names_, d)) return false;
+  if (trace != nullptr) {
+    // A shard committed without a trace section cannot satisfy a traced
+    // resume: report it missing so the engine re-executes (and then
+    // re-commits, with trace) from here on.
+    if (!d.has_trace) return false;
+    const std::size_t first = plan_.begin(shard);
+    if (d.trial_events.size() != plan_.end(shard) - first) return false;
+    for (std::size_t t = 0; t < d.trial_events.size(); ++t) {
+      auto& sink = trace->sink_for(first + t);
+      for (const obs::Event& e : d.trial_events[t]) sink.emit(e);
+    }
+  }
+  out = d.result;
+  ++resumed_;
+  return true;
+}
+
+void CampaignCheckpointer::commit_shard(
+    std::size_t shard, const core::CampaignResult& result,
+    std::size_t first_run, std::size_t last_run,
+    const obs::CampaignTraceCollector* trace) {
+  log_->append(1 + static_cast<std::uint64_t>(shard),
+               encode_shard(result, trace, first_run, last_run));
+  ++committed_;
+}
+
+CampaignCheckpointer::Stats CampaignCheckpointer::stats() const {
+  Stats s;
+  s.shards_total = plan_.count();
+  s.committed_prefix = prefix_;
+  s.resumed = resumed_;
+  s.committed = committed_;
+  s.reused = reused_;
+  const DurableLog::Stats ls = log_->stats();
+  s.replayed_journal = ls.replayed_journal;
+  s.truncated_bytes = ls.truncated_bytes;
+  return s;
+}
+
+void CampaignCheckpointer::remove() { log_->remove_files(); }
+
+}  // namespace pckpt::ckpt

@@ -1,0 +1,144 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ckpt/durable_log.hpp"
+#include "core/campaign.hpp"
+#include "exec/parallel_campaign.hpp"
+#include "obs/event.hpp"
+
+/// \file campaign_ckpt.hpp
+/// Campaign snapshot/resume (docs/CHECKPOINTING.md): a
+/// `CampaignCheckpointer` persists a campaign manifest plus every
+/// completed shard's `CampaignResult` (and, when tracing, the shard's
+/// trial events) into a `DurableLog`, so an interrupted campaign
+/// resumes from the last committed shard and merges to byte-identical
+/// `--jsonl`/trace output at any `--jobs`.
+///
+/// Record keys within the log:
+///  - key 0: the manifest — schema line, shard plan, and the caller's
+///    manifest text (canonical query text in the tools). Validated on
+///    reopen; a mismatch discards the file and starts fresh.
+///  - key 1+i: shard `i`'s payload (encode_shard below). Shards are
+///    committed in ascending order by the engine, so the committed set
+///    on disk is always a prefix; a superseding re-append (e.g. after
+///    a trace-availability mismatch forces re-execution) wins on
+///    replay like any DurableLog record.
+///
+/// Determinism contract: a shard payload stores the OnlineStats
+/// moments and event doubles as IEEE-754 bit patterns, so a loaded
+/// shard is indistinguishable — bit for bit — from a freshly executed
+/// one, and the ascending-order merge of mixed loaded/executed shards
+/// equals the uninterrupted run's.
+
+namespace pckpt::ckpt {
+
+/// Schema tag of the manifest record; bump when the payload format
+/// changes so stale checkpoints restart instead of misparsing.
+inline constexpr std::string_view kCkptSchema = "pckpt-ckpt/1";
+
+/// Fixed-width lowercase hex rendering of a manifest key (16 chars, no
+/// prefix) — the checkpoint file's name stem.
+std::string hex_key(std::uint64_t key);
+
+/// Stable-address string pool. `obs::Event` carries non-owning
+/// `const char*` names and field keys (static literals when emitted
+/// live); decoded events point into this pool instead, which must
+/// outlive every event that references it.
+class StringInterner {
+ public:
+  const char* intern(std::string_view s) {
+    return set_.emplace(s).first->c_str();
+  }
+
+ private:
+  std::set<std::string, std::less<>> set_;
+};
+
+/// Serialize one shard: the result's moments, counters, and (when
+/// `trace` is non-null) the events of trials `[first_run, last_run)`.
+/// Pure function of its inputs — the byte-identity tests compare
+/// encodings to assert bitwise result equality.
+std::string encode_shard(const core::CampaignResult& result,
+                         const obs::CampaignTraceCollector* trace,
+                         std::size_t first_run, std::size_t last_run);
+
+/// A decoded shard payload. `trial_events` is empty unless the payload
+/// carried a trace section; event names/keys are interned via the
+/// caller's pool.
+struct DecodedShard {
+  core::CampaignResult result;
+  bool has_trace = false;
+  std::vector<std::vector<obs::Event>> trial_events;
+};
+
+/// Decode `bytes`; returns false (leaving `out` unspecified) on any
+/// malformed or version-mismatched payload.
+bool decode_shard(std::string_view bytes, StringInterner& names,
+                  DecodedShard& out);
+
+class CampaignCheckpointer final : public core::CampaignCheckpointSink {
+ public:
+  struct Stats {
+    std::size_t shards_total = 0;
+    std::size_t committed_prefix = 0;  ///< committed shards found on open
+    std::size_t resumed = 0;           ///< shards served to the engine
+    std::size_t committed = 0;         ///< shards committed this run
+    bool reused = false;               ///< a matching manifest was found
+    bool replayed_journal = false;
+    std::uint64_t truncated_bytes = 0;
+  };
+
+  /// Opens (resuming or creating) the checkpoint for the campaign
+  /// identified by `manifest_text` under `dir` (created if missing,
+  /// one level). The file is `DIR/<fnv1a64(manifest_text) hex>.ckpt`.
+  /// `runs` must equal the campaign's trial count — the shard plan is
+  /// derived exactly as `run_campaign` derives it. With `resume`
+  /// false, or when the existing file's manifest does not match,
+  /// any previous state is discarded and a fresh manifest is written.
+  /// \throws std::system_error on I/O errors.
+  CampaignCheckpointer(const std::string& dir, std::string manifest_text,
+                       std::size_t runs, bool resume);
+
+  bool load_shard(std::size_t shard, core::CampaignResult& out,
+                  obs::CampaignTraceCollector* trace) override;
+  void commit_shard(std::size_t shard, const core::CampaignResult& result,
+                    std::size_t first_run, std::size_t last_run,
+                    const obs::CampaignTraceCollector* trace) override;
+
+  std::uint64_t key() const noexcept { return key_; }
+  const std::string& path() const noexcept { return log_->path(); }
+  const exec::ShardPlan& plan() const noexcept { return plan_; }
+
+  /// Committed shards found on disk at open time (always a prefix).
+  std::size_t committed_prefix() const noexcept { return prefix_; }
+
+  Stats stats() const;
+
+  /// Discard the checkpoint files — the campaign completed and its
+  /// result was persisted upstream (JSONL, result store).
+  void remove();
+
+ private:
+  std::string dir_;
+  std::string manifest_text_;
+  std::string manifest_payload_;
+  std::uint64_t key_ = 0;
+  exec::ShardPlan plan_;
+  std::optional<DurableLog> log_;
+  std::vector<std::string> payloads_;  ///< replayed shard payloads by index
+  std::size_t prefix_ = 0;
+  bool reused_ = false;
+  std::size_t resumed_ = 0;
+  std::size_t committed_ = 0;
+  StringInterner names_;
+};
+
+}  // namespace pckpt::ckpt

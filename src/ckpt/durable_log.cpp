@@ -1,0 +1,272 @@
+#include "ckpt/durable_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+
+namespace pckpt::ckpt {
+
+namespace {
+
+constexpr char kRecordMagic[4] = {'P', 'C', 'K', 'R'};
+constexpr char kJournalMagic[4] = {'P', 'C', 'K', 'J'};
+constexpr std::size_t kRecordHeader = 32;   // magic, len, key, 2 checksums
+constexpr std::size_t kJournalHeader = 40;  // + state word and log size
+constexpr std::uint32_t kJournalArmed = 1;
+
+// Test hook: bytes of physical writes remaining before the process is
+// killed mid-write. Negative = disabled.
+std::atomic<long long> g_write_fault_budget{-1};
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(),
+                          "DurableLog: " + what);
+}
+
+/// pwrite that honors the crash-injection budget: when the budget runs
+/// out mid-buffer, the written prefix is left on disk (a torn write at
+/// an arbitrary byte offset) and the process exits immediately — the
+/// closest userspace approximation of power loss the tests can stage.
+void xpwrite(int fd, const char* data, std::size_t len, std::uint64_t off) {
+  while (len > 0) {
+    std::size_t chunk = len;
+    bool fault = false;
+    const long long budget = g_write_fault_budget.load();
+    if (budget >= 0 && static_cast<unsigned long long>(budget) < chunk) {
+      chunk = static_cast<std::size_t>(budget);
+      fault = true;
+    }
+    if (chunk > 0) {
+      const ssize_t n = ::pwrite(fd, data, chunk, static_cast<off_t>(off));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        fail("pwrite");
+      }
+      const auto wrote = static_cast<std::size_t>(n);
+      data += wrote;
+      len -= wrote;
+      off += wrote;
+      if (budget >= 0) {
+        g_write_fault_budget.fetch_sub(static_cast<long long>(wrote));
+      }
+    }
+    if (fault) {
+      ::fsync(fd);
+      ::_exit(kWriteFaultExitCode);
+    }
+  }
+}
+
+void xfsync(int fd) {
+  if (::fsync(fd) != 0) fail("fsync");
+}
+
+void xtruncate(int fd, std::uint64_t size) {
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) fail("ftruncate");
+}
+
+std::uint64_t file_size(int fd) {
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) fail("lseek");
+  return static_cast<std::uint64_t>(end);
+}
+
+std::string read_all(int fd, std::uint64_t size) {
+  std::string out(static_cast<std::size_t>(size), '\0');
+  std::size_t got = 0;
+  while (got < out.size()) {
+    const ssize_t n = ::pread(fd, out.data() + got, out.size() - got,
+                              static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("pread");
+    }
+    if (n == 0) break;  // racing truncation: treat the rest as torn
+    got += static_cast<std::size_t>(n);
+  }
+  out.resize(got);
+  return out;
+}
+
+/// Frame one record: 32-byte header + payload.
+void frame_record(std::string& out, std::uint64_t key,
+                  std::string_view payload) {
+  if (payload.size() > 0xffffffffull) {
+    throw std::invalid_argument("DurableLog: payload too large");
+  }
+  const std::size_t header_at = out.size();
+  out.append(kRecordMagic, sizeof(kRecordMagic));
+  wire::put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  wire::put_u64(out, key);
+  wire::put_u64(out, fnv1a64(payload));
+  wire::put_u64(out, fnv1a64(std::string_view(out.data() + header_at, 24)));
+  out.append(payload);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+void DurableLog::set_write_fault_budget(long long bytes) {
+  g_write_fault_budget.store(bytes);
+}
+
+DurableLog::DurableLog(std::string path, const ReplayFn& on_record)
+    : path_(std::move(path)), journal_path_(path_ + ".journal") {
+  log_fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (log_fd_ < 0) fail("open " + path_);
+  journal_fd_ =
+      ::open(journal_path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (journal_fd_ < 0) fail("open " + journal_path_);
+  recover(on_record);
+}
+
+DurableLog::~DurableLog() {
+  if (log_fd_ >= 0) ::close(log_fd_);
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+}
+
+void DurableLog::recover(const ReplayFn& on_record) {
+  // Phase 1: replay an armed, checksum-valid journal. A journal that
+  // fails validation was torn while being written, which means the log
+  // append never started — discarding it loses only the uncommitted
+  // group.
+  const std::uint64_t jsize = file_size(journal_fd_);
+  if (jsize >= kJournalHeader) {
+    const std::string j = read_all(journal_fd_, jsize);
+    const bool header_ok =
+        j.size() >= kJournalHeader &&
+        std::memcmp(j.data(), kJournalMagic, sizeof(kJournalMagic)) == 0 &&
+        wire::get_u64(j.data() + 32) ==
+            fnv1a64(std::string_view(j.data(), 32));
+    if (header_ok && wire::get_u32(j.data() + 4) == kJournalArmed) {
+      const std::uint64_t log_size_before = wire::get_u64(j.data() + 8);
+      const std::uint64_t group_len = wire::get_u64(j.data() + 16);
+      const std::uint64_t group_fnv = wire::get_u64(j.data() + 24);
+      if (j.size() >= kJournalHeader + group_len &&
+          fnv1a64(std::string_view(j.data() + kJournalHeader,
+                                   static_cast<std::size_t>(group_len))) ==
+              group_fnv) {
+        // The commit point was reached: make the log reflect exactly
+        // log-before + group, regardless of how far the crashed append
+        // got. Idempotent — safe to repeat on every reopen.
+        xtruncate(log_fd_, log_size_before);
+        xpwrite(log_fd_, j.data() + kJournalHeader,
+                static_cast<std::size_t>(group_len), log_size_before);
+        xfsync(log_fd_);
+        replayed_journal_ = true;
+      }
+    }
+  }
+  xtruncate(journal_fd_, 0);
+  xfsync(journal_fd_);
+
+  // Phase 2: scan the log, handing every intact frame to the replay
+  // callback; truncate at the first bad one (torn tail from a crash
+  // that never reached the journal commit point).
+  const std::uint64_t size = file_size(log_fd_);
+  const std::string log = read_all(log_fd_, size);
+  std::size_t off = 0;
+  while (true) {
+    if (log.size() - off < kRecordHeader) break;
+    const char* h = log.data() + off;
+    if (std::memcmp(h, kRecordMagic, sizeof(kRecordMagic)) != 0) break;
+    if (wire::get_u64(h + 24) != fnv1a64(std::string_view(h, 24))) break;
+    const std::uint32_t len = wire::get_u32(h + 4);
+    if (log.size() - off - kRecordHeader < len) break;
+    const std::string_view payload(h + kRecordHeader, len);
+    if (fnv1a64(payload) != wire::get_u64(h + 16)) break;
+    if (on_record) on_record(wire::get_u64(h + 8), payload);
+    ++frames_;
+    off += kRecordHeader + len;
+  }
+  if (off < log.size()) {
+    truncated_bytes_ = log.size() - off;
+    xtruncate(log_fd_, off);
+    xfsync(log_fd_);
+  }
+  log_size_ = off;
+}
+
+void DurableLog::append_group_locked(std::string_view group_bytes,
+                                     std::size_t frames) {
+  if (log_fd_ < 0) {
+    throw std::logic_error("DurableLog: append after remove_files()");
+  }
+  // Step 1-2: journal header + group bytes, one fsync. This fsync is
+  // the commit point.
+  std::string j;
+  j.reserve(kJournalHeader + group_bytes.size());
+  j.append(kJournalMagic, sizeof(kJournalMagic));
+  wire::put_u32(j, kJournalArmed);
+  wire::put_u64(j, log_size_);
+  wire::put_u64(j, group_bytes.size());
+  wire::put_u64(j, fnv1a64(group_bytes));
+  wire::put_u64(j, fnv1a64(std::string_view(j.data(), 32)));
+  j.append(group_bytes);
+  xpwrite(journal_fd_, j.data(), j.size(), 0);
+  xfsync(journal_fd_);
+
+  // Step 3: the real append.
+  xpwrite(log_fd_, group_bytes.data(), group_bytes.size(), log_size_);
+  xfsync(log_fd_);
+  log_size_ += group_bytes.size();
+  frames_ += frames;
+
+  // Step 4: disarm. A crash between 3 and 4 just replays the identical
+  // group on reopen.
+  xtruncate(journal_fd_, 0);
+  xfsync(journal_fd_);
+}
+
+void DurableLog::append(std::uint64_t key, std::string_view payload) {
+  std::string group;
+  frame_record(group, key, payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  append_group_locked(group, 1);
+}
+
+void DurableLog::append_group(
+    const std::vector<std::pair<std::uint64_t, std::string>>& group) {
+  if (group.empty()) return;
+  std::string bytes;
+  for (const auto& [key, payload] : group) {
+    frame_record(bytes, key, payload);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  append_group_locked(bytes, group.size());
+}
+
+DurableLog::Stats DurableLog::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.frames = frames_;
+  s.log_bytes = log_size_;
+  s.replayed_journal = replayed_journal_;
+  s.truncated_bytes = truncated_bytes_;
+  return s;
+}
+
+void DurableLog::remove_files() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (log_fd_ >= 0) ::close(log_fd_);
+  if (journal_fd_ >= 0) ::close(journal_fd_);
+  log_fd_ = -1;
+  journal_fd_ = -1;
+  ::unlink(path_.c_str());
+  ::unlink(journal_path_.c_str());
+}
+
+}  // namespace pckpt::ckpt

@@ -1,0 +1,188 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+/// \file durable_log.hpp
+/// The crash-safe append-only record log shared by the serving layer's
+/// `ResultStore` and the campaign checkpointer (docs/CHECKPOINTING.md,
+/// docs/SERVING.md). Extracted from the PR-6 result store so both
+/// subsystems run the *same* doublewrite machinery and the same
+/// crash-injection tests.
+///
+/// On-disk layout — two files:
+///
+///  - `PATH` — the record log: a sequence of framed records, each
+///    `[32-byte header][payload bytes]`. Header (all integers
+///    little-endian): magic "PCKR", payload length (u32), record key
+///    (u64), FNV-1a/64 of the payload (u64), FNV-1a/64 of the first
+///    24 header bytes (u64). Records are append-only; re-appending a
+///    key adds a superseding frame (callers decide last-wins or reject).
+///
+///  - `PATH.journal` — the doublewrite journal: a 40-byte header
+///    (magic "PCKJ", state word, log size before the group, group
+///    length, group FNV, header FNV) followed by the exact group bytes
+///    about to be appended to the log.
+///
+/// Commit protocol (group commit — one fsync pair for N records):
+///   1. frame the group in memory;
+///   2. write header+group to the journal, fsync — *the commit point*;
+///   3. append the group to the log at `log_size_before`, fsync;
+///   4. truncate the journal to zero, fsync.
+/// A crash before (2) completes leaves a torn journal and an untouched
+/// log: the group is simply lost, prior records intact. A crash after
+/// (2) leaves an armed journal: recovery replays the group into the
+/// log (idempotently — it truncates to `log_size_before` first), so
+/// the group is durable the moment the journal fsync returns.
+///
+/// Recovery on open: replay an armed journal if its checksums hold
+/// (discard it otherwise — the log was never touched), then scan the
+/// log frame by frame, invoking the replay callback per intact frame,
+/// and truncate at the first bad frame (torn tail). Committed records
+/// are never dropped by recovery; the fork-based crash harness
+/// (tests/support/crash_harness.hpp) injects write faults at randomized
+/// byte offsets to prove it for both client subsystems.
+
+namespace pckpt::ckpt {
+
+/// FNV-1a over arbitrary bytes (64-bit, offset 0xcbf29ce484222325,
+/// prime 0x100000001b3). The checksum of every frame and the hash
+/// behind serve's cache keys and the checkpointer's manifest keys.
+std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// Exit status of a process killed by the write-fault injection hook
+/// (`set_write_fault_budget`); the crash harness keys on it.
+inline constexpr int kWriteFaultExitCode = 42;
+
+/// Little-endian byte (de)serialization helpers shared by the log
+/// framing and the checkpointer's shard payload codec. Doubles travel
+/// as their IEEE-754 bit patterns so round trips are bit-exact.
+namespace wire {
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xffu));
+  out.push_back(static_cast<char>((v >> 8) & 0xffu));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+inline void put_f64(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+inline std::uint16_t get_u16(const char* p) {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(p[0]) |
+      (static_cast<std::uint16_t>(static_cast<unsigned char>(p[1])) << 8));
+}
+
+inline std::uint32_t get_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t get_u64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+inline double get_f64(const char* p) {
+  const std::uint64_t bits = get_u64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace wire
+
+class DurableLog {
+ public:
+  struct Stats {
+    std::size_t frames = 0;         ///< intact frames (replayed + appended)
+    std::uint64_t log_bytes = 0;    ///< current log size
+    bool replayed_journal = false;  ///< recovery replayed an armed journal
+    std::uint64_t truncated_bytes = 0;  ///< torn tail discarded on open
+  };
+
+  /// Invoked once per intact frame during recovery, in log order (so a
+  /// superseding re-append of a key arrives after the frame it
+  /// supersedes — last-wins for map-building callers).
+  using ReplayFn =
+      std::function<void(std::uint64_t key, std::string_view payload)>;
+
+  /// Opens (creating if absent) and recovers the log at `path`;
+  /// `PATH.journal` sits beside it. `on_record` may be empty.
+  /// \throws std::system_error on I/O errors.
+  explicit DurableLog(std::string path, const ReplayFn& on_record = {});
+  ~DurableLog();
+
+  DurableLog(const DurableLog&) = delete;
+  DurableLog& operator=(const DurableLog&) = delete;
+
+  /// Durably append one framed record. When this returns, the record
+  /// survives any crash. Thread-safe.
+  void append(std::uint64_t key, std::string_view payload);
+
+  /// Group commit: all records become durable together with a single
+  /// journal-fsync/log-fsync pair. Either the whole group survives a
+  /// crash or none of it does.
+  void append_group(
+      const std::vector<std::pair<std::uint64_t, std::string>>& group);
+
+  Stats stats() const;
+  const std::string& path() const noexcept { return path_; }
+
+  /// Close the descriptors and unlink both files. The log is unusable
+  /// afterwards (appends throw); used to discard a finished checkpoint.
+  void remove_files();
+
+  /// Test hook: after `bytes` further bytes have been physically
+  /// written (across log and journal), the writing process exits with
+  /// `kWriteFaultExitCode` mid-write, leaving a torn file exactly at
+  /// that offset. Negative disables (the default). Driven by the
+  /// fork-based crash harness; never enabled in production processes.
+  static void set_write_fault_budget(long long bytes);
+
+ private:
+  void recover(const ReplayFn& on_record);
+  void append_group_locked(std::string_view group_bytes, std::size_t frames);
+
+  std::string path_;
+  std::string journal_path_;
+  int log_fd_ = -1;
+  int journal_fd_ = -1;
+  std::uint64_t log_size_ = 0;
+  std::size_t frames_ = 0;
+  bool replayed_journal_ = false;
+  std::uint64_t truncated_bytes_ = 0;
+  mutable std::mutex mu_;
+};
+
+}  // namespace pckpt::ckpt

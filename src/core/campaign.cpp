@@ -1,5 +1,7 @@
 #include "core/campaign.hpp"
 
+#include <mutex>
+
 #include "obs/collector.hpp"
 #include "obs/profiler.hpp"
 #include "random/rng.hpp"
@@ -71,17 +73,49 @@ CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
                             std::size_t runs, std::uint64_t base_seed,
                             exec::Executor& ex,
                             const exec::ProgressHook& progress,
-                            obs::CampaignTraceCollector* trace) {
+                            obs::CampaignTraceCollector* trace,
+                            CampaignCheckpointSink* ckpt) {
   // Size the per-trial slots before any worker can touch them; after this
   // the collector is data-race free (one slot per task, no growth).
   if (trace != nullptr) trace->reset(runs);
   const auto plan = exec::plan_shards(runs);
   std::vector<CampaignResult> shards(plan.count());
+
+  // Resume: load committed shards in ascending order until the first
+  // miss. Commits below are strictly ascending, so the committed set on
+  // disk is a prefix and stopping at the first miss loses nothing.
+  std::size_t resumed = 0;
+  if (ckpt != nullptr) {
+    while (resumed < plan.count() &&
+           ckpt->load_shard(resumed, shards[resumed], trace)) {
+      ++resumed;
+    }
+  }
+
+  // Commit bookkeeping: shards complete in any order under a pool, but
+  // become durable strictly in ascending shard order — the same order
+  // they merge in. A crash at any point leaves a committed prefix.
+  std::mutex commit_mu;
+  std::size_t next_commit = resumed;
+  std::vector<unsigned char> completed(plan.count(), 0);
+  for (std::size_t i = 0; i < resumed; ++i) completed[i] = 1;
+
   exec::run_sharded(
       ex, plan,
       [&](std::size_t shard, std::size_t begin, std::size_t end) {
-        shards[shard] =
-            run_campaign_shard(base, config, begin, end, base_seed, trace);
+        if (shard >= resumed) {
+          shards[shard] =
+              run_campaign_shard(base, config, begin, end, base_seed, trace);
+        }
+        if (ckpt == nullptr) return;
+        std::lock_guard<std::mutex> lock(commit_mu);
+        completed[shard] = 1;
+        while (next_commit < plan.count() && completed[next_commit] != 0) {
+          ckpt->commit_shard(next_commit, shards[next_commit],
+                             plan.begin(next_commit), plan.end(next_commit),
+                             trace);
+          ++next_commit;
+        }
       },
       progress);
 

@@ -90,6 +90,40 @@ struct CampaignResult {
   }
 };
 
+/// Shard-granular persistence seam for `run_campaign`, implemented by
+/// `ckpt::CampaignCheckpointer` (src/ckpt/campaign_ckpt.hpp,
+/// docs/CHECKPOINTING.md). Core knows only this interface so the
+/// dependency points ckpt -> core.
+///
+/// Engine contract:
+///  - Before dispatch, `load_shard` is called for shards 0, 1, 2, ...
+///    until the first `false`; loaded shards are not re-executed. The
+///    commit order below guarantees the committed set is a prefix, so
+///    stopping at the first miss loses nothing.
+///  - After execution, `commit_shard` is called exactly once per
+///    executed shard in strictly ascending shard order (calls are
+///    serialized; workers may keep simulating while another thread
+///    commits). A crash at any byte therefore leaves a committed
+///    prefix, and a resumed campaign merges to bit-identical results.
+class CampaignCheckpointSink {
+ public:
+  virtual ~CampaignCheckpointSink() = default;
+
+  /// Load the committed result of `shard` into `out`; when `trace` is
+  /// non-null, also replay the shard's trial events into the
+  /// collector's slots. Returns false when the shard is not committed
+  /// or cannot satisfy the trace request (the engine then executes it).
+  virtual bool load_shard(std::size_t shard, CampaignResult& out,
+                          obs::CampaignTraceCollector* trace) = 0;
+
+  /// Durably persist `shard` covering trials `[first_run, last_run)`.
+  /// `trace` is the campaign collector when tracing (the shard's slots
+  /// are final), nullptr otherwise.
+  virtual void commit_shard(std::size_t shard, const CampaignResult& result,
+                            std::size_t first_run, std::size_t last_run,
+                            const obs::CampaignTraceCollector* trace) = 0;
+};
+
 /// Serially simulate trials `[first_run, last_run)` of a campaign; trial
 /// `i` uses seed `derive_seed(base_seed, i)` — keyed on the global trial
 /// index, so the result is independent of how trials are sharded.
@@ -107,11 +141,16 @@ CampaignResult run_campaign_shard(const RunSetup& base, const CrConfig& config,
 /// regardless of `ex`'s concurrency. A non-null `trace` is reset to `runs`
 /// slots before dispatch and collects every trial's semantic events; the
 /// collected bytes are `--jobs`-independent (see obs/collector.hpp).
+/// A non-null `ckpt` resumes from the committed shard prefix and commits
+/// every executed shard in ascending order (see CampaignCheckpointSink);
+/// resumed shards still count toward `progress` so callers see a full
+/// shard tally either way.
 CampaignResult run_campaign(const RunSetup& base, const CrConfig& config,
                             std::size_t runs, std::uint64_t base_seed,
                             exec::Executor& ex,
                             const exec::ProgressHook& progress = {},
-                            obs::CampaignTraceCollector* trace = nullptr);
+                            obs::CampaignTraceCollector* trace = nullptr,
+                            CampaignCheckpointSink* ckpt = nullptr);
 
 /// Serial convenience overload (tests, examples): same chunked schedule on
 /// an inline executor, so it matches the parallel path bit-for-bit.

@@ -162,13 +162,16 @@ class UnorderedIterRule final : public Rule {
   std::string_view id() const override { return "unordered-iter"; }
   std::string_view waiver_slug() const override { return "unordered-iter-ok"; }
   std::string_view summary() const override {
-    return "ban iterating unordered containers in src/sim|core|obs|serve";
+    return "ban iterating unordered containers in "
+           "src/sim|core|obs|serve|ckpt";
   }
   void check(const FileContext& ctx, std::vector<Finding>& out) const override {
-    // src/serve/ is in scope because its payloads are cached byte-for-
-    // byte: any iteration-order wobble would poison the store forever.
+    // src/serve/ and src/ckpt/ are in scope because their payloads are
+    // persisted byte-for-byte: any iteration-order wobble would poison
+    // the store — or the resume path — forever.
     if (!ctx.in_dir("src/sim/") && !ctx.in_dir("src/core/") &&
-        !ctx.in_dir("src/obs/") && !ctx.in_dir("src/serve/"))
+        !ctx.in_dir("src/obs/") && !ctx.in_dir("src/serve/") &&
+        !ctx.in_dir("src/ckpt/"))
       return;
     const auto names =
         declared_names(ctx, {"unordered_map", "unordered_set",

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "ckpt/durable_log.hpp"
+
 namespace pckpt::serve {
 
 CanonicalQuery canonicalize(std::string_view mode, std::string_view model,
@@ -139,12 +141,9 @@ std::string canonical_text(const CanonicalQuery& q) {
 }
 
 std::uint64_t fnv1a64(std::string_view bytes) noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ull;
-  }
-  return h;
+  // One hash for the whole project: frames, cache keys, and checkpoint
+  // manifest keys all use the ckpt layer's implementation.
+  return ckpt::fnv1a64(bytes);
 }
 
 std::uint64_t cache_key(const CanonicalQuery& q) {

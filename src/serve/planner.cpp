@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 
 #include "analysis/analytic_model.hpp"
+#include "ckpt/campaign_ckpt.hpp"
 #include "analysis/waste_model.hpp"
 #include "core/oci.hpp"
 #include "core/simulation.hpp"
@@ -195,12 +197,13 @@ EstimateBreakdown estimate_query(const Planner::Resolved& r,
 // ---------------------------------------------------------------------
 
 Planner::Planner(core::Scenario scenario, AdmissionConfig admission,
-                 ResultStore& store)
+                 ResultStore& store, std::string checkpoint_dir)
     : scenario_(std::move(scenario)),
       storage_(scenario_.machine.make_storage()),
       leads_(failure::LeadTimeModel::summit_default()),
       gate_(admission),
-      store_(store) {}
+      store_(store),
+      checkpoint_dir_(std::move(checkpoint_dir)) {}
 
 Planner::Resolved Planner::resolve(const QuerySpec& spec) const {
   Resolved r;
@@ -322,13 +325,29 @@ Planner::Outcome Planner::answer(const QuerySpec& spec,
   setup.system = &r.system;
   setup.leads = &leads_;
   exec::SerialExecutor ex;
-  const core::CampaignResult result =
-      core::run_campaign(setup, r.cr, static_cast<std::size_t>(spec.runs),
-                         spec.seed, ex, progress);
+
+  // With checkpointing on, the campaign commits each shard as it goes
+  // and resumes a killed daemon's committed prefix. The checkpoint is
+  // keyed by the canonical query text, so only the same exact query
+  // resumes it; it is discarded once the payload is durably memoized.
+  std::optional<ckpt::CampaignCheckpointer> checkpointer;
+  if (!checkpoint_dir_.empty()) {
+    checkpointer.emplace(checkpoint_dir_, canonical_text(r.canonical),
+                         static_cast<std::size_t>(spec.runs), /*resume=*/true);
+  }
+  const core::CampaignResult result = core::run_campaign(
+      setup, r.cr, static_cast<std::size_t>(spec.runs), spec.seed, ex,
+      progress, /*trace=*/nullptr, checkpointer ? &*checkpointer : nullptr);
   out.payload = render_exact_payload(r.canonical, result);
   store_.put(r.key, out.payload);
   std::lock_guard<std::mutex> lock(counters_mu_);
   ++counters_.exact_misses;
+  if (checkpointer) {
+    const auto cs = checkpointer->stats();
+    counters_.shards_resumed += cs.resumed;
+    counters_.shards_executed += cs.committed;
+    checkpointer->remove();
+  }
   return out;
 }
 

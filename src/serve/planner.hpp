@@ -96,13 +96,20 @@ class Planner {
     std::size_t exact_misses = 0;
     std::size_t rejected = 0;
     std::size_t inflight = 0;
+    std::size_t shards_executed = 0;  ///< tier-B shards simulated
+    std::size_t shards_resumed = 0;   ///< tier-B shards loaded from checkpoint
   };
 
   /// `scenario`: a core::Scenario the daemon serves (its machine,
   /// default CrConfig and failure system; its applications joined with
   /// the built-in Summit workload table for name resolution).
+  /// A non-empty `checkpoint_dir` enables campaign checkpointing
+  /// (docs/CHECKPOINTING.md): tier-B campaigns commit each shard to
+  /// `checkpoint_dir` and, after a daemon crash/restart, resume from the
+  /// committed prefix instead of re-simulating it. The checkpoint is
+  /// removed once the finished payload is in the ResultStore.
   Planner(core::Scenario scenario, AdmissionConfig admission,
-          ResultStore& store);
+          ResultStore& store, std::string checkpoint_dir = {});
 
   /// Resolved, validated form of a QuerySpec.
   struct Resolved {
@@ -133,6 +140,7 @@ class Planner {
   failure::LeadTimeModel leads_;
   AdmissionGate gate_;
   ResultStore& store_;
+  std::string checkpoint_dir_;
   mutable std::mutex counters_mu_;
   Counters counters_;
 };

@@ -1,276 +1,28 @@
 #include "serve/result_store.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <atomic>
-#include <cerrno>
-#include <cstring>
-#include <stdexcept>
-#include <system_error>
-
-#include "serve/cache_key.hpp"
-
 namespace pckpt::serve {
 
-namespace {
-
-constexpr char kRecordMagic[4] = {'P', 'C', 'K', 'R'};
-constexpr char kJournalMagic[4] = {'P', 'C', 'K', 'J'};
-constexpr std::size_t kRecordHeader = 32;   // magic, len, key, 2 checksums
-constexpr std::size_t kJournalHeader = 40;  // + state word and log size
-constexpr std::uint32_t kJournalArmed = 1;
-
-// Test hook: bytes of physical writes remaining before the process is
-// killed mid-write. Negative = disabled.
-std::atomic<long long> g_write_fault_budget{-1};
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
-  }
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
-  }
-}
-
-std::uint32_t get_u32(const char* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
-         << (8 * i);
-  }
-  return v;
-}
-
-std::uint64_t get_u64(const char* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
-         << (8 * i);
-  }
-  return v;
-}
-
-[[noreturn]] void fail(const std::string& what) {
-  throw std::system_error(errno, std::generic_category(),
-                          "ResultStore: " + what);
-}
-
-/// pwrite that honors the crash-injection budget: when the budget runs
-/// out mid-buffer, the written prefix is left on disk (a torn write at
-/// an arbitrary byte offset) and the process exits immediately — the
-/// closest userspace approximation of power loss the tests can stage.
-void xpwrite(int fd, const char* data, std::size_t len, std::uint64_t off) {
-  while (len > 0) {
-    std::size_t chunk = len;
-    bool fault = false;
-    const long long budget = g_write_fault_budget.load();
-    if (budget >= 0 && static_cast<unsigned long long>(budget) < chunk) {
-      chunk = static_cast<std::size_t>(budget);
-      fault = true;
-    }
-    if (chunk > 0) {
-      const ssize_t n = ::pwrite(fd, data, chunk, static_cast<off_t>(off));
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        fail("pwrite");
-      }
-      const auto wrote = static_cast<std::size_t>(n);
-      data += wrote;
-      len -= wrote;
-      off += wrote;
-      if (budget >= 0) {
-        g_write_fault_budget.fetch_sub(static_cast<long long>(wrote));
-      }
-    }
-    if (fault) {
-      ::fsync(fd);
-      ::_exit(42);
-    }
-  }
-}
-
-void xfsync(int fd) {
-  if (::fsync(fd) != 0) fail("fsync");
-}
-
-void xtruncate(int fd, std::uint64_t size) {
-  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) fail("ftruncate");
-}
-
-std::uint64_t file_size(int fd) {
-  const off_t end = ::lseek(fd, 0, SEEK_END);
-  if (end < 0) fail("lseek");
-  return static_cast<std::uint64_t>(end);
-}
-
-std::string read_all(int fd, std::uint64_t size) {
-  std::string out(static_cast<std::size_t>(size), '\0');
-  std::size_t got = 0;
-  while (got < out.size()) {
-    const ssize_t n = ::pread(fd, out.data() + got, out.size() - got,
-                              static_cast<off_t>(got));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      fail("pread");
-    }
-    if (n == 0) break;  // racing truncation: treat the rest as torn
-    got += static_cast<std::size_t>(n);
-  }
-  out.resize(got);
-  return out;
-}
-
-/// Frame one record: 32-byte header + payload.
-void frame_record(std::string& out, std::uint64_t key,
-                  std::string_view payload) {
-  if (payload.size() > 0xffffffffull) {
-    throw std::invalid_argument("ResultStore: payload too large");
-  }
-  const std::size_t header_at = out.size();
-  out.append(kRecordMagic, sizeof(kRecordMagic));
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  put_u64(out, key);
-  put_u64(out, fnv1a64(payload));
-  put_u64(out, fnv1a64(std::string_view(out.data() + header_at, 24)));
-  out.append(payload);
-}
-
-}  // namespace
-
 void ResultStore::set_write_fault_budget(long long bytes) {
-  g_write_fault_budget.store(bytes);
+  ckpt::DurableLog::set_write_fault_budget(bytes);
 }
 
 ResultStore::ResultStore(std::string path)
-    : path_(std::move(path)), journal_path_(path_ + ".journal") {
-  log_fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (log_fd_ < 0) fail("open " + path_);
-  journal_fd_ =
-      ::open(journal_path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
-  if (journal_fd_ < 0) fail("open " + journal_path_);
-  recover();
-}
-
-ResultStore::~ResultStore() {
-  if (log_fd_ >= 0) ::close(log_fd_);
-  if (journal_fd_ >= 0) ::close(journal_fd_);
-}
-
-void ResultStore::recover() {
-  // Phase 1: replay an armed, checksum-valid journal. A journal that
-  // fails validation was torn while being written, which means the log
-  // append never started — discarding it loses only the uncommitted
-  // group.
-  const std::uint64_t jsize = file_size(journal_fd_);
-  if (jsize >= kJournalHeader) {
-    const std::string j = read_all(journal_fd_, jsize);
-    const bool header_ok =
-        j.size() >= kJournalHeader &&
-        std::memcmp(j.data(), kJournalMagic, sizeof(kJournalMagic)) == 0 &&
-        get_u64(j.data() + 32) ==
-            fnv1a64(std::string_view(j.data(), 32));
-    if (header_ok && get_u32(j.data() + 4) == kJournalArmed) {
-      const std::uint64_t log_size_before = get_u64(j.data() + 8);
-      const std::uint64_t group_len = get_u64(j.data() + 16);
-      const std::uint64_t group_fnv = get_u64(j.data() + 24);
-      if (j.size() >= kJournalHeader + group_len &&
-          fnv1a64(std::string_view(j.data() + kJournalHeader,
-                                   static_cast<std::size_t>(group_len))) ==
-              group_fnv) {
-        // The commit point was reached: make the log reflect exactly
-        // log-before + group, regardless of how far the crashed append
-        // got. Idempotent — safe to repeat on every reopen.
-        xtruncate(log_fd_, log_size_before);
-        xpwrite(log_fd_, j.data() + kJournalHeader,
-                static_cast<std::size_t>(group_len), log_size_before);
-        xfsync(log_fd_);
-        replayed_journal_ = true;
-      }
-    }
-  }
-  xtruncate(journal_fd_, 0);
-  xfsync(journal_fd_);
-
-  // Phase 2: scan the log, indexing every intact frame; truncate at the
-  // first bad one (torn tail from a crash that never reached the
-  // journal commit point).
-  const std::uint64_t size = file_size(log_fd_);
-  const std::string log = read_all(log_fd_, size);
-  std::size_t off = 0;
-  while (true) {
-    if (log.size() - off < kRecordHeader) break;
-    const char* h = log.data() + off;
-    if (std::memcmp(h, kRecordMagic, sizeof(kRecordMagic)) != 0) break;
-    if (get_u64(h + 24) != fnv1a64(std::string_view(h, 24))) break;
-    const std::uint32_t len = get_u32(h + 4);
-    if (log.size() - off - kRecordHeader < len) break;
-    const std::string_view payload(h + kRecordHeader, len);
-    if (fnv1a64(payload) != get_u64(h + 16)) break;
-    index_[get_u64(h + 8)] = std::string(payload);
-    ++log_records_;
-    off += kRecordHeader + len;
-  }
-  if (off < log.size()) {
-    truncated_bytes_ = log.size() - off;
-    xtruncate(log_fd_, off);
-    xfsync(log_fd_);
-  }
-  log_size_ = off;
-}
-
-void ResultStore::append_group_locked(std::string_view group_bytes) {
-  // Step 1-2: journal header + group bytes, one fsync. This fsync is
-  // the commit point.
-  std::string j;
-  j.reserve(kJournalHeader + group_bytes.size());
-  j.append(kJournalMagic, sizeof(kJournalMagic));
-  put_u32(j, kJournalArmed);
-  put_u64(j, log_size_);
-  put_u64(j, group_bytes.size());
-  put_u64(j, fnv1a64(group_bytes));
-  put_u64(j, fnv1a64(std::string_view(j.data(), 32)));
-  j.append(group_bytes);
-  xpwrite(journal_fd_, j.data(), j.size(), 0);
-  xfsync(journal_fd_);
-
-  // Step 3: the real append.
-  xpwrite(log_fd_, group_bytes.data(), group_bytes.size(), log_size_);
-  xfsync(log_fd_);
-  log_size_ += group_bytes.size();
-
-  // Step 4: disarm. A crash between 3 and 4 just replays the identical
-  // group on reopen.
-  xtruncate(journal_fd_, 0);
-  xfsync(journal_fd_);
-}
+    : log_(std::move(path), [this](std::uint64_t key, std::string_view payload) {
+        index_[key] = std::string(payload);  // replay order: last put wins
+      }) {}
 
 void ResultStore::put(std::uint64_t key, std::string_view payload) {
-  std::string group;
-  frame_record(group, key, payload);
   std::lock_guard<std::mutex> lock(mu_);
-  append_group_locked(group);
+  log_.append(key, payload);
   index_[key] = std::string(payload);
-  ++log_records_;
 }
 
 void ResultStore::put_group(
     const std::vector<std::pair<std::uint64_t, std::string>>& group) {
   if (group.empty()) return;
-  std::string bytes;
-  for (const auto& [key, payload] : group) {
-    frame_record(bytes, key, payload);
-  }
   std::lock_guard<std::mutex> lock(mu_);
-  append_group_locked(bytes);
-  for (const auto& [key, payload] : group) {
-    index_[key] = payload;
-    ++log_records_;
-  }
+  log_.append_group(group);
+  for (const auto& [key, payload] : group) index_[key] = payload;
 }
 
 std::optional<std::string> ResultStore::lookup(std::uint64_t key) const {
@@ -282,12 +34,13 @@ std::optional<std::string> ResultStore::lookup(std::uint64_t key) const {
 
 ResultStore::Stats ResultStore::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
+  const ckpt::DurableLog::Stats ls = log_.stats();
   Stats s;
   s.records = index_.size();
-  s.log_records = log_records_;
-  s.log_bytes = log_size_;
-  s.replayed_journal = replayed_journal_;
-  s.truncated_bytes = truncated_bytes_;
+  s.log_records = ls.frames;
+  s.log_bytes = ls.log_bytes;
+  s.replayed_journal = ls.replayed_journal;
+  s.truncated_bytes = ls.truncated_bytes;
   return s;
 }
 

@@ -9,45 +9,22 @@
 #include <utility>
 #include <vector>
 
+#include "ckpt/durable_log.hpp"
+
 /// \file result_store.hpp
 /// Crash-safe memoized result store for the campaign service
-/// (docs/SERVING.md). The design goal is the classic doublewrite
-/// contract: a torn final write must never corrupt records that were
-/// already committed, and `put()` returning means the record survives
+/// (docs/SERVING.md): an in-memory key -> payload index on top of the
+/// shared `ckpt::DurableLog` (src/ckpt/durable_log.hpp), which owns the
+/// doublewrite commit protocol, torn-tail recovery, and the on-disk
+/// frame format. The store adds last-wins indexing — a re-`put` of an
+/// existing key appends a superseding record, so the log doubles as an
+/// audit trail — and `put()` returning still means the record survives
 /// any subsequent crash.
 ///
-/// On-disk layout — two files:
-///
-///  - `PATH` — the record log: a sequence of framed records, each
-///    `[32-byte header][payload bytes]`. Header (all integers
-///    little-endian): magic "PCKR", payload length (u32), cache key
-///    (u64), FNV-1a/64 of the payload (u64), FNV-1a/64 of the first
-///    24 header bytes (u64). Records are append-only; a re-`put` of an
-///    existing key appends a superseding record (last one wins on
-///    replay), so the log doubles as an audit trail.
-///
-///  - `PATH.journal` — the doublewrite journal: a 40-byte header
-///    (magic "PCKJ", state word, log size before the group, group
-///    length, group FNV, header FNV) followed by the exact group bytes
-///    about to be appended to the log.
-///
-/// Commit protocol (group commit — one fsync pair for N records):
-///   1. frame the group in memory;
-///   2. write header+group to the journal, fsync — *the commit point*;
-///   3. append the group to the log at `log_size_before`, fsync;
-///   4. truncate the journal to zero, fsync.
-/// A crash before (2) completes leaves a torn journal and an untouched
-/// log: the group is simply lost, prior records intact. A crash after
-/// (2) leaves an armed journal: recovery replays the group into the
-/// log (idempotently — it truncates to `log_size_before` first), so
-/// the group is durable the moment the journal fsync returns.
-///
-/// Recovery on open: replay an armed journal if its checksums hold
-/// (discard it otherwise — the log was never touched), then scan the
-/// log frame by frame and truncate at the first bad frame (torn tail
-/// from pre-journal crashes or external truncation). Committed records
-/// are never dropped by recovery; the tests inject write faults at
-/// randomized byte offsets to prove it (tests/serve/result_store_test).
+/// The format is unchanged from the pre-refactor store (PR 6), so
+/// existing store files reopen as-is; the campaign checkpointer
+/// (src/ckpt/campaign_ckpt.hpp) shares the same machinery and the same
+/// crash-injection test harness.
 
 namespace pckpt::serve {
 
@@ -64,7 +41,6 @@ class ResultStore {
   /// Opens (creating if absent) and recovers the store at `path`.
   /// \throws std::runtime_error on I/O errors.
   explicit ResultStore(std::string path);
-  ~ResultStore();
 
   ResultStore(const ResultStore&) = delete;
   ResultStore& operator=(const ResultStore&) = delete;
@@ -83,29 +59,19 @@ class ResultStore {
       const std::vector<std::pair<std::uint64_t, std::string>>& group);
 
   Stats stats() const;
-  const std::string& path() const noexcept { return path_; }
+  const std::string& path() const noexcept { return log_.path(); }
 
-  /// Test hook: after `bytes` further bytes have been physically
-  /// written (across log and journal), the writing process `_exit(42)`s
-  /// mid-write, leaving a torn file exactly at that offset. Pass a
-  /// negative value to disable (the default). Used by the fork-based
-  /// crash-injection tests; never enabled in the daemon.
+  /// Test hook, forwarded to `ckpt::DurableLog::set_write_fault_budget`:
+  /// kills the process mid-write once `bytes` further bytes have been
+  /// physically written. Negative disables (the default).
   static void set_write_fault_budget(long long bytes);
 
  private:
-  void recover();
-  void append_group_locked(std::string_view group_bytes);
-
-  std::string path_;
-  std::string journal_path_;
-  int log_fd_ = -1;
-  int journal_fd_ = -1;
-  std::uint64_t log_size_ = 0;
-  std::size_t log_records_ = 0;
-  bool replayed_journal_ = false;
-  std::uint64_t truncated_bytes_ = 0;
   // Ordered map: deterministic iteration for stats/debug dumps.
+  // Declared before log_ — the replay callback fills it while log_ is
+  // being constructed.
   std::map<std::uint64_t, std::string> index_;
+  ckpt::DurableLog log_;
   mutable std::mutex mu_;
 };
 

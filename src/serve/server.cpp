@@ -185,6 +185,9 @@ bool Server::handle_line(std::string_view line, int fd) {
       row.add("exact_misses", static_cast<std::uint64_t>(c.exact_misses));
       row.add("rejected", static_cast<std::uint64_t>(c.rejected));
       row.add("inflight", static_cast<std::uint64_t>(c.inflight));
+      row.add("shards_executed",
+              static_cast<std::uint64_t>(c.shards_executed));
+      row.add("shards_resumed", static_cast<std::uint64_t>(c.shards_resumed));
       return write_line(fd, row.str());
     }
     case Op::kQuery:

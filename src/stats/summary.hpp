@@ -41,6 +41,29 @@ class OnlineStats {
   /// Half-width of the ~95% confidence interval for the mean.
   double ci95_half_width() const noexcept { return 1.96 * sem(); }
 
+  /// Raw second central moment (sum of squared deviations from the
+  /// mean). Exposed so the checkpoint layer (src/ckpt/) can serialize
+  /// the accumulator exactly: (count, mean, m2, min, max) round-trips
+  /// bit-for-bit through from_moments(), where variance() alone would
+  /// not (it divides by n-1).
+  double m2() const noexcept { return m2_; }
+
+  /// Rebuild an accumulator from moments captured via the accessors
+  /// above. With `n == 0` every other argument is ignored and the
+  /// result equals a default-constructed object, matching what mean()/
+  /// min()/max() reported for the original.
+  static OnlineStats from_moments(std::size_t n, double mean_v, double m2_v,
+                                  double min_v, double max_v) noexcept {
+    OnlineStats s;
+    if (n == 0) return s;
+    s.n_ = n;
+    s.mean_ = mean_v;
+    s.m2_ = m2_v;
+    s.min_ = min_v;
+    s.max_ = max_v;
+    return s;
+  }
+
   void merge(const OnlineStats& o) {
     if (o.n_ == 0) return;
     if (n_ == 0) {

@@ -1,0 +1,410 @@
+#include "ckpt/campaign_ckpt.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "exec/thread_pool.hpp"
+#include "failure/lead_time_model.hpp"
+#include "failure/system_catalog.hpp"
+#include "obs/collector.hpp"
+#include "obs/trace_writer.hpp"
+#include "random/rng.hpp"
+#include "support/crash_harness.hpp"
+#include "workload/application.hpp"
+#include "workload/machine.hpp"
+
+namespace core = pckpt::core;
+namespace exec = pckpt::exec;
+namespace obs = pckpt::obs;
+namespace w = pckpt::workload;
+namespace f = pckpt::failure;
+namespace rnd = pckpt::rnd;
+using pckpt::ckpt::CampaignCheckpointer;
+using pckpt::ckpt::decode_shard;
+using pckpt::ckpt::DecodedShard;
+using pckpt::ckpt::encode_shard;
+using pckpt::ckpt::StringInterner;
+
+namespace {
+
+/// Shared fixture environment (built once: the PFS matrix is not free).
+struct World {
+  w::Machine machine = w::summit();
+  pckpt::iomodel::StorageModel storage = machine.make_storage();
+  f::LeadTimeModel leads = f::LeadTimeModel::summit_default();
+  const f::FailureSystem& titan = f::system_by_name("titan");
+
+  core::RunSetup setup(const w::Application& app) {
+    core::RunSetup s;
+    s.app = &app;
+    s.machine = &machine;
+    s.storage = &storage;
+    s.system = &titan;
+    s.leads = &leads;
+    return s;
+  }
+};
+
+World& world() {
+  static World w;
+  return w;
+}
+
+constexpr std::size_t kRuns = 40;  // 5 shards of kDefaultShardTrials = 8
+constexpr std::uint64_t kSeed = 2022;
+constexpr char kManifest[] = "campaign-ckpt-test/manifest-A";
+
+core::CrConfig config_for(core::ModelKind kind) {
+  core::CrConfig cfg;
+  cfg.kind = kind;
+  return cfg;
+}
+
+/// Bitwise result comparison via the codec itself: two results encode
+/// to the same bytes iff every moment and counter is bit-identical.
+std::string result_bytes(const core::CampaignResult& r) {
+  return encode_shard(r, nullptr, 0, 0);
+}
+
+class CampaignCkptTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/pckpt_campaign_ckpt_" + std::to_string(::getpid());
+    clear_dir();
+  }
+  void TearDown() override { clear_dir(); }
+
+  void clear_dir() {
+    // The checkpointer creates one flat directory of <hex>.ckpt files.
+    const std::string rm = "rm -rf " + dir_;
+    ASSERT_EQ(std::system(rm.c_str()), 0);
+  }
+
+  std::string dir_;
+};
+
+// ---------------------------------------------------------------------
+// Codec.
+// ---------------------------------------------------------------------
+
+TEST_F(CampaignCkptTest, ShardPayloadRoundTripsBitExact) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(core::ModelKind::kP2);
+
+  obs::CampaignTraceCollector trace(kRuns);
+  const auto shard =
+      core::run_campaign_shard(setup, cfg, 8, 16, kSeed, &trace);
+
+  const std::string bytes = encode_shard(shard, &trace, 8, 16);
+  StringInterner names;
+  DecodedShard d;
+  ASSERT_TRUE(decode_shard(bytes, names, d));
+  EXPECT_TRUE(d.has_trace);
+  EXPECT_EQ(result_bytes(d.result), result_bytes(shard));
+  ASSERT_EQ(d.trial_events.size(), 8u);
+  for (std::size_t t = 0; t < 8; ++t) {
+    const auto& want = trace.events_for(8 + t);
+    const auto& got = d.trial_events[t];
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_STREQ(got[i].name, want[i].name);
+      EXPECT_EQ(got[i].t0_s, want[i].t0_s);
+      EXPECT_EQ(got[i].t1_s, want[i].t1_s);
+      EXPECT_EQ(got[i].run_id, want[i].run_id);
+      EXPECT_EQ(got[i].track, want[i].track);
+      EXPECT_EQ(got[i].category, want[i].category);
+      ASSERT_EQ(got[i].field_count, want[i].field_count);
+      for (std::size_t k = 0; k < want[i].field_count; ++k) {
+        EXPECT_STREQ(got[i].fields[k].key, want[i].fields[k].key);
+        EXPECT_EQ(got[i].fields[k].value, want[i].fields[k].value);
+      }
+    }
+  }
+}
+
+TEST_F(CampaignCkptTest, DecodeRejectsMalformedPayloads) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto shard = core::run_campaign_shard(
+      setup, config_for(core::ModelKind::kM1), 0, 8, kSeed);
+  const std::string good = encode_shard(shard, nullptr, 0, 8);
+
+  StringInterner names;
+  DecodedShard d;
+  ASSERT_TRUE(decode_shard(good, names, d));
+  EXPECT_FALSE(d.has_trace);
+
+  EXPECT_FALSE(decode_shard("", names, d));
+  EXPECT_FALSE(decode_shard(good.substr(0, good.size() - 1), names, d));
+  EXPECT_FALSE(decode_shard(good + "x", names, d));
+  std::string bad_version = good;
+  bad_version[0] = '\x7f';
+  EXPECT_FALSE(decode_shard(bad_version, names, d));
+  std::string bad_kind = good;
+  bad_kind[1] = '\x09';
+  EXPECT_FALSE(decode_shard(bad_kind, names, d));
+}
+
+// ---------------------------------------------------------------------
+// Checkpointer lifecycle.
+// ---------------------------------------------------------------------
+
+TEST_F(CampaignCkptTest, FreshOpenWritesManifestAndResumeReads)
+{
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(core::ModelKind::kP1);
+  const auto plan = exec::plan_shards(kRuns);
+
+  {
+    CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/false);
+    EXPECT_FALSE(ckpt.stats().reused);
+    EXPECT_EQ(ckpt.committed_prefix(), 0u);
+    const auto shard =
+        core::run_campaign_shard(setup, cfg, 0, plan.end(0), kSeed);
+    ckpt.commit_shard(0, shard, 0, plan.end(0), nullptr);
+  }
+  {
+    CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/true);
+    EXPECT_TRUE(ckpt.stats().reused);
+    EXPECT_EQ(ckpt.committed_prefix(), 1u);
+    core::CampaignResult out;
+    ASSERT_TRUE(ckpt.load_shard(0, out, nullptr));
+    EXPECT_EQ(result_bytes(out),
+              result_bytes(core::run_campaign_shard(setup, cfg, 0,
+                                                    plan.end(0), kSeed)));
+    EXPECT_FALSE(ckpt.load_shard(1, out, nullptr));
+  }
+}
+
+TEST_F(CampaignCkptTest, ResumeFalseDiscardsPreviousState) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(core::ModelKind::kP1);
+  {
+    CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/false);
+    const auto shard = core::run_campaign_shard(setup, cfg, 0, 8, kSeed);
+    ckpt.commit_shard(0, shard, 0, 8, nullptr);
+  }
+  CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/false);
+  EXPECT_FALSE(ckpt.stats().reused);
+  EXPECT_EQ(ckpt.committed_prefix(), 0u);
+}
+
+TEST_F(CampaignCkptTest, PlanMismatchDiscardsStaleCheckpoint) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(core::ModelKind::kP1);
+  {
+    CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/false);
+    const auto shard = core::run_campaign_shard(setup, cfg, 0, 8, kSeed);
+    ckpt.commit_shard(0, shard, 0, 8, nullptr);
+  }
+  // Same manifest text (same key, same file) but a different trial
+  // count: the stored plan no longer matches, so resuming must discard
+  // rather than merge shards of the wrong geometry.
+  CampaignCheckpointer ckpt(dir_, kManifest, kRuns + 8, /*resume=*/true);
+  EXPECT_FALSE(ckpt.stats().reused);
+  EXPECT_EQ(ckpt.committed_prefix(), 0u);
+}
+
+TEST_F(CampaignCkptTest, ShardCommittedWithoutTraceCannotServeTracedResume) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(core::ModelKind::kP2);
+  {
+    CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/false);
+    const auto shard = core::run_campaign_shard(setup, cfg, 0, 8, kSeed);
+    ckpt.commit_shard(0, shard, 0, 8, nullptr);
+  }
+  CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/true);
+  obs::CampaignTraceCollector trace(kRuns);
+  core::CampaignResult out;
+  EXPECT_FALSE(ckpt.load_shard(0, out, &trace));  // forces re-execution
+  EXPECT_TRUE(ckpt.load_shard(0, out, nullptr));  // untraced load still fine
+}
+
+// ---------------------------------------------------------------------
+// Every shard boundary x jobs in {1, 2, 7}: kill after shard k, resume,
+// byte-identical merged result.
+// ---------------------------------------------------------------------
+
+TEST_F(CampaignCkptTest, ResumeAtEveryShardBoundaryIsByteIdentical) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(core::ModelKind::kP2);
+  const auto plan = exec::plan_shards(kRuns);
+  ASSERT_EQ(plan.count(), 5u);
+
+  const auto reference = core::run_campaign(setup, cfg, kRuns, kSeed);
+  const std::string want = result_bytes(reference);
+
+  const std::size_t jobs_cycle[] = {1, 2, 7};
+  for (std::size_t k = 0; k <= plan.count(); ++k) {
+    for (const std::size_t jobs : jobs_cycle) {
+      SCOPED_TRACE("k=" + std::to_string(k) + " jobs=" + std::to_string(jobs));
+      clear_dir();
+      // Stage an interrupted run: shards [0, k) committed, then killed.
+      {
+        CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/false);
+        for (std::size_t i = 0; i < k; ++i) {
+          const auto shard = core::run_campaign_shard(
+              setup, cfg, plan.begin(i), plan.end(i), kSeed);
+          ckpt.commit_shard(i, shard, plan.begin(i), plan.end(i), nullptr);
+        }
+      }
+      // Resume on a pool of `jobs` workers.
+      CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/true);
+      exec::ThreadPool pool(jobs);
+      exec::ThreadPoolExecutor ex(pool);
+      const auto resumed = core::run_campaign(setup, cfg, kRuns, kSeed, ex,
+                                              {}, nullptr, &ckpt);
+      EXPECT_EQ(result_bytes(resumed), want);
+      const auto s = ckpt.stats();
+      EXPECT_EQ(s.committed_prefix, k);
+      EXPECT_EQ(s.resumed, k);                  // no committed shard redone
+      EXPECT_EQ(s.committed, plan.count() - k);  // the rest executed once
+    }
+  }
+}
+
+TEST_F(CampaignCkptTest, TracedResumeProducesByteIdenticalTraceOutput) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(core::ModelKind::kP2);
+  const auto plan = exec::plan_shards(kRuns);
+  constexpr std::size_t kKillAfter = 2;
+
+  // Uninterrupted reference run with tracing.
+  obs::CampaignTraceCollector ref_trace;
+  exec::SerialExecutor ref_serial;
+  const auto reference = core::run_campaign(setup, cfg, kRuns, kSeed,
+                                            ref_serial, {}, &ref_trace);
+  std::ostringstream ref_out;
+  {
+    auto writer = obs::make_trace_writer(obs::TraceFormat::kJsonl, ref_out);
+    ref_trace.write(*writer, "app/P2");
+    writer->finish();
+  }
+
+  // Interrupted run: kKillAfter shards committed with their trace.
+  {
+    CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/false);
+    obs::CampaignTraceCollector partial(kRuns);
+    for (std::size_t i = 0; i < kKillAfter; ++i) {
+      const auto shard = core::run_campaign_shard(
+          setup, cfg, plan.begin(i), plan.end(i), kSeed, &partial);
+      ckpt.commit_shard(i, shard, plan.begin(i), plan.end(i), &partial);
+    }
+  }
+
+  // Resume with tracing; shard events replay from the checkpoint.
+  CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/true);
+  obs::CampaignTraceCollector resumed_trace;
+  exec::SerialExecutor serial;
+  const auto resumed = core::run_campaign(setup, cfg, kRuns, kSeed, serial,
+                                          {}, &resumed_trace, &ckpt);
+  EXPECT_EQ(result_bytes(resumed), result_bytes(reference));
+  EXPECT_EQ(ckpt.stats().resumed, kKillAfter);
+
+  std::ostringstream resumed_out;
+  {
+    auto writer =
+        obs::make_trace_writer(obs::TraceFormat::kJsonl, resumed_out);
+    resumed_trace.write(*writer, "app/P2");
+    writer->finish();
+  }
+  EXPECT_EQ(resumed_out.str(), ref_out.str());
+}
+
+// ---------------------------------------------------------------------
+// Kill-anywhere sweep: randomized write-fault offsets through the shared
+// crash harness. Whatever byte the campaign dies on, resuming completes
+// to byte-identical results, never loses a committed shard, and never
+// re-executes one.
+// ---------------------------------------------------------------------
+
+namespace {
+/// Forwards to the real checkpointer and acknowledges each durable
+/// commit to the harness pipe.
+struct AckingSink final : core::CampaignCheckpointSink {
+  core::CampaignCheckpointSink* inner = nullptr;
+  const std::function<void()>* ack = nullptr;
+
+  bool load_shard(std::size_t shard, core::CampaignResult& out,
+                  obs::CampaignTraceCollector* trace) override {
+    return inner->load_shard(shard, out, trace);
+  }
+  void commit_shard(std::size_t shard, const core::CampaignResult& result,
+                    std::size_t first_run, std::size_t last_run,
+                    const obs::CampaignTraceCollector* trace) override {
+    inner->commit_shard(shard, result, first_run, last_run, trace);
+    (*ack)();
+  }
+};
+}  // namespace
+
+TEST_F(CampaignCkptTest, KillAnywhereResumeIsByteIdentical) {
+  auto& wd = world();
+  const auto setup = wd.setup(w::summit_workloads()[0]);
+  const auto cfg = config_for(core::ModelKind::kP2);
+  const auto plan = exec::plan_shards(kRuns);
+
+  const auto reference = core::run_campaign(setup, cfg, kRuns, kSeed);
+  const std::string want = result_bytes(reference);
+
+  rnd::Xoshiro256 rng(20260808u);
+  const std::size_t jobs_cycle[] = {1, 2, 7};
+  int kills = 0;
+  int completions = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    SCOPED_TRACE("trial=" + std::to_string(trial));
+    clear_dir();
+    const long long budget = 1 + static_cast<long long>(rng() % 6000);
+    const auto out = pckpt::testsupport::run_crashing_child(
+        budget, [&](const std::function<void()>& ack) {
+          CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/true);
+          AckingSink sink;
+          sink.inner = &ckpt;
+          sink.ack = &ack;
+          exec::SerialExecutor serial;
+          core::run_campaign(setup, cfg, kRuns, kSeed, serial, {}, nullptr,
+                             &sink);
+        });
+    ASSERT_TRUE(out.killed_by_fault() || out.completed());
+    if (out.killed_by_fault()) ++kills;
+    if (out.completed()) ++completions;
+
+    // Reopen: every acknowledged shard commit must have survived...
+    CampaignCheckpointer ckpt(dir_, kManifest, kRuns, /*resume=*/true);
+    const std::size_t prefix = ckpt.committed_prefix();
+    ASSERT_GE(static_cast<int>(prefix), out.acks);       // nothing lost
+    ASSERT_LE(static_cast<int>(prefix), out.acks + 1);   // +1 in-flight max
+
+    // ...and the resumed campaign must merge to the reference bytes on
+    // any worker count, re-executing only the unacknowledged suffix.
+    const std::size_t jobs = jobs_cycle[static_cast<std::size_t>(trial) % 3];
+    exec::ThreadPool pool(jobs);
+    exec::ThreadPoolExecutor ex(pool);
+    const auto resumed =
+        core::run_campaign(setup, cfg, kRuns, kSeed, ex, {}, nullptr, &ckpt);
+    ASSERT_EQ(result_bytes(resumed), want);
+    const auto s = ckpt.stats();
+    ASSERT_EQ(s.resumed, prefix);                  // committed never redone
+    ASSERT_EQ(s.committed, plan.count() - prefix);  // suffix executed once
+  }
+  // The sweep must exercise both genuine kills and full completions.
+  EXPECT_GT(kills, 10);
+  EXPECT_GT(completions, 0);
+}
+
+}  // namespace

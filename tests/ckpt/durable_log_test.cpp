@@ -1,0 +1,179 @@
+#include "ckpt/durable_log.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "random/rng.hpp"
+#include "support/crash_harness.hpp"
+
+namespace pckpt::ckpt {
+namespace {
+
+class DurableLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/pckpt_durable_log_" + std::to_string(::getpid()) + ".log";
+    ::unlink(path_.c_str());
+    ::unlink((path_ + ".journal").c_str());
+  }
+  void TearDown() override {
+    ::unlink(path_.c_str());
+    ::unlink((path_ + ".journal").c_str());
+  }
+
+  std::string path_;
+};
+
+std::string payload_for(std::uint64_t i) {
+  std::string p;
+  const std::size_t len = 1 + (i * 53) % 200;
+  p.reserve(len);
+  for (std::size_t j = 0; j < len; ++j) {
+    p.push_back(static_cast<char>((i * 101 + j * 13) % 256));
+  }
+  return p;
+}
+
+TEST_F(DurableLogTest, RoundTripPreservesBytesAndKeys) {
+  {
+    DurableLog log(path_);
+    for (std::uint64_t i = 0; i < 20; ++i) log.append(i, payload_for(i));
+    EXPECT_EQ(log.stats().frames, 20u);
+  }
+  std::map<std::uint64_t, std::string> got;
+  DurableLog log(path_, [&](std::uint64_t key, std::string_view p) {
+    got[key] = std::string(p);
+  });
+  ASSERT_EQ(got.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) EXPECT_EQ(got[i], payload_for(i));
+  EXPECT_EQ(log.stats().frames, 20u);
+  EXPECT_FALSE(log.stats().replayed_journal);
+  EXPECT_EQ(log.stats().truncated_bytes, 0u);
+}
+
+TEST_F(DurableLogTest, ReplayVisitsFramesInLogOrderSoReAppendsWin) {
+  {
+    DurableLog log(path_);
+    log.append(1, "first");
+    log.append(2, "other");
+    log.append(1, "second");
+  }
+  std::vector<std::pair<std::uint64_t, std::string>> seen;
+  DurableLog log(path_, [&](std::uint64_t key, std::string_view p) {
+    seen.emplace_back(key, std::string(p));
+  });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<std::uint64_t, std::string>{1, "first"}));
+  EXPECT_EQ(seen[1], (std::pair<std::uint64_t, std::string>{2, "other"}));
+  EXPECT_EQ(seen[2], (std::pair<std::uint64_t, std::string>{1, "second"}));
+}
+
+TEST_F(DurableLogTest, GroupCommitIsAtomicAcrossReopen) {
+  {
+    DurableLog log(path_);
+    std::vector<std::pair<std::uint64_t, std::string>> group;
+    for (std::uint64_t i = 0; i < 5; ++i) group.emplace_back(i, payload_for(i));
+    log.append_group(group);
+    EXPECT_EQ(log.stats().frames, 5u);
+  }
+  std::size_t frames = 0;
+  DurableLog log(path_, [&](std::uint64_t, std::string_view) { ++frames; });
+  EXPECT_EQ(frames, 5u);
+}
+
+TEST_F(DurableLogTest, TornTailIsTruncatedCommittedPrefixSurvives) {
+  std::uint64_t intact_size = 0;
+  {
+    DurableLog log(path_);
+    log.append(1, payload_for(1));
+    log.append(2, payload_for(2));
+    intact_size = log.stats().log_bytes;
+  }
+  // Simulate a torn trailing frame: garbage appended past the committed
+  // prefix, as a crash mid-append (pre-journal formats) would leave.
+  {
+    FILE* f = ::fopen(path_.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    std::fputs("PCKR\x07garbage-torn-tail", f);
+    ::fclose(f);
+  }
+  std::size_t frames = 0;
+  DurableLog log(path_, [&](std::uint64_t, std::string_view) { ++frames; });
+  EXPECT_EQ(frames, 2u);
+  EXPECT_GT(log.stats().truncated_bytes, 0u);
+  EXPECT_EQ(log.stats().log_bytes, intact_size);
+  // Post-recovery the log is writable again.
+  log.append(3, payload_for(3));
+  EXPECT_EQ(log.stats().frames, 3u);
+}
+
+TEST_F(DurableLogTest, RemoveFilesDeletesBothAndPoisonsAppends) {
+  DurableLog log(path_);
+  log.append(1, "x");
+  log.remove_files();
+  EXPECT_NE(::access(path_.c_str(), F_OK), 0);
+  EXPECT_NE(::access((path_ + ".journal").c_str(), F_OK), 0);
+  EXPECT_THROW(log.append(2, "y"), std::logic_error);
+}
+
+TEST_F(DurableLogTest, OversizedPayloadIsRejectedUpFront) {
+  DurableLog log(path_);
+  // Can't allocate 4 GiB in a unit test; exercise the guard through a
+  // string_view with a forged length instead.
+  const std::string_view huge(static_cast<const char*>(nullptr),
+                              0x100000000ull);
+  EXPECT_THROW(log.append(1, huge), std::invalid_argument);
+}
+
+// Kill-anywhere sweep through the shared crash harness: whatever byte
+// the child dies on, every acknowledged append must survive recovery,
+// and an armed journal implies the in-flight record is durable too.
+TEST_F(DurableLogTest, CrashAtRandomizedOffsetsNeverLosesCommittedRecords) {
+  rnd::Xoshiro256 rng(20260808u);
+  int kills = 0;
+  int replays = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    TearDown();
+    const long long budget = 1 + static_cast<long long>(rng() % 9000);
+    const auto out = testsupport::run_crashing_child(
+        budget, [&](const std::function<void()>& ack) {
+          DurableLog log(path_);
+          for (std::uint64_t i = 0; i < 64; ++i) {
+            log.append(i, payload_for(i));
+            ack();
+          }
+        });
+    ASSERT_TRUE(out.killed_by_fault() || out.completed());
+    if (out.killed_by_fault()) ++kills;
+
+    std::map<std::uint64_t, std::string> got;
+    DurableLog log(path_, [&](std::uint64_t key, std::string_view p) {
+      got[key] = std::string(p);
+    });
+    if (log.stats().replayed_journal) ++replays;
+    // Everything acknowledged is durable; at most one in-flight record
+    // (journal committed, ack never sent) may appear beyond that.
+    ASSERT_GE(static_cast<int>(got.size()), out.acks);
+    ASSERT_LE(static_cast<int>(got.size()), out.acks + 1);
+    for (std::uint64_t i = 0; i < got.size(); ++i) {
+      ASSERT_TRUE(got.count(i) == 1);
+      ASSERT_EQ(got[i], payload_for(i));
+    }
+    // Post-recovery the log accepts new appends.
+    log.append(1000, "recovered");
+  }
+  // The budget range must actually exercise mid-write kills and journal
+  // replays, not just complete runs.
+  EXPECT_GT(kills, 10);
+  EXPECT_GT(replays, 0);
+}
+
+}  // namespace
+}  // namespace pckpt::ckpt

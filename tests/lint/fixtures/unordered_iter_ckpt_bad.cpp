@@ -1,0 +1,13 @@
+// Fixture: violates unordered-iter (linted under src/ckpt/). Iterating
+// an unordered container while encoding a checkpoint payload would make
+// the on-disk bytes depend on hash-table order — resume would no longer
+// be byte-identical.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+std::string encode(const std::unordered_map<std::uint64_t, std::string>& m) {
+  std::string out;
+  for (const auto& kv : m) out += kv.second;
+  return out;
+}

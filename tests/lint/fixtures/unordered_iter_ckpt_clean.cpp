@@ -1,0 +1,12 @@
+// Fixture: clean under unordered-iter in src/ckpt/. Keyed lookup into
+// an unordered container is fine — only iteration leaks hash order into
+// the persisted bytes.
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+std::string lookup(const std::unordered_map<std::uint64_t, std::string>& m,
+                   std::uint64_t key) {
+  const auto it = m.find(key);
+  return it == m.end() ? std::string() : it->second;
+}

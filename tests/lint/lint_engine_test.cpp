@@ -103,6 +103,29 @@ TEST(LintRules, UnorderedIterCoversServeTree) {
   EXPECT_EQ(fs[0].rule, "unordered-iter");
 }
 
+TEST(LintRules, UnorderedIterCoversCkptTree) {
+  // Checkpoint payloads are persisted and compared byte-for-byte across
+  // kill/resume, so src/ckpt/ inherits the iteration-order ban too.
+  const auto fs =
+      lint_fixture("unordered_iter_ckpt_bad.cpp", "src/ckpt/x.cpp");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "unordered-iter");
+  EXPECT_TRUE(
+      lint_fixture("unordered_iter_ckpt_clean.cpp", "src/ckpt/x.cpp").empty());
+}
+
+TEST(LintRules, DeterminismRulesApplyUnderCkptTree) {
+  // The directory-agnostic determinism rules must keep firing for
+  // checkpoint sources: a wall-clock read or raw RNG in the encode path
+  // would silently break resume byte-identity.
+  const auto wall = lint_fixture("wall_clock_bad.cpp", "src/ckpt/x.cpp");
+  ASSERT_FALSE(wall.empty());
+  EXPECT_EQ(wall[0].rule, "wall-clock");
+  const auto rng = lint_fixture("raw_rng_bad.cpp", "src/ckpt/x.cpp");
+  ASSERT_FALSE(rng.empty());
+  EXPECT_EQ(rng[0].rule, "raw-rng");
+}
+
 TEST(LintRules, FpAccumFlagsUnwaivedAccumulation) {
   const auto fs = lint_fixture("fp_accum_bad.cpp", "src/obs/x.cpp");
   ASSERT_EQ(fs.size(), 1u);

@@ -3,7 +3,6 @@
 #include <fcntl.h>
 #include <gtest/gtest.h>
 #include <sys/stat.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <cstdio>
@@ -12,6 +11,7 @@
 
 #include "random/rng.hpp"
 #include "serve/cache_key.hpp"
+#include "support/crash_harness.hpp"
 
 namespace pckpt::serve {
 namespace {
@@ -146,52 +146,14 @@ TEST_F(ResultStoreTest, CorruptedByteInvalidatesOnlyTheTail) {
 }
 
 // -------------------------------------------------------------------
-// Crash injection: fork a writer child that dies mid-write after a
-// randomized number of bytes, reopen in the parent, and assert the
-// committed prefix survives byte-identical. This is the doublewrite
+// Crash injection via the shared fork-based harness
+// (tests/support/crash_harness.hpp): a writer child dies mid-write
+// after a randomized number of bytes, the parent reopens and asserts
+// the committed prefix survives byte-identical. This is the doublewrite
 // contract under test at arbitrary torn-write offsets — log appends,
 // journal writes, and the window between them are all hit as the
 // budget sweeps.
 // -------------------------------------------------------------------
-
-struct CrashOutcome {
-  int committed = 0;          ///< puts that returned before the kill
-  bool child_killed = false;  ///< fault fired (vs. finished all puts)
-};
-
-CrashOutcome run_crashing_writer(const std::string& path,
-                                 long long fault_budget_bytes,
-                                 int max_records) {
-  int pipefd[2];
-  EXPECT_EQ(::pipe(pipefd), 0);
-  const pid_t pid = ::fork();
-  if (pid == 0) {
-    ::close(pipefd[0]);
-    ResultStore::set_write_fault_budget(fault_budget_bytes);
-    {
-      ResultStore store(path);
-      for (int i = 0; i < max_records; ++i) {
-        store.put(key_for(static_cast<std::size_t>(i)),
-                  payload_for(static_cast<std::size_t>(i)));
-        // One byte per durable put — pipe writes are raw syscalls, so
-        // the parent's count is exact even though we _exit() abruptly.
-        const char ack = 1;
-        (void)!::write(pipefd[1], &ack, 1);
-      }
-    }
-    ::_exit(0);
-  }
-  ::close(pipefd[1]);
-  CrashOutcome out;
-  char ack = 0;
-  while (::read(pipefd[0], &ack, 1) == 1) ++out.committed;
-  ::close(pipefd[0]);
-  int status = 0;
-  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
-  out.child_killed = WIFEXITED(status) && WEXITSTATUS(status) == 42;
-  EXPECT_TRUE(WIFEXITED(status));
-  return out;
-}
 
 TEST_F(ResultStoreTest, CrashAtRandomizedOffsetsNeverLosesCommittedRecords) {
   constexpr int kMaxRecords = 12;
@@ -208,26 +170,34 @@ TEST_F(ResultStoreTest, CrashAtRandomizedOffsetsNeverLosesCommittedRecords) {
     const long long budget =
         1 + static_cast<long long>(rng() %
                                    static_cast<std::uint64_t>(kMaxBytes));
-    const CrashOutcome out =
-        run_crashing_writer(path_, budget, kMaxRecords);
-    if (out.child_killed) ++kills;
+    const testsupport::CrashOutcome out = testsupport::run_crashing_child(
+        budget, [&](const std::function<void()>& ack) {
+          ResultStore store(path_);
+          for (int i = 0; i < kMaxRecords; ++i) {
+            store.put(key_for(static_cast<std::size_t>(i)),
+                      payload_for(static_cast<std::size_t>(i)));
+            ack();  // one byte per durable put — the count is exact
+          }
+        });
+    ASSERT_TRUE(out.killed_by_fault() || out.completed());
+    if (out.killed_by_fault()) ++kills;
 
     ResultStore reopened(path_);
     const auto s = reopened.stats();
     if (s.replayed_journal) ++replays;
-    ASSERT_GE(static_cast<int>(s.records), out.committed)
+    ASSERT_GE(static_cast<int>(s.records), out.acks)
         << "trial " << trial << " budget " << budget;
-    for (int i = 0; i < out.committed; ++i) {
+    for (int i = 0; i < out.acks; ++i) {
       ASSERT_EQ(reopened.lookup(key_for(static_cast<std::size_t>(i))),
                 payload_for(static_cast<std::size_t>(i)))
           << "trial " << trial << " budget " << budget << " record " << i;
     }
     // If recovery replayed an armed journal, the journal fsync had
     // completed — the in-flight record is durable too.
-    if (s.replayed_journal && out.committed < kMaxRecords) {
+    if (s.replayed_journal && out.acks < kMaxRecords) {
       ASSERT_EQ(
-          reopened.lookup(key_for(static_cast<std::size_t>(out.committed))),
-          payload_for(static_cast<std::size_t>(out.committed)))
+          reopened.lookup(key_for(static_cast<std::size_t>(out.acks))),
+          payload_for(static_cast<std::size_t>(out.acks)))
           << "trial " << trial << " budget " << budget;
     }
     // A reopened store must be writable again.

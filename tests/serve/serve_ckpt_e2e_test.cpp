@@ -1,0 +1,277 @@
+/// End-to-end campaign checkpointing over the real binaries: a
+/// `pckpt_serve` daemon started with --checkpoint=DIR is SIGKILLed in
+/// the middle of a long exact-tier campaign, restarted on the same
+/// store and checkpoint directory, and asked the same query again. The
+/// reply must be byte-identical to a cold daemon's answer, and the
+/// stats counters must prove the committed shards were resumed rather
+/// than re-executed.
+///
+/// Binary locations arrive as compile definitions (PCKPT_SERVE_BIN,
+/// PCKPT_QUERY_BIN, PCKPT_SCENARIO_INI) wired by tests/CMakeLists.txt.
+
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+// 800 runs / 8 trials per shard = 100 shards. The exact tier runs on a
+// serial executor, so the campaign stays in flight long enough for the
+// parent to observe early progress events and kill the daemon mid-run.
+constexpr int kRuns = 800;
+constexpr int kSeed = 7;
+constexpr int kShards = 100;
+
+/// fork+exec argv[0], capture stdout, return the exit code. stderr
+/// passes through to the test log.
+int run_capture(const std::vector<std::string>& argv, std::string* out) {
+  int pipefd[2];
+  EXPECT_EQ(::pipe(pipefd), 0);
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(pipefd[0]);
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[1]);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const auto& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    ::execv(args[0], args.data());
+    ::_exit(127);
+  }
+  ::close(pipefd[1]);
+  std::string captured;
+  char buf[4096];
+  ssize_t n = 0;
+  while ((n = ::read(pipefd[0], buf, sizeof(buf))) > 0) {
+    captured.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(pipefd[0]);
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  if (out) *out = std::move(captured);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Parse `"name":<unsigned>` out of a flat JSON row.
+std::uint64_t u64_field(const std::string& line, const std::string& name) {
+  const std::string tag = "\"" + name + "\":";
+  const auto at = line.find(tag);
+  EXPECT_NE(at, std::string::npos) << name << " missing from: " << line;
+  if (at == std::string::npos) return 0;
+  return std::strtoull(line.c_str() + at + tag.size(), nullptr, 10);
+}
+
+class ServeCkptE2eTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag = std::to_string(::getpid());
+    socket_ = "/tmp/pckpt_ckpt_e2e_" + tag + ".sock";
+    store_ = testing::TempDir() + "pckpt_ckpt_e2e_store_" + tag;
+    ckpt_dir_ = testing::TempDir() + "pckpt_ckpt_e2e_dir_" + tag;
+    clean_files();
+    start_daemon(socket_, store_, ckpt_dir_);
+  }
+
+  void TearDown() override {
+    if (daemon_ > 0) {
+      std::string out;
+      run_capture({PCKPT_QUERY_BIN, "--socket=" + socket_, "--shutdown"},
+                  &out);
+      int status = 0;
+      ::waitpid(daemon_, &status, 0);
+    }
+    clean_files();
+  }
+
+  void clean_files() {
+    ::unlink(store_.c_str());
+    ::unlink((store_ + ".journal").c_str());
+    std::system(("rm -rf " + ckpt_dir_).c_str());
+  }
+
+  void start_daemon(const std::string& socket, const std::string& store,
+                    const std::string& ckpt_dir) {
+    daemon_ = ::fork();
+    if (daemon_ == 0) {
+      const char* bin = PCKPT_SERVE_BIN;
+      ::execl(bin, bin, ("--socket=" + socket).c_str(),
+              ("--store=" + store).c_str(),
+              ("--checkpoint=" + ckpt_dir).c_str(),
+              "--scenario=" PCKPT_SCENARIO_INI, (char*)nullptr);
+      ::_exit(127);
+    }
+    ASSERT_TRUE(wait_for_socket(socket)) << "daemon never came up";
+  }
+
+  /// Poll until the daemon's listening socket accepts a connection.
+  static bool wait_for_socket(const std::string& path) {
+    for (int i = 0; i < 500; ++i) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+      const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                               sizeof(addr));
+      ::close(fd);
+      if (rc == 0) return true;
+      ::usleep(10 * 1000);
+    }
+    return false;
+  }
+
+  static std::vector<std::string> query_args(const std::string& socket) {
+    return {PCKPT_QUERY_BIN,
+            "--socket=" + socket,
+            "--mode=exact",
+            "--model=P1",
+            "--app=vulcan",
+            "--runs=" + std::to_string(kRuns),
+            "--seed=" + std::to_string(kSeed),
+            "--payload-only"};
+  }
+
+  std::string query_payload(const std::string& socket) {
+    std::string out;
+    const int rc = run_capture(query_args(socket), &out);
+    EXPECT_EQ(rc, 0) << out;
+    return out;
+  }
+
+  /// Launch the long query with --progress (shard events stream to the
+  /// client's stderr), and SIGKILL the daemon once `after` progress
+  /// lines have been observed — i.e. mid-campaign, with a committed
+  /// shard prefix on disk. Returns the number of lines seen.
+  int kill_daemon_after_progress(int after) {
+    int errpipe[2];
+    EXPECT_EQ(::pipe(errpipe), 0);
+    const pid_t client = ::fork();
+    if (client == 0) {
+      ::close(errpipe[0]);
+      ::dup2(errpipe[1], STDERR_FILENO);
+      ::close(errpipe[1]);
+      const int devnull = ::open("/dev/null", O_WRONLY);
+      if (devnull >= 0) ::dup2(devnull, STDOUT_FILENO);
+      auto argv = query_args(socket_);
+      argv.push_back("--progress");
+      std::vector<char*> args;
+      for (const auto& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+      args.push_back(nullptr);
+      ::execv(args[0], args.data());
+      ::_exit(127);
+    }
+    ::close(errpipe[1]);
+    int lines = 0;
+    bool killed = false;
+    char c = 0;
+    while (::read(errpipe[0], &c, 1) == 1) {
+      if (c != '\n') continue;
+      ++lines;
+      if (!killed && lines >= after) {
+        ::kill(daemon_, SIGKILL);
+        killed = true;
+      }
+    }
+    ::close(errpipe[0]);
+    EXPECT_TRUE(killed) << "query finished after only " << lines
+                        << " progress lines — never got to kill the daemon";
+    int status = 0;
+    ::waitpid(client, &status, 0);  // client fails once the daemon dies
+    ::waitpid(daemon_, &status, 0);
+    daemon_ = -1;
+    return lines;
+  }
+
+  std::string socket_;
+  std::string store_;
+  std::string ckpt_dir_;
+  pid_t daemon_ = -1;
+};
+
+TEST_F(ServeCkptE2eTest, KilledDaemonResumesCommittedShardsAndRepliesByteIdentical) {
+  // Phase 1: submit the campaign, kill the daemon after a few shards
+  // have been reported (and therefore committed to the checkpoint log).
+  kill_daemon_after_progress(3);
+
+  // Phase 2: restart on the same store + checkpoint directory. The
+  // memoized payload was never written (the daemon died mid-campaign),
+  // so the same query re-enters the exact tier — which must resume the
+  // committed shard prefix instead of starting over.
+  start_daemon(socket_, store_, ckpt_dir_);
+  const std::string resumed = query_payload(socket_);
+  ASSERT_FALSE(resumed.empty());
+
+  std::string stats;
+  ASSERT_EQ(run_capture({PCKPT_QUERY_BIN, "--socket=" + socket_, "--stats"},
+                        &stats),
+            0);
+  const std::uint64_t shards_resumed = u64_field(stats, "shards_resumed");
+  const std::uint64_t shards_executed = u64_field(stats, "shards_executed");
+  // Committed work is never lost: the SIGKILL landed after ≥3 progress
+  // events, so a non-empty prefix must have been loaded from disk...
+  EXPECT_GE(shards_resumed, 1u);
+  // ...and never re-executed: resumed + executed covers each of the 250
+  // shards exactly once.
+  EXPECT_EQ(shards_resumed + shards_executed,
+            static_cast<std::uint64_t>(kShards));
+  EXPECT_LT(shards_executed, static_cast<std::uint64_t>(kShards));
+
+  // Phase 3: a cold daemon (fresh store, fresh checkpoint dir) must
+  // produce the byte-identical payload — resume changed nothing.
+  const std::string tag = std::to_string(::getpid());
+  const std::string cold_socket = "/tmp/pckpt_ckpt_e2e_cold_" + tag + ".sock";
+  const std::string cold_store =
+      testing::TempDir() + "pckpt_ckpt_e2e_cold_store_" + tag;
+  const std::string cold_dir =
+      testing::TempDir() + "pckpt_ckpt_e2e_cold_dir_" + tag;
+  const pid_t warm = daemon_;
+  start_daemon(cold_socket, cold_store, cold_dir);
+  const pid_t cold = daemon_;
+  const std::string cold_payload = query_payload(cold_socket);
+  EXPECT_EQ(resumed, cold_payload);
+
+  std::string out;
+  run_capture({PCKPT_QUERY_BIN, "--socket=" + cold_socket, "--shutdown"},
+              &out);
+  int status = 0;
+  ::waitpid(cold, &status, 0);
+  daemon_ = warm;  // TearDown shuts the restarted daemon down cleanly
+  ::unlink(cold_store.c_str());
+  ::unlink((cold_store + ".journal").c_str());
+  std::system(("rm -rf " + cold_dir).c_str());
+}
+
+TEST_F(ServeCkptE2eTest, CompletedCampaignDropsItsCheckpointAndMemoizes) {
+  // An uninterrupted campaign should leave no checkpoint behind (the
+  // planner removes it after memoizing) and serve repeats from cache.
+  const std::string first = query_payload(socket_);
+  ASSERT_FALSE(first.empty());
+
+  std::string stats;
+  ASSERT_EQ(run_capture({PCKPT_QUERY_BIN, "--socket=" + socket_, "--stats"},
+                        &stats),
+            0);
+  EXPECT_EQ(u64_field(stats, "shards_resumed"), 0u);
+  EXPECT_EQ(u64_field(stats, "shards_executed"),
+            static_cast<std::uint64_t>(kShards));
+
+  const std::string second = query_payload(socket_);
+  EXPECT_EQ(first, second);
+  // Still one executed campaign: the repeat was a store hit.
+  ASSERT_EQ(run_capture({PCKPT_QUERY_BIN, "--socket=" + socket_, "--stats"},
+                        &stats),
+            0);
+  EXPECT_EQ(u64_field(stats, "shards_executed"),
+            static_cast<std::uint64_t>(kShards));
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+#include "support/crash_harness.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <system_error>
+
+#include "ckpt/durable_log.hpp"
+
+namespace pckpt::testsupport {
+
+static_assert(kWriteFaultExitCode == ckpt::kWriteFaultExitCode,
+              "harness exit code must match the DurableLog fault hook");
+
+CrashOutcome run_crashing_child(
+    long long fault_budget_bytes,
+    const std::function<void(const std::function<void()>& ack)>& body) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    throw std::system_error(errno, std::generic_category(),
+                            "crash_harness: pipe");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int saved = errno;
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    throw std::system_error(saved, std::generic_category(),
+                            "crash_harness: fork");
+  }
+  if (pid == 0) {
+    ::close(pipefd[0]);
+    const int wfd = pipefd[1];
+    ckpt::DurableLog::set_write_fault_budget(fault_budget_bytes);
+    const std::function<void()> ack = [wfd] {
+      const char one = '!';
+      // The pipe outlives the child and the parent drains it after
+      // waitpid, so a single-byte write never blocks or fails here.
+      (void)!::write(wfd, &one, 1);
+    };
+    try {
+      body(ack);
+    } catch (...) {
+      ::_exit(kChildThrewExitCode);
+    }
+    ::_exit(0);
+  }
+  ::close(pipefd[1]);
+
+  CrashOutcome out;
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) {
+      ::close(pipefd[0]);
+      throw std::system_error(errno, std::generic_category(),
+                              "crash_harness: waitpid");
+    }
+  }
+  // Count acks after the child is gone: the pipe buffer holds every
+  // byte written (the counts here are far below PIPE_BUF), and EOF is
+  // guaranteed once the child's end closed at exit.
+  char buf[256];
+  while (true) {
+    const ssize_t n = ::read(pipefd[0], buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    out.acks += static_cast<int>(n);
+  }
+  ::close(pipefd[0]);
+
+  if (WIFEXITED(status)) {
+    out.exited = true;
+    out.exit_status = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    out.signaled = true;
+    out.term_signal = WTERMSIG(status);
+  }
+  return out;
+}
+
+}  // namespace pckpt::testsupport

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <functional>
+
+/// \file crash_harness.hpp
+/// Fork-based write-fault crash injection, shared by the serve
+/// (result-store) and ckpt (durable-log / campaign-checkpoint) suites.
+///
+/// The harness forks a child that arms `DurableLog`'s write-fault
+/// budget and runs a caller-provided body. The body acknowledges each
+/// durably committed unit of work by calling `ack()` (one byte down a
+/// pipe); when the budget runs out mid-write the child fsyncs the torn
+/// prefix and `_exit(kWriteFaultExitCode)`s — the closest userspace
+/// approximation of power loss a test can stage. The parent reports how
+/// many acks arrived before the crash plus the child's exit status, and
+/// the caller then reopens the files to assert that everything
+/// acknowledged survived recovery.
+
+namespace pckpt::testsupport {
+
+/// Exit status of a child killed by the injected write fault — equals
+/// `ckpt::kWriteFaultExitCode` (pinned by a static_assert in the .cpp).
+inline constexpr int kWriteFaultExitCode = 42;
+
+/// Exit status when the child body throws instead of finishing.
+inline constexpr int kChildThrewExitCode = 97;
+
+struct CrashOutcome {
+  int acks = 0;           ///< committed units acknowledged pre-crash
+  bool exited = false;    ///< child terminated via _exit/exit
+  int exit_status = -1;   ///< exit status when `exited`
+  bool signaled = false;  ///< child was killed by a signal instead
+  int term_signal = 0;    ///< the signal when `signaled`
+  /// Convenience: the child died on the injected write fault.
+  bool killed_by_fault() const {
+    return exited && exit_status == kWriteFaultExitCode;
+  }
+  /// Convenience: the child finished its body normally.
+  bool completed() const { return exited && exit_status == 0; }
+};
+
+/// Fork a child with `fault_budget_bytes` of physical writes allowed
+/// (negative = unlimited, the child then runs to completion). The child
+/// runs `body(ack)` and exits 0; each `ack()` signals one durably
+/// committed unit to the parent. Exceptions in the body exit with
+/// `kChildThrewExitCode`. The parent blocks until the child terminates.
+CrashOutcome run_crashing_child(
+    long long fault_budget_bytes,
+    const std::function<void(const std::function<void()>& ack)>& body);
+
+}  // namespace pckpt::testsupport

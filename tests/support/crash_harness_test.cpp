@@ -1,0 +1,121 @@
+#include "support/crash_harness.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "ckpt/durable_log.hpp"
+
+namespace pckpt::testsupport {
+namespace {
+
+class CrashHarnessTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/pckpt_crash_harness_" + std::to_string(::getpid()) + ".log";
+    ::unlink(path_.c_str());
+    ::unlink((path_ + ".journal").c_str());
+  }
+  void TearDown() override {
+    ::unlink(path_.c_str());
+    ::unlink((path_ + ".journal").c_str());
+  }
+
+  std::string path_;
+};
+
+TEST_F(CrashHarnessTest, UnlimitedBudgetRunsToCompletionAndCountsAcks) {
+  const CrashOutcome out = run_crashing_child(-1, [&](const auto& ack) {
+    ckpt::DurableLog log(path_);
+    for (int i = 0; i < 5; ++i) {
+      log.append(static_cast<std::uint64_t>(i), "payload");
+      ack();
+    }
+  });
+  EXPECT_TRUE(out.completed());
+  EXPECT_FALSE(out.killed_by_fault());
+  EXPECT_FALSE(out.signaled);
+  EXPECT_EQ(out.acks, 5);
+
+  std::size_t replayed = 0;
+  ckpt::DurableLog log(path_,
+                       [&](std::uint64_t, std::string_view) { ++replayed; });
+  EXPECT_EQ(replayed, 5u);
+}
+
+TEST_F(CrashHarnessTest, ThrowingBodyIsReportedAsChildThrew) {
+  const CrashOutcome out = run_crashing_child(-1, [](const auto& ack) {
+    ack();
+    throw std::runtime_error("boom");
+  });
+  EXPECT_TRUE(out.exited);
+  EXPECT_EQ(out.exit_status, kChildThrewExitCode);
+  EXPECT_EQ(out.acks, 1);
+}
+
+TEST_F(CrashHarnessTest, ZeroBudgetKillsOnTheFirstPhysicalWrite) {
+  const CrashOutcome out = run_crashing_child(0, [&](const auto& ack) {
+    ckpt::DurableLog log(path_);
+    log.append(1, "abc");
+    ack();
+  });
+  EXPECT_TRUE(out.killed_by_fault());
+  EXPECT_EQ(out.exit_status, kWriteFaultExitCode);
+  EXPECT_EQ(out.acks, 0);
+}
+
+// Exact budget accounting for one append of payload "abc": the record
+// frame is 32 (header) + 3 = 35 bytes; the commit writes the journal
+// (40-byte header + the 35-byte group = 75 bytes), then the log append
+// (35 bytes) — 110 physical bytes in total.
+TEST_F(CrashHarnessTest, BudgetAccountingIsByteExact) {
+  const auto one_put = [&](const auto& ack) {
+    ckpt::DurableLog log(path_);
+    log.append(7, "abc");
+    ack();
+  };
+
+  // The full 110 bytes: every write fits, the child completes.
+  CrashOutcome out = run_crashing_child(110, one_put);
+  EXPECT_TRUE(out.completed());
+  EXPECT_EQ(out.acks, 1);
+  TearDown();
+
+  // One byte short: the journal fsync (the commit point) has happened,
+  // the log append is torn — no ack, but recovery must replay the
+  // record because the group was committed.
+  out = run_crashing_child(109, one_put);
+  EXPECT_TRUE(out.killed_by_fault());
+  EXPECT_EQ(out.acks, 0);
+  {
+    std::size_t frames = 0;
+    std::string got;
+    ckpt::DurableLog log(path_, [&](std::uint64_t key, std::string_view p) {
+      ++frames;
+      EXPECT_EQ(key, 7u);
+      got.assign(p);
+    });
+    EXPECT_EQ(frames, 1u);
+    EXPECT_EQ(got, "abc");
+    EXPECT_TRUE(log.stats().replayed_journal);
+  }
+  TearDown();
+
+  // Not even the journal write completes: the commit point was never
+  // reached, so the record is (correctly) gone and the log is empty.
+  out = run_crashing_child(74, one_put);
+  EXPECT_TRUE(out.killed_by_fault());
+  EXPECT_EQ(out.acks, 0);
+  {
+    std::size_t frames = 0;
+    ckpt::DurableLog log(path_,
+                         [&](std::uint64_t, std::string_view) { ++frames; });
+    EXPECT_EQ(frames, 0u);
+    EXPECT_FALSE(log.stats().replayed_journal);
+  }
+}
+
+}  // namespace
+}  // namespace pckpt::testsupport

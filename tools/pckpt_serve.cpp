@@ -7,7 +7,12 @@
 ///
 /// Usage:
 ///   pckpt_serve --socket=PATH --store=PATH [--scenario=FILE]
-///               [--max-inflight=N] [--queue-limit=N] [--wait-ms=MS]
+///               [--checkpoint=DIR] [--max-inflight=N] [--queue-limit=N]
+///               [--wait-ms=MS]
+///
+/// With --checkpoint, exact-tier campaigns commit each shard to DIR as
+/// they go; after a crash/restart the same query resumes from the
+/// committed prefix instead of re-simulating it (docs/CHECKPOINTING.md).
 
 #include <cstdio>
 #include <cstring>
@@ -28,6 +33,8 @@ void usage() {
       "  --socket=PATH            unix-domain socket to listen on\n"
       "  --store=PATH             result-store log file (created if absent)\n"
       "  --scenario=FILE          scenario INI (default: built-in Summit)\n"
+      "  --checkpoint=DIR         checkpoint exact campaigns into DIR and\n"
+      "                           resume them after a restart\n"
       "  --max-inflight=N         concurrent exact campaigns (default 1)\n"
       "  --queue-limit=N          admission waiters beyond inflight "
       "(default 4)\n"
@@ -54,6 +61,7 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string store_path;
   std::string scenario_path;
+  std::string checkpoint_dir;
   serve::AdmissionConfig admission;
 
   for (int i = 1; i < argc; ++i) {
@@ -72,6 +80,10 @@ int main(int argc, char** argv) {
     }
     if (const char* v = obs::cli_value(arg, "--scenario=")) {
       scenario_path = obs::cli_path("pckpt_serve", "--scenario", v);
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--checkpoint=")) {
+      checkpoint_dir = obs::cli_path("pckpt_serve", "--checkpoint", v);
       continue;
     }
     if (const char* v = obs::cli_value(arg, "--max-inflight=")) {
@@ -104,7 +116,7 @@ int main(int argc, char** argv) {
             : core::load_scenario(core::ConfigFile::load(scenario_path));
     serve::ResultStore store(store_path);
     const auto stats = store.stats();
-    serve::Planner planner(scenario, admission, store);
+    serve::Planner planner(scenario, admission, store, checkpoint_dir);
     serve::Server server(socket_path, planner);
     std::printf("pckpt_serve: listening on %s, store %s (%zu records%s)\n",
                 socket_path.c_str(), store_path.c_str(), stats.records,

@@ -7,6 +7,15 @@
 ///   pckpt_sim <scenario.ini> [--models=B,M1,M2,P1,P2] [--runs=N]
 ///             [--seed=S] [--jobs=N] [--jsonl=PATH] [--csv]
 ///             [--trace=PATH] [--trace-format=jsonl|chrome] [--profile]
+///             [--checkpoint=DIR [--resume]]
+///
+/// With --checkpoint, every campaign commits each completed shard to
+/// DIR (one durable log per (app, model) campaign, keyed by its
+/// canonical query text); --resume picks up the committed prefix of an
+/// interrupted invocation instead of re-simulating it, and the final
+/// table/JSONL/trace bytes are identical to an uninterrupted run at any
+/// --jobs (docs/CHECKPOINTING.md). Checkpoints are removed once the run
+/// completes.
 
 #include <algorithm>
 #include <chrono>
@@ -19,6 +28,7 @@
 #include <vector>
 
 #include "analysis/tables.hpp"
+#include "ckpt/campaign_ckpt.hpp"
 #include "core/campaign.hpp"
 #include "core/simulation.hpp"
 #include "exec/result_sink.hpp"
@@ -27,6 +37,7 @@
 #include "obs/cli_flags.hpp"
 #include "obs/obs.hpp"
 #include "core/scenario.hpp"
+#include "serve/cache_key.hpp"
 
 namespace {
 
@@ -41,6 +52,10 @@ void usage() {
   std::printf(
       "usage: pckpt_sim <scenario.ini> [options]\n"
       "  --models=B,M1,M2,P1,P2   comma-separated models (default: all)\n"
+      "  --checkpoint=DIR         commit each completed campaign shard to "
+      "DIR\n"
+      "  --resume                 resume committed shards from a previous\n"
+      "                           interrupted --checkpoint run\n"
       "%s"
       "The scenario file format is documented in "
       "src/core/scenario.hpp and configs/summit.ini.\n",
@@ -74,16 +89,26 @@ int main(int argc, char** argv) {
   }
 
   std::string models_arg = "B,M1,M2,P1,P2";
+  std::string checkpoint_dir;
+  bool resume = false;
   obs::CommonFlags flags;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--models=", 0) == 0) {
       models_arg = arg.substr(9);
+    } else if (const char* v = obs::cli_value(arg, "--checkpoint=")) {
+      checkpoint_dir = obs::cli_path("pckpt_sim", "--checkpoint", v);
+    } else if (arg == "--resume") {
+      resume = true;
     } else if (!obs::cli_consume_common("pckpt_sim", arg, kFlagMask, flags)) {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
       usage();
       return 2;
     }
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "pckpt_sim: --resume requires --checkpoint=DIR\n");
+    return 2;
   }
   const std::size_t runs = flags.runs;
   const std::uint64_t seed = flags.seed;
@@ -134,6 +159,24 @@ int main(int argc, char** argv) {
     if (profile) profiler.attach();
     const auto campaign_t0 = std::chrono::steady_clock::now();
 
+    // One checkpoint log per (app, model) campaign, keyed by the same
+    // canonical query text the serve layer hashes — so the identity of
+    // a campaign is defined once, project-wide. Files are kept until
+    // the whole invocation succeeds: a crash in a later campaign must
+    // not discard earlier campaigns' committed shards.
+    std::vector<std::unique_ptr<ckpt::CampaignCheckpointer>> checkpoints;
+    const auto make_ckpt =
+        [&](const workload::Application& app,
+            const core::CrConfig& cfg) -> core::CampaignCheckpointSink* {
+      if (checkpoint_dir.empty()) return nullptr;
+      const auto q = serve::canonicalize(
+          "exact", core::to_string(cfg.kind), runs, seed, scenario.machine,
+          app, scenario.system, cfg);
+      checkpoints.push_back(std::make_unique<ckpt::CampaignCheckpointer>(
+          checkpoint_dir, serve::canonical_text(q), runs, resume));
+      return checkpoints.back().get();
+    };
+
     std::printf("pckpt_sim — %s, failure distribution %s, %zu paired runs, "
                 "%zu worker(s)\n\n",
                 scenario.machine.name.c_str(), scenario.system.name.c_str(),
@@ -159,9 +202,10 @@ int main(int argc, char** argv) {
       auto base_cfg = scenario.cr;
       base_cfg.kind = core::ModelKind::kB;
       obs::CampaignTraceCollector base_collector;
-      const auto base =
-          core::run_campaign(setup, base_cfg, runs, seed, *executor, {},
-                             want_base_trace ? &base_collector : nullptr);
+      const auto base = core::run_campaign(
+          setup, base_cfg, runs, seed, *executor, {},
+          want_base_trace ? &base_collector : nullptr,
+          make_ckpt(app, base_cfg));
       if (want_base_trace) {
         base_collector.write(*trace_writer, app.name + "/B");
         base_collector.summarize(trace_metrics);
@@ -177,7 +221,8 @@ int main(int argc, char** argv) {
             kind == core::ModelKind::kB
                 ? base
                 : core::run_campaign(setup, cfg, runs, seed, *executor, {},
-                                     trace_this ? &collector : nullptr);
+                                     trace_this ? &collector : nullptr,
+                                     make_ckpt(app, cfg));
         if (trace_this) {
           collector.write(*trace_writer,
                           app.name + "/" + std::string(core::to_string(kind)));
@@ -258,6 +303,9 @@ int main(int argc, char** argv) {
                                         : 0.0,
                   prof_report.threads);
     }
+    // Every output byte is flushed; the interrupted-run insurance is no
+    // longer needed.
+    for (const auto& c : checkpoints) c->remove();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pckpt_sim: %s\n", e.what());
     return 1;

@@ -3,13 +3,19 @@
 /// planner/store boundary (no socket, so the numbers isolate cache and
 /// planner cost from kernel scheduling noise):
 ///
-///   hit.us            memoized lookup + payload copy
+///   hit.us            memoized lookup + payload copy (telemetry off)
 ///   estimate_miss.us  tier-A closed-form answer + durable append
 ///   exact_miss.ms     tier-B campaign (the --runs knob sizes it)
 ///   reopen.ms         recovery-on-open scan of the populated log
+///   hit_telemetry.us  the same hit path with the daemon's full span +
+///                     histogram machinery attached (runtime telemetry,
+///                     docs/OBSERVABILITY.md)
 ///
-/// Emits pckpt-bench/1 telemetry via --bench-json; gated warn-only in
-/// CI until a baseline trajectory exists (see .github/workflows/ci.yml).
+/// The hit / hit_telemetry pair is the runtime-telemetry A/B: `hit.us`
+/// pins the disabled path (one null test, no clock reads) and
+/// `telemetry_overhead.ratio` pins the enabled path's relative cost.
+/// Emits pckpt-bench/1 telemetry via --bench-json; hard-gated against
+/// the committed baseline in CI (see .github/workflows/ci.yml).
 
 #include <unistd.h>
 
@@ -23,8 +29,11 @@
 #include "bench/bench_common.hpp"
 #include "core/scenario.hpp"
 #include "failure/system_catalog.hpp"
+#include "obs/request_span.hpp"
+#include "obs/runtime_log.hpp"
 #include "serve/planner.hpp"
 #include "serve/result_store.hpp"
+#include "serve/telemetry.hpp"
 #include "workload/application.hpp"
 #include "workload/machine.hpp"
 
@@ -68,11 +77,27 @@ int main(int argc, char** argv) {
   serve::Planner planner(scenario_for(opt.system), serve::AdmissionConfig{},
                          *store);
 
+  // Telemetry-on twin: a second planner on its own store, wired exactly
+  // like a production daemon (Telemetry attached, per-request spans,
+  // record_request folding into the latency histograms). Log level
+  // error keeps the bench quiet — request.done records are debug, so
+  // the measured cost is spans + histograms, not I/O.
+  const std::string store_tel_path = store_path + "_tel";
+  ::unlink(store_tel_path.c_str());
+  ::unlink((store_tel_path + ".journal").c_str());
+  auto store_tel = std::make_unique<serve::ResultStore>(store_tel_path);
+  obs::RuntimeLog tel_log(obs::LogLevel::kError);
+  serve::Telemetry telem(tel_log);
+  serve::Planner planner_tel(scenario_for(opt.system),
+                             serve::AdmissionConfig{}, *store_tel);
+  planner_tel.set_telemetry(&telem);
+
   serve::QuerySpec spec;
   spec.model = "P2";
   spec.app = "VULCAN";
 
-  std::vector<double> hit_us, est_us, exact_ms, reopen_ms;
+  std::vector<double> hit_us, hit_tel_us, overhead, est_us, exact_ms,
+      reopen_ms;
   std::size_t fresh = 0;  // monotone counter keeping miss keys unique
   for (std::size_t s = 0; s < samples + 1; ++s) {
     const bool warmup = s == 0;
@@ -96,6 +121,17 @@ int main(int argc, char** argv) {
       for (std::size_t i = 0; i < kHits; ++i) (void)planner.answer(q_hit);
     });
 
+    // The same hit stream through the telemetry-on twin, span per
+    // request as in Server::handle_line.
+    (void)planner_tel.answer(q_hit);  // warm its cache
+    const double t_hit_tel = wall_seconds([&] {
+      for (std::size_t i = 0; i < kHits; ++i) {
+        pckpt::obs::RequestSpan span(telem.next_request_id());
+        (void)planner_tel.answer(q_hit, {}, &span);
+        telem.record_request(span, "query", 200);
+      }
+    });
+
     // Tier-B miss: one full campaign, unique seed per iteration.
     serve::QuerySpec q_exact = spec;
     q_exact.mode = "exact";
@@ -115,25 +151,35 @@ int main(int argc, char** argv) {
     if (warmup) continue;
     est_us.push_back(t_est / kMisses * 1e6);
     hit_us.push_back(t_hit / kHits * 1e6);
+    hit_tel_us.push_back(t_hit_tel / kHits * 1e6);
+    overhead.push_back(t_hit_tel / t_hit);
     exact_ms.push_back(t_exact * 1e3);
     reopen_ms.push_back(t_open * 1e3);
-    std::printf("sample %zu: hit %.2f us, estimate-miss %.2f us, "
-                "exact-miss %.2f ms, reopen(%zu recs) %.3f ms\n",
-                s, hit_us.back(), est_us.back(), exact_ms.back(), records,
-                reopen_ms.back());
+    std::printf("sample %zu: hit %.2f us (telemetry-on %.2f us, %.3fx), "
+                "estimate-miss %.2f us, exact-miss %.2f ms, "
+                "reopen(%zu recs) %.3f ms\n",
+                s, hit_us.back(), hit_tel_us.back(), overhead.back(),
+                est_us.back(), exact_ms.back(), records, reopen_ms.back());
   }
 
   const auto hit = bench::summarize_repeats(hit_us);
+  const auto hit_tel = bench::summarize_repeats(hit_tel_us);
+  const auto over = bench::summarize_repeats(overhead);
   const auto est = bench::summarize_repeats(est_us);
   const auto exact = bench::summarize_repeats(exact_ms);
   const auto reopen = bench::summarize_repeats(reopen_ms);
-  std::printf("\nmedians: hit %.2f us, estimate-miss %.2f us, "
-              "exact-miss %.2f ms, reopen %.3f ms\n",
-              hit.median, est.median, exact.median, reopen.median);
+  std::printf("\nmedians: hit %.2f us (telemetry-on %.2f us, %.3fx), "
+              "estimate-miss %.2f us, exact-miss %.2f ms, reopen %.3f ms\n",
+              hit.median, hit_tel.median, over.median, est.median,
+              exact.median, reopen.median);
 
   telemetry.add_metric("hit.us.median", hit.median);
   telemetry.add_metric("hit.us.min", hit.min);
   telemetry.add_metric("hit.us.stddev", hit.stddev);
+  telemetry.add_metric("hit_telemetry.us.median", hit_tel.median);
+  telemetry.add_metric("hit_telemetry.us.min", hit_tel.min);
+  telemetry.add_metric("hit_telemetry.us.stddev", hit_tel.stddev);
+  telemetry.add_metric("telemetry_overhead.ratio", over.median);
   telemetry.add_metric("estimate_miss.us.median", est.median);
   telemetry.add_metric("estimate_miss.us.min", est.min);
   telemetry.add_metric("estimate_miss.us.stddev", est.stddev);
@@ -146,7 +192,10 @@ int main(int argc, char** argv) {
   telemetry.finish();
 
   store.reset();
+  store_tel.reset();
   ::unlink(store_path.c_str());
   ::unlink((store_path + ".journal").c_str());
+  ::unlink(store_tel_path.c_str());
+  ::unlink((store_tel_path + ".journal").c_str());
   return 0;
 }

@@ -11,6 +11,7 @@
 #include <system_error>
 
 #include "obs/collector.hpp"
+#include "obs/profiler.hpp"
 
 namespace pckpt::ckpt {
 
@@ -313,9 +314,13 @@ void CampaignCheckpointer::commit_shard(
     std::size_t shard, const core::CampaignResult& result,
     std::size_t first_run, std::size_t last_run,
     const obs::CampaignTraceCollector* trace) {
+  const std::uint64_t t0 = obs::ProfClock::now_ns();
   log_->append(1 + static_cast<std::uint64_t>(shard),
                encode_shard(result, trace, first_run, last_run));
   ++committed_;
+  if (commit_hook_) {
+    commit_hook_(shard, (obs::ProfClock::now_ns() - t0) / 1000);
+  }
 }
 
 CampaignCheckpointer::Stats CampaignCheckpointer::stats() const {
@@ -328,6 +333,7 @@ CampaignCheckpointer::Stats CampaignCheckpointer::stats() const {
   const DurableLog::Stats ls = log_->stats();
   s.replayed_journal = ls.replayed_journal;
   s.truncated_bytes = ls.truncated_bytes;
+  s.recover_us = ls.recover_us;
   return s;
 }
 

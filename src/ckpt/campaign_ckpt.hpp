@@ -94,6 +94,7 @@ class CampaignCheckpointer final : public core::CampaignCheckpointSink {
     bool reused = false;               ///< a matching manifest was found
     bool replayed_journal = false;
     std::uint64_t truncated_bytes = 0;
+    std::uint64_t recover_us = 0;  ///< DurableLog open-time recovery cost
   };
 
   /// Opens (resuming or creating) the checkpoint for the campaign
@@ -122,6 +123,13 @@ class CampaignCheckpointer final : public core::CampaignCheckpointSink {
 
   Stats stats() const;
 
+  /// Invoked after every durable shard commit with the shard index and
+  /// the host microseconds the journal/log fsync pair took — feeds the
+  /// serve layer's per-shard ckpt-commit histogram. Set before handing
+  /// the sink to the engine; an empty hook (the default) is one branch.
+  using CommitHook = std::function<void(std::size_t shard, std::uint64_t us)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
   /// Discard the checkpoint files — the campaign completed and its
   /// result was persisted upstream (JSONL, result store).
   void remove();
@@ -138,6 +146,7 @@ class CampaignCheckpointer final : public core::CampaignCheckpointSink {
   bool reused_ = false;
   std::size_t resumed_ = 0;
   std::size_t committed_ = 0;
+  CommitHook commit_hook_;
   StringInterner names_;
 };
 

@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/profiler.hpp"
+
 namespace pckpt::ckpt {
 
 namespace {
@@ -130,7 +132,9 @@ DurableLog::DurableLog(std::string path, const ReplayFn& on_record)
   journal_fd_ =
       ::open(journal_path_.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (journal_fd_ < 0) fail("open " + journal_path_);
+  const std::uint64_t t0 = obs::ProfClock::now_ns();
   recover(on_record);
+  recover_us_ = (obs::ProfClock::now_ns() - t0) / 1000;
 }
 
 DurableLog::~DurableLog() {
@@ -231,11 +235,22 @@ void DurableLog::append_group_locked(std::string_view group_bytes,
   xfsync(journal_fd_);
 }
 
+void DurableLog::set_commit_hook(CommitHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  commit_hook_ = std::move(hook);
+}
+
 void DurableLog::append(std::uint64_t key, std::string_view payload) {
   std::string group;
   frame_record(group, key, payload);
-  std::lock_guard<std::mutex> lock(mu_);
-  append_group_locked(group, 1);
+  const std::uint64_t t0 = obs::ProfClock::now_ns();
+  CommitHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    append_group_locked(group, 1);
+    hook = commit_hook_;
+  }
+  if (hook) hook(1, group.size(), (obs::ProfClock::now_ns() - t0) / 1000);
 }
 
 void DurableLog::append_group(
@@ -245,8 +260,16 @@ void DurableLog::append_group(
   for (const auto& [key, payload] : group) {
     frame_record(bytes, key, payload);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  append_group_locked(bytes, group.size());
+  const std::uint64_t t0 = obs::ProfClock::now_ns();
+  CommitHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    append_group_locked(bytes, group.size());
+    hook = commit_hook_;
+  }
+  if (hook) {
+    hook(group.size(), bytes.size(), (obs::ProfClock::now_ns() - t0) / 1000);
+  }
 }
 
 DurableLog::Stats DurableLog::stats() const {
@@ -256,6 +279,7 @@ DurableLog::Stats DurableLog::stats() const {
   s.log_bytes = log_size_;
   s.replayed_journal = replayed_journal_;
   s.truncated_bytes = truncated_bytes_;
+  s.recover_us = recover_us_;
   return s;
 }
 

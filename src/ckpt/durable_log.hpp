@@ -129,6 +129,7 @@ class DurableLog {
     std::uint64_t log_bytes = 0;    ///< current log size
     bool replayed_journal = false;  ///< recovery replayed an armed journal
     std::uint64_t truncated_bytes = 0;  ///< torn tail discarded on open
+    std::uint64_t recover_us = 0;  ///< journal replay + log scan on open
   };
 
   /// Invoked once per intact frame during recovery, in log order (so a
@@ -159,6 +160,15 @@ class DurableLog {
   Stats stats() const;
   const std::string& path() const noexcept { return path_; }
 
+  /// Invoked after every durable commit (append / append_group) with
+  /// the frame count, framed byte size, and host microseconds the
+  /// journal-write + double-fsync pair took — the serve layer's
+  /// per-commit latency feed (docs/OBSERVABILITY.md). Called outside
+  /// the log's lock; an empty hook (the default) costs one branch.
+  using CommitHook = std::function<void(
+      std::size_t frames, std::uint64_t bytes, std::uint64_t us)>;
+  void set_commit_hook(CommitHook hook);
+
   /// Close the descriptors and unlink both files. The log is unusable
   /// afterwards (appends throw); used to discard a finished checkpoint.
   void remove_files();
@@ -182,6 +192,8 @@ class DurableLog {
   std::size_t frames_ = 0;
   bool replayed_journal_ = false;
   std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t recover_us_ = 0;
+  CommitHook commit_hook_;
   mutable std::mutex mu_;
 };
 

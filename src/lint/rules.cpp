@@ -370,6 +370,59 @@ class DeprecatedShimRule final : public Rule {
 };
 
 // ---------------------------------------------------------------------
+// Observability rules.
+// ---------------------------------------------------------------------
+
+/// obs/stderr-log: the serving/checkpoint/exec trees emit runtime
+/// diagnostics through obs::RuntimeLog (structured NDJSON, leveled,
+/// machine-parseable — docs/OBSERVABILITY.md). A stray std::cerr or
+/// fprintf(stderr, ...) bypasses the sink, interleaves with the
+/// daemon's telemetry stream, and is invisible to log-based tests.
+/// CLI front-ends (tools/) and usage errors stay out of scope.
+class StderrLogRule final : public Rule {
+ public:
+  std::string_view id() const override { return "stderr-log"; }
+  std::string_view waiver_slug() const override { return "stderr-log-ok"; }
+  std::string_view summary() const override {
+    return "ban std::cerr/fprintf(stderr,...) in src/serve|ckpt|exec "
+           "(use obs::RuntimeLog)";
+  }
+  void check(const FileContext& ctx, std::vector<Finding>& out) const override {
+    if (!ctx.in_dir("src/serve/") && !ctx.in_dir("src/ckpt/") &&
+        !ctx.in_dir("src/exec/"))
+      return;
+    const auto& ts = ctx.tokens();
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      if (ts[i].preproc) continue;
+      if (ident_in(ts[i], {"cerr", "clog"}) && !member_access(ts, i)) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            std::string("std::") + std::string(ts[i].text) +
+                " bypasses obs::RuntimeLog; emit a structured record "
+                "instead (waive: // lint: stderr-log-ok)"));
+        continue;
+      }
+      if (is_ident(ts[i], "perror") && i + 1 < ts.size() &&
+          is_punct(ts[i + 1], "(") && !member_access(ts, i)) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            "perror() writes unstructured text to stderr; emit an "
+            "obs::RuntimeLog record (waive: // lint: stderr-log-ok)"));
+        continue;
+      }
+      // Any other use of the raw stderr stream (fprintf, fputs, fwrite,
+      // vfprintf, ...): the stream token itself is the violation.
+      if (is_ident(ts[i], "stderr") && !member_access(ts, i)) {
+        out.push_back(make_finding(
+            *this, ctx, ts[i],
+            "raw stderr write bypasses obs::RuntimeLog; emit a "
+            "structured record instead (waive: // lint: stderr-log-ok)"));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------
 // Hygiene rules.
 // ---------------------------------------------------------------------
 
@@ -530,6 +583,7 @@ std::vector<std::unique_ptr<Rule>> make_default_rules() {
   rules.push_back(std::make_unique<SharedPtrRule>());
   rules.push_back(std::make_unique<HeapContainerRule>());
   rules.push_back(std::make_unique<DeprecatedShimRule>());
+  rules.push_back(std::make_unique<StderrLogRule>());
   rules.push_back(std::make_unique<PragmaOnceRule>());
   rules.push_back(std::make_unique<UsingNamespaceRule>());
   rules.push_back(std::make_unique<StdIncludeRule>());

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <bit>
+#include <cmath>
 #include <cstdio>
 #include <ostream>
 #include <stdexcept>
@@ -8,6 +10,74 @@
 #include "obs/profiler.hpp"
 
 namespace pckpt::obs {
+
+namespace {
+
+/// Lower bound of bucket `b` as a double (exact — every bound is a
+/// small integer times a power of two). Valid one past the last
+/// reachable bucket, so midpoints never overflow u64 arithmetic.
+double bucket_lo_d(std::size_t b) noexcept {
+  if (b < (1u << LatencyHist::kSubBits)) return static_cast<double>(b);
+  const std::size_t g = b >> LatencyHist::kSubBits;
+  const std::size_t sub = b & ((1u << LatencyHist::kSubBits) - 1);
+  return std::ldexp(static_cast<double>((1u << LatencyHist::kSubBits) + sub),
+                    static_cast<int>(g) - 1);
+}
+
+}  // namespace
+
+std::size_t LatencyHist::bucket_of(std::uint64_t us) noexcept {
+  if (us < (1u << kSubBits)) return static_cast<std::size_t>(us);
+  const auto e = static_cast<std::size_t>(std::bit_width(us)) - 1;  // >= 2
+  const std::size_t sub =
+      static_cast<std::size_t>(us >> (e - kSubBits)) & ((1u << kSubBits) - 1);
+  const std::size_t b = ((e - 1) << kSubBits) + sub;
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+std::uint64_t LatencyHist::bucket_lo(std::size_t b) noexcept {
+  if (b < (1u << kSubBits)) return b;
+  const std::size_t g = b >> kSubBits;
+  const std::size_t sub = b & ((1u << kSubBits) - 1);
+  if (g - 1 >= 62) return ~0ull;  // beyond any reachable bucket
+  return static_cast<std::uint64_t>((1u << kSubBits) + sub) << (g - 1);
+}
+
+double LatencyHist::bucket_mid(std::size_t b) noexcept {
+  return 0.5 * (bucket_lo_d(b) + bucket_lo_d(b + 1));
+}
+
+void LatencyHist::record_us(std::uint64_t us) noexcept {
+  ++counts_[bucket_of(us)];
+  ++count_;
+  sum_us_ += us;
+  if (us > max_us_) max_us_ = us;
+}
+
+double LatencyHist::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the sample the quantile lands on, 1-based: ceil(q * n),
+  // clamped so q=0 still selects the first sample.
+  std::uint64_t target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  if (target > count_) target = count_;
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cum += counts_[b];
+    if (cum >= target) return bucket_mid(b);
+  }
+  return bucket_mid(kBuckets - 1);
+}
+
+void LatencyHist::merge(const LatencyHist& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) counts_[b] += other.counts_[b];
+  count_ += other.count_;
+  sum_us_ += other.sum_us_;
+  if (other.max_us_ > max_us_) max_us_ = other.max_us_;
+}
 
 std::uint64_t& MetricsRegistry::counter(std::string_view name) {
   auto it = counter_index_.find(std::string(name));
@@ -50,6 +120,15 @@ stats::Histogram& MetricsRegistry::histogram(std::string_view name, double lo,
   return *histograms_[it->second].hist;
 }
 
+LatencyHist& MetricsRegistry::latency(std::string_view name) {
+  auto it = latency_index_.find(std::string(name));
+  if (it == latency_index_.end()) {
+    latencies_.emplace_back(std::string(name), LatencyHist{});
+    it = latency_index_.emplace(std::string(name), latencies_.size() - 1).first;
+  }
+  return latencies_[it->second].second;
+}
+
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   for (const auto& [name, value] : other.counters_) counter(name) += value;
   for (const auto& [name, s] : other.stats_) stat(name).merge(s);
@@ -67,6 +146,8 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
       mine.add(h.hi + h.hist->bin_width());
     }
   }
+  // LatencyHists all share one shape, so this merge is exact.
+  for (const auto& [name, h] : other.latencies_) latency(name).merge(h);
 }
 
 std::string MetricsRegistry::to_string() const {
@@ -86,6 +167,15 @@ std::string MetricsRegistry::to_string() const {
   for (const auto& h : histograms_) {
     std::snprintf(buf, sizeof buf, "%-40s histogram n=%zu [%g, %g) x%zu\n",
                   h.name.c_str(), h.hist->total(), h.lo, h.hi, h.bins);
+    out += buf;
+  }
+  for (const auto& [name, h] : latencies_) {
+    std::snprintf(buf, sizeof buf,
+                  "%-40s latency n=%llu p50=%.6g p90=%.6g p99=%.6g "
+                  "max_us=%llu\n",
+                  name.c_str(), static_cast<unsigned long long>(h.count()),
+                  h.p50(), h.p90(), h.p99(),
+                  static_cast<unsigned long long>(h.max_us()));
     out += buf;
   }
   return out;
@@ -131,6 +221,19 @@ void MetricsRegistry::write_jsonl(std::ostream& os,
     }
     counts += ']';
     row.add_raw("counts", counts);
+    os << row.str() << '\n';
+  }
+  for (const auto& [name, h] : latencies_) {
+    exec::JsonlRow row;
+    row.add("label", label)
+        .add("metric", name)
+        .add("kind", "latency")
+        .add("count", h.count())
+        .add("p50_us", h.p50())
+        .add("p90_us", h.p90())
+        .add("p99_us", h.p99())
+        .add("max_us", h.max_us())
+        .add("sum_us", h.sum_us());
     os << row.str() << '\n';
   }
 }

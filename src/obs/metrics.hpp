@@ -11,20 +11,72 @@
 #include "stats/summary.hpp"
 
 /// \file metrics.hpp
-/// `MetricsRegistry` — named counters, online moment accumulators and
-/// fixed-width histograms, registered on first use and iterated in
-/// insertion order (so exports are deterministic). Reuses the
-/// `src/stats/` toolkit for the numeric machinery.
+/// `MetricsRegistry` — named counters, online moment accumulators,
+/// fixed-width histograms and log-bucketed latency histograms,
+/// registered on first use and iterated in insertion order (so exports
+/// are deterministic). Reuses the `src/stats/` toolkit for the numeric
+/// machinery.
 ///
 /// The registry is single-threaded by design: per-run metrics live in
 /// per-trial registries (or are derived from per-trial trace buffers
 /// via `summarize_events`), and campaign-level rollups happen on the
 /// merging thread — the same discipline the campaign engine uses for
-/// results (docs/EXECUTION.md).
+/// results (docs/EXECUTION.md). Daemon-lifetime registries (the serve
+/// layer's `Telemetry`) wrap access in their own mutex.
 
 namespace pckpt::obs {
 
 struct ProfileReport;
+
+/// Log-bucketed latency histogram over integer microseconds, the shape
+/// behind the serve layer's p50/p90/p99 surfaces. Buckets follow the
+/// HdrHistogram scheme: values below 4 us get exact buckets, above that
+/// each power of two splits into 4 sub-buckets (relative bucket width
+/// <= 25%), 256 buckets covering the full u64 range — so two histograms
+/// always share one shape and `merge` is an exact element-wise sum.
+///
+/// Quantile semantics (docs/OBSERVABILITY.md): `quantile(q)` returns
+/// the midpoint of the lowest bucket whose cumulative count reaches
+/// ceil(q * count) — an upper-bound estimate within one bucket width.
+/// Empty histograms report 0; a single sample reports its own bucket's
+/// midpoint; saturated samples (clamped into the top bucket) report the
+/// top bucket's midpoint.
+class LatencyHist {
+ public:
+  static constexpr std::size_t kSubBits = 2;  ///< 4 sub-buckets per octave
+  static constexpr std::size_t kBuckets = 256;
+
+  /// Bucket index for a microsecond value (monotone in `us`).
+  static std::size_t bucket_of(std::uint64_t us) noexcept;
+  /// Inclusive lower bound of bucket `b` in microseconds.
+  static std::uint64_t bucket_lo(std::size_t b) noexcept;
+  /// Midpoint of bucket `b` (the quantile representative).
+  static double bucket_mid(std::size_t b) noexcept;
+
+  void record_us(std::uint64_t us) noexcept;
+  void record_ns(std::uint64_t ns) noexcept { record_us(ns / 1000); }
+
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t max_us() const noexcept { return max_us_; }
+  std::uint64_t sum_us() const noexcept { return sum_us_; }
+  std::uint64_t bucket_count(std::size_t b) const { return counts_[b]; }
+
+  /// q in [0, 1]; see the class comment for the exact semantics.
+  double quantile(double q) const noexcept;
+
+  double p50() const noexcept { return quantile(0.50); }
+  double p90() const noexcept { return quantile(0.90); }
+  double p99() const noexcept { return quantile(0.99); }
+
+  /// Element-wise sum — always well-defined, the shape is fixed.
+  void merge(const LatencyHist& other) noexcept;
+
+ private:
+  std::uint64_t counts_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_us_ = 0;
+  std::uint64_t max_us_ = 0;
+};
 
 class MetricsRegistry {
  public:
@@ -39,8 +91,13 @@ class MetricsRegistry {
   stats::Histogram& histogram(std::string_view name, double lo, double hi,
                               std::size_t bins);
 
+  /// Log-bucketed latency histogram, created empty on first use. All
+  /// LatencyHists share one shape, so merge never mismatches.
+  LatencyHist& latency(std::string_view name);
+
   bool empty() const noexcept {
-    return counters_.empty() && stats_.empty() && histograms_.empty();
+    return counters_.empty() && stats_.empty() && histograms_.empty() &&
+           latencies_.empty();
   }
 
   /// Fold another registry into this one (counters add, stats merge).
@@ -55,6 +112,10 @@ class MetricsRegistry {
   const std::vector<std::pair<std::string, stats::OnlineStats>>& stats()
       const noexcept {
     return stats_;
+  }
+  const std::vector<std::pair<std::string, LatencyHist>>& latencies()
+      const noexcept {
+    return latencies_;
   }
 
   /// Render `name value` lines (counters) and `name mean/min/max/count`
@@ -75,9 +136,11 @@ class MetricsRegistry {
     std::unique_ptr<stats::Histogram> hist;
   };
   std::vector<NamedHistogram> histograms_;
+  std::vector<std::pair<std::string, LatencyHist>> latencies_;
   std::unordered_map<std::string, std::size_t> counter_index_;
   std::unordered_map<std::string, std::size_t> stat_index_;
   std::unordered_map<std::string, std::size_t> histogram_index_;
+  std::unordered_map<std::string, std::size_t> latency_index_;
 };
 
 /// Fold a profiler report (obs/profiler.hpp) into a registry as counters

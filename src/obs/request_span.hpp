@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "obs/profiler.hpp"
+
+/// \file request_span.hpp
+/// `obs::RequestSpan` — the staged timeline of one serving request
+/// (docs/OBSERVABILITY.md, "Runtime telemetry"). Where a ScopedTimer
+/// aggregates host time per *label* across the whole process, a span
+/// keeps the per-stage breakdown of a *single* request so the daemon
+/// can (a) fold it into per-tier latency histograms and (b) print the
+/// full breakdown when a query crosses the slow-query threshold.
+///
+/// Stages are the fixed request pipeline:
+///
+///   parse -> key-resolve -> store-lookup -> admission-wait
+///         -> campaign-exec -> ckpt-commit -> render
+///
+/// A request touches a prefix-plus-subset of these (a store hit never
+/// waits on admission); untouched stages stay at 0 ns and are omitted
+/// from slow-query records.
+///
+/// Disabled path: subsystems take a `RequestSpan*` that may be null;
+/// `StageTimer` on a null span reads no clock — one pointer test,
+/// the same contract as the profiler's detached ScopedTimer.
+
+namespace pckpt::obs {
+
+class RequestSpan {
+ public:
+  enum class Stage : unsigned char {
+    kParse = 0,
+    kKeyResolve,
+    kStoreLookup,
+    kAdmissionWait,
+    kCampaignExec,
+    kCkptCommit,
+    kRender,
+  };
+  static constexpr std::size_t kStages = 7;
+
+  /// Planner tier the request resolved through; keys the per-tier
+  /// latency histograms ("hit" / "estimate_miss" / "exact_miss").
+  enum class Tier : unsigned char {
+    kNone = 0,  ///< non-query ops (ping/stats/metrics) and errors
+    kHit,
+    kEstimateMiss,
+    kExactMiss,
+  };
+
+  static std::string_view stage_name(Stage s) noexcept {
+    switch (s) {
+      case Stage::kParse:
+        return "parse";
+      case Stage::kKeyResolve:
+        return "key_resolve";
+      case Stage::kStoreLookup:
+        return "store_lookup";
+      case Stage::kAdmissionWait:
+        return "admission_wait";
+      case Stage::kCampaignExec:
+        return "campaign_exec";
+      case Stage::kCkptCommit:
+        return "ckpt_commit";
+      case Stage::kRender:
+        return "render";
+    }
+    return "?";
+  }
+
+  static std::string_view tier_name(Tier t) noexcept {
+    switch (t) {
+      case Tier::kNone:
+        return "none";
+      case Tier::kHit:
+        return "hit";
+      case Tier::kEstimateMiss:
+        return "estimate_miss";
+      case Tier::kExactMiss:
+        return "exact_miss";
+    }
+    return "?";
+  }
+
+  /// Starts the end-to-end clock; `request_id` is the daemon-unique id
+  /// stamped into every log record about this request.
+  explicit RequestSpan(std::uint64_t request_id) noexcept
+      : request_id_(request_id), start_ns_(ProfClock::now_ns()) {}
+
+  std::uint64_t request_id() const noexcept { return request_id_; }
+
+  void add_ns(Stage s, std::uint64_t ns) noexcept {
+    stage_ns_[static_cast<std::size_t>(s)] += ns;
+  }
+  std::uint64_t stage_ns(Stage s) const noexcept {
+    return stage_ns_[static_cast<std::size_t>(s)];
+  }
+
+  /// End-to-end host time since construction.
+  std::uint64_t total_ns() const noexcept {
+    return ProfClock::now_ns() - start_ns_;
+  }
+
+  void set_tier(Tier t) noexcept { tier_ = t; }
+  Tier tier() const noexcept { return tier_; }
+
+  /// RAII stage clock. Null-span construction is a pointer test; no
+  /// clock is read.
+  class StageTimer {
+   public:
+    StageTimer(RequestSpan* span, Stage stage) noexcept
+        : span_(span), stage_(stage) {
+      if (span_ != nullptr) start_ns_ = ProfClock::now_ns();
+    }
+    StageTimer(const StageTimer&) = delete;
+    StageTimer& operator=(const StageTimer&) = delete;
+    ~StageTimer() { stop(); }
+
+    /// Charge the elapsed time now (idempotent) — for stages that end
+    /// mid-scope.
+    void stop() noexcept {
+      if (span_ == nullptr) return;
+      span_->add_ns(stage_, ProfClock::now_ns() - start_ns_);
+      span_ = nullptr;
+    }
+
+   private:
+    RequestSpan* span_;
+    Stage stage_;
+    std::uint64_t start_ns_ = 0;
+  };
+
+ private:
+  std::uint64_t request_id_;
+  std::uint64_t start_ns_;
+  std::uint64_t stage_ns_[kStages] = {};
+  Tier tier_ = Tier::kNone;
+};
+
+}  // namespace pckpt::obs

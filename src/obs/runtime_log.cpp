@@ -1,0 +1,105 @@
+#include "obs/runtime_log.hpp"
+
+#include <chrono>
+
+namespace pckpt::obs {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+bool parse_log_level(std::string_view text, LogLevel& out) noexcept {
+  if (text == "debug") {
+    out = LogLevel::kDebug;
+  } else if (text == "info") {
+    out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    out = LogLevel::kWarn;
+  } else if (text == "error") {
+    out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// The tree's ONE waived wall-clock read (docs/STATIC_ANALYSIS.md): log
+/// timestamps exist to correlate daemon records with the outside world
+/// (client logs, kernel dmesg, operator clocks), which monotonic time
+/// cannot do. No simulated state or persisted payload byte ever
+/// derives from it — the determinism argument does not apply, and
+/// every test that asserts log bytes injects a fake clock instead.
+std::uint64_t wall_clock_ms() {
+  const auto now =
+      std::chrono::system_clock::now()  // lint: wall-clock-ok
+          .time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count());
+}
+
+}  // namespace
+
+RuntimeLog::RuntimeLog(LogLevel min_level)
+    : min_level_(min_level), clock_(&wall_clock_ms) {}
+
+RuntimeLog::~RuntimeLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool RuntimeLog::open_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ae");
+  if (f == nullptr) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = f;
+  return true;
+}
+
+void RuntimeLog::set_clock(ClockFn clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock ? std::move(clock) : ClockFn(&wall_clock_ms);
+}
+
+std::uint64_t RuntimeLog::now_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_();
+}
+
+RuntimeLog::Record::Record(RuntimeLog* log, LogLevel level,
+                           std::string_view component, std::string_view event)
+    : log_(log) {
+  if (log_ == nullptr) return;
+  row_.add("level", to_string(level));
+  row_.add("component", component);
+  row_.add("event", event);
+}
+
+void RuntimeLog::emit(const exec::JsonlRow& row) {
+  // ts and seq are assigned under the sink lock, so the sequence order,
+  // the timestamp order and the physical line order in the file all
+  // agree — a reader never sees seq go backwards.
+  const std::string body = row.str();  // "{"level":...}"
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  std::string line = "{\"ts_ms\":" + std::to_string(clock_()) +
+                     ",\"seq\":" + std::to_string(seq) + ",";
+  line.append(body, 1, body.size() - 1);  // splice past the row's '{'
+  line.push_back('\n');
+  std::FILE* out = file_ != nullptr ? file_ : stderr;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fflush(out);
+}
+
+}  // namespace pckpt::obs

@@ -1,0 +1,160 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "exec/result_sink.hpp"
+
+/// \file runtime_log.hpp
+/// `obs::RuntimeLog` — the structured runtime logger behind the serving
+/// and checkpoint daemons (docs/OBSERVABILITY.md, "Runtime telemetry").
+/// Where the trace layer records *simulated* time and the profiler
+/// records *host* time, this layer records *operational* events: daemon
+/// lifecycle, per-request outcomes, journal replays, slow queries.
+///
+/// Record format: NDJSON, one object per line, fixed prefix then
+/// caller fields in insertion order:
+///
+///   {"ts_ms":<u64>,"seq":<u64>,"level":"info","component":"serve",
+///    "event":"request.done",...}
+///
+/// - `ts_ms`: milliseconds since the Unix epoch from the injected
+///   clock. The *default* clock is the tree's single waived wall-clock
+///   site (the lint rule stays at one waiver); tests inject a fake
+///   clock and assert byte-stable output.
+/// - `seq`: monotonic per-logger sequence number, assigned at emit
+///   under the sink lock — total order over the file even with
+///   concurrent handler threads.
+/// - `level`: debug < info < warn < error; records below the
+///   configured minimum are dropped before any field is rendered.
+///
+/// Sinks: stderr (default) or an append-mode file. Emission is
+/// mutex-serialized and line-buffered, so concurrent records never
+/// interleave mid-line and a crashed daemon leaves a valid NDJSON
+/// prefix.
+///
+/// Disabled path: subsystems hold a `RuntimeLog*` that may be null and
+/// guard call sites with `log && log->enabled(level)` — one pointer
+/// test, mirroring the profiler's detached ScopedTimer contract.
+
+namespace pckpt::obs {
+
+enum class LogLevel : unsigned char { kDebug = 0, kInfo, kWarn, kError };
+
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Parse "debug"/"info"/"warn"/"error"; returns false on anything else.
+bool parse_log_level(std::string_view text, LogLevel& out) noexcept;
+
+class RuntimeLog {
+ public:
+  /// Milliseconds since the Unix epoch.
+  using ClockFn = std::function<std::uint64_t()>;
+
+  /// Starts with the stderr sink and the wall clock.
+  explicit RuntimeLog(LogLevel min_level = LogLevel::kInfo);
+  ~RuntimeLog();
+
+  RuntimeLog(const RuntimeLog&) = delete;
+  RuntimeLog& operator=(const RuntimeLog&) = delete;
+
+  /// Route records to `path` (append mode, line-buffered) instead of
+  /// stderr. Returns false (sink unchanged) when the file cannot be
+  /// opened.
+  bool open_file(const std::string& path);
+
+  void set_min_level(LogLevel level) noexcept { min_level_ = level; }
+  LogLevel min_level() const noexcept { return min_level_; }
+
+  /// Replace the timestamp source (tests; deterministic replay).
+  void set_clock(ClockFn clock);
+
+  bool enabled(LogLevel level) const noexcept {
+    return static_cast<unsigned char>(level) >=
+           static_cast<unsigned char>(min_level_);
+  }
+
+  /// Records emitted since construction (post-filter).
+  std::uint64_t records() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+  /// Builder for one record. Obtained from `record()`; `add()` fields,
+  /// then `commit()` (or let the destructor commit). A builder from a
+  /// filtered-out level renders nothing and commits nothing.
+  class Record {
+   public:
+    ~Record() { commit(); }
+    Record(Record&& o) noexcept : log_(o.log_), row_(std::move(o.row_)) {
+      o.log_ = nullptr;
+    }
+    Record(const Record&) = delete;
+    Record& operator=(const Record&) = delete;
+    Record& operator=(Record&&) = delete;
+
+    template <typename T>
+    Record& add(std::string_view key, T value) {
+      if (log_ != nullptr) row_.add(key, value);
+      return *this;
+    }
+    Record& add_raw(std::string_view key, std::string_view json) {
+      if (log_ != nullptr) row_.add_raw(key, json);
+      return *this;
+    }
+
+    /// Emit the record (idempotent; no-op for filtered levels).
+    void commit() {
+      if (log_ == nullptr) return;
+      log_->emit(row_);
+      log_ = nullptr;
+    }
+
+   private:
+    friend class RuntimeLog;
+    Record(RuntimeLog* log, LogLevel level, std::string_view component,
+           std::string_view event);
+
+    RuntimeLog* log_ = nullptr;  ///< null = below min level, drop
+    exec::JsonlRow row_;
+  };
+
+  /// Start a record at `level` for `component` (subsystem slug: "serve",
+  /// "ckpt", ...) and `event` (dotted name: "request.done").
+  Record record(LogLevel level, std::string_view component,
+                std::string_view event) {
+    return Record(enabled(level) ? this : nullptr, level, component, event);
+  }
+
+  Record debug(std::string_view component, std::string_view event) {
+    return record(LogLevel::kDebug, component, event);
+  }
+  Record info(std::string_view component, std::string_view event) {
+    return record(LogLevel::kInfo, component, event);
+  }
+  Record warn(std::string_view component, std::string_view event) {
+    return record(LogLevel::kWarn, component, event);
+  }
+  Record error(std::string_view component, std::string_view event) {
+    return record(LogLevel::kError, component, event);
+  }
+
+  /// Current clock reading (ms since epoch) — shared with callers that
+  /// stamp durations (e.g. uptime) so their timeline matches the log's.
+  std::uint64_t now_ms() const;
+
+ private:
+  void emit(const exec::JsonlRow& row);
+
+  LogLevel min_level_;
+  std::atomic<std::uint64_t> seq_{0};
+  mutable std::mutex mu_;  ///< sink + clock swap
+  ClockFn clock_;
+  std::FILE* file_ = nullptr;  ///< owned file sink; null = stderr
+};
+
+}  // namespace pckpt::obs

@@ -12,6 +12,7 @@
 #include "core/simulation.hpp"
 #include "exec/executor.hpp"
 #include "exec/result_sink.hpp"
+#include "serve/telemetry.hpp"
 
 namespace pckpt::serve {
 
@@ -30,13 +31,11 @@ void AdmissionGate::acquire() {
     throw ServeError(429, "admission queue full; retry later");
   }
   ++waiting_;
-  // The one real-time dependency in the serve tree: a *bounded* wait for
-  // a campaign slot. The deadline never feeds simulation state or any
-  // persisted byte — it only decides when a queued client gets its 429 —
-  // so the determinism argument for the wall-clock ban does not apply.
-  const auto deadline =                          // lint: wall-clock-ok
-      std::chrono::system_clock::now() +         // lint: wall-clock-ok
-      std::chrono::milliseconds(cfg_.wait_ms);
+  // A *bounded* wait for a campaign slot. Monotonic time: the deadline
+  // only decides when a queued client gets its 429, and steady_clock
+  // is immune to the wall clock stepping under the wait.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(cfg_.wait_ms);
   const bool admitted = cv_.wait_until(
       lock, deadline, [this] { return inflight_ < cfg_.max_inflight; });
   --waiting_;
@@ -288,14 +287,24 @@ Planner::Resolved Planner::resolve(const QuerySpec& spec) const {
 }
 
 Planner::Outcome Planner::answer(const QuerySpec& spec,
-                                 const exec::ProgressHook& progress) {
+                                 const exec::ProgressHook& progress,
+                                 obs::RequestSpan* span) {
+  using Stage = obs::RequestSpan::Stage;
+  using Tier = obs::RequestSpan::Tier;
+
+  obs::RequestSpan::StageTimer resolve_timer(span, Stage::kKeyResolve);
   const Resolved r = resolve(spec);
+  resolve_timer.stop();
 
   Outcome out;
   out.key = r.key;
   out.tier = spec.mode;
 
-  if (auto hit = store_.lookup(r.key)) {
+  obs::RequestSpan::StageTimer lookup_timer(span, Stage::kStoreLookup);
+  auto hit = store_.lookup(r.key);
+  lookup_timer.stop();
+  if (hit) {
+    if (span != nullptr) span->set_tier(Tier::kHit);
     out.payload = std::move(*hit);
     out.cached = true;
     std::lock_guard<std::mutex> lock(counters_mu_);
@@ -304,10 +313,19 @@ Planner::Outcome Planner::answer(const QuerySpec& spec,
   }
 
   if (spec.mode == "estimate") {
+    if (span != nullptr) span->set_tier(Tier::kEstimateMiss);
+    obs::RequestSpan::StageTimer exec_timer(span, Stage::kCampaignExec);
     const EstimateBreakdown e =
         estimate_query(r, scenario_.machine, storage_, leads_);
-    out.payload = render_estimate_payload(r.canonical, e);
-    store_.put(r.key, out.payload);
+    exec_timer.stop();
+    {
+      obs::RequestSpan::StageTimer render_timer(span, Stage::kRender);
+      out.payload = render_estimate_payload(r.canonical, e);
+    }
+    {
+      obs::RequestSpan::StageTimer commit_timer(span, Stage::kCkptCommit);
+      store_.put(r.key, out.payload);
+    }
     std::lock_guard<std::mutex> lock(counters_mu_);
     ++counters_.estimate_misses;
     return out;
@@ -317,7 +335,10 @@ Planner::Outcome Planner::answer(const QuerySpec& spec,
   // campaign runs on a serial executor — results are --jobs-independent
   // by the engine's determinism contract, and service concurrency comes
   // from admitting several campaigns, not from sharding one.
+  if (span != nullptr) span->set_tier(Tier::kExactMiss);
+  obs::RequestSpan::StageTimer wait_timer(span, Stage::kAdmissionWait);
   AdmissionTicket ticket(gate_);
+  wait_timer.stop();
   core::RunSetup setup;
   setup.app = &r.app;
   setup.machine = &scenario_.machine;
@@ -334,12 +355,43 @@ Planner::Outcome Planner::answer(const QuerySpec& spec,
   if (!checkpoint_dir_.empty()) {
     checkpointer.emplace(checkpoint_dir_, canonical_text(r.canonical),
                          static_cast<std::size_t>(spec.runs), /*resume=*/true);
+    if (telemetry_ != nullptr) {
+      const auto cs = checkpointer->stats();
+      telemetry_->record_recover("ckpt", cs.replayed_journal,
+                                 cs.truncated_bytes, cs.committed_prefix,
+                                 cs.recover_us);
+      if (cs.committed_prefix > 0) {
+        telemetry_->log()
+            .info("ckpt", "ckpt.resume")
+            .add("req", span != nullptr ? span->request_id() : 0)
+            .add("key", key_hex(r.key))
+            .add("shards_resumed",
+                 static_cast<std::uint64_t>(cs.committed_prefix))
+            .add("shards_total", static_cast<std::uint64_t>(cs.shards_total));
+      }
+      Telemetry* telemetry = telemetry_;
+      checkpointer->set_commit_hook(
+          [telemetry, span](std::size_t shard, std::uint64_t us) {
+            telemetry->record_shard_commit(shard, us);
+            if (span != nullptr) {
+              span->add_ns(Stage::kCkptCommit, us * 1000);
+            }
+          });
+    }
   }
+  obs::RequestSpan::StageTimer exec_timer(span, Stage::kCampaignExec);
   const core::CampaignResult result = core::run_campaign(
       setup, r.cr, static_cast<std::size_t>(spec.runs), spec.seed, ex,
       progress, /*trace=*/nullptr, checkpointer ? &*checkpointer : nullptr);
-  out.payload = render_exact_payload(r.canonical, result);
-  store_.put(r.key, out.payload);
+  exec_timer.stop();
+  {
+    obs::RequestSpan::StageTimer render_timer(span, Stage::kRender);
+    out.payload = render_exact_payload(r.canonical, result);
+  }
+  {
+    obs::RequestSpan::StageTimer commit_timer(span, Stage::kCkptCommit);
+    store_.put(r.key, out.payload);
+  }
   std::lock_guard<std::mutex> lock(counters_mu_);
   ++counters_.exact_misses;
   if (checkpointer) {
@@ -347,6 +399,14 @@ Planner::Outcome Planner::answer(const QuerySpec& spec,
     counters_.shards_resumed += cs.resumed;
     counters_.shards_executed += cs.committed;
     checkpointer->remove();
+    if (telemetry_ != nullptr) {
+      telemetry_->log()
+          .info("ckpt", "ckpt.done")
+          .add("req", span != nullptr ? span->request_id() : 0)
+          .add("key", key_hex(r.key))
+          .add("shards_resumed", static_cast<std::uint64_t>(cs.resumed))
+          .add("shards_executed", static_cast<std::uint64_t>(cs.committed));
+    }
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #include "core/campaign.hpp"
 #include "core/scenario.hpp"
 #include "failure/lead_time_model.hpp"
+#include "obs/request_span.hpp"
 #include "serve/cache_key.hpp"
 #include "serve/protocol.hpp"
 #include "serve/result_store.hpp"
@@ -38,6 +39,8 @@
 /// of the CampaignResult. Tests assert hit == miss == standalone bytes.
 
 namespace pckpt::serve {
+
+class Telemetry;
 
 /// Bounded concurrency for tier-B campaigns.
 struct AdmissionConfig {
@@ -127,12 +130,24 @@ class Planner {
 
   /// Answer a query: cache hit, tier-A estimate, or tier-B campaign.
   /// `progress` (may be empty) receives shard completions of a tier-B
-  /// miss. Thread-safe. \throws ServeError (429 on admission rejection).
+  /// miss. A non-null `span` gets the staged timeline (key-resolve,
+  /// store-lookup, admission-wait, campaign-exec, ckpt-commit, render)
+  /// and the resolved tier. Thread-safe. \throws ServeError (429 on
+  /// admission rejection).
   Outcome answer(const QuerySpec& spec,
-                 const exec::ProgressHook& progress = {});
+                 const exec::ProgressHook& progress = {},
+                 obs::RequestSpan* span = nullptr);
 
   Counters counters() const;
   const ResultStore& store() const noexcept { return store_; }
+
+  /// Attach the daemon's telemetry (docs/OBSERVABILITY.md): checkpoint
+  /// open/resume log records and per-shard commit samples. Null (the
+  /// default) keeps every call site a single pointer test. Set before
+  /// serving begins.
+  void set_telemetry(Telemetry* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
 
  private:
   core::Scenario scenario_;
@@ -141,6 +156,7 @@ class Planner {
   AdmissionGate gate_;
   ResultStore& store_;
   std::string checkpoint_dir_;
+  Telemetry* telemetry_ = nullptr;
   mutable std::mutex counters_mu_;
   Counters counters_;
 };

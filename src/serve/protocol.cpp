@@ -117,6 +117,8 @@ Request parse_request(std::string_view line) {
     req.op = Op::kPing;
   } else if (op->string == "stats") {
     req.op = Op::kStats;
+  } else if (op->string == "metrics") {
+    req.op = Op::kMetrics;
   } else if (op->string == "shutdown") {
     req.op = Op::kShutdown;
   } else if (op->string == "query") {

@@ -16,6 +16,7 @@
 ///
 ///   {"op":"ping"}                            -> {"ev":"pong",...}
 ///   {"op":"stats"}                           -> {"ev":"stats",...}
+///   {"op":"metrics"}                         -> {"ev":"metrics",...}
 ///   {"op":"shutdown"}                        -> {"ev":"bye"}
 ///   {"op":"query","model":"P1","app":...}    -> [{"ev":"progress",...}]*
 ///                                               {"ev":"result",...}
@@ -72,7 +73,7 @@ struct QuerySpec {
   std::optional<double> spare_nodes;  ///< -1 = unbounded (catalog default)
 };
 
-enum class Op { kQuery, kPing, kStats, kShutdown };
+enum class Op { kQuery, kPing, kStats, kMetrics, kShutdown };
 
 struct Request {
   Op op = Op::kPing;

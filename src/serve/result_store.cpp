@@ -41,6 +41,7 @@ ResultStore::Stats ResultStore::stats() const {
   s.log_bytes = ls.log_bytes;
   s.replayed_journal = ls.replayed_journal;
   s.truncated_bytes = ls.truncated_bytes;
+  s.recover_us = ls.recover_us;
   return s;
 }
 

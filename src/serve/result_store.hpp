@@ -36,6 +36,7 @@ class ResultStore {
     std::uint64_t log_bytes = 0;    ///< current log size
     bool replayed_journal = false;  ///< recovery replayed an armed journal
     std::uint64_t truncated_bytes = 0;  ///< torn tail discarded on open
+    std::uint64_t recover_us = 0;  ///< DurableLog open-time recovery cost
   };
 
   /// Opens (creating if absent) and recovers the store at `path`.
@@ -60,6 +61,13 @@ class ResultStore {
 
   Stats stats() const;
   const std::string& path() const noexcept { return log_.path(); }
+
+  /// Forwarded to `ckpt::DurableLog::set_commit_hook` — fires after
+  /// every durable put with frame count, framed bytes, and commit
+  /// microseconds. Set before concurrent puts begin.
+  void set_commit_hook(ckpt::DurableLog::CommitHook hook) {
+    log_.set_commit_hook(std::move(hook));
+  }
 
   /// Test hook, forwarded to `ckpt::DurableLog::set_write_fault_budget`:
   /// kills the process mid-write once `bytes` further bytes have been

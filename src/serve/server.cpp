@@ -11,7 +11,10 @@
 #include <system_error>
 
 #include "exec/result_sink.hpp"
+#include "obs/profiler.hpp"
+#include "obs/request_span.hpp"
 #include "serve/protocol.hpp"
+#include "serve/telemetry.hpp"
 
 namespace pckpt::serve {
 
@@ -60,8 +63,13 @@ bool write_line(int fd, std::string_view line) {
 // Server.
 // ---------------------------------------------------------------------
 
-Server::Server(std::string socket_path, Planner& planner)
-    : socket_path_(std::move(socket_path)), planner_(planner) {
+Server::Server(std::string socket_path, Planner& planner,
+               Telemetry* telemetry)
+    : socket_path_(std::move(socket_path)),
+      planner_(planner),
+      telemetry_(telemetry),
+      start_ns_(obs::ProfClock::now_ns()) {
+  planner_.set_telemetry(telemetry_);
   sockaddr_un addr;
   listen_fd_ = make_unix_socket(socket_path_, addr);
   // A previous daemon instance that crashed leaves the socket file
@@ -154,18 +162,44 @@ void Server::handle_connection(int fd) {
   ::close(fd);
 }
 
+std::uint64_t Server::uptime_s() const noexcept {
+  return (obs::ProfClock::now_ns() - start_ns_) / 1000000000ull;
+}
+
 bool Server::handle_line(std::string_view line, int fd) {
+  requests_total_.fetch_add(1, std::memory_order_relaxed);
+
+  // Telemetry-off daemons never construct a span: the entire disabled
+  // path is this one null test plus null StageTimers (no clock reads).
+  std::optional<obs::RequestSpan> span_storage;
+  obs::RequestSpan* span = nullptr;
+  if (telemetry_ != nullptr) {
+    span_storage.emplace(telemetry_->next_request_id());
+    span = &*span_storage;
+  }
+  const auto finish = [&](std::string_view op, int code) {
+    if (telemetry_ != nullptr) telemetry_->record_request(*span, op, code);
+  };
+
   Request req;
-  try {
-    req = parse_request(line);
-  } catch (const ServeError& e) {
-    return write_line(fd, render_error_line(e.code(), e.what()));
+  {
+    obs::RequestSpan::StageTimer parse_timer(span,
+                                             obs::RequestSpan::Stage::kParse);
+    try {
+      req = parse_request(line);
+    } catch (const ServeError& e) {
+      parse_timer.stop();
+      finish("?", e.code());
+      return write_line(fd, render_error_line(e.code(), e.what()));
+    }
   }
 
   switch (req.op) {
     case Op::kPing:
+      finish("ping", 200);
       return write_line(fd, render_pong_line(kServeVersion));
     case Op::kShutdown:
+      finish("shutdown", 200);
       write_line(fd, "{\"ev\":\"bye\"}");
       stop();
       return false;
@@ -174,6 +208,10 @@ bool Server::handle_line(std::string_view line, int fd) {
       const Planner::Counters c = planner_.counters();
       exec::JsonlRow row;
       row.add("ev", "stats");
+      row.add("version", kServeVersion);
+      row.add("uptime_s", uptime_s());
+      row.add("requests_total",
+              requests_total_.load(std::memory_order_relaxed));
       row.add("records", static_cast<std::uint64_t>(s.records));
       row.add("log_records", static_cast<std::uint64_t>(s.log_records));
       row.add("log_bytes", s.log_bytes);
@@ -188,7 +226,20 @@ bool Server::handle_line(std::string_view line, int fd) {
       row.add("shards_executed",
               static_cast<std::uint64_t>(c.shards_executed));
       row.add("shards_resumed", static_cast<std::uint64_t>(c.shards_resumed));
+      finish("stats", 200);
       return write_line(fd, row.str());
+    }
+    case Op::kMetrics: {
+      if (telemetry_ == nullptr) {
+        return write_line(
+            fd, render_error_line(503, "telemetry disabled on this daemon"));
+      }
+      const std::string reply = telemetry_->render_metrics_line(
+          kServeVersion, uptime_s(),
+          requests_total_.load(std::memory_order_relaxed),
+          planner_.counters(), planner_.store().stats());
+      finish("metrics", 200);
+      return write_line(fd, reply);
     }
     case Op::kQuery:
       break;
@@ -206,12 +257,21 @@ bool Server::handle_line(std::string_view line, int fd) {
         write_line(fd, render_progress_line(hex, p));
       };
     }
-    const Planner::Outcome out = planner_.answer(req.query, hook);
-    return write_line(fd, render_result_line(key_hex(out.key), out.tier,
-                                             out.cached, out.payload));
+    const Planner::Outcome out = planner_.answer(req.query, hook, span);
+    {
+      obs::RequestSpan::StageTimer render_timer(
+          span, obs::RequestSpan::Stage::kRender);
+      const std::string reply = render_result_line(key_hex(out.key), out.tier,
+                                                   out.cached, out.payload);
+      render_timer.stop();
+      finish("query", 200);
+      return write_line(fd, reply);
+    }
   } catch (const ServeError& e) {
+    finish("query", e.code());
     return write_line(fd, render_error_line(e.code(), e.what()));
   } catch (const std::exception& e) {
+    finish("query", 500);
     return write_line(fd, render_error_line(500, e.what()));
   }
 }

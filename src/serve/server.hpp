@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -29,8 +30,12 @@ inline constexpr std::string_view kServeVersion = "pckpt-serve/1";
 
 class Server {
  public:
-  /// Binds `socket_path` and listens. \throws std::system_error.
-  Server(std::string socket_path, Planner& planner);
+  /// Binds `socket_path` and listens. A non-null `telemetry` enables
+  /// runtime telemetry (docs/OBSERVABILITY.md): request spans folded
+  /// into latency histograms, the `metrics` op, and slow-query records.
+  /// \throws std::system_error.
+  Server(std::string socket_path, Planner& planner,
+         Telemetry* telemetry = nullptr);
   ~Server();
 
   Server(const Server&) = delete;
@@ -52,8 +57,14 @@ class Server {
   /// Returns false when the connection should close (shutdown op).
   bool handle_line(std::string_view line, int fd);
 
+  /// Whole seconds since the server was constructed (steady clock).
+  std::uint64_t uptime_s() const noexcept;
+
   std::string socket_path_;
   Planner& planner_;
+  Telemetry* telemetry_;
+  std::uint64_t start_ns_;  ///< construction time, ProfClock
+  std::atomic<std::uint64_t> requests_total_{0};
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::mutex conn_mu_;

@@ -1,0 +1,239 @@
+#include "serve/telemetry.hpp"
+
+#include <cstdio>
+
+#include "exec/result_sink.hpp"
+
+namespace pckpt::serve {
+
+namespace {
+
+using obs::LatencyHist;
+using obs::RequestSpan;
+
+/// Prometheus metric name: `pckpt_` + the registry key with every
+/// non-[a-zA-Z0-9_] byte mapped to '_'.
+std::string prom_name(std::string_view name) {
+  std::string out = "pckpt_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void prom_counter(std::string& out, std::string_view name,
+                  std::uint64_t value) {
+  const std::string n = prom_name(name);
+  out += "# TYPE " + n + " counter\n";
+  out += n + " " + std::to_string(value) + "\n";
+}
+
+void prom_gauge(std::string& out, std::string_view name, std::uint64_t value) {
+  const std::string n = prom_name(name);
+  out += "# TYPE " + n + " gauge\n";
+  out += n + " " + std::to_string(value) + "\n";
+}
+
+void prom_quantile(std::string& out, const std::string& n, const char* q,
+                   double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.12g", value);
+  out += n + "{quantile=\"" + q + "\"} " + buf + "\n";
+}
+
+/// One latency histogram as a Prometheus summary (quantiles in
+/// microseconds, matching the `_us` registry names).
+void prom_summary(std::string& out, std::string_view name,
+                  const LatencyHist& h) {
+  const std::string n = prom_name(name);
+  out += "# TYPE " + n + " summary\n";
+  prom_quantile(out, n, "0.5", h.p50());
+  prom_quantile(out, n, "0.9", h.p90());
+  prom_quantile(out, n, "0.99", h.p99());
+  out += n + "_sum " + std::to_string(h.sum_us()) + "\n";
+  out += n + "_count " + std::to_string(h.count()) + "\n";
+}
+
+/// JSON object for one latency histogram, embedded via add_raw.
+std::string latency_json(const LatencyHist& h) {
+  exec::JsonlRow row;
+  row.add("count", h.count())
+      .add("p50_us", h.p50())
+      .add("p90_us", h.p90())
+      .add("p99_us", h.p99())
+      .add("max_us", h.max_us())
+      .add("sum_us", h.sum_us());
+  return row.str();
+}
+
+}  // namespace
+
+Telemetry::Telemetry(obs::RuntimeLog& log, std::uint64_t slow_query_ms)
+    : log_(log), slow_query_ms_(slow_query_ms) {
+  // Register the stable surfaces eagerly: the metrics endpoint shows
+  // every tier (and the error/slow counters) from the first scrape, in
+  // a deterministic order independent of traffic.
+  registry_.latency("req.us.hit");
+  registry_.latency("req.us.estimate_miss");
+  registry_.latency("req.us.exact_miss");
+  registry_.counter("errors_total");
+  registry_.counter("slow_total");
+  registry_.counter("journal_replays");
+}
+
+void Telemetry::record_request(const obs::RequestSpan& span,
+                               std::string_view op, int code) {
+  const std::uint64_t total_ns = span.total_ns();
+  const std::uint64_t total_us = total_ns / 1000;
+  const RequestSpan::Tier tier = span.tier();
+  const bool slow = slow_query_ms_ > 0 && total_us >= slow_query_ms_ * 1000;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_.latency(std::string("op.us.").append(op)).record_us(total_us);
+    if (tier != RequestSpan::Tier::kNone) {
+      registry_
+          .latency(std::string("req.us.").append(RequestSpan::tier_name(tier)))
+          .record_us(total_us);
+    }
+    for (std::size_t i = 0; i < RequestSpan::kStages; ++i) {
+      const auto stage = static_cast<RequestSpan::Stage>(i);
+      const std::uint64_t ns = span.stage_ns(stage);
+      if (ns == 0) continue;
+      registry_
+          .latency(
+              std::string("stage.us.").append(RequestSpan::stage_name(stage)))
+          .record_ns(ns);
+    }
+    if (code >= 400) ++registry_.counter("errors_total");
+    if (slow) ++registry_.counter("slow_total");
+  }
+  log_.debug("serve", "request.done")
+      .add("req", span.request_id())
+      .add("op", op)
+      .add("tier", RequestSpan::tier_name(tier))
+      .add("code", code)
+      .add("us", total_us);
+  if (slow) {
+    auto rec = log_.warn("serve", "request.slow");
+    rec.add("req", span.request_id())
+        .add("op", op)
+        .add("tier", RequestSpan::tier_name(tier))
+        .add("code", code)
+        .add("us", total_us);
+    for (std::size_t i = 0; i < RequestSpan::kStages; ++i) {
+      const auto stage = static_cast<RequestSpan::Stage>(i);
+      const std::uint64_t ns = span.stage_ns(stage);
+      if (ns == 0) continue;
+      rec.add(std::string(RequestSpan::stage_name(stage)) + "_us", ns / 1000);
+    }
+  }
+}
+
+void Telemetry::record_store_commit(std::size_t frames, std::uint64_t bytes,
+                                    std::uint64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.latency("store.commit.us").record_us(us);
+  registry_.counter("store.commit.frames") += frames;
+  registry_.counter("store.commit.bytes") += bytes;
+}
+
+void Telemetry::record_shard_commit(std::size_t /*shard*/, std::uint64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registry_.latency("ckpt.commit.us").record_us(us);
+  ++registry_.counter("ckpt.commit.shards");
+}
+
+void Telemetry::record_recover(std::string_view component, bool replayed,
+                               std::uint64_t truncated_bytes,
+                               std::uint64_t frames, std::uint64_t us) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    registry_.latency(std::string("recover.us.").append(component))
+        .record_us(us);
+    if (replayed) ++registry_.counter("journal_replays");
+  }
+  log_.info(component, "journal.recover")
+      .add("replayed", replayed)
+      .add("truncated_bytes", truncated_bytes)
+      .add("frames", frames)
+      .add("us", us);
+}
+
+obs::MetricsRegistry Telemetry::snapshot() const {
+  obs::MetricsRegistry out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.merge(registry_);
+  return out;
+}
+
+std::string Telemetry::render_metrics_line(
+    std::string_view version, std::uint64_t uptime_s,
+    std::uint64_t requests_total, const Planner::Counters& counters,
+    const ResultStore::Stats& store) const {
+  const obs::MetricsRegistry snap = snapshot();
+
+  exec::JsonlRow row;
+  row.add("ev", "metrics");
+  row.add("version", version);
+  row.add("uptime_s", uptime_s);
+  row.add("requests_total", requests_total);
+
+  exec::JsonlRow planner_row;
+  planner_row.add("hits", static_cast<std::uint64_t>(counters.hits))
+      .add("estimate_misses",
+           static_cast<std::uint64_t>(counters.estimate_misses))
+      .add("exact_misses", static_cast<std::uint64_t>(counters.exact_misses))
+      .add("rejected", static_cast<std::uint64_t>(counters.rejected))
+      .add("inflight", static_cast<std::uint64_t>(counters.inflight))
+      .add("shards_executed",
+           static_cast<std::uint64_t>(counters.shards_executed))
+      .add("shards_resumed",
+           static_cast<std::uint64_t>(counters.shards_resumed));
+  row.add_raw("planner", planner_row.str());
+
+  exec::JsonlRow store_row;
+  store_row.add("records", static_cast<std::uint64_t>(store.records))
+      .add("log_bytes", store.log_bytes)
+      .add("replayed_journal", store.replayed_journal)
+      .add("recover_us", store.recover_us);
+  row.add_raw("store", store_row.str());
+
+  exec::JsonlRow counters_row;
+  for (const auto& [name, value] : snap.counters()) {
+    counters_row.add(name, value);
+  }
+  row.add_raw("counters", counters_row.str());
+
+  exec::JsonlRow latencies_row;
+  for (const auto& [name, h] : snap.latencies()) {
+    latencies_row.add_raw(name, latency_json(h));
+  }
+  row.add_raw("latencies", latencies_row.str());
+
+  // Prometheus text exposition, embedded as one escaped string member
+  // (pckpt_query --metrics --prom unescapes and prints it verbatim).
+  std::string prom;
+  prom_gauge(prom, "uptime_seconds", uptime_s);
+  prom_counter(prom, "requests_total", requests_total);
+  prom_counter(prom, "hits_total", counters.hits);
+  prom_counter(prom, "estimate_misses_total", counters.estimate_misses);
+  prom_counter(prom, "exact_misses_total", counters.exact_misses);
+  prom_counter(prom, "rejected_total", counters.rejected);
+  prom_gauge(prom, "inflight", counters.inflight);
+  prom_counter(prom, "shards_executed_total", counters.shards_executed);
+  prom_counter(prom, "shards_resumed_total", counters.shards_resumed);
+  prom_gauge(prom, "store_records", store.records);
+  prom_gauge(prom, "store_log_bytes", store.log_bytes);
+  for (const auto& [name, value] : snap.counters()) {
+    prom_counter(prom, name, value);
+  }
+  for (const auto& [name, h] : snap.latencies()) {
+    prom_summary(prom, name, h);
+  }
+  row.add("prom", prom);
+  return row.str();
+}
+
+}  // namespace pckpt::serve

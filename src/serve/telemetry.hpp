@@ -1,0 +1,94 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "obs/request_span.hpp"
+#include "obs/runtime_log.hpp"
+#include "serve/planner.hpp"
+#include "serve/result_store.hpp"
+
+/// \file telemetry.hpp
+/// Daemon-lifetime telemetry for pckpt_serve (docs/OBSERVABILITY.md,
+/// "Runtime telemetry"): one `obs::RuntimeLog` plus one mutex-wrapped
+/// `obs::MetricsRegistry` that every handler thread folds finished
+/// `obs::RequestSpan`s and commit/recovery timings into. The registry
+/// keys:
+///
+///   req.us.{hit,estimate_miss,exact_miss}  per-tier request latency
+///   op.us.{query,ping,stats,metrics,...}   per-op request latency
+///   stage.us.{parse,...,render}            per-stage latency
+///   store.commit.us / ckpt.commit.us       durable-commit latency
+///   recover.us.{store,ckpt}                journal-replay-on-open cost
+///
+/// all as log-bucketed `LatencyHist`s (p50/p90/p99 per the documented
+/// quantile semantics), plus counters (errors_total, slow_total,
+/// journal_replays, ...).
+///
+/// Disabled path: the planner and server hold a `Telemetry*` that may
+/// be null and guard every call site with one pointer test — the
+/// telemetry-off daemon must stay within the 2% `micro_serve` budget.
+
+namespace pckpt::serve {
+
+class Telemetry {
+ public:
+  /// `slow_query_ms` = 0 disables slow-query records.
+  explicit Telemetry(obs::RuntimeLog& log, std::uint64_t slow_query_ms = 0);
+
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  obs::RuntimeLog& log() noexcept { return log_; }
+  std::uint64_t slow_query_ms() const noexcept { return slow_query_ms_; }
+
+  /// Daemon-unique request id (1-based; 0 means "no request").
+  std::uint64_t next_request_id() noexcept {
+    return request_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Fold one finished request into the registry; emits a debug
+  /// `request.done` record and, past the slow-query threshold, a warn
+  /// `request.slow` record with the full stage breakdown.
+  void record_request(const obs::RequestSpan& span, std::string_view op,
+                      int code);
+
+  /// Result-store durable-commit sample (DurableLog commit hook shape).
+  void record_store_commit(std::size_t frames, std::uint64_t bytes,
+                           std::uint64_t us);
+
+  /// Campaign-checkpoint per-shard commit sample.
+  void record_shard_commit(std::size_t shard, std::uint64_t us);
+
+  /// Journal-replay-on-open outcome for `component` ("store" / "ckpt").
+  /// Always emits a `journal.recover` log record — emitted on the clean
+  /// path too (replayed=false), so restart telemetry is deterministic.
+  void record_recover(std::string_view component, bool replayed,
+                      std::uint64_t truncated_bytes, std::uint64_t frames,
+                      std::uint64_t us);
+
+  /// Copy of the registry (consistent snapshot under the lock).
+  obs::MetricsRegistry snapshot() const;
+
+  /// The complete `{"ev":"metrics",...}` reply line: JSON snapshot
+  /// (counters + per-tier/per-op/per-stage quantiles) with the
+  /// Prometheus text exposition embedded as the escaped `prom` member.
+  std::string render_metrics_line(std::string_view version,
+                                  std::uint64_t uptime_s,
+                                  std::uint64_t requests_total,
+                                  const Planner::Counters& counters,
+                                  const ResultStore::Stats& store) const;
+
+ private:
+  obs::RuntimeLog& log_;
+  std::uint64_t slow_query_ms_;
+  std::atomic<std::uint64_t> request_seq_{0};
+  mutable std::mutex mu_;
+  obs::MetricsRegistry registry_;
+};
+
+}  // namespace pckpt::serve

@@ -1,0 +1,10 @@
+// Fixture: direct stderr logging in a serving-tree file — every write
+// here must route through obs::RuntimeLog instead.
+#include <cstdio>
+#include <iostream>
+
+void report(const char* what) {
+  std::cerr << "error: " << what << "\n";
+  std::fprintf(stderr, "error: %s\n", what);
+  perror(what);
+}

@@ -1,0 +1,14 @@
+// Fixture: compliant serving-tree diagnostics — structured records via
+// the runtime log, plus one waived last-resort stderr write (the
+// pattern for "the log sink itself failed").
+#include <cstdio>
+#include <string>
+
+struct FakeLog {
+  void error(const std::string&, const std::string&) {}
+};
+
+void report(FakeLog& log, const char* what) {
+  log.error("serve", what);
+  std::fprintf(stderr, "log sink lost: %s\n", what);  // lint: stderr-log-ok
+}

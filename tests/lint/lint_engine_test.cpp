@@ -194,6 +194,38 @@ TEST(LintRules, DeprecatedShimExemptsDedicatedSuite) {
                   .empty());
 }
 
+TEST(LintRules, StderrLogFlagsDirectWritesInServeTree) {
+  const auto fs = lint_fixture("stderr_log_bad.cpp", "src/serve/x.cpp");
+  ASSERT_EQ(fs.size(), 3u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "stderr-log");
+  EXPECT_EQ(fs[0].line, 7);  // std::cerr
+  EXPECT_EQ(fs[1].line, 8);  // fprintf(stderr, ...)
+  EXPECT_EQ(fs[2].line, 9);  // perror
+}
+
+TEST(LintRules, StderrLogCoversCkptAndExecTrees) {
+  EXPECT_FALSE(
+      lint_fixture("stderr_log_bad.cpp", "src/ckpt/x.cpp").empty());
+  EXPECT_FALSE(
+      lint_fixture("stderr_log_bad.cpp", "src/exec/x.cpp").empty());
+}
+
+TEST(LintRules, StderrLogScopedToDaemonTrees) {
+  // CLI front-ends (tools/) and the obs tree itself — where the
+  // RuntimeLog's own stderr sink lives — stay out of scope.
+  EXPECT_TRUE(
+      lint_fixture("stderr_log_bad.cpp", "tools/x.cpp").empty());
+  EXPECT_TRUE(
+      lint_fixture("stderr_log_bad.cpp", "src/obs/x.cpp").empty());
+}
+
+TEST(LintRules, StderrLogHonorsWaiver) {
+  lint::LintStats stats;
+  EXPECT_TRUE(
+      lint_fixture("stderr_log_clean.cpp", "src/serve/x.cpp", &stats).empty());
+  EXPECT_EQ(stats.waived, 1u);
+}
+
 TEST(LintRules, PragmaOnceRequiredInHeaders) {
   const auto fs = lint_fixture("pragma_once_bad.hpp", "src/core/x.hpp");
   ASSERT_EQ(fs.size(), 1u);
@@ -323,7 +355,8 @@ TEST(LintEngine, RuleCatalogCoversAllFamilies) {
   for (const char* want :
        {"wall-clock", "raw-rng", "unordered-iter", "fp-accum",
         "hot-path-function", "hot-path-shared-ptr", "hot-path-container",
-        "deprecated-shim", "pragma-once", "using-namespace", "std-include"}) {
+        "deprecated-shim", "stderr-log", "pragma-once", "using-namespace",
+        "std-include"}) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), want), ids.end()) << want;
   }
 }

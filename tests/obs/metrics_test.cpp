@@ -1,0 +1,213 @@
+// MetricsRegistry / LatencyHist edge cases: histogram shape mismatch on
+// merge, quantiles at empty / single-sample / saturated inputs, bucket
+// monotonicity over the full u64 range, and counter ordering
+// determinism across merges (exports must be byte-stable).
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+using pckpt::obs::LatencyHist;
+using pckpt::obs::MetricsRegistry;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// LatencyHist bucketing.
+// ---------------------------------------------------------------------
+
+TEST(LatencyHist, SmallValuesGetExactBuckets) {
+  for (std::uint64_t us = 0; us < 4; ++us) {
+    EXPECT_EQ(LatencyHist::bucket_of(us), us);
+    EXPECT_EQ(LatencyHist::bucket_lo(us), us);
+  }
+}
+
+TEST(LatencyHist, BucketOfIsMonotoneAndLoIsConsistent) {
+  // Across octave boundaries: bucket_of never decreases, and every
+  // value lands in a bucket whose lower bound does not exceed it.
+  std::uint64_t prev = 0;
+  const std::vector<std::uint64_t> samples = {
+      0,       1,    3,    4,       5,          7,          8,
+      15,      16,   63,   64,      1000,       4095,       4096,
+      1000000, 1ull << 32, 1ull << 62,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t us : samples) {
+    const std::size_t b = LatencyHist::bucket_of(us);
+    EXPECT_GE(b, prev) << us;
+    EXPECT_LT(b, LatencyHist::kBuckets) << us;
+    EXPECT_LE(LatencyHist::bucket_lo(b), us) << us;
+    prev = b;
+  }
+}
+
+TEST(LatencyHist, RelativeBucketWidthStaysUnderQuarter) {
+  // The 4-sub-buckets-per-octave scheme bounds quantile error: each
+  // bucket's width is at most 25% of its lower bound (above 4 us).
+  for (std::uint64_t us = 4; us < (1ull << 20); us = us * 5 / 4 + 1) {
+    const std::size_t b = LatencyHist::bucket_of(us);
+    const std::uint64_t lo = LatencyHist::bucket_lo(b);
+    const std::uint64_t hi = LatencyHist::bucket_lo(b + 1);
+    ASSERT_GT(hi, lo);
+    EXPECT_LE(static_cast<double>(hi - lo), 0.25 * static_cast<double>(lo))
+        << "bucket " << b << " [" << lo << ", " << hi << ")";
+  }
+}
+
+// ---------------------------------------------------------------------
+// LatencyHist quantiles.
+// ---------------------------------------------------------------------
+
+TEST(LatencyHist, EmptyHistogramReportsZero) {
+  const LatencyHist h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.p50(), 0.0);
+  EXPECT_EQ(h.p99(), 0.0);
+  EXPECT_EQ(h.max_us(), 0u);
+}
+
+TEST(LatencyHist, SingleSampleReportsItsOwnBucketMidpointEverywhere) {
+  LatencyHist h;
+  h.record_us(100);
+  const double mid = LatencyHist::bucket_mid(LatencyHist::bucket_of(100));
+  for (double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), mid) << q;
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum_us(), 100u);
+  EXPECT_EQ(h.max_us(), 100u);
+}
+
+TEST(LatencyHist, SaturatedSamplesLandInTopBucketWithoutOverflow) {
+  LatencyHist h;
+  const std::uint64_t huge = std::numeric_limits<std::uint64_t>::max();
+  h.record_us(huge);
+  h.record_us(huge - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max_us(), huge);
+  const double top = LatencyHist::bucket_mid(LatencyHist::bucket_of(huge));
+  EXPECT_EQ(h.p99(), top);
+  EXPECT_TRUE(std::isfinite(top));
+  EXPECT_GT(top, 0.0);
+}
+
+TEST(LatencyHist, QuantilesBracketTheDistribution) {
+  LatencyHist h;
+  for (std::uint64_t us = 1; us <= 1000; ++us) h.record_us(us);
+  // Exact rank values are 500/900/990; bucketed answers must land
+  // within one bucket's relative width (25%).
+  EXPECT_NEAR(h.p50(), 500.0, 0.25 * 500.0);
+  EXPECT_NEAR(h.p90(), 900.0, 0.25 * 900.0);
+  EXPECT_NEAR(h.p99(), 990.0, 0.25 * 990.0);
+  EXPECT_LE(h.p50(), h.p90());
+  EXPECT_LE(h.p90(), h.p99());
+}
+
+TEST(LatencyHist, MergeIsExactElementWiseSum) {
+  LatencyHist a, b;
+  for (std::uint64_t us : {5ull, 50ull, 500ull}) a.record_us(us);
+  for (std::uint64_t us : {7ull, 70ull, 700ull, 7000ull}) b.record_us(us);
+  LatencyHist sum = a;
+  sum.merge(b);
+  EXPECT_EQ(sum.count(), 7u);
+  EXPECT_EQ(sum.sum_us(), a.sum_us() + b.sum_us());
+  EXPECT_EQ(sum.max_us(), 7000u);
+  for (std::size_t i = 0; i < LatencyHist::kBuckets; ++i) {
+    EXPECT_EQ(sum.bucket_count(i), a.bucket_count(i) + b.bucket_count(i));
+  }
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry: shape mismatch, merge determinism.
+// ---------------------------------------------------------------------
+
+TEST(MetricsRegistry, HistogramShapeMismatchThrowsOnReuse) {
+  MetricsRegistry reg;
+  reg.histogram("lat", 0.0, 10.0, 5);
+  EXPECT_THROW(reg.histogram("lat", 0.0, 10.0, 6), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("lat", 0.0, 20.0, 5), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("lat", 1.0, 10.0, 5), std::invalid_argument);
+  // The matching shape still resolves to the same histogram.
+  EXPECT_NO_THROW(reg.histogram("lat", 0.0, 10.0, 5));
+}
+
+TEST(MetricsRegistry, HistogramShapeMismatchThrowsOnMerge) {
+  MetricsRegistry a, b;
+  a.histogram("lat", 0.0, 10.0, 5).add(1.0);
+  b.histogram("lat", 0.0, 10.0, 7).add(1.0);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, CounterOrderIsFirstUseAndStableAcrossMerges) {
+  MetricsRegistry a;
+  a.counter("zeta") = 1;
+  a.counter("alpha") = 2;
+
+  MetricsRegistry b;
+  b.counter("alpha") = 10;
+  b.counter("mid") = 20;
+
+  a.merge(b);
+  // Insertion order of `a` wins for shared names; b's new names append
+  // in b's order. No alphabetical resorting anywhere.
+  ASSERT_EQ(a.counters().size(), 3u);
+  EXPECT_EQ(a.counters()[0].first, "zeta");
+  EXPECT_EQ(a.counters()[0].second, 1u);
+  EXPECT_EQ(a.counters()[1].first, "alpha");
+  EXPECT_EQ(a.counters()[1].second, 12u);
+  EXPECT_EQ(a.counters()[2].first, "mid");
+  EXPECT_EQ(a.counters()[2].second, 20u);
+}
+
+TEST(MetricsRegistry, RepeatedMergesRenderIdentically) {
+  const auto build = [] {
+    MetricsRegistry r;
+    r.counter("requests") = 3;
+    r.latency("req.us").record_us(150);
+    r.stat("shard_us").add(2.0);
+    return r;
+  };
+  MetricsRegistry once = build();
+  once.merge(build());
+
+  MetricsRegistry twice = build();
+  twice.merge(build());
+  EXPECT_EQ(once.to_string(), twice.to_string());
+
+  std::ostringstream ja, jb;
+  once.write_jsonl(ja, "x");
+  twice.write_jsonl(jb, "x");
+  EXPECT_EQ(ja.str(), jb.str());
+}
+
+TEST(MetricsRegistry, LatencyMergesFoldIntoExistingHistogram) {
+  MetricsRegistry a, b;
+  a.latency("req.us").record_us(10);
+  b.latency("req.us").record_us(1000);
+  b.latency("other.us").record_us(5);
+  a.merge(b);
+  ASSERT_EQ(a.latencies().size(), 2u);
+  EXPECT_EQ(a.latencies()[0].first, "req.us");
+  EXPECT_EQ(a.latencies()[0].second.count(), 2u);
+  EXPECT_EQ(a.latencies()[0].second.max_us(), 1000u);
+  EXPECT_EQ(a.latencies()[1].first, "other.us");
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(MetricsRegistry, EmptyIncludesLatencies) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.latency("req.us");
+  EXPECT_FALSE(reg.empty());
+}
+
+}  // namespace

@@ -1,0 +1,143 @@
+// obs::RuntimeLog suite: byte-stable NDJSON format under an injected
+// clock, monotonic seq assignment, level filtering (including the
+// drop-before-render contract), and the append-mode file sink.
+
+#include <unistd.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/runtime_log.hpp"
+
+using pckpt::obs::LogLevel;
+using pckpt::obs::RuntimeLog;
+
+namespace {
+
+/// A log routed to a temp file so the suite can read the bytes back.
+class FileLogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/pckpt_runtime_log_" + std::to_string(::getpid()) + ".ndjson";
+    ::unlink(path_.c_str());
+  }
+  void TearDown() override { ::unlink(path_.c_str()); }
+
+  std::vector<std::string> lines() const {
+    std::ifstream in(path_);
+    std::vector<std::string> out;
+    std::string line;
+    while (std::getline(in, line)) out.push_back(line);
+    return out;
+  }
+
+  std::string path_;
+};
+
+TEST_F(FileLogTest, RecordBytesAreStableUnderInjectedClock) {
+  RuntimeLog log(LogLevel::kInfo);
+  ASSERT_TRUE(log.open_file(path_));
+  log.set_clock([] { return std::uint64_t{1234}; });
+  log.info("serve", "serve.start")
+      .add("socket", "/tmp/s.sock")
+      .add("records", std::uint64_t{7});
+  const auto ls = lines();
+  ASSERT_EQ(ls.size(), 1u);
+  EXPECT_EQ(ls[0],
+            "{\"ts_ms\":1234,\"seq\":0,\"level\":\"info\","
+            "\"component\":\"serve\",\"event\":\"serve.start\","
+            "\"socket\":\"/tmp/s.sock\",\"records\":7}");
+}
+
+TEST_F(FileLogTest, SeqIsMonotonicAcrossRecords) {
+  RuntimeLog log(LogLevel::kDebug);
+  ASSERT_TRUE(log.open_file(path_));
+  log.set_clock([] { return std::uint64_t{0}; });
+  for (int i = 0; i < 5; ++i) log.debug("t", "tick").add("i", i);
+  EXPECT_EQ(log.records(), 5u);
+  const auto ls = lines();
+  ASSERT_EQ(ls.size(), 5u);
+  for (std::size_t i = 0; i < ls.size(); ++i) {
+    const std::string want = "\"seq\":" + std::to_string(i) + ",";
+    EXPECT_NE(ls[i].find(want), std::string::npos) << ls[i];
+  }
+}
+
+TEST_F(FileLogTest, RecordsBelowMinLevelAreDropped) {
+  RuntimeLog log(LogLevel::kWarn);
+  ASSERT_TRUE(log.open_file(path_));
+  log.set_clock([] { return std::uint64_t{0}; });
+  log.debug("t", "a");
+  log.info("t", "b");
+  log.warn("t", "c");
+  log.error("t", "d");
+  const auto ls = lines();
+  ASSERT_EQ(ls.size(), 2u);
+  EXPECT_NE(ls[0].find("\"level\":\"warn\""), std::string::npos);
+  EXPECT_NE(ls[1].find("\"level\":\"error\""), std::string::npos);
+  // Dropped records consume no sequence numbers: the surviving pair is
+  // seq 0 and 1, and the counter agrees.
+  EXPECT_NE(ls[0].find("\"seq\":0,"), std::string::npos);
+  EXPECT_NE(ls[1].find("\"seq\":1,"), std::string::npos);
+  EXPECT_EQ(log.records(), 2u);
+}
+
+TEST_F(FileLogTest, FilteredBuilderIsInertAndCheap) {
+  RuntimeLog log(LogLevel::kError);
+  ASSERT_TRUE(log.open_file(path_));
+  EXPECT_FALSE(log.enabled(LogLevel::kInfo));
+  auto rec = log.info("t", "dropped");
+  rec.add("k", 1).add("s", "v");
+  rec.commit();
+  rec.commit();  // idempotent on a dead builder
+  EXPECT_EQ(log.records(), 0u);
+  EXPECT_TRUE(lines().empty());
+}
+
+TEST_F(FileLogTest, FileSinkAppendsAcrossReopen) {
+  {
+    RuntimeLog log(LogLevel::kInfo);
+    ASSERT_TRUE(log.open_file(path_));
+    log.set_clock([] { return std::uint64_t{1}; });
+    log.info("t", "first");
+  }
+  {
+    RuntimeLog log(LogLevel::kInfo);
+    ASSERT_TRUE(log.open_file(path_));
+    log.set_clock([] { return std::uint64_t{2}; });
+    log.info("t", "second");
+  }
+  const auto ls = lines();
+  ASSERT_EQ(ls.size(), 2u);
+  EXPECT_NE(ls[0].find("\"event\":\"first\""), std::string::npos);
+  EXPECT_NE(ls[1].find("\"event\":\"second\""), std::string::npos);
+  // Each logger restarts its own seq; append order still totals the file.
+  EXPECT_NE(ls[1].find("\"seq\":0,"), std::string::npos);
+}
+
+TEST(RuntimeLogLevels, ParseAndToStringRoundTrip) {
+  for (const char* name : {"debug", "info", "warn", "error"}) {
+    LogLevel level{};
+    ASSERT_TRUE(pckpt::obs::parse_log_level(name, level)) << name;
+    EXPECT_EQ(pckpt::obs::to_string(level), name);
+  }
+  LogLevel level{};
+  EXPECT_FALSE(pckpt::obs::parse_log_level("verbose", level));
+  EXPECT_FALSE(pckpt::obs::parse_log_level("", level));
+}
+
+TEST(RuntimeLogLevels, OpenFileFailureLeavesSinkUsable) {
+  RuntimeLog log(LogLevel::kInfo);
+  EXPECT_FALSE(log.open_file("/no/such/dir/x.ndjson"));
+  // Still emits (to stderr) without crashing; records() advances.
+  log.set_clock([] { return std::uint64_t{0}; });
+  log.set_min_level(LogLevel::kError);  // keep test output quiet
+  log.info("t", "suppressed");
+  EXPECT_EQ(log.records(), 0u);
+}
+
+}  // namespace

@@ -19,6 +19,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -99,18 +101,34 @@ class ServeCkptE2eTest : public ::testing::Test {
     std::system(("rm -rf " + ckpt_dir_).c_str());
   }
 
+  /// Each daemon start gets its own telemetry log file, so assertions
+  /// about "the restarted daemon's log" cannot be satisfied by records
+  /// a previous incarnation wrote.
   void start_daemon(const std::string& socket, const std::string& store,
                     const std::string& ckpt_dir) {
+    log_path_ = testing::TempDir() + "pckpt_ckpt_e2e_log_" +
+                std::to_string(::getpid()) + "_" +
+                std::to_string(++daemon_starts_) + ".ndjson";
+    ::unlink(log_path_.c_str());
     daemon_ = ::fork();
     if (daemon_ == 0) {
       const char* bin = PCKPT_SERVE_BIN;
       ::execl(bin, bin, ("--socket=" + socket).c_str(),
               ("--store=" + store).c_str(),
               ("--checkpoint=" + ckpt_dir).c_str(),
-              "--scenario=" PCKPT_SCENARIO_INI, (char*)nullptr);
+              "--scenario=" PCKPT_SCENARIO_INI,
+              ("--log=" + log_path_).c_str(), "--log-level=debug",
+              (char*)nullptr);
       ::_exit(127);
     }
     ASSERT_TRUE(wait_for_socket(socket)) << "daemon never came up";
+  }
+
+  /// Entire telemetry log of the most recently started daemon.
+  std::string read_daemon_log() const {
+    std::ifstream in(log_path_);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
   }
 
   /// Poll until the daemon's listening socket accepts a connection.
@@ -194,6 +212,8 @@ class ServeCkptE2eTest : public ::testing::Test {
   std::string socket_;
   std::string store_;
   std::string ckpt_dir_;
+  std::string log_path_;  ///< telemetry log of the latest start_daemon
+  int daemon_starts_ = 0;
   pid_t daemon_ = -1;
 };
 
@@ -224,6 +244,19 @@ TEST_F(ServeCkptE2eTest, KilledDaemonResumesCommittedShardsAndRepliesByteIdentic
   EXPECT_EQ(shards_resumed + shards_executed,
             static_cast<std::uint64_t>(kShards));
   EXPECT_LT(shards_executed, static_cast<std::uint64_t>(kShards));
+
+  // The restarted daemon's telemetry log must narrate the recovery:
+  // a journal-replay record for the store it reopened, a ckpt.resume
+  // record for the committed shard prefix it loaded, and a ckpt.done
+  // record once the campaign finished (docs/OBSERVABILITY.md).
+  const std::string log = read_daemon_log();
+  EXPECT_NE(log.find("\"event\":\"journal.recover\""), std::string::npos)
+      << log;
+  EXPECT_NE(log.find("\"event\":\"ckpt.resume\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"event\":\"ckpt.done\""), std::string::npos) << log;
+  EXPECT_NE(log.find("\"shards_resumed\":" + std::to_string(shards_resumed)),
+            std::string::npos)
+      << log;
 
   // Phase 3: a cold daemon (fresh store, fresh checkpoint dir) must
   // produce the byte-identical payload — resume changed nothing.

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -11,7 +13,9 @@
 #include "core/scenario.hpp"
 #include "failure/system_catalog.hpp"
 #include "obs/json_value.hpp"
+#include "obs/runtime_log.hpp"
 #include "serve/protocol.hpp"
+#include "serve/telemetry.hpp"
 #include "workload/application.hpp"
 #include "workload/machine.hpp"
 
@@ -140,6 +144,25 @@ TEST_F(ServerTest, StatsReflectTraffic) {
   EXPECT_GT(*doc.key_u64("log_bytes"), 0u);
 }
 
+TEST_F(ServerTest, StatsCarryDaemonIdentityFields) {
+  roundtrip(R"({"op":"ping"})");
+  const auto lines = roundtrip(R"({"op":"stats"})");
+  ASSERT_EQ(lines.size(), 1u);
+  const auto doc = obs::parse_json(lines[0]);
+  EXPECT_EQ(doc.key_string("version"), std::string(kServeVersion));
+  ASSERT_TRUE(doc.key_u64("uptime_s").has_value());
+  // ping + this stats request have both been counted by now.
+  EXPECT_GE(*doc.key_u64("requests_total"), 2u);
+}
+
+TEST_F(ServerTest, MetricsOpRejectedWhenTelemetryDisabled) {
+  // The fixture's server has no Telemetry — the disabled path must
+  // refuse the op rather than fabricate an empty snapshot.
+  const auto lines = roundtrip(R"({"op":"metrics"})");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind(R"({"ev":"error","code":503)", 0), 0u);
+}
+
 TEST_F(ServerTest, ConcurrentClientsAllAnswered) {
   constexpr int kClients = 8;
   std::vector<std::string> payloads(kClients);
@@ -174,6 +197,124 @@ TEST_F(ServerTest, ShutdownOpStopsTheServer) {
   EXPECT_EQ(lines[0], R"({"ev":"bye"})");
   runner_.join();  // run() must return promptly after the shutdown op
   runner_ = std::thread([] {});  // keep TearDown's join() valid
+}
+
+// ---------------------------------------------------------------------
+// Telemetry-enabled daemon: the metrics op and per-tier histograms.
+// ---------------------------------------------------------------------
+
+/// Same in-process daemon, but with a Telemetry attached (log to a temp
+/// file so the suite can assert on emitted records).
+class TelemetryServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag = std::to_string(::getpid()) + "_t";
+    socket_path_ = "/tmp/pckpt_srv_" + tag + ".sock";
+    store_path_ = testing::TempDir() + "pckpt_server_store_" + tag;
+    log_path_ = testing::TempDir() + "pckpt_server_log_" + tag + ".ndjson";
+    ::unlink(store_path_.c_str());
+    ::unlink((store_path_ + ".journal").c_str());
+    ::unlink(log_path_.c_str());
+    log_ = std::make_unique<obs::RuntimeLog>(obs::LogLevel::kDebug);
+    ASSERT_TRUE(log_->open_file(log_path_));
+    telemetry_ = std::make_unique<Telemetry>(*log_);
+    store_ = std::make_unique<ResultStore>(store_path_);
+    // Mirror pckpt_serve's wiring: surface the store's recovery outcome
+    // as the first telemetry record of the daemon's life.
+    const auto st = store_->stats();
+    telemetry_->record_recover("store", st.replayed_journal,
+                               st.truncated_bytes, st.log_records,
+                               st.recover_us);
+    planner_ = std::make_unique<Planner>(summit_scenario(),
+                                         AdmissionConfig{}, *store_);
+    server_ =
+        std::make_unique<Server>(socket_path_, *planner_, telemetry_.get());
+    runner_ = std::thread([this] { server_->run(); });
+  }
+  void TearDown() override {
+    server_->stop();
+    runner_.join();
+    server_.reset();
+    planner_.reset();
+    store_.reset();
+    telemetry_.reset();
+    log_.reset();
+    ::unlink(store_path_.c_str());
+    ::unlink((store_path_ + ".journal").c_str());
+    ::unlink(log_path_.c_str());
+  }
+
+  std::vector<std::string> roundtrip(const std::string& request) {
+    Client client(socket_path_);
+    client.send_line(request);
+    std::vector<std::string> lines;
+    while (auto line = client.read_line()) {
+      const bool progress = line->rfind("{\"ev\":\"progress\"", 0) == 0;
+      lines.push_back(std::move(*line));
+      if (!progress) break;
+    }
+    return lines;
+  }
+
+  std::string socket_path_;
+  std::string store_path_;
+  std::string log_path_;
+  std::unique_ptr<obs::RuntimeLog> log_;
+  std::unique_ptr<Telemetry> telemetry_;
+  std::unique_ptr<ResultStore> store_;
+  std::unique_ptr<Planner> planner_;
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+};
+
+TEST_F(TelemetryServerTest, MetricsSnapshotCarriesPerTierQuantiles) {
+  // estimate miss -> hit -> exact miss: all three planner tiers.
+  roundtrip(R"({"op":"query","model":"P1","app":"VULCAN"})");
+  roundtrip(R"({"op":"query","model":"P1","app":"VULCAN"})");
+  roundtrip(
+      R"({"op":"query","mode":"exact","model":"P2","app":"VULCAN",)"
+      R"("runs":4,"seed":3})");
+
+  const auto lines = roundtrip(R"({"op":"metrics"})");
+  ASSERT_EQ(lines.size(), 1u);
+  const auto doc = obs::parse_json(lines[0]);
+  EXPECT_EQ(doc.key_string("ev"), "metrics");
+  EXPECT_EQ(doc.key_string("version"), std::string(kServeVersion));
+
+  const obs::JsonValue* lat = doc.get("latencies");
+  ASSERT_NE(lat, nullptr);
+  ASSERT_TRUE(lat->is_object());
+  for (const char* name :
+       {"req.us.hit", "req.us.estimate_miss", "req.us.exact_miss"}) {
+    const obs::JsonValue* h = lat->get(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->key_u64("count"), 1u) << name;
+    ASSERT_TRUE(h->key_number("p50_us").has_value()) << name;
+    ASSERT_TRUE(h->key_number("p90_us").has_value()) << name;
+    ASSERT_TRUE(h->key_number("p99_us").has_value()) << name;
+    EXPECT_GE(*h->key_number("p99_us"), *h->key_number("p50_us")) << name;
+  }
+
+  // The Prometheus exposition rides along as an escaped text member.
+  const auto prom = doc.key_string("prom");
+  ASSERT_TRUE(prom.has_value());
+  EXPECT_NE(prom->find("# TYPE pckpt_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom->find("pckpt_req_us_hit{quantile=\"0.99\"}"),
+            std::string::npos);
+}
+
+TEST_F(TelemetryServerTest, RequestRecordsReachTheLogFile) {
+  roundtrip(R"({"op":"ping"})");
+  server_->stop();
+  runner_.join();
+  runner_ = std::thread([] {});
+  std::ifstream in(log_path_);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"event\":\"journal.recover\""), std::string::npos);
+  EXPECT_NE(all.find("\"event\":\"request.done\""), std::string::npos);
+  EXPECT_NE(all.find("\"op\":\"ping\""), std::string::npos);
 }
 
 }  // namespace

@@ -7,7 +7,8 @@
 ///
 /// Usage:
 ///   pckpt_query --socket=PATH --model=M --app=NAME [options]
-///   pckpt_query --socket=PATH --ping | --stats | --shutdown
+///   pckpt_query --socket=PATH --ping | --stats | --metrics [--prom]
+///                             | --shutdown
 
 #include <cstdio>
 #include <cstring>
@@ -15,6 +16,7 @@
 
 #include "exec/result_sink.hpp"
 #include "obs/cli_flags.hpp"
+#include "obs/json_value.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 
@@ -25,9 +27,12 @@ constexpr unsigned kFlagMask =
 
 void usage() {
   std::printf(
-      "usage: pckpt_query --socket=PATH (--ping|--stats|--shutdown |"
-      " --model=M --app=NAME [options])\n"
+      "usage: pckpt_query --socket=PATH (--ping|--stats|--metrics"
+      "|--shutdown | --model=M --app=NAME [options])\n"
       "  --socket=PATH            daemon unix-domain socket\n"
+      "  --metrics                telemetry snapshot (latency quantiles)\n"
+      "  --prom                   with --metrics: print the Prometheus\n"
+      "                           text exposition instead of JSON\n"
       "  --model=M                B|M1|M2|P1|P2\n"
       "  --app=NAME               workload name (paper Table I)\n"
       "  --mode=estimate|exact    tier (default estimate)\n"
@@ -51,6 +56,7 @@ int main(int argc, char** argv) {
   std::string op = "query";
   bool progress = false;
   bool payload_only = false;
+  bool prom_only = false;
   obs::CommonFlags flags;
   flags.system.clear();  // empty = daemon scenario's failure system
   exec::JsonlRow overrides;
@@ -77,12 +83,15 @@ int main(int argc, char** argv) {
       app = v;
       continue;
     }
-    if (arg == "--ping" || arg == "--stats" || arg == "--shutdown") {
+    if (arg == "--ping" || arg == "--stats" || arg == "--metrics" ||
+        arg == "--shutdown") {
       op = arg.substr(2);
     } else if (arg == "--progress") {
       progress = true;
     } else if (arg == "--payload-only") {
       payload_only = true;
+    } else if (arg == "--prom") {
+      prom_only = true;
     } else if (arg == "--set" && i + 1 < argc) {
       const std::string kv = argv[++i];
       const std::size_t eq = kv.find('=');
@@ -149,6 +158,20 @@ int main(int argc, char** argv) {
           rc = 0;
           break;
         }
+      }
+      if (prom_only && op == "metrics") {
+        // The Prometheus text rides inside the JSON reply as the
+        // escaped `prom` member; unescape and print it verbatim.
+        const obs::JsonValue root = obs::parse_json(*line);
+        const obs::JsonValue* prom = root.get("prom");
+        if (prom == nullptr || !prom->is_string()) {
+          std::fprintf(stderr,
+                       "pckpt_query: metrics reply has no 'prom' member\n");
+          return 1;
+        }
+        std::fputs(prom->string.c_str(), stdout);
+        rc = 0;
+        break;
       }
       std::printf("%s\n", line->c_str());
       rc = 0;

@@ -8,20 +8,27 @@
 /// Usage:
 ///   pckpt_serve --socket=PATH --store=PATH [--scenario=FILE]
 ///               [--checkpoint=DIR] [--max-inflight=N] [--queue-limit=N]
-///               [--wait-ms=MS]
+///               [--wait-ms=MS] [--log=PATH] [--log-level=LEVEL]
+///               [--slow-query-ms=N] [--telemetry=on|off]
 ///
 /// With --checkpoint, exact-tier campaigns commit each shard to DIR as
 /// they go; after a crash/restart the same query resumes from the
 /// committed prefix instead of re-simulating it (docs/CHECKPOINTING.md).
+/// Telemetry (docs/OBSERVABILITY.md) is on by default: NDJSON runtime
+/// records to stderr (or --log=PATH), latency histograms behind the
+/// `metrics` op, and slow-query breakdowns past --slow-query-ms.
 
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/scenario.hpp"
 #include "failure/system_catalog.hpp"
 #include "obs/cli_flags.hpp"
+#include "obs/runtime_log.hpp"
 #include "serve/server.hpp"
+#include "serve/telemetry.hpp"
 #include "workload/application.hpp"
 #include "workload/machine.hpp"
 
@@ -40,7 +47,15 @@ void usage() {
       "(default 4)\n"
       "  --wait-ms=MS             max admission wait before a 429 "
       "(default 0)\n"
-      "Protocol and store format: docs/SERVING.md.\n");
+      "  --log=PATH               append runtime telemetry records to PATH\n"
+      "                           (default: stderr)\n"
+      "  --log-level=LEVEL        debug|info|warn|error (default info)\n"
+      "  --slow-query-ms=N        log a full span breakdown for requests\n"
+      "                           slower than N ms (default 0 = off)\n"
+      "  --telemetry=on|off       runtime telemetry and the metrics op\n"
+      "                           (default on)\n"
+      "Protocol and store format: docs/SERVING.md; telemetry: "
+      "docs/OBSERVABILITY.md.\n");
 }
 
 /// The scenario served when no --scenario file is given: the paper's
@@ -62,6 +77,10 @@ int main(int argc, char** argv) {
   std::string store_path;
   std::string scenario_path;
   std::string checkpoint_dir;
+  std::string log_path;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
+  std::uint64_t slow_query_ms = 0;
+  bool telemetry_on = true;
   serve::AdmissionConfig admission;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +119,37 @@ int main(int argc, char** argv) {
       admission.wait_ms = obs::cli_u64("pckpt_serve", "--wait-ms", v);
       continue;
     }
+    if (const char* v = obs::cli_value(arg, "--log=")) {
+      log_path = obs::cli_path("pckpt_serve", "--log", v);
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--log-level=")) {
+      if (!obs::parse_log_level(v, log_level)) {
+        std::fprintf(stderr,
+                     "pckpt_serve: --log-level: expected "
+                     "debug|info|warn|error, got '%s'\n",
+                     v);
+        return 2;
+      }
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--slow-query-ms=")) {
+      slow_query_ms = obs::cli_u64("pckpt_serve", "--slow-query-ms", v);
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--telemetry=")) {
+      if (std::strcmp(v, "on") == 0) {
+        telemetry_on = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        telemetry_on = false;
+      } else {
+        std::fprintf(stderr,
+                     "pckpt_serve: --telemetry: expected on|off, got '%s'\n",
+                     v);
+        return 2;
+      }
+      continue;
+    }
     std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
     usage();
     return 2;
@@ -110,19 +160,53 @@ int main(int argc, char** argv) {
   }
 
   try {
+    obs::RuntimeLog log(log_level);
+    if (!log_path.empty() && !log.open_file(log_path)) {
+      std::fprintf(stderr, "pckpt_serve: cannot open --log file %s\n",
+                   log_path.c_str());
+      return 1;
+    }
+    std::optional<serve::Telemetry> telemetry;
+    if (telemetry_on) telemetry.emplace(log, slow_query_ms);
+
     const core::Scenario scenario =
         scenario_path.empty()
             ? builtin_scenario()
             : core::load_scenario(core::ConfigFile::load(scenario_path));
     serve::ResultStore store(store_path);
     const auto stats = store.stats();
+    if (telemetry) {
+      telemetry->record_recover("store", stats.replayed_journal,
+                                stats.truncated_bytes, stats.log_records,
+                                stats.recover_us);
+      serve::Telemetry& t = *telemetry;
+      store.set_commit_hook([&t](std::size_t frames, std::uint64_t bytes,
+                                 std::uint64_t us) {
+        t.record_store_commit(frames, bytes, us);
+      });
+    }
     serve::Planner planner(scenario, admission, store, checkpoint_dir);
-    serve::Server server(socket_path, planner);
+    serve::Server server(socket_path, planner,
+                         telemetry ? &*telemetry : nullptr);
+    if (telemetry) {
+      telemetry->log()
+          .info("serve", "serve.start")
+          .add("version", serve::kServeVersion)
+          .add("socket", socket_path)
+          .add("store", store_path)
+          .add("records", static_cast<std::uint64_t>(stats.records))
+          .add("slow_query_ms", slow_query_ms);
+    }
     std::printf("pckpt_serve: listening on %s, store %s (%zu records%s)\n",
                 socket_path.c_str(), store_path.c_str(), stats.records,
                 stats.replayed_journal ? ", journal replayed" : "");
     std::fflush(stdout);
     server.run();
+    if (telemetry) {
+      telemetry->log()
+          .info("serve", "serve.stop")
+          .add("socket", socket_path);
+    }
     std::printf("pckpt_serve: shut down\n");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pckpt_serve: %s\n", e.what());

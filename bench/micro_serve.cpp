@@ -10,6 +10,13 @@
 ///   hit_telemetry.us  the same hit path with the daemon's full span +
 ///                     histogram machinery attached (runtime telemetry,
 ///                     docs/OBSERVABILITY.md)
+///   dedup.ms          N identical concurrent exact misses coalescing
+///                     onto one in-flight campaign (dedup.hits pins the
+///                     N-1 coalesce count)
+///   fair_spread.ratio small-campaign latency next to a big campaign on
+///                     the shared fair-share pool, relative to running
+///                     alone (round-robin keeps it bounded; FIFO would
+///                     push it toward big/small)
 ///
 /// The hit / hit_telemetry pair is the runtime-telemetry A/B: `hit.us`
 /// pins the disabled path (one null test, no clock reads) and
@@ -24,10 +31,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
 #include "core/scenario.hpp"
+#include "exec/fair_share.hpp"
 #include "failure/system_catalog.hpp"
 #include "obs/request_span.hpp"
 #include "obs/runtime_log.hpp"
@@ -162,16 +171,96 @@ int main(int argc, char** argv) {
                 est_us.back(), exact_ms.back(), records, reopen_ms.back());
   }
 
+  // -------------------------------------------------------------------
+  // Concurrency: dedup coalescing and fair-share latency spread, on a
+  // planner wired like a scaled-out daemon (shared pool, admission wide
+  // enough for two concurrent campaigns).
+  // -------------------------------------------------------------------
+  const std::string store_pool_path = store_path + "_pool";
+  ::unlink(store_pool_path.c_str());
+  ::unlink((store_pool_path + ".journal").c_str());
+  auto store_pool = std::make_unique<serve::ResultStore>(store_pool_path);
+  exec::FairShareScheduler scheduler(2);
+  serve::Planner planner_pool(
+      scenario_for(opt.system),
+      serve::AdmissionConfig{/*max_inflight=*/4, /*queue_limit=*/8,
+                             /*wait_ms=*/30000},
+      *store_pool, /*checkpoint_dir=*/"", &scheduler);
+
+  // Spin until the planner holds an admission ticket: the leader is in
+  // the dedup map (inserted before admission), so queries issued past
+  // this point coalesce instead of racing the insert.
+  const auto wait_inflight = [&] {
+    while (planner_pool.counters().inflight == 0) std::this_thread::yield();
+  };
+
+  std::vector<double> dedup_ms, spread_ratio;
+  for (std::size_t s = 0; s < samples + 1; ++s) {
+    const bool warmup = s == 0;
+
+    // Dedup: one leader, three followers on the identical fresh key.
+    constexpr std::size_t kFollowers = 3;
+    serve::QuerySpec q_dd = spec;
+    q_dd.mode = "exact";
+    q_dd.runs = static_cast<std::uint64_t>(opt.runs);
+    q_dd.seed = opt.seed + 1000 + s;
+    const double t_dedup = wall_seconds([&] {
+      std::thread leader([&] { (void)planner_pool.answer(q_dd); });
+      wait_inflight();
+      std::vector<std::thread> followers;
+      for (std::size_t k = 0; k < kFollowers; ++k) {
+        followers.emplace_back([&] { (void)planner_pool.answer(q_dd); });
+      }
+      leader.join();
+      for (auto& t : followers) t.join();
+    });
+
+    // Fair spread: a small campaign alone on the pool, then the same
+    // size campaign while a big one occupies it.
+    serve::QuerySpec q_small = spec;
+    q_small.mode = "exact";
+    q_small.runs = 16;
+    q_small.seed = opt.seed + 2000 + s;
+    const double t_small_solo =
+        wall_seconds([&] { (void)planner_pool.answer(q_small); });
+
+    serve::QuerySpec q_big = spec;
+    q_big.mode = "exact";
+    q_big.runs = 128;
+    q_big.seed = opt.seed + 3000 + s;
+    std::thread big([&] { (void)planner_pool.answer(q_big); });
+    wait_inflight();
+    q_small.seed = opt.seed + 4000 + s;
+    const double t_small_shared =
+        wall_seconds([&] { (void)planner_pool.answer(q_small); });
+    big.join();
+
+    if (warmup) continue;
+    dedup_ms.push_back(t_dedup * 1e3);
+    spread_ratio.push_back(t_small_shared / t_small_solo);
+    std::printf("sample %zu: dedup(4x) %.2f ms, small solo %.2f ms / "
+                "shared %.2f ms (spread %.3fx)\n",
+                s, dedup_ms.back(), t_small_solo * 1e3,
+                t_small_shared * 1e3, spread_ratio.back());
+  }
+  const double dedup_hits_per_sample =
+      static_cast<double>(planner_pool.counters().dedup_hits) /
+      static_cast<double>(samples + 1);
+
   const auto hit = bench::summarize_repeats(hit_us);
   const auto hit_tel = bench::summarize_repeats(hit_tel_us);
   const auto over = bench::summarize_repeats(overhead);
   const auto est = bench::summarize_repeats(est_us);
   const auto exact = bench::summarize_repeats(exact_ms);
   const auto reopen = bench::summarize_repeats(reopen_ms);
+  const auto dedup = bench::summarize_repeats(dedup_ms);
+  const auto spread = bench::summarize_repeats(spread_ratio);
   std::printf("\nmedians: hit %.2f us (telemetry-on %.2f us, %.3fx), "
-              "estimate-miss %.2f us, exact-miss %.2f ms, reopen %.3f ms\n",
+              "estimate-miss %.2f us, exact-miss %.2f ms, reopen %.3f ms, "
+              "dedup %.2f ms (%.2f hits/sample), fair-spread %.3fx\n",
               hit.median, hit_tel.median, over.median, est.median,
-              exact.median, reopen.median);
+              exact.median, reopen.median, dedup.median,
+              dedup_hits_per_sample, spread.median);
 
   telemetry.add_metric("hit.us.median", hit.median);
   telemetry.add_metric("hit.us.min", hit.min);
@@ -189,13 +278,21 @@ int main(int argc, char** argv) {
   telemetry.add_metric("reopen.ms.median", reopen.median);
   telemetry.add_metric("reopen.ms.min", reopen.min);
   telemetry.add_metric("reopen.ms.stddev", reopen.stddev);
+  telemetry.add_metric("dedup.ms.median", dedup.median);
+  telemetry.add_metric("dedup.ms.min", dedup.min);
+  telemetry.add_metric("dedup.ms.stddev", dedup.stddev);
+  telemetry.add_metric("dedup.hits", dedup_hits_per_sample);
+  telemetry.add_metric("fair_spread.ratio", spread.median);
   telemetry.finish();
 
   store.reset();
   store_tel.reset();
+  store_pool.reset();
   ::unlink(store_path.c_str());
   ::unlink((store_path + ".journal").c_str());
   ::unlink(store_tel_path.c_str());
   ::unlink((store_tel_path + ".journal").c_str());
+  ::unlink(store_pool_path.c_str());
+  ::unlink((store_pool_path + ".journal").c_str());
   return 0;
 }

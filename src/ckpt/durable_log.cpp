@@ -205,17 +205,21 @@ void DurableLog::recover(const ReplayFn& on_record) {
 }
 
 void DurableLog::append_group_locked(std::string_view group_bytes,
-                                     std::size_t frames) {
+                                     std::size_t frames, bool replace) {
   if (log_fd_ < 0) {
     throw std::logic_error("DurableLog: append after remove_files()");
   }
   // Step 1-2: journal header + group bytes, one fsync. This fsync is
-  // the commit point.
+  // the commit point. A compaction rewrite journals the group against
+  // `log_size_before = 0`, so crash replay truncates the log to zero
+  // and writes the full live set — the same idempotent recovery path
+  // as an ordinary append.
+  const std::uint64_t base = replace ? 0 : log_size_;
   std::string j;
   j.reserve(kJournalHeader + group_bytes.size());
   j.append(kJournalMagic, sizeof(kJournalMagic));
   wire::put_u32(j, kJournalArmed);
-  wire::put_u64(j, log_size_);
+  wire::put_u64(j, base);
   wire::put_u64(j, group_bytes.size());
   wire::put_u64(j, fnv1a64(group_bytes));
   wire::put_u64(j, fnv1a64(std::string_view(j.data(), 32)));
@@ -223,11 +227,13 @@ void DurableLog::append_group_locked(std::string_view group_bytes,
   xpwrite(journal_fd_, j.data(), j.size(), 0);
   xfsync(journal_fd_);
 
-  // Step 3: the real append.
-  xpwrite(log_fd_, group_bytes.data(), group_bytes.size(), log_size_);
+  // Step 3: the real write. A rewrite drops the old log first; the
+  // armed journal covers a crash anywhere in between.
+  if (replace) xtruncate(log_fd_, 0);
+  xpwrite(log_fd_, group_bytes.data(), group_bytes.size(), base);
   xfsync(log_fd_);
-  log_size_ += group_bytes.size();
-  frames_ += frames;
+  log_size_ = base + group_bytes.size();
+  frames_ = replace ? frames : frames_ + frames;
 
   // Step 4: disarm. A crash between 3 and 4 just replays the identical
   // group on reopen.
@@ -269,6 +275,24 @@ void DurableLog::append_group(
   }
   if (hook) {
     hook(group.size(), bytes.size(), (obs::ProfClock::now_ns() - t0) / 1000);
+  }
+}
+
+void DurableLog::rewrite(
+    const std::vector<std::pair<std::uint64_t, std::string>>& records) {
+  std::string bytes;
+  for (const auto& [key, payload] : records) {
+    frame_record(bytes, key, payload);
+  }
+  const std::uint64_t t0 = obs::ProfClock::now_ns();
+  CommitHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    append_group_locked(bytes, records.size(), /*replace=*/true);
+    hook = commit_hook_;
+  }
+  if (hook) {
+    hook(records.size(), bytes.size(), (obs::ProfClock::now_ns() - t0) / 1000);
   }
 }
 

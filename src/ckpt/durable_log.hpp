@@ -157,6 +157,16 @@ class DurableLog {
   void append_group(
       const std::vector<std::pair<std::uint64_t, std::string>>& group);
 
+  /// Compaction: atomically replace the entire log with exactly
+  /// `records` (framed in order), dropping every superseded frame. Runs
+  /// through the same doublewrite journal with `log_size_before = 0`,
+  /// so the commit point and torn-tail semantics are unchanged: a crash
+  /// before the journal fsync leaves the old log intact; a crash after
+  /// it replays the full live set on reopen (truncate-to-zero plus group
+  /// rewrite — idempotent). Thread-safe.
+  void rewrite(
+      const std::vector<std::pair<std::uint64_t, std::string>>& records);
+
   Stats stats() const;
   const std::string& path() const noexcept { return path_; }
 
@@ -182,7 +192,8 @@ class DurableLog {
 
  private:
   void recover(const ReplayFn& on_record);
-  void append_group_locked(std::string_view group_bytes, std::size_t frames);
+  void append_group_locked(std::string_view group_bytes, std::size_t frames,
+                           bool replace = false);
 
   std::string path_;
   std::string journal_path_;

@@ -1,0 +1,138 @@
+#include "exec/fair_share.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace pckpt::exec {
+
+FairShareScheduler::FairShareScheduler(std::size_t threads) {
+  const std::size_t n = std::max<std::size_t>(1, threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+FairShareScheduler::~FairShareScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t FairShareScheduler::active_campaigns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return campaigns_.size();
+}
+
+std::size_t FairShareScheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_queued_;
+}
+
+FairShareScheduler::Campaign* FairShareScheduler::register_campaign() {
+  std::lock_guard<std::mutex> lock(mu_);
+  campaigns_.push_back(std::make_unique<Campaign>());
+  return campaigns_.back().get();
+}
+
+void FairShareScheduler::unregister_campaign(Campaign* c) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::find_if(
+      campaigns_.begin(), campaigns_.end(),
+      [c](const std::unique_ptr<Campaign>& p) { return p.get() == c; });
+  if (it == campaigns_.end()) return;
+  total_queued_ -= it->get()->tasks.size();
+  const auto idx = static_cast<std::size_t>(it - campaigns_.begin());
+  campaigns_.erase(it);
+  // Keep the scan cursor pointing at the same campaign it would have
+  // served next, so removing a finished campaign never skips another's
+  // turn.
+  if (cursor_ > idx) --cursor_;
+  if (campaigns_.empty()) cursor_ = 0;
+}
+
+void FairShareScheduler::enqueue(Campaign* c,
+                                 std::vector<std::function<void()>> tasks) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& t : tasks) c->tasks.push_back(std::move(t));
+    total_queued_ += tasks.size();
+  }
+  cv_.notify_all();
+}
+
+void FairShareScheduler::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || total_queued_ > 0; });
+      if (total_queued_ == 0) return;  // stopping_ && drained
+      // Round-robin scan: starting at the cursor, take one task from the
+      // first non-empty campaign queue and park the cursor just past it,
+      // so the next worker serves the next campaign. Each active
+      // campaign gets one shard slot per scan round — equal service.
+      const std::size_t n = campaigns_.size();
+      for (std::size_t k = 0; k < n; ++k) {
+        Campaign& c = *campaigns_[(cursor_ + k) % n];
+        if (c.tasks.empty()) continue;
+        task = std::move(c.tasks.front());
+        c.tasks.pop_front();
+        --total_queued_;
+        cursor_ = (cursor_ + k + 1) % n;
+        break;
+      }
+    }
+    task();  // batch closures capture their own error state; no throws
+  }
+}
+
+void CampaignExecutor::run(std::size_t count,
+                           const std::function<void(std::size_t)>& task) {
+  if (count == 0) return;
+
+  struct Batch {
+    std::mutex m;
+    std::condition_variable done_cv;
+    std::size_t remaining;
+    std::exception_ptr first_error;
+    explicit Batch(std::size_t n) : remaining(n) {}
+  };
+  auto batch = std::make_shared<Batch>(count);
+
+  std::vector<std::function<void()>> items;
+  items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    items.push_back([batch, &task, i] {
+      std::exception_ptr err;
+      {
+        // Skip remaining work once a task has failed: the batch result
+        // is already an exception, further shards are wasted cycles.
+        std::lock_guard<std::mutex> lock(batch->m);
+        if (batch->first_error) {
+          if (--batch->remaining == 0) batch->done_cv.notify_all();
+          return;
+        }
+      }
+      try {
+        task(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(batch->m);
+      if (err && !batch->first_error) batch->first_error = err;
+      if (--batch->remaining == 0) batch->done_cv.notify_all();
+    });
+  }
+  scheduler_.enqueue(campaign_, std::move(items));
+
+  std::unique_lock<std::mutex> lock(batch->m);
+  batch->done_cv.wait(lock, [&] { return batch->remaining == 0; });
+  if (batch->first_error) std::rethrow_exception(batch->first_error);
+}
+
+}  // namespace pckpt::exec

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/executor.hpp"
+
+/// \file fair_share.hpp
+/// The daemon-wide fair-share campaign scheduler (docs/SERVING.md): one
+/// shared pool of worker threads serving every admitted tier-B campaign,
+/// replacing the per-admission-slot serial executors. Each campaign owns
+/// a private FIFO of shard-granular work items; workers drain the
+/// per-campaign queues round-robin, taking one item per campaign per
+/// scan. Service is therefore equal-share: with C active campaigns a
+/// campaign holding S remaining shards completes within ~S*C shard
+/// slots regardless of how much work the other campaigns still hold —
+/// a 10k-trial campaign cannot starve a 100-trial one, whose latency
+/// stays proportional to its own remaining shards.
+///
+/// Determinism: the scheduler only changes *when* shards run, never
+/// what they compute or how results merge (parallel_campaign.hpp owns
+/// the shard plan and ascending-order merge), so exact-tier payloads
+/// stay byte-identical to a serial run at any worker count.
+
+namespace pckpt::exec {
+
+/// Shared worker pool with one work queue per registered campaign,
+/// drained round-robin (one task per campaign per scan round).
+///
+/// Destruction semantics match ThreadPool: the destructor drains every
+/// queued task before joining the workers, so in-flight
+/// `CampaignExecutor::run` calls complete normally. Campaigns register
+/// through `CampaignExecutor`; the scheduler itself has no public
+/// enqueue surface.
+class FairShareScheduler {
+ public:
+  /// Spawns `threads` workers (minimum 1; 0 is promoted to 1).
+  explicit FairShareScheduler(std::size_t threads);
+  ~FairShareScheduler();
+
+  FairShareScheduler(const FairShareScheduler&) = delete;
+  FairShareScheduler& operator=(const FairShareScheduler&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Campaigns registered right now (diagnostic only).
+  std::size_t active_campaigns() const;
+
+  /// Tasks enqueued but not yet started, across all campaigns
+  /// (diagnostic only).
+  std::size_t queued() const;
+
+ private:
+  friend class CampaignExecutor;
+
+  /// One admitted campaign's private work FIFO.
+  struct Campaign {
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Register/unregister a campaign queue. The handle stays valid until
+  /// unregistered; unregister requires the queue to be drained (run()
+  /// has returned).
+  Campaign* register_campaign();
+  void unregister_campaign(Campaign* c);
+
+  void enqueue(Campaign* c, std::vector<std::function<void()>> tasks);
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<Campaign>> campaigns_;
+  std::size_t cursor_ = 0;       ///< round-robin scan start
+  std::size_t total_queued_ = 0; ///< sum of campaign queue lengths
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+/// Executor adapter for one campaign on a FairShareScheduler: `run`
+/// enqueues the batch onto this campaign's queue and blocks until every
+/// task completes, rethrowing the first captured exception (remaining
+/// queued tasks of a failed batch are skipped). One instance per
+/// admitted campaign; construct after admission, destroy after
+/// `run_campaign` returns. Not re-entrant (Executor contract).
+class CampaignExecutor final : public Executor {
+ public:
+  explicit CampaignExecutor(FairShareScheduler& scheduler)
+      : scheduler_(scheduler), campaign_(scheduler.register_campaign()) {}
+  ~CampaignExecutor() override { scheduler_.unregister_campaign(campaign_); }
+
+  CampaignExecutor(const CampaignExecutor&) = delete;
+  CampaignExecutor& operator=(const CampaignExecutor&) = delete;
+
+  std::size_t concurrency() const noexcept override {
+    return scheduler_.size();
+  }
+
+  void run(std::size_t count,
+           const std::function<void(std::size_t)>& task) override;
+
+ private:
+  FairShareScheduler& scheduler_;
+  FairShareScheduler::Campaign* campaign_;
+};
+
+}  // namespace pckpt::exec

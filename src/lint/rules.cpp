@@ -338,20 +338,18 @@ class HeapContainerRule final : public Rule {
   }
 };
 
-/// hot-path/deprecated-shim: `schedule(ev, dt)` and `defer(fn)` survive
-/// only as deprecated compatibility shims; new code uses the typed
-/// schedule_at/post/delay API. The dedicated shim suite is exempt.
+/// hot-path/deprecated-shim: the `schedule(ev, dt)` and `defer(fn)`
+/// shims are gone — `sim::Environment` only offers the typed
+/// schedule_at/post/delay API. The rule applies repo-wide (no exempt
+/// suite) so a reintroduced call site fails lint everywhere.
 class DeprecatedShimRule final : public Rule {
  public:
   std::string_view id() const override { return "deprecated-shim"; }
   std::string_view waiver_slug() const override { return "deprecated-shim-ok"; }
   std::string_view summary() const override {
-    return "ban calls to the deprecated schedule(ev, dt)/defer(fn) shims";
+    return "ban calls to the removed schedule(ev, dt)/defer(fn) shims";
   }
   void check(const FileContext& ctx, std::vector<Finding>& out) const override {
-    if (ctx.in_dir("tests/sim/") &&
-        ctx.path().find("environment_test") != std::string::npos)
-      return;  // the one suite that exercises the shims, on purpose
     const auto& ts = ctx.tokens();
     for (std::size_t i = 0; i < ts.size(); ++i) {
       if (ident_in(ts[i], {"schedule", "defer"}) && member_access(ts, i) &&
@@ -359,7 +357,7 @@ class DeprecatedShimRule final : public Rule {
         const bool sched = ts[i].text == "schedule";
         out.push_back(make_finding(
             *this, ctx, ts[i],
-            std::string("deprecated shim '") +
+            std::string("removed shim '") +
                 (sched ? "schedule(ev, dt)" : "defer(fn)") + "': use " +
                 (sched ? "schedule_at(ev, env.now() + dt) or post(ev)"
                        : "post(fn)") +

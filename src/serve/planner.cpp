@@ -11,6 +11,7 @@
 #include "core/oci.hpp"
 #include "core/simulation.hpp"
 #include "exec/executor.hpp"
+#include "exec/fair_share.hpp"
 #include "exec/result_sink.hpp"
 #include "serve/telemetry.hpp"
 
@@ -196,13 +197,15 @@ EstimateBreakdown estimate_query(const Planner::Resolved& r,
 // ---------------------------------------------------------------------
 
 Planner::Planner(core::Scenario scenario, AdmissionConfig admission,
-                 ResultStore& store, std::string checkpoint_dir)
+                 ResultStore& store, std::string checkpoint_dir,
+                 exec::FairShareScheduler* scheduler)
     : scenario_(std::move(scenario)),
       storage_(scenario_.machine.make_storage()),
       leads_(failure::LeadTimeModel::summit_default()),
       gate_(admission),
       store_(store),
-      checkpoint_dir_(std::move(checkpoint_dir)) {}
+      checkpoint_dir_(std::move(checkpoint_dir)),
+      scheduler_(scheduler) {}
 
 Planner::Resolved Planner::resolve(const QuerySpec& spec) const {
   Resolved r;
@@ -331,83 +334,160 @@ Planner::Outcome Planner::answer(const QuerySpec& spec,
     return out;
   }
 
-  // Tier B: a full DES campaign under admission control. Each admitted
-  // campaign runs on a serial executor — results are --jobs-independent
-  // by the engine's determinism contract, and service concurrency comes
-  // from admitting several campaigns, not from sharding one.
+  // Tier B: a full DES campaign. Per-key in-flight dedup first: when an
+  // identical exact query is already being simulated, this request
+  // attaches to it as a follower — the leader's shard completions
+  // stream to every follower's progress hook and all of them receive
+  // the same payload bytes. Followers register before admission, so N
+  // identical concurrent queries consume one admission slot, not N.
   if (span != nullptr) span->set_tier(Tier::kExactMiss);
-  obs::RequestSpan::StageTimer wait_timer(span, Stage::kAdmissionWait);
-  AdmissionTicket ticket(gate_);
-  wait_timer.stop();
-  core::RunSetup setup;
-  setup.app = &r.app;
-  setup.machine = &scenario_.machine;
-  setup.storage = &storage_;
-  setup.system = &r.system;
-  setup.leads = &leads_;
-  exec::SerialExecutor ex;
+  std::shared_ptr<Inflight> entry;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    auto [it, inserted] = inflight_.try_emplace(r.key);
+    if (inserted) it->second = std::make_shared<Inflight>();
+    entry = it->second;
+    leader = inserted;
+  }
+  if (!leader) {
+    obs::RequestSpan::StageTimer wait_timer(span, Stage::kAdmissionWait);
+    {
+      std::unique_lock<std::mutex> lock(entry->mu);
+      if (!entry->done && progress) entry->followers.push_back(progress);
+      entry->cv.wait(lock, [&entry] { return entry->done; });
+      // The leader's failure (e.g. its 429) is every follower's failure.
+      if (entry->error) std::rethrow_exception(entry->error);
+      out.payload = entry->payload;
+    }
+    wait_timer.stop();
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.dedup_hits;
+    return out;
+  }
 
-  // With checkpointing on, the campaign commits each shard as it goes
-  // and resumes a killed daemon's committed prefix. The checkpoint is
-  // keyed by the canonical query text, so only the same exact query
-  // resumes it; it is discarded once the payload is durably memoized.
-  std::optional<ckpt::CampaignCheckpointer> checkpointer;
-  if (!checkpoint_dir_.empty()) {
-    checkpointer.emplace(checkpoint_dir_, canonical_text(r.canonical),
-                         static_cast<std::size_t>(spec.runs), /*resume=*/true);
-    if (telemetry_ != nullptr) {
+  // Leader: publish the outcome — payload or exception — to every
+  // follower and retire the in-flight entry. On success the payload is
+  // already durably memoized before the entry leaves the map, so a
+  // request can never miss both the store and the dedup map.
+  auto publish = [this, &entry, &r, &out](std::exception_ptr error) {
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      entry->error = error;
+      if (error == nullptr) entry->payload = out.payload;
+      entry->done = true;
+      entry->followers.clear();
+    }
+    entry->cv.notify_all();
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_.erase(r.key);
+  };
+
+  // Fan shard completions out to the requester and every follower that
+  // attached while the campaign runs.
+  const exec::ProgressHook fan = [&progress,
+                                  entry](const exec::ShardProgress& p) {
+    if (progress) progress(p);
+    std::vector<exec::ProgressHook> followers;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      followers = entry->followers;
+    }
+    for (const auto& f : followers) f(p);
+  };
+
+  try {
+    obs::RequestSpan::StageTimer wait_timer(span, Stage::kAdmissionWait);
+    AdmissionTicket ticket(gate_);
+    wait_timer.stop();
+    core::RunSetup setup;
+    setup.app = &r.app;
+    setup.machine = &scenario_.machine;
+    setup.storage = &storage_;
+    setup.system = &r.system;
+    setup.leads = &leads_;
+
+    // Admitted campaigns share the daemon-wide fair-share pool when one
+    // is configured (shard interleaving round-robin across campaigns);
+    // otherwise each runs on a private serial executor. Payload bytes
+    // are identical either way — determinism is owned by the shard plan
+    // and ascending merge, never by the executor.
+    exec::SerialExecutor serial;
+    std::optional<exec::CampaignExecutor> shared;
+    exec::Executor* ex = &serial;
+    if (scheduler_ != nullptr) {
+      shared.emplace(*scheduler_);
+      ex = &*shared;
+    }
+
+    // With checkpointing on, the campaign commits each shard as it goes
+    // and resumes a killed daemon's committed prefix. The checkpoint is
+    // keyed by the canonical query text, so only the same exact query
+    // resumes it; it is discarded once the payload is durably memoized.
+    std::optional<ckpt::CampaignCheckpointer> checkpointer;
+    if (!checkpoint_dir_.empty()) {
+      checkpointer.emplace(checkpoint_dir_, canonical_text(r.canonical),
+                           static_cast<std::size_t>(spec.runs),
+                           /*resume=*/true);
+      if (telemetry_ != nullptr) {
+        const auto cs = checkpointer->stats();
+        telemetry_->record_recover("ckpt", cs.replayed_journal,
+                                   cs.truncated_bytes, cs.committed_prefix,
+                                   cs.recover_us);
+        if (cs.committed_prefix > 0) {
+          telemetry_->log()
+              .info("ckpt", "ckpt.resume")
+              .add("req", span != nullptr ? span->request_id() : 0)
+              .add("key", key_hex(r.key))
+              .add("shards_resumed",
+                   static_cast<std::uint64_t>(cs.committed_prefix))
+              .add("shards_total",
+                   static_cast<std::uint64_t>(cs.shards_total));
+        }
+        Telemetry* telemetry = telemetry_;
+        checkpointer->set_commit_hook(
+            [telemetry, span](std::size_t shard, std::uint64_t us) {
+              telemetry->record_shard_commit(shard, us);
+              if (span != nullptr) {
+                span->add_ns(Stage::kCkptCommit, us * 1000);
+              }
+            });
+      }
+    }
+    obs::RequestSpan::StageTimer exec_timer(span, Stage::kCampaignExec);
+    const core::CampaignResult result = core::run_campaign(
+        setup, r.cr, static_cast<std::size_t>(spec.runs), spec.seed, *ex, fan,
+        /*trace=*/nullptr, checkpointer ? &*checkpointer : nullptr);
+    exec_timer.stop();
+    {
+      obs::RequestSpan::StageTimer render_timer(span, Stage::kRender);
+      out.payload = render_exact_payload(r.canonical, result);
+    }
+    {
+      obs::RequestSpan::StageTimer commit_timer(span, Stage::kCkptCommit);
+      store_.put(r.key, out.payload);
+    }
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.exact_misses;
+    if (checkpointer) {
       const auto cs = checkpointer->stats();
-      telemetry_->record_recover("ckpt", cs.replayed_journal,
-                                 cs.truncated_bytes, cs.committed_prefix,
-                                 cs.recover_us);
-      if (cs.committed_prefix > 0) {
+      counters_.shards_resumed += cs.resumed;
+      counters_.shards_executed += cs.committed;
+      checkpointer->remove();
+      if (telemetry_ != nullptr) {
         telemetry_->log()
-            .info("ckpt", "ckpt.resume")
+            .info("ckpt", "ckpt.done")
             .add("req", span != nullptr ? span->request_id() : 0)
             .add("key", key_hex(r.key))
-            .add("shards_resumed",
-                 static_cast<std::uint64_t>(cs.committed_prefix))
-            .add("shards_total", static_cast<std::uint64_t>(cs.shards_total));
+            .add("shards_resumed", static_cast<std::uint64_t>(cs.resumed))
+            .add("shards_executed", static_cast<std::uint64_t>(cs.committed));
       }
-      Telemetry* telemetry = telemetry_;
-      checkpointer->set_commit_hook(
-          [telemetry, span](std::size_t shard, std::uint64_t us) {
-            telemetry->record_shard_commit(shard, us);
-            if (span != nullptr) {
-              span->add_ns(Stage::kCkptCommit, us * 1000);
-            }
-          });
     }
+  } catch (...) {
+    publish(std::current_exception());
+    throw;
   }
-  obs::RequestSpan::StageTimer exec_timer(span, Stage::kCampaignExec);
-  const core::CampaignResult result = core::run_campaign(
-      setup, r.cr, static_cast<std::size_t>(spec.runs), spec.seed, ex,
-      progress, /*trace=*/nullptr, checkpointer ? &*checkpointer : nullptr);
-  exec_timer.stop();
-  {
-    obs::RequestSpan::StageTimer render_timer(span, Stage::kRender);
-    out.payload = render_exact_payload(r.canonical, result);
-  }
-  {
-    obs::RequestSpan::StageTimer commit_timer(span, Stage::kCkptCommit);
-    store_.put(r.key, out.payload);
-  }
-  std::lock_guard<std::mutex> lock(counters_mu_);
-  ++counters_.exact_misses;
-  if (checkpointer) {
-    const auto cs = checkpointer->stats();
-    counters_.shards_resumed += cs.resumed;
-    counters_.shards_executed += cs.committed;
-    checkpointer->remove();
-    if (telemetry_ != nullptr) {
-      telemetry_->log()
-          .info("ckpt", "ckpt.done")
-          .add("req", span != nullptr ? span->request_id() : 0)
-          .add("key", key_hex(r.key))
-          .add("shards_resumed", static_cast<std::uint64_t>(cs.resumed))
-          .add("shards_executed", static_cast<std::uint64_t>(cs.committed));
-    }
-  }
+  publish(nullptr);
   return out;
 }
 

@@ -2,6 +2,9 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -37,6 +40,10 @@
 /// standalone run with the same config and seed — campaigns inherit the
 /// engine's jobs-independence, and payload rendering is a pure function
 /// of the CampaignResult. Tests assert hit == miss == standalone bytes.
+
+namespace pckpt::exec {
+class FairShareScheduler;
+}  // namespace pckpt::exec
 
 namespace pckpt::serve {
 
@@ -101,6 +108,7 @@ class Planner {
     std::size_t inflight = 0;
     std::size_t shards_executed = 0;  ///< tier-B shards simulated
     std::size_t shards_resumed = 0;   ///< tier-B shards loaded from checkpoint
+    std::size_t dedup_hits = 0;  ///< misses coalesced onto in-flight campaigns
   };
 
   /// `scenario`: a core::Scenario the daemon serves (its machine,
@@ -111,8 +119,13 @@ class Planner {
   /// `checkpoint_dir` and, after a daemon crash/restart, resume from the
   /// committed prefix instead of re-simulating it. The checkpoint is
   /// removed once the finished payload is in the ResultStore.
+  /// A non-null `scheduler` runs tier-B campaigns on the daemon-wide
+  /// fair-share pool (exec/fair_share.hpp) instead of a per-request
+  /// serial executor; it must outlive the planner. Payload bytes are
+  /// identical either way (engine determinism contract).
   Planner(core::Scenario scenario, AdmissionConfig admission,
-          ResultStore& store, std::string checkpoint_dir = {});
+          ResultStore& store, std::string checkpoint_dir = {},
+          exec::FairShareScheduler* scheduler = nullptr);
 
   /// Resolved, validated form of a QuerySpec.
   struct Resolved {
@@ -150,13 +163,30 @@ class Planner {
   }
 
  private:
+  /// One in-flight exact-tier campaign that identical concurrent
+  /// queries coalesce onto. The first requester (the leader) runs the
+  /// campaign; later identical requests (followers) park here until the
+  /// leader publishes the payload — or the failure — and wakes them.
+  /// Follower progress hooks receive the leader's shard completions.
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string payload;
+    std::exception_ptr error;
+    std::vector<exec::ProgressHook> followers;
+  };
+
   core::Scenario scenario_;
   iomodel::StorageModel storage_;
   failure::LeadTimeModel leads_;
   AdmissionGate gate_;
   ResultStore& store_;
   std::string checkpoint_dir_;
+  exec::FairShareScheduler* scheduler_ = nullptr;
   Telemetry* telemetry_ = nullptr;
+  std::mutex inflight_mu_;
+  std::map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
   mutable std::mutex counters_mu_;
   Counters counters_;
 };

@@ -96,6 +96,26 @@ bool apply_query_member(QuerySpec& q, const std::string& key,
   return true;
 }
 
+/// Parse one batch entry object into a QuerySpec. Strict like the
+/// top-level query parse; `progress` is additionally rejected (batch
+/// entries do not stream).
+QuerySpec parse_batch_entry(const JsonValue& v, std::size_t index) {
+  const std::string where = "queries[" + std::to_string(index) + "]";
+  if (!v.is_object()) bad_request(where + " must be a JSON object");
+  QuerySpec q;
+  for (const auto& [key, value] : v.object) {
+    if (key == "progress") {
+      bad_request(where + ": batch entries do not support 'progress'");
+    }
+    if (!apply_query_member(q, key, value)) {
+      bad_request(where + ": unknown member '" + key + "'");
+    }
+  }
+  if (q.model.empty()) bad_request(where + ": missing member 'model'");
+  if (q.app.empty()) bad_request(where + ": missing member 'app'");
+  return q;
+}
+
 }  // namespace
 
 Request parse_request(std::string_view line) {
@@ -123,8 +143,30 @@ Request parse_request(std::string_view line) {
     req.op = Op::kShutdown;
   } else if (op->string == "query") {
     req.op = Op::kQuery;
+  } else if (op->string == "batch") {
+    req.op = Op::kBatch;
   } else {
     bad_request("unknown op '" + op->string + "'");
+  }
+
+  if (req.op == Op::kBatch) {
+    // Exactly {"op":"batch","queries":[...]} — a parse error anywhere
+    // in the request fails the whole request before anything runs.
+    const JsonValue* queries = root.get("queries");
+    if (queries == nullptr || queries->kind != JsonValue::Kind::kArray) {
+      bad_request("op 'batch' requires array member 'queries'");
+    }
+    if (root.object.size() != 2) {
+      bad_request("op 'batch' takes only member 'queries'");
+    }
+    if (queries->array.empty()) {
+      bad_request("'queries' must not be empty");
+    }
+    req.batch.reserve(queries->array.size());
+    for (std::size_t i = 0; i < queries->array.size(); ++i) {
+      req.batch.push_back(parse_batch_entry(queries->array[i], i));
+    }
+    return req;
   }
 
   if (req.op != Op::kQuery) {
@@ -185,10 +227,46 @@ std::string render_result_line(std::string_view key_hex,
   return row.str();
 }
 
+std::string render_entry_line(std::uint64_t index, std::string_view key_hex,
+                              std::string_view tier, bool cached,
+                              std::string_view payload_json) {
+  exec::JsonlRow row;
+  row.add("ev", "entry");
+  row.add("i", index);
+  row.add("status", 200);
+  row.add("key", key_hex);
+  row.add("tier", tier);
+  row.add("cached", cached);
+  row.add_raw("payload", payload_json);  // MUST stay the last member
+  return row.str();
+}
+
+std::string render_entry_error_line(std::uint64_t index, int code,
+                                    std::string_view message) {
+  exec::JsonlRow row;
+  row.add("ev", "entry");
+  row.add("i", index);
+  row.add("status", code);
+  row.add("message", message);
+  return row.str();
+}
+
+std::string render_batch_line(std::uint64_t n, std::uint64_t ok) {
+  exec::JsonlRow row;
+  row.add("ev", "batch");
+  row.add("n", n);
+  row.add("ok", ok);
+  return row.str();
+}
+
 std::optional<std::string_view> extract_payload(std::string_view line) {
-  constexpr std::string_view kPrefix = "{\"ev\":\"result\"";
+  constexpr std::string_view kResultPrefix = "{\"ev\":\"result\"";
+  constexpr std::string_view kEntryPrefix = "{\"ev\":\"entry\"";
   constexpr std::string_view kMarker = "\"payload\":";
-  if (line.substr(0, kPrefix.size()) != kPrefix) return std::nullopt;
+  if (line.substr(0, kResultPrefix.size()) != kResultPrefix &&
+      line.substr(0, kEntryPrefix.size()) != kEntryPrefix) {
+    return std::nullopt;
+  }
   const std::size_t at = line.rfind(kMarker);
   if (at == std::string_view::npos) return std::nullopt;
   const std::size_t begin = at + kMarker.size();

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "exec/parallel_campaign.hpp"
 
@@ -20,9 +21,22 @@
 ///   {"op":"shutdown"}                        -> {"ev":"bye"}
 ///   {"op":"query","model":"P1","app":...}    -> [{"ev":"progress",...}]*
 ///                                               {"ev":"result",...}
+///   {"op":"batch","queries":[{...},...]}     -> {"ev":"entry","i":0,...}
+///                                               ... one per query ...
+///                                               {"ev":"batch","n":K,"ok":J}
 /// Any failure yields a single {"ev":"error","code":N,"message":...}
 /// line; `code` follows HTTP conventions (400 malformed request, 404
 /// unknown preset, 429 admission queue full, 500 internal).
+///
+/// `batch` (pckpt-serve/2) answers many queries in one round trip with
+/// partial-failure semantics: a parse error anywhere in the request is
+/// a whole-request 400 (nothing runs), while a semantic failure of one
+/// entry (unknown preset, admission rejection) yields that entry's
+/// `ev:entry` line with its error status and message — the other
+/// entries still answer. Successful entries carry `status:200` and the
+/// payload object LAST, exactly like a v1 result line; the terminal
+/// `ev:batch` line counts entries (`n`) and successes (`ok`). Batch
+/// entries do not stream progress.
 ///
 /// Result lines place the memoized payload object LAST:
 ///   {"ev":"result","key":"<16-hex>","tier":"exact","cached":false,
@@ -73,11 +87,12 @@ struct QuerySpec {
   std::optional<double> spare_nodes;  ///< -1 = unbounded (catalog default)
 };
 
-enum class Op { kQuery, kPing, kStats, kMetrics, kShutdown };
+enum class Op { kQuery, kBatch, kPing, kStats, kMetrics, kShutdown };
 
 struct Request {
   Op op = Op::kPing;
-  QuerySpec query;  ///< meaningful only when op == kQuery
+  QuerySpec query;                ///< meaningful only when op == kQuery
+  std::vector<QuerySpec> batch;   ///< meaningful only when op == kBatch
 };
 
 /// Parse one request line. \throws ServeError(400, ...) on malformed
@@ -101,9 +116,23 @@ std::string render_result_line(std::string_view key_hex,
                                std::string_view tier, bool cached,
                                std::string_view payload_json);
 
-/// Recover the exact payload bytes from a `render_result_line` output
-/// (or anything following the same payload-last convention). Returns
-/// nullopt if `line` is not a result line.
+/// Render one successful batch `ev:entry` line (status 200, payload
+/// LAST — same convention as a result line).
+std::string render_entry_line(std::uint64_t index, std::string_view key_hex,
+                              std::string_view tier, bool cached,
+                              std::string_view payload_json);
+
+/// Render one failed batch `ev:entry` line (per-entry status + message).
+std::string render_entry_error_line(std::uint64_t index, int code,
+                                    std::string_view message);
+
+/// Render the terminal `ev:batch` line: `n` entries, `ok` successes.
+std::string render_batch_line(std::uint64_t n, std::uint64_t ok);
+
+/// Recover the exact payload bytes from a `render_result_line` or
+/// successful `render_entry_line` output (anything following the
+/// payload-last convention). Returns nullopt if `line` carries no
+/// payload.
 std::optional<std::string_view> extract_payload(std::string_view line);
 
 }  // namespace pckpt::serve

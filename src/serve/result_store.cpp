@@ -2,18 +2,45 @@
 
 namespace pckpt::serve {
 
+namespace {
+
+/// On-disk size of one framed record: 32-byte header + payload
+/// (ckpt/durable_log.hpp frame format).
+constexpr std::uint64_t kFrameHeaderBytes = 32;
+
+std::uint64_t frame_bytes(std::string_view payload) {
+  return kFrameHeaderBytes + payload.size();
+}
+
+}  // namespace
+
 void ResultStore::set_write_fault_budget(long long bytes) {
   ckpt::DurableLog::set_write_fault_budget(bytes);
 }
 
-ResultStore::ResultStore(std::string path)
-    : log_(std::move(path), [this](std::uint64_t key, std::string_view payload) {
-        index_[key] = std::string(payload);  // replay order: last put wins
-      }) {}
+ResultStore::ResultStore(std::string path, CompactionConfig compaction)
+    : log_(std::move(path),
+           [this](std::uint64_t key, std::string_view payload) {
+             // Replay order: last put wins. A superseding frame retires
+             // its predecessor's bytes from the live set.
+             const auto it = index_.find(key);
+             if (it != index_.end()) live_bytes_ -= frame_bytes(it->second);
+             live_bytes_ += frame_bytes(payload);
+             index_[key] = std::string(payload);
+           }) {
+  if (compaction.on_open_min_dead_bytes > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t dead = log_.stats().log_bytes - live_bytes_;
+    if (dead >= compaction.on_open_min_dead_bytes) compact_locked();
+  }
+}
 
 void ResultStore::put(std::uint64_t key, std::string_view payload) {
   std::lock_guard<std::mutex> lock(mu_);
   log_.append(key, payload);
+  const auto it = index_.find(key);
+  if (it != index_.end()) live_bytes_ -= frame_bytes(it->second);
+  live_bytes_ += frame_bytes(payload);
   index_[key] = std::string(payload);
 }
 
@@ -22,7 +49,12 @@ void ResultStore::put_group(
   if (group.empty()) return;
   std::lock_guard<std::mutex> lock(mu_);
   log_.append_group(group);
-  for (const auto& [key, payload] : group) index_[key] = payload;
+  for (const auto& [key, payload] : group) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) live_bytes_ -= frame_bytes(it->second);
+    live_bytes_ += frame_bytes(payload);
+    index_[key] = payload;
+  }
 }
 
 std::optional<std::string> ResultStore::lookup(std::uint64_t key) const {
@@ -30,6 +62,24 @@ std::optional<std::string> ResultStore::lookup(std::uint64_t key) const {
   const auto it = index_.find(key);
   if (it == index_.end()) return std::nullopt;
   return it->second;
+}
+
+std::uint64_t ResultStore::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compact_locked();
+}
+
+std::uint64_t ResultStore::compact_locked() {
+  const std::uint64_t before = log_.stats().log_bytes;
+  if (before == live_bytes_) return 0;  // nothing superseded
+  std::vector<std::pair<std::uint64_t, std::string>> live;
+  live.reserve(index_.size());
+  for (const auto& [key, payload] : index_) live.emplace_back(key, payload);
+  log_.rewrite(live);
+  const std::uint64_t reclaimed = before - log_.stats().log_bytes;
+  ++compactions_;
+  compacted_bytes_ += reclaimed;
+  return reclaimed;
 }
 
 ResultStore::Stats ResultStore::stats() const {
@@ -42,6 +92,10 @@ ResultStore::Stats ResultStore::stats() const {
   s.replayed_journal = ls.replayed_journal;
   s.truncated_bytes = ls.truncated_bytes;
   s.recover_us = ls.recover_us;
+  s.live_records = index_.size();
+  s.dead_bytes = ls.log_bytes - live_bytes_;
+  s.compactions = compactions_;
+  s.compacted_bytes = compacted_bytes_;
   return s;
 }
 

@@ -21,12 +21,27 @@
 /// audit trail — and `put()` returning still means the record survives
 /// any subsequent crash.
 ///
+/// Live/dead accounting rides on the index: `live_records` counts the
+/// distinct keys, `dead_bytes` the log bytes held by superseded frames.
+/// `compact()` rewrites the log to exactly the live set through the
+/// same doublewrite journal (commit point and torn-tail semantics
+/// unchanged — see `ckpt::DurableLog::rewrite`); a `CompactionConfig`
+/// can trigger the rewrite automatically on open.
+///
 /// The format is unchanged from the pre-refactor store (PR 6), so
 /// existing store files reopen as-is; the campaign checkpointer
 /// (src/ckpt/campaign_ckpt.hpp) shares the same machinery and the same
 /// crash-injection test harness.
 
 namespace pckpt::serve {
+
+/// On-open compaction policy. Default: never compact automatically —
+/// the log stays a full audit trail unless the operator opts in.
+struct CompactionConfig {
+  /// Rewrite on open when at least this many bytes are dead. 0 disables
+  /// on-open compaction.
+  std::uint64_t on_open_min_dead_bytes = 0;
+};
 
 class ResultStore {
  public:
@@ -37,11 +52,16 @@ class ResultStore {
     bool replayed_journal = false;  ///< recovery replayed an armed journal
     std::uint64_t truncated_bytes = 0;  ///< torn tail discarded on open
     std::uint64_t recover_us = 0;  ///< DurableLog open-time recovery cost
+    std::size_t live_records = 0;  ///< distinct keys (== records)
+    std::uint64_t dead_bytes = 0;  ///< log bytes held by superseded frames
+    std::size_t compactions = 0;   ///< rewrites since open (incl. on-open)
+    std::uint64_t compacted_bytes = 0;  ///< total bytes reclaimed
   };
 
-  /// Opens (creating if absent) and recovers the store at `path`.
+  /// Opens (creating if absent) and recovers the store at `path`, then
+  /// applies the on-open compaction policy (default: none).
   /// \throws std::runtime_error on I/O errors.
-  explicit ResultStore(std::string path);
+  explicit ResultStore(std::string path, CompactionConfig compaction = {});
 
   ResultStore(const ResultStore&) = delete;
   ResultStore& operator=(const ResultStore&) = delete;
@@ -59,6 +79,14 @@ class ResultStore {
   void put_group(
       const std::vector<std::pair<std::uint64_t, std::string>>& group);
 
+  /// Rewrite the log to exactly the live set (ascending key order),
+  /// dropping every superseded frame through the doublewrite journal —
+  /// crash-safe at any byte offset, byte-preserving for every live
+  /// payload. Returns the log bytes reclaimed (0 when nothing was
+  /// dead). Thread-safe; concurrent lookups/puts simply serialize
+  /// around the rewrite.
+  std::uint64_t compact();
+
   Stats stats() const;
   const std::string& path() const noexcept { return log_.path(); }
 
@@ -75,10 +103,15 @@ class ResultStore {
   static void set_write_fault_budget(long long bytes);
 
  private:
-  // Ordered map: deterministic iteration for stats/debug dumps.
-  // Declared before log_ — the replay callback fills it while log_ is
-  // being constructed.
+  std::uint64_t compact_locked();
+
+  // Ordered map: deterministic iteration for stats/debug dumps and the
+  // compaction rewrite order. Declared before log_ — the replay
+  // callback fills it while log_ is being constructed.
   std::map<std::uint64_t, std::string> index_;
+  std::uint64_t live_bytes_ = 0;  ///< framed bytes of the live set
+  std::size_t compactions_ = 0;
+  std::uint64_t compacted_bytes_ = 0;
   ckpt::DurableLog log_;
   mutable std::mutex mu_;
 };

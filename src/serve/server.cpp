@@ -217,6 +217,9 @@ bool Server::handle_line(std::string_view line, int fd) {
       row.add("log_bytes", s.log_bytes);
       row.add("replayed_journal", s.replayed_journal);
       row.add("truncated_bytes", s.truncated_bytes);
+      row.add("live_records", static_cast<std::uint64_t>(s.live_records));
+      row.add("dead_bytes", s.dead_bytes);
+      row.add("compactions", static_cast<std::uint64_t>(s.compactions));
       row.add("hits", static_cast<std::uint64_t>(c.hits));
       row.add("estimate_misses",
               static_cast<std::uint64_t>(c.estimate_misses));
@@ -226,6 +229,7 @@ bool Server::handle_line(std::string_view line, int fd) {
       row.add("shards_executed",
               static_cast<std::uint64_t>(c.shards_executed));
       row.add("shards_resumed", static_cast<std::uint64_t>(c.shards_resumed));
+      row.add("dedup_hits", static_cast<std::uint64_t>(c.dedup_hits));
       finish("stats", 200);
       return write_line(fd, row.str());
     }
@@ -242,7 +246,37 @@ bool Server::handle_line(std::string_view line, int fd) {
       return write_line(fd, reply);
     }
     case Op::kQuery:
+    case Op::kBatch:
       break;
+  }
+
+  if (req.op == Op::kBatch) {
+    // One round trip, per-entry status: each query answers (or fails)
+    // independently, in request order, then the terminal batch line
+    // reports the tally. The shared span folds the whole batch into one
+    // request record.
+    std::uint64_t ok = 0;
+    bool alive = true;
+    for (std::size_t i = 0; i < req.batch.size() && alive; ++i) {
+      const auto index = static_cast<std::uint64_t>(i);
+      try {
+        const Planner::Outcome out = planner_.answer(req.batch[i], {}, span);
+        alive = write_line(fd, render_entry_line(index, key_hex(out.key),
+                                                 out.tier, out.cached,
+                                                 out.payload));
+        ++ok;
+      } catch (const ServeError& e) {
+        alive = write_line(fd, render_entry_error_line(index, e.code(),
+                                                       e.what()));
+      } catch (const std::exception& e) {
+        alive = write_line(fd, render_entry_error_line(index, 500, e.what()));
+      }
+    }
+    finish("batch", 200);
+    return alive &&
+           write_line(fd, render_batch_line(
+                              static_cast<std::uint64_t>(req.batch.size()),
+                              ok));
   }
 
   try {

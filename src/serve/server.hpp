@@ -25,8 +25,12 @@
 
 namespace pckpt::serve {
 
-/// Protocol/version banner returned by `ping`.
-inline constexpr std::string_view kServeVersion = "pckpt-serve/1";
+/// Protocol/version banner returned by `ping`. v2 adds the `batch` op
+/// (additively — every v1 request and response line is unchanged, so v1
+/// clients keep working). Stored payload bytes keep their own `schema`
+/// pin ("pckpt-serve/1") untouched: memoized results are byte-stable
+/// across the banner bump.
+inline constexpr std::string_view kServeVersion = "pckpt-serve/2";
 
 class Server {
  public:

@@ -190,14 +190,19 @@ std::string Telemetry::render_metrics_line(
       .add("shards_executed",
            static_cast<std::uint64_t>(counters.shards_executed))
       .add("shards_resumed",
-           static_cast<std::uint64_t>(counters.shards_resumed));
+           static_cast<std::uint64_t>(counters.shards_resumed))
+      .add("dedup_hits", static_cast<std::uint64_t>(counters.dedup_hits));
   row.add_raw("planner", planner_row.str());
 
   exec::JsonlRow store_row;
   store_row.add("records", static_cast<std::uint64_t>(store.records))
       .add("log_bytes", store.log_bytes)
       .add("replayed_journal", store.replayed_journal)
-      .add("recover_us", store.recover_us);
+      .add("recover_us", store.recover_us)
+      .add("live_records", static_cast<std::uint64_t>(store.live_records))
+      .add("dead_bytes", store.dead_bytes)
+      .add("compactions", static_cast<std::uint64_t>(store.compactions))
+      .add("compacted_bytes", store.compacted_bytes);
   row.add_raw("store", store_row.str());
 
   exec::JsonlRow counters_row;
@@ -224,8 +229,12 @@ std::string Telemetry::render_metrics_line(
   prom_gauge(prom, "inflight", counters.inflight);
   prom_counter(prom, "shards_executed_total", counters.shards_executed);
   prom_counter(prom, "shards_resumed_total", counters.shards_resumed);
+  prom_counter(prom, "dedup_hits_total", counters.dedup_hits);
   prom_gauge(prom, "store_records", store.records);
   prom_gauge(prom, "store_log_bytes", store.log_bytes);
+  prom_gauge(prom, "store_live_records", store.live_records);
+  prom_gauge(prom, "store_dead_bytes", store.dead_bytes);
+  prom_counter(prom, "store_compactions_total", store.compactions);
   for (const auto& [name, value] : snap.counters()) {
     prom_counter(prom, name, value);
   }

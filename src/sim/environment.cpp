@@ -55,22 +55,6 @@ void Environment::schedule_at(const EventPtr& ev, SimTime at) {
   push_entry(rec, at);
 }
 
-void Environment::schedule(EventPtr ev, SimTime delay) {
-  if (!(delay >= 0.0)) {
-    throw std::invalid_argument(
-        "Environment::schedule: negative or NaN delay");
-  }
-  EventCore& rec = *ev;
-  if (rec.state_ == EventCore::State::kProcessed) {
-    throw std::logic_error("Environment::schedule: event already processed");
-  }
-  rec.state_ = EventCore::State::kScheduled;
-  push_entry(rec, now_ + delay);
-}
-
-// Deprecated type-erased shim; new code uses post(fn). lint: hot-path-ok
-void Environment::defer(std::function<void()> fn) { post(std::move(fn)); }
-
 Process& Environment::spawn(Process& p) {
   if (!p.valid()) throw std::invalid_argument("Environment::spawn: invalid");
   if (p.state()->spawned()) {

@@ -4,7 +4,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <exception>
-#include <functional>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -90,16 +89,6 @@ class Environment {
         [f = std::forward<Fn>(fn)](EventCore&) mutable { f(); });
     trigger_now(*ev);
   }
-
-  /// \deprecated Delay-relative scheduling of an event handle; use
-  /// `schedule_at(ev, env.now() + delay)` (or `post(ev)` for delay 0).
-  [[deprecated("use schedule_at(ev, env.now() + delay) or post(ev)")]]
-  void schedule(EventPtr ev, SimTime delay = 0.0);
-
-  /// \deprecated Type-erased deferral through std::function; use
-  /// `post(fn)`, which keeps small closures inline.
-  [[deprecated("use post(fn)")]]
-  void defer(std::function<void()> fn);  // lint: hot-path-ok (shim)
 
   /// Register a process coroutine and schedule its first resumption at the
   /// current simulation time. Returns the same handle for chaining.

@@ -188,10 +188,14 @@ TEST(LintRules, DeprecatedShimAllowsTypedApi) {
       lint_fixture("deprecated_shim_clean.cpp", "src/core/x.cpp").empty());
 }
 
-TEST(LintRules, DeprecatedShimExemptsDedicatedSuite) {
-  EXPECT_TRUE(lint_fixture("deprecated_shim_bad.cpp",
-                           "tests/sim/environment_test.cpp")
-                  .empty());
+TEST(LintRules, DeprecatedShimFiresRepoWide) {
+  // The shims are deleted from sim::Environment; no suite is exempt any
+  // more — even the old shim-test path gets flagged.
+  const auto fs = lint_fixture("deprecated_shim_bad.cpp",
+                               "tests/sim/environment_test.cpp");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "deprecated-shim");
+  EXPECT_EQ(fs[1].rule, "deprecated-shim");
 }
 
 TEST(LintRules, StderrLogFlagsDirectWritesInServeTree) {

@@ -10,6 +10,7 @@
 #include "core/campaign.hpp"
 #include "core/scenario.hpp"
 #include "exec/executor.hpp"
+#include "exec/fair_share.hpp"
 #include "failure/system_catalog.hpp"
 #include "obs/json_value.hpp"
 #include "workload/application.hpp"
@@ -154,6 +155,31 @@ TEST_F(PlannerTest, ExactMissMatchesStandaloneCampaignByteForByte) {
   const auto hit = planner_->answer(spec);
   EXPECT_TRUE(hit.cached);
   EXPECT_EQ(hit.payload, out.payload);
+}
+
+TEST_F(PlannerTest, FairShareSchedulerPayloadMatchesSerialByteForByte) {
+  // Determinism across the executor seam: a planner running tier B on
+  // the shared fair-share pool must produce the exact payload bytes of
+  // the fixture's serial planner.
+  QuerySpec spec = exact_spec();
+  spec.runs = 48;  // several shards, so pool scheduling actually differs
+  const auto serial = planner_->answer(spec);
+
+  const std::string pooled_path = path_ + "_pool";
+  ::unlink(pooled_path.c_str());
+  ::unlink((pooled_path + ".journal").c_str());
+  {
+    ResultStore pooled_store(pooled_path);
+    exec::FairShareScheduler scheduler(3);
+    Planner pooled(summit_scenario(), AdmissionConfig{}, pooled_store,
+                   /*checkpoint_dir=*/"", &scheduler);
+    const auto out = pooled.answer(spec);
+    EXPECT_FALSE(out.cached);
+    EXPECT_EQ(out.key, serial.key);
+    EXPECT_EQ(out.payload, serial.payload);
+  }
+  ::unlink(pooled_path.c_str());
+  ::unlink((pooled_path + ".journal").c_str());
 }
 
 TEST_F(PlannerTest, ExactResultsPersistAcrossStoreReopen) {

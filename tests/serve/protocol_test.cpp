@@ -42,6 +42,22 @@ TEST(ParseRequest, NonQueryOps) {
   EXPECT_EQ(parse_request(R"({"op":"shutdown"})").op, Op::kShutdown);
 }
 
+TEST(ParseRequest, BatchCarriesEveryEntryInOrder) {
+  const Request r = parse_request(
+      R"({"op":"batch","queries":[)"
+      R"({"model":"P1","app":"VULCAN"},)"
+      R"({"mode":"exact","model":"P2","app":"XGC","runs":64,"seed":7}]})");
+  EXPECT_EQ(r.op, Op::kBatch);
+  ASSERT_EQ(r.batch.size(), 2u);
+  EXPECT_EQ(r.batch[0].mode, "estimate");
+  EXPECT_EQ(r.batch[0].model, "P1");
+  EXPECT_EQ(r.batch[0].app, "VULCAN");
+  EXPECT_EQ(r.batch[1].mode, "exact");
+  EXPECT_EQ(r.batch[1].model, "P2");
+  EXPECT_EQ(r.batch[1].runs, 64u);
+  EXPECT_EQ(r.batch[1].seed, 7u);
+}
+
 int error_code_of(const std::string& line) {
   try {
     parse_request(line);
@@ -79,6 +95,31 @@ TEST(ParseRequest, MalformedRequestsAre400) {
   EXPECT_EQ(error_code_of(R"({"op":"ping","model":"P1"})"), 400);
 }
 
+TEST(ParseRequest, MalformedBatchesAre400) {
+  // A parse error anywhere fails the whole batch before anything runs.
+  EXPECT_EQ(error_code_of(R"({"op":"batch"})"), 400);
+  EXPECT_EQ(error_code_of(R"({"op":"batch","queries":{}})"), 400);
+  EXPECT_EQ(error_code_of(R"({"op":"batch","queries":[]})"), 400);
+  EXPECT_EQ(error_code_of(R"({"op":"batch","queries":[1]})"), 400);
+  EXPECT_EQ(
+      error_code_of(R"({"op":"batch","queries":[{"model":"P1"}]})"), 400);
+  EXPECT_EQ(error_code_of(R"({"op":"batch","queries":[)"
+                          R"({"model":"P1","app":"X"}],"extra":1})"),
+            400);
+  // Entry-level progress streaming is a single-query feature.
+  EXPECT_EQ(error_code_of(R"({"op":"batch","queries":[)"
+                          R"({"model":"P1","app":"X","progress":true}]})"),
+            400);
+  // The failing entry is named.
+  try {
+    parse_request(R"({"op":"batch","queries":[)"
+                  R"({"model":"P1","app":"X"},{"model":"P1"}]})");
+    FAIL();
+  } catch (const ServeError& e) {
+    EXPECT_NE(std::string(e.what()).find("queries[1]"), std::string::npos);
+  }
+}
+
 TEST(ParseRequest, ErrorMessagesNameTheProblem) {
   try {
     parse_request(R"({"op":"query","model":"P1","app":"X","recal":0.9})");
@@ -107,6 +148,17 @@ TEST(RenderLines, ProgressLine) {
             R"("items_done":16,"items_total":32})");
 }
 
+TEST(RenderLines, BatchEntryAndTerminalLines) {
+  EXPECT_EQ(render_entry_line(3, "00000000000000ff", "exact", false,
+                              R"({"total_h":1})"),
+            R"({"ev":"entry","i":3,"status":200,"key":"00000000000000ff",)"
+            R"("tier":"exact","cached":false,"payload":{"total_h":1}})");
+  EXPECT_EQ(render_entry_error_line(1, 404, "unknown application 'X'"),
+            R"({"ev":"entry","i":1,"status":404,)"
+            R"("message":"unknown application 'X'"})");
+  EXPECT_EQ(render_batch_line(3, 2), R"({"ev":"batch","n":3,"ok":2})");
+}
+
 TEST(ExtractPayload, RoundTripsExactBytes) {
   const std::string payload =
       R"({"schema":"pckpt-serve/1","total_h":0.0411111210389})";
@@ -120,9 +172,24 @@ TEST(ExtractPayload, RoundTripsExactBytes) {
   EXPECT_NE(line.find(R"("cached":true)"), std::string::npos);
 }
 
+TEST(ExtractPayload, RoundTripsBatchEntryBytes) {
+  const std::string payload =
+      R"({"schema":"pckpt-serve/1","total_h":0.0411111210389})";
+  // extract_payload returns a view into the line — keep it alive.
+  const std::string line =
+      render_entry_line(0, "428e2cf7ccc0fc62", "estimate", true, payload);
+  const auto got = extract_payload(line);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, payload);
+  // Failed entries carry no payload.
+  const std::string error_line = render_entry_error_line(1, 404, "nope");
+  EXPECT_FALSE(extract_payload(error_line).has_value());
+}
+
 TEST(ExtractPayload, RejectsNonResultLines) {
   EXPECT_FALSE(extract_payload(render_error_line(500, "boom")).has_value());
   EXPECT_FALSE(extract_payload("{\"ev\":\"pong\"}").has_value());
+  EXPECT_FALSE(extract_payload(render_batch_line(2, 2)).has_value());
   EXPECT_FALSE(extract_payload("").has_value());
 }
 

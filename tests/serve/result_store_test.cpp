@@ -210,5 +210,226 @@ TEST_F(ResultStoreTest, CrashAtRandomizedOffsetsNeverLosesCommittedRecords) {
   EXPECT_GT(replays, 0);
 }
 
+// -------------------------------------------------------------------
+// Live/dead accounting and compaction (docs/SERVING.md): superseded
+// frames are dead bytes; compact() rewrites the log to exactly the
+// live set through the same doublewrite journal.
+// -------------------------------------------------------------------
+
+TEST_F(ResultStoreTest, LiveDeadAccountingTracksSupersededFrames) {
+  ResultStore store(path_);
+  EXPECT_EQ(store.stats().dead_bytes, 0u);
+  for (std::size_t i = 0; i < 8; ++i) store.put(key_for(i), payload_for(i));
+  auto s = store.stats();
+  EXPECT_EQ(s.live_records, 8u);
+  EXPECT_EQ(s.dead_bytes, 0u);
+
+  // Superseding keys 0-3 retires exactly their old frames' bytes.
+  std::uint64_t expected_dead = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    expected_dead += 32 + payload_for(i).size();
+    store.put(key_for(i), payload_for(i + 100));
+  }
+  s = store.stats();
+  EXPECT_EQ(s.live_records, 8u);
+  EXPECT_EQ(s.log_records, 12u);
+  EXPECT_EQ(s.dead_bytes, expected_dead);
+}
+
+TEST_F(ResultStoreTest, AccountingSurvivesReopen) {
+  std::uint64_t dead = 0;
+  {
+    ResultStore store(path_);
+    for (std::size_t i = 0; i < 6; ++i) store.put(key_for(i), payload_for(i));
+    for (std::size_t i = 0; i < 3; ++i) {
+      store.put(key_for(i), payload_for(i + 50));
+    }
+    dead = store.stats().dead_bytes;
+    EXPECT_GT(dead, 0u);
+  }
+  ResultStore reopened(path_);
+  EXPECT_EQ(reopened.stats().dead_bytes, dead);
+  EXPECT_EQ(reopened.stats().live_records, 6u);
+}
+
+TEST_F(ResultStoreTest, CompactDropsDeadBytesAndPreservesLivePayloads) {
+  ResultStore store(path_);
+  for (std::size_t i = 0; i < 10; ++i) store.put(key_for(i), payload_for(i));
+  for (std::size_t i = 0; i < 5; ++i) {
+    store.put(key_for(i), payload_for(i + 200));
+  }
+  const auto before = store.stats();
+  EXPECT_GT(before.dead_bytes, 0u);
+
+  const std::uint64_t reclaimed = store.compact();
+  EXPECT_EQ(reclaimed, before.dead_bytes);
+  const auto after = store.stats();
+  EXPECT_EQ(after.live_records, 10u);
+  EXPECT_EQ(after.log_records, 10u);
+  EXPECT_EQ(after.dead_bytes, 0u);
+  EXPECT_EQ(after.log_bytes, before.log_bytes - reclaimed);
+  EXPECT_EQ(after.compactions, 1u);
+  EXPECT_EQ(after.compacted_bytes, reclaimed);
+
+  // A second compact is a no-op.
+  EXPECT_EQ(store.compact(), 0u);
+  EXPECT_EQ(store.stats().compactions, 1u);
+
+  // Every live key reads back byte-identical, in-process and across a
+  // reopen of the rewritten log.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(store.lookup(key_for(i)), payload_for(i + 200));
+  }
+  ResultStore reopened(path_);
+  EXPECT_EQ(reopened.stats().records, 10u);
+  EXPECT_EQ(reopened.stats().log_records, 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(reopened.lookup(key_for(i)),
+              i < 5 ? payload_for(i + 200) : payload_for(i));
+  }
+}
+
+TEST_F(ResultStoreTest, CompactedStoreStaysWritable) {
+  ResultStore store(path_);
+  store.put(1, "a");
+  store.put(1, "b");
+  store.compact();
+  store.put(2, "c");
+  store.put(1, "d");
+  EXPECT_EQ(store.lookup(1), "d");
+  EXPECT_EQ(store.lookup(2), "c");
+  ResultStore reopened(path_);
+  EXPECT_EQ(reopened.lookup(1), "d");
+  EXPECT_EQ(reopened.lookup(2), "c");
+}
+
+TEST_F(ResultStoreTest, OnOpenCompactionTriggersOnDeadBytesThreshold) {
+  {
+    ResultStore store(path_);
+    for (std::size_t i = 0; i < 6; ++i) store.put(key_for(i), payload_for(i));
+    for (std::size_t i = 0; i < 6; ++i) {
+      store.put(key_for(i), payload_for(i + 10));
+    }
+    EXPECT_GT(store.stats().dead_bytes, 0u);
+  }
+  // Threshold above the dead volume: reopen leaves the log untouched.
+  {
+    CompactionConfig cfg;
+    cfg.on_open_min_dead_bytes = 1u << 30;
+    ResultStore untouched(path_, cfg);
+    EXPECT_EQ(untouched.stats().log_records, 12u);
+    EXPECT_EQ(untouched.stats().compactions, 0u);
+  }
+  // Threshold of one byte: any dead volume triggers the rewrite.
+  CompactionConfig cfg;
+  cfg.on_open_min_dead_bytes = 1;
+  ResultStore compacted(path_, cfg);
+  const auto s = compacted.stats();
+  EXPECT_EQ(s.log_records, 6u);
+  EXPECT_EQ(s.dead_bytes, 0u);
+  EXPECT_EQ(s.compactions, 1u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(compacted.lookup(key_for(i)), payload_for(i + 10));
+  }
+}
+
+// Compaction crash sweep: kill the rewrite at randomized byte offsets
+// (journal write, log truncate+rewrite, and the disarm window are all
+// hit as the budget sweeps) and assert the reopened store's live set is
+// byte-identical to the uncompacted one — the rewrite either fully
+// happened or never touched the log, never anything in between.
+TEST_F(ResultStoreTest, CompactionCrashAtRandomizedOffsetsPreservesLiveSet) {
+  constexpr std::size_t kRecords = 10;
+  // Expected live set: keys 0..9, the first half superseded once.
+  auto expected = [](std::size_t i) {
+    return i < 5 ? payload_for(i + 300) : payload_for(i);
+  };
+  std::uint64_t full_log_bytes = 0;
+  {
+    ResultStore store(path_);
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      store.put(key_for(i), payload_for(i));
+    }
+    for (std::size_t i = 0; i < 5; ++i) {
+      store.put(key_for(i), payload_for(i + 300));
+    }
+    full_log_bytes = store.stats().log_bytes;
+  }
+  // One unlimited dry run to learn how many bytes a full compaction
+  // writes, so the budget sweep covers every phase of the rewrite.
+  long long rewrite_bytes = 0;
+  {
+    const auto out = testsupport::run_crashing_child(
+        -1, [&](const std::function<void()>&) {
+          ResultStore store(path_);
+          store.compact();
+        });
+    ASSERT_TRUE(out.completed());
+    ResultStore compacted(path_);
+    ASSERT_EQ(compacted.stats().dead_bytes, 0u);
+    // Journal (header + group) + log group again: bound with slack.
+    rewrite_bytes = static_cast<long long>(2 * full_log_bytes + 256);
+  }
+
+  rnd::Xoshiro256 rng(20260809);
+  int kills = 0;
+  int replays = 0;
+  int compact_survived = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    // Restage the uncompacted store for this trial.
+    ::unlink(path_.c_str());
+    ::unlink((path_ + ".journal").c_str());
+    {
+      ResultStore store(path_);
+      for (std::size_t i = 0; i < kRecords; ++i) {
+        store.put(key_for(i), payload_for(i));
+      }
+      for (std::size_t i = 0; i < 5; ++i) {
+        store.put(key_for(i), payload_for(i + 300));
+      }
+    }
+    const long long budget =
+        1 + static_cast<long long>(
+                rng() % static_cast<std::uint64_t>(rewrite_bytes));
+    const auto out = testsupport::run_crashing_child(
+        budget, [&](const std::function<void()>& ack) {
+          ResultStore store(path_);
+          store.compact();
+          ack();  // the rewrite committed (journal fsync passed)
+        });
+    ASSERT_TRUE(out.killed_by_fault() || out.completed())
+        << "trial " << trial << " budget " << budget;
+    if (out.killed_by_fault()) ++kills;
+
+    ResultStore reopened(path_);
+    const auto s = reopened.stats();
+    if (s.replayed_journal) ++replays;
+    if (s.dead_bytes == 0) ++compact_survived;
+    // The live set is byte-identical whether or not the rewrite
+    // committed before the kill.
+    ASSERT_EQ(s.live_records, kRecords)
+        << "trial " << trial << " budget " << budget;
+    for (std::size_t i = 0; i < kRecords; ++i) {
+      ASSERT_EQ(reopened.lookup(key_for(i)), expected(i))
+          << "trial " << trial << " budget " << budget << " record " << i;
+    }
+    // An acked compact reached its commit point: the reopened log must
+    // hold exactly the live set.
+    if (out.acks > 0) {
+      ASSERT_EQ(s.log_records, kRecords)
+          << "trial " << trial << " budget " << budget;
+      ASSERT_EQ(s.dead_bytes, 0u);
+    }
+    // Either way the store stays writable.
+    reopened.put(0xfeed, "post-compaction-crash");
+    EXPECT_EQ(reopened.lookup(0xfeed), "post-compaction-crash");
+  }
+  // The sweep must hit the kill path, the journal-replay path, and at
+  // least one trial where the rewrite survived.
+  EXPECT_GT(kills, 10);
+  EXPECT_GT(replays, 0);
+  EXPECT_GT(compact_survived, 0);
+}
+
 }  // namespace
 }  // namespace pckpt::serve

@@ -202,6 +202,85 @@ TEST_F(ServeToolsTest, EstimateTierAnswersWithoutACampaign) {
   EXPECT_FALSE(raw_field(payload, "total_h").empty());
 }
 
+TEST_F(ServeToolsTest, BatchFileAnswersEveryEntryOverOneRoundTrip) {
+  // Reference payloads via single queries first (they memoize).
+  const std::string estimate = query_payload("estimate", "P1");
+  const std::string exact = query_payload("exact", "P1");
+
+  const std::string batch = testing::TempDir() + "pckpt_e2e_batch_" +
+                            std::to_string(::getpid()) + ".txt";
+  {
+    std::ofstream out(batch);
+    out << R"({"model":"P1","app":"vulcan"})" << "\n";
+    out << R"({"mode":"exact","model":"P1","app":"vulcan","runs":)" << kRuns
+        << R"(,"seed":)" << kSeed << "}\n";
+  }
+  std::string out;
+  const int rc = run_capture({PCKPT_QUERY_BIN, "--socket=" + socket_,
+                              "--batch=" + batch, "--payload-only"},
+                             &out);
+  ::unlink(batch.c_str());
+  EXPECT_EQ(rc, 0) << out;
+  // --payload-only prints exactly the two payloads, in request order,
+  // byte-identical to the single-query answers.
+  EXPECT_EQ(out, estimate + exact);
+}
+
+TEST_F(ServeToolsTest, BatchWithFailingEntryExitsNonzero) {
+  const std::string batch = testing::TempDir() + "pckpt_e2e_batchfail_" +
+                            std::to_string(::getpid()) + ".txt";
+  {
+    std::ofstream out(batch);
+    out << R"({"model":"P1","app":"vulcan"})" << "\n";
+    out << R"({"model":"P1","app":"nosuch"})" << "\n";
+  }
+  std::string out;
+  const int rc = run_capture(
+      {PCKPT_QUERY_BIN, "--socket=" + socket_, "--batch=" + batch}, &out);
+  ::unlink(batch.c_str());
+  EXPECT_EQ(rc, 1);
+  // The good entry and the terminal tally still land on stdout.
+  EXPECT_NE(out.find("\"ev\":\"entry\",\"i\":0,\"status\":200"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"ev\":\"batch\",\"n\":2,\"ok\":1"), std::string::npos);
+}
+
+TEST_F(ServeToolsTest, JobsFlagServesByteIdenticalExactPayloads) {
+  // Determinism contract over the wire: a daemon with a wider worker
+  // pool must serve the same exact-tier bytes as the default.
+  auto exact_payload = [&] {
+    std::string out;
+    const int rc = run_capture(
+        {PCKPT_QUERY_BIN, "--socket=" + socket_, "--mode=exact",
+         "--model=P2", "--app=vulcan", "--runs=48", "--seed=5",
+         "--payload-only"},
+        &out);
+    EXPECT_EQ(rc, 0) << out;
+    return out;
+  };
+  const std::string serial = exact_payload();
+  ASSERT_FALSE(serial.empty());
+
+  // Restart on a FRESH store with --jobs=4 so the answer is recomputed
+  // on the shared pool rather than served from the memo.
+  std::string out;
+  run_capture({PCKPT_QUERY_BIN, "--socket=" + socket_, "--shutdown"}, &out);
+  int status = 0;
+  ::waitpid(daemon_, &status, 0);
+  ::unlink(store_.c_str());
+  ::unlink((store_ + ".journal").c_str());
+  daemon_ = ::fork();
+  if (daemon_ == 0) {
+    const char* bin = PCKPT_SERVE_BIN;
+    ::execl(bin, bin, ("--socket=" + socket_).c_str(),
+            ("--store=" + store_).c_str(), "--scenario=" PCKPT_SCENARIO_INI,
+            "--jobs=4", "--compact-min-dead=1048576", (char*)nullptr);
+    ::_exit(127);
+  }
+  ASSERT_TRUE(wait_for_socket());
+  EXPECT_EQ(exact_payload(), serial);
+}
+
 TEST_F(ServeToolsTest, StoreSurvivesDaemonRestart) {
   const std::string first = query_payload("exact", "M2");
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <fstream>
 #include <iterator>
 #include <memory>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "exec/fair_share.hpp"
 #include "failure/system_catalog.hpp"
 #include "obs/json_value.hpp"
 #include "obs/runtime_log.hpp"
@@ -82,7 +84,19 @@ class ServerTest : public ::testing::Test {
 TEST_F(ServerTest, PingPong) {
   const auto lines = roundtrip(R"({"op":"ping"})");
   ASSERT_EQ(lines.size(), 1u);
-  EXPECT_EQ(lines[0], R"({"ev":"pong","version":"pckpt-serve/1"})");
+  EXPECT_EQ(lines[0], R"({"ev":"pong","version":"pckpt-serve/2"})");
+}
+
+TEST_F(ServerTest, V1SingleQueryLineShapeUnchanged) {
+  // The v2 banner bump is additive: a v1 client's single-query request
+  // still gets the v1 result line, and the memoized payload keeps its
+  // own v1 schema pin (stored bytes are stable across the bump).
+  const auto lines = roundtrip(R"({"op":"query","model":"P1","app":"VULCAN"})");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind(R"({"ev":"result","key":")", 0), 0u);
+  const auto payload = extract_payload(lines[0]);
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_NE(payload->find(R"("schema":"pckpt-serve/1")"), std::string::npos);
 }
 
 TEST_F(ServerTest, MalformedLineYieldsError400) {
@@ -191,12 +205,272 @@ TEST_F(ServerTest, ConcurrentClientsAllAnswered) {
   }
 }
 
+TEST_F(ServerTest, BatchAnswersEntriesInOrderWithPartialFailure) {
+  // Single-query reference: entry 0 must return the same memoized bytes
+  // the v1 API returns for the identical query.
+  const auto single =
+      roundtrip(R"({"op":"query","model":"P1","app":"VULCAN"})");
+  ASSERT_EQ(single.size(), 1u);
+  const auto single_payload = extract_payload(single[0]);
+  ASSERT_TRUE(single_payload.has_value());
+  const std::string ref(*single_payload);
+
+  Client client(socket_path_);
+  client.send_line(
+      R"({"op":"batch","queries":[)"
+      R"({"model":"P1","app":"VULCAN"},)"
+      R"({"model":"P1","app":"NOSUCH"},)"
+      R"({"mode":"exact","model":"P2","app":"VULCAN","runs":8,"seed":7}]})");
+  std::vector<std::string> lines;
+  while (auto line = client.read_line()) {
+    const bool done = line->rfind("{\"ev\":\"batch\"", 0) == 0;
+    lines.push_back(std::move(*line));
+    if (done) break;
+  }
+  ASSERT_EQ(lines.size(), 4u);
+
+  // Entry 0: a cache hit with bytes identical to the single-query API.
+  EXPECT_EQ(lines[0].rfind(R"({"ev":"entry","i":0,"status":200)", 0), 0u);
+  EXPECT_NE(lines[0].find(R"("cached":true)"), std::string::npos);
+  const auto p0 = extract_payload(lines[0]);
+  ASSERT_TRUE(p0.has_value());
+  EXPECT_EQ(*p0, ref);
+
+  // Entry 1: semantic failure stays per-entry — the others still answer.
+  EXPECT_EQ(lines[1].rfind(R"({"ev":"entry","i":1,"status":404)", 0), 0u);
+  EXPECT_FALSE(extract_payload(lines[1]).has_value());
+
+  // Entry 2: a fresh exact campaign.
+  EXPECT_EQ(lines[2].rfind(R"({"ev":"entry","i":2,"status":200)", 0), 0u);
+  EXPECT_NE(lines[2].find(R"("tier":"exact")"), std::string::npos);
+  EXPECT_NE(lines[2].find(R"("cached":false)"), std::string::npos);
+  ASSERT_TRUE(extract_payload(lines[2]).has_value());
+
+  EXPECT_EQ(lines[3], R"({"ev":"batch","n":3,"ok":2})");
+}
+
+TEST_F(ServerTest, BatchParseErrorFailsTheWholeRequest) {
+  // An unknown member in ANY entry is a whole-request 400: nothing runs.
+  const auto lines = roundtrip(
+      R"({"op":"batch","queries":[)"
+      R"({"model":"P1","app":"VULCAN"},)"
+      R"({"model":"P1","app":"VULCAN","bogus":1}]})");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].rfind(R"({"ev":"error","code":400)", 0), 0u);
+  EXPECT_NE(lines[0].find("queries[1]"), std::string::npos);
+  const auto stats = roundtrip(R"({"op":"stats"})");
+  const auto doc = obs::parse_json(stats[0]);
+  EXPECT_EQ(doc.key_u64("estimate_misses"), 0u);
+}
+
+TEST_F(ServerTest, BatchRejectsEntryProgressAndEmptyQueries) {
+  const auto progress = roundtrip(
+      R"({"op":"batch","queries":[{"model":"P1","app":"VULCAN",)"
+      R"("progress":true}]})");
+  ASSERT_EQ(progress.size(), 1u);
+  EXPECT_EQ(progress[0].rfind(R"({"ev":"error","code":400)", 0), 0u);
+
+  const auto empty = roundtrip(R"({"op":"batch","queries":[]})");
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty[0].rfind(R"({"ev":"error","code":400)", 0), 0u);
+}
+
 TEST_F(ServerTest, ShutdownOpStopsTheServer) {
   const auto lines = roundtrip(R"({"op":"shutdown"})");
   ASSERT_EQ(lines.size(), 1u);
   EXPECT_EQ(lines[0], R"({"ev":"bye"})");
   runner_.join();  // run() must return promptly after the shutdown op
   runner_ = std::thread([] {});  // keep TearDown's join() valid
+}
+
+// ---------------------------------------------------------------------
+// Scale-out daemon: shared fair-share scheduler + in-flight dedup.
+// ---------------------------------------------------------------------
+
+/// In-process daemon wired the way pckpt_serve --jobs wires it: one
+/// FairShareScheduler shared by every admitted campaign, and admission
+/// generous enough that concurrency comes from the pool, not the gate.
+class ScaleOutServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string tag = std::to_string(::getpid()) + "_s";
+    socket_path_ = "/tmp/pckpt_srv_" + tag + ".sock";
+    store_path_ = testing::TempDir() + "pckpt_server_store_" + tag;
+    ::unlink(store_path_.c_str());
+    ::unlink((store_path_ + ".journal").c_str());
+    store_ = std::make_unique<ResultStore>(store_path_);
+    // One worker: strict round-robin makes campaign interleaving
+    // observable; dedup behaviour does not depend on the pool size.
+    scheduler_ = std::make_unique<exec::FairShareScheduler>(1);
+    AdmissionConfig admission;
+    admission.max_inflight = 4;
+    admission.queue_limit = 8;
+    admission.wait_ms = 30000;
+    planner_ = std::make_unique<Planner>(summit_scenario(), admission, *store_,
+                                         /*checkpoint_dir=*/"",
+                                         scheduler_.get());
+    server_ = std::make_unique<Server>(socket_path_, *planner_);
+    runner_ = std::thread([this] { server_->run(); });
+  }
+  void TearDown() override {
+    server_->stop();
+    runner_.join();
+    server_.reset();
+    planner_.reset();
+    scheduler_.reset();
+    store_.reset();
+    ::unlink(store_path_.c_str());
+    ::unlink((store_path_ + ".journal").c_str());
+  }
+
+  std::vector<std::string> roundtrip(const std::string& request) {
+    Client client(socket_path_);
+    client.send_line(request);
+    std::vector<std::string> lines;
+    while (auto line = client.read_line()) {
+      const bool progress = line->rfind("{\"ev\":\"progress\"", 0) == 0;
+      lines.push_back(std::move(*line));
+      if (!progress) break;
+    }
+    return lines;
+  }
+
+  std::string socket_path_;
+  std::string store_path_;
+  std::unique_ptr<ResultStore> store_;
+  std::unique_ptr<exec::FairShareScheduler> scheduler_;
+  std::unique_ptr<Planner> planner_;
+  std::unique_ptr<Server> server_;
+  std::thread runner_;
+};
+
+TEST_F(ScaleOutServerTest, ConcurrentIdenticalExactMissesCoalesce) {
+  // 640 trials = 80 shards: the campaign runs long enough that clients
+  // attaching after its FIRST shard completion are far inside its
+  // lifetime. The leader streams progress; its first progress line is
+  // the cue that the campaign is running.
+  const std::string q =
+      R"({"op":"query","mode":"exact","model":"P2","app":"VULCAN",)"
+      R"("runs":640,"seed":11,"progress":true})";
+  Client leader(socket_path_);
+  leader.send_line(q);
+  const auto first = leader.read_line();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->rfind(R"({"ev":"progress")", 0), 0u);
+
+  // Three identical queries while the campaign runs: all must coalesce
+  // onto the in-flight one — no second campaign, and the leader's shard
+  // completions stream to every follower.
+  constexpr int kFollowers = 3;
+  std::vector<std::string> results(kFollowers);
+  std::vector<std::size_t> progress_seen(kFollowers, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kFollowers);
+  for (int i = 0; i < kFollowers; ++i) {
+    threads.emplace_back([this, i, &q, &results, &progress_seen] {
+      const auto idx = static_cast<std::size_t>(i);
+      Client c(socket_path_);
+      c.send_line(q);
+      while (auto line = c.read_line()) {
+        if (line->rfind(R"({"ev":"progress")", 0) == 0) {
+          ++progress_seen[idx];
+          continue;
+        }
+        results[idx] = std::move(*line);
+        break;
+      }
+    });
+  }
+  std::string leader_result;
+  while (auto line = leader.read_line()) {
+    if (line->rfind(R"({"ev":"progress")", 0) == 0) continue;
+    leader_result = std::move(*line);
+    break;
+  }
+  for (auto& t : threads) t.join();
+
+  ASSERT_EQ(leader_result.rfind(R"({"ev":"result")", 0), 0u);
+  EXPECT_NE(leader_result.find(R"("cached":false)"), std::string::npos);
+  const auto ref = extract_payload(leader_result);
+  ASSERT_TRUE(ref.has_value());
+  for (int i = 0; i < kFollowers; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    ASSERT_FALSE(results[idx].empty()) << "follower " << i;
+    // Followers are served by the in-flight campaign, not the store:
+    // cached:false, payload bytes identical to the leader's.
+    EXPECT_NE(results[idx].find(R"("cached":false)"), std::string::npos)
+        << "follower " << i;
+    const auto p = extract_payload(results[idx]);
+    ASSERT_TRUE(p.has_value()) << "follower " << i;
+    EXPECT_EQ(*p, *ref) << "follower " << i;
+    EXPECT_GT(progress_seen[idx], 0u)
+        << "follower " << i << " saw none of the leader's shard completions";
+  }
+
+  // One campaign total; every duplicate counted as a dedup hit — and a
+  // cold read of the memoized store returns the same bytes again.
+  const auto stats = roundtrip(R"({"op":"stats"})");
+  ASSERT_EQ(stats.size(), 1u);
+  const auto doc = obs::parse_json(stats[0]);
+  EXPECT_EQ(doc.key_u64("exact_misses"), 1u);
+  EXPECT_EQ(doc.key_u64("dedup_hits"),
+            static_cast<std::uint64_t>(kFollowers));
+  const auto hit = roundtrip(
+      R"({"op":"query","mode":"exact","model":"P2","app":"VULCAN",)"
+      R"("runs":640,"seed":11})");
+  ASSERT_EQ(hit.size(), 1u);
+  EXPECT_NE(hit[0].find(R"("cached":true)"), std::string::npos);
+  EXPECT_EQ(*extract_payload(hit[0]), *ref);
+}
+
+TEST_F(ScaleOutServerTest, ConcurrentCampaignsInterleaveShardCompletions) {
+  using Clock = std::chrono::steady_clock;
+  // Campaign A holds the single worker first; B arrives mid-flight. With
+  // round-robin fair share, B's first shard completes while A still has
+  // most of its shards left. (A FIFO pool would run all 40 of A's shards
+  // before B's first — making this assertion fail.)
+  const std::string qa =
+      R"({"op":"query","mode":"exact","model":"P2","app":"VULCAN",)"
+      R"("runs":320,"seed":21,"progress":true})";
+  const std::string qb =
+      R"({"op":"query","mode":"exact","model":"P2","app":"VULCAN",)"
+      R"("runs":320,"seed":22,"progress":true})";
+
+  Client a(socket_path_);
+  a.send_line(qa);
+  const auto first = a.read_line();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_EQ(first->rfind(R"({"ev":"progress")", 0), 0u);
+
+  Clock::time_point b_first{};
+  bool b_done = false;
+  std::thread tb([this, &qb, &b_first, &b_done] {
+    Client b(socket_path_);
+    b.send_line(qb);
+    while (auto line = b.read_line()) {
+      if (line->rfind(R"({"ev":"progress")", 0) == 0) {
+        if (b_first == Clock::time_point{}) b_first = Clock::now();
+        continue;
+      }
+      b_done = line->rfind(R"({"ev":"result")", 0) == 0;
+      break;
+    }
+  });
+
+  bool a_done = false;
+  while (auto line = a.read_line()) {
+    if (line->rfind(R"({"ev":"progress")", 0) == 0) continue;
+    a_done = line->rfind(R"({"ev":"result")", 0) == 0;
+    break;
+  }
+  const Clock::time_point a_finished = Clock::now();
+  tb.join();
+
+  ASSERT_TRUE(a_done);
+  ASSERT_TRUE(b_done);
+  ASSERT_NE(b_first, Clock::time_point{}) << "campaign B streamed no progress";
+  EXPECT_LT(b_first, a_finished)
+      << "fair share: B's first shard must complete while A still runs";
 }
 
 // ---------------------------------------------------------------------

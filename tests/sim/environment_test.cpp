@@ -168,33 +168,6 @@ TEST(Environment, PostEventFiresAtCurrentTime) {
   EXPECT_DOUBLE_EQ(fired_at, 3.0);
 }
 
-// The deprecated schedule()/defer() shims must keep old call sites
-// working until the next release. Exercised here (and only here) with
-// the warning suppressed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(Environment, DeprecatedScheduleShimDelaysRelativeToNow) {
-  sim::Environment env;
-  auto ev = env.event();
-  double fired_at = -1.0;
-  ev->add_callback([&](sim::EventCore& e) { fired_at = e.env().now(); });
-  env.schedule(ev, 6.0);
-  env.run();
-  EXPECT_DOUBLE_EQ(fired_at, 6.0);
-  EXPECT_THROW(env.schedule(env.event(), -1.0), std::invalid_argument);
-}
-
-TEST(Environment, DeprecatedDeferShimRunsAtCurrentTime) {
-  sim::Environment env;
-  double t = -1.0;
-  env.timeout(7.0)->add_callback([&](sim::EventCore& e) {
-    e.env().defer([&env, &t] { t = env.now(); });
-  });
-  env.run();
-  EXPECT_DOUBLE_EQ(t, 7.0);
-}
-#pragma GCC diagnostic pop
-
 TEST(Environment, EventsProcessedCounter) {
   sim::Environment env;
   for (int i = 0; i < 10; ++i) env.timeout(static_cast<double>(i));

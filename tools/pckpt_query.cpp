@@ -7,11 +7,20 @@
 ///
 /// Usage:
 ///   pckpt_query --socket=PATH --model=M --app=NAME [options]
+///   pckpt_query --socket=PATH --batch=FILE [--payload-only]
 ///   pckpt_query --socket=PATH --ping | --stats | --metrics [--prom]
 ///                             | --shutdown
+///
+/// --batch sends one `pckpt-serve/2` batch request built from FILE
+/// (one query object per line, the wire format of docs/SERVING.md);
+/// the daemon answers every entry in order over a single round trip.
+/// Entry lines print to stdout (--payload-only: just the payload bytes
+/// of successful entries); failed entries go to stderr and make the
+/// exit code 1.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "exec/result_sink.hpp"
@@ -33,6 +42,8 @@ void usage() {
       "  --metrics                telemetry snapshot (latency quantiles)\n"
       "  --prom                   with --metrics: print the Prometheus\n"
       "                           text exposition instead of JSON\n"
+      "  --batch=FILE             send every line of FILE (one query\n"
+      "                           object per line) as one batch request\n"
       "  --model=M                B|M1|M2|P1|P2\n"
       "  --app=NAME               workload name (paper Table I)\n"
       "  --mode=estimate|exact    tier (default estimate)\n"
@@ -50,6 +61,7 @@ void usage() {
 int main(int argc, char** argv) {
   using namespace pckpt;
   std::string socket_path;
+  std::string batch_path;
   std::string mode = "estimate";
   std::string model;
   std::string app;
@@ -69,6 +81,11 @@ int main(int argc, char** argv) {
     }
     if (const char* v = obs::cli_value(arg, "--socket=")) {
       socket_path = obs::cli_path("pckpt_query", "--socket", v);
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--batch=")) {
+      batch_path = obs::cli_path("pckpt_query", "--batch", v);
+      op = "batch";
       continue;
     }
     if (const char* v = obs::cli_value(arg, "--mode=")) {
@@ -137,11 +154,37 @@ int main(int argc, char** argv) {
         line += '}';
       }
       client.send_line(line);
+    } else if (op == "batch") {
+      // Each non-blank line of the file is one query object; the batch
+      // request embeds them verbatim, so the daemon's parser (not this
+      // client) is the single validator of entry syntax.
+      std::ifstream in(batch_path);
+      if (!in) {
+        std::fprintf(stderr, "pckpt_query: cannot open --batch file %s\n",
+                     batch_path.c_str());
+        return 1;
+      }
+      std::string request = "{\"op\":\"batch\",\"queries\":[";
+      std::string entry;
+      std::size_t entries = 0;
+      while (std::getline(in, entry)) {
+        if (entry.empty()) continue;
+        if (entries++ > 0) request += ',';
+        request += entry;
+      }
+      request += "]}";
+      if (entries == 0) {
+        std::fprintf(stderr, "pckpt_query: --batch file %s has no queries\n",
+                     batch_path.c_str());
+        return 2;
+      }
+      client.send_line(request);
     } else {
       client.send_line(req.str());
     }
 
     int rc = 1;  // no terminal line = failure
+    bool batch_failed = false;
     while (auto line = client.read_line()) {
       if (line->rfind("{\"ev\":\"progress\"", 0) == 0) {
         std::fprintf(stderr, "%s\n", line->c_str());
@@ -150,6 +193,29 @@ int main(int argc, char** argv) {
       if (line->rfind("{\"ev\":\"error\"", 0) == 0) {
         std::fprintf(stderr, "pckpt_query: %s\n", line->c_str());
         return 1;
+      }
+      if (op == "batch") {
+        if (line->rfind("{\"ev\":\"entry\"", 0) == 0) {
+          if (const auto payload = serve::extract_payload(*line)) {
+            if (payload_only) {
+              std::printf("%.*s\n", static_cast<int>(payload->size()),
+                          payload->data());
+            } else {
+              std::printf("%s\n", line->c_str());
+            }
+          } else {
+            // Failed entry (`status` != 200): keep stdout clean for the
+            // successes, surface the failure, and exit nonzero.
+            std::fprintf(stderr, "pckpt_query: %s\n", line->c_str());
+            batch_failed = true;
+          }
+          continue;
+        }
+        if (line->rfind("{\"ev\":\"batch\"", 0) == 0) {
+          if (!payload_only) std::printf("%s\n", line->c_str());
+          rc = batch_failed ? 1 : 0;
+          break;
+        }
       }
       if (payload_only) {
         if (const auto payload = serve::extract_payload(*line)) {

@@ -7,8 +7,9 @@
 ///
 /// Usage:
 ///   pckpt_serve --socket=PATH --store=PATH [--scenario=FILE]
-///               [--checkpoint=DIR] [--max-inflight=N] [--queue-limit=N]
-///               [--wait-ms=MS] [--log=PATH] [--log-level=LEVEL]
+///               [--jobs=N] [--checkpoint=DIR] [--max-inflight=N]
+///               [--queue-limit=N] [--wait-ms=MS] [--compact-min-dead=BYTES]
+///               [--log=PATH] [--log-level=LEVEL]
 ///               [--slow-query-ms=N] [--telemetry=on|off]
 ///
 /// With --checkpoint, exact-tier campaigns commit each shard to DIR as
@@ -24,6 +25,7 @@
 #include <string>
 
 #include "core/scenario.hpp"
+#include "exec/fair_share.hpp"
 #include "failure/system_catalog.hpp"
 #include "obs/cli_flags.hpp"
 #include "obs/runtime_log.hpp"
@@ -40,6 +42,9 @@ void usage() {
       "  --socket=PATH            unix-domain socket to listen on\n"
       "  --store=PATH             result-store log file (created if absent)\n"
       "  --scenario=FILE          scenario INI (default: built-in Summit)\n"
+      "  --jobs=N                 worker threads in the shared fair-share\n"
+      "                           pool; all admitted campaigns split it\n"
+      "                           round-robin (default 1)\n"
       "  --checkpoint=DIR         checkpoint exact campaigns into DIR and\n"
       "                           resume them after a restart\n"
       "  --max-inflight=N         concurrent exact campaigns (default 1)\n"
@@ -47,6 +52,9 @@ void usage() {
       "(default 4)\n"
       "  --wait-ms=MS             max admission wait before a 429 "
       "(default 0)\n"
+      "  --compact-min-dead=BYTES compact the store at open once dead\n"
+      "                           (superseded) bytes reach BYTES "
+      "(default: off)\n"
       "  --log=PATH               append runtime telemetry records to PATH\n"
       "                           (default: stderr)\n"
       "  --log-level=LEVEL        debug|info|warn|error (default info)\n"
@@ -81,7 +89,9 @@ int main(int argc, char** argv) {
   obs::LogLevel log_level = obs::LogLevel::kInfo;
   std::uint64_t slow_query_ms = 0;
   bool telemetry_on = true;
+  std::size_t jobs = 1;
   serve::AdmissionConfig admission;
+  serve::CompactionConfig compaction;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -99,6 +109,16 @@ int main(int argc, char** argv) {
     }
     if (const char* v = obs::cli_value(arg, "--scenario=")) {
       scenario_path = obs::cli_path("pckpt_serve", "--scenario", v);
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--jobs=")) {
+      jobs = static_cast<std::size_t>(
+          obs::cli_u64_min("pckpt_serve", "--jobs", v, 1));
+      continue;
+    }
+    if (const char* v = obs::cli_value(arg, "--compact-min-dead=")) {
+      compaction.on_open_min_dead_bytes =
+          obs::cli_u64_min("pckpt_serve", "--compact-min-dead", v, 1);
       continue;
     }
     if (const char* v = obs::cli_value(arg, "--checkpoint=")) {
@@ -173,7 +193,7 @@ int main(int argc, char** argv) {
         scenario_path.empty()
             ? builtin_scenario()
             : core::load_scenario(core::ConfigFile::load(scenario_path));
-    serve::ResultStore store(store_path);
+    serve::ResultStore store(store_path, compaction);
     const auto stats = store.stats();
     if (telemetry) {
       telemetry->record_recover("store", stats.replayed_journal,
@@ -185,7 +205,13 @@ int main(int argc, char** argv) {
         t.record_store_commit(frames, bytes, us);
       });
     }
-    serve::Planner planner(scenario, admission, store, checkpoint_dir);
+    // One shared worker pool for every exact-tier campaign: admitted
+    // campaigns enqueue shards into per-campaign queues that the pool
+    // drains round-robin, so --jobs is a daemon-wide knob and a big
+    // campaign cannot starve a small one (docs/SERVING.md).
+    exec::FairShareScheduler scheduler(jobs);
+    serve::Planner planner(scenario, admission, store, checkpoint_dir,
+                           &scheduler);
     serve::Server server(socket_path, planner,
                          telemetry ? &*telemetry : nullptr);
     if (telemetry) {
@@ -195,6 +221,7 @@ int main(int argc, char** argv) {
           .add("socket", socket_path)
           .add("store", store_path)
           .add("records", static_cast<std::uint64_t>(stats.records))
+          .add("jobs", static_cast<std::uint64_t>(jobs))
           .add("slow_query_ms", slow_query_ms);
     }
     std::printf("pckpt_serve: listening on %s, store %s (%zu records%s)\n",

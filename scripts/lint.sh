@@ -26,8 +26,11 @@ if [ ! -x "$BUILD/tools/pckpt_lint" ] || [ ! -f "$BUILD/compile_commands.json" ]
 fi
 
 # --- gate 1: pckpt_lint ----------------------------------------------
-echo "== pckpt_lint src tools bench"
-if ! "$BUILD/tools/pckpt_lint" src tools bench; then
+# tests/ and examples/ are in scope too: the project pass (layering,
+# guarded-by, lock-order) and the determinism rules apply repo-wide,
+# with `// lint: <slug>` waivers where test code legitimately deviates.
+echo "== pckpt_lint src tools bench tests examples"
+if ! "$BUILD/tools/pckpt_lint" src tools bench tests examples; then
   status=1
 fi
 

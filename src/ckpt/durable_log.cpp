@@ -142,6 +142,9 @@ DurableLog::~DurableLog() {
   if (journal_fd_ >= 0) ::close(journal_fd_);
 }
 
+// Construction-time only: no other thread can hold a reference yet, so
+// the constructor call counts as exclusive access.
+// requires(mu_)
 void DurableLog::recover(const ReplayFn& on_record) {
   // Phase 1: replay an armed, checksum-valid journal. A journal that
   // fails validation was torn while being written, which means the log
@@ -204,6 +207,7 @@ void DurableLog::recover(const ReplayFn& on_record) {
   log_size_ = off;
 }
 
+// requires(mu_)
 void DurableLog::append_group_locked(std::string_view group_bytes,
                                      std::size_t frames, bool replace) {
   if (log_fd_ < 0) {

@@ -191,20 +191,20 @@ class DurableLog {
   static void set_write_fault_budget(long long bytes);
 
  private:
-  void recover(const ReplayFn& on_record);
+  void recover(const ReplayFn& on_record);  ///< construction only
   void append_group_locked(std::string_view group_bytes, std::size_t frames,
                            bool replace = false);
 
-  std::string path_;
-  std::string journal_path_;
-  int log_fd_ = -1;
-  int journal_fd_ = -1;
-  std::uint64_t log_size_ = 0;
-  std::size_t frames_ = 0;
-  bool replayed_journal_ = false;
-  std::uint64_t truncated_bytes_ = 0;
-  std::uint64_t recover_us_ = 0;
-  CommitHook commit_hook_;
+  std::string path_;          ///< immutable after construction
+  std::string journal_path_;  ///< immutable after construction
+  int log_fd_ = -1;      // guarded_by(mu_)
+  int journal_fd_ = -1;  // guarded_by(mu_)
+  std::uint64_t log_size_ = 0;  // guarded_by(mu_)
+  std::size_t frames_ = 0;      // guarded_by(mu_)
+  bool replayed_journal_ = false;      // guarded_by(mu_)
+  std::uint64_t truncated_bytes_ = 0;  // guarded_by(mu_)
+  std::uint64_t recover_us_ = 0;       // guarded_by(mu_)
+  CommitHook commit_hook_;  // guarded_by(mu_)
   mutable std::mutex mu_;
 };
 

@@ -75,11 +75,11 @@ class FairShareScheduler {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::vector<std::unique_ptr<Campaign>> campaigns_;
-  std::size_t cursor_ = 0;       ///< round-robin scan start
-  std::size_t total_queued_ = 0; ///< sum of campaign queue lengths
-  std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  std::vector<std::unique_ptr<Campaign>> campaigns_;  // guarded_by(mu_)
+  std::size_t cursor_ = 0;        // guarded_by(mu_) round-robin scan start
+  std::size_t total_queued_ = 0;  // guarded_by(mu_) sum of queue lengths
+  std::vector<std::thread> workers_;  ///< immutable after construction
+  bool stopping_ = false;  // guarded_by(mu_)
 };
 
 /// Executor adapter for one campaign on a FairShareScheduler: `run`

@@ -62,10 +62,10 @@ class JsonlSink {
   void write(const JsonlRow& row);
 
  private:
-  std::string path_;
+  std::string path_;  ///< immutable after construction
   mutable std::mutex mutex_;
-  std::ofstream out_;
-  std::size_t rows_ = 0;
+  std::ofstream out_;      // guarded_by(mutex_)
+  std::size_t rows_ = 0;  // guarded_by(mutex_)
 };
 
 }  // namespace pckpt::exec

@@ -60,9 +60,9 @@ class ThreadPool {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_;  // guarded_by(mutex_)
+  std::vector<std::thread> workers_;         ///< immutable after construction
+  bool stopping_ = false;  // guarded_by(mutex_)
 };
 
 /// Executor adapter over a ThreadPool. Dispatches the task batch onto the

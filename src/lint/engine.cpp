@@ -1,12 +1,16 @@
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "lint/project.hpp"
 
 /// \file engine.cpp
 /// FileContext construction (waiver map, include list), the engine
@@ -53,10 +57,12 @@ std::vector<std::string> parse_waiver_slugs(std::string_view text) {
 /// Parse `#include <x>` / `#include "x"` targets line by line (the
 /// token stream splits `<vector>` into three tokens; raw-line parsing
 /// is simpler and exact for this).
-std::vector<std::string> parse_includes(std::string_view source) {
-  std::vector<std::string> out;
+std::vector<Include> parse_includes(std::string_view source) {
+  std::vector<Include> out;
   std::size_t pos = 0;
+  int ln = 0;
   while (pos < source.size()) {
+    ++ln;
     std::size_t eol = source.find('\n', pos);
     if (eol == std::string_view::npos) eol = source.size();
     std::string_view line = source.substr(pos, eol - pos);
@@ -72,7 +78,7 @@ std::vector<std::string> parse_includes(std::string_view source) {
     if (close == '\0') continue;
     const std::size_t end = line.find(close, i + 1);
     if (end == std::string_view::npos) continue;
-    out.emplace_back(line.substr(i + 1, end - i - 1));
+    out.push_back({std::string(line.substr(i + 1, end - i - 1)), ln});
   }
   return out;
 }
@@ -126,19 +132,81 @@ bool FileContext::waived(int line, std::string_view slug) const {
   return it != waivers_.end() && it->second.count(slug) != 0;
 }
 
-LintEngine::LintEngine() : rules_(make_default_rules()) {}
+LintEngine::LintEngine()
+    : rules_(make_default_rules()),
+      project_rules_(make_default_project_rules()) {}
 
 bool LintEngine::restrict_rules(const std::vector<std::string>& ids) {
   if (ids.empty()) return true;
   std::vector<std::unique_ptr<Rule>> kept;
+  std::vector<std::unique_ptr<ProjectRule>> kept_project;
   for (auto& rule : rules_) {
     if (std::find(ids.begin(), ids.end(), rule->id()) != ids.end()) {
       kept.push_back(std::move(rule));
     }
   }
-  if (kept.size() != ids.size()) return false;
+  for (auto& rule : project_rules_) {
+    if (std::find(ids.begin(), ids.end(), rule->id()) != ids.end()) {
+      kept_project.push_back(std::move(rule));
+    }
+  }
+  if (kept.size() + kept_project.size() != ids.size()) return false;
   rules_ = std::move(kept);
+  project_rules_ = std::move(kept_project);
   return true;
+}
+
+bool LintEngine::disable_rules(const std::vector<std::string>& ids) {
+  for (const std::string& id : ids) {
+    bool known = false;
+    for (const auto& rule : rules_) known = known || rule->id() == id;
+    for (const auto& rule : project_rules_) known = known || rule->id() == id;
+    if (!known) return false;
+  }
+  const auto drop = [&ids](const auto& rule) {
+    return std::find(ids.begin(), ids.end(), rule->id()) != ids.end();
+  };
+  rules_.erase(std::remove_if(rules_.begin(), rules_.end(), drop),
+               rules_.end());
+  project_rules_.erase(
+      std::remove_if(project_rules_.begin(), project_rules_.end(), drop),
+      project_rules_.end());
+  return true;
+}
+
+std::vector<Finding> LintEngine::lint_project(
+    const std::vector<std::pair<std::string, std::string>>& files,
+    LintStats* stats) {
+  std::vector<Finding> raw;
+  if (project_rules_.empty() || files.empty()) return raw;
+  ProjectContext project(files);
+  for (const auto& rule : project_rules_) {
+    const std::size_t before = raw.size();
+    rule->check(project, raw);
+    std::size_t kept = before;
+    for (std::size_t i = before; i < raw.size(); ++i) {
+      if (project.waived(raw[i].path, raw[i].line, rule->waiver_slug())) {
+        if (stats != nullptr) ++stats->waived;
+      } else {
+        if (kept != i) raw[kept] = std::move(raw[i]);
+        ++kept;
+      }
+    }
+    raw.resize(kept);
+  }
+  std::sort(raw.begin(), raw.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return a.path < b.path;
+    if (a.line != b.line) return a.line < b.line;
+    if (a.col != b.col) return a.col < b.col;
+    return a.rule < b.rule;
+  });
+  if (stats != nullptr) {
+    for (const Finding& f : raw) {
+      if (f.severity == Severity::kError) ++stats->errors;
+      else ++stats->warnings;
+    }
+  }
+  return raw;
 }
 
 std::vector<Finding> LintEngine::lint_source(std::string path,
@@ -199,14 +267,98 @@ std::string display_path(const fs::path& p, const fs::path& root) {
   return p.generic_string();
 }
 
+/// Minimal JSON string escape (kept local: lint has no deps on the
+/// rest of the tree — it sits above everything it checks).
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// `pckpt-lint/1` machine-readable report.
+void write_json(std::ostream& out, const std::vector<Finding>& findings,
+                const LintStats& stats, long long elapsed_ms) {
+  out << "{\"schema\":\"pckpt-lint/1\",\"files\":" << stats.files
+      << ",\"errors\":" << stats.errors << ",\"warnings\":" << stats.warnings
+      << ",\"waived\":" << stats.waived << ",\"elapsed_ms\":" << elapsed_ms
+      << ",\"findings\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ',';
+    out << "{\"rule\":\"" << json_escape(f.rule) << "\",\"severity\":\""
+        << to_string(f.severity) << "\",\"path\":\"" << json_escape(f.path)
+        << "\",\"line\":" << f.line << ",\"col\":" << f.col
+        << ",\"message\":\"" << json_escape(f.message) << "\"}";
+  }
+  out << "]}\n";
+}
+
+/// SARIF 2.1.0 log (the minimal subset GitHub code scanning ingests:
+/// driver name + rule metadata, results with physical locations).
+void write_sarif(std::ostream& out, const LintEngine& engine,
+                 const std::vector<Finding>& findings) {
+  out << "{\"$schema\":"
+         "\"https://json.schemastore.org/sarif-2.1.0.json\","
+         "\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{"
+         "\"name\":\"pckpt-lint\",\"rules\":[";
+  bool first = true;
+  const auto emit_rule = [&](std::string_view id, std::string_view summary) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"id\":\"" << json_escape(id)
+        << "\",\"shortDescription\":{\"text\":\"" << json_escape(summary)
+        << "\"}}";
+  };
+  for (const auto& rule : engine.rules()) {
+    emit_rule(rule->id(), rule->summary());
+  }
+  for (const auto& rule : engine.project_rules()) {
+    emit_rule(rule->id(), rule->summary());
+  }
+  out << "]}},\"results\":[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    if (i != 0) out << ',';
+    out << "{\"ruleId\":\"" << json_escape(f.rule) << "\",\"level\":\""
+        << to_string(f.severity) << "\",\"message\":{\"text\":\""
+        << json_escape(f.message)
+        << "\"},\"locations\":[{\"physicalLocation\":{"
+           "\"artifactLocation\":{\"uri\":\""
+        << json_escape(f.path) << "\"},\"region\":{\"startLine\":" << f.line
+        << ",\"startColumn\":" << f.col << "}}}]}";
+  }
+  out << "]}]}\n";
+}
+
 }  // namespace
 
 int run_pckpt_lint(const std::vector<std::string>& args, std::ostream& out,
                    std::ostream& err) {
+  const auto t0 = std::chrono::steady_clock::now();
   fs::path root = fs::current_path();
   std::vector<std::string> rule_ids;
+  std::vector<std::string> no_rule_ids;
   std::vector<std::string> paths;
   bool list_rules = false;
+  enum class Format { kText, kJson, kSarif };
+  Format format = Format::kText;
 
   for (const std::string& a : args) {
     if (a == "--list-rules") {
@@ -215,9 +367,21 @@ int run_pckpt_lint(const std::vector<std::string>& args, std::ostream& out,
       root = fs::path(a.substr(7));
     } else if (a.rfind("--rule=", 0) == 0) {
       rule_ids.push_back(a.substr(7));
+    } else if (a.rfind("--no-rule=", 0) == 0) {
+      no_rule_ids.push_back(a.substr(10));
+    } else if (a.rfind("--format=", 0) == 0) {
+      const std::string f = a.substr(9);
+      if (f == "text") format = Format::kText;
+      else if (f == "json") format = Format::kJson;
+      else if (f == "sarif") format = Format::kSarif;
+      else {
+        err << "pckpt_lint: unknown format '" << f
+            << "' (text, json, sarif)\n";
+        return 2;
+      }
     } else if (a == "--help" || a == "-h") {
-      out << "usage: pckpt_lint [--root=DIR] [--rule=ID]... [--list-rules] "
-             "PATH...\n";
+      out << "usage: pckpt_lint [--root=DIR] [--rule=ID]... [--no-rule=ID]..."
+             " [--format=text|json|sarif] [--list-rules] PATH...\n";
       return 0;
     } else if (a.rfind("--", 0) == 0) {
       err << "pckpt_lint: unknown option '" << a << "'\n";
@@ -232,11 +396,19 @@ int run_pckpt_lint(const std::vector<std::string>& args, std::ostream& out,
     err << "pckpt_lint: unknown rule id in --rule= (see --list-rules)\n";
     return 2;
   }
+  if (!engine.disable_rules(no_rule_ids)) {
+    err << "pckpt_lint: unknown rule id in --no-rule= (see --list-rules)\n";
+    return 2;
+  }
 
   if (list_rules) {
     for (const auto& rule : engine.rules()) {
       out << rule->id() << " (waive: // lint: " << rule->waiver_slug()
           << ")\n    " << rule->summary() << "\n";
+    }
+    for (const auto& rule : engine.project_rules()) {
+      out << rule->id() << " (project-wide; waive: // lint: "
+          << rule->waiver_slug() << ")\n    " << rule->summary() << "\n";
     }
     if (paths.empty()) return 0;
   }
@@ -272,8 +444,10 @@ int run_pckpt_lint(const std::vector<std::string>& args, std::ostream& out,
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  LintStats stats;
-  bool failed = false;
+  // Read everything up front: the project pass needs the whole tree,
+  // and the per-file pass reuses the same buffers.
+  std::vector<std::pair<std::string, std::string>> sources;
+  sources.reserve(files.size());
   for (const fs::path& file : files) {
     std::ifstream in(file, std::ios::binary);
     if (!in) {
@@ -282,18 +456,51 @@ int run_pckpt_lint(const std::vector<std::string>& args, std::ostream& out,
     }
     std::ostringstream buf;
     buf << in.rdbuf();
-    const std::string source = buf.str();
-    const auto findings =
-        engine.lint_source(display_path(file, root), source, &stats);
-    for (const Finding& f : findings) {
-      err << format_finding(f) << "\n";
-      failed = failed || f.severity == Severity::kError;
-    }
+    sources.emplace_back(display_path(file, root), buf.str());
   }
 
-  out << "pckpt-lint: " << stats.files << " files, " << stats.errors
-      << " errors, " << stats.warnings << " warnings, " << stats.waived
-      << " waived\n";
+  LintStats stats;
+  std::vector<Finding> findings;
+  for (const auto& [path, source] : sources) {
+    auto file_findings = engine.lint_source(path, source, &stats);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  auto project_findings = engine.lint_project(sources, &stats);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(project_findings.begin()),
+                  std::make_move_iterator(project_findings.end()));
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+
+  bool failed = false;
+  for (const Finding& f : findings) {
+    failed = failed || f.severity == Severity::kError;
+  }
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+
+  switch (format) {
+    case Format::kText:
+      for (const Finding& f : findings) err << format_finding(f) << "\n";
+      out << "pckpt-lint: " << stats.files << " files, " << stats.errors
+          << " errors, " << stats.warnings << " warnings, " << stats.waived
+          << " waived (" << elapsed_ms << " ms)\n";
+      break;
+    case Format::kJson:
+      write_json(out, findings, stats, elapsed_ms);
+      break;
+    case Format::kSarif:
+      write_sarif(out, engine, findings);
+      break;
+  }
   return failed ? 1 : 0;
 }
 

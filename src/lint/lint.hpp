@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "lint/token.hpp"
@@ -53,6 +54,13 @@ struct Finding {
 /// Format as `path:line:col: error: [rule] message`.
 std::string format_finding(const Finding& f);
 
+/// One `#include` directive: the target ("vector", "sim/types.hpp")
+/// and the line it sits on.
+struct Include {
+  std::string target;
+  int line = 0;
+};
+
 /// Everything a rule may inspect about one file.
 class FileContext {
  public:
@@ -63,8 +71,9 @@ class FileContext {
   const std::vector<Comment>& comments() const { return lex_.comments; }
 
   /// Directive-free view: `#include` targets in source order, e.g.
-  /// "vector" or "sim/types.hpp" (no angle brackets / quotes).
-  const std::vector<std::string>& includes() const { return includes_; }
+  /// "vector" or "sim/types.hpp" (no angle brackets / quotes), each with
+  /// the line of its directive (the project pass reports on it).
+  const std::vector<Include>& includes() const { return includes_; }
 
   bool is_header() const;
   /// True when the (generic, '/'-separated) path contains `dir` — use
@@ -83,7 +92,7 @@ class FileContext {
  private:
   std::string path_;
   LexResult lex_;
-  std::vector<std::string> includes_;
+  std::vector<Include> includes_;
   std::map<int, std::set<std::string, std::less<>>> waivers_;  // by line
   std::size_t waiver_slug_count_ = 0;
 };
@@ -104,6 +113,26 @@ class Rule {
 /// The built-in rule catalog, in report order.
 std::vector<std::unique_ptr<Rule>> make_default_rules();
 
+class ProjectContext;  // lint/project.hpp
+
+/// A whole-tree rule: sees every file of the run at once via the
+/// ProjectContext (include graph, scope analyses, guarded fields).
+/// Waivers still apply per finding through the owning file's
+/// `// lint: <slug>` map, exactly like file rules.
+class ProjectRule {
+ public:
+  virtual ~ProjectRule() = default;
+  virtual std::string_view id() const = 0;
+  virtual std::string_view waiver_slug() const = 0;
+  virtual std::string_view summary() const = 0;
+  virtual Severity severity() const { return Severity::kError; }
+  virtual void check(const ProjectContext& project,
+                     std::vector<Finding>& out) const = 0;
+};
+
+/// The built-in project-rule catalog: layering, guarded-by, lock-order.
+std::vector<std::unique_ptr<ProjectRule>> make_default_project_rules();
+
 struct LintStats {
   std::size_t files = 0;
   std::size_t errors = 0;
@@ -111,36 +140,59 @@ struct LintStats {
   std::size_t waived = 0;  ///< findings suppressed by honored waivers
 };
 
-/// Lint engine over the default (or a restricted) rule catalog.
+/// Lint engine over the default (or a restricted) rule catalog — both
+/// the per-file rules and the whole-tree project rules.
 class LintEngine {
  public:
   LintEngine();
 
-  /// Restrict to the given rule ids. Returns false (and leaves the
-  /// catalog untouched) if any id is unknown.
+  /// Restrict to the given rule ids (file and project rules together).
+  /// Returns false (and leaves the catalogs untouched) if any id is
+  /// unknown.
   bool restrict_rules(const std::vector<std::string>& ids);
 
+  /// Remove the given rule ids from the catalogs. Returns false if any
+  /// id is unknown.
+  bool disable_rules(const std::vector<std::string>& ids);
+
   const std::vector<std::unique_ptr<Rule>>& rules() const { return rules_; }
+  const std::vector<std::unique_ptr<ProjectRule>>& project_rules() const {
+    return project_rules_;
+  }
 
   /// Lint one in-memory source under `path` (tests lint fixture bodies
   /// under virtual paths like "src/sim/x.cpp" to exercise scoped rules).
+  /// Runs the per-file rules only.
   std::vector<Finding> lint_source(std::string path, std::string_view source,
                                    LintStats* stats = nullptr);
 
+  /// Run the whole-tree project pass over (path, source) pairs. The
+  /// sources must outlive the call (token views point into them).
+  /// Waived findings are dropped and counted like in lint_source.
+  std::vector<Finding> lint_project(
+      const std::vector<std::pair<std::string, std::string>>& files,
+      LintStats* stats = nullptr);
+
  private:
   std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<std::unique_ptr<ProjectRule>> project_rules_;
 };
 
 /// CLI entry point (the `tools/pckpt_lint` shell calls this; tests call
 /// it directly). Usage:
 ///
-///   pckpt_lint [--root=DIR] [--rule=ID]... [--list-rules] PATH...
+///   pckpt_lint [--root=DIR] [--rule=ID]... [--no-rule=ID]...
+///              [--format=text|json|sarif] [--list-rules] PATH...
 ///
 /// PATHs are files or directories (recursed for *.hpp/*.h/*.cpp),
 /// resolved against --root (default: current directory); findings are
 /// reported with root-relative paths so rule scoping matches the repo
-/// layout. Exit codes mirror bench_report: 0 = clean, 1 = findings at
-/// error severity, 2 = usage or I/O error.
+/// layout. Both the per-file rules and the whole-tree project pass run
+/// over the collected set. `--format=json` emits a `pckpt-lint/1`
+/// document, `--format=sarif` a SARIF 2.1.0 log (both on stdout; the
+/// human-readable findings stay on stderr in text mode only). Exit
+/// codes mirror bench_report: 0 = clean, 1 = findings at error
+/// severity, 2 = usage or I/O error.
 int run_pckpt_lint(const std::vector<std::string>& args, std::ostream& out,
                    std::ostream& err);
 

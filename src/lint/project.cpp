@@ -1,0 +1,440 @@
+#include "lint/project.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <sstream>
+
+/// \file project.cpp
+/// ProjectContext construction (annotation parsing, include-graph
+/// resolution, layer classification) and the project-level rule catalog:
+/// `layering`, `guarded-by`, `lock-order`.
+
+namespace pckpt::lint {
+
+namespace {
+
+struct Layer {
+  int rank;
+  std::string_view name;
+};
+
+Layer classify(std::string_view p) {
+  const auto starts = [&](std::string_view pre) {
+    return p.size() >= pre.size() && p.substr(0, pre.size()) == pre;
+  };
+  if (starts("src/")) {
+    const std::string_view rest = p.substr(4);
+    const std::size_t slash = rest.find('/');
+    const std::string_view sub =
+        slash == std::string_view::npos ? rest : rest.substr(0, slash);
+    if (sub == "obs") {
+      const std::string_view base =
+          slash == std::string_view::npos ? "" : rest.substr(slash + 1);
+      if (base == "profiler.hpp" || base == "profiler.cpp") {
+        return {0, "prof"};  // the pckpt_prof CMake carve-out
+      }
+      return {4, "obs"};
+    }
+    if (sub == "random") return {0, "random"};
+    if (sub == "stats") return {0, "stats"};
+    if (sub == "exec") return {1, "exec"};
+    if (sub == "sim") return {2, "sim"};
+    if (sub == "iomodel") return {3, "iomodel"};
+    if (sub == "failure") return {3, "failure"};
+    if (sub == "workload") return {3, "workload"};
+    if (sub == "core") return {5, "core"};
+    if (sub == "analysis") return {5, "analysis"};
+    if (sub == "ckpt") return {6, "ckpt"};
+    if (sub == "serve") return {7, "serve"};
+    if (sub == "lint") return {8, "lint"};
+    return {-1, ""};
+  }
+  if (starts("tools/") || starts("bench/") || starts("tests/") ||
+      starts("examples/")) {
+    return {9, "top"};
+  }
+  return {-1, ""};
+}
+
+/// Parse `// <marker>name[, name...])` annotations out of the lexed
+/// comments (the lexer already skips string literals, so prose and
+/// strings that merely *mention* the syntax never match). The
+/// annotation must start the comment — trailing prose after the `)` is
+/// fine. Returns effective-target-line -> names: a comment-only line
+/// annotates the next line, a trailing comment its own line.
+std::map<int, std::vector<std::string>> parse_annotations(
+    const std::vector<Comment>& comments, std::string_view marker) {
+  std::map<int, std::vector<std::string>> out;
+  for (const Comment& c : comments) {
+    std::string_view text = c.text;
+    const std::size_t b = text.find_first_not_of("/!< \t");
+    if (b == std::string_view::npos) continue;
+    text = text.substr(b);
+    if (text.substr(0, marker.size()) != marker) continue;
+    std::vector<std::string> names;
+    std::string cur;
+    for (std::size_t at = marker.size();
+         at < text.size() && text[at] != ')'; ++at) {
+      const char ch = text[at];
+      if ((ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+          (ch >= '0' && ch <= '9') || ch == '_') {
+        cur.push_back(ch);
+      } else if (!cur.empty()) {
+        names.push_back(std::move(cur));
+        cur.clear();
+      }
+    }
+    if (!cur.empty()) names.push_back(std::move(cur));
+    if (names.empty()) continue;
+    const int target = c.owns_line ? c.line_end + 1 : c.line_begin;
+    auto& dst = out[target];
+    dst.insert(dst.end(), names.begin(), names.end());
+  }
+  return out;
+}
+
+bool is_punct_at(const std::vector<Token>& ts, std::size_t i,
+                 std::string_view text) {
+  return i < ts.size() && ts[i].kind == TokKind::kPunct && ts[i].text == text;
+}
+
+std::size_t prev_code_tok(const std::vector<Token>& ts, std::size_t i) {
+  while (i-- > 0) {
+    if (!ts[i].preproc) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+int ProjectContext::layer_of(std::string_view path) {
+  return classify(path).rank;
+}
+
+std::string_view ProjectContext::layer_name(std::string_view path) {
+  return classify(path).name;
+}
+
+bool ProjectContext::waived(std::string_view path, int line,
+                            std::string_view slug) const {
+  const auto it = index_.find(path);
+  return it != index_.end() && files_[it->second].ctx.waived(line, slug);
+}
+
+ProjectContext::ProjectContext(
+    const std::vector<std::pair<std::string, std::string>>& files) {
+  files_.reserve(files.size());
+  for (const auto& [path, source] : files) {
+    files_.emplace_back(path, source);
+    const std::size_t fi = files_.size() - 1;
+    index_.emplace(path, fi);
+    ProjectFile& pf = files_.back();
+    pf.scopes = analyze_scopes(
+        pf.ctx.tokens(), parse_annotations(pf.ctx.comments(), "requires("));
+    const auto guarded_map =
+        parse_annotations(pf.ctx.comments(), "guarded_by(");
+
+    // Resolve each guarded_by annotation to the field declared on its
+    // target line: the last identifier before the first `;`, `=` or `{`.
+    const auto& ts = pf.ctx.tokens();
+    for (const auto& [line, mutexes] : guarded_map) {
+      std::size_t field_tok = static_cast<std::size_t>(-1);
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].preproc || ts[i].line != line) continue;
+        if (ts[i].kind == TokKind::kIdent) field_tok = i;
+        if (is_punct_at(ts, i, ";") || is_punct_at(ts, i, "=") ||
+            is_punct_at(ts, i, "{")) {
+          break;
+        }
+      }
+      if (field_tok == static_cast<std::size_t>(-1)) continue;
+      GuardedField gf;
+      gf.file = fi;
+      gf.class_name = pf.scopes.class_of(field_tok);
+      gf.field = std::string(ts[field_tok].text);
+      gf.mutex = mutexes.front();
+      gf.line = line;
+      guarded_.push_back(std::move(gf));
+    }
+  }
+
+  // Include-graph resolution: each file is registered under its path and
+  // the path minus a leading src/ or tests/ (the tree's include styles:
+  // `sim/types.hpp`, `support/crash_harness.hpp`, `bench/bench_common.hpp`).
+  std::map<std::string, std::size_t, std::less<>> by_name;
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    const std::string& p = files_[i].ctx.path();
+    by_name.emplace(p, i);
+    if (p.rfind("src/", 0) == 0) by_name.emplace(p.substr(4), i);
+    if (p.rfind("tests/", 0) == 0) by_name.emplace(p.substr(6), i);
+  }
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    for (const Include& inc : files_[i].ctx.includes()) {
+      const auto it = by_name.find(inc.target);
+      if (it == by_name.end() || it->second == i) continue;
+      edges_.push_back({i, it->second, inc.line});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Project rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Enforces the committed layering contract over the include graph:
+/// lower layers must not include higher layers, and the graph must be
+/// acyclic. See project.hpp for the contract table.
+class LayeringRule final : public ProjectRule {
+ public:
+  std::string_view id() const override { return "layering"; }
+  std::string_view waiver_slug() const override { return "layering-ok"; }
+  std::string_view summary() const override {
+    return "include graph must respect the committed layering contract "
+           "(no lower->higher includes, no cycles)";
+  }
+  void check(const ProjectContext& p,
+             std::vector<Finding>& out) const override {
+    const auto& files = p.files();
+
+    // Cross-layer edges.
+    for (const IncludeEdge& e : p.edges()) {
+      const std::string& from = files[e.from].ctx.path();
+      const std::string& to = files[e.to].ctx.path();
+      const int la = ProjectContext::layer_of(from);
+      const int lb = ProjectContext::layer_of(to);
+      if (la < 0 || lb < 0 || la >= lb) continue;
+      std::ostringstream msg;
+      msg << "'" << from << "' (layer " << ProjectContext::layer_name(from)
+          << ") includes '" << to << "' (layer "
+          << ProjectContext::layer_name(to)
+          << "): lower layers must not include higher layers";
+      out.push_back({std::string(id()), severity(), from, e.line, 1,
+                     msg.str()});
+    }
+
+    // Include cycles: DFS with gray/black coloring; report each cycle
+    // once (canonicalized on its node set) with the full edge path.
+    std::vector<std::vector<std::pair<std::size_t, int>>> adj(files.size());
+    for (const IncludeEdge& e : p.edges()) {
+      adj[e.from].push_back({e.to, e.line});
+    }
+    std::vector<int> color(files.size(), 0);  // 0 white, 1 gray, 2 black
+    std::vector<std::size_t> path;
+    std::vector<int> path_line;  // line of the include edge into path[i+1]
+    std::set<std::string> reported;
+
+    const std::function<void(std::size_t)> dfs = [&](std::size_t u) {
+      color[u] = 1;
+      path.push_back(u);
+      for (const auto& [v, line] : adj[u]) {
+        if (color[v] == 2) continue;
+        if (color[v] == 1) {
+          // Back edge: the cycle is path[pos(v)..end] + (u -> v).
+          const auto it = std::find(path.begin(), path.end(), v);
+          std::vector<std::size_t> cyc(it, path.end());
+          std::vector<std::size_t> key = cyc;
+          std::sort(key.begin(), key.end());
+          std::ostringstream keys;
+          for (std::size_t n : key) keys << n << ',';
+          if (!reported.insert(keys.str()).second) continue;
+          std::ostringstream msg;
+          msg << "include cycle: ";
+          for (std::size_t n : cyc) msg << files[n].ctx.path() << " -> ";
+          msg << files[v].ctx.path();
+          const std::size_t pos =
+              static_cast<std::size_t>(it - path.begin());
+          const int at_line =
+              cyc.size() > 1 ? path_line[pos] : line;  // self-include
+          out.push_back({std::string(id()), severity(),
+                         files[cyc.front()].ctx.path(), at_line, 1,
+                         msg.str()});
+          continue;
+        }
+        path_line.push_back(line);
+        dfs(v);
+        path_line.pop_back();
+      }
+      path.pop_back();
+      color[u] = 2;
+    };
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      if (color[i] == 0) dfs(i);
+    }
+  }
+};
+
+/// Fields annotated `// guarded_by(mu)` may only be touched inside a
+/// scope holding a lock on `mu` (or in a function annotated
+/// `// requires(mu)`, or in constructors/destructors, where the object
+/// is not yet / no longer shared).
+class GuardedByRule final : public ProjectRule {
+ public:
+  std::string_view id() const override { return "guarded-by"; }
+  std::string_view waiver_slug() const override { return "guarded-by-ok"; }
+  std::string_view summary() const override {
+    return "fields annotated // guarded_by(mu) must only be accessed "
+           "while holding a lock on mu";
+  }
+  void check(const ProjectContext& p,
+             std::vector<Finding>& out) const override {
+    // Registry: class -> field -> guarding mutex (cross-TU: the header
+    // declares, the .cpp's out-of-line methods are checked too).
+    std::map<std::string, std::map<std::string, std::string, std::less<>>,
+             std::less<>>
+        registry;
+    for (const GuardedField& g : p.guarded_fields()) {
+      if (g.class_name.empty()) continue;
+      registry[g.class_name][g.field] = g.mutex;
+    }
+    if (registry.empty()) return;
+
+    for (const ProjectFile& f : p.files()) {
+      const auto& ts = f.ctx.tokens();
+      for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].preproc || ts[i].kind != TokKind::kIdent) continue;
+        const std::string& cls = f.scopes.class_of(i);
+        if (cls.empty()) continue;
+        const auto cit = registry.find(cls);
+        if (cit == registry.end()) continue;
+        const auto fit = cit->second.find(ts[i].text);
+        if (fit == cit->second.end()) continue;
+
+        const std::size_t fn = f.scopes.func_of(i);
+        if (fn == kNoFunc) continue;  // declaration / initializer list
+        if (f.scopes.funcs()[fn].ctor_dtor) continue;
+
+        // Only unqualified and this-> accesses name *this* object's
+        // field; `other.field_` is out of scope for this checker.
+        const std::size_t pv = prev_code_tok(ts, i);
+        if (pv != static_cast<std::size_t>(-1)) {
+          if (is_punct_at(ts, pv, "::")) continue;
+          if (is_punct_at(ts, pv, ".") || is_punct_at(ts, pv, "->")) {
+            const std::size_t pv2 = prev_code_tok(ts, pv);
+            const bool via_this = pv2 != static_cast<std::size_t>(-1) &&
+                                  ts[pv2].kind == TokKind::kIdent &&
+                                  ts[pv2].text == "this";
+            if (!via_this) continue;
+          }
+        }
+        if (f.scopes.holds(i, fit->second)) continue;
+        std::ostringstream msg;
+        msg << "field '" << ts[i].text << "' is guarded_by(" << fit->second
+            << ") but accessed without holding '" << fit->second << "' (in "
+            << f.scopes.funcs()[fn].name << ")";
+        out.push_back({std::string(id()), severity(), f.ctx.path(),
+                       ts[i].line, ts[i].col, msg.str()});
+      }
+    }
+  }
+};
+
+/// Cross-TU lock-order checking: every acquisition that happens while
+/// other locks are held contributes ordered pairs; a cycle in the
+/// resulting graph is a potential deadlock.
+class LockOrderRule final : public ProjectRule {
+ public:
+  std::string_view id() const override { return "lock-order"; }
+  std::string_view waiver_slug() const override { return "lock-order-ok"; }
+  std::string_view summary() const override {
+    return "nested lock acquisitions must form a consistent global "
+           "order (cycles are potential deadlocks)";
+  }
+  void check(const ProjectContext& p,
+             std::vector<Finding>& out) const override {
+    struct Site {
+      std::string path;
+      int line;
+      int col;
+      std::string func;
+    };
+    std::map<std::pair<std::string, std::string>, Site> edges;
+    for (const ProjectFile& f : p.files()) {
+      for (const LockInterval& l : f.scopes.locks()) {
+        const std::string key = lock_order_key(l, f.scopes.funcs());
+        for (const std::string& held : l.held_before) {
+          if (held == key) continue;
+          const auto e = std::make_pair(held, key);
+          if (edges.count(e) != 0) continue;
+          const std::string fname =
+              l.func == kNoFunc ? "" : f.scopes.funcs()[l.func].name;
+          edges.emplace(e, Site{f.ctx.path(), l.line, l.col, fname});
+        }
+      }
+    }
+    if (edges.empty()) return;
+
+    std::map<std::string, std::vector<std::string>, std::less<>> adj;
+    for (const auto& [e, site] : edges) adj[e.first].push_back(e.second);
+
+    std::map<std::string, int, std::less<>> color;
+    std::vector<std::string> path;
+    std::set<std::string> reported;
+    const std::function<void(const std::string&)> dfs =
+        [&](const std::string& u) {
+          color[u] = 1;
+          path.push_back(u);
+          const auto it = adj.find(u);
+          if (it != adj.end()) {
+            for (const std::string& v : it->second) {
+              if (color[v] == 2) continue;
+              if (color[v] == 1) {
+                const auto at = std::find(path.begin(), path.end(), v);
+                std::vector<std::string> cyc(at, path.end());
+                std::vector<std::string> key = cyc;
+                std::sort(key.begin(), key.end());
+                std::string keys;
+                for (const auto& k : key) keys += k + "|";
+                if (!reported.insert(keys).second) continue;
+                report_cycle(cyc, edges, out);
+                continue;
+              }
+              dfs(v);
+            }
+          }
+          path.pop_back();
+          color[u] = 2;
+        };
+    for (const auto& [e, site] : edges) {
+      if (color[e.first] == 0) dfs(e.first);
+    }
+  }
+
+ private:
+  template <typename Edges>
+  void report_cycle(const std::vector<std::string>& cyc, const Edges& edges,
+                    std::vector<Finding>& out) const {
+    std::ostringstream order;
+    for (const std::string& n : cyc) order << n << " -> ";
+    order << cyc.front();
+    // One finding per acquisition site participating in the cycle, so
+    // each site can be reviewed (or waived) independently.
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      const std::string& a = cyc[i];
+      const std::string& b = cyc[(i + 1) % cyc.size()];
+      const auto it = edges.find(std::make_pair(a, b));
+      if (it == edges.end()) continue;
+      const auto& site = it->second;
+      std::ostringstream msg;
+      msg << "lock-order cycle: " << order.str() << ": '" << b
+          << "' acquired while holding '" << a << "'";
+      if (!site.func.empty()) msg << " (in " << site.func << ")";
+      out.push_back({std::string(id()), severity(), site.path, site.line,
+                     site.col, msg.str()});
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<ProjectRule>> make_default_project_rules() {
+  std::vector<std::unique_ptr<ProjectRule>> rules;
+  rules.push_back(std::make_unique<LayeringRule>());
+  rules.push_back(std::make_unique<GuardedByRule>());
+  rules.push_back(std::make_unique<LockOrderRule>());
+  return rules;
+}
+
+}  // namespace pckpt::lint

@@ -492,7 +492,9 @@ class StdIncludeRule final : public Rule {
     const auto& inc = ctx.includes();
     const auto has_any = [&inc](const std::vector<std::string_view>& hs) {
       for (std::string_view h : hs) {
-        if (std::find(inc.begin(), inc.end(), h) != inc.end()) return true;
+        for (const Include& have : inc) {
+          if (have.target == h) return true;
+        }
       }
       return false;
     };

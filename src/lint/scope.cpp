@@ -1,0 +1,548 @@
+#include "lint/scope.hpp"
+
+#include <algorithm>
+#include <initializer_list>
+#include <unordered_map>
+
+/// \file scope.cpp
+/// The scope pass: a single forward walk over the token stream keeping a
+/// stack of open brace scopes (namespace / class / function / block),
+/// classifying each `{` from the statement head that precedes it, and
+/// tracking RAII lock-guard lifetimes inside function bodies.
+
+namespace pckpt::lint {
+
+namespace {
+
+bool is_ident(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+bool is_punct(const Token& t, std::string_view text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+bool ident_in(const Token& t, std::initializer_list<std::string_view> set) {
+  if (t.kind != TokKind::kIdent) return false;
+  return std::find(set.begin(), set.end(), t.text) != set.end();
+}
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+enum class ScopeKind { kGlobal, kNamespace, kClass, kFunction, kBlock };
+
+struct Scope {
+  ScopeKind kind;
+  std::size_t class_idx;          ///< class_names_ index, npos outside classes
+  std::size_t func;               ///< funcs_ index, kNoFunc outside functions
+  std::vector<std::size_t> open_locks;  ///< LockInterval indices to close
+  std::vector<std::pair<std::string, std::vector<std::string>>>
+      guards;  ///< guard var -> mutex exprs declared in this scope
+};
+
+/// Skip a balanced `<...>` template argument list (token-level; `>>`
+/// counts as two closers). Returns index past the closing `>`.
+std::size_t skip_template_args(const std::vector<Token>& ts, std::size_t i) {
+  if (i >= ts.size() || !is_punct(ts[i], "<")) return i;
+  int depth = 0;
+  for (; i < ts.size(); ++i) {
+    if (is_punct(ts[i], "<")) ++depth;
+    else if (is_punct(ts[i], ">")) --depth;
+    else if (is_punct(ts[i], ">>")) depth -= 2;
+    if (depth <= 0) return i + 1;
+  }
+  return i;
+}
+
+}  // namespace
+
+const std::string& ScopeAnalysis::class_of(std::size_t tok) const {
+  static const std::string kEmpty;
+  if (tok >= class_of_.size() || class_of_[tok] == npos) return kEmpty;
+  return class_names_[class_of_[tok]];
+}
+
+bool ScopeAnalysis::holds(std::size_t tok, std::string_view bare) const {
+  for (const LockInterval& l : locks_) {
+    if (l.bare == bare && tok >= l.begin_tok && tok < l.end_tok) return true;
+  }
+  const std::size_t f = func_of(tok);
+  if (f != kNoFunc) {
+    const auto& req = funcs_[f].required;
+    if (std::find(req.begin(), req.end(), bare) != req.end()) return true;
+  }
+  return false;
+}
+
+std::string lock_order_key(const LockInterval& lock,
+                           const std::vector<FuncScope>& funcs) {
+  const bool member_chain =
+      lock.expr.find("->") != std::string::npos ||
+      lock.expr.find('.') != std::string::npos;
+  if (member_chain) return lock.expr;
+  if (lock.func != kNoFunc && !funcs[lock.func].class_name.empty()) {
+    return funcs[lock.func].class_name + "::" + lock.expr;
+  }
+  return lock.expr;
+}
+
+ScopeAnalysis analyze_scopes(
+    const std::vector<Token>& ts,
+    const std::map<int, std::vector<std::string>>& requires_by_line) {
+  ScopeAnalysis out;
+  out.func_of_.assign(ts.size(), kNoFunc);
+  out.class_of_.assign(ts.size(), npos);
+
+  std::vector<Scope> stack;
+  stack.push_back({ScopeKind::kGlobal, npos, kNoFunc, {}, {}});
+
+  std::unordered_map<std::string, std::size_t> class_idx_by_name;
+  const auto intern_class = [&](const std::string& name) -> std::size_t {
+    auto it = class_idx_by_name.find(name);
+    if (it != class_idx_by_name.end()) return it->second;
+    out.class_names_.push_back(name);
+    const std::size_t idx = out.class_names_.size() - 1;
+    class_idx_by_name.emplace(name, idx);
+    return idx;
+  };
+
+  std::size_t head_start = 0;        // first token of the current statement
+  std::vector<std::size_t> parens;   // open-paren token indices
+  std::unordered_map<std::size_t, std::size_t> paren_match;  // close -> open
+
+  const auto mark = [&](std::size_t i) {
+    out.func_of_[i] = stack.back().func;
+    out.class_of_[i] = stack.back().class_idx;
+  };
+
+  /// Skip an inert balanced `{...}` region (brace-init, array init),
+  /// marking its tokens with the current scope. Returns index past `}`.
+  const auto skip_inert_braces = [&](std::size_t i) -> std::size_t {
+    int depth = 0;
+    for (; i < ts.size(); ++i) {
+      mark(i);
+      if (ts[i].preproc) continue;
+      if (is_punct(ts[i], "{")) ++depth;
+      else if (is_punct(ts[i], "}")) {
+        if (--depth == 0) return i + 1;
+      }
+    }
+    return i;
+  };
+
+  /// Index of the previous non-preprocessor token before `i`, or npos.
+  const auto prev_tok = [&](std::size_t i) -> std::size_t {
+    while (i-- > 0) {
+      if (!ts[i].preproc) return i;
+    }
+    return npos;
+  };
+
+  /// True when the `{` at `i` opens a lambda body: preceded by `]`, or
+  /// by a parameter list / qualifier run whose `(` follows `]`.
+  const auto is_lambda_brace = [&](std::size_t i) -> bool {
+    std::size_t j = prev_tok(i);
+    // Walk back over trailing-return / qualifier tokens.
+    int guard = 0;
+    while (j != npos && guard++ < 16 &&
+           (ts[j].kind == TokKind::kIdent || is_punct(ts[j], "::") ||
+            is_punct(ts[j], "->") || is_punct(ts[j], "*") ||
+            is_punct(ts[j], "&") || is_punct(ts[j], ">") ||
+            is_punct(ts[j], ">>") || is_punct(ts[j], "<"))) {
+      j = prev_tok(j);
+    }
+    if (j == npos) return false;
+    if (is_punct(ts[j], "]")) return true;
+    if (is_punct(ts[j], ")")) {
+      const auto it = paren_match.find(j);
+      if (it == paren_match.end()) return false;
+      const std::size_t before_open = prev_tok(it->second);
+      return before_open != npos && is_punct(ts[before_open], "]");
+    }
+    return false;
+  };
+
+  /// Record a new lock interval for each mutex expression, held from
+  /// `from_tok` until the enclosing scope closes (or .unlock()).
+  const auto open_intervals = [&](const std::vector<std::string>& exprs,
+                                  int line, int col, std::size_t from_tok) {
+    std::vector<std::string> held;
+    for (const LockInterval& l : out.locks_) {
+      if (l.end_tok == npos) held.push_back(lock_order_key(l, out.funcs_));
+    }
+    for (const std::string& expr : exprs) {
+      LockInterval li;
+      li.expr = expr;
+      const std::size_t cut = expr.find_last_of(">.:");
+      li.bare = cut == std::string::npos ? expr : expr.substr(cut + 1);
+      li.line = line;
+      li.col = col;
+      li.func = stack.back().func;
+      li.begin_tok = from_tok;
+      li.end_tok = npos;  // open
+      li.held_before = held;
+      out.locks_.push_back(li);
+      stack.back().open_locks.push_back(out.locks_.size() - 1);
+    }
+  };
+
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    mark(i);
+    const Token& t = ts[i];
+    if (t.preproc) continue;
+
+    if (is_punct(t, "(")) {
+      parens.push_back(i);
+      continue;
+    }
+    if (is_punct(t, ")")) {
+      if (!parens.empty()) {
+        paren_match.emplace(i, parens.back());
+        parens.pop_back();
+      }
+      continue;
+    }
+    if (is_punct(t, ";")) {
+      if (parens.empty()) head_start = i + 1;
+      continue;
+    }
+
+    // ---- RAII lock guards --------------------------------------------
+    if (ident_in(t, {"lock_guard", "scoped_lock", "unique_lock",
+                     "shared_lock"})) {
+      const std::size_t p = prev_tok(i);
+      if (p != npos && (is_punct(ts[p], ".") || is_punct(ts[p], "->"))) {
+        continue;  // member named like a guard type
+      }
+      std::size_t j = skip_template_args(ts, i + 1);
+      if (j < ts.size() && ts[j].kind == TokKind::kIdent &&
+          j + 1 < ts.size() && is_punct(ts[j + 1], "(")) {
+        const std::string guard_var(ts[j].text);
+        // Parse the constructor arguments.
+        std::size_t k = j + 1;
+        int depth = 0;
+        std::vector<std::vector<std::size_t>> args(1);
+        std::size_t close = npos;
+        for (; k < ts.size(); ++k) {
+          if (ts[k].preproc) continue;
+          if (is_punct(ts[k], "(")) {
+            if (depth++ > 0) args.back().push_back(k);
+            continue;
+          }
+          if (is_punct(ts[k], ")")) {
+            if (--depth == 0) {
+              close = k;
+              break;
+            }
+            args.back().push_back(k);
+            continue;
+          }
+          if (depth == 1 && is_punct(ts[k], ",")) {
+            args.emplace_back();
+            continue;
+          }
+          args.back().push_back(k);
+        }
+        bool deferred = false;
+        std::vector<std::string> exprs;
+        for (const auto& arg : args) {
+          if (arg.empty()) continue;
+          std::string expr;
+          std::string_view last_ident;
+          for (std::size_t ai : arg) {
+            expr += ts[ai].text;
+            if (ts[ai].kind == TokKind::kIdent) last_ident = ts[ai].text;
+          }
+          if (last_ident == "defer_lock") {
+            deferred = true;
+            continue;
+          }
+          if (last_ident == "try_to_lock" || last_ident == "adopt_lock" ||
+              last_ident.empty()) {
+            continue;
+          }
+          exprs.push_back(expr);
+        }
+        if (!exprs.empty() && close != npos) {
+          for (std::size_t m = i; m <= close && m < ts.size(); ++m) mark(m);
+          if (!deferred) {
+            open_intervals(exprs, t.line, t.col, close + 1);
+          }
+          stack.back().guards.emplace_back(guard_var, exprs);
+          i = close;  // resume after the declaration
+          continue;
+        }
+      }
+    }
+
+    // ---- guard.unlock() / guard.lock() -------------------------------
+    if (t.kind == TokKind::kIdent && i + 3 < ts.size() &&
+        is_punct(ts[i + 1], ".") &&
+        (is_ident(ts[i + 2], "unlock") || is_ident(ts[i + 2], "lock")) &&
+        is_punct(ts[i + 3], "(")) {
+      const std::vector<std::string>* exprs = nullptr;
+      for (auto it = stack.rbegin(); it != stack.rend() && !exprs; ++it) {
+        for (const auto& g : it->guards) {
+          if (g.first == t.text) {
+            exprs = &g.second;
+            break;
+          }
+        }
+      }
+      if (exprs != nullptr) {
+        if (is_ident(ts[i + 2], "unlock")) {
+          for (LockInterval& l : out.locks_) {
+            if (l.end_tok != npos) continue;
+            if (std::find(exprs->begin(), exprs->end(), l.expr) !=
+                exprs->end()) {
+              l.end_tok = i;
+            }
+          }
+        } else {
+          open_intervals(*exprs, t.line, t.col, i + 4);
+        }
+      }
+    }
+
+    // ---- brace classification ----------------------------------------
+    if (is_punct(t, "{")) {
+      const std::size_t p = prev_tok(i);
+      const ScopeKind ctx = stack.back().kind;
+      const bool in_func =
+          ctx == ScopeKind::kFunction || ctx == ScopeKind::kBlock;
+
+      // Lambda bodies inherit the lexical scope (locks included).
+      if (is_lambda_brace(i)) {
+        stack.push_back({ScopeKind::kBlock, stack.back().class_idx,
+                         stack.back().func, {}, {}});
+        head_start = i + 1;
+        continue;
+      }
+      // Braces inside an unclosed paren are aggregate literals.
+      if (!parens.empty()) {
+        i = skip_inert_braces(i) - 1;
+        continue;
+      }
+
+      // Inspect the statement head [head_start, i).
+      bool head_namespace = false, head_class = false, head_paren = false,
+           head_init_list = false, head_control = false;
+      std::string_view first_ident;
+      std::size_t first_tok = npos;
+      bool seen_paren_close = false;
+      int pd = 0;
+      int td = 0;  // template-angle depth, approximate
+      for (std::size_t h = head_start; h < i; ++h) {
+        const Token& ht = ts[h];
+        if (ht.preproc) continue;
+        if (first_tok == npos) first_tok = h;
+        if (ht.kind == TokKind::kIdent && first_ident.empty()) {
+          first_ident = ht.text;
+        }
+        if (is_punct(ht, "(")) {
+          ++pd;
+          head_paren = true;
+        } else if (is_punct(ht, ")")) {
+          --pd;
+          if (pd == 0) seen_paren_close = true;
+        } else if (is_punct(ht, "<")) {
+          ++td;
+        } else if (is_punct(ht, ">")) {
+          --td;
+        } else if (pd == 0 && td <= 0 && ht.kind == TokKind::kIdent) {
+          if (ht.text == "namespace") head_namespace = true;
+          if (ht.text == "class" || ht.text == "struct" ||
+              ht.text == "union" || ht.text == "enum") {
+            if (!head_paren) head_class = true;
+          }
+        } else if (pd == 0 && is_punct(ht, ":") && seen_paren_close) {
+          head_init_list = true;
+        }
+      }
+      if (first_ident == "if" || first_ident == "for" ||
+          first_ident == "while" || first_ident == "switch" ||
+          first_ident == "do" || first_ident == "else" ||
+          first_ident == "try" || first_ident == "catch") {
+        head_control = true;
+      }
+
+      if (head_namespace) {
+        stack.push_back({ScopeKind::kNamespace, stack.back().class_idx,
+                         kNoFunc, {}, {}});
+        head_start = i + 1;
+        continue;
+      }
+      if (head_class) {
+        // Class name: first identifier after the class keyword.
+        std::string name;
+        for (std::size_t h = head_start; h < i; ++h) {
+          if (ts[h].preproc) continue;
+          if (ident_in(ts[h], {"class", "struct", "union", "enum"})) {
+            for (std::size_t n = h + 1; n < i; ++n) {
+              if (ts[n].preproc) continue;
+              if (ident_in(ts[n], {"class", "struct", "final", "alignas"}))
+                continue;
+              if (ts[n].kind == TokKind::kIdent) {
+                name = std::string(ts[n].text);
+              }
+              break;
+            }
+            break;
+          }
+        }
+        stack.push_back({ScopeKind::kClass,
+                         name.empty() ? stack.back().class_idx
+                                      : intern_class(name),
+                         kNoFunc, {}, {}});
+        head_start = i + 1;
+        continue;
+      }
+
+      const bool function_context_block =
+          in_func &&
+          (head_control || first_tok == npos ||
+           (p != npos && (is_punct(ts[p], ")") || is_punct(ts[p], ":"))));
+      const bool inert =
+          p != npos &&
+          (is_punct(ts[p], "=") || is_punct(ts[p], ",") ||
+           is_ident(ts[p], "return") ||
+           (in_func && !function_context_block &&
+            (ts[p].kind == TokKind::kIdent || is_punct(ts[p], ">"))) ||
+           (!in_func && head_init_list &&
+            (ts[p].kind == TokKind::kIdent || is_punct(ts[p], ">"))) ||
+           (!in_func && !head_paren && ts[p].kind == TokKind::kIdent));
+      if (inert && !head_control) {
+        i = skip_inert_braces(i) - 1;
+        continue;
+      }
+
+      if (!in_func && head_paren && !head_control) {
+        // Function body at namespace/class scope: extract the name from
+        // the identifier chain before the first top-level `(`.
+        std::size_t sig_open = npos;
+        int d = 0;
+        for (std::size_t h = head_start; h < i; ++h) {
+          if (ts[h].preproc) continue;
+          if (is_punct(ts[h], "(")) {
+            if (d == 0) {
+              sig_open = h;
+              break;
+            }
+            ++d;
+          }
+        }
+        std::string fname;
+        std::string qual_class;
+        if (sig_open != npos) {
+          std::vector<std::string> parts;  // reversed ident chain
+          std::size_t j = prev_tok(sig_open);
+          std::string cur;
+          int guard = 0;
+          while (j != npos && guard++ < 32) {
+            if (ts[j].kind == TokKind::kIdent) {
+              if (ts[j].text == "operator") {
+                cur = "operator" + cur;
+                break;
+              }
+              cur = std::string(ts[j].text) + cur;
+              const std::size_t q = prev_tok(j);
+              if (q != npos && is_punct(ts[q], "~")) {
+                cur = "~" + cur;
+                j = prev_tok(q);
+              } else {
+                j = q;
+              }
+              if (j != npos && is_punct(ts[j], "::")) {
+                parts.push_back(cur);
+                cur.clear();
+                j = prev_tok(j);
+                // Skip template args of a qualifier, e.g. Foo<T>::bar.
+                continue;
+              }
+              break;
+            }
+            if (is_punct(ts[j], "=") || is_punct(ts[j], "==") ||
+                is_punct(ts[j], "!=") || is_punct(ts[j], "<") ||
+                is_punct(ts[j], ">") || is_punct(ts[j], "[") ||
+                is_punct(ts[j], "]") || is_punct(ts[j], "(") ||
+                is_punct(ts[j], ")") || is_punct(ts[j], "*") ||
+                is_punct(ts[j], "&")) {
+              // operator symbol run, keep walking to find `operator`.
+              cur = std::string(ts[j].text) + cur;
+              j = prev_tok(j);
+              continue;
+            }
+            break;
+          }
+          if (!cur.empty() && parts.empty()) {
+            fname = cur;
+          } else if (!parts.empty()) {
+            fname = parts.front();  // innermost name (chain built reversed)
+            // parts holds [name]; qualifiers ended up in `cur`.
+            if (!cur.empty()) qual_class = cur;
+          }
+          if (fname.empty()) fname = cur;
+        }
+        std::string class_name = qual_class;
+        if (class_name.empty() && stack.back().kind == ScopeKind::kClass &&
+            stack.back().class_idx != npos) {
+          class_name = out.class_names_[stack.back().class_idx];
+        }
+        std::string bare = fname;
+        const bool dtor = !bare.empty() && bare[0] == '~';
+        if (dtor) bare = bare.substr(1);
+
+        FuncScope f;
+        f.name = class_name.empty() ? fname : class_name + "::" + fname;
+        f.class_name = class_name;
+        f.ctor_dtor = dtor || (!class_name.empty() && bare == class_name);
+        f.line = t.line;
+        f.body_begin = i;
+        f.body_end = ts.size();
+        // Attach `// requires(mu)` annotations covering the signature.
+        const int head_line =
+            first_tok != npos ? ts[first_tok].line : t.line;
+        for (int ln = head_line; ln <= t.line; ++ln) {
+          const auto it = requires_by_line.find(ln);
+          if (it == requires_by_line.end()) continue;
+          for (const auto& mu : it->second) f.required.push_back(mu);
+        }
+        out.funcs_.push_back(std::move(f));
+        const std::size_t func_idx = out.funcs_.size() - 1;
+        stack.push_back({ScopeKind::kFunction,
+                         class_name.empty() ? stack.back().class_idx
+                                            : intern_class(class_name),
+                         func_idx, {}, {}});
+        head_start = i + 1;
+        continue;
+      }
+
+      // Everything else: plain block (control flow, bare scope block).
+      stack.push_back({ScopeKind::kBlock, stack.back().class_idx,
+                       stack.back().func, {}, {}});
+      head_start = i + 1;
+      continue;
+    }
+
+    if (is_punct(t, "}")) {
+      if (stack.size() > 1) {
+        for (std::size_t li : stack.back().open_locks) {
+          if (out.locks_[li].end_tok == npos) out.locks_[li].end_tok = i;
+        }
+        if (stack.back().kind == ScopeKind::kFunction &&
+            stack.back().func != kNoFunc) {
+          out.funcs_[stack.back().func].body_end = i + 1;
+        }
+        stack.pop_back();
+      }
+      head_start = i + 1;
+      continue;
+    }
+  }
+
+  // Close anything left open (unterminated input).
+  for (LockInterval& l : out.locks_) {
+    if (l.end_tok == npos) l.end_tok = ts.size();
+  }
+  return out;
+}
+
+}  // namespace pckpt::lint

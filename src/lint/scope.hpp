@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/token.hpp"
+
+/// \file scope.hpp
+/// Scope-aware analysis pass for pckpt-lint: brace/namespace/class/
+/// function tracking plus lock-scope inference, layered on top of the
+/// token stream from `lint/token.hpp`.
+///
+/// The pass is still heuristic (pckpt-lint does not parse C++), but it
+/// is exact for the subset of the language this tree actually writes:
+/// namespace blocks, class/struct bodies, out-of-line qualified method
+/// definitions, constructors/destructors with member-init lists, and
+/// RAII lock guards (`std::lock_guard` / `std::scoped_lock` /
+/// `std::unique_lock`, including `.unlock()` / `.lock()` on the guard
+/// variable). Lambdas inherit the lexical scope — a `cv_.wait(lock,
+/// [&]{ ... })` predicate body counts as running under `lock`, which
+/// matches the condition_variable contract. The known blind spot (a
+/// lambda that *escapes* its lock scope and runs later) is documented
+/// in docs/STATIC_ANALYSIS.md.
+
+namespace pckpt::lint {
+
+constexpr std::size_t kNoFunc = static_cast<std::size_t>(-1);
+
+/// One function body found in the file: free function, member function
+/// (in-class or out-of-line `Class::method`), constructor or destructor.
+struct FuncScope {
+  std::string name;        ///< display name, e.g. "FairShareScheduler::queued"
+  std::string class_name;  ///< innermost class, "" for free functions
+  bool ctor_dtor = false;  ///< constructor or destructor body
+  int line = 0;            ///< line of the body's opening brace
+  std::size_t body_begin = 0;  ///< token index of the opening `{`
+  std::size_t body_end = 0;    ///< token index one past the closing `}`
+  std::vector<std::string> required;  ///< `// requires(mu)` mutex names
+};
+
+/// One RAII lock-guard hold interval. A guard that is `.unlock()`ed and
+/// re-`.lock()`ed produces several intervals for the same site.
+struct LockInterval {
+  std::string expr;  ///< mutex expression as written, e.g. "entry->mu"
+  std::string bare;  ///< last identifier of the expression, e.g. "mu"
+  int line = 0;      ///< acquisition site
+  int col = 0;
+  std::size_t func = kNoFunc;  ///< index into funcs()
+  std::size_t begin_tok = 0;   ///< first token index covered
+  std::size_t end_tok = 0;     ///< one past the last token covered
+  /// Lock-order keys already held when this lock was acquired, in
+  /// acquisition order (see `LockInterval::order_key`).
+  std::vector<std::string> held_before;
+};
+
+/// Result of the scope pass over one file's token stream.
+class ScopeAnalysis {
+ public:
+  const std::vector<FuncScope>& funcs() const { return funcs_; }
+  const std::vector<LockInterval>& locks() const { return locks_; }
+
+  /// Enclosing function of token `tok`, or kNoFunc (namespace/class
+  /// scope). Lambdas report the lexically enclosing named function.
+  std::size_t func_of(std::size_t tok) const {
+    return tok < func_of_.size() ? func_of_[tok] : kNoFunc;
+  }
+
+  /// Innermost class enclosing token `tok` ("" outside any class).
+  /// Inside a member-function *body* this is the member's class even for
+  /// out-of-line `Class::method` definitions.
+  const std::string& class_of(std::size_t tok) const;
+
+  /// True when a lock on a mutex whose bare name is `bare` is held at
+  /// token `tok` — via a live guard interval or a `// requires(bare)`
+  /// annotation on the enclosing function.
+  bool holds(std::size_t tok, std::string_view bare) const;
+
+ private:
+  friend ScopeAnalysis analyze_scopes(
+      const std::vector<Token>& tokens,
+      const std::map<int, std::vector<std::string>>& requires_by_line);
+
+  std::vector<FuncScope> funcs_;
+  std::vector<LockInterval> locks_;
+  std::vector<std::size_t> func_of_;   // per token
+  std::vector<std::size_t> class_of_;  // per token, index into class_names_
+  std::vector<std::string> class_names_;
+};
+
+/// Run the scope pass. `requires_by_line` maps source lines carrying a
+/// `// requires(mu)` annotation to the named mutexes; annotations whose
+/// line falls inside a function signature attach to that function. All
+/// results are value types (strings copied out of the token views).
+ScopeAnalysis analyze_scopes(
+    const std::vector<Token>& tokens,
+    const std::map<int, std::vector<std::string>>& requires_by_line);
+
+/// The cross-TU lock-order key for a lock site: bare member mutexes are
+/// qualified by the enclosing class (`FairShareScheduler::mu_`), free
+/// mutexes keep their name, and member-chain expressions (`entry->mu`)
+/// keep the expression text so identical spellings in different TUs
+/// coalesce.
+std::string lock_order_key(const LockInterval& lock,
+                           const std::vector<FuncScope>& funcs);
+
+}  // namespace pckpt::lint

@@ -211,8 +211,9 @@ class Profiler {
   void register_thread(std::shared_ptr<prof_detail::ThreadRecords> rec);
 
   mutable std::mutex mutex_;
+  // guarded_by(mutex_)
   std::vector<std::shared_ptr<prof_detail::ThreadRecords>> threads_;
-  std::uint64_t generation_ = 0;
+  std::uint64_t generation_ = 0;  ///< immutable after construction
 
   static std::atomic<Profiler*> g_active;
   static std::atomic<std::uint64_t> g_generation;

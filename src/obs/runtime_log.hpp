@@ -153,8 +153,8 @@ class RuntimeLog {
   LogLevel min_level_;
   std::atomic<std::uint64_t> seq_{0};
   mutable std::mutex mu_;  ///< sink + clock swap
-  ClockFn clock_;
-  std::FILE* file_ = nullptr;  ///< owned file sink; null = stderr
+  ClockFn clock_;              // guarded_by(mu_)
+  std::FILE* file_ = nullptr;  // guarded_by(mu_) owned file sink; null = stderr
 };
 
 }  // namespace pckpt::obs

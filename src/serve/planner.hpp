@@ -72,9 +72,9 @@ class AdmissionGate {
   AdmissionConfig cfg_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::size_t inflight_ = 0;
-  std::size_t waiting_ = 0;
-  std::size_t rejected_ = 0;
+  std::size_t inflight_ = 0;  // guarded_by(mu_)
+  std::size_t waiting_ = 0;   // guarded_by(mu_)
+  std::size_t rejected_ = 0;  // guarded_by(mu_)
 };
 
 /// RAII admission ticket.
@@ -186,9 +186,10 @@ class Planner {
   exec::FairShareScheduler* scheduler_ = nullptr;
   Telemetry* telemetry_ = nullptr;
   std::mutex inflight_mu_;
+  // guarded_by(inflight_mu_) — the map; each Inflight has its own mu.
   std::map<std::uint64_t, std::shared_ptr<Inflight>> inflight_;
   mutable std::mutex counters_mu_;
-  Counters counters_;
+  Counters counters_;  // guarded_by(counters_mu_)
 };
 
 /// Deterministic payload rendering — pure functions of their inputs,

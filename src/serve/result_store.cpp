@@ -69,6 +69,7 @@ std::uint64_t ResultStore::compact() {
   return compact_locked();
 }
 
+// requires(mu_)
 std::uint64_t ResultStore::compact_locked() {
   const std::uint64_t before = log_.stats().log_bytes;
   if (before == live_bytes_) return 0;  // nothing superseded

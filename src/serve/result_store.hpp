@@ -103,15 +103,15 @@ class ResultStore {
   static void set_write_fault_budget(long long bytes);
 
  private:
-  std::uint64_t compact_locked();
+  std::uint64_t compact_locked();  // requires(mu_)
 
   // Ordered map: deterministic iteration for stats/debug dumps and the
   // compaction rewrite order. Declared before log_ — the replay
   // callback fills it while log_ is being constructed.
-  std::map<std::uint64_t, std::string> index_;
-  std::uint64_t live_bytes_ = 0;  ///< framed bytes of the live set
-  std::size_t compactions_ = 0;
-  std::uint64_t compacted_bytes_ = 0;
+  std::map<std::uint64_t, std::string> index_;  // guarded_by(mu_)
+  std::uint64_t live_bytes_ = 0;  // guarded_by(mu_) framed live-set bytes
+  std::size_t compactions_ = 0;        // guarded_by(mu_)
+  std::uint64_t compacted_bytes_ = 0;  // guarded_by(mu_)
   ckpt::DurableLog log_;
   mutable std::mutex mu_;
 };

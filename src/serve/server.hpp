@@ -72,7 +72,7 @@ class Server {
   int listen_fd_ = -1;
   std::atomic<bool> stopping_{false};
   std::mutex conn_mu_;
-  std::set<int> conn_fds_;
+  std::set<int> conn_fds_;  // guarded_by(conn_mu_)
   std::vector<std::thread> handlers_;
 };
 

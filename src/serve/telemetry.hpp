@@ -88,7 +88,7 @@ class Telemetry {
   std::uint64_t slow_query_ms_;
   std::atomic<std::uint64_t> request_seq_{0};
   mutable std::mutex mu_;
-  obs::MetricsRegistry registry_;
+  obs::MetricsRegistry registry_;  // guarded_by(mu_)
 };
 
 }  // namespace pckpt::serve

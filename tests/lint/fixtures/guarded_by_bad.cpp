@@ -1,0 +1,19 @@
+// A counter whose field is annotated guarded_by(mu_) but incremented
+// without taking the lock — the violating half of the guarded-by pair.
+// read() takes the lock correctly, so exactly one finding fires.
+
+#include <mutex>
+
+class BadCounter {
+ public:
+  void increment() { ++count_; }
+
+  int read() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int count_ = 0;  // guarded_by(mu_)
+};

@@ -1,0 +1,28 @@
+// The clean half of the guarded-by pair: every access to the annotated
+// field happens under a lock on its mutex, the constructor initializer
+// is exempt (the object is not shared yet), and the locked helper is
+// annotated // requires(mu_) so callers carry the obligation.
+
+#include <mutex>
+
+class GoodCounter {
+ public:
+  GoodCounter() { count_ = 0; }
+
+  void increment() {
+    std::lock_guard<std::mutex> lock(mu_);
+    bump_locked();
+  }
+
+  int read() const {
+    std::scoped_lock lock(mu_);
+    return count_;
+  }
+
+ private:
+  // requires(mu_)
+  void bump_locked() { ++count_; }
+
+  mutable std::mutex mu_;
+  int count_ = 0;  // guarded_by(mu_)
+};

@@ -1,0 +1,8 @@
+#pragma once
+
+// Linted under the virtual path src/serve/high.hpp: a higher layer
+// including a lower one is the legal direction.
+
+#include "sim/low.hpp"
+
+inline int serve_high_value() { return low_value() + 4; }

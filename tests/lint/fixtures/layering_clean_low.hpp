@@ -1,0 +1,6 @@
+#pragma once
+
+// Linted under the virtual path src/sim/low.hpp: a kernel-layer header
+// with no upward includes — the clean half of the layering pair.
+
+inline int low_value() { return 3; }

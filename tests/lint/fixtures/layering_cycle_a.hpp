@@ -1,0 +1,9 @@
+#pragma once
+
+// Linted under the virtual path src/core/cycle_a.hpp: one half of an
+// include cycle inside a single layer — same-layer includes are fine,
+// but the cycle itself must be rejected.
+
+#include "core/cycle_b.hpp"
+
+inline int cycle_a_value() { return 1; }

@@ -1,0 +1,8 @@
+#pragma once
+
+// Linted under the virtual path src/core/cycle_b.hpp: the other half of
+// the include cycle.
+
+#include "core/cycle_a.hpp"
+
+inline int cycle_b_value() { return 2; }

@@ -1,0 +1,7 @@
+#pragma once
+
+// Linted under the virtual path src/serve/high.hpp: a serving-layer
+// header. It exists so the include in layering_low_bad.hpp resolves to
+// a file in the project set (unresolved includes are never edges).
+
+inline int serve_high_value() { return 7; }

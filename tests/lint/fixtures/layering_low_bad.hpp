@@ -1,0 +1,9 @@
+#pragma once
+
+// Linted under the virtual path src/sim/low.hpp: the simulation kernel
+// reaching *up* into the serving layer is exactly the dependency the
+// layering contract forbids (sim is layer 2, serve is layer 7).
+
+#include "serve/high.hpp"
+
+inline int low_value() { return serve_high_value(); }

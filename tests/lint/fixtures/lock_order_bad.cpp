@@ -1,0 +1,25 @@
+// Inconsistent nested acquisition order: ab() locks a_ then b_, ba()
+// locks b_ then a_. Two threads running them concurrently can deadlock;
+// the lock-order rule reports the AB/BA cycle at both sites.
+
+#include <mutex>
+
+class BadPair {
+ public:
+  void ab() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+    ++x_;
+  }
+
+  void ba() {
+    std::lock_guard<std::mutex> lb(b_);
+    std::lock_guard<std::mutex> la(a_);
+    --x_;
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  int x_ = 0;
+};

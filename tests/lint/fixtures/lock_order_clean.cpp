@@ -1,0 +1,24 @@
+// The clean half of the lock-order pair: both paths acquire a_ before
+// b_, so the acquisition graph has one edge and no cycle.
+
+#include <mutex>
+
+class GoodPair {
+ public:
+  void add() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+    ++x_;
+  }
+
+  void sub() {
+    std::lock_guard<std::mutex> la(a_);
+    std::lock_guard<std::mutex> lb(b_);
+    --x_;
+  }
+
+ private:
+  std::mutex a_;
+  std::mutex b_;
+  int x_ = 0;
+};

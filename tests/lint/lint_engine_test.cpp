@@ -45,6 +45,19 @@ int run_cli(const std::vector<std::string>& args, std::string* out_text = nullpt
   return rc;
 }
 
+/// Run the whole-tree project pass over fixtures, each linted under a
+/// virtual path: {fixture name, virtual path} pairs.
+std::vector<lint::Finding> lint_project_fixtures(
+    const std::vector<std::pair<std::string, std::string>>& fixtures,
+    lint::LintStats* stats = nullptr) {
+  std::vector<std::pair<std::string, std::string>> files;
+  for (const auto& [name, vpath] : fixtures) {
+    files.emplace_back(vpath, read_fixture(name));
+  }
+  lint::LintEngine engine;
+  return engine.lint_project(files, stats);
+}
+
 // ---------------------------------------------------------------------
 // Per-rule fixture pairs.
 // ---------------------------------------------------------------------
@@ -366,6 +379,265 @@ TEST(LintEngine, RuleCatalogCoversAllFamilies) {
 }
 
 // ---------------------------------------------------------------------
+// Project pass: layering contract over the include graph.
+// ---------------------------------------------------------------------
+
+TEST(LintProject, LayeringRejectsLowerIncludingHigher) {
+  const auto fs =
+      lint_project_fixtures({{"layering_low_bad.hpp", "src/sim/low.hpp"},
+                             {"layering_high.hpp", "src/serve/high.hpp"}});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(lint::format_finding(fs[0]),
+            "src/sim/low.hpp:7:1: error: [layering] 'src/sim/low.hpp' "
+            "(layer sim) includes 'src/serve/high.hpp' (layer serve): "
+            "lower layers must not include higher layers");
+}
+
+TEST(LintProject, LayeringAllowsHigherIncludingLower) {
+  EXPECT_TRUE(
+      lint_project_fixtures({{"layering_clean_low.hpp", "src/sim/low.hpp"},
+                             {"layering_clean_high.hpp", "src/serve/high.hpp"}})
+          .empty());
+}
+
+TEST(LintProject, LayeringRejectsIncludeCycle) {
+  const auto fs = lint_project_fixtures(
+      {{"layering_cycle_a.hpp", "src/core/cycle_a.hpp"},
+       {"layering_cycle_b.hpp", "src/core/cycle_b.hpp"}});
+  ASSERT_EQ(fs.size(), 1u);  // one finding per cycle, not per edge
+  EXPECT_EQ(fs[0].rule, "layering");
+  EXPECT_NE(fs[0].message.find("include cycle: src/core/cycle_a.hpp -> "
+                               "src/core/cycle_b.hpp -> "
+                               "src/core/cycle_a.hpp"),
+            std::string::npos)
+      << fs[0].message;
+}
+
+TEST(LintProject, LayeringWaiverSuppressesCrossLayerEdge) {
+  lint::LintEngine engine;
+  lint::LintStats stats;
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/sim/low.hpp",
+       "#pragma once\n"
+       "// lint: layering-ok\n"
+       "#include \"serve/high.hpp\"\n"},
+      {"src/serve/high.hpp", "#pragma once\n"},
+  };
+  EXPECT_TRUE(engine.lint_project(files, &stats).empty());
+  EXPECT_EQ(stats.waived, 1u);
+}
+
+TEST(LintProject, LayeringIgnoresUnresolvedAndUnclassifiedIncludes) {
+  lint::LintEngine engine;
+  // <mutex> and a header outside the project set are never edges; a
+  // path outside the contract (layer -1) is never checked.
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"scripts/odd.hpp",
+       "#pragma once\n#include <mutex>\n#include \"no/such.hpp\"\n"},
+  };
+  EXPECT_TRUE(engine.lint_project(files).empty());
+}
+
+// ---------------------------------------------------------------------
+// Project pass: guarded_by lock discipline.
+// ---------------------------------------------------------------------
+
+TEST(LintProject, GuardedByRejectsUnguardedAccess) {
+  const auto fs =
+      lint_project_fixtures({{"guarded_by_bad.cpp", "src/serve/x.cpp"}});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(lint::format_finding(fs[0]),
+            "src/serve/x.cpp:9:24: error: [guarded-by] field 'count_' is "
+            "guarded_by(mu_) but accessed without holding 'mu_' (in "
+            "BadCounter::increment)");
+}
+
+TEST(LintProject, GuardedByAllowsLockedCtorAndRequiresAccess) {
+  // Covers all three legal forms at once: lock_guard/scoped_lock held,
+  // constructor body, and a // requires(mu_) annotated helper.
+  EXPECT_TRUE(
+      lint_project_fixtures({{"guarded_by_clean.cpp", "src/serve/x.cpp"}})
+          .empty());
+}
+
+TEST(LintProject, GuardedByWaiverSuppresses) {
+  lint::LintEngine engine;
+  lint::LintStats stats;
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/serve/x.cpp",
+       "#include <mutex>\n"
+       "class C {\n"
+       " public:\n"
+       "  int peek() const { return count_; }  // lint: guarded-by-ok\n"
+       " private:\n"
+       "  mutable std::mutex mu_;\n"
+       "  int count_ = 0;  // guarded_by(mu_)\n"
+       "};\n"},
+  };
+  EXPECT_TRUE(engine.lint_project(files, &stats).empty());
+  EXPECT_EQ(stats.waived, 1u);
+}
+
+TEST(LintProject, GuardedByChecksOutOfLineMethodsCrossTu) {
+  lint::LintEngine engine;
+  // The header declares + annotates; the .cpp defines the violating
+  // method out of line. The registry is project-wide, so the finding
+  // lands in the .cpp.
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/serve/c.hpp",
+       "#pragma once\n"
+       "#include <mutex>\n"
+       "class C {\n"
+       " public:\n"
+       "  void bump();\n"
+       " private:\n"
+       "  std::mutex mu_;\n"
+       "  int count_ = 0;  // guarded_by(mu_)\n"
+       "};\n"},
+      {"src/serve/c.cpp",
+       "#include \"serve/c.hpp\"\n"
+       "void C::bump() { ++count_; }\n"},
+  };
+  const auto fs = engine.lint_project(files);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "guarded-by");
+  EXPECT_EQ(fs[0].path, "src/serve/c.cpp");
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintProject, GuardedByLambdaInheritsEnclosingLock) {
+  lint::LintEngine engine;
+  // The cv-wait predicate idiom: the lambda body runs under the lock
+  // its enclosing scope holds, so the access is legal.
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/serve/x.cpp",
+       "#include <condition_variable>\n"
+       "#include <mutex>\n"
+       "class C {\n"
+       " public:\n"
+       "  void wait_ready() {\n"
+       "    std::unique_lock<std::mutex> lock(mu_);\n"
+       "    cv_.wait(lock, [&] { return count_ > 0; });\n"
+       "  }\n"
+       " private:\n"
+       "  std::mutex mu_;\n"
+       "  std::condition_variable cv_;\n"
+       "  int count_ = 0;  // guarded_by(mu_)\n"
+       "};\n"},
+  };
+  EXPECT_TRUE(engine.lint_project(files).empty());
+}
+
+// ---------------------------------------------------------------------
+// Project pass: cross-TU lock-order cycles.
+// ---------------------------------------------------------------------
+
+TEST(LintProject, LockOrderRejectsAbBaCycle) {
+  const auto fs =
+      lint_project_fixtures({{"lock_order_bad.cpp", "src/serve/x.cpp"}});
+  // One finding per acquisition site in the cycle: the b_-after-a_ site
+  // in ab() and the a_-after-b_ site in ba().
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "lock-order");
+  EXPECT_EQ(fs[0].line, 11);
+  EXPECT_NE(fs[0].message.find("lock-order cycle"), std::string::npos);
+  EXPECT_NE(fs[0].message.find("'BadPair::b_' acquired while holding "
+                               "'BadPair::a_' (in BadPair::ab)"),
+            std::string::npos)
+      << fs[0].message;
+  EXPECT_EQ(fs[1].line, 17);
+  EXPECT_NE(fs[1].message.find("'BadPair::a_' acquired while holding "
+                               "'BadPair::b_' (in BadPair::ba)"),
+            std::string::npos)
+      << fs[1].message;
+}
+
+TEST(LintProject, LockOrderAllowsConsistentOrder) {
+  EXPECT_TRUE(
+      lint_project_fixtures({{"lock_order_clean.cpp", "src/serve/x.cpp"}})
+          .empty());
+}
+
+TEST(LintProject, LockOrderCyclesDetectedAcrossFiles) {
+  lint::LintEngine engine;
+  // The two halves of the AB/BA pattern live in different TUs; the
+  // acquisition graph is global, keyed on Class::member.
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/serve/a.cpp",
+       "#include <mutex>\n"
+       "struct P { std::mutex a_; std::mutex b_; };\n"
+       "void ab(P& p) {\n"
+       "  std::scoped_lock la(p.a_);\n"
+       "  std::scoped_lock lb(p.b_);\n"
+       "}\n"},
+      {"src/serve/b.cpp",
+       "#include <mutex>\n"
+       "struct P { std::mutex a_; std::mutex b_; };\n"
+       "void ba(P& p) {\n"
+       "  std::scoped_lock lb(p.b_);\n"
+       "  std::scoped_lock la(p.a_);\n"
+       "}\n"},
+  };
+  const auto fs = engine.lint_project(files);
+  ASSERT_EQ(fs.size(), 2u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "lock-order");
+}
+
+TEST(LintProject, LockOrderWaiverSuppressesSites) {
+  lint::LintEngine engine;
+  lint::LintStats stats;
+  const std::vector<std::pair<std::string, std::string>> files = {
+      {"src/serve/x.cpp",
+       "#include <mutex>\n"
+       "class P {\n"
+       " public:\n"
+       "  void ab() {\n"
+       "    std::lock_guard<std::mutex> la(a_);\n"
+       "    std::lock_guard<std::mutex> lb(b_);  // lint: lock-order-ok\n"
+       "  }\n"
+       "  void ba() {\n"
+       "    std::lock_guard<std::mutex> lb(b_);\n"
+       "    std::lock_guard<std::mutex> la(a_);  // lint: lock-order-ok\n"
+       "  }\n"
+       " private:\n"
+       "  std::mutex a_;\n"
+       "  std::mutex b_;\n"
+       "};\n"},
+  };
+  EXPECT_TRUE(engine.lint_project(files, &stats).empty());
+  EXPECT_EQ(stats.waived, 2u);
+}
+
+// ---------------------------------------------------------------------
+// Project rules: catalog and restriction plumbing.
+// ---------------------------------------------------------------------
+
+TEST(LintProjectEngine, CatalogHasAllThreeRules) {
+  lint::LintEngine engine;
+  std::vector<std::string> ids;
+  for (const auto& r : engine.project_rules()) ids.emplace_back(r->id());
+  EXPECT_EQ(ids,
+            (std::vector<std::string>{"layering", "guarded-by", "lock-order"}));
+}
+
+TEST(LintProjectEngine, RestrictToProjectRuleKeepsOnlyIt) {
+  lint::LintEngine engine;
+  EXPECT_TRUE(engine.restrict_rules({"guarded-by"}));
+  EXPECT_TRUE(engine.rules().empty());
+  ASSERT_EQ(engine.project_rules().size(), 1u);
+  EXPECT_EQ(engine.project_rules()[0]->id(), "guarded-by");
+}
+
+TEST(LintProjectEngine, DisableRemovesRuleAndRejectsUnknown) {
+  lint::LintEngine engine;
+  const std::size_t file_rules = engine.rules().size();
+  EXPECT_FALSE(engine.disable_rules({"no-such-rule"}));
+  EXPECT_TRUE(engine.disable_rules({"lock-order", "wall-clock"}));
+  EXPECT_EQ(engine.rules().size(), file_rules - 1);
+  EXPECT_EQ(engine.project_rules().size(), 2u);
+}
+
+// ---------------------------------------------------------------------
 // CLI: exit codes mirror bench_report (0 clean / 1 findings / 2 usage).
 // ---------------------------------------------------------------------
 
@@ -411,14 +683,99 @@ TEST(LintCli, ListRulesExitsZero) {
   EXPECT_NE(out.find("std-include"), std::string::npos);
 }
 
+TEST(LintCli, ListRulesIncludesProjectRules) {
+  std::string out;
+  EXPECT_EQ(run_cli({"--list-rules"}, &out), 0);
+  EXPECT_NE(out.find("layering"), std::string::npos);
+  EXPECT_NE(out.find("guarded-by"), std::string::npos);
+  EXPECT_NE(out.find("lock-order"), std::string::npos);
+  EXPECT_NE(out.find("project-wide"), std::string::npos);
+}
+
+TEST(LintCli, NoRuleDisablesNamedRule) {
+  // The wall-clock fixture is a violation, but not with its rule off.
+  EXPECT_EQ(run_cli({"--root=" PCKPT_LINT_FIXTURE_DIR,
+                     "--no-rule=wall-clock", "wall_clock_bad.cpp"}),
+            0);
+}
+
+TEST(LintCli, UnknownNoRuleExitsTwo) {
+  EXPECT_EQ(run_cli({"--no-rule=no-such-rule", "."}), 2);
+}
+
+TEST(LintCli, ProjectPassRunsFromCli) {
+  std::string err;
+  const int rc = run_cli({"--root=" PCKPT_LINT_FIXTURE_DIR,
+                          "guarded_by_bad.cpp"},
+                         nullptr, &err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(err.find("[guarded-by]"), std::string::npos) << err;
+  EXPECT_NE(err.find("guarded_by_bad.cpp:9:"), std::string::npos) << err;
+}
+
+TEST(LintCli, TextSummaryReportsElapsedTime) {
+  std::string out;
+  run_cli({"--root=" PCKPT_LINT_FIXTURE_DIR, "wall_clock_clean.cpp"}, &out);
+  EXPECT_NE(out.find(" ms)"), std::string::npos) << out;
+}
+
+TEST(LintCli, FormatJsonEmitsSchemaDocument) {
+  std::string out;
+  const int rc = run_cli({"--root=" PCKPT_LINT_FIXTURE_DIR, "--format=json",
+                          "wall_clock_clean.cpp"},
+                         &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("\"schema\":\"pckpt-lint/1\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"findings\":["), std::string::npos) << out;
+}
+
+TEST(LintCli, FormatJsonKeepsFindingsAndExitCode) {
+  std::string out, err;
+  const int rc = run_cli({"--root=" PCKPT_LINT_FIXTURE_DIR, "--format=json",
+                          "wall_clock_bad.cpp"},
+                         &out, &err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("\"rule\":\"wall-clock\""), std::string::npos) << out;
+  // Machine formats own stdout/stderr entirely; no text diagnostics.
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(LintCli, FormatSarifEmitsValidLog) {
+  std::string out;
+  const int rc = run_cli({"--root=" PCKPT_LINT_FIXTURE_DIR, "--format=sarif",
+                          "wall_clock_bad.cpp"},
+                         &out);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.find("\"version\":\"2.1.0\""), std::string::npos) << out;
+  EXPECT_NE(out.find("sarif-2.1.0.json"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"ruleId\":\"wall-clock\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"startLine\":6"), std::string::npos) << out;
+}
+
+TEST(LintCli, FormatSarifListsProjectRulesInDriver) {
+  std::string out;
+  run_cli({"--root=" PCKPT_LINT_FIXTURE_DIR, "--format=sarif",
+           "wall_clock_clean.cpp"},
+          &out);
+  EXPECT_NE(out.find("\"id\":\"layering\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"id\":\"lock-order\""), std::string::npos) << out;
+}
+
+TEST(LintCli, UnknownFormatExitsTwo) {
+  std::string err;
+  EXPECT_EQ(run_cli({"--format=yaml", "."}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown format"), std::string::npos) << err;
+}
+
 // ---------------------------------------------------------------------
 // The gate: the real tree lints clean.
 // ---------------------------------------------------------------------
 
 TEST(LintTree, RealTreeHasZeroFindings) {
   std::string out, err;
-  const int rc = run_cli(
-      {"--root=" PCKPT_SOURCE_DIR, "src", "tools", "bench"}, &out, &err);
+  const int rc = run_cli({"--root=" PCKPT_SOURCE_DIR, "src", "tools", "bench",
+                          "tests", "examples"},
+                         &out, &err);
   EXPECT_EQ(rc, 0) << err;
   EXPECT_NE(out.find("0 errors, 0 warnings"), std::string::npos) << out;
 }

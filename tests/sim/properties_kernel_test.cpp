@@ -97,6 +97,8 @@ sim::Process chaos(sim::Environment& env, std::vector<sim::Process>* victims,
 
 TEST(KernelTracerProperties, RandomProgramsSatisfyTheHookContract) {
   for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    // Test-local fuzzing RNG, explicitly seeded per iteration — never
+    // feeds simulation state. lint: raw-rng-ok
     std::mt19937_64 rng(seed);
     std::uniform_int_distribution<int> n_workers(1, 6);
     std::uniform_int_distribution<int> n_steps(1, 8);
